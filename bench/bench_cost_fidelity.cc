@@ -1,0 +1,126 @@
+// E8 — cost-model fidelity: how well do estimated plan costs track metered
+// execution costs, and how much plan quality is lost to estimation error?
+// Compares three statistics regimes: oracle (exact sets — estimates are
+// exact by construction), oracle-parametric (exact per-source stats +
+// independence assumption), and sampling-calibrated (realistic). "Regret"
+// is the metered cost of the plan chosen under a regime divided by the
+// metered cost of the plan chosen with oracle estimates.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "mediator/mediator.h"
+#include "optimizer/sja.h"
+#include "stats/calibration.h"
+#include "stats/oracle_stats.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+struct RegimeStats {
+  double sum_abs_rel_err = 0;
+  double sum_regret = 0;
+  double worst_regret = 0;
+  int count = 0;
+
+  void Add(double estimated, double actual, double oracle_actual) {
+    sum_abs_rel_err += std::abs(estimated - actual) / actual;
+    const double regret = actual / oracle_actual;
+    sum_regret += regret;
+    worst_regret = std::max(worst_regret, regret);
+    ++count;
+  }
+};
+
+void Run() {
+  bench::Banner("E8: estimated vs metered cost, and plan regret (50 instances)");
+  RegimeStats oracle_stats, parametric_stats, calibrated_stats;
+  double calibration_overhead_sum = 0;
+
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    SyntheticSpec spec;
+    spec.universe_size = 1200;
+    spec.num_sources = 6;
+    spec.num_conditions = 3;
+    spec.coverage = 0.35;
+    spec.selectivity_default = 0.1;
+    spec.selectivity_jitter = 0.7;
+    spec.frac_native_semijoin = 0.7;
+    spec.frac_passed_bindings = 0.3;
+    spec.seed = 500 + seed;
+    auto instance = GenerateSynthetic(spec);
+    FUSION_CHECK(instance.ok());
+
+    // Oracle regime (reference).
+    const OracleCostModel oracle = bench::MakeOracle(*instance);
+    const auto oracle_opt = OptimizeSja(oracle);
+    FUSION_CHECK(oracle_opt.ok());
+    const auto oracle_rep =
+        ExecutePlan(oracle_opt->plan, instance->catalog, instance->query);
+    FUSION_CHECK(oracle_rep.ok());
+    const double oracle_actual = oracle_rep->ledger.total();
+    oracle_stats.Add(oracle_opt->estimated_cost, oracle_actual,
+                     oracle_actual);
+
+    // Oracle-parametric regime.
+    const auto parametric =
+        OracleParametricModel(instance->simulated, instance->query);
+    FUSION_CHECK(parametric.ok());
+    const auto par_opt = OptimizeSja(*parametric);
+    FUSION_CHECK(par_opt.ok());
+    const auto par_rep =
+        ExecutePlan(par_opt->plan, instance->catalog, instance->query);
+    FUSION_CHECK(par_rep.ok());
+    parametric_stats.Add(par_opt->estimated_cost, par_rep->ledger.total(),
+                         oracle_actual);
+
+    // Calibrated regime.
+    CalibrationOptions copt;
+    copt.merge_domain_lo = 0;
+    copt.merge_domain_hi = static_cast<int64_t>(spec.universe_size) - 1;
+    copt.num_range_probes = 4;
+    copt.range_fraction = 0.08;
+    copt.seed = seed;
+    CostLedger probes;
+    const auto calibrated =
+        CalibrateBySampling(instance->catalog, instance->query, copt, &probes);
+    FUSION_CHECK(calibrated.ok()) << calibrated.status().ToString();
+    const auto cal_opt = OptimizeSja(*calibrated);
+    FUSION_CHECK(cal_opt.ok());
+    const auto cal_rep =
+        ExecutePlan(cal_opt->plan, instance->catalog, instance->query);
+    FUSION_CHECK(cal_rep.ok());
+    calibrated_stats.Add(cal_opt->estimated_cost, cal_rep->ledger.total(),
+                         oracle_actual);
+    calibration_overhead_sum += probes.total() / oracle_actual;
+  }
+
+  auto row = [](const char* name, const RegimeStats& s) {
+    std::printf("%-18s %14.4f %12.3f %12.3f\n", name,
+                s.sum_abs_rel_err / s.count, s.sum_regret / s.count,
+                s.worst_regret);
+  };
+  std::printf("%-18s %14s %12s %12s\n", "statistics", "mean |est-act|/act",
+              "mean regret", "worst regret");
+  row("oracle", oracle_stats);
+  row("oracle-parametric", parametric_stats);
+  row("calibrated", calibrated_stats);
+  std::printf("\ncalibration probe overhead: %.1f%% of an oracle-plan "
+              "execution on average\n",
+              100 * calibration_overhead_sum / 50);
+  std::printf(
+      "\nShape check: oracle error is ~0 (estimates are the metered costs); "
+      "independence and sampling add estimation error but plan regret stays "
+      "small — the SJA choice is robust to moderate misestimation.\n");
+}
+
+}  // namespace
+}  // namespace fusion
+
+int main() {
+  fusion::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E6 — semijoin emulation cost: sources that only accept passed bindings
+// answer a semijoin of |X| candidates with |X| separate selection probes,
+// each paying full query overhead. The bench measures how expensive a
+// forced-semijoin plan becomes as the capability mix degrades, and shows
+// SJA routing around the emulating sources.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "optimizer/filter.h"
+#include "optimizer/sj.h"
+#include "optimizer/sja.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+SyntheticInstance MakeInstance(double native_frac, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.universe_size = 1500;
+  spec.num_sources = 8;
+  spec.num_conditions = 2;
+  spec.coverage = 0.4;
+  spec.selectivity = {0.03, 0.3};
+  spec.selectivity_jitter = 0.2;
+  spec.frac_native_semijoin = native_frac;
+  spec.frac_passed_bindings = 1.0 - native_frac;  // everyone can emulate
+  spec.seed = seed;
+  auto instance = GenerateSynthetic(spec);
+  FUSION_CHECK(instance.ok());
+  return std::move(instance).value();
+}
+
+void Run() {
+  bench::Banner("E6: emulated semijoins vs adaptive routing (n=8, m=2)");
+  std::printf("%8s %14s %14s %14s %12s %10s\n", "native", "forced-sjq",
+              "FILTER", "SJA", "emulations", "SJA class");
+  for (const double frac : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+    const SyntheticInstance instance =
+        MakeInstance(frac, 300 + static_cast<uint64_t>(frac * 100));
+    const OracleCostModel model = bench::MakeOracle(instance);
+
+    // Forced uniform semijoin plan for c2 (what a non-adaptive system that
+    // insists on semijoins would do).
+    ConditionOrderPlan forced = MakeStructure({0, 1}, 8);
+    forced.use_semijoin[1].assign(8, true);
+    const auto forced_built = BuildStructuredPlan(model, forced, {}, false);
+    FUSION_CHECK(forced_built.ok());
+    const auto forced_rep =
+        ExecutePlan(forced_built->plan, instance.catalog, instance.query);
+    FUSION_CHECK(forced_rep.ok()) << forced_rep.status().ToString();
+
+    const auto filter = bench::RunPlan("F", OptimizeFilter(model), instance);
+    const auto sja_opt = OptimizeSja(model);
+    const auto sja = bench::RunPlan("SJA", sja_opt, instance);
+    FUSION_CHECK(filter.ok && sja.ok);
+    FUSION_CHECK(sja_opt.ok());
+
+    std::printf("%8.2f %14.0f %14.0f %14.0f %12zu %10s\n", frac,
+                forced_rep->ledger.total(), filter.actual, sja.actual,
+                forced_rep->emulated_semijoins,
+                PlanClassName(sja_opt->plan_class));
+  }
+  std::printf(
+      "\nShape check: the forced-semijoin column explodes as native support "
+      "disappears (per-binding probes), while SJA stays at or below "
+      "min(FILTER, forced) by choosing sq at emulating sources.\n");
+}
+
+}  // namespace
+}  // namespace fusion
+
+int main() {
+  fusion::Run();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E4 — greedy plan quality: across many random instances, how close do the
+// O(mn)/O(m²n) greedy variants of [24] come to the exhaustive SJA optimum?
+// Reports the distribution of cost ratios (greedy / optimal) under a
+// regular cost regime and an adversarial one (wild per-source spreads).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "cost/parametric_cost_model.h"
+#include "optimizer/greedy.h"
+#include "optimizer/sja.h"
+
+namespace fusion {
+namespace {
+
+ParametricCostModel MakeModel(uint64_t seed, bool adversarial) {
+  Rng rng(seed);
+  const size_t m = 5;
+  const size_t n = 6;
+  std::vector<SourceParams> params;
+  for (size_t j = 0; j < n; ++j) {
+    SourceParams p;
+    const double r = rng.NextDouble();
+    p.capabilities.semijoin = r < 0.6 ? SemijoinSupport::kNative
+                              : r < 0.9 ? SemijoinSupport::kPassedBindingsOnly
+                                        : SemijoinSupport::kUnsupported;
+    if (adversarial) {
+      // Orders-of-magnitude spreads defeat simple orderings.
+      p.network.query_overhead = std::pow(10.0, rng.NextDouble() * 3);
+      p.network.cost_per_item_sent = std::pow(10.0, rng.NextDouble() * 2 - 1);
+      p.network.cost_per_item_received =
+          std::pow(10.0, rng.NextDouble() * 2 - 1);
+    } else {
+      p.network.query_overhead = 5 + rng.NextDouble() * 15;
+      p.network.cost_per_item_sent = 0.5 + rng.NextDouble();
+      p.network.cost_per_item_received = 0.5 + rng.NextDouble();
+    }
+    p.cardinality = static_cast<double>(rng.Uniform(100, 3000));
+    for (size_t i = 0; i < m; ++i) {
+      p.result_size.push_back(p.cardinality *
+                              (0.01 + rng.NextDouble() * 0.5));
+    }
+    params.push_back(std::move(p));
+  }
+  return ParametricCostModel(std::move(params), 5000);
+}
+
+struct RatioStats {
+  double mean = 0, p50 = 0, p95 = 0, worst = 0;
+  double optimal_fraction = 0;  // fraction of instances matching SJA exactly
+};
+
+RatioStats Collect(std::vector<double> ratios) {
+  std::sort(ratios.begin(), ratios.end());
+  RatioStats out;
+  double sum = 0;
+  size_t optimal = 0;
+  for (double r : ratios) {
+    sum += r;
+    if (r < 1.0 + 1e-9) ++optimal;
+  }
+  out.mean = sum / ratios.size();
+  out.p50 = ratios[ratios.size() / 2];
+  out.p95 = ratios[static_cast<size_t>(ratios.size() * 0.95)];
+  out.worst = ratios.back();
+  out.optimal_fraction = static_cast<double>(optimal) / ratios.size();
+  return out;
+}
+
+void Sweep(bool adversarial) {
+  constexpr int kInstances = 300;
+  std::vector<double> sel_ratios, mincost_ratios;
+  for (int k = 0; k < kInstances; ++k) {
+    const ParametricCostModel model =
+        MakeModel(1000 + k, adversarial);
+    const auto sja = OptimizeSja(model);
+    const auto g_sel =
+        OptimizeGreedySja(model, GreedyOrderHeuristic::kBySelectivity);
+    const auto g_min =
+        OptimizeGreedySja(model, GreedyOrderHeuristic::kByMinCost);
+    FUSION_CHECK(sja.ok() && g_sel.ok() && g_min.ok());
+    sel_ratios.push_back(g_sel->estimated_cost / sja->estimated_cost);
+    mincost_ratios.push_back(g_min->estimated_cost / sja->estimated_cost);
+  }
+  const RatioStats sel = Collect(std::move(sel_ratios));
+  const RatioStats min = Collect(std::move(mincost_ratios));
+  std::printf("%-22s %8s %8s %8s %8s %10s\n", "heuristic", "mean", "p50",
+              "p95", "worst", "optimal%");
+  std::printf("%-22s %8.3f %8.3f %8.3f %8.3f %9.1f%%\n", "greedy-selectivity",
+              sel.mean, sel.p50, sel.p95, sel.worst,
+              100 * sel.optimal_fraction);
+  std::printf("%-22s %8.3f %8.3f %8.3f %8.3f %9.1f%%\n", "greedy-mincost",
+              min.mean, min.p50, min.p95, min.worst,
+              100 * min.optimal_fraction);
+}
+
+}  // namespace
+}  // namespace fusion
+
+int main() {
+  std::printf("\n=== E4: greedy vs exhaustive SJA (cost ratio, m=5, n=6, "
+              "300 instances) ===\n");
+  std::printf("\n-- regular cost regime --\n");
+  fusion::Sweep(/*adversarial=*/false);
+  std::printf("\n-- adversarial cost regime (orders-of-magnitude spreads) "
+              "--\n");
+  fusion::Sweep(/*adversarial=*/true);
+  std::printf(
+      "\nShape check (paper/[24]): greedy finds optimal or near-optimal "
+      "plans under regular cost models; the adaptive (mincost) greedy "
+      "dominates the static ordering.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E11 — partitioned vs overlapping data (the introduction's contrast): with
+// a traditional global partition, fusion never crosses sources and simple
+// local evaluation suffices, while the Internet regime (overlapping,
+// incomplete sources) is where the paper's machinery earns its keep.
+// Also measures the lazy executor's runtime short-circuiting.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "optimizer/filter.h"
+#include "optimizer/postopt.h"
+#include "optimizer/sja.h"
+#include "relational/reference_evaluator.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+SyntheticInstance Make(bool partitioned, double selectivity, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.universe_size = 2000;
+  spec.num_sources = 8;
+  spec.num_conditions = 2;
+  spec.coverage = 0.3;
+  spec.selectivity = {0.05, selectivity};
+  spec.partition_entities = partitioned;
+  spec.frac_native_semijoin = 1.0;
+  spec.seed = seed;
+  auto instance = GenerateSynthetic(spec);
+  FUSION_CHECK(instance.ok());
+  return std::move(instance).value();
+}
+
+void RegimeComparison() {
+  bench::Banner("E11a: answer composition, partitioned vs overlapping");
+  std::printf("%-12s %10s %12s %12s\n", "regime", "answers", "FILTER cost",
+              "SJA cost");
+  for (const bool partitioned : {true, false}) {
+    const SyntheticInstance instance = Make(partitioned, 0.4, 42);
+    const OracleCostModel model = bench::MakeOracle(instance);
+    const auto filter = bench::RunPlan("F", OptimizeFilter(model), instance);
+    const auto sja = bench::RunPlan("SJA", OptimizeSja(model), instance);
+    FUSION_CHECK(filter.ok && sja.ok);
+    const ItemSet expected = *ReferenceFusionAnswer(
+        RelationsOf(instance), "M", instance.query.conditions());
+    std::printf("%-12s %10zu %12.0f %12.0f\n",
+                partitioned ? "partitioned" : "overlapping", expected.size(),
+                filter.actual, sja.actual);
+  }
+  std::printf(
+      "\nShape check: with the same per-tuple selectivities, overlapping "
+      "sources fuse far more answers (conditions can be met at different "
+      "sites) — the workload a partition-assuming optimizer never sees.\n");
+}
+
+void LazyShortCircuit() {
+  bench::Banner("E11b: lazy short-circuit execution (runtime adaptivity)");
+  std::printf("%10s %12s %12s %10s\n", "sel(c2)", "eager cost", "lazy cost",
+              "skipped");
+  for (const double sel : {0.0, 0.001, 0.01, 0.1}) {
+    const SyntheticInstance instance =
+        Make(false, sel, 77 + static_cast<uint64_t>(sel * 1000));
+    const OracleCostModel model = bench::MakeOracle(instance);
+    const auto sja = OptimizeSjaPlus(model);
+    FUSION_CHECK(sja.ok());
+    const auto eager =
+        ExecutePlan(sja->plan, instance.catalog, instance.query);
+    ExecOptions options;
+    options.lazy_short_circuit = true;
+    const auto lazy =
+        ExecutePlan(sja->plan, instance.catalog, instance.query, options);
+    FUSION_CHECK(eager.ok() && lazy.ok());
+    FUSION_CHECK(eager->answer == lazy->answer);
+    std::printf("%10.3f %12.0f %12.0f %10zu\n", sel, eager->ledger.total(),
+                lazy->ledger.total(), lazy->skipped_ops);
+  }
+  std::printf(
+      "\nShape check: when intermediate candidate sets run dry the lazy "
+      "executor stops issuing queries; at healthy selectivities the two "
+      "modes coincide.\n");
+}
+
+}  // namespace
+}  // namespace fusion
+
+int main() {
+  fusion::RegimeComparison();
+  fusion::LazyShortCircuit();
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "bench_util.h"
+
+#include "common/logging.h"
+
+namespace fusion {
+namespace bench {
+
+RunResult RunPlan(const std::string& name, const Result<OptimizedPlan>& opt,
+                  const SyntheticInstance& instance) {
+  RunResult out;
+  out.name = name;
+  if (!opt.ok()) {
+    out.error = opt.status().ToString();
+    return out;
+  }
+  out.estimated = opt->estimated_cost;
+  out.queries = opt->plan.num_source_queries();
+  const auto report =
+      ExecutePlan(opt->plan, instance.catalog, instance.query);
+  if (!report.ok()) {
+    out.error = report.status().ToString();
+    return out;
+  }
+  out.actual = report->ledger.total();
+  out.queries = report->ledger.num_queries();
+  out.ok = true;
+  return out;
+}
+
+OracleCostModel MakeOracle(const SyntheticInstance& instance) {
+  auto model = OracleCostModel::Create(instance.simulated, instance.query);
+  FUSION_CHECK(model.ok()) << model.status().ToString();
+  return std::move(model).value();
+}
+
+void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace fusion

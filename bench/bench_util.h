@@ -1,0 +1,42 @@
+#ifndef FUSION_BENCH_BENCH_UTIL_H_
+#define FUSION_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cost/oracle_cost_model.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace bench {
+
+/// One optimizer outcome on one instance: estimated cost, metered execution
+/// cost, and query count.
+struct RunResult {
+  std::string name;
+  double estimated = 0.0;
+  double actual = 0.0;
+  size_t queries = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Optimizes with `opt` (already computed) and executes against the
+/// instance, metering actual costs.
+RunResult RunPlan(const std::string& name, const Result<OptimizedPlan>& opt,
+                  const SyntheticInstance& instance);
+
+/// Builds the oracle model for an instance (CHECK-fails on error; bench
+/// instances are well-formed by construction).
+OracleCostModel MakeOracle(const SyntheticInstance& instance);
+
+/// Prints a header banner for a bench section.
+void Banner(const std::string& title);
+
+}  // namespace bench
+}  // namespace fusion
+
+#endif  // FUSION_BENCH_BENCH_UTIL_H_

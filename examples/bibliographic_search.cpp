@@ -1,0 +1,100 @@
+// Two-phase bibliographic search (the introduction's second motivating
+// scenario): several overlapping digital libraries index documents; a fusion
+// query first identifies matching document ids (phase 1, ids only), then the
+// user pages through full records a few at a time (phase 2).
+//
+// Demonstrates why the two-phase split pays: records are wide, and phase 1
+// never ships them.
+#include <algorithm>
+#include <cstdio>
+
+#include "mediator/mediator.h"
+#include "workload/bibliographic.h"
+
+using namespace fusion;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  BibliographicSpec spec;
+  spec.num_libraries = 6;
+  spec.num_documents = 6000;
+  spec.record_width_factor = 40.0;  // abstracts, author lists, links...
+  auto instance = GenerateBibliographic(spec);
+  if (!instance.ok()) return Fail(instance.status());
+
+  const FusionQuery query = instance->query;
+  std::printf("libraries:");
+  for (const SimulatedSource* s : instance->simulated) {
+    std::printf(" %s(%zu docs, sjq=%s)", s->name().c_str(),
+                s->relation().size(),
+                SemijoinSupportName(s->capabilities().semijoin));
+  }
+  std::printf("\n\nsearch: %s\n\n", query.ToString().c_str());
+
+  Mediator mediator(std::move(instance->catalog));
+  MediatorOptions options;
+  options.statistics = StatisticsMode::kOracle;
+  options.strategy = OptimizerStrategy::kSjaPlus;
+
+  // Phase 1: fuse matching ids across libraries.
+  const auto answer = mediator.Answer(query, options);
+  if (!answer.ok()) return Fail(answer.status());
+  std::printf("phase 1: %zu matching documents, cost %.0f (%zu queries, "
+              "%zu semijoins emulated)\n",
+              answer->items.size(), answer->execution.ledger.total(),
+              answer->execution.ledger.num_queries(),
+              answer->execution.emulated_semijoins);
+
+  // Phase 2: page through full records, 5 at a time (like a result screen).
+  const std::vector<Value>& ids = answer->items.values();
+  double phase2_cost = 0;
+  size_t pages = 0;
+  for (size_t offset = 0; offset < ids.size(); offset += 5) {
+    ItemSet page(std::vector<Value>(
+        ids.begin() + static_cast<long>(offset),
+        ids.begin() + static_cast<long>(
+                          std::min(offset + 5, ids.size()))));
+    CostLedger ledger;
+    const auto records = mediator.FetchRecords(query, page, &ledger);
+    if (!records.ok()) return Fail(records.status());
+    phase2_cost += ledger.total();
+    ++pages;
+    if (pages == 1) {
+      std::printf("\nfirst page of results:\n");
+      for (size_t i = 0; i < std::min<size_t>(5, records->size()); ++i) {
+        const Tuple& t = records->tuple(i);
+        std::printf("  doc %s  %s, %s, %s\n", t[0].ToString().c_str(),
+                    t[1].ToString().c_str(), t[2].ToString().c_str(),
+                    t[3].ToString().c_str());
+      }
+    }
+  }
+  std::printf("\nphase 2: %zu pages fetched, total cost %.0f\n", pages,
+              phase2_cost);
+  std::printf("total (two-phase): %.0f\n",
+              answer->execution.ledger.total() + phase2_cost);
+
+  // Smarter phase 2: phase 1 already revealed which library returned each
+  // id, so the mediator can fetch from witnesses only (greedy set cover)
+  // instead of broadcasting every page to all libraries.
+  CostLedger witness_ledger;
+  const auto witness_records = mediator.FetchRecordsFromWitnesses(
+      query, answer->execution, &witness_ledger);
+  if (!witness_records.ok()) return Fail(witness_records.status());
+  std::printf("witness-based phase 2 (all matches in one pass): cost %.0f "
+              "for %zu records\n",
+              witness_ledger.total(), witness_records->size());
+  std::printf(
+      "\nA one-phase strategy would have shipped ~%.0fx-wide records for "
+      "every intermediate candidate — see bench_two_phase for the sweep.\n",
+      spec.record_width_factor);
+  return 0;
+}

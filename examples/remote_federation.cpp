@@ -1,0 +1,89 @@
+// A federation behind the wire: every source sits behind the FUSIONP/1
+// wrapper protocol (serialized requests/responses, as a real deployment
+// would run over sockets), so the mediator has no oracle access at all. A
+// QuerySession plans from priors, learns statistics from execution
+// feedback, and reuses cached answers — the full production configuration.
+#include <cstdio>
+#include <memory>
+
+#include "mediator/session.h"
+#include "protocol/remote_source.h"
+#include "protocol/source_server.h"
+#include "workload/dmv.h"
+
+using namespace fusion;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // "Deploy" 12 state DMVs as protocol servers.
+  DmvSpec spec;
+  spec.num_states = 12;
+  spec.num_drivers = 2500;
+  spec.violation_weights = {0.3, 6.0, 1.0, 6.0, 2.0};  // dui rare, sp common
+  spec.seed = 99;
+  auto instance = GenerateDmv(spec);
+  if (!instance.ok()) return Fail(instance.status());
+
+  std::vector<std::shared_ptr<SourceServer>> servers;
+  SourceCatalog remote_catalog;
+  for (const SimulatedSource* sim : instance->simulated) {
+    servers.push_back(std::make_shared<SourceServer>(
+        std::make_unique<SimulatedSource>(*sim)));
+    auto server = servers.back();
+    auto remote = RemoteSource::Connect(
+        [server](const std::string& request) {
+          return server->Handle(request);
+        });
+    if (!remote.ok()) return Fail(remote.status());
+    if (Status s = remote_catalog.Add(std::move(remote).value()); !s.ok()) {
+      return Fail(s);
+    }
+  }
+  std::printf("connected to %zu sources over FUSIONP/1\n\n",
+              remote_catalog.size());
+
+  // A session: no oracle statistics anywhere — priors, then feedback.
+  QuerySession::Options options;
+  options.strategy = OptimizerStrategy::kGreedySjaPlus;
+  options.default_cardinality = 2000;
+  options.default_universe = 3000;
+  QuerySession session(Mediator(std::move(remote_catalog)), options);
+
+  const char* queries[] = {
+      // The investigation escalates; conditions overlap across queries.
+      "SELECT u1.L FROM U u1, U u2 "
+      "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'",
+      "SELECT u1.L FROM U u1, U u2 "
+      "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'reckless'",
+      "SELECT u1.L FROM U u1, U u2, U u3 WHERE u1.L = u2.L AND u2.L = u3.L "
+      "AND u1.V = 'dui' AND u2.V = 'sp' AND u3.V = 'redlight'",
+      // Re-run of the first query: cache should make it nearly free.
+      "SELECT u1.L FROM U u1, U u2 "
+      "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'",
+  };
+
+  std::printf("%4s %10s %10s %10s %12s  %s\n", "#", "answers", "queries",
+              "cost", "cache hits", "plan class");
+  for (size_t i = 0; i < 4; ++i) {
+    const auto answer = session.AnswerSql(queries[i]);
+    if (!answer.ok()) return Fail(answer.status());
+    std::printf("%4zu %10zu %10zu %10.0f %12zu  %s\n", i + 1,
+                answer->items.size(),
+                answer->execution.ledger.num_queries(),
+                answer->execution.ledger.total(), session.cache().hits(),
+                PlanClassName(answer->optimized.plan_class));
+  }
+  std::printf(
+      "\nsession learned %zu (source, condition) statistics; query 4 reused "
+      "query 1's answers from the cache.\n",
+      session.observed_conditions());
+  return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef FUSION_CLI_CATALOG_CONFIG_H_
+#define FUSION_CLI_CATALOG_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "source/capabilities.h"
+#include "source/catalog.h"
+
+namespace fusion {
+
+/// Declarative description of one source in a catalog config file.
+struct SourceSpecConfig {
+  std::string name;
+  std::string csv_path;  // relative to the config file's directory
+  Capabilities capabilities;
+  NetworkProfile network;
+};
+
+/// Parses the fusionq catalog configuration format — INI-style sections,
+/// one per source:
+///
+///   [source R1]
+///   csv = dmv_r1.csv
+///   semijoin = native        # native | bindings | none
+///   load = yes               # yes | no
+///   overhead = 10
+///   send = 1
+///   recv = 1
+///   proc = 0.01
+///   width = 3
+///
+/// Unknown keys are errors; omitted cost keys keep NetworkProfile defaults.
+/// Lines starting with '#' (or blank) are ignored; inline `# comments` after
+/// values are stripped.
+Result<std::vector<SourceSpecConfig>> ParseCatalogConfig(
+    const std::string& text);
+
+/// Builds a live catalog from a parsed config: reads each CSV (resolved
+/// against `base_dir` unless absolute) and wraps it in a SimulatedSource.
+Result<SourceCatalog> LoadCatalog(const std::vector<SourceSpecConfig>& specs,
+                                  const std::string& base_dir);
+
+/// Convenience: read + parse + load in one call. `path`'s directory becomes
+/// the base for relative CSV paths.
+Result<SourceCatalog> LoadCatalogFromFile(const std::string& path);
+
+}  // namespace fusion
+
+#endif  // FUSION_CLI_CATALOG_CONFIG_H_

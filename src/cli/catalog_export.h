@@ -1,0 +1,20 @@
+#ifndef FUSION_CLI_CATALOG_EXPORT_H_
+#define FUSION_CLI_CATALOG_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "source/catalog.h"
+
+namespace fusion {
+
+/// Writes a catalog of simulated sources to `dir` in the fusionq on-disk
+/// format: one `<name>.csv` per source plus a `catalog.ini` describing the
+/// capability and network profiles. The output round-trips through
+/// LoadCatalogFromFile. `dir` must already exist. Fails if any source is not
+/// a SimulatedSource (only simulated sources expose their relations).
+Status ExportCatalog(const SourceCatalog& catalog, const std::string& dir);
+
+}  // namespace fusion
+
+#endif  // FUSION_CLI_CATALOG_EXPORT_H_

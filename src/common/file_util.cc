@@ -1,0 +1,39 @@
+#include "common/file_util.h"
+
+#include <cstdio>
+
+namespace fusion {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::string out;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return Status::Internal("error reading file: " + path);
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool flush_error = std::fclose(f) != 0;
+  if (written != content.size() || flush_error) {
+    return Status::Internal("error writing file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace fusion

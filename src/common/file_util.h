@@ -1,0 +1,18 @@
+#ifndef FUSION_COMMON_FILE_UTIL_H_
+#define FUSION_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace fusion {
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes (replaces) a file with the given contents.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace fusion
+
+#endif  // FUSION_COMMON_FILE_UTIL_H_

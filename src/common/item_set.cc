@@ -1,0 +1,65 @@
+#include "common/item_set.h"
+
+#include <algorithm>
+
+namespace fusion {
+
+ItemSet::ItemSet(std::vector<Value> values) : values_(std::move(values)) {
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+}
+
+ItemSet ItemSet::FromSortedUnique(std::vector<Value> sorted_unique) {
+  ItemSet out;
+  out.values_ = std::move(sorted_unique);
+  return out;
+}
+
+bool ItemSet::Contains(const Value& v) const {
+  return std::binary_search(values_.begin(), values_.end(), v);
+}
+
+bool ItemSet::Insert(const Value& v) {
+  auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it != values_.end() && *it == v) return false;
+  values_.insert(it, v);
+  return true;
+}
+
+ItemSet ItemSet::Union(const ItemSet& a, const ItemSet& b) {
+  std::vector<Value> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return FromSortedUnique(std::move(out));
+}
+
+ItemSet ItemSet::Intersect(const ItemSet& a, const ItemSet& b) {
+  std::vector<Value> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return FromSortedUnique(std::move(out));
+}
+
+ItemSet ItemSet::Difference(const ItemSet& a, const ItemSet& b) {
+  std::vector<Value> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return FromSortedUnique(std::move(out));
+}
+
+bool ItemSet::IsSubsetOf(const ItemSet& other) const {
+  return std::includes(other.begin(), other.end(), begin(), end());
+}
+
+std::string ItemSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fusion

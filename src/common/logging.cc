@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+namespace fusion {
+namespace internal_logging {
+namespace {
+
+LogSeverity g_min_severity = LogSeverity::kWarning;
+
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace fusion

@@ -1,0 +1,61 @@
+#ifndef FUSION_COMMON_LOGGING_H_
+#define FUSION_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fusion {
+namespace internal_logging {
+
+/// Severity levels for FUSION_LOG.
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Global minimum severity; messages below it are swallowed. Defaults to
+/// kWarning so library code is quiet unless something is wrong.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace internal_logging
+}  // namespace fusion
+
+#define FUSION_LOG(severity)                                     \
+  ::fusion::internal_logging::LogMessage(                        \
+      ::fusion::internal_logging::LogSeverity::k##severity,      \
+      __FILE__, __LINE__)                                        \
+      .stream()
+
+/// Invariant check: always on (benchmark binaries included), aborts with a
+/// message on failure. Use for programming errors, not data errors.
+#define FUSION_CHECK(cond)                                            \
+  if (!(cond))                                                        \
+  ::fusion::internal_logging::LogMessage(                             \
+      ::fusion::internal_logging::LogSeverity::kFatal, __FILE__,      \
+      __LINE__)                                                       \
+      .stream()                                                       \
+      << "Check failed: " #cond " "
+
+#define FUSION_CHECK_OK(status_expr)                        \
+  do {                                                      \
+    const ::fusion::Status fusion_check_s_ = (status_expr); \
+    FUSION_CHECK(fusion_check_s_.ok()) << fusion_check_s_.ToString(); \
+  } while (false)
+
+#endif  // FUSION_COMMON_LOGGING_H_

@@ -1,0 +1,53 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fusion {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += (w > 0 ? w : 0);
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0;
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double theta) {
+  cdf_.resize(n);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double r = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace fusion

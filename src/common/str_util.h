@@ -1,0 +1,34 @@
+#ifndef FUSION_COMMON_STR_UTIL_H_
+#define FUSION_COMMON_STR_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fusion {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `sep` (single character). Keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace fusion
+
+#endif  // FUSION_COMMON_STR_UTIL_H_

@@ -1,0 +1,23 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+
+namespace fusion {
+
+bool CheckSubadditivity(const CostModel& model, size_t cond, size_t source,
+                        double x_size) {
+  const double whole = model.SjqCost(cond, source, SetEstimate::Approx(x_size));
+  if (std::isinf(whole)) return true;  // infinite everywhere: vacuous
+  // Deterministic splits at several ratios; subadditivity must hold for each.
+  for (double frac : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const double y = x_size * frac;
+    const double z = x_size - y;
+    const double split = model.SjqCost(cond, source, SetEstimate::Approx(y)) +
+                         model.SjqCost(cond, source, SetEstimate::Approx(z));
+    // Tolerate tiny floating-point slack.
+    if (whole > split * (1.0 + 1e-9) + 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace fusion

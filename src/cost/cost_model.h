@@ -1,0 +1,69 @@
+#ifndef FUSION_COST_COST_MODEL_H_
+#define FUSION_COST_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "cost/set_estimate.h"
+
+namespace fusion {
+
+/// The planning-time cost oracle used by the FILTER / SJ / SJA optimizers:
+/// the paper's sq_cost(c_i, R_j) and sjq_cost(c_i, R_j, X) functions, plus
+/// lq_cost for SJA+ and the cardinality estimates needed to propagate the
+/// size of the intermediate sets X_i along a candidate plan.
+///
+/// Conditions and sources are addressed by index: `cond` in
+/// [0, num_conditions), `source` in [0, num_sources), fixed at construction
+/// (a model instance is specific to one query over one catalog).
+///
+/// The model must satisfy the paper's assumptions (Section 2.4):
+///  - all costs are non-negative;
+///  - semijoin cost is subadditive in the semijoin set
+///    (cost(X=Y∪Z) <= cost(Y) + cost(Z));
+///  - a semijoin that cannot be processed at a source (even by emulation)
+///    has infinite cost.
+/// `CheckSubadditivity` in this header spot-checks the second property.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual size_t num_conditions() const = 0;
+  virtual size_t num_sources() const = 0;
+
+  /// Estimated number of distinct merge values in existence; used to combine
+  /// scalar set estimates under the independence assumption.
+  virtual double universe_size() const = 0;
+
+  /// Estimated cost of sq(c_cond, R_source).
+  virtual double SqCost(size_t cond, size_t source) const = 0;
+
+  /// Estimated cost of sjq(c_cond, R_source, X). Reflects the source's
+  /// semijoin capability: native one-round-trip cost, per-binding emulation
+  /// cost, or +infinity when unsupported.
+  virtual double SjqCost(size_t cond, size_t source,
+                         const SetEstimate& x) const = 0;
+
+  /// Estimated cost of lq(R_source); +infinity if the source refuses loads.
+  virtual double LqCost(size_t source) const = 0;
+
+  /// Estimated result of sq(c_cond, R_source).
+  virtual SetEstimate SqResult(size_t cond, size_t source) const = 0;
+
+  /// Estimated result of sjq(c_cond, R_source, X).
+  virtual SetEstimate SjqResult(size_t cond, size_t source,
+                                const SetEstimate& x) const = 0;
+
+  /// Estimated cost of fetching full records for `item_count` items in the
+  /// second phase of two-phase processing.
+  virtual double FetchCost(size_t source, double item_count) const = 0;
+};
+
+/// Spot-checks semijoin subadditivity for a (cond, source) pair over a few
+/// random splits X = Y ∪ Z of sizes summing to `x_size`. Returns true when
+/// no violation is found.
+bool CheckSubadditivity(const CostModel& model, size_t cond, size_t source,
+                        double x_size);
+
+}  // namespace fusion
+
+#endif  // FUSION_COST_COST_MODEL_H_

@@ -1,0 +1,100 @@
+#include "cost/oracle_cost_model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace fusion {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Result<OracleCostModel> OracleCostModel::Create(
+    const std::vector<const SimulatedSource*>& sources,
+    const FusionQuery& query) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("oracle cost model needs sources");
+  }
+  OracleCostModel model;
+  model.sources_ = sources;
+  const size_t m = query.num_conditions();
+  model.satisfying_.resize(m);
+  ItemSet universe;
+  for (const SimulatedSource* s : sources) {
+    FUSION_ASSIGN_OR_RETURN(
+        ItemSet all,
+        s->relation().SelectItems(Condition::True(), query.merge_attribute()));
+    universe = ItemSet::Union(universe, all);
+  }
+  model.universe_size_ =
+      std::max<double>(1.0, static_cast<double>(universe.size()));
+  for (size_t i = 0; i < m; ++i) {
+    model.satisfying_[i].reserve(sources.size());
+    for (const SimulatedSource* s : sources) {
+      FUSION_ASSIGN_OR_RETURN(ItemSet items,
+                              s->relation().SelectItems(
+                                  query.conditions()[i],
+                                  query.merge_attribute()));
+      model.satisfying_[i].push_back(std::move(items));
+    }
+  }
+  return model;
+}
+
+double OracleCostModel::SqCost(size_t cond, size_t source) const {
+  return sources_[source]->SelectCost(satisfying_[cond][source].size());
+}
+
+double OracleCostModel::SjqCost(size_t cond, size_t source,
+                                const SetEstimate& x) const {
+  const SimulatedSource& s = *sources_[source];
+  const SetEstimate result = SjqResult(cond, source, x);
+  switch (s.capabilities().semijoin) {
+    case SemijoinSupport::kNative:
+      return s.SemiJoinCost(static_cast<size_t>(x.size + 0.5),
+                            static_cast<size_t>(result.size + 0.5));
+    case SemijoinSupport::kPassedBindingsOnly: {
+      // One selection probe per binding (matches executor emulation).
+      const double per_probe =
+          s.network().query_overhead +
+          s.network().processing_per_tuple *
+              static_cast<double>(s.relation().size());
+      return x.size * per_probe +
+             s.network().cost_per_item_received * result.size;
+    }
+    case SemijoinSupport::kUnsupported:
+      return kInf;
+  }
+  return kInf;
+}
+
+double OracleCostModel::LqCost(size_t source) const {
+  if (!sources_[source]->capabilities().supports_load) return kInf;
+  return sources_[source]->LoadCost();
+}
+
+SetEstimate OracleCostModel::SqResult(size_t cond, size_t source) const {
+  return SetEstimate::Exact(satisfying_[cond][source]);
+}
+
+SetEstimate OracleCostModel::SjqResult(size_t cond, size_t source,
+                                       const SetEstimate& x) const {
+  if (x.is_exact()) {
+    return SetEstimate::Exact(
+        ItemSet::Intersect(*x.exact, satisfying_[cond][source]));
+  }
+  const double p = std::min(
+      1.0, static_cast<double>(satisfying_[cond][source].size()) /
+               universe_size_);
+  return SetEstimate::Approx(x.size * p);
+}
+
+double OracleCostModel::FetchCost(size_t source, double item_count) const {
+  // Upper-bound: assume every requested item has a record at the source.
+  return sources_[source]->FetchCost(
+      static_cast<size_t>(item_count + 0.5),
+      static_cast<size_t>(item_count + 0.5));
+}
+
+}  // namespace fusion

@@ -1,0 +1,56 @@
+#ifndef FUSION_COST_ORACLE_COST_MODEL_H_
+#define FUSION_COST_ORACLE_COST_MODEL_H_
+
+#include <vector>
+
+#include "common/item_set.h"
+#include "cost/cost_model.h"
+#include "query/fusion_query.h"
+#include "source/simulated_source.h"
+
+namespace fusion {
+
+/// A perfect-information cost model for controlled experiments: it peeks at
+/// the simulated sources' relations and computes, for every (condition,
+/// source) pair, the *exact* satisfying item set. Estimated costs therefore
+/// equal the costs SimulatedSource meters at execution time, operation by
+/// operation — which lets tests assert `estimated == actual` and lets
+/// benchmarks isolate plan quality from estimation error.
+class OracleCostModel : public CostModel {
+ public:
+  /// Builds the oracle for `query` over `sources`. The pointers must outlive
+  /// the model. Fails if a condition references unknown attributes.
+  static Result<OracleCostModel> Create(
+      const std::vector<const SimulatedSource*>& sources,
+      const FusionQuery& query);
+
+  size_t num_conditions() const override { return satisfying_.size(); }
+  size_t num_sources() const override { return sources_.size(); }
+  double universe_size() const override { return universe_size_; }
+
+  double SqCost(size_t cond, size_t source) const override;
+  double SjqCost(size_t cond, size_t source,
+                 const SetEstimate& x) const override;
+  double LqCost(size_t source) const override;
+  SetEstimate SqResult(size_t cond, size_t source) const override;
+  SetEstimate SjqResult(size_t cond, size_t source,
+                        const SetEstimate& x) const override;
+  double FetchCost(size_t source, double item_count) const override;
+
+  /// Exact set of items satisfying condition `cond` at source `source`.
+  const ItemSet& satisfying(size_t cond, size_t source) const {
+    return satisfying_[cond][source];
+  }
+
+ private:
+  OracleCostModel() = default;
+
+  std::vector<const SimulatedSource*> sources_;
+  // satisfying_[cond][source] = exact sq(c_cond, R_source) item set.
+  std::vector<std::vector<ItemSet>> satisfying_;
+  double universe_size_ = 1.0;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_COST_ORACLE_COST_MODEL_H_

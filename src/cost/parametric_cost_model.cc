@@ -1,0 +1,92 @@
+#include "cost/parametric_cost_model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fusion {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ParametricCostModel::ParametricCostModel(std::vector<SourceParams> sources,
+                                         double universe_size)
+    : sources_(std::move(sources)),
+      universe_size_(universe_size < 1.0 ? 1.0 : universe_size) {
+  FUSION_CHECK(!sources_.empty()) << "cost model needs at least one source";
+  for (const SourceParams& p : sources_) {
+    FUSION_CHECK(p.result_size.size() == sources_[0].result_size.size())
+        << "all sources must estimate the same number of conditions";
+  }
+}
+
+size_t ParametricCostModel::num_conditions() const {
+  return sources_[0].result_size.size();
+}
+
+double ParametricCostModel::SqCost(size_t cond, size_t source) const {
+  const SourceParams& p = sources_[source];
+  return p.network.query_overhead +
+         p.network.processing_per_tuple * p.cardinality +
+         p.network.cost_per_item_received * p.result_size[cond];
+}
+
+double ParametricCostModel::SjqCost(size_t cond, size_t source,
+                                    const SetEstimate& x) const {
+  const SourceParams& p = sources_[source];
+  const double result = SjqResult(cond, source, x).size;
+  switch (p.capabilities.semijoin) {
+    case SemijoinSupport::kNative:
+      return p.network.query_overhead +
+             p.network.cost_per_item_sent * x.size +
+             p.network.processing_per_tuple * p.cardinality +
+             p.network.cost_per_item_received * result;
+    case SemijoinSupport::kPassedBindingsOnly:
+      // Emulated: one `c AND M = m` selection per binding, each paying the
+      // full query overhead and a source scan (matches executor metering).
+      return x.size * (p.network.query_overhead +
+                       p.network.processing_per_tuple * p.cardinality) +
+             p.network.cost_per_item_received * result;
+    case SemijoinSupport::kUnsupported:
+      return kInf;
+  }
+  return kInf;
+}
+
+double ParametricCostModel::LqCost(size_t source) const {
+  const SourceParams& p = sources_[source];
+  if (!p.capabilities.supports_load) return kInf;
+  return p.network.query_overhead +
+         p.network.processing_per_tuple * p.cardinality +
+         p.network.cost_per_item_received * p.network.record_width_factor *
+             p.cardinality;
+}
+
+SetEstimate ParametricCostModel::SqResult(size_t cond, size_t source) const {
+  return SetEstimate::Approx(sources_[source].result_size[cond]);
+}
+
+SetEstimate ParametricCostModel::SjqResult(size_t cond, size_t source,
+                                           const SetEstimate& x) const {
+  // Independence: a random universe item satisfies c at R_source with
+  // probability result_size / universe.
+  const double p = std::min(1.0, sources_[source].result_size[cond] /
+                                     universe_size_);
+  return SetEstimate::Approx(x.size * p);
+}
+
+double ParametricCostModel::FetchCost(size_t source, double item_count) const {
+  const SourceParams& p = sources_[source];
+  // Expected number of this source's records matching a random item.
+  const double hit_rate = std::min(1.0, p.cardinality / universe_size_);
+  return p.network.query_overhead +
+         p.network.cost_per_item_sent * item_count +
+         p.network.processing_per_tuple * p.cardinality +
+         p.network.cost_per_item_received * p.network.record_width_factor *
+             item_count * hit_rate;
+}
+
+}  // namespace fusion

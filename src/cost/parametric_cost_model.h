@@ -1,0 +1,57 @@
+#ifndef FUSION_COST_PARAMETRIC_COST_MODEL_H_
+#define FUSION_COST_PARAMETRIC_COST_MODEL_H_
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "source/capabilities.h"
+
+namespace fusion {
+
+/// Planning-time knowledge about one source: its capability and network
+/// profiles plus statistical estimates (cardinality, per-condition result
+/// sizes). Produced either from oracle statistics or from sampling-based
+/// calibration (src/stats).
+struct SourceParams {
+  Capabilities capabilities;
+  NetworkProfile network;
+  /// Estimated |R_j| (tuples).
+  double cardinality = 0.0;
+  /// Estimated number of distinct merge values satisfying each condition at
+  /// this source: result_size[i] ~ |sq(c_i, R_j)|.
+  std::vector<double> result_size;
+};
+
+/// The standard cost model: per-source network cost formulas applied to
+/// statistical estimates. Mirrors exactly the charging rules of
+/// SimulatedSource, so with perfect statistics its costs agree with metered
+/// execution (property exercised by tests and bench_cost_fidelity).
+class ParametricCostModel : public CostModel {
+ public:
+  /// `universe_size` is the estimated number of distinct merge values across
+  /// all sources (used for independence-based intersections).
+  ParametricCostModel(std::vector<SourceParams> sources, double universe_size);
+
+  size_t num_conditions() const override;
+  size_t num_sources() const override { return sources_.size(); }
+  double universe_size() const override { return universe_size_; }
+
+  double SqCost(size_t cond, size_t source) const override;
+  double SjqCost(size_t cond, size_t source,
+                 const SetEstimate& x) const override;
+  double LqCost(size_t source) const override;
+  SetEstimate SqResult(size_t cond, size_t source) const override;
+  SetEstimate SjqResult(size_t cond, size_t source,
+                        const SetEstimate& x) const override;
+  double FetchCost(size_t source, double item_count) const override;
+
+  const SourceParams& params(size_t source) const { return sources_[source]; }
+
+ private:
+  std::vector<SourceParams> sources_;
+  double universe_size_;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_COST_PARAMETRIC_COST_MODEL_H_

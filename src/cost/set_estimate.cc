@@ -1,0 +1,53 @@
+#include "cost/set_estimate.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace fusion {
+namespace {
+
+double SafeUniverse(double universe_size) {
+  return universe_size < 1.0 ? 1.0 : universe_size;
+}
+
+}  // namespace
+
+std::string SetEstimate::ToString() const {
+  if (is_exact()) {
+    return StrFormat("exact|%zu|", exact->size());
+  }
+  return StrFormat("approx|%.3g|", size);
+}
+
+SetEstimate UnionEstimate(const SetEstimate& a, const SetEstimate& b,
+                          double universe_size) {
+  if (a.is_exact() && b.is_exact()) {
+    return SetEstimate::Exact(ItemSet::Union(*a.exact, *b.exact));
+  }
+  const double u = SafeUniverse(universe_size);
+  const double est = a.size + b.size - a.size * b.size / u;
+  return SetEstimate::Approx(std::min(est, u));
+}
+
+SetEstimate IntersectEstimate(const SetEstimate& a, const SetEstimate& b,
+                              double universe_size) {
+  if (a.is_exact() && b.is_exact()) {
+    return SetEstimate::Exact(ItemSet::Intersect(*a.exact, *b.exact));
+  }
+  const double u = SafeUniverse(universe_size);
+  const double est = a.size * b.size / u;
+  return SetEstimate::Approx(std::min(est, std::min(a.size, b.size)));
+}
+
+SetEstimate DifferenceEstimate(const SetEstimate& a, const SetEstimate& b,
+                               double universe_size) {
+  if (a.is_exact() && b.is_exact()) {
+    return SetEstimate::Exact(ItemSet::Difference(*a.exact, *b.exact));
+  }
+  const double u = SafeUniverse(universe_size);
+  const double est = a.size * (1.0 - b.size / u);
+  return SetEstimate::Approx(std::max(0.0, std::min(est, a.size)));
+}
+
+}  // namespace fusion

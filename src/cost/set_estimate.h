@@ -1,0 +1,47 @@
+#ifndef FUSION_COST_SET_ESTIMATE_H_
+#define FUSION_COST_SET_ESTIMATE_H_
+
+#include <optional>
+#include <string>
+
+#include "common/item_set.h"
+
+namespace fusion {
+
+/// The optimizer's knowledge about an intermediate item set (an X_i variable):
+/// always a size estimate; under an oracle cost model also the exact set, so
+/// the estimated plan cost equals the metered execution cost.
+struct SetEstimate {
+  double size = 0.0;
+  std::optional<ItemSet> exact;
+
+  static SetEstimate Exact(ItemSet set) {
+    SetEstimate e;
+    e.size = static_cast<double>(set.size());
+    e.exact = std::move(set);
+    return e;
+  }
+  static SetEstimate Approx(double size) {
+    SetEstimate e;
+    e.size = size < 0 ? 0 : size;
+    return e;
+  }
+
+  bool is_exact() const { return exact.has_value(); }
+  std::string ToString() const;
+};
+
+/// Set algebra over estimates. When both operands are exact the result is
+/// exact; otherwise sizes combine under the independence assumption over a
+/// universe of `universe_size` items:
+///   |A ∩ B| ≈ |A||B|/U,  |A ∪ B| ≈ |A|+|B|-|A||B|/U,  |A − B| ≈ |A|(1-|B|/U).
+SetEstimate UnionEstimate(const SetEstimate& a, const SetEstimate& b,
+                          double universe_size);
+SetEstimate IntersectEstimate(const SetEstimate& a, const SetEstimate& b,
+                              double universe_size);
+SetEstimate DifferenceEstimate(const SetEstimate& a, const SetEstimate& b,
+                               double universe_size);
+
+}  // namespace fusion
+
+#endif  // FUSION_COST_SET_ESTIMATE_H_

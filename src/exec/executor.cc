@@ -1,0 +1,301 @@
+#include "exec/executor.h"
+
+#include <optional>
+#include <vector>
+
+namespace fusion {
+namespace {
+
+/// Runs `fn` up to `max_attempts` times, retrying only transient
+/// (kInternal) failures. Returns the last result either way.
+template <typename Fn>
+auto CallWithRetries(Fn fn, int max_attempts) -> decltype(fn()) {
+  auto result = fn();
+  for (int attempt = 1; attempt < max_attempts && !result.ok() &&
+                        result.status().code() == StatusCode::kInternal;
+       ++attempt) {
+    result = fn();
+  }
+  return result;
+}
+
+/// Emulates sjq(cond, source, candidates) with one passed-binding selection
+/// per candidate. Probe charges are re-tagged so reports distinguish native
+/// semijoins from emulated ones.
+Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
+                                const std::string& merge_attribute,
+                                const ItemSet& candidates, int max_attempts,
+                                CostLedger& ledger);
+
+Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
+                                const std::string& merge_attribute,
+                                const ItemSet& candidates, int max_attempts,
+                                CostLedger& ledger) {
+  ItemSet result;
+  for (const Value& item : candidates) {
+    const Condition probe =
+        Condition::And(cond, Condition::Eq(merge_attribute, item));
+    CostLedger local;
+    FUSION_ASSIGN_OR_RETURN(
+        ItemSet part,
+        CallWithRetries(
+            [&] { return source.Select(probe, merge_attribute, &local); },
+            max_attempts));
+    for (Charge charge : local.charges()) {
+      charge.kind = ChargeKind::kEmulatedSemiJoinProbe;
+      ledger.Add(std::move(charge));
+    }
+    result = ItemSet::Union(result, part);
+  }
+  return result;
+}
+
+/// Shared interpreter for eager and lazy execution. In lazy mode, variables
+/// are evaluated on demand starting from the plan result, and empty
+/// accumulators cut off remaining operand subtrees.
+class PlanInterpreter {
+ public:
+  PlanInterpreter(const Plan& plan, const SourceCatalog& catalog,
+                  const FusionQuery& query, const ExecOptions& options,
+                  ExecutionReport& report)
+      : plan_(plan),
+        catalog_(catalog),
+        query_(query),
+        options_(options),
+        report_(report) {
+    report_.per_source_items.assign(catalog.size(), ItemSet());
+    report_.per_op_cost.assign(plan.num_ops(), 0.0);
+    items_.resize(plan.vars().size());
+    relations_.resize(plan.vars().size());
+    defining_op_.assign(plan.vars().size(), -1);
+    for (size_t k = 0; k < plan.ops().size(); ++k) {
+      defining_op_[static_cast<size_t>(plan.ops()[k].target)] =
+          static_cast<int>(k);
+    }
+  }
+
+  Status RunEager() {
+    for (size_t k = 0; k < plan_.ops().size(); ++k) {
+      FUSION_RETURN_IF_ERROR(EvalOp(k, /*lazy=*/false));
+    }
+    report_.answer = *items_[plan_.result()];
+    return Status::Ok();
+  }
+
+  Status RunLazy() {
+    FUSION_RETURN_IF_ERROR(EvalVar(plan_.result(), /*lazy=*/true));
+    report_.answer = *items_[plan_.result()];
+    // Everything never demanded counts as skipped, plus ops that were
+    // answered locally without their source call.
+    report_.skipped_ops = short_circuited_;
+    for (size_t k = 0; k < plan_.ops().size(); ++k) {
+      const int target = plan_.ops()[k].target;
+      if (!items_[target].has_value() && !relations_[target].has_value()) {
+        ++report_.skipped_ops;
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  /// Ensures the op defining `var` has run (recursively, in lazy mode).
+  Status EvalVar(int var, bool lazy) {
+    if (items_[var].has_value() || relations_[var].has_value()) {
+      return Status::Ok();
+    }
+    return EvalOp(static_cast<size_t>(defining_op_[var]), lazy);
+  }
+
+  Status EvalOp(size_t k, bool lazy) {
+    const PlanOp& op = plan_.ops()[k];
+    if (items_[op.target].has_value() || relations_[op.target].has_value()) {
+      return Status::Ok();
+    }
+    // Attribute only this op's direct charges: nested evaluations (lazy
+    // mode) book their own costs, which `attributed_` subtracts out.
+    const double unattributed_before = report_.ledger.total() - attributed_;
+    FUSION_RETURN_IF_ERROR(EvalOpBody(op, lazy));
+    const double own_cost =
+        (report_.ledger.total() - attributed_) - unattributed_before;
+    report_.per_op_cost[k] = own_cost;
+    attributed_ += own_cost;
+    return Status::Ok();
+  }
+
+  Status EvalOpBody(const PlanOp& op, bool lazy) {
+    switch (op.kind) {
+      case PlanOpKind::kSelect: {
+        SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
+        const Condition& cond =
+            query_.conditions()[static_cast<size_t>(op.cond)];
+        std::string cache_key;
+        if (options_.cache != nullptr) {
+          cache_key = cond.ToString();
+          const ItemSet* cached = options_.cache->Lookup(
+              static_cast<size_t>(op.source), cache_key);
+          if (cached != nullptr) {
+            Observe(op.source, *cached);  // witness knowledge stays valid
+            items_[op.target] = *cached;  // free: answered from the memo
+            break;
+          }
+        }
+        FUSION_ASSIGN_OR_RETURN(
+            ItemSet result,
+            CallWithRetries(
+                [&] {
+                  return src.Select(cond, query_.merge_attribute(),
+                                    &report_.ledger);
+                },
+                options_.max_attempts));
+        if (options_.cache != nullptr) {
+          options_.cache->Insert(static_cast<size_t>(op.source),
+                                 std::move(cache_key), result);
+        }
+        Observe(op.source, result);
+        items_[op.target] = std::move(result);
+        break;
+      }
+      case PlanOpKind::kSemiJoin: {
+        if (lazy) FUSION_RETURN_IF_ERROR(EvalVar(op.input, lazy));
+        const ItemSet& candidates = *items_[op.input];
+        if (lazy && candidates.empty()) {
+          items_[op.target] = ItemSet();  // ∅ semijoin needs no source call
+          ++short_circuited_;
+          break;
+        }
+        SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
+        const Condition& cond =
+            query_.conditions()[static_cast<size_t>(op.cond)];
+        switch (src.capabilities().semijoin) {
+          case SemijoinSupport::kNative: {
+            FUSION_ASSIGN_OR_RETURN(
+                ItemSet result,
+                CallWithRetries(
+                    [&] {
+                      return src.SemiJoin(cond, query_.merge_attribute(),
+                                          candidates, &report_.ledger);
+                    },
+                    options_.max_attempts));
+            Observe(op.source, result);
+            items_[op.target] = std::move(result);
+            break;
+          }
+          case SemijoinSupport::kPassedBindingsOnly: {
+            FUSION_ASSIGN_OR_RETURN(
+                ItemSet result,
+                EmulateSemiJoin(src, cond, query_.merge_attribute(),
+                                candidates, options_.max_attempts,
+                                report_.ledger));
+            Observe(op.source, result);
+            items_[op.target] = std::move(result);
+            ++report_.emulated_semijoins;
+            break;
+          }
+          case SemijoinSupport::kUnsupported:
+            return Status::Unsupported(
+                "plan issues a semijoin to source '" + src.name() +
+                "', which cannot process semijoins even by emulation");
+        }
+        break;
+      }
+      case PlanOpKind::kLoad: {
+        SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
+        FUSION_ASSIGN_OR_RETURN(
+            Relation loaded,
+            CallWithRetries([&] { return src.Load(&report_.ledger); },
+                            options_.max_attempts));
+        FUSION_ASSIGN_OR_RETURN(
+            ItemSet all_items,
+            loaded.SelectItems(Condition::True(), query_.merge_attribute()));
+        Observe(op.source, all_items);
+        relations_[op.target] = std::move(loaded);
+        break;
+      }
+      case PlanOpKind::kLocalSelect: {
+        if (lazy) FUSION_RETURN_IF_ERROR(EvalVar(op.input, lazy));
+        if (!relations_[op.input].has_value()) {
+          return Status::Internal("local select over unloaded relation var");
+        }
+        FUSION_ASSIGN_OR_RETURN(
+            ItemSet result,
+            relations_[op.input]->SelectItems(
+                query_.conditions()[static_cast<size_t>(op.cond)],
+                query_.merge_attribute()));
+        items_[op.target] = std::move(result);
+        break;
+      }
+      case PlanOpKind::kUnion: {
+        ItemSet acc;
+        for (int v : op.inputs) {
+          if (lazy) FUSION_RETURN_IF_ERROR(EvalVar(v, lazy));
+          acc = ItemSet::Union(acc, *items_[v]);
+        }
+        items_[op.target] = std::move(acc);
+        break;
+      }
+      case PlanOpKind::kIntersect: {
+        std::optional<ItemSet> acc;
+        for (int v : op.inputs) {
+          if (lazy && acc.has_value() && acc->empty()) {
+            break;  // sound cut: ∅ ∩ anything = ∅; skip remaining subtrees
+          }
+          if (lazy) FUSION_RETURN_IF_ERROR(EvalVar(v, lazy));
+          acc = acc.has_value() ? ItemSet::Intersect(*acc, *items_[v])
+                                : *items_[v];
+        }
+        items_[op.target] = std::move(*acc);
+        break;
+      }
+      case PlanOpKind::kDifference: {
+        if (lazy) FUSION_RETURN_IF_ERROR(EvalVar(op.inputs[0], lazy));
+        const ItemSet& lhs = *items_[op.inputs[0]];
+        if (lazy && lhs.empty()) {
+          items_[op.target] = ItemSet();  // ∅ − X = ∅; skip rhs subtree
+          break;
+        }
+        if (lazy) FUSION_RETURN_IF_ERROR(EvalVar(op.inputs[1], lazy));
+        items_[op.target] = ItemSet::Difference(lhs, *items_[op.inputs[1]]);
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  void Observe(int source, const ItemSet& received) {
+    ItemSet& known = report_.per_source_items[static_cast<size_t>(source)];
+    known = ItemSet::Union(known, received);
+  }
+
+  const Plan& plan_;
+  const SourceCatalog& catalog_;
+  const FusionQuery& query_;
+  const ExecOptions& options_;
+  ExecutionReport& report_;
+  std::vector<std::optional<ItemSet>> items_;
+  std::vector<std::optional<Relation>> relations_;
+  std::vector<int> defining_op_;
+  size_t short_circuited_ = 0;
+  double attributed_ = 0.0;  // ledger cost already assigned to some op
+};
+
+}  // namespace
+
+Result<ExecutionReport> ExecutePlan(const Plan& plan,
+                                    const SourceCatalog& catalog,
+                                    const FusionQuery& query,
+                                    const ExecOptions& options) {
+  FUSION_RETURN_IF_ERROR(plan.Validate(query.num_conditions(), catalog.size()));
+  ExecutionReport report;
+  PlanInterpreter interpreter(plan, catalog, query, options, report);
+  FUSION_RETURN_IF_ERROR(options.lazy_short_circuit ? interpreter.RunLazy()
+                                                    : interpreter.RunEager());
+  return report;
+}
+
+Result<ExecutionReport> ExecutePlan(const Plan& plan,
+                                    const SourceCatalog& catalog,
+                                    const FusionQuery& query) {
+  return ExecutePlan(plan, catalog, query, ExecOptions{});
+}
+
+}  // namespace fusion

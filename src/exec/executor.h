@@ -1,0 +1,74 @@
+#ifndef FUSION_EXEC_EXECUTOR_H_
+#define FUSION_EXEC_EXECUTOR_H_
+
+#include "common/item_set.h"
+#include "common/status.h"
+#include "plan/plan.h"
+#include "query/fusion_query.h"
+#include "source/catalog.h"
+#include "exec/source_call_cache.h"
+#include "source/cost_ledger.h"
+
+namespace fusion {
+
+/// What actually happened when a plan ran against live sources.
+struct ExecutionReport {
+  ItemSet answer;
+  CostLedger ledger;
+  /// Semijoin ops that had to be emulated with per-binding selections
+  /// because the source lacks native semijoin support.
+  size_t emulated_semijoins = 0;
+  /// Ops never evaluated thanks to lazy short-circuiting (0 when eager).
+  size_t skipped_ops = 0;
+  /// Metered cost of each plan op, aligned with Plan::ops() (an emulated
+  /// semijoin's probe charges are summed into its op). Lets the
+  /// response-time analyzer compute the *measured* parallel makespan:
+  /// ComputeResponseTime(plan, report.per_op_cost).
+  std::vector<double> per_op_cost;
+  /// Witness knowledge gathered for free during execution: per source (by
+  /// catalog index), the merge values this source was observed to hold —
+  /// every item a source returned provably has a record there. Used by the
+  /// second-phase fetch planner to avoid asking every source.
+  std::vector<ItemSet> per_source_items;
+};
+
+/// Runtime options for plan execution.
+struct ExecOptions {
+  /// Lazy, demand-driven evaluation with sound short-circuits: a semijoin
+  /// whose candidate set is empty returns ∅ without contacting the source;
+  /// an intersection whose running accumulator is empty skips the remaining
+  /// operand subtrees entirely; a difference with an empty left side skips
+  /// its right side. The answer is always identical to eager execution —
+  /// only the (metered) work can shrink. This is runtime adaptivity the
+  /// optimizer cannot plan for, since it depends on actual data.
+  bool lazy_short_circuit = false;
+  /// Total attempts per source call (1 = no retries). Transient failures
+  /// (StatusCode::kInternal, e.g. injected by FlakySource) are retried up to
+  /// this many times; permanent errors (kUnsupported, schema problems) are
+  /// not. Every attempt's cost stays on the ledger — retries are not free.
+  int max_attempts = 1;
+  /// Optional memo of selection-query answers shared across executions
+  /// (see SourceCallCache). Cached hits cost nothing and appear in the
+  /// report's cache statistics rather than the ledger.
+  SourceCallCache* cache = nullptr;
+};
+
+/// The mediator's plan interpreter: runs `plan` for `query` against the
+/// catalog's sources, metering every source interaction. Semijoin queries to
+/// sources with only passed-binding support are emulated as one
+/// `c AND M = m` selection per candidate item (Section 2.3); sources with no
+/// binding support at all fail the plan with kUnsupported. Local operations
+/// (∪, ∩, −, selection over loaded relations) run at the mediator for free.
+Result<ExecutionReport> ExecutePlan(const Plan& plan,
+                                    const SourceCatalog& catalog,
+                                    const FusionQuery& query);
+
+/// As above, with runtime options.
+Result<ExecutionReport> ExecutePlan(const Plan& plan,
+                                    const SourceCatalog& catalog,
+                                    const FusionQuery& query,
+                                    const ExecOptions& options);
+
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_EXECUTOR_H_

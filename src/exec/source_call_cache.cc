@@ -1,0 +1,27 @@
+#include "exec/source_call_cache.h"
+
+namespace fusion {
+
+const ItemSet* SourceCallCache::Lookup(size_t source,
+                                       const std::string& cond_key) {
+  auto it = entries_.find({source, cond_key});
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void SourceCallCache::Insert(size_t source, std::string cond_key,
+                             ItemSet items) {
+  entries_[{source, std::move(cond_key)}] = std::move(items);
+}
+
+void SourceCallCache::Clear() {
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace fusion

@@ -1,0 +1,51 @@
+#ifndef FUSION_EXEC_SOURCE_CALL_CACHE_H_
+#define FUSION_EXEC_SOURCE_CALL_CACHE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/item_set.h"
+
+namespace fusion {
+
+/// Session-level memo of selection-query answers: (source index, condition
+/// text) → item set. Eliminates repeated identical source queries across
+/// plans and across queries — the runtime counterpart of the
+/// common-subexpression elimination that Section 5 says resolution-based
+/// mediators would need at plan time, and a big win for the SPJ-union
+/// baseline and for repeated fusion queries against the same federation.
+///
+/// Staleness caveat: cached answers reflect the sources at the time of the
+/// original call; autonomous sources may change. Call Clear() between
+/// "sessions" or whenever freshness matters more than cost.
+class SourceCallCache {
+ public:
+  SourceCallCache() = default;
+
+  // Cache identity matters (the executor holds a pointer); not copyable.
+  SourceCallCache(const SourceCallCache&) = delete;
+  SourceCallCache& operator=(const SourceCallCache&) = delete;
+
+  /// Returns the cached answer for sq(cond_key, R_source), or null.
+  const ItemSet* Lookup(size_t source, const std::string& cond_key);
+
+  /// Memoizes an answer (overwrites an existing entry, which must be
+  /// identical for deterministic sources).
+  void Insert(size_t source, std::string cond_key, ItemSet items);
+
+  void Clear();
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t entries() const { return entries_.size(); }
+
+ private:
+  std::map<std::pair<size_t, std::string>, ItemSet> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_SOURCE_CALL_CACHE_H_

@@ -1,0 +1,30 @@
+#include "mediator/fetch_planner.h"
+
+namespace fusion {
+
+Result<std::vector<FetchAssignment>> PlanWitnessFetch(
+    const std::vector<ItemSet>& per_source_items, const ItemSet& answer) {
+  std::vector<FetchAssignment> assignments;
+  ItemSet uncovered = answer;
+  while (!uncovered.empty()) {
+    size_t best_source = per_source_items.size();
+    ItemSet best_cover;
+    for (size_t j = 0; j < per_source_items.size(); ++j) {
+      ItemSet cover = ItemSet::Intersect(per_source_items[j], uncovered);
+      if (cover.size() > best_cover.size()) {
+        best_cover = std::move(cover);
+        best_source = j;
+      }
+    }
+    if (best_source == per_source_items.size() || best_cover.empty()) {
+      return Status::Internal(
+          "answer items without a witness source — phase-1 execution report "
+          "is inconsistent with the answer set");
+    }
+    uncovered = ItemSet::Difference(uncovered, best_cover);
+    assignments.push_back({best_source, std::move(best_cover)});
+  }
+  return assignments;
+}
+
+}  // namespace fusion

@@ -1,0 +1,132 @@
+#include "mediator/session.h"
+
+#include <algorithm>
+
+#include "query/parser.h"
+#include "source/simulated_source.h"
+
+namespace fusion {
+
+Result<ParametricCostModel> QuerySession::BuildSessionModel(
+    const FusionQuery& query) {
+  const SourceCatalog& catalog = mediator_.catalog();
+  const size_t m = query.num_conditions();
+  std::vector<SourceParams> params;
+  params.reserve(catalog.size());
+  for (size_t j = 0; j < catalog.size(); ++j) {
+    const SourceWrapper& src = catalog.source(j);
+    SourceParams p;
+    p.capabilities = src.capabilities();
+    // Network parameters: take the simulated source's profile when exposed;
+    // otherwise keep the NetworkProfile defaults as priors (a deployment
+    // would calibrate them — see stats/calibration).
+    if (const SimulatedSource* sim = src.AsSimulated()) {
+      p.network = sim->network();
+    }
+    const auto card_it = observed_cardinality_.find(j);
+    p.cardinality = card_it != observed_cardinality_.end()
+                        ? card_it->second
+                        : options_.default_cardinality;
+    p.result_size.reserve(m);
+    for (const Condition& cond : query.conditions()) {
+      const auto it =
+          observed_result_size_.find({j, cond.ToString()});
+      p.result_size.push_back(it != observed_result_size_.end()
+                                  ? it->second
+                                  : p.cardinality *
+                                        options_.default_selectivity);
+    }
+    params.push_back(std::move(p));
+  }
+  const double universe =
+      std::max<double>(options_.default_universe,
+                       static_cast<double>(observed_universe_.size()));
+  return ParametricCostModel(std::move(params), universe);
+}
+
+void QuerySession::Learn(const FusionQuery& query, const OptimizedPlan& plan,
+                         const ExecutionReport& report) {
+  // Selections reveal exact per-(source, condition) result sizes. Walk the
+  // plan's ops next to the report's per-op costs/answers: we only get set
+  // *sizes* from the ledger, but the executor's witness sets give the items
+  // a source returned overall, and sq answers are the targets of kSelect
+  // ops — recover them by re-walking charges is fragile, so instead use
+  // the ledger charges in op order for selections (items_received is the
+  // answer size of that selection).
+  size_t charge_idx = 0;
+  const auto& charges = report.ledger.charges();
+  // Advances to the next successful sq charge (skipping failed-attempt
+  // charges injected by flaky sources and non-selection kinds).
+  auto next_select_charge = [&]() -> const Charge* {
+    while (charge_idx < charges.size()) {
+      const Charge& c = charges[charge_idx++];
+      if (c.kind == ChargeKind::kSelect &&
+          c.detail.rfind("FAILED", 0) != 0) {
+        return &c;
+      }
+    }
+    return nullptr;
+  };
+  for (size_t k = 0; k < plan.plan.ops().size(); ++k) {
+    const PlanOp& op = plan.plan.ops()[k];
+    if (op.kind != PlanOpKind::kSelect) continue;
+    // Cache hits and lazily skipped selections issue no charge; there is
+    // nothing new to learn from them.
+    if (k >= report.per_op_cost.size() || report.per_op_cost[k] <= 0.0) {
+      continue;
+    }
+    const Charge* charge = next_select_charge();
+    if (charge == nullptr) break;
+    const std::string key =
+        query.conditions()[static_cast<size_t>(op.cond)].ToString();
+    observed_result_size_[{static_cast<size_t>(op.source), key}] =
+        static_cast<double>(charge->items_received);
+  }
+  // Loads reveal cardinalities; witness sets grow the universe bound.
+  for (const Charge& c : charges) {
+    if (c.kind == ChargeKind::kLoad) {
+      // Map the source name back to its index.
+      const auto idx = mediator_.catalog().IndexOf(c.source);
+      if (idx.ok()) {
+        observed_cardinality_[*idx] = static_cast<double>(c.items_received);
+      }
+    }
+  }
+  for (const ItemSet& items : report.per_source_items) {
+    observed_universe_ = ItemSet::Union(observed_universe_, items);
+  }
+}
+
+Result<QueryAnswer> QuerySession::Answer(const FusionQuery& raw_query) {
+  const FusionQuery query = raw_query.Canonicalized();
+  FUSION_ASSIGN_OR_RETURN(const Schema schema,
+                          mediator_.catalog().CommonSchema());
+  FUSION_RETURN_IF_ERROR(query.Validate(schema));
+
+  FUSION_ASSIGN_OR_RETURN(const ParametricCostModel model,
+                          BuildSessionModel(query));
+  FUSION_ASSIGN_OR_RETURN(
+      OptimizedPlan optimized,
+      RunOptimizer(model, options_.strategy, options_.postopt));
+
+  ExecOptions exec = options_.execution;
+  exec.cache = &cache_;
+  FUSION_ASSIGN_OR_RETURN(
+      ExecutionReport execution,
+      ExecutePlan(optimized.plan, mediator_.catalog(), query, exec));
+
+  Learn(query, optimized, execution);
+
+  QueryAnswer answer;
+  answer.items = execution.answer;
+  answer.optimized = std::move(optimized);
+  answer.execution = std::move(execution);
+  return answer;
+}
+
+Result<QueryAnswer> QuerySession::AnswerSql(const std::string& sql) {
+  FUSION_ASSIGN_OR_RETURN(FusionQuery query, ParseFusionQuery(sql));
+  return Answer(query);
+}
+
+}  // namespace fusion

@@ -1,0 +1,149 @@
+#include "optimizer/batch.h"
+
+#include <limits>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "optimizer/postopt.h"
+#include "optimizer/sja.h"
+
+namespace fusion {
+namespace {
+
+/// A (condition text, source index) selection already owned by some earlier
+/// plan in the batch.
+using OwnedSelections = std::set<std::pair<std::string, size_t>>;
+
+/// Wraps a per-query cost model, making selections that an earlier query in
+/// the batch already issued free (the runtime cache answers them without a
+/// source call). Everything else delegates.
+class DiscountedCostModel : public CostModel {
+ public:
+  DiscountedCostModel(const CostModel& base,
+                      std::vector<std::string> condition_texts,
+                      const OwnedSelections& owned)
+      : base_(base),
+        condition_texts_(std::move(condition_texts)),
+        owned_(owned) {}
+
+  size_t num_conditions() const override { return base_.num_conditions(); }
+  size_t num_sources() const override { return base_.num_sources(); }
+  double universe_size() const override { return base_.universe_size(); }
+
+  double SqCost(size_t cond, size_t source) const override {
+    if (owned_.count({condition_texts_[cond], source}) > 0) return 0.0;
+    return base_.SqCost(cond, source);
+  }
+  double SjqCost(size_t cond, size_t source,
+                 const SetEstimate& x) const override {
+    return base_.SjqCost(cond, source, x);
+  }
+  double LqCost(size_t source) const override { return base_.LqCost(source); }
+  SetEstimate SqResult(size_t cond, size_t source) const override {
+    return base_.SqResult(cond, source);
+  }
+  SetEstimate SjqResult(size_t cond, size_t source,
+                        const SetEstimate& x) const override {
+    return base_.SjqResult(cond, source, x);
+  }
+  double FetchCost(size_t source, double item_count) const override {
+    return base_.FetchCost(source, item_count);
+  }
+
+ private:
+  const CostModel& base_;
+  std::vector<std::string> condition_texts_;
+  const OwnedSelections& owned_;
+};
+
+std::vector<std::string> ConditionTexts(const FusionQuery& query) {
+  std::vector<std::string> out;
+  out.reserve(query.num_conditions());
+  for (const Condition& c : query.conditions()) {
+    out.push_back(c.ToString());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BatchPlan> OptimizeBatch(const std::vector<const CostModel*>& models,
+                                const std::vector<FusionQuery>& queries,
+                                const PostOptOptions* postopt) {
+  if (models.size() != queries.size() || models.empty()) {
+    return Status::InvalidArgument("batch needs matching models and queries");
+  }
+  const size_t n_sources = models[0]->num_sources();
+  for (const CostModel* m : models) {
+    if (m->num_sources() != n_sources) {
+      return Status::InvalidArgument(
+          "batch models must describe one catalog");
+    }
+  }
+
+  BatchPlan batch;
+  batch.plans.resize(queries.size());
+
+  // Independent baseline for comparison.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    FUSION_ASSIGN_OR_RETURN(const OptimizedPlan solo, OptimizeSja(*models[i]));
+    batch.estimated_independent += solo.estimated_cost;
+  }
+
+  OwnedSelections owned;
+  std::vector<bool> planned(queries.size(), false);
+  for (size_t step = 0; step < queries.size(); ++step) {
+    // Greedy sequencing: next is the unplanned query with the cheapest
+    // marginal (discounted) plan.
+    size_t best = queries.size();
+    double best_cost = std::numeric_limits<double>::infinity();
+    OptimizedPlan best_plan;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (planned[i]) continue;
+      const DiscountedCostModel discounted(*models[i],
+                                           ConditionTexts(queries[i]), owned);
+      Result<OptimizedPlan> candidate =
+          postopt != nullptr ? OptimizeSjaPlus(discounted, *postopt)
+                             : OptimizeSja(discounted);
+      if (!candidate.ok()) return candidate.status();
+      if (candidate->estimated_cost < best_cost) {
+        best_cost = candidate->estimated_cost;
+        best = i;
+        best_plan = std::move(candidate).value();
+      }
+    }
+    planned[best] = true;
+    batch.order.push_back(best);
+    batch.estimated_total += best_cost;
+
+    // Selections this plan issues become free for the rest of the batch.
+    const std::vector<std::string> texts = ConditionTexts(queries[best]);
+    for (const PlanOp& op : best_plan.plan.ops()) {
+      if (op.kind != PlanOpKind::kSelect) continue;
+      const auto key = std::make_pair(texts[static_cast<size_t>(op.cond)],
+                                      static_cast<size_t>(op.source));
+      if (!owned.insert(key).second) {
+        ++batch.shared_selections;
+      }
+    }
+    batch.plans[best] = std::move(best_plan);
+  }
+
+  // Count shared selections properly: a selection is "shared" when a later
+  // plan uses a pair an earlier plan owned. Recompute by replaying order.
+  batch.shared_selections = 0;
+  OwnedSelections replay;
+  for (size_t idx : batch.order) {
+    const std::vector<std::string> texts = ConditionTexts(queries[idx]);
+    for (const PlanOp& op : batch.plans[idx].plan.ops()) {
+      if (op.kind != PlanOpKind::kSelect) continue;
+      const auto key = std::make_pair(texts[static_cast<size_t>(op.cond)],
+                                      static_cast<size_t>(op.source));
+      if (!replay.insert(key).second) ++batch.shared_selections;
+    }
+  }
+  return batch;
+}
+
+}  // namespace fusion

@@ -1,0 +1,50 @@
+#ifndef FUSION_OPTIMIZER_BATCH_H_
+#define FUSION_OPTIMIZER_BATCH_H_
+
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/postopt.h"
+#include "query/fusion_query.h"
+
+namespace fusion {
+
+/// Joint optimization of a batch of fusion queries against one federation.
+///
+/// Mediators rarely see one query in isolation: investigation sessions ask
+/// families of related fusion queries (dui∧sp, dui∧reckless, ...) whose
+/// conditions overlap. A selection result fetched for one query can be
+/// reused by every later query in the batch (the runtime SourceCallCache
+/// makes the reuse real — see exec/source_call_cache.h), so the batch
+/// optimizer plans queries sequentially under a *discounted* cost model in
+/// which selections already owned by earlier plans are free. Queries are
+/// greedily sequenced to maximize reuse (the query with the cheapest
+/// marginal plan goes next).
+///
+/// This extends Section 5's observation that resolution-based systems need
+/// common-subexpression elimination: here CSE spans whole queries.
+struct BatchPlan {
+  /// One plan per input query, in the input order.
+  std::vector<OptimizedPlan> plans;
+  /// Execution order chosen by the greedy sequencer (indices into `plans`).
+  std::vector<size_t> order;
+  /// Estimated total cost with cross-query reuse.
+  double estimated_total = 0.0;
+  /// Estimated total if each query were planned and paid independently.
+  double estimated_independent = 0.0;
+  /// Number of (condition, source) selections shared with an earlier query.
+  size_t shared_selections = 0;
+};
+
+/// Plans `queries[i]` with SJA (+ optional postoptimization) under
+/// `models[i]`, with cross-query selection reuse. All models must be over
+/// the same catalog (same source count and indexing). Condition identity is
+/// textual — canonicalize queries first (FusionQuery::Canonicalized) for
+/// maximal sharing.
+Result<BatchPlan> OptimizeBatch(const std::vector<const CostModel*>& models,
+                                const std::vector<FusionQuery>& queries,
+                                const PostOptOptions* postopt = nullptr);
+
+}  // namespace fusion
+
+#endif  // FUSION_OPTIMIZER_BATCH_H_

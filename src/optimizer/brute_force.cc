@@ -1,0 +1,108 @@
+#include "optimizer/brute_force.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/str_util.h"
+#include "plan/response_time.h"
+
+namespace fusion {
+namespace {
+
+/// Scores one built candidate under the requested objective.
+Result<double> ScorePlan(const StructuredBuildResult& built,
+                         const CostModel& model, PlanObjective objective) {
+  if (objective == PlanObjective::kTotalWork) return built.total_cost;
+  FUSION_ASSIGN_OR_RETURN(ResponseTimeBreakdown rt,
+                          EstimateResponseTime(built.plan, model));
+  return rt.response_time;
+}
+
+/// Checks the candidate space size and enumerates decision matrices.
+Result<OptimizedPlan> BruteForce(const CostModel& model, bool adaptive,
+                                 size_t max_plans, PlanObjective objective) {
+  const size_t m = model.num_conditions();
+  const size_t n = model.num_sources();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("brute force: need conditions and sources");
+  }
+  // Space size: m! * 2^bits with bits = (m-1) * (adaptive ? n : 1).
+  const size_t bits = (m - 1) * (adaptive ? n : 1);
+  if (bits > 30) {
+    return Status::InvalidArgument("brute force: decision space too large");
+  }
+  double space = 1.0;
+  for (size_t i = 2; i <= m; ++i) space *= static_cast<double>(i);
+  space *= static_cast<double>(size_t{1} << bits);
+  if (space > static_cast<double>(max_plans)) {
+    return Status::InvalidArgument(
+        StrFormat("brute force: %.3g candidate plans exceeds limit %zu",
+                  space, max_plans));
+  }
+
+  std::vector<size_t> ordering(m);
+  std::iota(ordering.begin(), ordering.end(), 0);
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  ConditionOrderPlan best_structure;
+  bool found = false;
+
+  do {
+    for (size_t mask = 0; mask < (size_t{1} << bits); ++mask) {
+      ConditionOrderPlan structure = MakeStructure(ordering, n);
+      size_t bit = 0;
+      for (size_t i = 1; i < m; ++i) {
+        if (adaptive) {
+          for (size_t j = 0; j < n; ++j) {
+            structure.use_semijoin[i][j] = (mask >> bit) & 1;
+            ++bit;
+          }
+        } else {
+          const bool use = (mask >> bit) & 1;
+          ++bit;
+          for (size_t j = 0; j < n; ++j) structure.use_semijoin[i][j] = use;
+        }
+      }
+      auto built = BuildStructuredPlan(model, structure, /*loaded=*/{},
+                                       /*use_difference=*/false);
+      if (!built.ok()) return built.status();
+      FUSION_ASSIGN_OR_RETURN(const double score,
+                              ScorePlan(*built, model, objective));
+      if (score < best_cost) {
+        best_cost = score;
+        best_structure = std::move(structure);
+        found = true;
+      }
+    }
+  } while (std::next_permutation(ordering.begin(), ordering.end()));
+
+  if (!found) return Status::Internal("brute force found no plan");
+  FUSION_ASSIGN_OR_RETURN(
+      StructuredBuildResult built,
+      BuildStructuredPlan(model, best_structure, /*loaded=*/{},
+                          /*use_difference=*/false));
+  OptimizedPlan out;
+  out.plan = std::move(built.plan);
+  out.estimated_cost = best_cost;
+  out.algorithm = adaptive ? "BRUTE-SJA" : "BRUTE-SJ";
+  out.plan_class = ClassifyPlan(out.plan);
+  out.structure = std::move(best_structure);
+  return out;
+}
+
+}  // namespace
+
+Result<OptimizedPlan> BruteForceSemijoinAdaptive(const CostModel& model,
+                                                 size_t max_plans,
+                                                 PlanObjective objective) {
+  return BruteForce(model, /*adaptive=*/true, max_plans, objective);
+}
+
+Result<OptimizedPlan> BruteForceSemijoin(const CostModel& model,
+                                         size_t max_plans,
+                                         PlanObjective objective) {
+  return BruteForce(model, /*adaptive=*/false, max_plans, objective);
+}
+
+}  // namespace fusion

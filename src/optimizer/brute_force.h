@@ -1,0 +1,33 @@
+#ifndef FUSION_OPTIMIZER_BRUTE_FORCE_H_
+#define FUSION_OPTIMIZER_BRUTE_FORCE_H_
+
+#include "optimizer/optimizer.h"
+
+namespace fusion {
+
+/// What a brute-force search minimizes.
+enum class PlanObjective {
+  kTotalWork,     // the paper's objective: sum of source-query costs
+  kResponseTime,  // parallel makespan (critical path); see plan/response_time
+};
+
+/// Exhaustively enumerates every semijoin-adaptive plan — all m! orderings ×
+/// all 2^{n(m-1)} per-(condition,source) decision matrices — scoring each via
+/// the same structured builder used everywhere. Exponential in n·m; exists
+/// purely to verify that SJA's per-source local decisions are globally
+/// optimal on small instances (the claim behind Figure 4's "source loop"),
+/// and to measure the optimality gap of the SJA-RT heuristic under the
+/// response-time objective. Fails if the space exceeds `max_plans`.
+Result<OptimizedPlan> BruteForceSemijoinAdaptive(
+    const CostModel& model, size_t max_plans = 1 << 20,
+    PlanObjective objective = PlanObjective::kTotalWork);
+
+/// Same, restricted to semijoin plans (uniform per-condition decisions,
+/// 2^{m-1} matrices per ordering); validates SJ.
+Result<OptimizedPlan> BruteForceSemijoin(
+    const CostModel& model, size_t max_plans = 1 << 20,
+    PlanObjective objective = PlanObjective::kTotalWork);
+
+}  // namespace fusion
+
+#endif  // FUSION_OPTIMIZER_BRUTE_FORCE_H_

@@ -1,0 +1,29 @@
+#include "optimizer/filter.h"
+
+#include <numeric>
+
+namespace fusion {
+
+Result<OptimizedPlan> OptimizeFilter(const CostModel& model) {
+  const size_t m = model.num_conditions();
+  const size_t n = model.num_sources();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("filter: need conditions and sources");
+  }
+  std::vector<size_t> ordering(m);
+  std::iota(ordering.begin(), ordering.end(), 0);
+  const ConditionOrderPlan structure = MakeStructure(std::move(ordering), n);
+  FUSION_ASSIGN_OR_RETURN(
+      StructuredBuildResult built,
+      BuildStructuredPlan(model, structure, /*loaded=*/{},
+                          /*use_difference=*/false));
+  OptimizedPlan out;
+  out.plan = std::move(built.plan);
+  out.estimated_cost = built.total_cost;
+  out.algorithm = "FILTER";
+  out.plan_class = ClassifyPlan(out.plan);
+  out.structure = structure;
+  return out;
+}
+
+}  // namespace fusion

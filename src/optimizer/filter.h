@@ -1,0 +1,17 @@
+#ifndef FUSION_OPTIMIZER_FILTER_H_
+#define FUSION_OPTIMIZER_FILTER_H_
+
+#include "optimizer/optimizer.h"
+
+namespace fusion {
+
+/// The FILTER algorithm (Section 3): the best filter plan pushes each of the
+/// m conditions to each of the n sources as a selection query and combines
+/// the mn answers locally. No search is needed — every filter plan issues
+/// the same queries, so they all cost the same under the paper's model.
+/// Runs in O(mn).
+Result<OptimizedPlan> OptimizeFilter(const CostModel& model);
+
+}  // namespace fusion
+
+#endif  // FUSION_OPTIMIZER_FILTER_H_

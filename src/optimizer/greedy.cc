@@ -1,0 +1,161 @@
+#include "optimizer/greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace fusion {
+namespace {
+
+/// Estimated |∪_j sq(c_i, R_j)| for each condition.
+std::vector<double> GlobalResultSizes(const CostModel& model) {
+  const size_t m = model.num_conditions();
+  const size_t n = model.num_sources();
+  std::vector<double> out(m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    SetEstimate u;
+    bool first = true;
+    for (size_t j = 0; j < n; ++j) {
+      const SetEstimate r = model.SqResult(i, j);
+      u = first ? r : UnionEstimate(u, r, model.universe_size());
+      first = false;
+    }
+    out[i] = u.size;
+  }
+  return out;
+}
+
+/// Runs one round of per-source decisions for `cond` given X_{i-1}.
+/// Appends decisions to `row`, adds cost, and updates `x` (canonical,
+/// decision-independent propagation). `adaptive` selects SJA-style
+/// independent choices; otherwise the SJ uniform rule. `first_round` forces
+/// selections and skips the intersection.
+double EvaluateRound(const CostModel& model, size_t cond, bool adaptive,
+                     bool first_round, SetEstimate& x,
+                     std::vector<bool>* row) {
+  const size_t n = model.num_sources();
+  double cost = 0.0;
+  if (first_round) {
+    for (size_t j = 0; j < n; ++j) cost += model.SqCost(cond, j);
+    x = CanonicalRoundResult(model, cond, nullptr);
+    return cost;
+  }
+  if (!adaptive) {
+    double sel = 0.0, sjq = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      sel += model.SqCost(cond, j);
+      sjq += model.SjqCost(cond, j, x);
+    }
+    const bool use_sjq = !(sel < sjq);
+    if (row != nullptr) {
+      for (size_t j = 0; j < n; ++j) (*row)[j] = use_sjq;
+    }
+    x = CanonicalRoundResult(model, cond, &x);
+    return use_sjq ? sjq : sel;
+  }
+  for (size_t j = 0; j < n; ++j) {
+    const double sq_cost = model.SqCost(cond, j);
+    const double sjq_cost = model.SjqCost(cond, j, x);
+    if (sq_cost < sjq_cost) {
+      cost += sq_cost;
+    } else {
+      if (row != nullptr) (*row)[j] = true;
+      cost += sjq_cost;
+    }
+  }
+  x = CanonicalRoundResult(model, cond, &x);
+  return cost;
+}
+
+Result<OptimizedPlan> OptimizeGreedy(const CostModel& model,
+                                     GreedyOrderHeuristic heuristic,
+                                     bool adaptive) {
+  const size_t m = model.num_conditions();
+  const size_t n = model.num_sources();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("greedy: need conditions and sources");
+  }
+
+  std::vector<size_t> ordering;
+  ordering.reserve(m);
+
+  if (heuristic == GreedyOrderHeuristic::kBySelectivity) {
+    const std::vector<double> sizes = GlobalResultSizes(model);
+    std::vector<size_t> idx(m);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return sizes[a] < sizes[b];
+    });
+    ordering = std::move(idx);
+  } else {
+    // Adaptive min-cost greedy: repeatedly take the cheapest next condition.
+    std::vector<bool> used(m, false);
+    SetEstimate x;
+    for (size_t step = 0; step < m; ++step) {
+      size_t best = m;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < m; ++i) {
+        if (used[i]) continue;
+        SetEstimate x_copy = x;
+        const double c = EvaluateRound(model, i, adaptive, step == 0, x_copy,
+                                       /*row=*/nullptr);
+        if (c < best_cost) {
+          best_cost = c;
+          best = i;
+        }
+      }
+      used[best] = true;
+      ordering.push_back(best);
+      // Commit: update x along the chosen condition.
+      EvaluateRound(model, best, adaptive, step == 0, x, /*row=*/nullptr);
+    }
+  }
+
+  // Decisions along the chosen ordering.
+  ConditionOrderPlan structure = MakeStructure(ordering, n);
+  SetEstimate x;
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<bool> row(n, false);
+    EvaluateRound(model, ordering[i], adaptive, i == 0, x, &row);
+    if (i > 0) {
+      structure.use_semijoin[i].assign(row.begin(), row.end());
+    }
+  }
+
+  FUSION_ASSIGN_OR_RETURN(
+      StructuredBuildResult built,
+      BuildStructuredPlan(model, structure, /*loaded=*/{},
+                          /*use_difference=*/false));
+  OptimizedPlan out;
+  out.plan = std::move(built.plan);
+  out.estimated_cost = built.total_cost;
+  out.algorithm = std::string(adaptive ? "SJA-G-" : "SJ-G-") +
+                  GreedyOrderHeuristicName(heuristic);
+  out.plan_class = ClassifyPlan(out.plan);
+  out.structure = std::move(structure);
+  return out;
+}
+
+}  // namespace
+
+const char* GreedyOrderHeuristicName(GreedyOrderHeuristic h) {
+  switch (h) {
+    case GreedyOrderHeuristic::kBySelectivity:
+      return "sel";
+    case GreedyOrderHeuristic::kByMinCost:
+      return "mincost";
+  }
+  return "?";
+}
+
+Result<OptimizedPlan> OptimizeGreedySja(const CostModel& model,
+                                        GreedyOrderHeuristic heuristic) {
+  return OptimizeGreedy(model, heuristic, /*adaptive=*/true);
+}
+
+Result<OptimizedPlan> OptimizeGreedySj(const CostModel& model,
+                                       GreedyOrderHeuristic heuristic) {
+  return OptimizeGreedy(model, heuristic, /*adaptive=*/false);
+}
+
+}  // namespace fusion

@@ -1,0 +1,210 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace fusion {
+
+ConditionOrderPlan MakeStructure(std::vector<size_t> ordering,
+                                 size_t num_sources) {
+  ConditionOrderPlan out;
+  out.use_semijoin.assign(ordering.size(),
+                          std::vector<bool>(num_sources, false));
+  out.ordering = std::move(ordering);
+  return out;
+}
+
+SetEstimate CanonicalRoundResult(const CostModel& model, size_t cond,
+                                 const SetEstimate* prev) {
+  SetEstimate u;
+  bool first = true;
+  for (size_t j = 0; j < model.num_sources(); ++j) {
+    const SetEstimate r = model.SqResult(cond, j);
+    u = first ? r : UnionEstimate(u, r, model.universe_size());
+    first = false;
+  }
+  if (prev == nullptr) return u;
+  return IntersectEstimate(*prev, u, model.universe_size());
+}
+
+Result<StructuredBuildResult> BuildStructuredPlan(
+    const CostModel& model, const ConditionOrderPlan& structure,
+    const std::vector<bool>& loaded, bool use_difference,
+    bool order_semijoins_by_yield) {
+  const size_t m = structure.ordering.size();
+  const size_t n = model.num_sources();
+  if (m == 0) return Status::InvalidArgument("empty condition ordering");
+  if (m != model.num_conditions()) {
+    return Status::InvalidArgument(
+        StrFormat("ordering covers %zu conditions, model has %zu", m,
+                  model.num_conditions()));
+  }
+  if (structure.use_semijoin.size() != m) {
+    return Status::InvalidArgument("decision matrix has wrong row count");
+  }
+  for (const auto& row : structure.use_semijoin) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("decision matrix has wrong column count");
+    }
+  }
+  {
+    std::vector<bool> seen(m, false);
+    for (size_t c : structure.ordering) {
+      if (c >= m || seen[c]) {
+        return Status::InvalidArgument("ordering is not a permutation");
+      }
+      seen[c] = true;
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (structure.use_semijoin[0][j]) {
+      return Status::InvalidArgument(
+          "first condition must be evaluated by selection queries");
+    }
+  }
+  const std::vector<bool> no_loads(n, false);
+  const std::vector<bool>& is_loaded = loaded.empty() ? no_loads : loaded;
+  if (is_loaded.size() != n) {
+    return Status::InvalidArgument("loaded mask has wrong size");
+  }
+
+  Plan plan;
+  StructuredBuildResult out;
+  out.per_source_cost.assign(n, 0.0);
+  auto charge = [&](size_t source, double cost) {
+    out.total_cost += cost;
+    out.per_source_cost[source] += cost;
+  };
+
+  // Load ops come first (SJA+ loading): Y_j := lq(R_j).
+  std::vector<int> loaded_var(n, -1);
+  for (size_t j = 0; j < n; ++j) {
+    if (is_loaded[j]) {
+      loaded_var[j] =
+          plan.EmitLoad(static_cast<int>(j), StrFormat("Y%zu", j + 1));
+      charge(j, model.LqCost(j));
+    }
+  }
+
+  int prev = -1;         // variable holding X_{i-1}
+  SetEstimate x;         // canonical estimate of X_{i-1}
+  for (size_t i = 0; i < m; ++i) {
+    const size_t cond = structure.ordering[i];
+    const int cond_id = static_cast<int>(cond);
+    std::vector<int> immediate;  // results available without shipping X
+    std::vector<SetEstimate> immediate_est;
+    std::vector<size_t> sjq_sources;
+    for (size_t j = 0; j < n; ++j) {
+      if (is_loaded[j]) {
+        immediate.push_back(plan.EmitLocalSelect(
+            cond_id, loaded_var[j], StrFormat("X%zu%zu", i + 1, j + 1)));
+        immediate_est.push_back(model.SqResult(cond, j));  // free
+      } else if (i > 0 && structure.use_semijoin[i][j]) {
+        sjq_sources.push_back(j);
+      } else {
+        immediate.push_back(plan.EmitSelect(
+            cond_id, static_cast<int>(j), StrFormat("X%zu%zu", i + 1, j + 1)));
+        immediate_est.push_back(model.SqResult(cond, j));
+        charge(j, model.SqCost(cond, j));
+      }
+    }
+
+    int round_var = -1;
+    if (i == 0) {
+      // X_1 := union of all first-round results.
+      round_var = immediate.size() == 1
+                      ? immediate[0]
+                      : plan.EmitUnion(immediate, StrFormat("X%zu", i + 1));
+    } else if (!use_difference || sjq_sources.empty()) {
+      // Standard SJA shape: per-source results, then
+      // X_i := X_{i-1} ∩ (∪_j X_ij); pure-semijoin rounds skip the
+      // intersection because every result is already a subset of X_{i-1}.
+      std::vector<int> results = immediate;
+      for (size_t j : sjq_sources) {
+        results.push_back(
+            plan.EmitSemiJoin(cond_id, static_cast<int>(j), prev,
+                              StrFormat("X%zu%zu", i + 1, j + 1)));
+        charge(j, model.SjqCost(cond, j, x));
+      }
+      if (immediate.empty()) {
+        round_var = results.size() == 1
+                        ? results[0]
+                        : plan.EmitUnion(results, StrFormat("X%zu", i + 1));
+      } else {
+        const int u = results.size() == 1
+                          ? results[0]
+                          : plan.EmitUnion(results, StrFormat("U%zu", i + 1));
+        round_var = plan.EmitIntersect({prev, u}, StrFormat("X%zu", i + 1));
+      }
+    } else {
+      // SJA+ difference pruning: confirmed items need not be re-shipped.
+      if (order_semijoins_by_yield && sjq_sources.size() > 1) {
+        // Query high-yield sources first so later semijoins ship less
+        // (an extension beyond the paper's index-order pruning; the
+        // bench_postopt ablation quantifies it).
+        std::stable_sort(sjq_sources.begin(), sjq_sources.end(),
+                         [&](size_t a, size_t b) {
+                           return model.SjqResult(cond, a, x).size >
+                                  model.SjqResult(cond, b, x).size;
+                         });
+      }
+      std::vector<int> parts;
+      int pending = prev;
+      SetEstimate pending_est = x;
+      if (!immediate.empty()) {
+        SetEstimate u_imm = immediate_est[0];
+        for (size_t k = 1; k < immediate_est.size(); ++k) {
+          u_imm = UnionEstimate(u_imm, immediate_est[k],
+                                model.universe_size());
+        }
+        const int u = immediate.size() == 1
+                          ? immediate[0]
+                          : plan.EmitUnion(immediate, StrFormat("U%zu", i + 1));
+        const int confirmed =
+            plan.EmitIntersect({prev, u}, StrFormat("C%zu", i + 1));
+        parts.push_back(confirmed);
+        const SetEstimate confirmed_est =
+            IntersectEstimate(x, u_imm, model.universe_size());
+        pending = plan.EmitDifference(prev, confirmed,
+                                      StrFormat("P%zu", i + 1));
+        pending_est =
+            DifferenceEstimate(x, confirmed_est, model.universe_size());
+      }
+      for (size_t k = 0; k < sjq_sources.size(); ++k) {
+        const size_t j = sjq_sources[k];
+        const int y =
+            plan.EmitSemiJoin(cond_id, static_cast<int>(j), pending,
+                              StrFormat("X%zu%zu", i + 1, j + 1));
+        charge(j, model.SjqCost(cond, j, pending_est));
+        parts.push_back(y);
+        if (k + 1 < sjq_sources.size()) {
+          const SetEstimate y_est = model.SjqResult(cond, j, pending_est);
+          pending = plan.EmitDifference(pending, y,
+                                        StrFormat("P%zu_%zu", i + 1, k + 2));
+          pending_est =
+              DifferenceEstimate(pending_est, y_est, model.universe_size());
+        }
+      }
+      // Every part is a subset of X_{i-1}; their union is X_i.
+      round_var = parts.size() == 1
+                      ? parts[0]
+                      : plan.EmitUnion(parts, StrFormat("X%zu", i + 1));
+    }
+    prev = round_var;
+    // Canonical (decision-independent) estimate of X_i: the true semantics
+    // is X_i = X_{i-1} ∩ (∪_j items satisfying c at R_j) no matter how each
+    // source was queried. Using this canonical form keeps per-source sq/sjq
+    // choices independent of one another under scalar estimation, which is
+    // what makes SJA's source loop optimal (verified against brute force).
+    x = CanonicalRoundResult(model, cond, i == 0 ? nullptr : &x);
+  }
+  plan.SetResult(prev);
+  FUSION_RETURN_IF_ERROR(plan.Validate(m, n));
+
+  out.result = std::move(x);
+  out.plan = std::move(plan);
+  return out;
+}
+
+}  // namespace fusion

@@ -1,0 +1,64 @@
+#include "optimizer/postopt.h"
+
+#include "optimizer/sja.h"
+
+namespace fusion {
+
+Result<OptimizedPlan> PostOptimizeStructure(
+    const CostModel& model, const ConditionOrderPlan& structure,
+    const PostOptOptions& options, const std::string& base_algorithm) {
+  const size_t n = model.num_sources();
+
+  // Pass 1: difference-pruned (or plain) plan, no loading, to get per-source
+  // query cost totals.
+  FUSION_ASSIGN_OR_RETURN(
+      StructuredBuildResult base,
+      BuildStructuredPlan(model, structure, /*loaded=*/{},
+                          options.use_difference,
+                          options.order_semijoins_by_yield));
+
+  std::vector<bool> loaded(n, false);
+  bool any_loaded = false;
+  if (options.use_loading) {
+    for (size_t j = 0; j < n; ++j) {
+      const double lq = model.LqCost(j);
+      if (lq < base.per_source_cost[j]) {
+        loaded[j] = true;
+        any_loaded = true;
+      }
+    }
+  }
+
+  StructuredBuildResult final_result = std::move(base);
+  if (any_loaded) {
+    FUSION_ASSIGN_OR_RETURN(
+        final_result,
+        BuildStructuredPlan(model, structure, loaded,
+                            options.use_difference,
+                            options.order_semijoins_by_yield));
+  }
+
+  OptimizedPlan out;
+  out.plan = std::move(final_result.plan);
+  out.estimated_cost = final_result.total_cost;
+  out.algorithm = base_algorithm + "+";
+  out.plan_class = ClassifyPlan(out.plan);
+  out.structure = structure;
+  return out;
+}
+
+Result<OptimizedPlan> OptimizeSjaPlus(const CostModel& model,
+                                      const PostOptOptions& options) {
+  FUSION_ASSIGN_OR_RETURN(OptimizedPlan sja, OptimizeSja(model));
+  FUSION_ASSIGN_OR_RETURN(
+      OptimizedPlan plus,
+      PostOptimizeStructure(model, sja.structure, options, "SJA"));
+  // Postoptimization must never hurt: difference pruning only shrinks
+  // semijoin inputs and loading is adopted only when estimated cheaper. If
+  // estimation quirks make the postoptimized plan pricier, keep the SJA plan.
+  if (plus.estimated_cost <= sja.estimated_cost) return plus;
+  sja.algorithm = "SJA+(kept-SJA)";
+  return sja;
+}
+
+}  // namespace fusion

@@ -1,0 +1,71 @@
+#include "optimizer/sj.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/str_util.h"
+
+namespace fusion {
+
+Result<OptimizedPlan> OptimizeSj(const CostModel& model) {
+  const size_t m = model.num_conditions();
+  const size_t n = model.num_sources();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("sj: need conditions and sources");
+  }
+  if (m > kMaxConditionsForExhaustive) {
+    return Status::InvalidArgument(StrFormat(
+        "sj: %zu conditions exceeds the exhaustive-ordering limit %zu; use "
+        "the greedy optimizer",
+        m, kMaxConditionsForExhaustive));
+  }
+
+  std::vector<size_t> ordering(m);
+  std::iota(ordering.begin(), ordering.end(), 0);
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  ConditionOrderPlan best_structure;
+
+  do {  // loop A of Figure 3
+    ConditionOrderPlan structure = MakeStructure(ordering, n);
+    // First condition: selection queries at every source.
+    double plan_cost = 0.0;
+    for (size_t j = 0; j < n; ++j) plan_cost += model.SqCost(ordering[0], j);
+    SetEstimate x = CanonicalRoundResult(model, ordering[0], nullptr);
+    for (size_t i = 1; i < m && plan_cost < best_cost; ++i) {  // loop B
+      const size_t cond = ordering[i];
+      double selection_queries_cost = 0.0;
+      double semijoin_queries_cost = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        selection_queries_cost += model.SqCost(cond, j);
+        semijoin_queries_cost += model.SjqCost(cond, j, x);
+      }
+      if (selection_queries_cost < semijoin_queries_cost) {
+        plan_cost += selection_queries_cost;
+      } else {
+        for (size_t j = 0; j < n; ++j) structure.use_semijoin[i][j] = true;
+        plan_cost += semijoin_queries_cost;
+      }
+      x = CanonicalRoundResult(model, cond, &x);
+    }
+    if (plan_cost < best_cost) {
+      best_cost = plan_cost;
+      best_structure = std::move(structure);
+    }
+  } while (std::next_permutation(ordering.begin(), ordering.end()));
+
+  FUSION_ASSIGN_OR_RETURN(
+      StructuredBuildResult built,
+      BuildStructuredPlan(model, best_structure, /*loaded=*/{},
+                          /*use_difference=*/false));
+  OptimizedPlan out;
+  out.plan = std::move(built.plan);
+  out.estimated_cost = built.total_cost;
+  out.algorithm = "SJ";
+  out.plan_class = ClassifyPlan(out.plan);
+  out.structure = std::move(best_structure);
+  return out;
+}
+
+}  // namespace fusion

@@ -1,0 +1,18 @@
+#ifndef FUSION_OPTIMIZER_SJ_H_
+#define FUSION_OPTIMIZER_SJ_H_
+
+#include "optimizer/optimizer.h"
+
+namespace fusion {
+
+/// The SJ algorithm (Figure 3): enumerates every ordering of the m
+/// conditions; for each ordering, evaluates the first condition by selection
+/// queries and then, condition by condition, compares the total cost of n
+/// selection queries against the total cost of n semijoin queries on
+/// X_{i-1}, taking the cheaper *uniformly across sources*. Returns the best
+/// semijoin plan found. O(m! · m · n); refuses m > kMaxConditionsForExhaustive.
+Result<OptimizedPlan> OptimizeSj(const CostModel& model);
+
+}  // namespace fusion
+
+#endif  // FUSION_OPTIMIZER_SJ_H_

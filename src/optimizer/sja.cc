@@ -1,0 +1,71 @@
+#include "optimizer/sja.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/str_util.h"
+
+namespace fusion {
+
+Result<OptimizedPlan> OptimizeSja(const CostModel& model) {
+  const size_t m = model.num_conditions();
+  const size_t n = model.num_sources();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("sja: need conditions and sources");
+  }
+  if (m > kMaxConditionsForExhaustive) {
+    return Status::InvalidArgument(StrFormat(
+        "sja: %zu conditions exceeds the exhaustive-ordering limit %zu; use "
+        "the greedy optimizer",
+        m, kMaxConditionsForExhaustive));
+  }
+
+  std::vector<size_t> ordering(m);
+  std::iota(ordering.begin(), ordering.end(), 0);
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  ConditionOrderPlan best_structure;
+
+  do {  // loop A of Figure 4
+    ConditionOrderPlan structure = MakeStructure(ordering, n);
+    double plan_cost = 0.0;
+    for (size_t j = 0; j < n; ++j) plan_cost += model.SqCost(ordering[0], j);
+    SetEstimate x = CanonicalRoundResult(model, ordering[0], nullptr);
+    for (size_t i = 1; i < m && plan_cost < best_cost; ++i) {  // loop B
+      const size_t cond = ordering[i];
+      // Source loop: independent per-source choice. Because the round result
+      // X_i does not depend on these choices, picking the per-source minimum
+      // is globally optimal for this ordering.
+      for (size_t j = 0; j < n; ++j) {
+        const double sq_cost = model.SqCost(cond, j);
+        const double sjq_cost = model.SjqCost(cond, j, x);
+        if (sq_cost < sjq_cost) {
+          plan_cost += sq_cost;
+        } else {
+          structure.use_semijoin[i][j] = true;
+          plan_cost += sjq_cost;
+        }
+      }
+      x = CanonicalRoundResult(model, cond, &x);
+    }
+    if (plan_cost < best_cost) {
+      best_cost = plan_cost;
+      best_structure = std::move(structure);
+    }
+  } while (std::next_permutation(ordering.begin(), ordering.end()));
+
+  FUSION_ASSIGN_OR_RETURN(
+      StructuredBuildResult built,
+      BuildStructuredPlan(model, best_structure, /*loaded=*/{},
+                          /*use_difference=*/false));
+  OptimizedPlan out;
+  out.plan = std::move(built.plan);
+  out.estimated_cost = built.total_cost;
+  out.algorithm = "SJA";
+  out.plan_class = ClassifyPlan(out.plan);
+  out.structure = std::move(best_structure);
+  return out;
+}
+
+}  // namespace fusion

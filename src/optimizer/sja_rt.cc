@@ -1,0 +1,85 @@
+#include "optimizer/sja_rt.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/str_util.h"
+#include "plan/response_time.h"
+
+namespace fusion {
+
+Result<OptimizedPlan> OptimizeSjaResponseTime(const CostModel& model) {
+  const size_t m = model.num_conditions();
+  const size_t n = model.num_sources();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("sja-rt: need conditions and sources");
+  }
+  if (m > kMaxConditionsForExhaustive) {
+    return Status::InvalidArgument(StrFormat(
+        "sja-rt: %zu conditions exceeds the exhaustive-ordering limit %zu",
+        m, kMaxConditionsForExhaustive));
+  }
+
+  std::vector<size_t> ordering(m);
+  std::iota(ordering.begin(), ordering.end(), 0);
+
+  double best_rt = std::numeric_limits<double>::infinity();
+  ConditionOrderPlan best_structure;
+
+  do {
+    ConditionOrderPlan structure = MakeStructure(ordering, n);
+    SetEstimate x = CanonicalRoundResult(model, ordering[0], nullptr);
+    // Greedy finish-time simulation.
+    std::vector<double> busy(n, 0.0);
+    double x_ready = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double finish = busy[j] + model.SqCost(ordering[0], j);
+      busy[j] = finish;
+      x_ready = std::max(x_ready, finish);
+    }
+    for (size_t i = 1; i < m; ++i) {
+      const size_t cond = ordering[i];
+      double next_ready = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        const double sq_finish = busy[j] + model.SqCost(cond, j);
+        const double sjq_finish =
+            std::max(busy[j], x_ready) + model.SjqCost(cond, j, x);
+        double finish = sq_finish;
+        if (sjq_finish < sq_finish) {
+          structure.use_semijoin[i][j] = true;
+          finish = sjq_finish;
+        }
+        busy[j] = finish;
+        next_ready = std::max(next_ready, finish);
+      }
+      x_ready = next_ready;
+      x = CanonicalRoundResult(model, cond, &x);
+    }
+
+    // Exact rescoring of the materialized candidate.
+    auto built = BuildStructuredPlan(model, structure, /*loaded=*/{},
+                                     /*use_difference=*/false);
+    if (!built.ok()) return built.status();
+    auto rt = EstimateResponseTime(built->plan, model);
+    if (!rt.ok()) return rt.status();
+    if (rt->response_time < best_rt) {
+      best_rt = rt->response_time;
+      best_structure = std::move(structure);
+    }
+  } while (std::next_permutation(ordering.begin(), ordering.end()));
+
+  FUSION_ASSIGN_OR_RETURN(
+      StructuredBuildResult built,
+      BuildStructuredPlan(model, best_structure, /*loaded=*/{},
+                          /*use_difference=*/false));
+  OptimizedPlan out;
+  out.plan = std::move(built.plan);
+  out.estimated_cost = best_rt;  // response time, not total work
+  out.algorithm = "SJA-RT";
+  out.plan_class = ClassifyPlan(out.plan);
+  out.structure = std::move(best_structure);
+  return out;
+}
+
+}  // namespace fusion

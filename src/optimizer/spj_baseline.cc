@@ -1,0 +1,114 @@
+#include "optimizer/spj_baseline.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/str_util.h"
+#include "plan/cost_estimator.h"
+
+namespace fusion {
+namespace {
+
+/// Recursively expands all source assignments, building (and, with CSE,
+/// sharing) the left-deep chains. `chain_var` is the variable holding the
+/// result of the prefix; depth counts conditions already bound.
+void ExpandChains(size_t depth, size_t m, size_t n, int chain_var, Plan& plan,
+                  std::map<std::pair<size_t, size_t>, int>* sq_memo,
+                  std::map<std::pair<int, size_t>, int>* sjq_memo,
+                  std::vector<int>& finals) {
+  if (depth == m) {
+    finals.push_back(chain_var);
+    return;
+  }
+  for (size_t j = 0; j < n; ++j) {
+    int next = -1;
+    if (depth == 0) {
+      if (sq_memo != nullptr) {
+        auto it = sq_memo->find({depth, j});
+        if (it != sq_memo->end()) next = it->second;
+      }
+      if (next < 0) {
+        next = plan.EmitSelect(static_cast<int>(depth), static_cast<int>(j),
+                               StrFormat("S%zu_%zu", depth + 1, j + 1));
+        if (sq_memo != nullptr) (*sq_memo)[{depth, j}] = next;
+      }
+    } else {
+      if (sjq_memo != nullptr) {
+        auto it = sjq_memo->find({chain_var, j});
+        if (it != sjq_memo->end()) next = it->second;
+      }
+      if (next < 0) {
+        next = plan.EmitSemiJoin(static_cast<int>(depth), static_cast<int>(j),
+                                 chain_var,
+                                 StrFormat("J%zu_%zu", depth + 1, j + 1));
+        if (sjq_memo != nullptr) (*sjq_memo)[{chain_var, j}] = next;
+      }
+    }
+    ExpandChains(depth + 1, m, n, next, plan, sq_memo, sjq_memo, finals);
+  }
+}
+
+}  // namespace
+
+Result<OptimizedPlan> SpjUnionBaseline(const CostModel& model,
+                                       bool eliminate_common_subexpressions,
+                                       size_t max_subqueries) {
+  const size_t m = model.num_conditions();
+  const size_t n = model.num_sources();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("spj baseline: need conditions and sources");
+  }
+  const double combos = std::pow(static_cast<double>(n),
+                                 static_cast<double>(m));
+  if (combos > static_cast<double>(max_subqueries)) {
+    return Status::InvalidArgument(StrFormat(
+        "spj baseline: n^m = %.3g SPJ subqueries exceeds limit %zu — this "
+        "blow-up is the failure mode the paper describes",
+        combos, max_subqueries));
+  }
+
+  Plan plan;
+  std::vector<int> finals;
+  if (eliminate_common_subexpressions) {
+    // CSE: share sq results and identical left-deep chain prefixes.
+    std::map<std::pair<size_t, size_t>, int> sq_memo;
+    std::map<std::pair<int, size_t>, int> sjq_memo;
+    ExpandChains(0, m, n, /*chain_var=*/-1, plan, &sq_memo, &sjq_memo,
+                 finals);
+  } else {
+    // No CSE: every one of the n^m SPJ subqueries re-issues its full chain
+    // of m source queries, exactly as independent subplans would.
+    std::vector<size_t> combo(m, 0);
+    while (true) {
+      int chain = plan.EmitSelect(0, static_cast<int>(combo[0]));
+      for (size_t d = 1; d < m; ++d) {
+        chain = plan.EmitSemiJoin(static_cast<int>(d),
+                                  static_cast<int>(combo[d]), chain);
+      }
+      finals.push_back(chain);
+      // Next combo (odometer).
+      size_t d = 0;
+      while (d < m && ++combo[d] == n) {
+        combo[d] = 0;
+        ++d;
+      }
+      if (d == m) break;
+    }
+  }
+  const int answer =
+      finals.size() == 1 ? finals[0] : plan.EmitUnion(finals, "ANSWER");
+  plan.SetResult(answer);
+
+  FUSION_ASSIGN_OR_RETURN(PlanCostBreakdown breakdown,
+                          EstimatePlanCost(plan, model));
+  OptimizedPlan out;
+  out.plan = std::move(plan);
+  out.estimated_cost = breakdown.total;
+  out.algorithm = eliminate_common_subexpressions ? "SPJ-UNION+CSE"
+                                                  : "SPJ-UNION";
+  out.plan_class = ClassifyPlan(out.plan);
+  return out;
+}
+
+}  // namespace fusion

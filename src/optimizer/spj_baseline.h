@@ -1,0 +1,25 @@
+#ifndef FUSION_OPTIMIZER_SPJ_BASELINE_H_
+#define FUSION_OPTIMIZER_SPJ_BASELINE_H_
+
+#include "optimizer/optimizer.h"
+
+namespace fusion {
+
+/// The Section-5 "distribute the join over the union" baseline, as practiced
+/// by resolution-based mediators (Information Manifold, TSIMMIS, HERMES,
+/// Infomaster): the fusion query expands into n^m SPJ subqueries — one per
+/// assignment of sources to conditions — each planned as a left-deep
+/// semijoin program sq(c1,R_{j1}) → sjq(c2,R_{j2}) → ..., and the answer is
+/// the union of the subquery results.
+///
+/// `eliminate_common_subexpressions` memoizes shared chain prefixes (the
+/// expensive CSE pass the paper says such systems would need); without it
+/// every subquery re-issues its whole chain. Fails when n^m exceeds
+/// `max_subqueries` — which is precisely the paper's point.
+Result<OptimizedPlan> SpjUnionBaseline(const CostModel& model,
+                                       bool eliminate_common_subexpressions,
+                                       size_t max_subqueries = 100000);
+
+}  // namespace fusion
+
+#endif  // FUSION_OPTIMIZER_SPJ_BASELINE_H_

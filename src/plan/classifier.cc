@@ -1,0 +1,52 @@
+#include "plan/classifier.h"
+
+#include <map>
+
+namespace fusion {
+
+const char* PlanClassName(PlanClass c) {
+  switch (c) {
+    case PlanClass::kFilter:
+      return "filter";
+    case PlanClass::kSemijoin:
+      return "semijoin";
+    case PlanClass::kSemijoinAdaptive:
+      return "semijoin-adaptive";
+    case PlanClass::kNonSimple:
+      return "non-simple";
+  }
+  return "?";
+}
+
+PlanClass ClassifyPlan(const Plan& plan) {
+  bool any_semijoin = false;
+  // Per condition: how many sq vs sjq ops evaluate it.
+  std::map<int, std::pair<int, int>> per_cond;  // cond -> (sq, sjq)
+  for (const PlanOp& op : plan.ops()) {
+    switch (op.kind) {
+      case PlanOpKind::kLoad:
+      case PlanOpKind::kLocalSelect:
+      case PlanOpKind::kDifference:
+        return PlanClass::kNonSimple;
+      case PlanOpKind::kSelect:
+        per_cond[op.cond].first++;
+        break;
+      case PlanOpKind::kSemiJoin:
+        per_cond[op.cond].second++;
+        any_semijoin = true;
+        break;
+      case PlanOpKind::kUnion:
+      case PlanOpKind::kIntersect:
+        break;
+    }
+  }
+  if (!any_semijoin) return PlanClass::kFilter;
+  for (const auto& [cond, counts] : per_cond) {
+    if (counts.first > 0 && counts.second > 0) {
+      return PlanClass::kSemijoinAdaptive;
+    }
+  }
+  return PlanClass::kSemijoin;
+}
+
+}  // namespace fusion

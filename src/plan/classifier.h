@@ -1,0 +1,30 @@
+#ifndef FUSION_PLAN_CLASSIFIER_H_
+#define FUSION_PLAN_CLASSIFIER_H_
+
+#include "plan/plan.h"
+
+namespace fusion {
+
+/// The plan taxonomy of Section 2.5 (most restrictive class reported):
+///  - kFilter: selection queries and local ∪/∩ only;
+///  - kSemijoin: each condition evaluated uniformly — all-sq or all-sjq
+///    across sources;
+///  - kSemijoinAdaptive: per-source sq/sjq choice within a condition;
+///  - kNonSimple: uses lq, local selection, or set difference
+///    (the SJA+ postoptimization vocabulary of Section 4).
+enum class PlanClass {
+  kFilter,
+  kSemijoin,
+  kSemijoinAdaptive,
+  kNonSimple,
+};
+
+const char* PlanClassName(PlanClass c);
+
+/// Classifies by inspecting the op vocabulary and the per-condition mix of
+/// sq vs sjq ops.
+PlanClass ClassifyPlan(const Plan& plan);
+
+}  // namespace fusion
+
+#endif  // FUSION_PLAN_CLASSIFIER_H_

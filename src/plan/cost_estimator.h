@@ -1,0 +1,30 @@
+#ifndef FUSION_PLAN_COST_ESTIMATOR_H_
+#define FUSION_PLAN_COST_ESTIMATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+
+namespace fusion {
+
+/// The estimator's account of one plan: total estimated cost (sum of source
+/// query costs; local ops are free per the paper's model), a per-op cost
+/// vector aligned with Plan::ops(), and the estimate for the result set.
+struct PlanCostBreakdown {
+  double total = 0.0;
+  std::vector<double> per_op;
+  SetEstimate result;
+};
+
+/// Walks `plan` propagating SetEstimates through every variable and charging
+/// each source query via `model`. With an OracleCostModel the returned total
+/// is exactly the cost the executor will meter; with a parametric model it
+/// is the optimizer's independence-assumption estimate.
+Result<PlanCostBreakdown> EstimatePlanCost(const Plan& plan,
+                                           const CostModel& model);
+
+}  // namespace fusion
+
+#endif  // FUSION_PLAN_COST_ESTIMATOR_H_

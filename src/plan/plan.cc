@@ -1,0 +1,264 @@
+#include "plan/plan.h"
+
+#include "common/str_util.h"
+
+namespace fusion {
+
+const char* PlanOpKindName(PlanOpKind kind) {
+  switch (kind) {
+    case PlanOpKind::kSelect:
+      return "sq";
+    case PlanOpKind::kSemiJoin:
+      return "sjq";
+    case PlanOpKind::kLoad:
+      return "lq";
+    case PlanOpKind::kUnion:
+      return "union";
+    case PlanOpKind::kIntersect:
+      return "intersect";
+    case PlanOpKind::kDifference:
+      return "difference";
+    case PlanOpKind::kLocalSelect:
+      return "local-sq";
+  }
+  return "?";
+}
+
+int Plan::NewVar(std::string name, PlanVarType type) {
+  if (name.empty()) {
+    name = StrFormat("V%zu", vars_.size());
+  }
+  vars_.push_back({std::move(name), type});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int Plan::EmitSelect(int cond, int source, std::string name) {
+  PlanOp op;
+  op.kind = PlanOpKind::kSelect;
+  op.cond = cond;
+  op.source = source;
+  op.target = NewVar(std::move(name), PlanVarType::kItems);
+  ops_.push_back(op);
+  return op.target;
+}
+
+int Plan::EmitSemiJoin(int cond, int source, int input_var, std::string name) {
+  PlanOp op;
+  op.kind = PlanOpKind::kSemiJoin;
+  op.cond = cond;
+  op.source = source;
+  op.input = input_var;
+  op.target = NewVar(std::move(name), PlanVarType::kItems);
+  ops_.push_back(op);
+  return op.target;
+}
+
+int Plan::EmitLoad(int source, std::string name) {
+  PlanOp op;
+  op.kind = PlanOpKind::kLoad;
+  op.source = source;
+  op.target = NewVar(std::move(name), PlanVarType::kRelation);
+  ops_.push_back(op);
+  return op.target;
+}
+
+int Plan::EmitLocalSelect(int cond, int relation_var, std::string name) {
+  PlanOp op;
+  op.kind = PlanOpKind::kLocalSelect;
+  op.cond = cond;
+  op.input = relation_var;
+  op.target = NewVar(std::move(name), PlanVarType::kItems);
+  ops_.push_back(op);
+  return op.target;
+}
+
+int Plan::EmitUnion(std::vector<int> inputs, std::string name) {
+  PlanOp op;
+  op.kind = PlanOpKind::kUnion;
+  op.inputs = std::move(inputs);
+  op.target = NewVar(std::move(name), PlanVarType::kItems);
+  ops_.push_back(op);
+  return op.target;
+}
+
+int Plan::EmitIntersect(std::vector<int> inputs, std::string name) {
+  PlanOp op;
+  op.kind = PlanOpKind::kIntersect;
+  op.inputs = std::move(inputs);
+  op.target = NewVar(std::move(name), PlanVarType::kItems);
+  ops_.push_back(op);
+  return op.target;
+}
+
+int Plan::EmitDifference(int lhs, int rhs, std::string name) {
+  PlanOp op;
+  op.kind = PlanOpKind::kDifference;
+  op.inputs = {lhs, rhs};
+  op.target = NewVar(std::move(name), PlanVarType::kItems);
+  ops_.push_back(op);
+  return op.target;
+}
+
+size_t Plan::num_source_queries() const {
+  size_t count = 0;
+  for (const PlanOp& op : ops_) {
+    if (op.kind == PlanOpKind::kSelect || op.kind == PlanOpKind::kSemiJoin ||
+        op.kind == PlanOpKind::kLoad) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Status Plan::Validate(size_t num_conditions, size_t num_sources) const {
+  std::vector<bool> defined(vars_.size(), false);
+  auto check_items_var = [&](int id, const char* role,
+                             size_t op_index) -> Status {
+    if (id < 0 || static_cast<size_t>(id) >= vars_.size() ||
+        !defined[static_cast<size_t>(id)]) {
+      return Status::InvalidArgument(
+          StrFormat("op %zu: %s var %d undefined", op_index, role, id));
+    }
+    if (vars_[static_cast<size_t>(id)].type != PlanVarType::kItems) {
+      return Status::InvalidArgument(
+          StrFormat("op %zu: %s var %d is not an item set", op_index, role,
+                    id));
+    }
+    return Status::Ok();
+  };
+
+  for (size_t k = 0; k < ops_.size(); ++k) {
+    const PlanOp& op = ops_[k];
+    if (op.target < 0 || static_cast<size_t>(op.target) >= vars_.size()) {
+      return Status::InvalidArgument(StrFormat("op %zu: bad target", k));
+    }
+    if (defined[static_cast<size_t>(op.target)]) {
+      return Status::InvalidArgument(
+          StrFormat("op %zu: target var defined twice (not SSA)", k));
+    }
+    const bool needs_cond = op.kind == PlanOpKind::kSelect ||
+                            op.kind == PlanOpKind::kSemiJoin ||
+                            op.kind == PlanOpKind::kLocalSelect;
+    if (needs_cond &&
+        (op.cond < 0 || static_cast<size_t>(op.cond) >= num_conditions)) {
+      return Status::InvalidArgument(
+          StrFormat("op %zu: condition index %d out of range", k, op.cond));
+    }
+    const bool needs_source = op.kind == PlanOpKind::kSelect ||
+                              op.kind == PlanOpKind::kSemiJoin ||
+                              op.kind == PlanOpKind::kLoad;
+    if (needs_source &&
+        (op.source < 0 || static_cast<size_t>(op.source) >= num_sources)) {
+      return Status::InvalidArgument(
+          StrFormat("op %zu: source index %d out of range", k, op.source));
+    }
+    switch (op.kind) {
+      case PlanOpKind::kSelect:
+      case PlanOpKind::kLoad:
+        break;
+      case PlanOpKind::kSemiJoin:
+        FUSION_RETURN_IF_ERROR(check_items_var(op.input, "semijoin input", k));
+        break;
+      case PlanOpKind::kLocalSelect: {
+        const int id = op.input;
+        if (id < 0 || static_cast<size_t>(id) >= vars_.size() ||
+            !defined[static_cast<size_t>(id)] ||
+            vars_[static_cast<size_t>(id)].type != PlanVarType::kRelation) {
+          return Status::InvalidArgument(StrFormat(
+              "op %zu: local select needs a loaded relation var", k));
+        }
+        break;
+      }
+      case PlanOpKind::kUnion:
+      case PlanOpKind::kIntersect: {
+        if (op.inputs.empty()) {
+          return Status::InvalidArgument(
+              StrFormat("op %zu: %s of zero inputs", k,
+                        PlanOpKindName(op.kind)));
+        }
+        for (int id : op.inputs) {
+          FUSION_RETURN_IF_ERROR(check_items_var(id, "operand", k));
+        }
+        break;
+      }
+      case PlanOpKind::kDifference: {
+        if (op.inputs.size() != 2) {
+          return Status::InvalidArgument(
+              StrFormat("op %zu: difference needs exactly 2 operands", k));
+        }
+        for (int id : op.inputs) {
+          FUSION_RETURN_IF_ERROR(check_items_var(id, "operand", k));
+        }
+        break;
+      }
+    }
+    defined[static_cast<size_t>(op.target)] = true;
+  }
+  if (result_ < 0 || static_cast<size_t>(result_) >= vars_.size() ||
+      !defined[static_cast<size_t>(result_)]) {
+    return Status::InvalidArgument("plan result variable undefined");
+  }
+  if (vars_[static_cast<size_t>(result_)].type != PlanVarType::kItems) {
+    return Status::InvalidArgument("plan result is not an item set");
+  }
+  return Status::Ok();
+}
+
+std::string Plan::ToString(const PlanPrintNames& names) const {
+  auto cond_name = [&](int i) {
+    if (static_cast<size_t>(i) < names.conditions.size()) {
+      return names.conditions[static_cast<size_t>(i)];
+    }
+    return StrFormat("c%d", i + 1);
+  };
+  auto source_name = [&](int j) {
+    if (static_cast<size_t>(j) < names.sources.size()) {
+      return names.sources[static_cast<size_t>(j)];
+    }
+    return StrFormat("R%d", j + 1);
+  };
+  auto var_name = [&](int id) { return vars_[static_cast<size_t>(id)].name; };
+
+  std::string out;
+  for (size_t k = 0; k < ops_.size(); ++k) {
+    const PlanOp& op = ops_[k];
+    out += StrFormat("%2zu) %s := ", k + 1, var_name(op.target).c_str());
+    switch (op.kind) {
+      case PlanOpKind::kSelect:
+        out += StrFormat("sq(%s, %s)", cond_name(op.cond).c_str(),
+                         source_name(op.source).c_str());
+        break;
+      case PlanOpKind::kSemiJoin:
+        out += StrFormat("sjq(%s, %s, %s)", cond_name(op.cond).c_str(),
+                         source_name(op.source).c_str(),
+                         var_name(op.input).c_str());
+        break;
+      case PlanOpKind::kLoad:
+        out += StrFormat("lq(%s)", source_name(op.source).c_str());
+        break;
+      case PlanOpKind::kLocalSelect:
+        out += StrFormat("sq(%s, %s)", cond_name(op.cond).c_str(),
+                         var_name(op.input).c_str());
+        break;
+      case PlanOpKind::kUnion:
+      case PlanOpKind::kIntersect: {
+        const char* sym = op.kind == PlanOpKind::kUnion ? " ∪ " : " ∩ ";
+        for (size_t i = 0; i < op.inputs.size(); ++i) {
+          if (i > 0) out += sym;
+          out += var_name(op.inputs[i]);
+        }
+        break;
+      }
+      case PlanOpKind::kDifference:
+        out += var_name(op.inputs[0]) + " − " + var_name(op.inputs[1]);
+        break;
+    }
+    out += "\n";
+  }
+  if (result_ >= 0) {
+    out += StrFormat("result: %s\n", var_name(result_).c_str());
+  }
+  return out;
+}
+
+}  // namespace fusion

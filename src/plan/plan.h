@@ -1,0 +1,103 @@
+#ifndef FUSION_PLAN_PLAN_H_
+#define FUSION_PLAN_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fusion {
+
+/// The operation vocabulary of mediator query plans. The first three are
+/// source queries (they cost money under the paper's model); the rest are
+/// free local computations at the mediator.
+enum class PlanOpKind {
+  kSelect,       // X := sq(c_i, R_j)
+  kSemiJoin,     // X := sjq(c_i, R_j, Y)
+  kLoad,         // Y := lq(R_j)            (postoptimization, Section 4)
+  kUnion,        // X := X_1 ∪ ... ∪ X_k
+  kIntersect,    // X := X_1 ∩ ... ∩ X_k
+  kDifference,   // X := Y − Z              (postoptimization, Section 4)
+  kLocalSelect,  // X := sq(c_i, Y)  for a loaded relation Y (local, free)
+};
+
+const char* PlanOpKindName(PlanOpKind kind);
+
+/// One step of a plan. Fields are used per kind as documented above;
+/// `target` is the variable this op defines (plans are in SSA form —
+/// display names may repeat, variable ids never do).
+struct PlanOp {
+  PlanOpKind kind = PlanOpKind::kSelect;
+  int target = -1;
+  int cond = -1;            // kSelect / kSemiJoin / kLocalSelect
+  int source = -1;          // kSelect / kSemiJoin / kLoad
+  int input = -1;           // kSemiJoin: semijoin set; kLocalSelect: relation
+  std::vector<int> inputs;  // kUnion / kIntersect (>=1), kDifference (==2)
+};
+
+/// What a plan variable holds.
+enum class PlanVarType { kItems, kRelation };
+
+struct PlanVar {
+  std::string name;  // display name (paper-style X11, X1, Y3, ...)
+  PlanVarType type = PlanVarType::kItems;
+};
+
+/// Names used when pretty-printing a plan in the paper's notation. Defaults
+/// produce c1..cm and R1..Rn.
+struct PlanPrintNames {
+  std::vector<std::string> conditions;  // text for c_i; may be empty
+  std::vector<std::string> sources;     // text for R_j; may be empty
+};
+
+/// A mediator query plan: a straight-line program over item-set (and, after
+/// postoptimization, loaded-relation) variables, mirroring the listings in
+/// Figures 2 and 5 of the paper. Built through the Emit* methods; `result()`
+/// designates the variable holding the query answer.
+class Plan {
+ public:
+  Plan() = default;
+
+  /// Each Emit* appends one op and returns the id of the defined variable.
+  /// `name` is the display name; when empty a default (V<k>) is chosen.
+  int EmitSelect(int cond, int source, std::string name = "");
+  int EmitSemiJoin(int cond, int source, int input_var, std::string name = "");
+  int EmitLoad(int source, std::string name = "");
+  int EmitLocalSelect(int cond, int relation_var, std::string name = "");
+  int EmitUnion(std::vector<int> inputs, std::string name = "");
+  int EmitIntersect(std::vector<int> inputs, std::string name = "");
+  int EmitDifference(int lhs, int rhs, std::string name = "");
+
+  void SetResult(int var) { result_ = var; }
+  int result() const { return result_; }
+
+  const std::vector<PlanOp>& ops() const { return ops_; }
+  const std::vector<PlanVar>& vars() const { return vars_; }
+  const PlanVar& var(int id) const { return vars_[static_cast<size_t>(id)]; }
+  size_t num_ops() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Number of costed source queries (sq + sjq + lq ops).
+  size_t num_source_queries() const;
+
+  /// Structural well-formedness: every referenced variable is defined by an
+  /// earlier op, var types match op expectations, cond/source indices are in
+  /// range, and the result variable holds items.
+  Status Validate(size_t num_conditions, size_t num_sources) const;
+
+  /// Pretty-prints in the paper's numbered-step notation, e.g.
+  ///   1) X11 := sq(c1, R1)
+  ///   3) X1 := X11 ∪ X12
+  std::string ToString(const PlanPrintNames& names = {}) const;
+
+ private:
+  int NewVar(std::string name, PlanVarType type);
+
+  std::vector<PlanOp> ops_;
+  std::vector<PlanVar> vars_;
+  int result_ = -1;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_PLAN_PLAN_H_

@@ -1,0 +1,168 @@
+#include "plan/plan_serde.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace fusion {
+namespace {
+
+constexpr char kMagic[] = "FPLAN/1";
+
+Result<int> ParseInt(const std::string& token) {
+  char* end = nullptr;
+  const long v = std::strtol(token.c_str(), &end, 10);
+  if (token.empty() || end != token.c_str() + token.size()) {
+    return Status::ParseError("bad integer in plan: " + token);
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+std::string SerializePlan(const Plan& plan) {
+  std::string out = std::string(kMagic) + "\n";
+  for (size_t v = 0; v < plan.vars().size(); ++v) {
+    const PlanVar& var = plan.vars()[v];
+    out += StrFormat(
+        "var %zu %s %s\n", v,
+        var.type == PlanVarType::kItems ? "items" : "relation",
+        var.name.c_str());
+  }
+  for (const PlanOp& op : plan.ops()) {
+    switch (op.kind) {
+      case PlanOpKind::kSelect:
+        out += StrFormat("op select %d %d %d\n", op.target, op.cond,
+                         op.source);
+        break;
+      case PlanOpKind::kSemiJoin:
+        out += StrFormat("op semijoin %d %d %d %d\n", op.target, op.cond,
+                         op.source, op.input);
+        break;
+      case PlanOpKind::kLoad:
+        out += StrFormat("op load %d %d\n", op.target, op.source);
+        break;
+      case PlanOpKind::kLocalSelect:
+        out += StrFormat("op local-select %d %d %d\n", op.target, op.cond,
+                         op.input);
+        break;
+      case PlanOpKind::kUnion:
+      case PlanOpKind::kIntersect: {
+        out += StrFormat("op %s %d",
+                         op.kind == PlanOpKind::kUnion ? "union" : "intersect",
+                         op.target);
+        for (int v : op.inputs) out += StrFormat(" %d", v);
+        out += "\n";
+        break;
+      }
+      case PlanOpKind::kDifference:
+        out += StrFormat("op difference %d %d %d\n", op.target, op.inputs[0],
+                         op.inputs[1]);
+        break;
+    }
+  }
+  out += StrFormat("result %d\nend\n", plan.result());
+  return out;
+}
+
+Result<Plan> ParsePlan(const std::string& text) {
+  const std::vector<std::string> lines = StrSplit(text, '\n');
+  if (lines.empty() || lines[0] != kMagic) {
+    return Status::ParseError("bad plan magic");
+  }
+  // First pass: variable names/types, in id order.
+  std::vector<std::pair<std::string, PlanVarType>> vars;
+  Plan plan;
+  int result_var = -1;
+  bool terminated = false;
+  int next_var = 0;
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    if (lines[i] == "end") {
+      terminated = true;
+      break;
+    }
+    std::vector<std::string> tokens = StrSplit(lines[i], ' ');
+    if (tokens[0] == "var") {
+      if (tokens.size() < 4) return Status::ParseError("bad var line");
+      FUSION_ASSIGN_OR_RETURN(const int id, ParseInt(tokens[1]));
+      if (id != static_cast<int>(vars.size())) {
+        return Status::ParseError("var ids must be dense and ordered");
+      }
+      const PlanVarType type = tokens[2] == "relation"
+                                   ? PlanVarType::kRelation
+                                   : PlanVarType::kItems;
+      // Names may contain spaces: rejoin the remainder.
+      std::string name = tokens[3];
+      for (size_t t = 4; t < tokens.size(); ++t) name += " " + tokens[t];
+      vars.emplace_back(std::move(name), type);
+      continue;
+    }
+    if (tokens[0] == "result") {
+      if (tokens.size() != 2) return Status::ParseError("bad result line");
+      FUSION_ASSIGN_OR_RETURN(result_var, ParseInt(tokens[1]));
+      continue;
+    }
+    if (tokens[0] != "op" || tokens.size() < 3) {
+      return Status::ParseError("bad plan line: " + lines[i]);
+    }
+    const std::string& kind = tokens[1];
+    FUSION_ASSIGN_OR_RETURN(const int target, ParseInt(tokens[2]));
+    if (target != next_var) {
+      return Status::ParseError(
+          "op targets must follow variable-allocation order");
+    }
+    if (static_cast<size_t>(target) >= vars.size()) {
+      return Status::ParseError("op target without a var declaration");
+    }
+    const std::string& name = vars[static_cast<size_t>(target)].first;
+    auto arg = [&](size_t idx) -> Result<int> {
+      if (idx >= tokens.size()) {
+        return Status::ParseError("missing op operand: " + lines[i]);
+      }
+      return ParseInt(tokens[idx]);
+    };
+    if (kind == "select") {
+      FUSION_ASSIGN_OR_RETURN(const int cond, arg(3));
+      FUSION_ASSIGN_OR_RETURN(const int source, arg(4));
+      plan.EmitSelect(cond, source, name);
+    } else if (kind == "semijoin") {
+      FUSION_ASSIGN_OR_RETURN(const int cond, arg(3));
+      FUSION_ASSIGN_OR_RETURN(const int source, arg(4));
+      FUSION_ASSIGN_OR_RETURN(const int input, arg(5));
+      plan.EmitSemiJoin(cond, source, input, name);
+    } else if (kind == "load") {
+      FUSION_ASSIGN_OR_RETURN(const int source, arg(3));
+      plan.EmitLoad(source, name);
+    } else if (kind == "local-select") {
+      FUSION_ASSIGN_OR_RETURN(const int cond, arg(3));
+      FUSION_ASSIGN_OR_RETURN(const int input, arg(4));
+      plan.EmitLocalSelect(cond, input, name);
+    } else if (kind == "union" || kind == "intersect") {
+      std::vector<int> inputs;
+      for (size_t t = 3; t < tokens.size(); ++t) {
+        FUSION_ASSIGN_OR_RETURN(const int v, ParseInt(tokens[t]));
+        inputs.push_back(v);
+      }
+      if (kind == "union") {
+        plan.EmitUnion(std::move(inputs), name);
+      } else {
+        plan.EmitIntersect(std::move(inputs), name);
+      }
+    } else if (kind == "difference") {
+      FUSION_ASSIGN_OR_RETURN(const int lhs, arg(3));
+      FUSION_ASSIGN_OR_RETURN(const int rhs, arg(4));
+      plan.EmitDifference(lhs, rhs, name);
+    } else {
+      return Status::ParseError("unknown op kind: " + kind);
+    }
+    ++next_var;
+  }
+  if (!terminated) return Status::ParseError("plan missing 'end'");
+  if (result_var < 0) return Status::ParseError("plan missing result");
+  plan.SetResult(result_var);
+  return plan;
+}
+
+}  // namespace fusion

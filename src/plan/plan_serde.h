@@ -1,0 +1,35 @@
+#ifndef FUSION_PLAN_PLAN_SERDE_H_
+#define FUSION_PLAN_PLAN_SERDE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace fusion {
+
+/// Machine-readable plan serialization ("FPLAN/1"): a line-oriented format
+/// that round-trips exactly, unlike the paper-notation pretty printer
+/// (which is for humans). Lets tools persist optimizer decisions, diff
+/// plans across versions, and replay a plan without re-optimizing:
+///
+///   FPLAN/1
+///   var <id> <items|relation> <name>
+///   op select <target> <cond> <source>
+///   op semijoin <target> <cond> <source> <input>
+///   op load <target> <source>
+///   op local-select <target> <cond> <input>
+///   op union <target> <input>...
+///   op intersect <target> <input>...
+///   op difference <target> <lhs> <rhs>
+///   result <var>
+///   end
+std::string SerializePlan(const Plan& plan);
+
+/// Parses the FPLAN/1 format; the result validates structurally (ids dense,
+/// SSA order preserved). Display names survive the round trip.
+Result<Plan> ParsePlan(const std::string& text);
+
+}  // namespace fusion
+
+#endif  // FUSION_PLAN_PLAN_SERDE_H_

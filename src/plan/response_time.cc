@@ -1,0 +1,70 @@
+#include "plan/response_time.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "plan/cost_estimator.h"
+
+namespace fusion {
+
+Result<ResponseTimeBreakdown> ComputeResponseTime(
+    const Plan& plan, const std::vector<double>& per_op_cost) {
+  if (per_op_cost.size() != plan.num_ops()) {
+    return Status::InvalidArgument(
+        StrFormat("per-op cost vector has %zu entries for %zu ops",
+                  per_op_cost.size(), plan.num_ops()));
+  }
+  ResponseTimeBreakdown out;
+  out.completion.assign(plan.num_ops(), 0.0);
+  // ready[v] = completion time of the op defining variable v.
+  std::vector<double> ready(plan.vars().size(), 0.0);
+  // busy_until[j] = when source j finishes its last scheduled query.
+  // Ops are scheduled in plan order per source (the mediator pipelines its
+  // requests in program order), so a source serializes its own queries.
+  std::vector<double> busy_until;
+
+  auto source_slot = [&](int source) -> double& {
+    if (static_cast<size_t>(source) >= busy_until.size()) {
+      busy_until.resize(static_cast<size_t>(source) + 1, 0.0);
+    }
+    return busy_until[static_cast<size_t>(source)];
+  };
+
+  for (size_t k = 0; k < plan.ops().size(); ++k) {
+    const PlanOp& op = plan.ops()[k];
+    double start = 0.0;
+    switch (op.kind) {
+      case PlanOpKind::kSelect:
+      case PlanOpKind::kLoad:
+        start = source_slot(op.source);
+        break;
+      case PlanOpKind::kSemiJoin:
+        start = std::max(ready[op.input], source_slot(op.source));
+        break;
+      case PlanOpKind::kLocalSelect:
+        start = ready[op.input];
+        break;
+      case PlanOpKind::kUnion:
+      case PlanOpKind::kIntersect:
+      case PlanOpKind::kDifference:
+        for (int v : op.inputs) start = std::max(start, ready[v]);
+        break;
+    }
+    const double finish = start + per_op_cost[k];
+    if (op.source >= 0) source_slot(op.source) = finish;
+    ready[op.target] = finish;
+    out.completion[k] = finish;
+    out.total_work += per_op_cost[k];
+    out.response_time = std::max(out.response_time, finish);
+  }
+  return out;
+}
+
+Result<ResponseTimeBreakdown> EstimateResponseTime(const Plan& plan,
+                                                   const CostModel& model) {
+  FUSION_ASSIGN_OR_RETURN(PlanCostBreakdown breakdown,
+                          EstimatePlanCost(plan, model));
+  return ComputeResponseTime(plan, breakdown.per_op);
+}
+
+}  // namespace fusion

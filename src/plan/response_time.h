@@ -1,0 +1,45 @@
+#ifndef FUSION_PLAN_RESPONSE_TIME_H_
+#define FUSION_PLAN_RESPONSE_TIME_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+
+namespace fusion {
+
+/// Response-time analysis of a plan under a parallel execution model — the
+/// future-work direction named in the paper's conclusion. The mediator can
+/// issue independent source queries concurrently; an op can start once all
+/// of its plan inputs are available, and local mediator operations are
+/// instantaneous. The response time of a plan is therefore the weight of the
+/// critical path through its dependency DAG, with each source query weighted
+/// by its (estimated or metered) cost and local ops weighted zero.
+///
+/// Queries to the *same* source serialize (a source answers one query at a
+/// time); queries to distinct sources run in parallel.
+struct ResponseTimeBreakdown {
+  /// Critical-path length: the parallel makespan.
+  double response_time = 0.0;
+  /// Σ op costs — the paper's total-work objective, for comparison.
+  double total_work = 0.0;
+  /// completion[k] = earliest finish time of op k.
+  std::vector<double> completion;
+};
+
+/// Computes the makespan of `plan` given per-op costs (aligned with
+/// plan.ops(), e.g. PlanCostBreakdown::per_op from the estimator, or metered
+/// per-charge costs mapped back to ops). Validates array length only; the
+/// plan is assumed structurally valid.
+Result<ResponseTimeBreakdown> ComputeResponseTime(
+    const Plan& plan, const std::vector<double>& per_op_cost);
+
+/// Convenience: estimates per-op costs with `model` and computes the
+/// response time in one step.
+Result<ResponseTimeBreakdown> EstimateResponseTime(const Plan& plan,
+                                                   const CostModel& model);
+
+}  // namespace fusion
+
+#endif  // FUSION_PLAN_RESPONSE_TIME_H_

@@ -1,0 +1,259 @@
+#include "protocol/message.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace fusion {
+namespace {
+
+constexpr char kMagic[] = "FUSIONP/1";
+
+const char* RequestKindName(SourceRequest::Kind kind) {
+  switch (kind) {
+    case SourceRequest::Kind::kHello:
+      return "HELLO";
+    case SourceRequest::Kind::kSelect:
+      return "SELECT";
+    case SourceRequest::Kind::kSemiJoin:
+      return "SEMIJOIN";
+    case SourceRequest::Kind::kLoad:
+      return "LOAD";
+    case SourceRequest::Kind::kFetch:
+      return "FETCH";
+  }
+  return "?";
+}
+
+Result<SourceRequest::Kind> ParseRequestKind(const std::string& name) {
+  if (name == "HELLO") return SourceRequest::Kind::kHello;
+  if (name == "SELECT") return SourceRequest::Kind::kSelect;
+  if (name == "SEMIJOIN") return SourceRequest::Kind::kSemiJoin;
+  if (name == "LOAD") return SourceRequest::Kind::kLoad;
+  if (name == "FETCH") return SourceRequest::Kind::kFetch;
+  return Status::ParseError("unknown request kind: " + name);
+}
+
+std::string EscapeText(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeText(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) return Status::ParseError("dangling escape");
+    ++i;
+    if (s[i] == 'n') {
+      out += '\n';
+    } else if (s[i] == '\\') {
+      out += '\\';
+    } else {
+      return Status::ParseError("bad escape sequence");
+    }
+  }
+  return out;
+}
+
+/// Splits "key rest-of-line" on the first space.
+std::pair<std::string, std::string> SplitKeyValue(const std::string& line) {
+  const size_t space = line.find(' ');
+  if (space == std::string::npos) return {line, ""};
+  return {line.substr(0, space), line.substr(space + 1)};
+}
+
+}  // namespace
+
+std::string SerializeValue(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "i:" + std::to_string(value.int64());
+    case ValueType::kDouble:
+      return "d:" + StrFormat("%.17g", value.dbl());
+    case ValueType::kString:
+      return "s:" + EscapeText(value.str());
+  }
+  return "null";
+}
+
+Result<Value> ParseSerializedValue(const std::string& text) {
+  if (text == "null") return Value::Null();
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::ParseError("bad serialized value: " + text);
+  }
+  const std::string payload = text.substr(2);
+  switch (text[0]) {
+    case 'i': {
+      char* end = nullptr;
+      const long long v = std::strtoll(payload.c_str(), &end, 10);
+      if (end != payload.c_str() + payload.size() || payload.empty()) {
+        return Status::ParseError("bad int64 payload: " + payload);
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case 'd': {
+      char* end = nullptr;
+      const double v = std::strtod(payload.c_str(), &end);
+      if (end != payload.c_str() + payload.size() || payload.empty()) {
+        return Status::ParseError("bad double payload: " + payload);
+      }
+      return Value(v);
+    }
+    case 's': {
+      FUSION_ASSIGN_OR_RETURN(std::string unescaped, UnescapeText(payload));
+      return Value(std::move(unescaped));
+    }
+    default:
+      return Status::ParseError("unknown value tag: " + text);
+  }
+}
+
+std::string SerializeRequest(const SourceRequest& request) {
+  std::string out = std::string(kMagic) + " " + RequestKindName(request.kind) +
+                    "\n";
+  if (!request.merge_attribute.empty()) {
+    out += "merge " + request.merge_attribute + "\n";
+  }
+  if (!request.condition_text.empty()) {
+    out += "cond " + EscapeText(request.condition_text) + "\n";
+  }
+  for (const Value& v : request.bindings) {
+    out += "bind " + SerializeValue(v) + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<SourceRequest> ParseRequest(const std::string& text) {
+  const std::vector<std::string> lines = StrSplit(text, '\n');
+  if (lines.empty()) return Status::ParseError("empty request");
+  const auto [magic, kind_name] = SplitKeyValue(lines[0]);
+  if (magic != kMagic) {
+    return Status::ParseError("bad protocol magic: " + magic);
+  }
+  SourceRequest request;
+  FUSION_ASSIGN_OR_RETURN(request.kind, ParseRequestKind(kind_name));
+  bool terminated = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    if (lines[i] == "end") {
+      terminated = true;
+      break;
+    }
+    const auto [key, value] = SplitKeyValue(lines[i]);
+    if (key == "merge") {
+      request.merge_attribute = value;
+    } else if (key == "cond") {
+      FUSION_ASSIGN_OR_RETURN(request.condition_text, UnescapeText(value));
+    } else if (key == "bind") {
+      FUSION_ASSIGN_OR_RETURN(Value v, ParseSerializedValue(value));
+      request.bindings.push_back(std::move(v));
+    } else {
+      return Status::ParseError("unknown request field: " + key);
+    }
+  }
+  if (!terminated) return Status::ParseError("request missing 'end'");
+  return request;
+}
+
+std::string SerializeResponse(const SourceResponse& response) {
+  std::string out = std::string(kMagic) + " " +
+                    (response.ok ? "OK" : "ERROR") + "\n";
+  if (!response.ok) {
+    out += StrFormat("error %d %s\n", static_cast<int>(response.error_code),
+                     EscapeText(response.error_message).c_str());
+  }
+  for (const Value& v : response.items) {
+    out += "item " + SerializeValue(v) + "\n";
+  }
+  for (const std::string& line : response.relation_lines) {
+    out += "relation-line " + EscapeText(line) + "\n";
+  }
+  if (!response.name.empty()) out += "name " + response.name + "\n";
+  if (!response.semijoin_support.empty()) {
+    out += "semijoin " + response.semijoin_support + "\n";
+  }
+  out += std::string("load ") + (response.supports_load ? "yes" : "no") + "\n";
+  for (const ChargeSummary& c : response.charges) {
+    out += StrFormat("charge %s %zu %zu %zu %.17g\n", c.kind.c_str(),
+                     c.items_sent, c.items_received, c.tuples_scanned, c.cost);
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<SourceResponse> ParseResponse(const std::string& text) {
+  const std::vector<std::string> lines = StrSplit(text, '\n');
+  if (lines.empty()) return Status::ParseError("empty response");
+  const auto [magic, status_name] = SplitKeyValue(lines[0]);
+  if (magic != kMagic) {
+    return Status::ParseError("bad protocol magic: " + magic);
+  }
+  SourceResponse response;
+  if (status_name == "OK") {
+    response.ok = true;
+  } else if (status_name == "ERROR") {
+    response.ok = false;
+  } else {
+    return Status::ParseError("bad response status: " + status_name);
+  }
+  bool terminated = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    if (lines[i] == "end") {
+      terminated = true;
+      break;
+    }
+    const auto [key, value] = SplitKeyValue(lines[i]);
+    if (key == "error") {
+      const auto [code_text, message] = SplitKeyValue(value);
+      response.error_code = static_cast<StatusCode>(std::atoi(code_text.c_str()));
+      FUSION_ASSIGN_OR_RETURN(response.error_message, UnescapeText(message));
+    } else if (key == "item") {
+      FUSION_ASSIGN_OR_RETURN(Value v, ParseSerializedValue(value));
+      response.items.push_back(std::move(v));
+    } else if (key == "relation-line") {
+      FUSION_ASSIGN_OR_RETURN(std::string line, UnescapeText(value));
+      response.relation_lines.push_back(std::move(line));
+    } else if (key == "name") {
+      response.name = value;
+    } else if (key == "semijoin") {
+      response.semijoin_support = value;
+    } else if (key == "load") {
+      response.supports_load = value == "yes";
+    } else if (key == "charge") {
+      const std::vector<std::string> parts = StrSplit(value, ' ');
+      if (parts.size() != 5) {
+        return Status::ParseError("bad charge line: " + value);
+      }
+      ChargeSummary c;
+      c.kind = parts[0];
+      c.items_sent = static_cast<size_t>(std::atoll(parts[1].c_str()));
+      c.items_received = static_cast<size_t>(std::atoll(parts[2].c_str()));
+      c.tuples_scanned = static_cast<size_t>(std::atoll(parts[3].c_str()));
+      c.cost = std::atof(parts[4].c_str());
+      response.charges.push_back(std::move(c));
+    } else {
+      return Status::ParseError("unknown response field: " + key);
+    }
+  }
+  if (!terminated) return Status::ParseError("response missing 'end'");
+  return response;
+}
+
+}  // namespace fusion

@@ -1,0 +1,78 @@
+#ifndef FUSION_PROTOCOL_MESSAGE_H_
+#define FUSION_PROTOCOL_MESSAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace fusion {
+
+/// The wire protocol between the mediator and source wrappers ("FUSIONP/1"),
+/// realizing the wrapper boundary the paper assumes (Section 2.1, [19]): the
+/// mediator ships small text messages; wrappers answer with item lists or
+/// CSV relations plus the cost they charged. Line-oriented, human-readable,
+/// and fully round-trip tested — conditions travel in their textual form and
+/// are re-parsed server-side.
+///
+/// Request grammar (one field per line, terminated by `end`):
+///   FUSIONP/1 <SELECT|SEMIJOIN|LOAD|FETCH|HELLO>
+///   merge <attribute>            (SELECT / SEMIJOIN / FETCH)
+///   cond <condition text>        (SELECT / SEMIJOIN)
+///   bind <value>                 (0+ times; SEMIJOIN / FETCH)
+///   end
+struct SourceRequest {
+  enum class Kind { kHello, kSelect, kSemiJoin, kLoad, kFetch };
+
+  Kind kind = Kind::kHello;
+  std::string merge_attribute;
+  std::string condition_text;   // parseable by ParseCondition
+  std::vector<Value> bindings;  // semijoin candidates / fetch items
+};
+
+/// Response grammar:
+///   FUSIONP/1 <OK|ERROR>
+///   error <code> <message>       (ERROR only)
+///   item <value>                 (0+; SELECT / SEMIJOIN answers)
+///   relation-line <csv line>     (0+; LOAD / FETCH relations, HELLO schema)
+///   name <source name>           (HELLO)
+///   semijoin <native|bindings|none>  (HELLO)
+///   load <yes|no>                (HELLO)
+///   charge <kind> <sent> <recv> <scanned> <cost>   (0+; metering transfer)
+///   end
+struct ChargeSummary {
+  std::string kind;  // ChargeKindName text
+  size_t items_sent = 0;
+  size_t items_received = 0;
+  size_t tuples_scanned = 0;
+  double cost = 0.0;
+};
+
+struct SourceResponse {
+  bool ok = true;
+  StatusCode error_code = StatusCode::kOk;
+  std::string error_message;
+
+  std::vector<Value> items;                 // select / semijoin
+  std::vector<std::string> relation_lines;  // load / fetch CSV, hello schema
+  std::string name;                         // hello
+  std::string semijoin_support;             // hello: native|bindings|none
+  bool supports_load = true;                // hello
+  std::vector<ChargeSummary> charges;
+};
+
+/// Serializes a Value for a protocol line: `null`, `i:<n>`, `d:<repr>`, or
+/// `s:<escaped>` with backslash escapes for newline/backslash.
+std::string SerializeValue(const Value& value);
+Result<Value> ParseSerializedValue(const std::string& text);
+
+std::string SerializeRequest(const SourceRequest& request);
+Result<SourceRequest> ParseRequest(const std::string& text);
+
+std::string SerializeResponse(const SourceResponse& response);
+Result<SourceResponse> ParseResponse(const std::string& text);
+
+}  // namespace fusion
+
+#endif  // FUSION_PROTOCOL_MESSAGE_H_

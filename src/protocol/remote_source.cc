@@ -1,0 +1,133 @@
+#include "protocol/remote_source.h"
+
+#include "common/str_util.h"
+#include "relational/relation.h"
+
+namespace fusion {
+namespace {
+
+Result<Capabilities> CapabilitiesFromWire(const std::string& semijoin,
+                                          bool supports_load) {
+  Capabilities caps;
+  if (semijoin == "native") {
+    caps.semijoin = SemijoinSupport::kNative;
+  } else if (semijoin == "bindings") {
+    caps.semijoin = SemijoinSupport::kPassedBindingsOnly;
+  } else if (semijoin == "none") {
+    caps.semijoin = SemijoinSupport::kUnsupported;
+  } else {
+    return Status::ParseError("bad semijoin capability on wire: " + semijoin);
+  }
+  caps.supports_load = supports_load;
+  return caps;
+}
+
+Result<Relation> RelationFromLines(const std::vector<std::string>& lines) {
+  std::string csv;
+  for (const std::string& line : lines) {
+    csv += line;
+    csv += '\n';
+  }
+  return RelationFromCsv(csv);
+}
+
+}  // namespace
+
+Result<SourceResponse> RemoteSource::RoundTrip(const SourceRequest& request,
+                                               CostLedger* ledger) {
+  FUSION_ASSIGN_OR_RETURN(SourceResponse response,
+                          ParseResponse(transport_(SerializeRequest(request))));
+  if (ledger != nullptr) {
+    for (const ChargeSummary& summary : response.charges) {
+      Charge charge;
+      charge.source = name_.empty() ? response.name : name_;
+      // Charge kinds survive as their display names; the enum value is only
+      // cosmetic on the mediator side, so map the common ones.
+      charge.kind = summary.kind == "sjq" ? ChargeKind::kSemiJoin
+                    : summary.kind == "lq" ? ChargeKind::kLoad
+                    : summary.kind == "fetch" ? ChargeKind::kFetchRecords
+                        : ChargeKind::kSelect;
+      charge.detail = "remote " + summary.kind;
+      charge.items_sent = summary.items_sent;
+      charge.items_received = summary.items_received;
+      charge.tuples_scanned = summary.tuples_scanned;
+      charge.cost = summary.cost;
+      ledger->Add(std::move(charge));
+    }
+  }
+  if (!response.ok) {
+    return Status(response.error_code,
+                  "remote source '" + (name_.empty() ? "?" : name_) +
+                      "': " + response.error_message);
+  }
+  return response;
+}
+
+Result<std::unique_ptr<RemoteSource>> RemoteSource::Connect(
+    ProtocolTransport transport) {
+  auto source = std::unique_ptr<RemoteSource>(
+      new RemoteSource(std::move(transport)));
+  SourceRequest hello;
+  hello.kind = SourceRequest::Kind::kHello;
+  FUSION_ASSIGN_OR_RETURN(const SourceResponse response,
+                          source->RoundTrip(hello, nullptr));
+  if (response.name.empty()) {
+    return Status::ParseError("HELLO response carries no source name");
+  }
+  source->name_ = response.name;
+  FUSION_ASSIGN_OR_RETURN(
+      source->capabilities_,
+      CapabilitiesFromWire(response.semijoin_support, response.supports_load));
+  FUSION_ASSIGN_OR_RETURN(const Relation schema_relation,
+                          RelationFromLines(response.relation_lines));
+  source->schema_ = schema_relation.schema();
+  return source;
+}
+
+Result<ItemSet> RemoteSource::Select(const Condition& cond,
+                                     const std::string& merge_attribute,
+                                     CostLedger* ledger) {
+  SourceRequest request;
+  request.kind = SourceRequest::Kind::kSelect;
+  request.merge_attribute = merge_attribute;
+  request.condition_text = cond.ToString();
+  FUSION_ASSIGN_OR_RETURN(const SourceResponse response,
+                          RoundTrip(request, ledger));
+  return ItemSet(response.items);
+}
+
+Result<ItemSet> RemoteSource::SemiJoin(const Condition& cond,
+                                       const std::string& merge_attribute,
+                                       const ItemSet& candidates,
+                                       CostLedger* ledger) {
+  SourceRequest request;
+  request.kind = SourceRequest::Kind::kSemiJoin;
+  request.merge_attribute = merge_attribute;
+  request.condition_text = cond.ToString();
+  request.bindings.assign(candidates.begin(), candidates.end());
+  FUSION_ASSIGN_OR_RETURN(const SourceResponse response,
+                          RoundTrip(request, ledger));
+  return ItemSet(response.items);
+}
+
+Result<Relation> RemoteSource::Load(CostLedger* ledger) {
+  SourceRequest request;
+  request.kind = SourceRequest::Kind::kLoad;
+  FUSION_ASSIGN_OR_RETURN(const SourceResponse response,
+                          RoundTrip(request, ledger));
+  return RelationFromLines(response.relation_lines);
+}
+
+Result<Relation> RemoteSource::FetchRecords(const std::string& merge_attribute,
+                                            const ItemSet& items,
+                                            CostLedger* ledger) {
+  SourceRequest request;
+  request.kind = SourceRequest::Kind::kFetch;
+  request.merge_attribute = merge_attribute;
+  request.bindings.assign(items.begin(), items.end());
+  FUSION_ASSIGN_OR_RETURN(const SourceResponse response,
+                          RoundTrip(request, ledger));
+  return RelationFromLines(response.relation_lines);
+}
+
+}  // namespace fusion

@@ -1,0 +1,64 @@
+#ifndef FUSION_PROTOCOL_REMOTE_SOURCE_H_
+#define FUSION_PROTOCOL_REMOTE_SOURCE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "protocol/message.h"
+#include "source/source_wrapper.h"
+
+namespace fusion {
+
+/// Transport for FUSIONP/1: ships one serialized request, returns the
+/// serialized response. In-process tests connect it straight to a
+/// SourceServer; a networked deployment would put a socket here.
+using ProtocolTransport = std::function<std::string(const std::string&)>;
+
+/// The mediator-side endpoint: a SourceWrapper that speaks FUSIONP/1 over a
+/// transport. Metadata (name, schema, capabilities) is fetched once via
+/// HELLO at construction; every operation round-trips a message and replays
+/// the server's charge summaries into the caller's ledger, so cost
+/// accounting is identical to in-process wrappers (a property the protocol
+/// tests assert).
+class RemoteSource : public SourceWrapper {
+ public:
+  /// Performs the HELLO handshake; fails if the server is unreachable or
+  /// speaks a different protocol.
+  static Result<std::unique_ptr<RemoteSource>> Connect(
+      ProtocolTransport transport);
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+  const Capabilities& capabilities() const override { return capabilities_; }
+
+  Result<ItemSet> Select(const Condition& cond,
+                         const std::string& merge_attribute,
+                         CostLedger* ledger) override;
+  Result<ItemSet> SemiJoin(const Condition& cond,
+                           const std::string& merge_attribute,
+                           const ItemSet& candidates,
+                           CostLedger* ledger) override;
+  Result<Relation> Load(CostLedger* ledger) override;
+  Result<Relation> FetchRecords(const std::string& merge_attribute,
+                                const ItemSet& items,
+                                CostLedger* ledger) override;
+
+ private:
+  explicit RemoteSource(ProtocolTransport transport)
+      : transport_(std::move(transport)) {}
+
+  /// Ships a request, parses the response, replays charges into `ledger`,
+  /// and maps ERROR responses back into Status.
+  Result<SourceResponse> RoundTrip(const SourceRequest& request,
+                                   CostLedger* ledger);
+
+  ProtocolTransport transport_;
+  std::string name_;
+  Schema schema_;
+  Capabilities capabilities_;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_PROTOCOL_REMOTE_SOURCE_H_

@@ -1,0 +1,114 @@
+#include "protocol/source_server.h"
+
+#include "common/str_util.h"
+#include "relational/condition.h"
+#include "relational/relation.h"
+
+namespace fusion {
+namespace {
+
+SourceResponse ErrorResponse(const Status& status) {
+  SourceResponse response;
+  response.ok = false;
+  response.error_code = status.code();
+  response.error_message = status.message();
+  return response;
+}
+
+void AttachCharges(const CostLedger& ledger, SourceResponse& response) {
+  for (const Charge& c : ledger.charges()) {
+    ChargeSummary summary;
+    summary.kind = ChargeKindName(c.kind);
+    summary.items_sent = c.items_sent;
+    summary.items_received = c.items_received;
+    summary.tuples_scanned = c.tuples_scanned;
+    summary.cost = c.cost;
+    response.charges.push_back(std::move(summary));
+  }
+}
+
+void AttachRelation(const Relation& relation, SourceResponse& response) {
+  for (const std::string& line : StrSplit(RelationToCsv(relation), '\n')) {
+    if (!line.empty()) response.relation_lines.push_back(line);
+  }
+}
+
+const char* SemijoinWireName(SemijoinSupport s) {
+  switch (s) {
+    case SemijoinSupport::kNative:
+      return "native";
+    case SemijoinSupport::kPassedBindingsOnly:
+      return "bindings";
+    case SemijoinSupport::kUnsupported:
+      return "none";
+  }
+  return "none";
+}
+
+}  // namespace
+
+SourceResponse SourceServer::HandleParsed(const SourceRequest& request) {
+  SourceResponse response;
+  switch (request.kind) {
+    case SourceRequest::Kind::kHello: {
+      response.name = impl_->name();
+      response.semijoin_support =
+          SemijoinWireName(impl_->capabilities().semijoin);
+      response.supports_load = impl_->capabilities().supports_load;
+      // Ship the schema as a CSV header line.
+      Relation empty(impl_->schema());
+      AttachRelation(empty, response);
+      return response;
+    }
+    case SourceRequest::Kind::kSelect: {
+      auto cond = ParseCondition(request.condition_text);
+      if (!cond.ok()) return ErrorResponse(cond.status());
+      CostLedger ledger;
+      auto items =
+          impl_->Select(*cond, request.merge_attribute, &ledger);
+      if (!items.ok()) return ErrorResponse(items.status());
+      response.items.assign(items->begin(), items->end());
+      AttachCharges(ledger, response);
+      return response;
+    }
+    case SourceRequest::Kind::kSemiJoin: {
+      auto cond = ParseCondition(request.condition_text);
+      if (!cond.ok()) return ErrorResponse(cond.status());
+      CostLedger ledger;
+      auto items = impl_->SemiJoin(*cond, request.merge_attribute,
+                                   ItemSet(request.bindings), &ledger);
+      if (!items.ok()) return ErrorResponse(items.status());
+      response.items.assign(items->begin(), items->end());
+      AttachCharges(ledger, response);
+      return response;
+    }
+    case SourceRequest::Kind::kLoad: {
+      CostLedger ledger;
+      auto relation = impl_->Load(&ledger);
+      if (!relation.ok()) return ErrorResponse(relation.status());
+      AttachRelation(*relation, response);
+      AttachCharges(ledger, response);
+      return response;
+    }
+    case SourceRequest::Kind::kFetch: {
+      CostLedger ledger;
+      auto relation = impl_->FetchRecords(
+          request.merge_attribute, ItemSet(request.bindings), &ledger);
+      if (!relation.ok()) return ErrorResponse(relation.status());
+      AttachRelation(*relation, response);
+      AttachCharges(ledger, response);
+      return response;
+    }
+  }
+  return ErrorResponse(Status::Internal("unhandled request kind"));
+}
+
+std::string SourceServer::Handle(const std::string& request_text) {
+  const auto request = ParseRequest(request_text);
+  if (!request.ok()) {
+    return SerializeResponse(ErrorResponse(request.status()));
+  }
+  return SerializeResponse(HandleParsed(*request));
+}
+
+}  // namespace fusion

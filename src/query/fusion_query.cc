@@ -1,0 +1,68 @@
+#include "query/fusion_query.h"
+
+#include "common/str_util.h"
+
+namespace fusion {
+
+Status FusionQuery::Validate(const Schema& schema) const {
+  if (merge_attribute_.empty()) {
+    return Status::InvalidArgument("fusion query has no merge attribute");
+  }
+  if (!schema.HasColumn(merge_attribute_)) {
+    return Status::NotFound("merge attribute '" + merge_attribute_ +
+                            "' not in schema " + schema.ToString());
+  }
+  if (conditions_.empty()) {
+    return Status::InvalidArgument("fusion query has no conditions");
+  }
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    const Status s = conditions_[i].Validate(schema);
+    if (!s.ok()) {
+      return Status(s.code(), StrFormat("condition c%zu: %s", i + 1,
+                                        s.message().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+FusionQuery FusionQuery::Canonicalized() const {
+  std::vector<Condition> simplified;
+  simplified.reserve(conditions_.size());
+  for (const Condition& c : conditions_) {
+    simplified.push_back(c.Simplified());
+  }
+  return FusionQuery(merge_attribute_, std::move(simplified));
+}
+
+std::string FusionQuery::ToSql() const {
+  const size_t m = conditions_.size();
+  std::string sql = "SELECT u1." + merge_attribute_ + "\nFROM ";
+  for (size_t i = 0; i < m; ++i) {
+    if (i > 0) sql += ", ";
+    sql += StrFormat("U u%zu", i + 1);
+  }
+  sql += "\nWHERE ";
+  for (size_t i = 1; i < m; ++i) {
+    if (i > 1) sql += " AND ";
+    sql += StrFormat("u1.%s = u%zu.%s", merge_attribute_.c_str(), i + 1,
+                     merge_attribute_.c_str());
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (i > 0 || m > 1) sql += " AND ";
+    // Conditions print with their attribute qualified by the variable.
+    sql += StrFormat("[u%zu] %s", i + 1, conditions_[i].ToString().c_str());
+  }
+  return sql;
+}
+
+std::string FusionQuery::ToString() const {
+  std::string out = "fusion(" + merge_attribute_ + "; ";
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += conditions_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fusion

@@ -1,0 +1,57 @@
+#ifndef FUSION_QUERY_FUSION_QUERY_H_
+#define FUSION_QUERY_FUSION_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/condition.h"
+#include "relational/schema.h"
+
+namespace fusion {
+
+/// A fusion query (Section 2.2 of the paper):
+///
+///   SELECT u1.M FROM U u1, ..., U um
+///   WHERE u1.M = ... = um.M AND c1 AND ... AND cm
+///
+/// i.e. retrieve the merge-attribute values of entities that satisfy each of
+/// `m` single-variable conditions, where each condition may be satisfied at
+/// any source. The query object stores only what planning needs: the merge
+/// attribute name and the ordered list of conditions.
+class FusionQuery {
+ public:
+  FusionQuery() = default;
+  FusionQuery(std::string merge_attribute, std::vector<Condition> conditions)
+      : merge_attribute_(std::move(merge_attribute)),
+        conditions_(std::move(conditions)) {}
+
+  const std::string& merge_attribute() const { return merge_attribute_; }
+  const std::vector<Condition>& conditions() const { return conditions_; }
+  size_t num_conditions() const { return conditions_.size(); }
+
+  /// Checks the query is well-formed against the common source schema:
+  /// merge attribute exists, at least one condition, and every condition
+  /// references only schema attributes.
+  Status Validate(const Schema& schema) const;
+
+  /// Returns the query with every condition in canonical simplified form
+  /// (see Condition::Simplified). The mediator canonicalizes before
+  /// planning: canonical condition text maximizes source-call cache hits,
+  /// and contradictory conditions collapse to FALSE.
+  FusionQuery Canonicalized() const;
+
+  /// Renders the query back in the paper's SQL form.
+  std::string ToSql() const;
+
+  /// One-line summary: "fusion(M; c1, c2, ...)".
+  std::string ToString() const;
+
+ private:
+  std::string merge_attribute_;
+  std::vector<Condition> conditions_;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_QUERY_FUSION_QUERY_H_

@@ -1,0 +1,344 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/str_util.h"
+#include "relational/condition.h"
+
+namespace fusion {
+namespace {
+
+/// Finds keyword `kw` at a word boundary outside string literals, case
+/// insensitively. Returns npos if absent.
+size_t FindKeyword(const std::string& text, const char* kw, size_t from = 0) {
+  const size_t n = std::strlen(kw);
+  bool in_string = false;
+  for (size_t i = from; i + n <= text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\'') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) continue;
+    if (!EqualsIgnoreCase(std::string_view(text).substr(i, n), kw)) continue;
+    const bool left_ok =
+        i == 0 || !(std::isalnum(static_cast<unsigned char>(text[i - 1])) ||
+                    text[i - 1] == '_');
+    const bool right_ok =
+        i + n == text.size() ||
+        !(std::isalnum(static_cast<unsigned char>(text[i + n])) ||
+          text[i + n] == '_');
+    if (left_ok && right_ok) return i;
+  }
+  return std::string::npos;
+}
+
+/// Splits `text` on top-level (paren depth 0, outside literals) ANDs.
+std::vector<std::string> SplitTopLevelAnd(const std::string& text) {
+  std::vector<std::string> clauses;
+  int depth = 0;
+  bool in_string = false;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\'') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth == 0 && i + 3 <= text.size() &&
+        EqualsIgnoreCase(std::string_view(text).substr(i, 3), "AND")) {
+      const bool left_ok =
+          i == 0 || !(std::isalnum(static_cast<unsigned char>(text[i - 1])) ||
+                      text[i - 1] == '_');
+      const bool right_ok =
+          i + 3 == text.size() ||
+          !(std::isalnum(static_cast<unsigned char>(text[i + 3])) ||
+            text[i + 3] == '_');
+      // Do not split the AND of a BETWEEN .. AND .. — detect by checking
+      // whether the previous top-level keyword was BETWEEN with no AND yet.
+      if (left_ok && right_ok) {
+        const std::string prefix(StrTrim(text.substr(start, i - start)));
+        const size_t between_pos = FindKeyword(prefix, "BETWEEN");
+        if (between_pos != std::string::npos &&
+            FindKeyword(prefix, "AND", between_pos) == std::string::npos) {
+          continue;  // this AND belongs to a BETWEEN
+        }
+        clauses.emplace_back(prefix);
+        start = i + 3;
+        i += 2;
+      }
+    }
+  }
+  clauses.emplace_back(StrTrim(text.substr(start)));
+  return clauses;
+}
+
+struct QualifiedRef {
+  std::string variable;
+  std::string attribute;
+};
+
+/// Scans a clause for `<ident>.<ident>` qualified references outside string
+/// literals.
+std::vector<QualifiedRef> FindQualifiedRefs(const std::string& clause) {
+  std::vector<QualifiedRef> refs;
+  bool in_string = false;
+  size_t i = 0;
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < clause.size()) {
+    const char c = clause[i];
+    if (c == '\'') {
+      in_string = !in_string;
+      ++i;
+      continue;
+    }
+    if (in_string || !is_ident(c) ||
+        std::isdigit(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < clause.size() && is_ident(clause[j])) ++j;
+    if (j < clause.size() && clause[j] == '.' && j + 1 < clause.size() &&
+        is_ident(clause[j + 1]) &&
+        !std::isdigit(static_cast<unsigned char>(clause[j + 1]))) {
+      size_t k = j + 1;
+      while (k < clause.size() && is_ident(clause[k])) ++k;
+      refs.push_back(
+          {clause.substr(i, j - i), clause.substr(j + 1, k - j - 1)});
+      i = k;
+    } else {
+      i = j;
+    }
+  }
+  return refs;
+}
+
+/// Replaces every `<var>.<attr>` with bare `<attr>` (outside literals).
+std::string StripVariablePrefixes(const std::string& clause) {
+  std::string out;
+  bool in_string = false;
+  size_t i = 0;
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < clause.size()) {
+    const char c = clause[i];
+    if (c == '\'') {
+      in_string = !in_string;
+      out += c;
+      ++i;
+      continue;
+    }
+    if (in_string || !is_ident(c) ||
+        std::isdigit(static_cast<unsigned char>(c))) {
+      out += c;
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < clause.size() && is_ident(clause[j])) ++j;
+    if (j < clause.size() && clause[j] == '.' && j + 1 < clause.size() &&
+        is_ident(clause[j + 1]) &&
+        !std::isdigit(static_cast<unsigned char>(clause[j + 1]))) {
+      i = j + 1;  // drop "<var>."
+    } else {
+      out.append(clause, i, j - i);
+      i = j;
+    }
+  }
+  return out;
+}
+
+/// True if `clause` is exactly `<var>.<attr> = <var>.<attr>`.
+bool IsMergeEquality(const std::string& clause, QualifiedRef* lhs,
+                     QualifiedRef* rhs) {
+  const std::vector<QualifiedRef> refs = FindQualifiedRefs(clause);
+  if (refs.size() != 2) return false;
+  // Rebuild the expected text modulo whitespace.
+  std::string squished;
+  for (char c : clause) {
+    if (!std::isspace(static_cast<unsigned char>(c))) squished += c;
+  }
+  const std::string expected = refs[0].variable + "." + refs[0].attribute +
+                               "=" + refs[1].variable + "." +
+                               refs[1].attribute;
+  if (squished != expected) return false;
+  *lhs = refs[0];
+  *rhs = refs[1];
+  return true;
+}
+
+/// Union-find over variable names.
+class VarUnion {
+ public:
+  void Add(const std::string& v) { parent_.emplace(v, v); }
+  bool Has(const std::string& v) const { return parent_.count(v) > 0; }
+
+  std::string Find(const std::string& v) {
+    std::string root = v;
+    while (parent_[root] != root) root = parent_[root];
+    // Path compression.
+    std::string cur = v;
+    while (parent_[cur] != root) {
+      std::string next = parent_[cur];
+      parent_[cur] = root;
+      cur = next;
+    }
+    return root;
+  }
+
+  void Merge(const std::string& a, const std::string& b) {
+    parent_[Find(a)] = Find(b);
+  }
+
+  bool AllConnected() {
+    if (parent_.empty()) return true;
+    const std::string root = Find(parent_.begin()->first);
+    for (const auto& [v, _] : parent_) {
+      if (Find(v) != root) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+}  // namespace
+
+Result<FusionQuery> ParseFusionQuery(const std::string& sql) {
+  const size_t select_pos = FindKeyword(sql, "SELECT");
+  const size_t from_pos = FindKeyword(sql, "FROM");
+  const size_t where_pos = FindKeyword(sql, "WHERE");
+  if (select_pos == std::string::npos || from_pos == std::string::npos ||
+      where_pos == std::string::npos || !(select_pos < from_pos) ||
+      !(from_pos < where_pos)) {
+    return Status::ParseError(
+        "expected SELECT ... FROM ... WHERE ... structure");
+  }
+
+  // --- SELECT list: exactly one `<var>.<attr>`.
+  const std::string select_list(
+      StrTrim(sql.substr(select_pos + 6, from_pos - select_pos - 6)));
+  const std::vector<QualifiedRef> sel_refs = FindQualifiedRefs(select_list);
+  {
+    std::string squished;
+    for (char c : select_list) {
+      if (!std::isspace(static_cast<unsigned char>(c))) squished += c;
+    }
+    if (sel_refs.size() != 1 ||
+        squished != sel_refs[0].variable + "." + sel_refs[0].attribute) {
+      return Status::ParseError(
+          "SELECT list must be a single qualified column like u1.M, got: " +
+          select_list);
+    }
+  }
+  const std::string merge_attr = sel_refs[0].attribute;
+
+  // --- FROM list: `<rel> <var>` pairs.
+  const std::string from_list(
+      StrTrim(sql.substr(from_pos + 4, where_pos - from_pos - 4)));
+  std::vector<std::string> variables;  // in declaration order
+  VarUnion uf;
+  for (const std::string& entry : StrSplit(from_list, ',')) {
+    const std::string item(StrTrim(entry));
+    if (item.empty()) return Status::ParseError("empty FROM entry");
+    std::vector<std::string> words;
+    for (const std::string& w : StrSplit(item, ' ')) {
+      if (!std::string(StrTrim(w)).empty()) {
+        words.emplace_back(StrTrim(w));
+      }
+    }
+    if (words.size() != 2) {
+      return Status::ParseError("FROM entries must be '<relation> <var>': " +
+                                item);
+    }
+    const std::string& var = words[1];
+    if (uf.Has(var)) {
+      return Status::ParseError("duplicate tuple variable: " + var);
+    }
+    variables.push_back(var);
+    uf.Add(var);
+  }
+  if (variables.empty()) return Status::ParseError("empty FROM clause");
+
+  // --- WHERE clause.
+  const std::string where(StrTrim(sql.substr(where_pos + 5)));
+  std::map<std::string, Condition> per_var_condition;
+  size_t merge_equalities = 0;
+  for (const std::string& clause : SplitTopLevelAnd(where)) {
+    if (clause.empty()) return Status::ParseError("empty WHERE clause");
+    QualifiedRef lhs, rhs;
+    if (IsMergeEquality(clause, &lhs, &rhs)) {
+      if (lhs.attribute != merge_attr || rhs.attribute != merge_attr) {
+        return Status::ParseError(
+            "merge equality must use the selected attribute '" + merge_attr +
+            "': " + clause);
+      }
+      if (!uf.Has(lhs.variable) || !uf.Has(rhs.variable)) {
+        return Status::ParseError("unknown variable in: " + clause);
+      }
+      uf.Merge(lhs.variable, rhs.variable);
+      ++merge_equalities;
+      continue;
+    }
+    // Condition clause: all qualified refs must use one variable.
+    const std::vector<QualifiedRef> refs = FindQualifiedRefs(clause);
+    if (refs.empty()) {
+      return Status::ParseError(
+          "condition clause has no variable-qualified attribute (write "
+          "u1.V = 'dui', not V = 'dui'): " +
+          clause);
+    }
+    const std::string& var = refs[0].variable;
+    for (const QualifiedRef& r : refs) {
+      if (r.variable != var) {
+        return Status::ParseError(
+            "a fusion condition must reference a single tuple variable, "
+            "found both " +
+            var + " and " + r.variable + " in: " + clause);
+      }
+    }
+    if (!uf.Has(var)) {
+      return Status::ParseError("unknown tuple variable '" + var +
+                                "' in: " + clause);
+    }
+    FUSION_ASSIGN_OR_RETURN(Condition cond,
+                            ParseCondition(StripVariablePrefixes(clause)));
+    auto it = per_var_condition.find(var);
+    if (it == per_var_condition.end()) {
+      per_var_condition.emplace(var, std::move(cond));
+    } else {
+      it->second = Condition::And(it->second, std::move(cond));
+    }
+  }
+
+  if (variables.size() > 1 && !uf.AllConnected()) {
+    return Status::ParseError(
+        "merge-equality clauses do not link all tuple variables on '" +
+        merge_attr + "'");
+  }
+  if (variables.size() > 1 && merge_equalities == 0) {
+    return Status::ParseError("missing merge-equality clauses");
+  }
+
+  std::vector<Condition> conditions;
+  for (const std::string& var : variables) {
+    auto it = per_var_condition.find(var);
+    conditions.push_back(it == per_var_condition.end() ? Condition::True()
+                                                       : it->second);
+  }
+  if (conditions.empty()) {
+    return Status::ParseError("no conditions in fusion query");
+  }
+  return FusionQuery(merge_attr, std::move(conditions));
+}
+
+}  // namespace fusion

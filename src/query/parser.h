@@ -1,0 +1,34 @@
+#ifndef FUSION_QUERY_PARSER_H_
+#define FUSION_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/fusion_query.h"
+
+namespace fusion {
+
+/// Parses a fusion query written in the paper's SQL form, e.g.:
+///
+///   SELECT u1.L FROM U u1, U u2
+///   WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'
+///
+/// Requirements checked:
+///  - exactly one selected column, of the form `<var>.<attr>`;
+///  - FROM lists distinct tuple variables over the single union view `U`
+///    (the relation name is not interpreted; any identifier is accepted);
+///  - the WHERE clause is a top-level AND of (a) merge-equality clauses
+///    `<var>.<attr> = <var>.<attr>` that link all variables into one
+///    equivalence class on the selected attribute, and (b) single-variable
+///    condition clauses (each clause's attribute references must all use one
+///    tuple variable; `<var>.` prefixes are stripped before the condition
+///    sub-parser runs).
+///
+/// Multiple condition clauses on the same variable are AND-ed into a single
+/// condition c_i. Variables carrying no condition get the vacuous condition
+/// TRUE (they only assert membership in U).
+Result<FusionQuery> ParseFusionQuery(const std::string& sql);
+
+}  // namespace fusion
+
+#endif  // FUSION_QUERY_PARSER_H_

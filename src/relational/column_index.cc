@@ -1,0 +1,25 @@
+#include "relational/column_index.h"
+
+namespace fusion {
+
+Result<ColumnIndex> ColumnIndex::Build(const Relation& relation,
+                                       const std::string& column) {
+  FUSION_ASSIGN_OR_RETURN(const size_t idx, relation.schema().IndexOf(column));
+  ColumnIndex out;
+  out.column_ = column;
+  out.rows_by_value_.reserve(relation.size());
+  for (size_t row = 0; row < relation.size(); ++row) {
+    const Value& v = relation.tuple(row)[idx];
+    if (v.is_null()) continue;
+    out.rows_by_value_[v].push_back(row);
+  }
+  return out;
+}
+
+const std::vector<size_t>* ColumnIndex::Rows(const Value& value) const {
+  auto it = rows_by_value_.find(value);
+  if (it == rows_by_value_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace fusion

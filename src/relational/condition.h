@@ -1,0 +1,104 @@
+#ifndef FUSION_RELATIONAL_CONDITION_H_
+#define FUSION_RELATIONAL_CONDITION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "relational/schema.h"
+
+namespace fusion {
+
+/// Comparison operators for condition atoms.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpSymbol(CompareOp op);
+
+/// A single-variable selection condition `c_i` over the common source schema
+/// (Section 2.2). Conditions are immutable trees shared by cheap copies, so
+/// plans and queries can pass them around freely.
+///
+/// Grammar: atoms are attribute-vs-constant comparisons, BETWEEN, and IN;
+/// atoms combine with AND / OR / NOT. `True()` is the vacuous condition.
+class Condition {
+ public:
+  /// Constructs the vacuously true condition.
+  Condition();
+
+  static Condition True();
+  /// The unsatisfiable condition (used by the simplifier for detected
+  /// contradictions; sources evaluate it to an empty result).
+  static Condition False();
+  static Condition Compare(std::string attribute, CompareOp op, Value constant);
+  static Condition Between(std::string attribute, Value lo, Value hi);
+  static Condition In(std::string attribute, std::vector<Value> constants);
+  static Condition And(Condition lhs, Condition rhs);
+  static Condition Or(Condition lhs, Condition rhs);
+  static Condition Not(Condition operand);
+
+  /// Convenience: attribute = constant, the paper's running-example shape
+  /// (`V = 'dui'`).
+  static Condition Eq(std::string attribute, Value constant) {
+    return Compare(std::move(attribute), CompareOp::kEq, std::move(constant));
+  }
+
+  /// Evaluates against one tuple. NULL attribute values compare as
+  /// not-satisfying any atom (SQL-ish three-valued logic collapsed to false).
+  /// Errors if the condition references a column absent from `schema`.
+  Result<bool> Evaluate(const Schema& schema, const Tuple& tuple) const;
+
+  /// Checks all referenced attributes exist in `schema`.
+  Status Validate(const Schema& schema) const;
+
+  /// Attribute names referenced, deduplicated, in first-mention order.
+  std::vector<std::string> ReferencedAttributes() const;
+
+  /// Renders "V = 'dui'", "D BETWEEN 1993 AND 1995", "(a OR b)" etc.
+  std::string ToString() const;
+
+  /// Structural equality (same tree shape, operators and constants).
+  bool Equals(const Condition& other) const;
+
+  /// Returns a semantically equivalent canonical form:
+  ///  - nested ANDs/ORs are flattened, duplicates dropped, operands sorted
+  ///    into a canonical (textual) order;
+  ///  - TRUE/FALSE propagate (x AND FALSE → FALSE, x OR TRUE → TRUE, ...);
+  ///  - double negation cancels; NOT TRUE → FALSE;
+  ///  - degenerate atoms collapse (empty IN → FALSE, one-element IN → =,
+  ///    BETWEEN with lo > hi → FALSE, BETWEEN lo = hi → =);
+  ///  - detectable conjunction contradictions become FALSE (two different
+  ///    equalities on one attribute; an equality falling outside a BETWEEN
+  ///    or IN on the same attribute);
+  ///  - equalities on one attribute OR-combine into IN.
+  /// Canonical forms maximize source-call cache hits (keys are condition
+  /// text) and give the optimizer trivially-empty conditions to exploit.
+  Condition Simplified() const;
+
+  /// True for the vacuous condition created by True()/default construction.
+  bool IsTrue() const;
+  /// True for the unsatisfiable condition created by False().
+  bool IsFalse() const;
+
+  /// Implementation detail (exposed for the evaluator translation unit);
+  /// treat as private.
+  struct Node;
+
+ private:
+  explicit Condition(std::shared_ptr<const Node> node);
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// Parses a condition string. Supported syntax (case-insensitive keywords):
+///   attr op constant          op in {=, !=, <>, <, <=, >, >=}
+///   attr BETWEEN x AND y
+///   attr IN (v1, v2, ...)
+///   NOT expr, expr AND expr, expr OR expr, parentheses
+/// Constants: 123, 4.5, 'text'. AND binds tighter than OR.
+Result<Condition> ParseCondition(const std::string& text);
+
+}  // namespace fusion
+
+#endif  // FUSION_RELATIONAL_CONDITION_H_

@@ -1,0 +1,35 @@
+#include "relational/reference_evaluator.h"
+
+namespace fusion {
+
+Result<ItemSet> ReferenceFusionAnswer(
+    const std::vector<const Relation*>& sources,
+    const std::string& merge_attribute,
+    const std::vector<Condition>& conditions) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("fusion query over zero sources");
+  }
+  if (conditions.empty()) {
+    return Status::InvalidArgument("fusion query with zero conditions");
+  }
+  ItemSet answer;
+  bool first = true;
+  for (const Condition& cond : conditions) {
+    ItemSet satisfying;
+    for (const Relation* r : sources) {
+      FUSION_ASSIGN_OR_RETURN(ItemSet part,
+                              r->SelectItems(cond, merge_attribute));
+      satisfying = ItemSet::Union(satisfying, part);
+    }
+    if (first) {
+      answer = std::move(satisfying);
+      first = false;
+    } else {
+      answer = ItemSet::Intersect(answer, satisfying);
+    }
+    if (answer.empty()) break;  // no item can recover once eliminated
+  }
+  return answer;
+}
+
+}  // namespace fusion

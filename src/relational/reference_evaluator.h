@@ -1,0 +1,28 @@
+#ifndef FUSION_RELATIONAL_REFERENCE_EVALUATOR_H_
+#define FUSION_RELATIONAL_REFERENCE_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/item_set.h"
+#include "common/status.h"
+#include "relational/condition.h"
+#include "relational/relation.h"
+
+namespace fusion {
+
+/// Computes the exact answer of a fusion query directly from the source
+/// relations, with no planning: an item `m` qualifies iff for every condition
+/// `c_i` there exists a tuple with merge value `m` satisfying `c_i` in *some*
+/// source (the SQL semantics of the paper's query over U = R1 ∪ ... ∪ Rn).
+///
+/// Used as ground truth in tests and benchmarks: every plan any optimizer
+/// produces must execute to exactly this set.
+Result<ItemSet> ReferenceFusionAnswer(
+    const std::vector<const Relation*>& sources,
+    const std::string& merge_attribute,
+    const std::vector<Condition>& conditions);
+
+}  // namespace fusion
+
+#endif  // FUSION_RELATIONAL_REFERENCE_EVALUATOR_H_

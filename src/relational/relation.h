@@ -1,0 +1,73 @@
+#ifndef FUSION_RELATIONAL_RELATION_H_
+#define FUSION_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/item_set.h"
+#include "common/status.h"
+#include "relational/condition.h"
+#include "relational/schema.h"
+
+namespace fusion {
+
+/// An in-memory relation instance: a schema plus a bag of tuples. This is the
+/// storage behind each simulated autonomous source `R_j`.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Appends a tuple after validating it against the schema.
+  Status Append(Tuple tuple);
+
+  /// Appends without validation; used by generators that construct tuples
+  /// known to be well-typed (hot path for large synthetic instances).
+  void AppendUnchecked(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+
+  /// Returns the tuples satisfying `cond`.
+  Result<Relation> Select(const Condition& cond) const;
+
+  /// Distinct values of column `attribute` over tuples satisfying `cond`
+  /// (NULLs excluded). This is the source-side work of sq(c_i, R_j).
+  Result<ItemSet> SelectItems(const Condition& cond,
+                              const std::string& attribute) const;
+
+  /// Subset of `candidates` that appear (in column `attribute`) in some tuple
+  /// satisfying `cond`. This is the source-side work of sjq(c_i, R_j, X).
+  Result<ItemSet> SemiJoinItems(const Condition& cond,
+                                const std::string& attribute,
+                                const ItemSet& candidates) const;
+
+  /// Number of tuples satisfying `cond` (used by oracle statistics).
+  Result<size_t> CountWhere(const Condition& cond) const;
+
+  /// Bag union; requires identical schemas.
+  static Result<Relation> Union(const Relation& a, const Relation& b);
+
+  /// All tuples of all relations (requires identical schemas).
+  static Result<Relation> UnionAll(const std::vector<const Relation*>& rels);
+
+  /// Renders an aligned table for display.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+/// Serializes a relation to CSV with a `name:type` header line.
+std::string RelationToCsv(const Relation& relation);
+
+/// Parses the format produced by RelationToCsv.
+Result<Relation> RelationFromCsv(const std::string& csv);
+
+}  // namespace fusion
+
+#endif  // FUSION_RELATIONAL_RELATION_H_

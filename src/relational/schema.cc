@@ -1,0 +1,64 @@
+#include "relational/schema.h"
+
+#include "common/str_util.h"
+
+namespace fusion {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "' in " + ToString());
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  for (const ColumnDef& c : columns_) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+Status ValidateTuple(const Schema& schema, const Tuple& tuple) {
+  if (tuple.size() != schema.num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "tuple has %zu values but schema %s has %zu columns", tuple.size(),
+        schema.ToString().c_str(), schema.num_columns()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].is_null()) continue;
+    if (tuple[i].type() != schema.column(i).type) {
+      return Status::InvalidArgument(StrFormat(
+          "column '%s' expects %s but got %s",
+          schema.column(i).name.c_str(), ValueTypeName(schema.column(i).type),
+          tuple[i].ToString().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace fusion

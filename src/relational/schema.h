@@ -1,0 +1,54 @@
+#ifndef FUSION_RELATIONAL_SCHEMA_H_
+#define FUSION_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace fusion {
+
+/// One column of a relation: a name and a declared type. NULLs are allowed in
+/// any column.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// An ordered list of named, typed columns. In the fusion-query setting all
+/// source relations share one schema that includes the merge attribute M
+/// (Section 2.1 of the paper).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or error if absent. Case-sensitive.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool HasColumn(const std::string& name) const;
+
+  bool operator==(const Schema& other) const;
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  /// "(L:string, V:string, D:int64)"
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// A row: one Value per schema column.
+using Tuple = std::vector<Value>;
+
+/// Checks that `tuple` matches `schema` (arity and per-column type, with NULL
+/// permitted everywhere).
+Status ValidateTuple(const Schema& schema, const Tuple& tuple);
+
+}  // namespace fusion
+
+#endif  // FUSION_RELATIONAL_SCHEMA_H_

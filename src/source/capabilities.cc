@@ -1,0 +1,31 @@
+#include "source/capabilities.h"
+
+#include "common/str_util.h"
+
+namespace fusion {
+
+const char* SemijoinSupportName(SemijoinSupport s) {
+  switch (s) {
+    case SemijoinSupport::kNative:
+      return "native";
+    case SemijoinSupport::kPassedBindingsOnly:
+      return "passed-bindings";
+    case SemijoinSupport::kUnsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+std::string Capabilities::ToString() const {
+  return StrFormat("caps(semijoin=%s, load=%s)", SemijoinSupportName(semijoin),
+                   supports_load ? "yes" : "no");
+}
+
+std::string NetworkProfile::ToString() const {
+  return StrFormat(
+      "net(overhead=%.3g, send=%.3g, recv=%.3g, proc=%.3g, width=%.3g)",
+      query_overhead, cost_per_item_sent, cost_per_item_received,
+      processing_per_tuple, record_width_factor);
+}
+
+}  // namespace fusion

@@ -1,0 +1,46 @@
+#include "source/catalog.h"
+
+namespace fusion {
+
+Status SourceCatalog::Add(std::unique_ptr<SourceWrapper> source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("null source wrapper");
+  }
+  for (const auto& existing : sources_) {
+    if (existing->name() == source->name()) {
+      return Status::AlreadyExists("source '" + source->name() +
+                                   "' already registered");
+    }
+  }
+  if (!sources_.empty() && sources_[0]->schema() != source->schema()) {
+    return Status::InvalidArgument(
+        "source '" + source->name() + "' schema " +
+        source->schema().ToString() + " differs from catalog schema " +
+        sources_[0]->schema().ToString());
+  }
+  sources_.push_back(std::move(source));
+  return Status::Ok();
+}
+
+Result<size_t> SourceCatalog::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i]->name() == name) return i;
+  }
+  return Status::NotFound("no source named '" + name + "'");
+}
+
+Result<Schema> SourceCatalog::CommonSchema() const {
+  if (sources_.empty()) {
+    return Status::InvalidArgument("empty source catalog");
+  }
+  return sources_[0]->schema();
+}
+
+std::vector<std::string> SourceCatalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const auto& s : sources_) out.push_back(s->name());
+  return out;
+}
+
+}  // namespace fusion

@@ -1,0 +1,48 @@
+#ifndef FUSION_SOURCE_CATALOG_H_
+#define FUSION_SOURCE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "source/source_wrapper.h"
+
+namespace fusion {
+
+/// The mediator's registry of participating sources R_1..R_n. Owns the
+/// wrappers; sources are addressed by index (matching the paper's R_j
+/// subscripts) or by name.
+class SourceCatalog {
+ public:
+  SourceCatalog() = default;
+
+  // Move-only: owns the wrappers.
+  SourceCatalog(SourceCatalog&&) = default;
+  SourceCatalog& operator=(SourceCatalog&&) = default;
+  SourceCatalog(const SourceCatalog&) = delete;
+  SourceCatalog& operator=(const SourceCatalog&) = delete;
+
+  /// Registers a source. All sources must share one schema (checked against
+  /// the first registered source). Names must be unique.
+  Status Add(std::unique_ptr<SourceWrapper> source);
+
+  size_t size() const { return sources_.size(); }
+  bool empty() const { return sources_.empty(); }
+
+  SourceWrapper& source(size_t index) const { return *sources_[index]; }
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Schema shared by all sources; error if the catalog is empty.
+  Result<Schema> CommonSchema() const;
+
+  /// Names in index order.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::unique_ptr<SourceWrapper>> sources_;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_SOURCE_CATALOG_H_

@@ -1,0 +1,57 @@
+#include "source/cost_ledger.h"
+
+#include "common/str_util.h"
+
+namespace fusion {
+
+const char* ChargeKindName(ChargeKind kind) {
+  switch (kind) {
+    case ChargeKind::kSelect:
+      return "sq";
+    case ChargeKind::kSemiJoin:
+      return "sjq";
+    case ChargeKind::kEmulatedSemiJoinProbe:
+      return "sjq-probe";
+    case ChargeKind::kLoad:
+      return "lq";
+    case ChargeKind::kFetchRecords:
+      return "fetch";
+  }
+  return "?";
+}
+
+void CostLedger::Add(Charge charge) {
+  total_ += charge.cost;
+  charges_.push_back(std::move(charge));
+}
+
+size_t CostLedger::total_items_sent() const {
+  size_t out = 0;
+  for (const Charge& c : charges_) out += c.items_sent;
+  return out;
+}
+
+size_t CostLedger::total_items_received() const {
+  size_t out = 0;
+  for (const Charge& c : charges_) out += c.items_received;
+  return out;
+}
+
+void CostLedger::Clear() {
+  charges_.clear();
+  total_ = 0.0;
+}
+
+std::string CostLedger::Report() const {
+  std::string out;
+  for (const Charge& c : charges_) {
+    out += StrFormat("%-10s %-8s sent=%-6zu recv=%-6zu scan=%-7zu cost=%-10.3f %s\n",
+                     c.source.c_str(), ChargeKindName(c.kind), c.items_sent,
+                     c.items_received, c.tuples_scanned, c.cost,
+                     c.detail.c_str());
+  }
+  out += StrFormat("TOTAL: %zu queries, cost %.3f\n", charges_.size(), total_);
+  return out;
+}
+
+}  // namespace fusion

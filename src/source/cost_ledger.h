@@ -1,0 +1,58 @@
+#ifndef FUSION_SOURCE_COST_LEDGER_H_
+#define FUSION_SOURCE_COST_LEDGER_H_
+
+#include <string>
+#include <vector>
+
+namespace fusion {
+
+/// Kinds of metered source interactions.
+enum class ChargeKind {
+  kSelect,
+  kSemiJoin,
+  kEmulatedSemiJoinProbe,  // one `c AND M = m` probe of an emulated semijoin
+  kLoad,
+  kFetchRecords,  // second-phase record retrieval
+};
+
+const char* ChargeKindName(ChargeKind kind);
+
+/// One metered source query: who was asked what, how much data moved, and
+/// what it cost under that source's NetworkProfile.
+struct Charge {
+  std::string source;
+  ChargeKind kind = ChargeKind::kSelect;
+  std::string detail;        // e.g. the condition text
+  size_t items_sent = 0;     // mediator -> source
+  size_t items_received = 0; // source -> mediator
+  size_t tuples_scanned = 0; // source-side work
+  double cost = 0.0;
+};
+
+/// Accumulates the actual cost of executing a plan: every wrapper call
+/// appends a Charge. The paper's cost of a plan is exactly `total()` —
+/// the sum of the constituent source-query costs (local mediator ops are
+/// free by assumption).
+class CostLedger {
+ public:
+  void Add(Charge charge);
+
+  double total() const { return total_; }
+  size_t num_queries() const { return charges_.size(); }
+  size_t total_items_sent() const;
+  size_t total_items_received() const;
+  const std::vector<Charge>& charges() const { return charges_; }
+
+  void Clear();
+
+  /// Multi-line human-readable account of every charge plus the total.
+  std::string Report() const;
+
+ private:
+  std::vector<Charge> charges_;
+  double total_ = 0.0;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_SOURCE_COST_LEDGER_H_

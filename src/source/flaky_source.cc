@@ -1,0 +1,54 @@
+#include "source/flaky_source.h"
+
+#include "source/simulated_source.h"
+
+namespace fusion {
+
+Status FlakySource::MaybeFail(const char* operation, CostLedger* ledger) {
+  const size_t call_index = calls_attempted_++;
+  const bool fail = call_index < options_.fail_first_k ||
+                    rng_.Bernoulli(options_.failure_probability);
+  if (!fail) return Status::Ok();
+  ++calls_failed_;
+  if (ledger != nullptr) {
+    Charge charge;
+    charge.source = inner_->name();
+    charge.kind = ChargeKind::kSelect;
+    charge.detail = std::string("FAILED ") + operation;
+    // The request round trip was paid even though no answer came back.
+    const SimulatedSource* sim = inner_->AsSimulated();
+    charge.cost = sim != nullptr ? sim->network().query_overhead : 0.0;
+    ledger->Add(std::move(charge));
+  }
+  return Status::Internal(std::string("transient failure at source '") +
+                          inner_->name() + "' during " + operation);
+}
+
+Result<ItemSet> FlakySource::Select(const Condition& cond,
+                                    const std::string& merge_attribute,
+                                    CostLedger* ledger) {
+  FUSION_RETURN_IF_ERROR(MaybeFail("sq", ledger));
+  return inner_->Select(cond, merge_attribute, ledger);
+}
+
+Result<ItemSet> FlakySource::SemiJoin(const Condition& cond,
+                                      const std::string& merge_attribute,
+                                      const ItemSet& candidates,
+                                      CostLedger* ledger) {
+  FUSION_RETURN_IF_ERROR(MaybeFail("sjq", ledger));
+  return inner_->SemiJoin(cond, merge_attribute, candidates, ledger);
+}
+
+Result<Relation> FlakySource::Load(CostLedger* ledger) {
+  FUSION_RETURN_IF_ERROR(MaybeFail("lq", ledger));
+  return inner_->Load(ledger);
+}
+
+Result<Relation> FlakySource::FetchRecords(const std::string& merge_attribute,
+                                           const ItemSet& items,
+                                           CostLedger* ledger) {
+  FUSION_RETURN_IF_ERROR(MaybeFail("fetch", ledger));
+  return inner_->FetchRecords(merge_attribute, items, ledger);
+}
+
+}  // namespace fusion

@@ -1,0 +1,70 @@
+#ifndef FUSION_SOURCE_FLAKY_SOURCE_H_
+#define FUSION_SOURCE_FLAKY_SOURCE_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "source/source_wrapper.h"
+
+namespace fusion {
+
+/// Failure-injection decorator: wraps any SourceWrapper and makes calls fail
+/// transiently — Internet sources time out, rate-limit, and drop
+/// connections, and a mediator must cope. Used by tests and robustness
+/// benchmarks together with the executor's retry option.
+///
+/// A failed call still charges the network round-trip overhead to the ledger
+/// (the request went out; the answer never came back), so retries are not
+/// free — exactly the accounting a real mediator would face.
+class FlakySource : public SourceWrapper {
+ public:
+  struct Options {
+    /// Probability that any given call fails (after fail_first_k expires).
+    double failure_probability = 0.0;
+    /// The first k calls fail deterministically (for targeted tests).
+    size_t fail_first_k = 0;
+    uint64_t seed = 1;
+  };
+
+  FlakySource(std::unique_ptr<SourceWrapper> inner, const Options& options)
+      : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const Schema& schema() const override { return inner_->schema(); }
+  const Capabilities& capabilities() const override {
+    return inner_->capabilities();
+  }
+  const SimulatedSource* AsSimulated() const override {
+    return inner_->AsSimulated();
+  }
+
+  Result<ItemSet> Select(const Condition& cond,
+                         const std::string& merge_attribute,
+                         CostLedger* ledger) override;
+  Result<ItemSet> SemiJoin(const Condition& cond,
+                           const std::string& merge_attribute,
+                           const ItemSet& candidates,
+                           CostLedger* ledger) override;
+  Result<Relation> Load(CostLedger* ledger) override;
+  Result<Relation> FetchRecords(const std::string& merge_attribute,
+                                const ItemSet& items,
+                                CostLedger* ledger) override;
+
+  size_t calls_attempted() const { return calls_attempted_; }
+  size_t calls_failed() const { return calls_failed_; }
+
+ private:
+  /// Returns non-OK (and meters the wasted round trip) when this call is
+  /// chosen to fail.
+  Status MaybeFail(const char* operation, CostLedger* ledger);
+
+  std::unique_ptr<SourceWrapper> inner_;
+  Options options_;
+  Rng rng_;
+  size_t calls_attempted_ = 0;
+  size_t calls_failed_ = 0;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_SOURCE_FLAKY_SOURCE_H_

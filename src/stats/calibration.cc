@@ -1,0 +1,202 @@
+#include "stats/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fusion {
+namespace {
+
+/// Least-squares fit of y = a + b x. Returns {a, b}; degenerate inputs fall
+/// back to b = 0 (all cost attributed to the intercept).
+std::pair<double, double> FitLine(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
+  const size_t n = xs.size();
+  if (n == 0) return {0.0, 0.0};
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return {sy / n, 0.0};
+  const double b = (n * sxy - sx * sy) / denom;
+  const double a = (sy - b * sx) / n;
+  return {std::max(0.0, a), std::max(0.0, b)};
+}
+
+struct ProbeRange {
+  int64_t lo;
+  int64_t hi;
+};
+
+Condition RestrictToRange(const Condition& cond, const std::string& merge_attr,
+                          const ProbeRange& range) {
+  return Condition::And(cond,
+                        Condition::Between(merge_attr, Value(range.lo),
+                                           Value(range.hi)));
+}
+
+}  // namespace
+
+Result<ParametricCostModel> CalibrateBySampling(
+    SourceCatalog& catalog, const FusionQuery& query,
+    const CalibrationOptions& options, CostLedger* probe_ledger) {
+  if (catalog.empty()) return Status::InvalidArgument("empty catalog");
+  if (options.merge_domain_hi < options.merge_domain_lo) {
+    return Status::InvalidArgument("bad merge domain bounds");
+  }
+  if (options.num_range_probes < 1) {
+    return Status::InvalidArgument("need at least one probe per source");
+  }
+  const double domain_span =
+      static_cast<double>(options.merge_domain_hi - options.merge_domain_lo) +
+      1.0;
+  const double fraction =
+      std::clamp(options.range_fraction, 1.0 / domain_span, 1.0);
+  const int64_t range_width = std::max<int64_t>(
+      1, static_cast<int64_t>(domain_span * fraction));
+
+  Rng rng(options.seed);
+  std::vector<ProbeRange> ranges;
+  ranges.reserve(static_cast<size_t>(options.num_range_probes));
+  for (int p = 0; p < options.num_range_probes; ++p) {
+    const int64_t lo = rng.Uniform(
+        options.merge_domain_lo,
+        std::max(options.merge_domain_lo,
+                 options.merge_domain_hi - range_width + 1));
+    ranges.push_back({lo, lo + range_width - 1});
+  }
+  const double scale = domain_span / static_cast<double>(range_width);
+
+  const size_t m = query.num_conditions();
+  std::vector<SourceParams> all_params;
+  all_params.reserve(catalog.size());
+
+  // Probe answers for TRUE per source (used for capture-recapture).
+  std::vector<ItemSet> true_probe_items(catalog.size());
+  std::vector<double> est_cardinality(catalog.size(), 0.0);
+
+  for (size_t j = 0; j < catalog.size(); ++j) {
+    SourceWrapper& src = catalog.source(j);
+    SourceParams params;
+    params.capabilities = src.capabilities();
+    params.result_size.assign(m, 0.0);
+
+    // Cost/result observations across all select probes for this source.
+    std::vector<double> obs_result;
+    std::vector<double> obs_cost;
+
+    auto run_probe = [&](const Condition& cond) -> Result<ItemSet> {
+      CostLedger local;
+      FUSION_ASSIGN_OR_RETURN(
+          ItemSet items, src.Select(cond, query.merge_attribute(), &local));
+      obs_result.push_back(static_cast<double>(items.size()));
+      obs_cost.push_back(local.total());
+      if (probe_ledger != nullptr) {
+        for (const Charge& c : local.charges()) probe_ledger->Add(c);
+      }
+      return items;
+    };
+
+    // Cardinality probes (TRUE over each range).
+    double true_hits = 0;
+    for (const ProbeRange& r : ranges) {
+      FUSION_ASSIGN_OR_RETURN(
+          ItemSet items,
+          run_probe(RestrictToRange(Condition::True(),
+                                    query.merge_attribute(), r)));
+      true_hits += static_cast<double>(items.size());
+      true_probe_items[j] = ItemSet::Union(true_probe_items[j], items);
+    }
+    est_cardinality[j] =
+        true_hits / options.num_range_probes * scale;
+    params.cardinality = est_cardinality[j];
+
+    // Per-condition selectivity probes.
+    for (size_t i = 0; i < m; ++i) {
+      double hits = 0;
+      for (const ProbeRange& r : ranges) {
+        FUSION_ASSIGN_OR_RETURN(
+            ItemSet items,
+            run_probe(RestrictToRange(query.conditions()[i],
+                                      query.merge_attribute(), r)));
+        hits += static_cast<double>(items.size());
+      }
+      params.result_size[i] = hits / options.num_range_probes * scale;
+    }
+
+    // Fit cost = A + recv * result over the select probes.
+    const auto [intercept, recv] = FitLine(obs_result, obs_cost);
+    params.network.query_overhead = intercept;
+    params.network.processing_per_tuple = 0.0;  // folded into the intercept
+    params.network.cost_per_item_received = recv;
+    params.network.record_width_factor = options.record_width_factor;
+
+    // Fit the per-item send cost with a two-point native-semijoin probe.
+    params.network.cost_per_item_sent = 0.0;
+    if (params.capabilities.semijoin == SemijoinSupport::kNative &&
+        !true_probe_items[j].empty()) {
+      // Small set: one item. Larger set: all probe items.
+      ItemSet small;
+      small.Insert(*true_probe_items[j].begin());
+      const ItemSet& big = true_probe_items[j];
+      if (big.size() > small.size()) {
+        CostLedger l1, l2;
+        FUSION_ASSIGN_OR_RETURN(
+            ItemSet r1, src.SemiJoin(Condition::True(),
+                                     query.merge_attribute(), small, &l1));
+        FUSION_ASSIGN_OR_RETURN(
+            ItemSet r2, src.SemiJoin(Condition::True(),
+                                     query.merge_attribute(), big, &l2));
+        if (probe_ledger != nullptr) {
+          for (const Charge& c : l1.charges()) probe_ledger->Add(c);
+          for (const Charge& c : l2.charges()) probe_ledger->Add(c);
+        }
+        const double dx = static_cast<double>(big.size() - small.size());
+        const double dcost = l2.total() - l1.total() -
+                             recv * static_cast<double>(r2.size() - r1.size());
+        params.network.cost_per_item_sent = std::max(0.0, dcost / dx);
+      }
+    }
+
+    all_params.push_back(std::move(params));
+  }
+
+  // Universe estimate: Lincoln-Petersen over the two largest probe answers.
+  double universe = 1.0;
+  for (double c : est_cardinality) universe = std::max(universe, c);
+  {
+    size_t a = 0, b = 0;
+    for (size_t j = 0; j < catalog.size(); ++j) {
+      if (true_probe_items[j].size() > true_probe_items[a].size()) a = j;
+    }
+    b = (a == 0 && catalog.size() > 1) ? 1 : 0;
+    for (size_t j = 0; j < catalog.size(); ++j) {
+      if (j == a) continue;
+      if (true_probe_items[j].size() > true_probe_items[b].size() || b == a) {
+        b = j;
+      }
+    }
+    if (a != b) {
+      const ItemSet overlap =
+          ItemSet::Intersect(true_probe_items[a], true_probe_items[b]);
+      if (!overlap.empty()) {
+        const double est_in_range =
+            static_cast<double>(true_probe_items[a].size()) *
+            static_cast<double>(true_probe_items[b].size()) /
+            static_cast<double>(overlap.size());
+        universe = std::max(
+            universe, est_in_range / options.num_range_probes * scale);
+      }
+    }
+  }
+
+  return ParametricCostModel(std::move(all_params), universe);
+}
+
+}  // namespace fusion

@@ -1,0 +1,53 @@
+#include "stats/oracle_stats.h"
+
+#include <algorithm>
+
+namespace fusion {
+
+Result<SourceParams> OracleSourceParams(const SimulatedSource& source,
+                                        const FusionQuery& query) {
+  SourceParams params;
+  params.capabilities = source.capabilities();
+  params.network = source.network();
+  params.cardinality = static_cast<double>(source.relation().size());
+  params.result_size.reserve(query.num_conditions());
+  for (const Condition& cond : query.conditions()) {
+    FUSION_ASSIGN_OR_RETURN(
+        ItemSet items,
+        source.relation().SelectItems(cond, query.merge_attribute()));
+    params.result_size.push_back(static_cast<double>(items.size()));
+  }
+  return params;
+}
+
+Result<double> ExactUniverseSize(
+    const std::vector<const SimulatedSource*>& sources,
+    const FusionQuery& query) {
+  ItemSet universe;
+  for (const SimulatedSource* s : sources) {
+    FUSION_ASSIGN_OR_RETURN(
+        ItemSet all, s->relation().SelectItems(Condition::True(),
+                                               query.merge_attribute()));
+    universe = ItemSet::Union(universe, all);
+  }
+  return std::max<double>(1.0, static_cast<double>(universe.size()));
+}
+
+Result<ParametricCostModel> OracleParametricModel(
+    const std::vector<const SimulatedSource*>& sources,
+    const FusionQuery& query) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("no sources");
+  }
+  std::vector<SourceParams> params;
+  params.reserve(sources.size());
+  for (const SimulatedSource* s : sources) {
+    FUSION_ASSIGN_OR_RETURN(SourceParams p, OracleSourceParams(*s, query));
+    params.push_back(std::move(p));
+  }
+  FUSION_ASSIGN_OR_RETURN(const double universe,
+                          ExactUniverseSize(sources, query));
+  return ParametricCostModel(std::move(params), universe);
+}
+
+}  // namespace fusion

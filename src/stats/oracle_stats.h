@@ -1,0 +1,34 @@
+#ifndef FUSION_STATS_ORACLE_STATS_H_
+#define FUSION_STATS_ORACLE_STATS_H_
+
+#include <vector>
+
+#include "cost/parametric_cost_model.h"
+#include "query/fusion_query.h"
+#include "source/simulated_source.h"
+
+namespace fusion {
+
+/// Exact per-source statistics for `query`, read straight out of the
+/// simulated sources (cardinalities and true per-condition distinct-item
+/// counts). The resulting ParametricCostModel has perfect parameters but
+/// still combines intermediate sizes under the independence assumption —
+/// i.e. it is the "good statistics, standard estimator" configuration,
+/// sitting between OracleCostModel (exact sets) and sampling calibration.
+Result<SourceParams> OracleSourceParams(const SimulatedSource& source,
+                                        const FusionQuery& query);
+
+/// Builds the full model over a set of sources. `sources` must outlive
+/// nothing (parameters are copied out).
+Result<ParametricCostModel> OracleParametricModel(
+    const std::vector<const SimulatedSource*>& sources,
+    const FusionQuery& query);
+
+/// Exact number of distinct merge values across all sources.
+Result<double> ExactUniverseSize(
+    const std::vector<const SimulatedSource*>& sources,
+    const FusionQuery& query);
+
+}  // namespace fusion
+
+#endif  // FUSION_STATS_ORACLE_STATS_H_

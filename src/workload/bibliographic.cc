@@ -1,0 +1,76 @@
+#include "workload/bibliographic.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace fusion {
+
+Result<SyntheticInstance> GenerateBibliographic(
+    const BibliographicSpec& spec) {
+  if (spec.num_libraries == 0 || spec.num_documents == 0) {
+    return Status::InvalidArgument("bibliographic spec has a zero dimension");
+  }
+  Rng rng(spec.seed);
+  const Schema schema({{"DOC", ValueType::kInt64},
+                       {"TOPIC", ValueType::kString},
+                       {"YEAR", ValueType::kInt64},
+                       {"VENUE", ValueType::kString},
+                       {"TITLE", ValueType::kString}});
+
+  const std::vector<std::string> topics = {
+      "databases", "networks", "theory", "graphics", "systems", "ai"};
+  const std::vector<std::string> venues = {"conference", "journal",
+                                           "workshop"};
+  // Fixed per-document ground truth (so overlapping copies agree).
+  struct Doc {
+    std::string topic;
+    int64_t year;
+    std::string venue;
+  };
+  std::vector<Doc> docs(spec.num_documents);
+  for (size_t d = 0; d < spec.num_documents; ++d) {
+    docs[d].topic = rng.Bernoulli(spec.topic_fraction)
+                        ? topics[0]
+                        : topics[1 + static_cast<size_t>(rng.Uniform(
+                                     0, static_cast<int64_t>(topics.size()) -
+                                            2))];
+    docs[d].year = rng.Uniform(spec.year_lo, spec.year_hi);
+    docs[d].venue =
+        venues[static_cast<size_t>(rng.Uniform(0, 2))];
+  }
+
+  SyntheticInstance instance;
+  for (size_t j = 0; j < spec.num_libraries; ++j) {
+    Relation relation(schema);
+    for (size_t d = 0; d < spec.num_documents; ++d) {
+      if (!rng.Bernoulli(spec.coverage)) continue;
+      FUSION_RETURN_IF_ERROR(relation.Append(
+          {Value(static_cast<int64_t>(d)), Value(docs[d].topic),
+           Value(docs[d].year), Value(docs[d].venue),
+           Value(StrFormat("Title of document %zu", d))}));
+    }
+    Capabilities caps;
+    caps.semijoin = (j % 3 == 2) ? SemijoinSupport::kPassedBindingsOnly
+                                 : SemijoinSupport::kNative;
+    NetworkProfile net;
+    net.query_overhead = 8.0 + rng.NextDouble() * 10.0;
+    net.cost_per_item_sent = 1.0;
+    net.cost_per_item_received = 1.0;
+    net.processing_per_tuple = 0.002;
+    net.record_width_factor = spec.record_width_factor;
+    auto src = std::make_unique<SimulatedSource>(
+        StrFormat("LIB%zu", j + 1), std::move(relation), caps, net);
+    instance.simulated.push_back(src.get());
+    FUSION_RETURN_IF_ERROR(instance.catalog.Add(std::move(src)));
+  }
+  instance.query = FusionQuery(
+      "DOC",
+      {Condition::Eq("TOPIC", Value("databases")),
+       Condition::Compare("YEAR", CompareOp::kGe, Value(int64_t{1995})),
+       Condition::Eq("VENUE", Value("conference"))});
+  return instance;
+}
+
+}  // namespace fusion

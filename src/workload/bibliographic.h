@@ -1,0 +1,36 @@
+#ifndef FUSION_WORKLOAD_BIBLIOGRAPHIC_H_
+#define FUSION_WORKLOAD_BIBLIOGRAPHIC_H_
+
+#include <cstdint>
+
+#include "workload/synthetic.h"
+
+namespace fusion {
+
+/// The introduction's bibliographic-search scenario: several overlapping
+/// digital libraries index documents (DOC:int64 id, TOPIC, YEAR, VENUE,
+/// TITLE); a fusion query first identifies document ids matching criteria
+/// scattered across libraries (phase 1), then full records are fetched a few
+/// at a time (phase 2). Records are wide (large record_width_factor), which
+/// is exactly why the two-phase split pays off.
+struct BibliographicSpec {
+  size_t num_libraries = 6;
+  size_t num_documents = 8000;
+  /// Mean fraction of the corpus each library indexes.
+  double coverage = 0.4;
+  /// Fraction of documents per topic (condition selectivity lever).
+  double topic_fraction = 0.08;
+  int64_t year_lo = 1980;
+  int64_t year_hi = 1997;
+  /// Full records are wide relative to bare ids.
+  double record_width_factor = 40.0;
+  uint64_t seed = 11;
+};
+
+/// Generates libraries plus the query: TOPIC = 'databases' AND
+/// YEAR >= 1995 AND VENUE = 'conference'.
+Result<SyntheticInstance> GenerateBibliographic(const BibliographicSpec& spec);
+
+}  // namespace fusion
+
+#endif  // FUSION_WORKLOAD_BIBLIOGRAPHIC_H_

@@ -1,0 +1,127 @@
+#include "workload/dmv.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace fusion {
+namespace {
+
+Schema DmvSchema() {
+  return Schema({{"L", ValueType::kString},
+                 {"V", ValueType::kString},
+                 {"D", ValueType::kInt64}});
+}
+
+Status AppendViolation(Relation& r, const std::string& license,
+                       const std::string& violation, int64_t year) {
+  return r.Append({Value(license), Value(violation), Value(year)});
+}
+
+}  // namespace
+
+FusionQuery DmvFigure1Query() {
+  return FusionQuery(
+      "L", {Condition::Eq("V", Value("dui")), Condition::Eq("V", Value("sp"))});
+}
+
+Result<SyntheticInstance> BuildDmvFigure1() {
+  const Schema schema = DmvSchema();
+
+  Relation r1(schema);
+  FUSION_RETURN_IF_ERROR(AppendViolation(r1, "J55", "dui", 1993));
+  FUSION_RETURN_IF_ERROR(AppendViolation(r1, "T21", "sp", 1994));
+  FUSION_RETURN_IF_ERROR(AppendViolation(r1, "T80", "dui", 1993));
+
+  Relation r2(schema);
+  FUSION_RETURN_IF_ERROR(AppendViolation(r2, "T21", "dui", 1996));
+  FUSION_RETURN_IF_ERROR(AppendViolation(r2, "J55", "sp", 1996));
+  FUSION_RETURN_IF_ERROR(AppendViolation(r2, "T11", "sp", 1993));
+
+  Relation r3(schema);
+  FUSION_RETURN_IF_ERROR(AppendViolation(r3, "T21", "sp", 1993));
+  FUSION_RETURN_IF_ERROR(AppendViolation(r3, "S07", "sp", 1996));
+  FUSION_RETURN_IF_ERROR(AppendViolation(r3, "S07", "sp", 1993));
+
+  Capabilities caps;  // native semijoin, loads allowed
+  NetworkProfile net;
+  net.query_overhead = 10.0;
+  net.cost_per_item_sent = 1.0;
+  net.cost_per_item_received = 1.0;
+  net.processing_per_tuple = 0.01;
+  net.record_width_factor = 3.0;
+
+  SyntheticInstance instance;
+  Relation* rels[] = {&r1, &r2, &r3};
+  for (size_t j = 0; j < 3; ++j) {
+    auto src = std::make_unique<SimulatedSource>(
+        StrFormat("R%zu", j + 1), std::move(*rels[j]), caps, net);
+    instance.simulated.push_back(src.get());
+    FUSION_RETURN_IF_ERROR(instance.catalog.Add(std::move(src)));
+  }
+  instance.query = DmvFigure1Query();
+  return instance;
+}
+
+Result<SyntheticInstance> GenerateDmv(const DmvSpec& spec) {
+  if (spec.num_states == 0 || spec.num_drivers == 0) {
+    return Status::InvalidArgument("dmv spec has a zero dimension");
+  }
+  if (spec.violation_kinds.empty() ||
+      spec.violation_kinds.size() != spec.violation_weights.size()) {
+    return Status::InvalidArgument("bad violation kind/weight vectors");
+  }
+  Rng rng(spec.seed);
+  const Schema schema = DmvSchema();
+  std::vector<Relation> relations(spec.num_states, Relation(schema));
+  const ZipfSampler state_sampler(spec.num_states, spec.state_zipf_theta);
+
+  for (size_t d = 0; d < spec.num_drivers; ++d) {
+    const std::string license = StrFormat("L%06zu", d);
+    const size_t home = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(spec.num_states) - 1));
+    // Poisson-ish violation count via Bernoulli thinning of a cap.
+    const double lambda = spec.violations_per_driver;
+    const int max_v = static_cast<int>(lambda * 4) + 1;
+    for (int v = 0; v < max_v; ++v) {
+      if (!rng.Bernoulli(lambda / max_v)) continue;
+      const size_t kind = rng.Discrete(spec.violation_weights);
+      const int64_t year = rng.Uniform(spec.year_lo, spec.year_hi);
+      const size_t state = state_sampler.Sample(rng);
+      FUSION_RETURN_IF_ERROR(AppendViolation(
+          relations[state], license, spec.violation_kinds[kind], year));
+      if (state != home && rng.Bernoulli(spec.home_notification_prob)) {
+        FUSION_RETURN_IF_ERROR(AppendViolation(
+            relations[home], license, spec.violation_kinds[kind], year));
+      }
+    }
+  }
+
+  SyntheticInstance instance;
+  for (size_t j = 0; j < spec.num_states; ++j) {
+    Capabilities caps;
+    const double r = rng.NextDouble();
+    if (r < spec.frac_native_semijoin) {
+      caps.semijoin = SemijoinSupport::kNative;
+    } else if (r < spec.frac_native_semijoin + spec.frac_passed_bindings) {
+      caps.semijoin = SemijoinSupport::kPassedBindingsOnly;
+    } else {
+      caps.semijoin = SemijoinSupport::kUnsupported;
+    }
+    NetworkProfile net;
+    net.query_overhead = 5.0 + rng.NextDouble() * 20.0;
+    net.cost_per_item_sent = 0.5 + rng.NextDouble() * 1.5;
+    net.cost_per_item_received = 0.5 + rng.NextDouble() * 1.5;
+    net.processing_per_tuple = 0.002;
+    net.record_width_factor = 3.0 + rng.NextDouble() * 3.0;
+    auto src = std::make_unique<SimulatedSource>(
+        StrFormat("DMV%02zu", j + 1), std::move(relations[j]), caps, net);
+    instance.simulated.push_back(src.get());
+    FUSION_RETURN_IF_ERROR(instance.catalog.Add(std::move(src)));
+  }
+  instance.query = DmvFigure1Query();
+  return instance;
+}
+
+}  // namespace fusion

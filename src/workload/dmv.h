@@ -1,0 +1,55 @@
+#ifndef FUSION_WORKLOAD_DMV_H_
+#define FUSION_WORKLOAD_DMV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.h"
+
+namespace fusion {
+
+/// Builds the exact three-source DMV instance of Figure 1 of the paper
+/// (schema L:string, V:string, D:int64) with every source natively
+/// semijoin-capable and unit network costs. The canonical fusion query —
+/// drivers with both a 'dui' and an 'sp' violation — is returned alongside;
+/// its answer on this data is {J55, T21}.
+Result<SyntheticInstance> BuildDmvFigure1();
+
+/// The fusion query of the paper's Section 1 over the Figure 1 schema.
+FusionQuery DmvFigure1Query();
+
+/// Parameters of the scaled DMV scenario: `num_states` autonomous DMV
+/// databases; violations are recorded in the state where they occur
+/// (state popularity Zipf-skewed), with an optional copy to the driver's
+/// home state (partial notification — exactly the non-partitionable mess
+/// the paper's introduction motivates).
+struct DmvSpec {
+  size_t num_states = 50;
+  size_t num_drivers = 5000;
+  double violations_per_driver = 2.0;
+  /// Probability an out-of-state violation is also reported to the home
+  /// state (the "California DMV may not have complete records" effect).
+  double home_notification_prob = 0.3;
+  double state_zipf_theta = 0.8;
+  /// Violation kinds to draw from, with weights.
+  std::vector<std::string> violation_kinds = {"dui", "sp", "reckless",
+                                              "parking", "redlight"};
+  std::vector<double> violation_weights = {1.0, 3.0, 1.0, 5.0, 2.0};
+  /// Year range for the D attribute.
+  int64_t year_lo = 1990;
+  int64_t year_hi = 1997;
+
+  /// Capability / network heterogeneity (subset of states are legacy systems
+  /// without semijoin support).
+  double frac_native_semijoin = 0.6;
+  double frac_passed_bindings = 0.3;
+  uint64_t seed = 7;
+};
+
+/// Generates the scaled DMV scenario and the dui ∧ sp query over it.
+Result<SyntheticInstance> GenerateDmv(const DmvSpec& spec);
+
+}  // namespace fusion
+
+#endif  // FUSION_WORKLOAD_DMV_H_

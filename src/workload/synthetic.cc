@@ -1,0 +1,151 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace fusion {
+
+Result<SyntheticInstance> GenerateSynthetic(const SyntheticSpec& spec) {
+  if (spec.universe_size == 0 || spec.num_sources == 0 ||
+      spec.num_conditions == 0) {
+    return Status::InvalidArgument("synthetic spec has a zero dimension");
+  }
+  if (spec.frac_native_semijoin + spec.frac_passed_bindings > 1.0 + 1e-9) {
+    return Status::InvalidArgument("capability fractions exceed 1");
+  }
+
+  Rng rng(spec.seed);
+  const size_t m = spec.num_conditions;
+  const size_t n = spec.num_sources;
+
+  // Schema: M plus one flag column per condition.
+  std::vector<ColumnDef> columns;
+  columns.push_back({"M", ValueType::kInt64});
+  for (size_t i = 0; i < m; ++i) {
+    columns.push_back({StrFormat("A%zu", i + 1), ValueType::kInt64});
+  }
+  const Schema schema{Schema(std::move(columns))};
+
+  // Per-source coverage with optional Zipf skew, rescaled to the mean.
+  std::vector<double> coverage(n);
+  {
+    double sum = 0;
+    for (size_t j = 0; j < n; ++j) {
+      coverage[j] = 1.0 / std::pow(static_cast<double>(j + 1),
+                                   spec.zipf_theta);
+      sum += coverage[j];
+    }
+    for (size_t j = 0; j < n; ++j) {
+      coverage[j] = std::min(1.0, coverage[j] / sum *
+                                      static_cast<double>(n) * spec.coverage);
+    }
+  }
+
+  // Per-(condition, source) selectivity with jitter.
+  auto base_selectivity = [&](size_t i) {
+    return i < spec.selectivity.size() ? spec.selectivity[i]
+                                       : spec.selectivity_default;
+  };
+  std::vector<std::vector<double>> sel(n, std::vector<double>(m));
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < m; ++i) {
+      const double jitter =
+          1.0 + spec.selectivity_jitter * (2.0 * rng.NextDouble() - 1.0);
+      sel[j][i] = std::clamp(base_selectivity(i) * jitter, 0.0, 1.0);
+    }
+  }
+
+  // In the partitioned regime each entity is assigned one home source.
+  std::vector<size_t> home;
+  if (spec.partition_entities) {
+    home.resize(spec.universe_size);
+    for (size_t e = 0; e < spec.universe_size; ++e) {
+      home[e] = rng.Discrete(coverage);
+    }
+  }
+
+  // Per-entity latent factor inducing cross-condition correlation: an
+  // entity's flag probabilities all scale by (1-c) + 2c·z, preserving the
+  // marginal selectivities in expectation (E[2z] = 1).
+  std::vector<double> latent;
+  if (spec.condition_correlation > 0.0) {
+    latent.resize(spec.universe_size);
+    for (size_t e = 0; e < spec.universe_size; ++e) {
+      latent[e] = rng.NextDouble();
+    }
+  }
+  const double corr = std::clamp(spec.condition_correlation, 0.0, 1.0);
+
+  SyntheticInstance instance;
+  for (size_t j = 0; j < n; ++j) {
+    Relation relation(schema);
+    for (size_t e = 0; e < spec.universe_size; ++e) {
+      if (spec.partition_entities) {
+        if (home[e] != j) continue;
+      } else if (!rng.Bernoulli(coverage[j])) {
+        continue;
+      }
+      Tuple t;
+      t.reserve(1 + m);
+      t.push_back(Value(static_cast<int64_t>(e)));
+      const double scale =
+          corr > 0.0 ? (1.0 - corr) + 2.0 * corr * latent[e] : 1.0;
+      for (size_t i = 0; i < m; ++i) {
+        const double p = std::clamp(sel[j][i] * scale, 0.0, 1.0);
+        t.push_back(Value(static_cast<int64_t>(rng.Bernoulli(p))));
+      }
+      relation.AppendUnchecked(std::move(t));
+    }
+
+    Capabilities caps;
+    const double r = rng.NextDouble();
+    if (r < spec.frac_native_semijoin) {
+      caps.semijoin = SemijoinSupport::kNative;
+    } else if (r < spec.frac_native_semijoin + spec.frac_passed_bindings) {
+      caps.semijoin = SemijoinSupport::kPassedBindingsOnly;
+    } else {
+      caps.semijoin = SemijoinSupport::kUnsupported;
+    }
+
+    NetworkProfile net;
+    net.query_overhead =
+        spec.overhead_min +
+        rng.NextDouble() * (spec.overhead_max - spec.overhead_min);
+    net.cost_per_item_sent =
+        spec.send_min + rng.NextDouble() * (spec.send_max - spec.send_min);
+    net.cost_per_item_received =
+        spec.recv_min + rng.NextDouble() * (spec.recv_max - spec.recv_min);
+    net.processing_per_tuple = spec.processing_per_tuple;
+    net.record_width_factor =
+        spec.width_min + rng.NextDouble() * (spec.width_max - spec.width_min);
+
+    auto source = std::make_unique<SimulatedSource>(
+        StrFormat("R%zu", j + 1), std::move(relation), caps, net);
+    instance.simulated.push_back(source.get());
+    FUSION_RETURN_IF_ERROR(instance.catalog.Add(std::move(source)));
+  }
+
+  std::vector<Condition> conditions;
+  conditions.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    conditions.push_back(
+        Condition::Eq(StrFormat("A%zu", i + 1), Value(int64_t{1})));
+  }
+  instance.query = FusionQuery("M", std::move(conditions));
+  return instance;
+}
+
+std::vector<const Relation*> RelationsOf(const SyntheticInstance& instance) {
+  std::vector<const Relation*> out;
+  out.reserve(instance.simulated.size());
+  for (const SimulatedSource* s : instance.simulated) {
+    out.push_back(&s->relation());
+  }
+  return out;
+}
+
+}  // namespace fusion

@@ -1,0 +1,88 @@
+#ifndef FUSION_WORKLOAD_SYNTHETIC_H_
+#define FUSION_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/fusion_query.h"
+#include "source/catalog.h"
+#include "source/simulated_source.h"
+
+namespace fusion {
+
+/// A generated experiment instance: n simulated sources sharing one schema,
+/// and a fusion query over them. `simulated` holds non-owning views of the
+/// catalog's wrappers (stable across moves of the instance).
+struct SyntheticInstance {
+  SourceCatalog catalog;
+  FusionQuery query;
+  std::vector<const SimulatedSource*> simulated;
+};
+
+/// Parameters of the synthetic fusion workload. The data model: a universe
+/// of `universe_size` entities (merge attribute M, int64 ids 0..U-1); entity
+/// e appears in source j with that source's coverage probability; a tuple
+/// carries one boolean flag column per condition (A1..Am), set with the
+/// per-(condition, source) selectivity. Condition c_i is `A_i = 1`. This
+/// realizes the paper's setting: overlapping, incomplete sources where any
+/// condition can be satisfied for an entity at any source.
+struct SyntheticSpec {
+  size_t universe_size = 10000;
+  size_t num_sources = 10;
+  size_t num_conditions = 3;
+
+  /// Mean probability an entity appears in a given source.
+  double coverage = 0.3;
+  /// Skew of coverage across sources: coverage_j ∝ 1/(j+1)^zipf_theta,
+  /// rescaled so the mean stays `coverage`. 0 = uniform.
+  double zipf_theta = 0.0;
+
+  /// Per-condition base selectivity (prob a tuple's flag is set). Entries
+  /// beyond the vector default to `selectivity_default`.
+  std::vector<double> selectivity;
+  double selectivity_default = 0.05;
+  /// Per-source multiplicative jitter on selectivity, uniform in
+  /// [1 - jitter, 1 + jitter] (heterogeneous sources).
+  double selectivity_jitter = 0.5;
+
+  /// Correlation between conditions, in [0, 1]. 0 (default) = per-tuple
+  /// flags are independent, the regime where the paper proves SJA finds the
+  /// best simple plan. Higher values introduce a per-entity latent factor z
+  /// ~ U(0,1) scaling every condition's probability (p_i(z) ∝ (1-c) + 2cz),
+  /// so entities that satisfy one condition tend to satisfy the others —
+  /// the setting where the paper only claims SJA is "an excellent
+  /// heuristic" (bench_correlation quantifies that claim).
+  double condition_correlation = 0.0;
+
+  /// Traditional distributed-database regime (the contrast case in the
+  /// paper's introduction): every entity lives in exactly one source
+  /// (chosen proportionally to the coverage weights), so information is
+  /// never fused across sources. With overlapping data (the default, false)
+  /// an entity may appear in any subset of sources.
+  bool partition_entities = false;
+
+  /// Capability mix: fractions of sources with native semijoin support and
+  /// with passed-bindings-only support; the rest support no semijoins.
+  double frac_native_semijoin = 1.0;
+  double frac_passed_bindings = 0.0;
+
+  /// Network heterogeneity: per-source parameters drawn uniformly from
+  /// these ranges.
+  double overhead_min = 5.0, overhead_max = 20.0;
+  double send_min = 0.5, send_max = 2.0;
+  double recv_min = 0.5, recv_max = 2.0;
+  double processing_per_tuple = 0.001;
+  double width_min = 2.0, width_max = 8.0;
+
+  uint64_t seed = 1;
+};
+
+/// Generates sources + query per the spec. Deterministic in `spec.seed`.
+Result<SyntheticInstance> GenerateSynthetic(const SyntheticSpec& spec);
+
+/// Convenience view for APIs that take raw relations.
+std::vector<const Relation*> RelationsOf(const SyntheticInstance& instance);
+
+}  // namespace fusion
+
+#endif  // FUSION_WORKLOAD_SYNTHETIC_H_

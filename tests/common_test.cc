@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/item_set.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/value.h"
+
+namespace fusion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodesDistinct) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  FUSION_ASSIGN_OR_RETURN(const int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> odd = Quarter(6);  // 6/2 = 3, odd
+  ASSERT_FALSE(odd.ok());
+  EXPECT_EQ(odd.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{7}).int64(), 7);
+  EXPECT_DOUBLE_EQ(Value(3.5).dbl(), 3.5);
+  EXPECT_EQ(Value("hi").str(), "hi");
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("dui").ToString(), "'dui'");
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(1.5), Value(2.5));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_LT(Value(int64_t{2}), Value(2.5));
+  EXPECT_GT(Value(3.5), Value(int64_t{3}));
+}
+
+TEST(ValueTest, CrossTypeOrderingByRank) {
+  EXPECT_LT(Value(), Value(int64_t{0}));       // null < numbers
+  EXPECT_LT(Value(int64_t{99}), Value("a"));   // numbers < strings
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{2}).Hash(), Value(2.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+}
+
+TEST(ValueTest, CheckedAccessors) {
+  EXPECT_TRUE(Value(int64_t{1}).AsInt64().ok());
+  EXPECT_TRUE(Value(1.0).AsInt64().ok());
+  EXPECT_FALSE(Value("x").AsInt64().ok());
+  EXPECT_FALSE(Value(int64_t{1}).AsString().ok());
+  EXPECT_TRUE(Value("x").AsString().ok());
+}
+
+// ---------------------------------------------------------------------------
+// ItemSet
+// ---------------------------------------------------------------------------
+
+ItemSet Ints(std::initializer_list<int64_t> xs) {
+  std::vector<Value> v;
+  for (int64_t x : xs) v.push_back(Value(x));
+  return ItemSet(std::move(v));
+}
+
+TEST(ItemSetTest, DeduplicatesAndSorts) {
+  const ItemSet s = Ints({3, 1, 2, 3, 1});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ToString(), "{1, 2, 3}");
+}
+
+TEST(ItemSetTest, ContainsAndInsert) {
+  ItemSet s = Ints({1, 3});
+  EXPECT_TRUE(s.Contains(Value(int64_t{1})));
+  EXPECT_FALSE(s.Contains(Value(int64_t{2})));
+  EXPECT_TRUE(s.Insert(Value(int64_t{2})));
+  EXPECT_FALSE(s.Insert(Value(int64_t{2})));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.Contains(Value(int64_t{2})));
+}
+
+TEST(ItemSetTest, UnionIntersectDifference) {
+  const ItemSet a = Ints({1, 2, 3});
+  const ItemSet b = Ints({2, 3, 4});
+  EXPECT_EQ(ItemSet::Union(a, b), Ints({1, 2, 3, 4}));
+  EXPECT_EQ(ItemSet::Intersect(a, b), Ints({2, 3}));
+  EXPECT_EQ(ItemSet::Difference(a, b), Ints({1}));
+  EXPECT_EQ(ItemSet::Difference(b, a), Ints({4}));
+}
+
+TEST(ItemSetTest, EmptySetIdentities) {
+  const ItemSet e;
+  const ItemSet a = Ints({1, 2});
+  EXPECT_EQ(ItemSet::Union(a, e), a);
+  EXPECT_EQ(ItemSet::Intersect(a, e), e);
+  EXPECT_EQ(ItemSet::Difference(a, e), a);
+  EXPECT_EQ(ItemSet::Difference(e, a), e);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(ItemSetTest, SubsetChecks) {
+  EXPECT_TRUE(Ints({1, 2}).IsSubsetOf(Ints({1, 2, 3})));
+  EXPECT_TRUE(ItemSet().IsSubsetOf(Ints({1})));
+  EXPECT_FALSE(Ints({1, 4}).IsSubsetOf(Ints({1, 2, 3})));
+}
+
+TEST(ItemSetTest, MixedTypeElementsKeepTotalOrder) {
+  ItemSet s({Value("b"), Value(int64_t{1}), Value("a"), Value(2.5)});
+  EXPECT_EQ(s.size(), 4u);
+  // ints/doubles before strings.
+  EXPECT_EQ(s.ToString(), "{1, 2.5, 'a', 'b'}");
+}
+
+// Property: algebra laws on random sets.
+class ItemSetAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ItemSetAlgebraTest, AlgebraLaws) {
+  Rng rng(GetParam());
+  auto random_set = [&] {
+    std::vector<Value> v;
+    const int k = static_cast<int>(rng.Uniform(0, 30));
+    for (int i = 0; i < k; ++i) v.push_back(Value(rng.Uniform(0, 20)));
+    return ItemSet(std::move(v));
+  };
+  const ItemSet a = random_set();
+  const ItemSet b = random_set();
+  const ItemSet c = random_set();
+  // Commutativity.
+  EXPECT_EQ(ItemSet::Union(a, b), ItemSet::Union(b, a));
+  EXPECT_EQ(ItemSet::Intersect(a, b), ItemSet::Intersect(b, a));
+  // Associativity.
+  EXPECT_EQ(ItemSet::Union(ItemSet::Union(a, b), c),
+            ItemSet::Union(a, ItemSet::Union(b, c)));
+  // A − B ⊆ A; (A−B) ∩ B = ∅.
+  EXPECT_TRUE(ItemSet::Difference(a, b).IsSubsetOf(a));
+  EXPECT_TRUE(ItemSet::Intersect(ItemSet::Difference(a, b), b).empty());
+  // A = (A∩B) ∪ (A−B).
+  EXPECT_EQ(ItemSet::Union(ItemSet::Intersect(a, b), ItemSet::Difference(a, b)),
+            a);
+  // Distributivity: A ∩ (B ∪ C) = (A∩B) ∪ (A∩C).
+  EXPECT_EQ(ItemSet::Intersect(a, ItemSet::Union(b, c)),
+            ItemSet::Union(ItemSet::Intersect(a, b), ItemSet::Intersect(a, c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ItemSetAlgebraTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+// ---------------------------------------------------------------------------
+// Rng / Zipf
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, DiscretePicksByWeight) {
+  Rng rng(7);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    counts[rng.Discrete({1.0, 2.0, 1.0})]++;
+  }
+  EXPECT_NEAR(counts[1] / 30000.0, 0.5, 0.02);
+  EXPECT_NEAR(counts[0] / 30000.0, 0.25, 0.02);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(9);
+  ZipfSampler z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) counts[z.Sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c / 50000.0, 0.1, 0.02);
+}
+
+TEST(ZipfTest, HighThetaSkewsToHead) {
+  Rng rng(9);
+  ZipfSampler z(100, 1.2);
+  int head = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (z.Sample(rng) < 5) ++head;
+  }
+  EXPECT_GT(head, trials / 2);  // top 5 ranks dominate
+}
+
+// ---------------------------------------------------------------------------
+// StrUtil
+// ---------------------------------------------------------------------------
+
+TEST(StrUtilTest, Format) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 3, "ab"), "x=3 y=ab");
+  EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");
+}
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+  EXPECT_EQ(StrSplit("a", ',')[0], "a");
+}
+
+TEST(StrUtilTest, TrimAndJoin) {
+  EXPECT_EQ(StrTrim("  x y  "), "x y");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrUtilTest, CaseHelpers) {
+  EXPECT_TRUE(EqualsIgnoreCase("SeLeCt", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+}  // namespace
+}  // namespace fusion

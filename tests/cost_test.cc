@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cost/oracle_cost_model.h"
+#include "cost/parametric_cost_model.h"
+#include "cost/set_estimate.h"
+#include "stats/oracle_stats.h"
+#include "workload/dmv.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SetEstimate algebra
+// ---------------------------------------------------------------------------
+
+ItemSet Ints(std::initializer_list<int64_t> xs) {
+  std::vector<Value> v;
+  for (int64_t x : xs) v.push_back(Value(x));
+  return ItemSet(std::move(v));
+}
+
+TEST(SetEstimateTest, ExactOperandsStayExact) {
+  const SetEstimate a = SetEstimate::Exact(Ints({1, 2, 3}));
+  const SetEstimate b = SetEstimate::Exact(Ints({2, 3, 4}));
+  const SetEstimate u = UnionEstimate(a, b, 100);
+  ASSERT_TRUE(u.is_exact());
+  EXPECT_EQ(*u.exact, Ints({1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(u.size, 4.0);
+  const SetEstimate i = IntersectEstimate(a, b, 100);
+  ASSERT_TRUE(i.is_exact());
+  EXPECT_EQ(*i.exact, Ints({2, 3}));
+  const SetEstimate d = DifferenceEstimate(a, b, 100);
+  ASSERT_TRUE(d.is_exact());
+  EXPECT_EQ(*d.exact, Ints({1}));
+}
+
+TEST(SetEstimateTest, ScalarIndependenceFormulas) {
+  const SetEstimate a = SetEstimate::Approx(10);
+  const SetEstimate b = SetEstimate::Approx(20);
+  EXPECT_DOUBLE_EQ(UnionEstimate(a, b, 100).size, 10 + 20 - 10 * 20 / 100.0);
+  EXPECT_DOUBLE_EQ(IntersectEstimate(a, b, 100).size, 10 * 20 / 100.0);
+  EXPECT_DOUBLE_EQ(DifferenceEstimate(a, b, 100).size, 10 * (1 - 20 / 100.0));
+}
+
+TEST(SetEstimateTest, MixedOperandsDegradeToScalar) {
+  const SetEstimate a = SetEstimate::Exact(Ints({1, 2, 3}));
+  const SetEstimate b = SetEstimate::Approx(20);
+  const SetEstimate u = UnionEstimate(a, b, 100);
+  EXPECT_FALSE(u.is_exact());
+  EXPECT_NEAR(u.size, 3 + 20 - 3 * 20 / 100.0, 1e-12);
+}
+
+TEST(SetEstimateTest, ScalarResultsClampedToBounds) {
+  const SetEstimate a = SetEstimate::Approx(90);
+  const SetEstimate b = SetEstimate::Approx(95);
+  EXPECT_LE(UnionEstimate(a, b, 100).size, 100.0);
+  EXPECT_LE(IntersectEstimate(a, b, 100).size, 90.0);
+  EXPECT_GE(DifferenceEstimate(a, b, 100).size, 0.0);
+  // Negative requested size clamps to zero.
+  EXPECT_DOUBLE_EQ(SetEstimate::Approx(-5).size, 0.0);
+}
+
+TEST(SetEstimateTest, DegenerateUniverse) {
+  const SetEstimate a = SetEstimate::Approx(1);
+  EXPECT_GE(UnionEstimate(a, a, 0).size, 0.0);  // no NaN / inf
+  EXPECT_FALSE(std::isnan(IntersectEstimate(a, a, 0).size));
+}
+
+// ---------------------------------------------------------------------------
+// ParametricCostModel formulas
+// ---------------------------------------------------------------------------
+
+ParametricCostModel TwoSourceModel() {
+  SourceParams p1;
+  p1.capabilities.semijoin = SemijoinSupport::kNative;
+  p1.network.query_overhead = 10;
+  p1.network.cost_per_item_sent = 1;
+  p1.network.cost_per_item_received = 2;
+  p1.network.processing_per_tuple = 0.1;
+  p1.network.record_width_factor = 4;
+  p1.cardinality = 100;
+  p1.result_size = {20, 5};
+
+  SourceParams p2 = p1;
+  p2.capabilities.semijoin = SemijoinSupport::kPassedBindingsOnly;
+  p2.cardinality = 50;
+  p2.result_size = {10, 2};
+
+  return ParametricCostModel({p1, p2}, /*universe_size=*/200);
+}
+
+TEST(ParametricModelTest, SqCostFormula) {
+  const ParametricCostModel m = TwoSourceModel();
+  // overhead 10 + 100 * 0.1 + 20 * 2 = 60
+  EXPECT_DOUBLE_EQ(m.SqCost(0, 0), 60.0);
+  // overhead 10 + 50 * 0.1 + 10 * 2 = 35
+  EXPECT_DOUBLE_EQ(m.SqCost(0, 1), 35.0);
+}
+
+TEST(ParametricModelTest, SjqNativeCostFormula) {
+  const ParametricCostModel m = TwoSourceModel();
+  const SetEstimate x = SetEstimate::Approx(30);
+  // result = 30 * 20/200 = 3; cost = 10 + 30*1 + 100*0.1 + 3*2 = 56
+  EXPECT_DOUBLE_EQ(m.SjqResult(0, 0, x).size, 3.0);
+  EXPECT_DOUBLE_EQ(m.SjqCost(0, 0, x), 56.0);
+}
+
+TEST(ParametricModelTest, SjqEmulatedCostFormula) {
+  const ParametricCostModel m = TwoSourceModel();
+  const SetEstimate x = SetEstimate::Approx(30);
+  // result = 30 * 10/200 = 1.5; per probe 10 + 50*0.1 = 15; total 30*15 + 1.5*2
+  EXPECT_DOUBLE_EQ(m.SjqCost(0, 1, x), 30 * 15 + 3.0);
+}
+
+TEST(ParametricModelTest, SjqUnsupportedIsInfinite) {
+  SourceParams p;
+  p.capabilities.semijoin = SemijoinSupport::kUnsupported;
+  p.cardinality = 10;
+  p.result_size = {1};
+  const ParametricCostModel m({p}, 100);
+  EXPECT_TRUE(std::isinf(m.SjqCost(0, 0, SetEstimate::Approx(5))));
+}
+
+TEST(ParametricModelTest, LqCostAndUnsupportedLoad) {
+  const ParametricCostModel m = TwoSourceModel();
+  // 10 + 100*0.1 + 2*4*100 = 820
+  EXPECT_DOUBLE_EQ(m.LqCost(0), 820.0);
+  SourceParams p;
+  p.capabilities.supports_load = false;
+  p.cardinality = 10;
+  p.result_size = {1};
+  const ParametricCostModel m2({p}, 100);
+  EXPECT_TRUE(std::isinf(m2.LqCost(0)));
+}
+
+TEST(ParametricModelTest, EmulationIsCostlierThanNativeForLargeSets) {
+  // The motivating fact for adaptivity: emulated semijoins blow up with |X|.
+  SourceParams native;
+  native.cardinality = 100;
+  native.result_size = {10};
+  SourceParams emulated = native;
+  emulated.capabilities.semijoin = SemijoinSupport::kPassedBindingsOnly;
+  const ParametricCostModel m({native, emulated}, 1000);
+  const SetEstimate big = SetEstimate::Approx(500);
+  EXPECT_LT(m.SjqCost(0, 0, big), m.SjqCost(0, 1, big));
+}
+
+// Subadditivity is required by the paper's cost model (Section 2.4).
+class SubadditivityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SubadditivityTest, HoldsForAllCapabilityKinds) {
+  const auto [cap_kind, x_size] = GetParam();
+  SourceParams p;
+  p.capabilities.semijoin = static_cast<SemijoinSupport>(cap_kind);
+  p.cardinality = 80;
+  p.result_size = {15};
+  p.network.query_overhead = 7;
+  p.network.cost_per_item_sent = 0.8;
+  p.network.cost_per_item_received = 1.3;
+  p.network.processing_per_tuple = 0.05;
+  const ParametricCostModel m({p}, 500);
+  EXPECT_TRUE(CheckSubadditivity(m, 0, 0, static_cast<double>(x_size)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapabilitiesAndSizes, SubadditivityTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0, 1, 10, 100, 1000)));
+
+// ---------------------------------------------------------------------------
+// OracleCostModel exactness
+// ---------------------------------------------------------------------------
+
+TEST(OracleModelTest, SqMatchesTrueResultSizesAndCosts) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  const auto model =
+      OracleCostModel::Create(instance->simulated, instance->query);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // R1 has 2 dui items {J55, T80}.
+  EXPECT_EQ(model->satisfying(0, 0).size(), 2u);
+  const SetEstimate r = model->SqResult(0, 0);
+  ASSERT_TRUE(r.is_exact());
+  EXPECT_DOUBLE_EQ(model->SqCost(0, 0),
+                   instance->simulated[0]->SelectCost(2));
+}
+
+TEST(OracleModelTest, SjqResultIsExactIntersection) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  const auto model =
+      OracleCostModel::Create(instance->simulated, instance->query);
+  ASSERT_TRUE(model.ok());
+  // X = all dui items anywhere = {J55, T80, T21}; sp at R1 = {T21}.
+  SetEstimate x = SetEstimate::Exact(
+      ItemSet({Value("J55"), Value("T80"), Value("T21")}));
+  const SetEstimate r = model->SjqResult(1, 0, x);
+  ASSERT_TRUE(r.is_exact());
+  EXPECT_EQ(r.exact->ToString(), "{'T21'}");
+}
+
+TEST(OracleModelTest, UniverseSizeIsDistinctMergeCount) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  const auto model =
+      OracleCostModel::Create(instance->simulated, instance->query);
+  ASSERT_TRUE(model.ok());
+  // Figure 1 licenses: J55, T21, T80, T11, S07.
+  EXPECT_DOUBLE_EQ(model->universe_size(), 5.0);
+}
+
+TEST(OracleModelTest, OracleParamsMatchOracleModelOnSq) {
+  // The parametric model built from exact stats must agree with the oracle
+  // model on selection costs (they share the cost formulas).
+  SyntheticSpec spec;
+  spec.universe_size = 500;
+  spec.num_sources = 4;
+  spec.num_conditions = 3;
+  spec.seed = 3;
+  const auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  const auto oracle =
+      OracleCostModel::Create(instance->simulated, instance->query);
+  ASSERT_TRUE(oracle.ok());
+  const auto parametric =
+      OracleParametricModel(instance->simulated, instance->query);
+  ASSERT_TRUE(parametric.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(oracle->SqCost(i, j), parametric->SqCost(i, j))
+          << "cond " << i << " source " << j;
+    }
+  }
+  EXPECT_DOUBLE_EQ(oracle->universe_size(), parametric->universe_size());
+}
+
+}  // namespace
+}  // namespace fusion

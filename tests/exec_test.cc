@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "cost/oracle_cost_model.h"
+#include "exec/executor.h"
+#include "optimizer/filter.h"
+#include "optimizer/postopt.h"
+#include "optimizer/sja.h"
+#include "relational/reference_evaluator.h"
+#include "workload/dmv.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hand-built plans over the Figure 1 instance
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorTest, FilterPlanComputesPaperAnswer) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  // Filter plan for 2 conditions over 3 sources.
+  Plan plan;
+  std::vector<int> dui, sp;
+  for (int j = 0; j < 3; ++j) dui.push_back(plan.EmitSelect(0, j));
+  const int x1 = plan.EmitUnion(dui, "X1");
+  for (int j = 0; j < 3; ++j) sp.push_back(plan.EmitSelect(1, j));
+  const int x2u = plan.EmitUnion(sp, "U2");
+  const int x2 = plan.EmitIntersect({x1, x2u}, "X2");
+  plan.SetResult(x2);
+
+  const auto report = ExecutePlan(plan, instance->catalog, instance->query);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->answer.ToString(), "{'J55', 'T21'}");
+  EXPECT_EQ(report->ledger.num_queries(), 6u);
+  EXPECT_EQ(report->emulated_semijoins, 0u);
+}
+
+TEST(ExecutorTest, SemijoinPlanComputesSameAnswer) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  Plan plan;
+  std::vector<int> dui;
+  for (int j = 0; j < 3; ++j) dui.push_back(plan.EmitSelect(0, j));
+  const int x1 = plan.EmitUnion(dui, "X1");
+  std::vector<int> sp;
+  for (int j = 0; j < 3; ++j) sp.push_back(plan.EmitSemiJoin(1, j, x1));
+  const int x2 = plan.EmitUnion(sp, "X2");
+  plan.SetResult(x2);
+
+  const auto report = ExecutePlan(plan, instance->catalog, instance->query);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->answer.ToString(), "{'J55', 'T21'}");
+}
+
+TEST(ExecutorTest, DifferencePrunedPlanComputesSameAnswer) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  // P1 with difference: send X1 − Y1 to later sources.
+  Plan plan;
+  std::vector<int> dui;
+  for (int j = 0; j < 3; ++j) dui.push_back(plan.EmitSelect(0, j));
+  const int x1 = plan.EmitUnion(dui, "X1");
+  const int y1 = plan.EmitSemiJoin(1, 0, x1, "Y1");
+  const int p1 = plan.EmitDifference(x1, y1, "P1");
+  const int y2 = plan.EmitSemiJoin(1, 1, p1, "Y2");
+  const int p2 = plan.EmitDifference(p1, y2, "P2");
+  const int y3 = plan.EmitSemiJoin(1, 2, p2, "Y3");
+  const int x2 = plan.EmitUnion({y1, y2, y3}, "X2");
+  plan.SetResult(x2);
+
+  const auto report = ExecutePlan(plan, instance->catalog, instance->query);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->answer.ToString(), "{'J55', 'T21'}");
+  // Pruning means later semijoins ship fewer items than |X1| = 3.
+  size_t sjq_seen = 0;
+  for (const Charge& c : report->ledger.charges()) {
+    if (c.kind == ChargeKind::kSemiJoin && sjq_seen++ > 0) {
+      EXPECT_LT(c.items_sent, 3u);
+    }
+  }
+}
+
+TEST(ExecutorTest, LoadAndLocalSelectPlan) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  Plan plan;
+  const int y = plan.EmitLoad(2, "Y3");
+  const int a0 = plan.EmitSelect(0, 0);
+  const int a1 = plan.EmitSelect(0, 1);
+  const int a2 = plan.EmitLocalSelect(0, y, "X13");
+  const int x1 = plan.EmitUnion({a0, a1, a2}, "X1");
+  const int b0 = plan.EmitSelect(1, 0);
+  const int b1 = plan.EmitSelect(1, 1);
+  const int b2 = plan.EmitLocalSelect(1, y, "X23");
+  const int u2 = plan.EmitUnion({b0, b1, b2}, "U2");
+  const int x2 = plan.EmitIntersect({x1, u2}, "X2");
+  plan.SetResult(x2);
+
+  const auto report = ExecutePlan(plan, instance->catalog, instance->query);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->answer.ToString(), "{'J55', 'T21'}");
+  // One load + four selects; local selects are free and unmetered.
+  EXPECT_EQ(report->ledger.num_queries(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Emulated semijoins
+// ---------------------------------------------------------------------------
+
+SyntheticInstance EmulationInstance() {
+  SyntheticSpec spec;
+  spec.universe_size = 200;
+  spec.num_sources = 2;
+  spec.num_conditions = 2;
+  spec.coverage = 0.6;
+  spec.frac_native_semijoin = 0.0;
+  spec.frac_passed_bindings = 1.0;  // every source emulates
+  spec.seed = 21;
+  auto instance = GenerateSynthetic(spec);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(ExecutorTest, EmulatesSemijoinWithPerBindingProbes) {
+  const SyntheticInstance instance = EmulationInstance();
+  Plan plan;
+  const int a0 = plan.EmitSelect(0, 0);
+  const int a1 = plan.EmitSelect(0, 1);
+  const int x1 = plan.EmitUnion({a0, a1});
+  const int s = plan.EmitSemiJoin(1, 0, x1);
+  plan.SetResult(s);
+
+  const auto report = ExecutePlan(plan, instance.catalog, instance.query);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->emulated_semijoins, 1u);
+  // Probes appear as re-tagged charges, one per candidate item.
+  size_t probes = 0;
+  for (const Charge& c : report->ledger.charges()) {
+    if (c.kind == ChargeKind::kEmulatedSemiJoinProbe) ++probes;
+  }
+  EXPECT_GT(probes, 0u);
+  // Answer still correct vs reference.
+  const ItemSet expected = *ReferenceFusionAnswer(
+      RelationsOf(instance), "M",
+      {instance.query.conditions()[0], instance.query.conditions()[1]});
+  // The plan computes c1 then semijoin c2 at source 0 only — a subset of the
+  // full fusion answer (c2 may hold at source 1 too), so only check subset.
+  EXPECT_TRUE(report->answer.IsSubsetOf(expected));
+}
+
+TEST(ExecutorTest, FailsOnSemijoinToFullyUnsupportedSource) {
+  SyntheticSpec spec;
+  spec.universe_size = 50;
+  spec.num_sources = 1;
+  spec.num_conditions = 2;
+  spec.frac_native_semijoin = 0.0;
+  spec.frac_passed_bindings = 0.0;  // unsupported
+  spec.seed = 5;
+  const auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);
+  const int s = plan.EmitSemiJoin(1, 0, a);
+  plan.SetResult(s);
+  const auto report = ExecutePlan(plan, instance->catalog, instance->query);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnsupported);
+}
+
+// ---------------------------------------------------------------------------
+// Estimated cost equals metered cost under the oracle model
+// ---------------------------------------------------------------------------
+
+class OracleFidelityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleFidelityTest, EstimateMatchesMeteredExactly) {
+  SyntheticSpec spec;
+  spec.universe_size = 300;
+  spec.num_sources = 4;
+  spec.num_conditions = 3;
+  spec.coverage = 0.4;
+  spec.frac_native_semijoin = 0.7;
+  spec.frac_passed_bindings = 0.3;
+  spec.seed = GetParam();
+  const auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  const auto model =
+      OracleCostModel::Create(instance->simulated, instance->query);
+  ASSERT_TRUE(model.ok());
+
+  for (const bool post : {false, true}) {
+    Result<OptimizedPlan> opt =
+        post ? OptimizeSjaPlus(*model) : OptimizeSja(*model);
+    ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+    const auto report =
+        ExecutePlan(opt->plan, instance->catalog, instance->query);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_NEAR(report->ledger.total(), opt->estimated_cost,
+                1e-6 * (1 + opt->estimated_cost))
+        << "post=" << post << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleFidelityTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace fusion

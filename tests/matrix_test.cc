@@ -1,0 +1,161 @@
+// The kitchen-sink invariance matrix: every combination of workload regime
+// (overlapping / partitioned / correlated / capability-poor), optimizer
+// strategy, and runtime option (eager / lazy, cache on/off, flaky sources
+// with retries) must compute exactly the reference fusion answer, and the
+// runtime options may only reduce metered cost. One parameterized suite
+// covers the cross-product so regressions in any layer surface as a wrong
+// answer, not a silent cost anomaly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/source_call_cache.h"
+#include "mediator/mediator.h"
+#include "relational/reference_evaluator.h"
+#include "source/flaky_source.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+struct Regime {
+  const char* name;
+  double native;
+  double bindings;
+  bool partitioned;
+  double correlation;
+  double zipf;
+};
+
+const Regime kRegimes[] = {
+    {"plain", 1.0, 0.0, false, 0.0, 0.0},
+    {"mixed-capabilities", 0.5, 0.3, false, 0.0, 0.0},
+    {"no-semijoins", 0.0, 0.5, false, 0.0, 0.0},
+    {"partitioned", 0.7, 0.3, true, 0.0, 0.5},
+    {"correlated", 0.8, 0.2, false, 0.9, 0.0},
+    {"skewed", 0.6, 0.4, false, 0.3, 1.5},
+};
+
+class MatrixTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(MatrixTest, EveryConfigurationComputesTheReferenceAnswer) {
+  const auto [regime_idx, strategy_idx, seed] = GetParam();
+  const Regime& regime = kRegimes[regime_idx];
+  const OptimizerStrategy strategy = static_cast<OptimizerStrategy>(
+      strategy_idx);
+
+  SyntheticSpec spec;
+  spec.universe_size = 250;
+  spec.num_sources = 4;
+  spec.num_conditions = 3;
+  spec.coverage = 0.4;
+  spec.selectivity = {0.08, 0.25, 0.3};
+  spec.selectivity_jitter = 0.7;
+  spec.frac_native_semijoin = regime.native;
+  spec.frac_passed_bindings = regime.bindings;
+  spec.partition_entities = regime.partitioned;
+  spec.condition_correlation = regime.correlation;
+  spec.zipf_theta = regime.zipf;
+  spec.seed = seed;
+  auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  const FusionQuery query = instance->query;
+  const ItemSet expected = *ReferenceFusionAnswer(
+      RelationsOf(*instance), "M", query.conditions());
+
+  Mediator mediator(std::move(instance->catalog));
+  MediatorOptions base;
+  base.strategy = strategy;
+  base.statistics = StatisticsMode::kOracle;
+
+  // 1. Plain eager execution.
+  const auto plain = mediator.Answer(query, base);
+  ASSERT_TRUE(plain.ok()) << regime.name << "/"
+                          << OptimizerStrategyName(strategy) << ": "
+                          << plain.status().ToString();
+  EXPECT_EQ(plain->items, expected);
+  const double plain_cost = plain->execution.ledger.total();
+
+  // 2. Lazy execution: same answer, never more cost.
+  MediatorOptions lazy = base;
+  lazy.execution.lazy_short_circuit = true;
+  const auto lazy_answer = mediator.Answer(query, lazy);
+  ASSERT_TRUE(lazy_answer.ok());
+  EXPECT_EQ(lazy_answer->items, expected);
+  EXPECT_LE(lazy_answer->execution.ledger.total(), plain_cost + 1e-9);
+
+  // 3. Cached re-execution: same answer, strictly cheaper second run.
+  SourceCallCache cache;
+  MediatorOptions cached = base;
+  cached.execution.cache = &cache;
+  const auto first = mediator.Answer(query, cached);
+  const auto second = mediator.Answer(query, cached);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->items, expected);
+  EXPECT_EQ(second->items, expected);
+  EXPECT_LE(second->execution.ledger.total(),
+            first->execution.ledger.total() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Everything, MatrixTest,
+    ::testing::Combine(
+        ::testing::Range(0, 6),                     // regimes
+        ::testing::Values(
+            static_cast<int>(OptimizerStrategy::kFilter),
+            static_cast<int>(OptimizerStrategy::kSja),
+            static_cast<int>(OptimizerStrategy::kSjaPlus),
+            static_cast<int>(OptimizerStrategy::kGreedySjaPlus)),
+        ::testing::Values<uint64_t>(11, 29)));      // seeds
+
+// Flaky federation sweep: every strategy recovers with retries.
+class FlakyMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlakyMatrixTest, RetriesKeepAnswersCorrectUnderTransientFailures) {
+  const OptimizerStrategy strategy =
+      static_cast<OptimizerStrategy>(GetParam());
+  SyntheticSpec spec;
+  spec.universe_size = 200;
+  spec.num_sources = 3;
+  spec.num_conditions = 2;
+  spec.selectivity = {0.1, 0.3};
+  spec.seed = 31;
+  auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  const FusionQuery query = instance->query;
+  const ItemSet expected = *ReferenceFusionAnswer(
+      RelationsOf(*instance), "M", query.conditions());
+
+  SourceCatalog flaky;
+  for (size_t j = 0; j < 3; ++j) {
+    const SimulatedSource* sim = instance->catalog.source(j).AsSimulated();
+    ASSERT_NE(sim, nullptr);
+    FlakySource::Options options;
+    options.failure_probability = 0.15;
+    options.seed = 500 + j;
+    ASSERT_TRUE(flaky
+                    .Add(std::make_unique<FlakySource>(
+                        std::make_unique<SimulatedSource>(*sim), options))
+                    .ok());
+  }
+  Mediator mediator(std::move(flaky));
+  MediatorOptions options;
+  options.strategy = strategy;
+  options.statistics = StatisticsMode::kOracle;
+  options.execution.max_attempts = 8;
+  const auto answer = mediator.Answer(query, options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->items, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, FlakyMatrixTest,
+    ::testing::Values(static_cast<int>(OptimizerStrategy::kFilter),
+                      static_cast<int>(OptimizerStrategy::kSja),
+                      static_cast<int>(OptimizerStrategy::kSjaPlus),
+                      static_cast<int>(OptimizerStrategy::kGreedySja)));
+
+}  // namespace
+}  // namespace fusion

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "mediator/mediator.h"
+#include "relational/reference_evaluator.h"
+#include "workload/bibliographic.h"
+#include "workload/dmv.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+Mediator Figure1Mediator() {
+  auto instance = BuildDmvFigure1();
+  EXPECT_TRUE(instance.ok());
+  return Mediator(std::move(instance->catalog));
+}
+
+TEST(MediatorTest, AnswersPaperQueryWithEveryStrategy) {
+  Mediator mediator = Figure1Mediator();
+  for (const OptimizerStrategy strategy :
+       {OptimizerStrategy::kFilter, OptimizerStrategy::kSj,
+        OptimizerStrategy::kSja, OptimizerStrategy::kSjaPlus,
+        OptimizerStrategy::kGreedySja, OptimizerStrategy::kGreedySjaPlus}) {
+    MediatorOptions options;
+    options.strategy = strategy;
+    options.statistics = StatisticsMode::kOracle;
+    const auto answer = mediator.Answer(DmvFigure1Query(), options);
+    ASSERT_TRUE(answer.ok())
+        << OptimizerStrategyName(strategy) << ": "
+        << answer.status().ToString();
+    EXPECT_EQ(answer->items.ToString(), "{'J55', 'T21'}")
+        << OptimizerStrategyName(strategy);
+    EXPECT_GT(answer->execution.ledger.total(), 0.0);
+  }
+}
+
+TEST(MediatorTest, AnswerSqlParsesAndRuns) {
+  Mediator mediator = Figure1Mediator();
+  MediatorOptions options;
+  options.statistics = StatisticsMode::kOracle;
+  const auto answer = mediator.AnswerSql(
+      "SELECT u1.L FROM U u1, U u2 "
+      "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'",
+      options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->items.ToString(), "{'J55', 'T21'}");
+}
+
+TEST(MediatorTest, AnswerSqlRejectsGarbage) {
+  Mediator mediator = Figure1Mediator();
+  EXPECT_FALSE(mediator.AnswerSql("DELETE FROM everything").ok());
+}
+
+TEST(MediatorTest, RejectsQueryNotMatchingSchema) {
+  Mediator mediator = Figure1Mediator();
+  const FusionQuery bad("NOPE", {Condition::Eq("V", Value("dui"))});
+  EXPECT_FALSE(mediator.Answer(bad).ok());
+}
+
+TEST(MediatorTest, OptimizeWithoutExecuting) {
+  Mediator mediator = Figure1Mediator();
+  MediatorOptions options;
+  options.strategy = OptimizerStrategy::kSja;
+  options.statistics = StatisticsMode::kOracle;
+  const auto plan = mediator.Optimize(DmvFigure1Query(), options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, "SJA");
+  EXPECT_TRUE(plan->plan.Validate(2, 3).ok());
+}
+
+TEST(MediatorTest, OracleParametricStatisticsWork) {
+  Mediator mediator = Figure1Mediator();
+  MediatorOptions options;
+  options.statistics = StatisticsMode::kOracleParametric;
+  const auto answer = mediator.Answer(DmvFigure1Query(), options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->items.ToString(), "{'J55', 'T21'}");
+}
+
+TEST(MediatorTest, CalibratedStatisticsAnswerCorrectly) {
+  SyntheticSpec spec;
+  spec.universe_size = 1000;
+  spec.num_sources = 3;
+  spec.num_conditions = 2;
+  spec.coverage = 0.5;
+  spec.selectivity = {0.3, 0.2};
+  spec.seed = 9;
+  auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  const ItemSet expected =
+      *ReferenceFusionAnswer(RelationsOf(*instance), "M",
+                             instance->query.conditions());
+  const FusionQuery query = instance->query;
+  Mediator mediator(std::move(instance->catalog));
+  MediatorOptions options;
+  options.statistics = StatisticsMode::kCalibrated;
+  options.calibration.merge_domain_lo = 0;
+  options.calibration.merge_domain_hi = 999;
+  options.calibration.num_range_probes = 5;
+  options.calibration.range_fraction = 0.1;
+  const auto answer = mediator.Answer(query, options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->items, expected);  // plan quality varies; answers don't
+  EXPECT_GT(answer->calibration_cost, 0.0);
+}
+
+TEST(MediatorTest, TwoPhaseFetchReturnsFullRecords) {
+  const auto instance = GenerateBibliographic({});
+  ASSERT_TRUE(instance.ok());
+  const FusionQuery query = instance->query;
+  const std::vector<const Relation*> relations = RelationsOf(*instance);
+  Mediator mediator(std::move(
+      const_cast<SyntheticInstance&>(*instance).catalog));
+  MediatorOptions options;
+  options.statistics = StatisticsMode::kOracle;
+  const auto answer = mediator.Answer(query, options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  const ItemSet expected =
+      *ReferenceFusionAnswer(relations, "DOC", query.conditions());
+  EXPECT_EQ(answer->items, expected);
+
+  CostLedger fetch_ledger;
+  const auto records =
+      mediator.FetchRecords(query, answer->items, &fetch_ledger);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  // Every fetched record's DOC is in the answer set.
+  const size_t doc_idx = *records->schema().IndexOf("DOC");
+  for (const Tuple& t : records->tuples()) {
+    EXPECT_TRUE(answer->items.Contains(t[doc_idx]));
+  }
+  // Every answered id has at least one record somewhere.
+  ItemSet fetched_ids;
+  for (const Tuple& t : records->tuples()) fetched_ids.Insert(t[doc_idx]);
+  EXPECT_EQ(fetched_ids, answer->items);
+  EXPECT_GT(fetch_ledger.total(), 0.0);
+}
+
+TEST(MediatorTest, StrategyAndStatisticsNames) {
+  EXPECT_STREQ(OptimizerStrategyName(OptimizerStrategy::kSjaPlus), "SJA+");
+  EXPECT_STREQ(StatisticsModeName(StatisticsMode::kCalibrated), "calibrated");
+}
+
+TEST(MediatorTest, GreedyStrategiesHandleManyConditions) {
+  // 10 conditions exceeds the exhaustive limit; greedy must still work.
+  SyntheticSpec spec;
+  spec.universe_size = 400;
+  spec.num_sources = 3;
+  spec.num_conditions = 10;
+  spec.selectivity_default = 0.3;
+  spec.seed = 31;
+  auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  const FusionQuery query = instance->query;
+  const ItemSet expected = *ReferenceFusionAnswer(
+      RelationsOf(*instance), "M", query.conditions());
+  Mediator mediator(std::move(instance->catalog));
+  MediatorOptions options;
+  options.statistics = StatisticsMode::kOracle;
+  options.strategy = OptimizerStrategy::kSja;
+  EXPECT_FALSE(mediator.Answer(query, options).ok());  // m! refused
+  options.strategy = OptimizerStrategy::kGreedySjaPlus;
+  const auto answer = mediator.Answer(query, options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->items, expected);
+}
+
+}  // namespace
+}  // namespace fusion

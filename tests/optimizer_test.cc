@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "cost/oracle_cost_model.h"
+#include "cost/parametric_cost_model.h"
+#include "optimizer/brute_force.h"
+#include "optimizer/filter.h"
+#include "optimizer/greedy.h"
+#include "optimizer/postopt.h"
+#include "optimizer/sj.h"
+#include "optimizer/sja.h"
+#include "optimizer/spj_baseline.h"
+#include "plan/cost_estimator.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+/// A heterogeneous hand-built model: source 0 fast with native semijoins,
+/// source 1 slow without them — the setting where adaptivity wins.
+ParametricCostModel HeterogeneousModel() {
+  SourceParams fast;
+  fast.capabilities.semijoin = SemijoinSupport::kNative;
+  fast.network.query_overhead = 5;
+  fast.network.cost_per_item_sent = 0.1;
+  fast.network.cost_per_item_received = 1;
+  fast.network.processing_per_tuple = 0;
+  fast.cardinality = 1000;
+  fast.result_size = {400, 50, 200};
+
+  SourceParams slow;
+  slow.capabilities.semijoin = SemijoinSupport::kPassedBindingsOnly;
+  slow.network.query_overhead = 20;
+  slow.network.cost_per_item_sent = 1;
+  slow.network.cost_per_item_received = 1;
+  slow.network.processing_per_tuple = 0;
+  slow.cardinality = 800;
+  slow.result_size = {300, 40, 150};
+
+  return ParametricCostModel({fast, slow}, /*universe_size=*/2000);
+}
+
+ParametricCostModel RandomModel(uint64_t seed, size_t m, size_t n) {
+  Rng rng(seed);
+  std::vector<SourceParams> params;
+  for (size_t j = 0; j < n; ++j) {
+    SourceParams p;
+    const double r = rng.NextDouble();
+    p.capabilities.semijoin = r < 0.6 ? SemijoinSupport::kNative
+                              : r < 0.9 ? SemijoinSupport::kPassedBindingsOnly
+                                        : SemijoinSupport::kUnsupported;
+    p.network.query_overhead = 1 + rng.NextDouble() * 30;
+    p.network.cost_per_item_sent = 0.1 + rng.NextDouble() * 2;
+    p.network.cost_per_item_received = 0.1 + rng.NextDouble() * 2;
+    p.network.processing_per_tuple = rng.NextDouble() * 0.01;
+    p.network.record_width_factor = 1 + rng.NextDouble() * 6;
+    p.cardinality = static_cast<double>(rng.Uniform(50, 2000));
+    for (size_t i = 0; i < m; ++i) {
+      p.result_size.push_back(p.cardinality * (0.01 + rng.NextDouble() * 0.5));
+    }
+    params.push_back(std::move(p));
+  }
+  return ParametricCostModel(std::move(params), 3000);
+}
+
+// ---------------------------------------------------------------------------
+// FILTER
+// ---------------------------------------------------------------------------
+
+TEST(FilterTest, IssuesOneSelectionPerConditionSourcePair) {
+  const ParametricCostModel m = HeterogeneousModel();
+  const auto opt = OptimizeFilter(m);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  EXPECT_EQ(opt->plan.num_source_queries(), 6u);  // m=3 × n=2
+  EXPECT_EQ(opt->plan_class, PlanClass::kFilter);
+  EXPECT_TRUE(opt->plan.Validate(3, 2).ok());
+}
+
+TEST(FilterTest, CostIsSumOfAllSelectionCosts) {
+  const ParametricCostModel m = HeterogeneousModel();
+  const auto opt = OptimizeFilter(m);
+  ASSERT_TRUE(opt.ok());
+  double expected = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) expected += m.SqCost(i, j);
+  }
+  EXPECT_DOUBLE_EQ(opt->estimated_cost, expected);
+}
+
+TEST(FilterTest, RejectsEmptyInputs) {
+  // A model cannot be built with zero sources, so only bad dimensions via
+  // a one-condition model with zero... covered by constructor checks; here
+  // verify FILTER works at the minimum size m=n=1.
+  SourceParams p;
+  p.cardinality = 10;
+  p.result_size = {5};
+  const ParametricCostModel m({p}, 10);
+  const auto opt = OptimizeFilter(m);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->plan.num_source_queries(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SJ and SJA basics
+// ---------------------------------------------------------------------------
+
+TEST(SjTest, ProducesValidSemijoinPlan) {
+  const ParametricCostModel m = HeterogeneousModel();
+  const auto opt = OptimizeSj(m);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  EXPECT_TRUE(opt->plan.Validate(3, 2).ok());
+  EXPECT_NE(opt->plan_class, PlanClass::kSemijoinAdaptive);
+  EXPECT_NE(opt->plan_class, PlanClass::kNonSimple);
+  // Uniform rows: every row all-true or all-false.
+  for (size_t i = 1; i < opt->structure.use_semijoin.size(); ++i) {
+    const auto& row = opt->structure.use_semijoin[i];
+    EXPECT_TRUE(std::equal(row.begin() + 1, row.end(), row.begin()))
+        << "row " << i << " not uniform";
+  }
+}
+
+TEST(SjaTest, ProducesValidPlanNoWorseThanSjAndFilter) {
+  const ParametricCostModel m = HeterogeneousModel();
+  const auto filter = OptimizeFilter(m);
+  const auto sj = OptimizeSj(m);
+  const auto sja = OptimizeSja(m);
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE(sj.ok());
+  ASSERT_TRUE(sja.ok());
+  EXPECT_LE(sja->estimated_cost, sj->estimated_cost + 1e-9);
+  EXPECT_LE(sj->estimated_cost, filter->estimated_cost + 1e-9);
+}
+
+TEST(SjaTest, AdaptsPerSourceOnHeterogeneousModel) {
+  // Source 1 lacks native semijoins; with a large intermediate set the
+  // emulated semijoin is hopeless there, while source 0's native semijoin is
+  // cheap. SJA should mix sq and sjq within a round.
+  const ParametricCostModel m = HeterogeneousModel();
+  const auto sja = OptimizeSja(m);
+  ASSERT_TRUE(sja.ok());
+  EXPECT_EQ(sja->plan_class, PlanClass::kSemijoinAdaptive);
+}
+
+TEST(SjaTest, FirstConditionAlwaysBySelection) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const ParametricCostModel m = RandomModel(seed, 3, 4);
+    const auto sja = OptimizeSja(m);
+    ASSERT_TRUE(sja.ok());
+    for (bool b : sja->structure.use_semijoin[0]) EXPECT_FALSE(b);
+  }
+}
+
+TEST(SjaTest, NeverRoutesSemijoinToUnsupportedSource) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const ParametricCostModel m = RandomModel(seed, 3, 5);
+    const auto sja = OptimizeSja(m);
+    ASSERT_TRUE(sja.ok());
+    EXPECT_TRUE(std::isfinite(sja->estimated_cost));
+    for (size_t i = 1; i < 3; ++i) {
+      for (size_t j = 0; j < 5; ++j) {
+        if (m.params(j).capabilities.semijoin == SemijoinSupport::kUnsupported) {
+          EXPECT_FALSE(sja->structure.use_semijoin[i][j]);
+        }
+      }
+    }
+  }
+}
+
+TEST(SjaTest, RefusesTooManyConditionsForExhaustiveSearch) {
+  const ParametricCostModel m = RandomModel(1, 10, 2);
+  EXPECT_FALSE(OptimizeSja(m).ok());
+  EXPECT_FALSE(OptimizeSj(m).ok());
+  // Greedy handles the same instance.
+  EXPECT_TRUE(
+      OptimizeGreedySja(m, GreedyOrderHeuristic::kBySelectivity).ok());
+}
+
+TEST(SjaTest, SingleConditionDegeneratesToFilter) {
+  const ParametricCostModel m = RandomModel(5, 1, 4);
+  const auto sja = OptimizeSja(m);
+  const auto filter = OptimizeFilter(m);
+  ASSERT_TRUE(sja.ok());
+  ASSERT_TRUE(filter.ok());
+  EXPECT_DOUBLE_EQ(sja->estimated_cost, filter->estimated_cost);
+  EXPECT_EQ(sja->plan_class, PlanClass::kFilter);
+}
+
+// ---------------------------------------------------------------------------
+// Optimality against brute force (the paper's central claims)
+// ---------------------------------------------------------------------------
+
+class OptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimalityTest, SjaMatchesBruteForceOverAdaptiveSpace) {
+  const ParametricCostModel m = RandomModel(GetParam(), 3, 3);
+  const auto sja = OptimizeSja(m);
+  const auto brute = BruteForceSemijoinAdaptive(m);
+  ASSERT_TRUE(sja.ok());
+  ASSERT_TRUE(brute.ok());
+  EXPECT_NEAR(sja->estimated_cost, brute->estimated_cost,
+              1e-6 * (1 + std::abs(brute->estimated_cost)))
+      << "SJA missed the optimum on seed " << GetParam();
+}
+
+TEST_P(OptimalityTest, SjMatchesBruteForceOverSemijoinSpace) {
+  const ParametricCostModel m = RandomModel(GetParam() + 1000, 3, 3);
+  const auto sj = OptimizeSj(m);
+  const auto brute = BruteForceSemijoin(m);
+  ASSERT_TRUE(sj.ok());
+  ASSERT_TRUE(brute.ok());
+  EXPECT_NEAR(sj->estimated_cost, brute->estimated_cost,
+              1e-6 * (1 + std::abs(brute->estimated_cost)));
+}
+
+TEST_P(OptimalityTest, GreedyIsNeverBetterThanExhaustiveSja) {
+  const ParametricCostModel m = RandomModel(GetParam() + 2000, 4, 4);
+  const auto sja = OptimizeSja(m);
+  ASSERT_TRUE(sja.ok());
+  for (auto h : {GreedyOrderHeuristic::kBySelectivity,
+                 GreedyOrderHeuristic::kByMinCost}) {
+    const auto greedy = OptimizeGreedySja(m, h);
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_GE(greedy->estimated_cost, sja->estimated_cost - 1e-9);
+    EXPECT_TRUE(greedy->plan.Validate(4, 4).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+// ---------------------------------------------------------------------------
+// SJA+ postoptimization
+// ---------------------------------------------------------------------------
+
+TEST(PostOptTest, NeverWorseThanSja) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    const ParametricCostModel m = RandomModel(seed, 3, 4);
+    const auto sja = OptimizeSja(m);
+    const auto plus = OptimizeSjaPlus(m);
+    ASSERT_TRUE(sja.ok());
+    ASSERT_TRUE(plus.ok());
+    EXPECT_LE(plus->estimated_cost, sja->estimated_cost + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(PostOptTest, DifferencePruningShrinksSemijoinCost) {
+  // Homogeneous, semijoin-friendly model with two conditions; after the
+  // first semijoin source answers, the second should receive a smaller set.
+  SourceParams p;
+  p.capabilities.semijoin = SemijoinSupport::kNative;
+  p.network.query_overhead = 1;
+  p.network.cost_per_item_sent = 10;  // shipping dominates
+  p.network.cost_per_item_received = 0.1;
+  p.network.processing_per_tuple = 0;
+  p.cardinality = 1000;
+  p.result_size = {500, 400};
+  const ParametricCostModel m({p, p}, 1000);
+
+  const auto sja = OptimizeSja(m);
+  ASSERT_TRUE(sja.ok());
+  PostOptOptions diff_only;
+  diff_only.use_difference = true;
+  diff_only.use_loading = false;
+  const auto plus = PostOptimizeStructure(m, sja->structure, diff_only, "SJA");
+  ASSERT_TRUE(plus.ok());
+  if (sja->plan_class != PlanClass::kFilter) {
+    EXPECT_LT(plus->estimated_cost, sja->estimated_cost);
+    EXPECT_EQ(plus->plan_class, PlanClass::kNonSimple);
+  }
+}
+
+TEST(PostOptTest, LoadsTinySources) {
+  // A tiny source with huge per-query overhead should be loaded wholesale.
+  SourceParams tiny;
+  tiny.capabilities.semijoin = SemijoinSupport::kNative;
+  tiny.network.query_overhead = 500;
+  tiny.network.cost_per_item_received = 1;
+  tiny.network.record_width_factor = 1;
+  tiny.cardinality = 10;
+  tiny.result_size = {5, 5, 5};
+
+  SourceParams normal;
+  normal.capabilities.semijoin = SemijoinSupport::kNative;
+  normal.network.query_overhead = 5;
+  normal.network.cost_per_item_received = 1;
+  normal.cardinality = 1000;
+  normal.result_size = {100, 100, 100};
+
+  const ParametricCostModel m({tiny, normal}, 1500);
+  const auto sja = OptimizeSja(m);
+  const auto plus = OptimizeSjaPlus(m);
+  ASSERT_TRUE(sja.ok());
+  ASSERT_TRUE(plus.ok());
+  EXPECT_LT(plus->estimated_cost, sja->estimated_cost);
+  // The plan must contain an lq op against source 0.
+  bool has_load = false;
+  for (const PlanOp& op : plus->plan.ops()) {
+    if (op.kind == PlanOpKind::kLoad) {
+      EXPECT_EQ(op.source, 0);
+      has_load = true;
+    }
+  }
+  EXPECT_TRUE(has_load);
+}
+
+TEST(PostOptTest, OptionsDisableEverything) {
+  const ParametricCostModel m = HeterogeneousModel();
+  const auto sja = OptimizeSja(m);
+  ASSERT_TRUE(sja.ok());
+  PostOptOptions off;
+  off.use_difference = false;
+  off.use_loading = false;
+  const auto plus = PostOptimizeStructure(m, sja->structure, off, "SJA");
+  ASSERT_TRUE(plus.ok());
+  EXPECT_NEAR(plus->estimated_cost, sja->estimated_cost, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Structured build internals
+// ---------------------------------------------------------------------------
+
+TEST(BuildStructuredPlanTest, RejectsBadStructures) {
+  const ParametricCostModel m = HeterogeneousModel();
+  // Wrong ordering length.
+  ConditionOrderPlan s1 = MakeStructure({0, 1}, 2);
+  EXPECT_FALSE(BuildStructuredPlan(m, s1, {}, false).ok());
+  // Semijoin in the first round.
+  ConditionOrderPlan s2 = MakeStructure({0, 1, 2}, 2);
+  s2.use_semijoin[0][0] = true;
+  EXPECT_FALSE(BuildStructuredPlan(m, s2, {}, false).ok());
+  // Bad loaded mask size.
+  ConditionOrderPlan s3 = MakeStructure({0, 1, 2}, 2);
+  EXPECT_FALSE(BuildStructuredPlan(m, s3, {true}, false).ok());
+}
+
+TEST(BuildStructuredPlanTest, PerSourceCostsSumToTotal) {
+  const ParametricCostModel m = HeterogeneousModel();
+  ConditionOrderPlan s = MakeStructure({0, 1, 2}, 2);
+  s.use_semijoin[1][0] = true;
+  const auto built = BuildStructuredPlan(m, s, {}, false);
+  ASSERT_TRUE(built.ok());
+  double sum = 0;
+  for (double c : built->per_source_cost) sum += c;
+  EXPECT_NEAR(sum, built->total_cost, 1e-9);
+}
+
+TEST(BuildStructuredPlanTest, SearchCostMatchesBuiltCost) {
+  // The incremental cost tracked by the SJA search must agree with the
+  // estimator's cost of the materialized plan.
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    const ParametricCostModel m = RandomModel(seed, 3, 3);
+    const auto sja = OptimizeSja(m);
+    ASSERT_TRUE(sja.ok());
+    const auto rebuilt =
+        BuildStructuredPlan(m, sja->structure, {}, false);
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_NEAR(rebuilt->total_cost, sja->estimated_cost,
+                1e-6 * (1 + sja->estimated_cost));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SPJ union baseline (Section 5)
+// ---------------------------------------------------------------------------
+
+TEST(SpjBaselineTest, ExpandsNToTheMSubqueries) {
+  const ParametricCostModel m = HeterogeneousModel();  // m=3, n=2
+  const auto no_cse = SpjUnionBaseline(m, false);
+  ASSERT_TRUE(no_cse.ok()) << no_cse.status().ToString();
+  // 8 chains × 3 queries each = 24 source queries without CSE.
+  EXPECT_EQ(no_cse->plan.num_source_queries(), 24u);
+  const auto cse = SpjUnionBaseline(m, true);
+  ASSERT_TRUE(cse.ok());
+  EXPECT_LT(cse->plan.num_source_queries(),
+            no_cse->plan.num_source_queries());
+  EXPECT_LE(cse->estimated_cost, no_cse->estimated_cost);
+}
+
+TEST(SpjBaselineTest, NeverBeatsSja) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    ParametricCostModel m = RandomModel(seed, 3, 3);
+    // Baseline plans semijoin everywhere; skip instances with unsupported
+    // sources (the baseline would be infinite there, trivially worse).
+    const auto sja = OptimizeSja(m);
+    const auto base = SpjUnionBaseline(m, true);
+    ASSERT_TRUE(sja.ok());
+    ASSERT_TRUE(base.ok());
+    EXPECT_GE(base->estimated_cost, sja->estimated_cost - 1e-9);
+  }
+}
+
+TEST(SpjBaselineTest, RefusesExplosiveExpansion) {
+  const ParametricCostModel m = RandomModel(3, 6, 8);  // 8^6 = 262144
+  EXPECT_FALSE(SpjUnionBaseline(m, true, /*max_subqueries=*/100000).ok());
+}
+
+}  // namespace
+}  // namespace fusion

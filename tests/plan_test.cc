@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include "plan/classifier.h"
+#include "plan/cost_estimator.h"
+#include "plan/plan.h"
+#include "plan/plan_serde.h"
+#include "optimizer/postopt.h"
+#include "cost/parametric_cost_model.h"
+
+namespace fusion {
+namespace {
+
+/// Two homogeneous sources, two conditions; hand-checkable numbers.
+ParametricCostModel SimpleModel() {
+  SourceParams p;
+  p.capabilities.semijoin = SemijoinSupport::kNative;
+  p.network.query_overhead = 10;
+  p.network.cost_per_item_sent = 1;
+  p.network.cost_per_item_received = 1;
+  p.network.processing_per_tuple = 0;
+  p.network.record_width_factor = 2;
+  p.cardinality = 100;
+  p.result_size = {40, 10};
+  return ParametricCostModel({p, p}, /*universe_size=*/100);
+}
+
+// ---------------------------------------------------------------------------
+// Builder & validation
+// ---------------------------------------------------------------------------
+
+TEST(PlanBuilderTest, EmitsOpsAndVars) {
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0, "X11");
+  const int b = plan.EmitSelect(0, 1, "X12");
+  const int u = plan.EmitUnion({a, b}, "X1");
+  const int s = plan.EmitSemiJoin(1, 0, u, "X21");
+  plan.SetResult(s);
+  EXPECT_EQ(plan.num_ops(), 4u);
+  EXPECT_EQ(plan.num_source_queries(), 3u);
+  EXPECT_EQ(plan.var(a).name, "X11");
+  EXPECT_TRUE(plan.Validate(2, 2).ok());
+}
+
+TEST(PlanBuilderTest, DefaultVarNames) {
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);
+  EXPECT_FALSE(plan.var(a).name.empty());
+}
+
+TEST(PlanValidateTest, RejectsUndefinedVariableUse) {
+  Plan plan;
+  plan.EmitSemiJoin(0, 0, /*input_var=*/5, "X");
+  plan.SetResult(0);
+  EXPECT_FALSE(plan.Validate(1, 1).ok());
+}
+
+TEST(PlanValidateTest, RejectsOutOfRangeIndices) {
+  {
+    Plan plan;
+    const int a = plan.EmitSelect(3, 0);  // cond 3 of 1
+    plan.SetResult(a);
+    EXPECT_FALSE(plan.Validate(1, 1).ok());
+  }
+  {
+    Plan plan;
+    const int a = plan.EmitSelect(0, 9);  // source 9 of 1
+    plan.SetResult(a);
+    EXPECT_FALSE(plan.Validate(1, 1).ok());
+  }
+}
+
+TEST(PlanValidateTest, RejectsMissingOrWrongTypedResult) {
+  {
+    Plan plan;
+    plan.EmitSelect(0, 0);
+    EXPECT_FALSE(plan.Validate(1, 1).ok());  // no result set
+  }
+  {
+    Plan plan;
+    const int y = plan.EmitLoad(0, "Y");
+    plan.SetResult(y);  // result is a relation, not items
+    EXPECT_FALSE(plan.Validate(1, 1).ok());
+  }
+}
+
+TEST(PlanValidateTest, RejectsLocalSelectOverItemsVar) {
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);
+  const int l = plan.EmitLocalSelect(0, a);
+  plan.SetResult(l);
+  EXPECT_FALSE(plan.Validate(1, 1).ok());
+}
+
+TEST(PlanValidateTest, RejectsEmptyUnionAndBadDifference) {
+  {
+    Plan plan;
+    const int u = plan.EmitUnion({});
+    plan.SetResult(u);
+    EXPECT_FALSE(plan.Validate(1, 1).ok());
+  }
+  {
+    // EmitDifference always produces exactly two operands, which validate.
+    Plan plan;
+    const int a = plan.EmitSelect(0, 0);
+    const int d = plan.EmitDifference(a, a);
+    plan.SetResult(d);
+    EXPECT_TRUE(plan.Validate(1, 1).ok());
+  }
+}
+
+TEST(PlanValidateTest, AcceptsLoadLocalSelectFlow) {
+  Plan plan;
+  const int y = plan.EmitLoad(0, "Y1");
+  const int a = plan.EmitLocalSelect(0, y, "X11");
+  plan.SetResult(a);
+  EXPECT_TRUE(plan.Validate(1, 1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Printing (paper notation)
+// ---------------------------------------------------------------------------
+
+TEST(PlanPrintTest, MatchesPaperNotation) {
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0, "X11");
+  const int b = plan.EmitSelect(0, 1, "X12");
+  const int u = plan.EmitUnion({a, b}, "X1");
+  const int s = plan.EmitSemiJoin(1, 0, u, "X21");
+  plan.SetResult(s);
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("X11 := sq(c1, R1)"), std::string::npos);
+  EXPECT_NE(text.find("X1 := X11 ∪ X12"), std::string::npos);
+  EXPECT_NE(text.find("X21 := sjq(c2, R1, X1)"), std::string::npos);
+  EXPECT_NE(text.find("result: X21"), std::string::npos);
+}
+
+TEST(PlanPrintTest, CustomNames) {
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0, "X11");
+  plan.SetResult(a);
+  PlanPrintNames names;
+  names.conditions = {"V = 'dui'"};
+  names.sources = {"CA-DMV"};
+  const std::string text = plan.ToString(names);
+  EXPECT_NE(text.find("sq(V = 'dui', CA-DMV)"), std::string::npos);
+}
+
+TEST(PlanPrintTest, LoadDifferenceLocalSelect) {
+  Plan plan;
+  const int y = plan.EmitLoad(2, "Y3");
+  const int a = plan.EmitLocalSelect(0, y, "X13");
+  const int b = plan.EmitSelect(0, 0, "X11");
+  const int d = plan.EmitDifference(b, a, "D1");
+  plan.SetResult(d);
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("Y3 := lq(R3)"), std::string::npos);
+  EXPECT_NE(text.find("X13 := sq(c1, Y3)"), std::string::npos);
+  EXPECT_NE(text.find("D1 := X11 − X13"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+TEST(ClassifierTest, FilterPlan) {
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);
+  const int b = plan.EmitSelect(1, 0);
+  const int i = plan.EmitIntersect({a, b});
+  plan.SetResult(i);
+  EXPECT_EQ(ClassifyPlan(plan), PlanClass::kFilter);
+}
+
+TEST(ClassifierTest, SemijoinPlan) {
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);
+  const int b = plan.EmitSelect(0, 1);
+  const int u = plan.EmitUnion({a, b});
+  const int s1 = plan.EmitSemiJoin(1, 0, u);
+  const int s2 = plan.EmitSemiJoin(1, 1, u);
+  const int r = plan.EmitUnion({s1, s2});
+  plan.SetResult(r);
+  EXPECT_EQ(ClassifyPlan(plan), PlanClass::kSemijoin);
+}
+
+TEST(ClassifierTest, SemijoinAdaptivePlan) {
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);
+  const int s1 = plan.EmitSemiJoin(1, 0, a);   // c2 by sjq at R1
+  const int s2 = plan.EmitSelect(1, 1);        // c2 by sq at R2
+  const int u = plan.EmitUnion({s1, s2});
+  const int i = plan.EmitIntersect({a, u});
+  plan.SetResult(i);
+  EXPECT_EQ(ClassifyPlan(plan), PlanClass::kSemijoinAdaptive);
+}
+
+TEST(ClassifierTest, NonSimpleOnPostoptOps) {
+  {
+    Plan plan;
+    const int y = plan.EmitLoad(0);
+    const int a = plan.EmitLocalSelect(0, y);
+    plan.SetResult(a);
+    EXPECT_EQ(ClassifyPlan(plan), PlanClass::kNonSimple);
+  }
+  {
+    Plan plan;
+    const int a = plan.EmitSelect(0, 0);
+    const int b = plan.EmitSelect(1, 0);
+    const int d = plan.EmitDifference(a, b);
+    plan.SetResult(d);
+    EXPECT_EQ(ClassifyPlan(plan), PlanClass::kNonSimple);
+  }
+}
+
+TEST(ClassifierTest, ClassNames) {
+  EXPECT_STREQ(PlanClassName(PlanClass::kFilter), "filter");
+  EXPECT_STREQ(PlanClassName(PlanClass::kNonSimple), "non-simple");
+}
+
+// ---------------------------------------------------------------------------
+// Cost estimation
+// ---------------------------------------------------------------------------
+
+TEST(EstimatorTest, FilterPlanCost) {
+  const ParametricCostModel m = SimpleModel();
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);  // 10 + 40 = 50
+  const int b = plan.EmitSelect(0, 1);  // 50
+  const int u = plan.EmitUnion({a, b});
+  const int c = plan.EmitSelect(1, 0);  // 10 + 10 = 20
+  const int d = plan.EmitSelect(1, 1);  // 20
+  const int u2 = plan.EmitUnion({c, d});
+  const int i = plan.EmitIntersect({u, u2});
+  plan.SetResult(i);
+  const auto breakdown = EstimatePlanCost(plan, m);
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_DOUBLE_EQ(breakdown->total, 140.0);
+  // Local ops are free.
+  EXPECT_DOUBLE_EQ(breakdown->per_op[2], 0.0);
+  EXPECT_DOUBLE_EQ(breakdown->per_op[6], 0.0);
+}
+
+TEST(EstimatorTest, CardinalityPropagation) {
+  const ParametricCostModel m = SimpleModel();
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);  // |40|
+  const int b = plan.EmitSelect(0, 1);  // |40|
+  const int u = plan.EmitUnion({a, b});  // 40+40-16=64
+  plan.SetResult(u);
+  const auto breakdown = EstimatePlanCost(plan, m);
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_DOUBLE_EQ(breakdown->result.size, 64.0);
+}
+
+TEST(EstimatorTest, SemijoinUsesPropagatedInputSize) {
+  const ParametricCostModel m = SimpleModel();
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);          // |40|, cost 50
+  const int s = plan.EmitSemiJoin(1, 0, a);     // sjq cost 10 + 40 + result
+  plan.SetResult(s);
+  const auto breakdown = EstimatePlanCost(plan, m);
+  ASSERT_TRUE(breakdown.ok());
+  // result = 40 * 10/100 = 4; sjq = 10 + 40*1 + 4*1 = 54; total 104.
+  EXPECT_DOUBLE_EQ(breakdown->total, 104.0);
+  EXPECT_DOUBLE_EQ(breakdown->result.size, 4.0);
+}
+
+TEST(EstimatorTest, LoadIsChargedLocalSelectIsFree) {
+  const ParametricCostModel m = SimpleModel();
+  Plan plan;
+  const int y = plan.EmitLoad(0);               // 10 + 1*2*100 = 210
+  const int a = plan.EmitLocalSelect(0, y);     // free, |40|
+  plan.SetResult(a);
+  const auto breakdown = EstimatePlanCost(plan, m);
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_DOUBLE_EQ(breakdown->total, 210.0);
+  EXPECT_DOUBLE_EQ(breakdown->result.size, 40.0);
+}
+
+TEST(EstimatorTest, RejectsInvalidPlan) {
+  const ParametricCostModel m = SimpleModel();
+  Plan plan;
+  plan.EmitSelect(0, 5);  // bad source
+  plan.SetResult(0);
+  EXPECT_FALSE(EstimatePlanCost(plan, m).ok());
+}
+
+TEST(EstimatorTest, DifferenceEstimation) {
+  const ParametricCostModel m = SimpleModel();
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);   // |40|
+  const int b = plan.EmitSelect(1, 0);   // |10|
+  const int d = plan.EmitDifference(a, b);  // 40 * (1 - 10/100) = 36
+  plan.SetResult(d);
+  const auto breakdown = EstimatePlanCost(plan, m);
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_DOUBLE_EQ(breakdown->result.size, 36.0);
+}
+
+
+// ---------------------------------------------------------------------------
+// Plan serialization (FPLAN/1)
+// ---------------------------------------------------------------------------
+
+TEST(PlanSerdeTest, RoundTripsEveryOpKind) {
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0, "X11");
+  const int b = plan.EmitSelect(0, 1, "X12");
+  const int u = plan.EmitUnion({a, b}, "X1");
+  const int s = plan.EmitSemiJoin(1, 0, u, "X21");
+  const int y = plan.EmitLoad(1, "Y2");
+  const int l = plan.EmitLocalSelect(1, y, "X22");
+  const int d = plan.EmitDifference(s, l, "D");
+  const int i = plan.EmitIntersect({u, d}, "X2");
+  plan.SetResult(i);
+
+  const std::string text = SerializePlan(plan);
+  const auto back = ParsePlan(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_ops(), plan.num_ops());
+  EXPECT_EQ(back->result(), plan.result());
+  EXPECT_EQ(SerializePlan(*back), text);  // byte-stable fixpoint
+  // Pretty-printed forms agree too (names survive).
+  EXPECT_EQ(back->ToString(), plan.ToString());
+  EXPECT_TRUE(back->Validate(2, 2).ok());
+}
+
+TEST(PlanSerdeTest, RoundTripsOptimizerOutput) {
+  const ParametricCostModel m = SimpleModel();
+  const auto sja = OptimizeSjaPlus(m);
+  ASSERT_TRUE(sja.ok());
+  const auto back = ParsePlan(SerializePlan(sja->plan));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ToString(), sja->plan.ToString());
+  const auto cost_original = EstimatePlanCost(sja->plan, m);
+  const auto cost_back = EstimatePlanCost(*back, m);
+  ASSERT_TRUE(cost_original.ok());
+  ASSERT_TRUE(cost_back.ok());
+  EXPECT_DOUBLE_EQ(cost_back->total, cost_original->total);
+}
+
+TEST(PlanSerdeTest, RejectsMalformedPlans) {
+  EXPECT_FALSE(ParsePlan("").ok());
+  EXPECT_FALSE(ParsePlan("NOPE/9\nend\n").ok());
+  EXPECT_FALSE(ParsePlan("FPLAN/1\nvar 5 items X\nend\n").ok());
+  EXPECT_FALSE(ParsePlan("FPLAN/1\nvar 0 items X\nop select 0 0 0\n").ok());
+  EXPECT_FALSE(
+      ParsePlan("FPLAN/1\nvar 0 items X\nop warp 0 0 0\nresult 0\nend\n")
+          .ok());
+  EXPECT_FALSE(
+      ParsePlan("FPLAN/1\nvar 0 items X\nop select 0 0 0\nend\n").ok());
+}
+
+}  // namespace
+}  // namespace fusion

@@ -1,0 +1,252 @@
+// Tests for the FUSIONP/1 wrapper protocol: message round trips, server
+// behaviour, and RemoteSource equivalence with in-process wrappers —
+// including the key invariant that metered costs are identical whether a
+// source is called directly or across the serialized boundary.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cost/oracle_cost_model.h"
+#include "exec/executor.h"
+#include "optimizer/sja.h"
+#include "protocol/message.h"
+#include "protocol/remote_source.h"
+#include "protocol/source_server.h"
+#include "relational/reference_evaluator.h"
+#include "source/simulated_source.h"
+#include "workload/dmv.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value / message serialization round trips
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolValueTest, RoundTripsEveryType) {
+  for (const Value& v :
+       {Value::Null(), Value(int64_t{-42}), Value(3.141592653589793),
+        Value("plain"), Value("with\nnewline"), Value("back\\slash"),
+        Value("")}) {
+    const auto back = ParseSerializedValue(SerializeValue(v));
+    ASSERT_TRUE(back.ok()) << SerializeValue(v);
+    EXPECT_EQ(*back, v) << SerializeValue(v);
+    if (!v.is_null()) {
+      EXPECT_EQ(back->type(), v.type());
+    }
+  }
+}
+
+TEST(ProtocolValueTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseSerializedValue("x:1").ok());
+  EXPECT_FALSE(ParseSerializedValue("i:abc").ok());
+  EXPECT_FALSE(ParseSerializedValue("d:").ok());
+  EXPECT_FALSE(ParseSerializedValue("s").ok());
+  EXPECT_FALSE(ParseSerializedValue("s:bad\\q").ok());
+}
+
+TEST(ProtocolMessageTest, RequestRoundTrip) {
+  SourceRequest request;
+  request.kind = SourceRequest::Kind::kSemiJoin;
+  request.merge_attribute = "L";
+  request.condition_text = "V = 'it''s' AND D >= 1990";
+  request.bindings = {Value("J55"), Value(int64_t{7})};
+  const auto back = ParseRequest(SerializeRequest(request));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->kind, SourceRequest::Kind::kSemiJoin);
+  EXPECT_EQ(back->merge_attribute, "L");
+  EXPECT_EQ(back->condition_text, request.condition_text);
+  ASSERT_EQ(back->bindings.size(), 2u);
+  EXPECT_EQ(back->bindings[0], Value("J55"));
+  EXPECT_EQ(back->bindings[1], Value(int64_t{7}));
+}
+
+TEST(ProtocolMessageTest, ResponseRoundTrip) {
+  SourceResponse response;
+  response.items = {Value("J55"), Value("T21")};
+  response.relation_lines = {"L:string,V:string", "J55,dui"};
+  response.name = "R1";
+  response.semijoin_support = "bindings";
+  response.supports_load = false;
+  response.charges.push_back({"sq", 0, 2, 3, 15.5});
+  const auto back = ParseResponse(SerializeResponse(response));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->items.size(), 2u);
+  EXPECT_EQ(back->relation_lines, response.relation_lines);
+  EXPECT_EQ(back->name, "R1");
+  EXPECT_EQ(back->semijoin_support, "bindings");
+  EXPECT_FALSE(back->supports_load);
+  ASSERT_EQ(back->charges.size(), 1u);
+  EXPECT_EQ(back->charges[0].kind, "sq");
+  EXPECT_DOUBLE_EQ(back->charges[0].cost, 15.5);
+}
+
+TEST(ProtocolMessageTest, ErrorResponseRoundTrip) {
+  SourceResponse response;
+  response.ok = false;
+  response.error_code = StatusCode::kUnsupported;
+  response.error_message = "no semijoins\nhere";
+  const auto back = ParseResponse(SerializeResponse(response));
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->ok);
+  EXPECT_EQ(back->error_code, StatusCode::kUnsupported);
+  EXPECT_EQ(back->error_message, response.error_message);
+}
+
+TEST(ProtocolMessageTest, RejectsMalformedFrames) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("HTTP/1.1 GET\nend\n").ok());
+  EXPECT_FALSE(ParseRequest("FUSIONP/1 NOPE\nend\n").ok());
+  EXPECT_FALSE(ParseRequest("FUSIONP/1 SELECT\nmerge L\n").ok());  // no end
+  EXPECT_FALSE(ParseRequest("FUSIONP/1 SELECT\nwat x\nend\n").ok());
+  EXPECT_FALSE(ParseResponse("FUSIONP/1 MAYBE\nend\n").ok());
+  EXPECT_FALSE(ParseResponse("FUSIONP/1 OK\ncharge sq 1\nend\n").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Server + RemoteSource end to end (in-process transport)
+// ---------------------------------------------------------------------------
+
+/// Builds a connected (server, remote-wrapper) pair over one Figure 1 DMV
+/// source.
+struct Endpoint {
+  std::shared_ptr<SourceServer> server;
+  std::unique_ptr<RemoteSource> remote;
+};
+
+Endpoint MakeEndpoint() {
+  auto instance = BuildDmvFigure1();
+  EXPECT_TRUE(instance.ok());
+  // Copy the first simulated source into a server.
+  const SimulatedSource* sim = instance->simulated[0];
+  auto server = std::make_shared<SourceServer>(
+      std::make_unique<SimulatedSource>(*sim));
+  auto remote = RemoteSource::Connect(
+      [server](const std::string& request) { return server->Handle(request); });
+  EXPECT_TRUE(remote.ok()) << remote.status().ToString();
+  return {server, std::move(remote).value()};
+}
+
+TEST(RemoteSourceTest, HandshakeCarriesMetadata) {
+  Endpoint ep = MakeEndpoint();
+  EXPECT_EQ(ep.remote->name(), "R1");
+  EXPECT_TRUE(ep.remote->schema().HasColumn("L"));
+  EXPECT_TRUE(ep.remote->schema().HasColumn("V"));
+  EXPECT_EQ(ep.remote->capabilities().semijoin, SemijoinSupport::kNative);
+}
+
+TEST(RemoteSourceTest, SelectMatchesDirectCallIncludingCosts) {
+  Endpoint ep = MakeEndpoint();
+  const SimulatedSource& direct = *ep.server->impl().AsSimulated();
+  SimulatedSource local(direct);
+
+  const Condition cond = Condition::Eq("V", Value("dui"));
+  CostLedger remote_ledger, local_ledger;
+  const auto via_protocol = ep.remote->Select(cond, "L", &remote_ledger);
+  const auto via_direct = local.Select(cond, "L", &local_ledger);
+  ASSERT_TRUE(via_protocol.ok()) << via_protocol.status().ToString();
+  ASSERT_TRUE(via_direct.ok());
+  EXPECT_EQ(*via_protocol, *via_direct);
+  EXPECT_DOUBLE_EQ(remote_ledger.total(), local_ledger.total());
+  EXPECT_EQ(remote_ledger.num_queries(), local_ledger.num_queries());
+}
+
+TEST(RemoteSourceTest, SemiJoinAndLoadAndFetch) {
+  Endpoint ep = MakeEndpoint();
+  ItemSet candidates({Value("J55"), Value("T21"), Value("ZZ")});
+  CostLedger ledger;
+  const auto semi = ep.remote->SemiJoin(Condition::Eq("V", Value("sp")), "L",
+                                        candidates, &ledger);
+  ASSERT_TRUE(semi.ok()) << semi.status().ToString();
+  EXPECT_EQ(semi->ToString(), "{'T21'}");
+
+  const auto loaded = ep.remote->Load(&ledger);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->schema(), ep.remote->schema());
+
+  const auto records = ep.remote->FetchRecords("L", candidates, &ledger);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);  // J55 + T21 rows in R1
+  EXPECT_GT(ledger.total(), 0.0);
+}
+
+TEST(RemoteSourceTest, ServerErrorsMapBackToStatus) {
+  // A wrapper without native semijoin support refuses SEMIJOIN; the error
+  // crosses the protocol as ERROR and comes back as kUnsupported.
+  auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  Capabilities caps;
+  caps.semijoin = SemijoinSupport::kPassedBindingsOnly;
+  auto server = std::make_shared<SourceServer>(
+      std::make_unique<SimulatedSource>(
+          "R1", instance->simulated[0]->relation(), caps,
+          instance->simulated[0]->network()));
+  auto remote = RemoteSource::Connect(
+      [server](const std::string& r) { return server->Handle(r); });
+  ASSERT_TRUE(remote.ok());
+  ItemSet candidates({Value("J55")});
+  const auto semi = (*remote)->SemiJoin(Condition::True(), "L", candidates,
+                                        nullptr);
+  ASSERT_FALSE(semi.ok());
+  EXPECT_EQ(semi.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(RemoteSourceTest, GarbageTransportFailsCleanly) {
+  auto remote = RemoteSource::Connect(
+      [](const std::string&) { return std::string("NOISE"); });
+  EXPECT_FALSE(remote.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Whole federation behind the protocol
+// ---------------------------------------------------------------------------
+
+TEST(RemoteFederationTest, PlansExecuteIdenticallyOverTheWire) {
+  SyntheticSpec spec;
+  spec.universe_size = 300;
+  spec.num_sources = 3;
+  spec.num_conditions = 2;
+  spec.selectivity = {0.1, 0.3};
+  spec.frac_native_semijoin = 1.0;
+  spec.seed = 23;
+  auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  const FusionQuery query = instance->query;
+  const ItemSet expected =
+      *ReferenceFusionAnswer(RelationsOf(*instance), "M", query.conditions());
+
+  // Optimize against the local instance.
+  const auto model = OracleCostModel::Create(instance->simulated, query);
+  ASSERT_TRUE(model.ok());
+  const auto sja = OptimizeSja(*model);
+  ASSERT_TRUE(sja.ok());
+  const auto local_report =
+      ExecutePlan(sja->plan, instance->catalog, query);
+  ASSERT_TRUE(local_report.ok());
+
+  // Rebuild the catalog with every source behind a protocol boundary.
+  SourceCatalog remote_catalog;
+  std::vector<std::shared_ptr<SourceServer>> servers;
+  for (const SimulatedSource* sim : instance->simulated) {
+    servers.push_back(std::make_shared<SourceServer>(
+        std::make_unique<SimulatedSource>(*sim)));
+    auto server = servers.back();
+    auto remote = RemoteSource::Connect(
+        [server](const std::string& r) { return server->Handle(r); });
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    ASSERT_TRUE(remote_catalog.Add(std::move(remote).value()).ok());
+  }
+
+  const auto remote_report = ExecutePlan(sja->plan, remote_catalog, query);
+  ASSERT_TRUE(remote_report.ok()) << remote_report.status().ToString();
+  EXPECT_EQ(remote_report->answer, expected);
+  EXPECT_EQ(remote_report->answer, local_report->answer);
+  EXPECT_NEAR(remote_report->ledger.total(), local_report->ledger.total(),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace fusion

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "query/fusion_query.h"
+#include "query/parser.h"
+
+namespace fusion {
+namespace {
+
+Schema DmvSchema() {
+  return Schema({{"L", ValueType::kString},
+                 {"V", ValueType::kString},
+                 {"D", ValueType::kInt64}});
+}
+
+// ---------------------------------------------------------------------------
+// FusionQuery
+// ---------------------------------------------------------------------------
+
+TEST(FusionQueryTest, ValidateAcceptsWellFormed) {
+  const FusionQuery q("L", {Condition::Eq("V", Value("dui")),
+                            Condition::Eq("V", Value("sp"))});
+  EXPECT_TRUE(q.Validate(DmvSchema()).ok());
+  EXPECT_EQ(q.num_conditions(), 2u);
+  EXPECT_EQ(q.merge_attribute(), "L");
+}
+
+TEST(FusionQueryTest, ValidateRejectsBadMergeAttribute) {
+  const FusionQuery q("Z", {Condition::Eq("V", Value("dui"))});
+  EXPECT_FALSE(q.Validate(DmvSchema()).ok());
+}
+
+TEST(FusionQueryTest, ValidateRejectsEmptyConditions) {
+  const FusionQuery q("L", {});
+  EXPECT_FALSE(q.Validate(DmvSchema()).ok());
+}
+
+TEST(FusionQueryTest, ValidateRejectsUnknownConditionAttribute) {
+  const FusionQuery q("L", {Condition::Eq("NOPE", Value("x"))});
+  const Status s = q.Validate(DmvSchema());
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("c1"), std::string::npos);
+}
+
+TEST(FusionQueryTest, ToSqlMentionsAllParts) {
+  const FusionQuery q("L", {Condition::Eq("V", Value("dui")),
+                            Condition::Eq("V", Value("sp"))});
+  const std::string sql = q.ToSql();
+  EXPECT_NE(sql.find("SELECT u1.L"), std::string::npos);
+  EXPECT_NE(sql.find("U u2"), std::string::npos);
+  EXPECT_NE(sql.find("u1.L = u2.L"), std::string::npos);
+  EXPECT_NE(sql.find("'dui'"), std::string::npos);
+  EXPECT_NE(sql.find("'sp'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SQL parsing — the paper's running example and variants
+// ---------------------------------------------------------------------------
+
+TEST(ParseFusionQueryTest, PaperExample) {
+  const auto q = ParseFusionQuery(
+      "SELECT u1.L FROM U u1, U u2 "
+      "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->merge_attribute(), "L");
+  ASSERT_EQ(q->num_conditions(), 2u);
+  EXPECT_EQ(q->conditions()[0].ToString(), "V = 'dui'");
+  EXPECT_EQ(q->conditions()[1].ToString(), "V = 'sp'");
+}
+
+TEST(ParseFusionQueryTest, SingleVariableNoMergeEquality) {
+  const auto q =
+      ParseFusionQuery("SELECT u.L FROM U u WHERE u.V = 'dui'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_conditions(), 1u);
+}
+
+TEST(ParseFusionQueryTest, ThreeVariablesChainedEqualities) {
+  const auto q = ParseFusionQuery(
+      "SELECT a.M FROM U a, U b, U c "
+      "WHERE a.M = b.M AND b.M = c.M AND a.X = 1 AND b.X = 2 AND c.X = 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_conditions(), 3u);
+}
+
+TEST(ParseFusionQueryTest, MultipleClausesPerVariableAreAnded) {
+  const auto q = ParseFusionQuery(
+      "SELECT a.M FROM U a, U b "
+      "WHERE a.M = b.M AND a.X = 1 AND a.Y = 2 AND b.Z = 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->num_conditions(), 2u);
+  EXPECT_EQ(q->conditions()[0].ToString(), "(X = 1 AND Y = 2)");
+}
+
+TEST(ParseFusionQueryTest, VariableWithoutConditionGetsTrue) {
+  const auto q = ParseFusionQuery(
+      "SELECT a.M FROM U a, U b WHERE a.M = b.M AND a.X = 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->num_conditions(), 2u);
+  EXPECT_TRUE(q->conditions()[1].IsTrue());
+}
+
+TEST(ParseFusionQueryTest, BetweenInsideConditionClause) {
+  const auto q = ParseFusionQuery(
+      "SELECT u1.L FROM U u1, U u2 "
+      "WHERE u1.L = u2.L AND u1.D BETWEEN 1990 AND 1995 AND u2.V = 'sp'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->conditions()[0].ToString(), "D BETWEEN 1990 AND 1995");
+}
+
+TEST(ParseFusionQueryTest, ParenthesizedOrClause) {
+  const auto q = ParseFusionQuery(
+      "SELECT u1.L FROM U u1, U u2 "
+      "WHERE u1.L = u2.L AND (u1.V = 'dui' OR u1.V = 'reckless') "
+      "AND u2.V = 'sp'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->conditions()[0].ToString(), "(V = 'dui' OR V = 'reckless')");
+}
+
+TEST(ParseFusionQueryTest, CaseInsensitiveKeywords) {
+  const auto q = ParseFusionQuery(
+      "select u1.L from U u1, U u2 "
+      "where u1.L = u2.L and u1.V = 'dui' and u2.V = 'sp'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(ParseFusionQueryTest, KeywordInsideStringLiteralIsIgnored) {
+  const auto q = ParseFusionQuery(
+      "SELECT u.L FROM U u WHERE u.V = 'select and where'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->conditions()[0].ToString(), "V = 'select and where'");
+}
+
+// Error cases.
+
+TEST(ParseFusionQueryTest, RejectsMissingStructure) {
+  EXPECT_FALSE(ParseFusionQuery("SELECT u.L FROM U u").ok());
+  EXPECT_FALSE(ParseFusionQuery("FROM U u WHERE u.V = 1").ok());
+  EXPECT_FALSE(ParseFusionQuery("").ok());
+}
+
+TEST(ParseFusionQueryTest, RejectsUnqualifiedSelect) {
+  EXPECT_FALSE(
+      ParseFusionQuery("SELECT L FROM U u WHERE u.V = 'x'").ok());
+}
+
+TEST(ParseFusionQueryTest, RejectsDisconnectedVariables) {
+  EXPECT_FALSE(ParseFusionQuery(
+                   "SELECT a.M FROM U a, U b, U c "
+                   "WHERE a.M = b.M AND a.X = 1 AND b.X = 1 AND c.X = 1")
+                   .ok());
+}
+
+TEST(ParseFusionQueryTest, RejectsMergeEqualityOnWrongAttribute) {
+  EXPECT_FALSE(ParseFusionQuery(
+                   "SELECT a.M FROM U a, U b "
+                   "WHERE a.Z = b.Z AND a.X = 1 AND b.X = 1")
+                   .ok());
+}
+
+TEST(ParseFusionQueryTest, RejectsConditionSpanningTwoVariables) {
+  EXPECT_FALSE(ParseFusionQuery(
+                   "SELECT a.M FROM U a, U b "
+                   "WHERE a.M = b.M AND a.X = 1 AND (a.Y = 1 OR b.Y = 2)")
+                   .ok());
+}
+
+TEST(ParseFusionQueryTest, RejectsUnknownVariable) {
+  EXPECT_FALSE(ParseFusionQuery(
+                   "SELECT a.M FROM U a WHERE z.X = 1")
+                   .ok());
+}
+
+TEST(ParseFusionQueryTest, RejectsDuplicateVariables) {
+  EXPECT_FALSE(ParseFusionQuery(
+                   "SELECT a.M FROM U a, U a WHERE a.X = 1")
+                   .ok());
+}
+
+TEST(ParseFusionQueryTest, RejectsUnqualifiedConditionAttribute) {
+  EXPECT_FALSE(ParseFusionQuery(
+                   "SELECT a.M FROM U a, U b WHERE a.M = b.M AND X = 1")
+                   .ok());
+}
+
+TEST(ParseFusionQueryTest, RejectsMissingMergeEqualities) {
+  EXPECT_FALSE(ParseFusionQuery(
+                   "SELECT a.M FROM U a, U b WHERE a.X = 1 AND b.X = 1")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace fusion

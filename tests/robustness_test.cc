@@ -1,0 +1,230 @@
+// Failure-injection tests: transient source failures (FlakySource) and the
+// executor's retry policy, including the cost accounting of failed attempts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/executor.h"
+#include "mediator/mediator.h"
+#include "optimizer/filter.h"
+#include "relational/reference_evaluator.h"
+#include "source/flaky_source.h"
+#include "source/simulated_source.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+Schema DmvSchema() {
+  return Schema({{"L", ValueType::kString},
+                 {"V", ValueType::kString},
+                 {"D", ValueType::kInt64}});
+}
+
+Relation SmallRelation() {
+  Relation r(DmvSchema());
+  EXPECT_TRUE(r.Append({Value("J55"), Value("dui"), Value(int64_t{1993})}).ok());
+  EXPECT_TRUE(r.Append({Value("T21"), Value("sp"), Value(int64_t{1994})}).ok());
+  return r;
+}
+
+std::unique_ptr<FlakySource> MakeFlaky(FlakySource::Options options) {
+  NetworkProfile net;
+  net.query_overhead = 10.0;
+  return std::make_unique<FlakySource>(
+      std::make_unique<SimulatedSource>("R1", SmallRelation(), Capabilities{},
+                                        net),
+      options);
+}
+
+// ---------------------------------------------------------------------------
+// FlakySource behaviour
+// ---------------------------------------------------------------------------
+
+TEST(FlakySourceTest, FailFirstKThenSucceeds) {
+  FlakySource::Options options;
+  options.fail_first_k = 2;
+  auto src = MakeFlaky(options);
+  CostLedger ledger;
+  EXPECT_FALSE(src->Select(Condition::True(), "L", &ledger).ok());
+  EXPECT_FALSE(src->Select(Condition::True(), "L", &ledger).ok());
+  EXPECT_TRUE(src->Select(Condition::True(), "L", &ledger).ok());
+  EXPECT_EQ(src->calls_attempted(), 3u);
+  EXPECT_EQ(src->calls_failed(), 2u);
+}
+
+TEST(FlakySourceTest, FailedCallsChargeOverhead) {
+  FlakySource::Options options;
+  options.fail_first_k = 1;
+  auto src = MakeFlaky(options);
+  CostLedger ledger;
+  EXPECT_FALSE(src->Select(Condition::True(), "L", &ledger).ok());
+  ASSERT_EQ(ledger.num_queries(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.total(), 10.0);  // the wasted round trip
+  EXPECT_NE(ledger.charges()[0].detail.find("FAILED"), std::string::npos);
+}
+
+TEST(FlakySourceTest, ZeroProbabilityNeverFails) {
+  auto src = MakeFlaky({});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(src->Select(Condition::True(), "L", nullptr).ok());
+  }
+  EXPECT_EQ(src->calls_failed(), 0u);
+}
+
+TEST(FlakySourceTest, DelegatesMetadata) {
+  auto src = MakeFlaky({});
+  EXPECT_EQ(src->name(), "R1");
+  EXPECT_EQ(src->schema(), DmvSchema());
+  EXPECT_NE(src->AsSimulated(), nullptr);
+}
+
+TEST(FlakySourceTest, FailuresAreSeedDeterministic) {
+  FlakySource::Options options;
+  options.failure_probability = 0.5;
+  options.seed = 99;
+  auto a = MakeFlaky(options);
+  auto b = MakeFlaky(options);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(a->Select(Condition::True(), "L", nullptr).ok(),
+              b->Select(Condition::True(), "L", nullptr).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Executor retries
+// ---------------------------------------------------------------------------
+
+/// Builds a catalog with one flaky and one reliable source.
+SourceCatalog FlakyCatalog(FlakySource::Options options) {
+  SourceCatalog catalog;
+  EXPECT_TRUE(catalog.Add(MakeFlaky(options)).ok());
+  NetworkProfile net;
+  net.query_overhead = 10.0;
+  Relation r2(DmvSchema());
+  EXPECT_TRUE(
+      r2.Append({Value("J55"), Value("sp"), Value(int64_t{1996})}).ok());
+  EXPECT_TRUE(catalog
+                  .Add(std::make_unique<SimulatedSource>(
+                      "R2", std::move(r2), Capabilities{}, net))
+                  .ok());
+  return catalog;
+}
+
+FusionQuery DuiSpQuery() {
+  return FusionQuery("L", {Condition::Eq("V", Value("dui")),
+                           Condition::Eq("V", Value("sp"))});
+}
+
+Plan FilterPlanFor2x2() {
+  Plan plan;
+  const int a0 = plan.EmitSelect(0, 0);
+  const int a1 = plan.EmitSelect(0, 1);
+  const int x1 = plan.EmitUnion({a0, a1});
+  const int b0 = plan.EmitSelect(1, 0);
+  const int b1 = plan.EmitSelect(1, 1);
+  const int u2 = plan.EmitUnion({b0, b1});
+  const int x2 = plan.EmitIntersect({x1, u2});
+  plan.SetResult(x2);
+  return plan;
+}
+
+TEST(RetryTest, WithoutRetriesTransientFailureKillsTheQuery) {
+  FlakySource::Options options;
+  options.fail_first_k = 1;
+  const SourceCatalog catalog = FlakyCatalog(options);
+  const auto report = ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+TEST(RetryTest, RetriesRecoverFromTransientFailures) {
+  FlakySource::Options options;
+  options.fail_first_k = 1;
+  const SourceCatalog catalog = FlakyCatalog(options);
+  ExecOptions exec;
+  exec.max_attempts = 3;
+  const auto report =
+      ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->answer.ToString(), "{'J55'}");
+  // The failed attempt's overhead is on the ledger alongside the retries.
+  bool saw_failed_charge = false;
+  for (const Charge& c : report->ledger.charges()) {
+    if (c.detail.find("FAILED") != std::string::npos) saw_failed_charge = true;
+  }
+  EXPECT_TRUE(saw_failed_charge);
+}
+
+TEST(RetryTest, RetriesExhaustEventually) {
+  FlakySource::Options options;
+  options.fail_first_k = 100;  // fails more times than we retry
+  const SourceCatalog catalog = FlakyCatalog(options);
+  ExecOptions exec;
+  exec.max_attempts = 3;
+  const auto report =
+      ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(RetryTest, PermanentErrorsAreNotRetried) {
+  // A semijoin against an unsupported source is permanent: the executor must
+  // not burn attempts on it.
+  SourceCatalog catalog;
+  Capabilities none;
+  none.semijoin = SemijoinSupport::kUnsupported;
+  NetworkProfile net;
+  EXPECT_TRUE(catalog
+                  .Add(std::make_unique<SimulatedSource>(
+                      "R1", SmallRelation(), none, net))
+                  .ok());
+  Plan plan;
+  const int a = plan.EmitSelect(0, 0);
+  const int s = plan.EmitSemiJoin(1, 0, a);
+  plan.SetResult(s);
+  ExecOptions exec;
+  exec.max_attempts = 5;
+  const auto report = ExecutePlan(plan, catalog, DuiSpQuery(), exec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(RetryTest, EndToEndThroughMediatorOnFlakyFederation) {
+  // Random failures at 20% with 4 attempts: the query should almost surely
+  // succeed and still compute the right answer.
+  SyntheticSpec spec;
+  spec.universe_size = 200;
+  spec.num_sources = 4;
+  spec.num_conditions = 2;
+  spec.seed = 5;
+  auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  const ItemSet expected = *ReferenceFusionAnswer(
+      RelationsOf(*instance), "M", instance->query.conditions());
+  const FusionQuery query = instance->query;
+
+  // Rewrap every source in a flaky decorator.
+  SourceCatalog flaky;
+  SourceCatalog original = std::move(instance->catalog);
+  for (size_t j = 0; j < 4; ++j) {
+    const SimulatedSource* sim = original.source(j).AsSimulated();
+    ASSERT_NE(sim, nullptr);
+    FlakySource::Options options;
+    options.failure_probability = 0.2;
+    options.seed = 100 + j;
+    ASSERT_TRUE(flaky
+                    .Add(std::make_unique<FlakySource>(
+                        std::make_unique<SimulatedSource>(*sim), options))
+                    .ok());
+  }
+  Mediator mediator(std::move(flaky));
+  MediatorOptions options;
+  options.statistics = StatisticsMode::kOracle;
+  options.execution.max_attempts = 6;
+  const auto answer = mediator.Answer(query, options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->items, expected);
+}
+
+}  // namespace
+}  // namespace fusion

@@ -1,0 +1,131 @@
+// Tests for QuerySession: cross-query caching, statistics learned from
+// execution feedback, and regret shrinking toward the oracle plan as the
+// session observes the federation.
+#include <gtest/gtest.h>
+
+#include "cost/oracle_cost_model.h"
+#include "mediator/session.h"
+#include "optimizer/sja.h"
+#include "relational/reference_evaluator.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+SyntheticInstance MakeInstance(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.universe_size = 800;
+  spec.num_sources = 5;
+  spec.num_conditions = 3;
+  spec.coverage = 0.4;
+  spec.selectivity = {0.03, 0.3, 0.4};
+  spec.selectivity_jitter = 0.6;
+  spec.frac_native_semijoin = 0.7;
+  spec.frac_passed_bindings = 0.3;
+  spec.seed = seed;
+  auto instance = GenerateSynthetic(spec);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(QuerySessionTest, AnswersAreCorrectFromTheFirstQuery) {
+  SyntheticInstance instance = MakeInstance(3);
+  const FusionQuery query = instance.query;
+  const ItemSet expected = *ReferenceFusionAnswer(
+      RelationsOf(instance), "M", query.conditions());
+  QuerySession session(Mediator(std::move(instance.catalog)), {});
+  const auto answer = session.Answer(query);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->items, expected);
+  EXPECT_GT(session.observed_conditions(), 0u);
+}
+
+TEST(QuerySessionTest, RepeatedQueryIsServedFromTheCache) {
+  SyntheticInstance instance = MakeInstance(4);
+  const FusionQuery query = instance.query;
+  QuerySession session(Mediator(std::move(instance.catalog)), {});
+  const auto first = session.Answer(query);
+  const auto second = session.Answer(query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->items, second->items);
+  EXPECT_LE(second->execution.ledger.total(),
+            first->execution.ledger.total());
+  EXPECT_GT(session.cache().hits(), 0u);
+}
+
+TEST(QuerySessionTest, LearnedStatisticsImproveLaterPlans) {
+  // First query runs on priors (default selectivity 0.2 for everything);
+  // after observing the true sizes, the session should pick a plan at or
+  // near the oracle optimum for a fresh query over the same conditions.
+  SyntheticInstance instance = MakeInstance(5);
+  const FusionQuery query = instance.query;
+  const auto oracle =
+      OracleCostModel::Create(instance.simulated, instance.query);
+  ASSERT_TRUE(oracle.ok());
+  const auto oracle_opt = OptimizeSja(*oracle);
+  ASSERT_TRUE(oracle_opt.ok());
+  const double oracle_cost = oracle_opt->estimated_cost;
+
+  QuerySession::Options options;
+  options.strategy = OptimizerStrategy::kSja;
+  QuerySession session(Mediator(std::move(instance.catalog)), options);
+
+  const auto first = session.Answer(query);
+  ASSERT_TRUE(first.ok());
+  const double first_cost = first->execution.ledger.total();
+
+  // Warmed statistics; disable the literal result cache to isolate the
+  // *planning* improvement (new session would share stats, so instead
+  // compare the plan the session now picks against the oracle).
+  const auto second = session.Answer(query);
+  ASSERT_TRUE(second.ok());
+  // Second run costs no more than the first (cache) ...
+  EXPECT_LE(second->execution.ledger.total(), first_cost + 1e-9);
+  // ... and the session's *chosen structure* is now oracle-grade: its
+  // estimated cost under the oracle model matches the oracle optimum
+  // within a small factor.
+  // Feedback is partial — pairs the first plan evaluated by semijoin stay
+  // unobserved — so oracle parity (or even strict monotone improvement) is
+  // not guaranteed; near-optimality is the contract.
+  const auto rebuilt = BuildStructuredPlan(
+      *oracle, second->optimized.structure, {}, false);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_LE(rebuilt->total_cost, oracle_cost * 1.3 + 1e-9)
+      << "after feedback the session plan should be near oracle-optimal";
+}
+
+TEST(QuerySessionTest, LearningHelpsAcrossOverlappingQueries) {
+  // Queries share condition c1; observing it in query 1 improves query 2's
+  // planning even though query 2 itself was never run.
+  SyntheticInstance instance = MakeInstance(6);
+  const Condition c1 = instance.query.conditions()[0];
+  const Condition c2 = instance.query.conditions()[1];
+  const Condition c3 = instance.query.conditions()[2];
+  const FusionQuery q1("M", {c1, c2});
+  const FusionQuery q2("M", {c1, c3});
+  const ItemSet expected2 = *ReferenceFusionAnswer(
+      RelationsOf(instance), "M", q2.conditions());
+
+  QuerySession session(Mediator(std::move(instance.catalog)), {});
+  ASSERT_TRUE(session.Answer(q1).ok());
+  const size_t seen_after_q1 = session.observed_conditions();
+  EXPECT_GT(seen_after_q1, 0u);
+  const auto a2 = session.Answer(q2);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->items, expected2);
+  EXPECT_GT(session.observed_conditions(), seen_after_q1);
+}
+
+TEST(QuerySessionTest, SqlEntryPointAndValidation) {
+  SyntheticInstance instance = MakeInstance(7);
+  QuerySession session(Mediator(std::move(instance.catalog)), {});
+  const auto bad = session.AnswerSql("SELECT nope");
+  EXPECT_FALSE(bad.ok());
+  const auto good = session.AnswerSql(
+      "SELECT a.M FROM U a, U b WHERE a.M = b.M AND a.A1 = 1 AND b.A2 = 1");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+}
+
+}  // namespace
+}  // namespace fusion

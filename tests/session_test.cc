@@ -1,0 +1,211 @@
+// Tests for session-level machinery: the source-call cache (runtime CSE)
+// and the fusiongen catalog export / fusionq import round trip.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "cli/catalog_config.h"
+#include "cli/catalog_export.h"
+#include "cost/oracle_cost_model.h"
+#include "exec/executor.h"
+#include "exec/source_call_cache.h"
+#include "mediator/mediator.h"
+#include "optimizer/filter.h"
+#include "optimizer/spj_baseline.h"
+#include "relational/reference_evaluator.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+SyntheticInstance SmallInstance(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.universe_size = 300;
+  spec.num_sources = 3;
+  spec.num_conditions = 2;
+  spec.selectivity = {0.1, 0.3};
+  spec.seed = seed;
+  auto instance = GenerateSynthetic(spec);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+// ---------------------------------------------------------------------------
+// SourceCallCache
+// ---------------------------------------------------------------------------
+
+TEST(SourceCallCacheTest, LookupInsertAndStats) {
+  SourceCallCache cache;
+  EXPECT_EQ(cache.Lookup(0, "V = 'dui'"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Insert(0, "V = 'dui'", ItemSet({Value("J55")}));
+  const ItemSet* hit = cache.Lookup(0, "V = 'dui'");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->ToString(), "{'J55'}");
+  EXPECT_EQ(cache.hits(), 1u);
+  // Different source index: separate entry.
+  EXPECT_EQ(cache.Lookup(1, "V = 'dui'"), nullptr);
+  EXPECT_EQ(cache.entries(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(SourceCallCacheTest, SecondExecutionIsFree) {
+  const SyntheticInstance instance = SmallInstance(4);
+  const auto model =
+      OracleCostModel::Create(instance.simulated, instance.query);
+  ASSERT_TRUE(model.ok());
+  const auto filter = OptimizeFilter(*model);
+  ASSERT_TRUE(filter.ok());
+
+  SourceCallCache cache;
+  ExecOptions options;
+  options.cache = &cache;
+  const auto first =
+      ExecutePlan(filter->plan, instance.catalog, instance.query, options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->ledger.total(), 0.0);
+
+  const auto second =
+      ExecutePlan(filter->plan, instance.catalog, instance.query, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->answer, first->answer);
+  // Every selection served from the memo: nothing metered.
+  EXPECT_DOUBLE_EQ(second->ledger.total(), 0.0);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(SourceCallCacheTest, CachedRunsKeepWitnessKnowledge) {
+  const SyntheticInstance instance = SmallInstance(6);
+  const auto model =
+      OracleCostModel::Create(instance.simulated, instance.query);
+  ASSERT_TRUE(model.ok());
+  const auto filter = OptimizeFilter(*model);
+  ASSERT_TRUE(filter.ok());
+  SourceCallCache cache;
+  ExecOptions options;
+  options.cache = &cache;
+  const auto warm =
+      ExecutePlan(filter->plan, instance.catalog, instance.query, options);
+  ASSERT_TRUE(warm.ok());
+  const auto cached =
+      ExecutePlan(filter->plan, instance.catalog, instance.query, options);
+  ASSERT_TRUE(cached.ok());
+  // per_source_items must match between the metered and the cached run, so
+  // witness-based fetch planning keeps working on cache hits.
+  ASSERT_EQ(cached->per_source_items.size(), warm->per_source_items.size());
+  for (size_t j = 0; j < warm->per_source_items.size(); ++j) {
+    EXPECT_EQ(cached->per_source_items[j], warm->per_source_items[j]);
+  }
+}
+
+TEST(SourceCallCacheTest, RecoversSpjBaselineCseAtRuntime) {
+  // The no-CSE SPJ-union baseline re-issues identical selections; a shared
+  // cache recovers the savings at execution time.
+  const SyntheticInstance instance = SmallInstance(7);
+  const auto model =
+      OracleCostModel::Create(instance.simulated, instance.query);
+  ASSERT_TRUE(model.ok());
+  const auto baseline = SpjUnionBaseline(*model, false);
+  ASSERT_TRUE(baseline.ok());
+
+  const auto plain =
+      ExecutePlan(baseline->plan, instance.catalog, instance.query);
+  ASSERT_TRUE(plain.ok());
+
+  SourceCallCache cache;
+  ExecOptions options;
+  options.cache = &cache;
+  const auto cached =
+      ExecutePlan(baseline->plan, instance.catalog, instance.query, options);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->answer, plain->answer);
+  EXPECT_LT(cached->ledger.total(), plain->ledger.total());
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(SourceCallCacheTest, DistinctConditionsDoNotCollide) {
+  SourceCallCache cache;
+  cache.Insert(0, "A1 = 1", ItemSet({Value(int64_t{1})}));
+  cache.Insert(0, "A1 = 2", ItemSet({Value(int64_t{2})}));
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.Lookup(0, "A1 = 1")->ToString(), "{1}");
+  EXPECT_EQ(cache.Lookup(0, "A1 = 2")->ToString(), "{2}");
+}
+
+// ---------------------------------------------------------------------------
+// Catalog export round trip
+// ---------------------------------------------------------------------------
+
+class CatalogExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fusion_export_test";
+    ASSERT_EQ(std::system(("rm -rf " + dir_ + " && mkdir -p " + dir_).c_str()),
+              0);
+  }
+  std::string dir_;
+};
+
+TEST_F(CatalogExportTest, RoundTripsThroughLoadCatalog) {
+  SyntheticSpec spec;
+  spec.universe_size = 200;
+  spec.num_sources = 3;
+  spec.num_conditions = 2;
+  spec.frac_native_semijoin = 0.34;
+  spec.frac_passed_bindings = 0.33;
+  spec.seed = 11;
+  auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  const FusionQuery query = instance->query;
+  const ItemSet expected = *ReferenceFusionAnswer(
+      RelationsOf(*instance), "M", query.conditions());
+
+  ASSERT_TRUE(ExportCatalog(instance->catalog, dir_).ok());
+  auto loaded = LoadCatalogFromFile(dir_ + "/catalog.ini");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+
+  // Profiles and capabilities survive the round trip.
+  for (size_t j = 0; j < 3; ++j) {
+    const SimulatedSource* original = instance->simulated[j];
+    const SimulatedSource* back = loaded->source(j).AsSimulated();
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->name(), original->name());
+    EXPECT_EQ(back->capabilities().semijoin,
+              original->capabilities().semijoin);
+    EXPECT_NEAR(back->network().query_overhead,
+                original->network().query_overhead, 1e-9);
+    EXPECT_NEAR(back->network().cost_per_item_sent,
+                original->network().cost_per_item_sent, 1e-9);
+    EXPECT_EQ(back->relation().size(), original->relation().size());
+  }
+
+  // And queries answer identically.
+  Mediator mediator(std::move(loaded).value());
+  MediatorOptions options;
+  options.statistics = StatisticsMode::kOracle;
+  const auto answer = mediator.Answer(query, options);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->items, expected);
+}
+
+TEST_F(CatalogExportTest, RejectsEmptyCatalog) {
+  SourceCatalog empty;
+  EXPECT_FALSE(ExportCatalog(empty, dir_).ok());
+}
+
+TEST_F(CatalogExportTest, FailsOnUnwritableDirectory) {
+  SyntheticSpec spec;
+  spec.universe_size = 50;
+  spec.num_sources = 1;
+  spec.num_conditions = 1;
+  const auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_FALSE(
+      ExportCatalog(instance->catalog, "/nonexistent/dir/xyz").ok());
+}
+
+}  // namespace
+}  // namespace fusion

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "source/catalog.h"
+#include "source/cost_ledger.h"
+#include "source/simulated_source.h"
+#include "workload/dmv.h"
+
+namespace fusion {
+namespace {
+
+Schema DmvSchema() {
+  return Schema({{"L", ValueType::kString},
+                 {"V", ValueType::kString},
+                 {"D", ValueType::kInt64}});
+}
+
+Relation SmallRelation() {
+  Relation r(DmvSchema());
+  EXPECT_TRUE(r.Append({Value("J55"), Value("dui"), Value(int64_t{1993})}).ok());
+  EXPECT_TRUE(r.Append({Value("T21"), Value("sp"), Value(int64_t{1994})}).ok());
+  EXPECT_TRUE(r.Append({Value("T80"), Value("dui"), Value(int64_t{1993})}).ok());
+  return r;
+}
+
+NetworkProfile UnitNetwork() {
+  NetworkProfile net;
+  net.query_overhead = 10.0;
+  net.cost_per_item_sent = 1.0;
+  net.cost_per_item_received = 2.0;
+  net.processing_per_tuple = 0.5;
+  net.record_width_factor = 4.0;
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// CostLedger
+// ---------------------------------------------------------------------------
+
+TEST(CostLedgerTest, AccumulatesCharges) {
+  CostLedger ledger;
+  ledger.Add({"R1", ChargeKind::kSelect, "c1", 0, 5, 10, 12.5});
+  ledger.Add({"R2", ChargeKind::kSemiJoin, "c2", 3, 2, 10, 7.0});
+  EXPECT_DOUBLE_EQ(ledger.total(), 19.5);
+  EXPECT_EQ(ledger.num_queries(), 2u);
+  EXPECT_EQ(ledger.total_items_sent(), 3u);
+  EXPECT_EQ(ledger.total_items_received(), 7u);
+  const std::string report = ledger.Report();
+  EXPECT_NE(report.find("R1"), std::string::npos);
+  EXPECT_NE(report.find("sjq"), std::string::npos);
+  ledger.Clear();
+  EXPECT_DOUBLE_EQ(ledger.total(), 0.0);
+  EXPECT_EQ(ledger.num_queries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedSource metering
+// ---------------------------------------------------------------------------
+
+TEST(SimulatedSourceTest, SelectReturnsItemsAndCharges) {
+  SimulatedSource src("R1", SmallRelation(), Capabilities{}, UnitNetwork());
+  CostLedger ledger;
+  const ItemSet items =
+      *src.Select(Condition::Eq("V", Value("dui")), "L", &ledger);
+  EXPECT_EQ(items.ToString(), "{'J55', 'T80'}");
+  ASSERT_EQ(ledger.num_queries(), 1u);
+  // overhead 10 + 3 tuples * 0.5 + 2 items * 2.0 = 15.5
+  EXPECT_DOUBLE_EQ(ledger.total(), 15.5);
+  EXPECT_DOUBLE_EQ(src.SelectCost(2), 15.5);
+  EXPECT_EQ(ledger.charges()[0].kind, ChargeKind::kSelect);
+}
+
+TEST(SimulatedSourceTest, SelectWithoutLedgerIsSilent) {
+  SimulatedSource src("R1", SmallRelation(), Capabilities{}, UnitNetwork());
+  EXPECT_TRUE(src.Select(Condition::True(), "L", nullptr).ok());
+}
+
+TEST(SimulatedSourceTest, SemiJoinNativeCharges) {
+  SimulatedSource src("R1", SmallRelation(), Capabilities{}, UnitNetwork());
+  CostLedger ledger;
+  ItemSet candidates({Value("J55"), Value("T21"), Value("ZZ")});
+  const ItemSet items =
+      *src.SemiJoin(Condition::Eq("V", Value("dui")), "L", candidates, &ledger);
+  EXPECT_EQ(items.ToString(), "{'J55'}");
+  // overhead 10 + 3 sent * 1.0 + 3 tuples * 0.5 + 1 recv * 2.0 = 16.5
+  EXPECT_DOUBLE_EQ(ledger.total(), 16.5);
+  EXPECT_EQ(ledger.charges()[0].kind, ChargeKind::kSemiJoin);
+  EXPECT_EQ(ledger.charges()[0].items_sent, 3u);
+}
+
+TEST(SimulatedSourceTest, SemiJoinRejectedWithoutNativeSupport) {
+  Capabilities caps;
+  caps.semijoin = SemijoinSupport::kPassedBindingsOnly;
+  SimulatedSource src("R1", SmallRelation(), caps, UnitNetwork());
+  ItemSet candidates({Value("J55")});
+  const auto result = src.SemiJoin(Condition::True(), "L", candidates, nullptr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(SimulatedSourceTest, LoadShipsWholeRelation) {
+  SimulatedSource src("R1", SmallRelation(), Capabilities{}, UnitNetwork());
+  CostLedger ledger;
+  const Relation loaded = *src.Load(&ledger);
+  EXPECT_EQ(loaded.size(), 3u);
+  // overhead 10 + 3 * 0.5 + 3 * 2.0 * 4.0 (width) = 35.5
+  EXPECT_DOUBLE_EQ(ledger.total(), 35.5);
+  EXPECT_EQ(ledger.charges()[0].kind, ChargeKind::kLoad);
+}
+
+TEST(SimulatedSourceTest, LoadRejectedWhenUnsupported) {
+  Capabilities caps;
+  caps.supports_load = false;
+  SimulatedSource src("R1", SmallRelation(), caps, UnitNetwork());
+  EXPECT_FALSE(src.Load(nullptr).ok());
+}
+
+TEST(SimulatedSourceTest, FetchRecordsReturnsMatchingTuples) {
+  SimulatedSource src("R1", SmallRelation(), Capabilities{}, UnitNetwork());
+  CostLedger ledger;
+  ItemSet items({Value("J55"), Value("T21")});
+  const Relation records = *src.FetchRecords("L", items, &ledger);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(ledger.charges()[0].kind, ChargeKind::kFetchRecords);
+  EXPECT_GT(ledger.total(), 0.0);
+}
+
+TEST(SimulatedSourceTest, CostsScaleWithResultSize) {
+  SimulatedSource src("R1", SmallRelation(), Capabilities{}, UnitNetwork());
+  EXPECT_LT(src.SelectCost(0), src.SelectCost(10));
+  EXPECT_LT(src.SemiJoinCost(1, 0), src.SemiJoinCost(100, 0));
+}
+
+// ---------------------------------------------------------------------------
+// SourceCatalog
+// ---------------------------------------------------------------------------
+
+TEST(SourceCatalogTest, AddAndLookup) {
+  SourceCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .Add(std::make_unique<SimulatedSource>(
+                      "R1", SmallRelation(), Capabilities{}, UnitNetwork()))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .Add(std::make_unique<SimulatedSource>(
+                      "R2", SmallRelation(), Capabilities{}, UnitNetwork()))
+                  .ok());
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(*catalog.IndexOf("R2"), 1u);
+  EXPECT_FALSE(catalog.IndexOf("R9").ok());
+  EXPECT_EQ(catalog.Names()[0], "R1");
+  EXPECT_EQ(*catalog.CommonSchema(), DmvSchema());
+}
+
+TEST(SourceCatalogTest, RejectsDuplicateNames) {
+  SourceCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .Add(std::make_unique<SimulatedSource>(
+                      "R1", SmallRelation(), Capabilities{}, UnitNetwork()))
+                  .ok());
+  const Status s = catalog.Add(std::make_unique<SimulatedSource>(
+      "R1", SmallRelation(), Capabilities{}, UnitNetwork()));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SourceCatalogTest, RejectsSchemaMismatch) {
+  SourceCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .Add(std::make_unique<SimulatedSource>(
+                      "R1", SmallRelation(), Capabilities{}, UnitNetwork()))
+                  .ok());
+  Relation other{Schema({{"X", ValueType::kInt64}})};
+  EXPECT_FALSE(catalog
+                   .Add(std::make_unique<SimulatedSource>(
+                       "R2", std::move(other), Capabilities{}, UnitNetwork()))
+                   .ok());
+}
+
+TEST(SourceCatalogTest, EmptyCatalogHasNoSchema) {
+  SourceCatalog catalog;
+  EXPECT_FALSE(catalog.CommonSchema().ok());
+  EXPECT_TRUE(catalog.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Workload generators produce consistent instances
+// ---------------------------------------------------------------------------
+
+TEST(DmvWorkloadTest, Figure1MatchesPaper) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  ASSERT_EQ(instance->catalog.size(), 3u);
+  EXPECT_EQ(instance->simulated[0]->relation().size(), 3u);
+  EXPECT_EQ(instance->query.merge_attribute(), "L");
+  // R1 has J55's dui.
+  const ItemSet dui = *instance->simulated[0]->relation().SelectItems(
+      Condition::Eq("V", Value("dui")), "L");
+  EXPECT_TRUE(dui.Contains(Value("J55")));
+}
+
+TEST(DmvWorkloadTest, GeneratedScenarioIsDeterministic) {
+  DmvSpec spec;
+  spec.num_states = 5;
+  spec.num_drivers = 200;
+  const auto a = GenerateDmv(spec);
+  const auto b = GenerateDmv(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(a->simulated[j]->relation().size(),
+              b->simulated[j]->relation().size());
+  }
+}
+
+}  // namespace
+}  // namespace fusion

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "stats/calibration.h"
+#include "stats/oracle_stats.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace {
+
+SyntheticSpec CalibratableSpec() {
+  SyntheticSpec spec;
+  spec.universe_size = 4000;
+  spec.num_sources = 4;
+  spec.num_conditions = 2;
+  spec.coverage = 0.5;
+  spec.selectivity = {0.2, 0.1};
+  spec.selectivity_jitter = 0.0;
+  spec.frac_native_semijoin = 1.0;
+  spec.processing_per_tuple = 0.0;  // lets the linear fit be exact
+  spec.seed = 17;
+  return spec;
+}
+
+TEST(OracleStatsTest, ParamsMatchRelationTruth) {
+  const auto instance = GenerateSynthetic(CalibratableSpec());
+  ASSERT_TRUE(instance.ok());
+  const auto params =
+      OracleSourceParams(*instance->simulated[0], instance->query);
+  ASSERT_TRUE(params.ok());
+  EXPECT_DOUBLE_EQ(
+      params->cardinality,
+      static_cast<double>(instance->simulated[0]->relation().size()));
+  const ItemSet truth = *instance->simulated[0]->relation().SelectItems(
+      instance->query.conditions()[0], "M");
+  EXPECT_DOUBLE_EQ(params->result_size[0], static_cast<double>(truth.size()));
+}
+
+TEST(OracleStatsTest, UniverseSizeCountsDistinctItems) {
+  const auto instance = GenerateSynthetic(CalibratableSpec());
+  ASSERT_TRUE(instance.ok());
+  const auto universe =
+      ExactUniverseSize(instance->simulated, instance->query);
+  ASSERT_TRUE(universe.ok());
+  EXPECT_GT(*universe, 1000.0);
+  EXPECT_LE(*universe, 4000.0);
+}
+
+TEST(CalibrationTest, EstimatesCardinalityWithinTolerance) {
+  const auto instance = GenerateSynthetic(CalibratableSpec());
+  ASSERT_TRUE(instance.ok());
+  SyntheticInstance& inst = const_cast<SyntheticInstance&>(*instance);
+
+  CalibrationOptions options;
+  options.num_range_probes = 8;
+  options.range_fraction = 0.1;
+  options.merge_domain_lo = 0;
+  options.merge_domain_hi = 3999;
+  CostLedger probes;
+  const auto model =
+      CalibrateBySampling(inst.catalog, inst.query, options, &probes);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_GT(probes.total(), 0.0);  // calibration is not free
+
+  for (size_t j = 0; j < inst.catalog.size(); ++j) {
+    const double truth =
+        static_cast<double>(inst.simulated[j]->relation().size());
+    const double est = model->params(j).cardinality;
+    EXPECT_NEAR(est, truth, truth * 0.35)
+        << "source " << j << " truth " << truth << " est " << est;
+  }
+}
+
+TEST(CalibrationTest, EstimatesSelectivityRank) {
+  // Condition 0 (sel 0.2) should be estimated larger than condition 1 (0.1)
+  // at every source.
+  const auto instance = GenerateSynthetic(CalibratableSpec());
+  ASSERT_TRUE(instance.ok());
+  SyntheticInstance& inst = const_cast<SyntheticInstance&>(*instance);
+  CalibrationOptions options;
+  options.num_range_probes = 8;
+  options.range_fraction = 0.15;
+  options.merge_domain_lo = 0;
+  options.merge_domain_hi = 3999;
+  const auto model =
+      CalibrateBySampling(inst.catalog, inst.query, options, nullptr);
+  ASSERT_TRUE(model.ok());
+  for (size_t j = 0; j < inst.catalog.size(); ++j) {
+    EXPECT_GT(model->params(j).result_size[0], model->params(j).result_size[1])
+        << "source " << j;
+  }
+}
+
+TEST(CalibrationTest, FitsReceiveCostWhenProcessingFree) {
+  // With processing_per_tuple = 0 the observed select cost is exactly
+  // overhead + recv * result, so the least-squares fit recovers both.
+  const auto instance = GenerateSynthetic(CalibratableSpec());
+  ASSERT_TRUE(instance.ok());
+  SyntheticInstance& inst = const_cast<SyntheticInstance&>(*instance);
+  CalibrationOptions options;
+  options.num_range_probes = 6;
+  options.range_fraction = 0.1;
+  options.merge_domain_lo = 0;
+  options.merge_domain_hi = 3999;
+  const auto model =
+      CalibrateBySampling(inst.catalog, inst.query, options, nullptr);
+  ASSERT_TRUE(model.ok());
+  for (size_t j = 0; j < inst.catalog.size(); ++j) {
+    const NetworkProfile& truth = inst.simulated[j]->network();
+    EXPECT_NEAR(model->params(j).network.cost_per_item_received,
+                truth.cost_per_item_received,
+                truth.cost_per_item_received * 0.25 + 1e-6)
+        << "source " << j;
+  }
+}
+
+TEST(CalibrationTest, RejectsBadOptions) {
+  const auto instance = GenerateSynthetic(CalibratableSpec());
+  ASSERT_TRUE(instance.ok());
+  SyntheticInstance& inst = const_cast<SyntheticInstance&>(*instance);
+  CalibrationOptions bad;
+  bad.merge_domain_lo = 10;
+  bad.merge_domain_hi = 0;
+  EXPECT_FALSE(
+      CalibrateBySampling(inst.catalog, inst.query, bad, nullptr).ok());
+  CalibrationOptions zero_probes;
+  zero_probes.num_range_probes = 0;
+  zero_probes.merge_domain_hi = 100;
+  EXPECT_FALSE(
+      CalibrateBySampling(inst.catalog, inst.query, zero_probes, nullptr)
+          .ok());
+}
+
+TEST(CalibrationTest, UniverseEstimateInRightBallpark) {
+  const auto instance = GenerateSynthetic(CalibratableSpec());
+  ASSERT_TRUE(instance.ok());
+  SyntheticInstance& inst = const_cast<SyntheticInstance&>(*instance);
+  CalibrationOptions options;
+  options.num_range_probes = 8;
+  options.range_fraction = 0.15;
+  options.merge_domain_lo = 0;
+  options.merge_domain_hi = 3999;
+  const auto model =
+      CalibrateBySampling(inst.catalog, inst.query, options, nullptr);
+  ASSERT_TRUE(model.ok());
+  const double truth = *ExactUniverseSize(inst.simulated, inst.query);
+  // Capture-recapture is noisy; within a factor of two is good enough for
+  // plan choice (bench_cost_fidelity quantifies the impact).
+  EXPECT_GT(model->universe_size(), truth * 0.5);
+  EXPECT_LT(model->universe_size(), truth * 2.0);
+}
+
+}  // namespace
+}  // namespace fusion

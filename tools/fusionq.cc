@@ -1,0 +1,205 @@
+// fusionq — command-line fusion query processor.
+//
+// Loads a catalog of sources from an INI-style config (each source a CSV
+// file plus capability/network profiles), optimizes a fusion query written
+// in the paper's SQL form, and executes it, printing the chosen plan, the
+// answer, and a metered cost report.
+//
+// Usage:
+//   fusionq --catalog=<config.ini> --sql="SELECT u1.L FROM U u1, U u2
+//           WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+//           [--strategy=filter|sj|sja|sja+|greedy|greedy+]
+//           [--stats=oracle|parametric]
+//           [--lazy] [--explain] [--ledger]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cli/catalog_config.h"
+#include "common/str_util.h"
+#include "common/file_util.h"
+#include "mediator/mediator.h"
+#include "plan/plan_serde.h"
+#include "query/parser.h"
+
+namespace fusion {
+namespace {
+
+struct Args {
+  std::string catalog_path;
+  std::string sql;
+  std::string strategy = "sja+";
+  std::string stats = "oracle";
+  bool lazy = false;
+  bool explain = false;
+  bool ledger = false;
+  bool help = false;
+  std::string plan_out;  // write the chosen plan in FPLAN/1 format
+};
+
+void PrintUsage() {
+  std::printf(
+      "fusionq — fusion queries over autonomous sources (EDBT'98 repro)\n\n"
+      "usage: fusionq --catalog=FILE --sql=QUERY [options]\n\n"
+      "  --catalog=FILE   INI catalog config (see examples/data/)\n"
+      "  --sql=QUERY      fusion query in the paper's SQL form\n"
+      "  --strategy=S     filter | sj | sja | sja+ | greedy | greedy+\n"
+      "                   (default sja+)\n"
+      "  --stats=S        oracle | parametric (default oracle)\n"
+      "  --lazy           lazy short-circuit execution\n"
+      "  --explain        print the optimized plan and response-time info\n"
+      "  --ledger         print the per-query cost ledger\n"
+      "  --plan-out=FILE  write the chosen plan in FPLAN/1 format\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (ParseFlag(a, "--catalog", &args.catalog_path)) continue;
+    if (ParseFlag(a, "--sql", &args.sql)) continue;
+    if (ParseFlag(a, "--strategy", &args.strategy)) continue;
+    if (ParseFlag(a, "--stats", &args.stats)) continue;
+    if (ParseFlag(a, "--plan-out", &args.plan_out)) continue;
+    if (std::strcmp(a, "--lazy") == 0) {
+      args.lazy = true;
+      continue;
+    }
+    if (std::strcmp(a, "--explain") == 0) {
+      args.explain = true;
+      continue;
+    }
+    if (std::strcmp(a, "--ledger") == 0) {
+      args.ledger = true;
+      continue;
+    }
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      args.help = true;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unknown argument: ") + a);
+  }
+  return args;
+}
+
+Result<OptimizerStrategy> StrategyFromName(const std::string& name) {
+  const std::string s = ToLower(name);
+  if (s == "filter") return OptimizerStrategy::kFilter;
+  if (s == "sj") return OptimizerStrategy::kSj;
+  if (s == "sja") return OptimizerStrategy::kSja;
+  if (s == "sja+") return OptimizerStrategy::kSjaPlus;
+  if (s == "greedy") return OptimizerStrategy::kGreedySja;
+  if (s == "greedy+") return OptimizerStrategy::kGreedySjaPlus;
+  return Status::InvalidArgument("unknown strategy: " + name);
+}
+
+int Run(int argc, char** argv) {
+  const auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (args->help || args->catalog_path.empty() || args->sql.empty()) {
+    PrintUsage();
+    return args->help ? 0 : 2;
+  }
+
+  auto catalog = LoadCatalogFromFile(args->catalog_path);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "catalog: %s\n",
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+  const size_t num_sources = catalog->size();
+
+  auto query = ParseFusionQuery(args->sql);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+
+  MediatorOptions options;
+  {
+    const auto strategy = StrategyFromName(args->strategy);
+    if (!strategy.ok()) {
+      std::fprintf(stderr, "%s\n", strategy.status().ToString().c_str());
+      return 2;
+    }
+    options.strategy = *strategy;
+  }
+  options.statistics = ToLower(args->stats) == "parametric"
+                           ? StatisticsMode::kOracleParametric
+                           : StatisticsMode::kOracle;
+
+  Mediator mediator(std::move(catalog).value());
+  const auto optimized = mediator.Optimize(*query, options);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimize: %s\n",
+                 optimized.status().ToString().c_str());
+    return 1;
+  }
+
+  if (args->explain) {
+    PlanPrintNames names;
+    for (const Condition& c : query->conditions()) {
+      names.conditions.push_back(c.ToString());
+    }
+    for (size_t j = 0; j < num_sources; ++j) {
+      names.sources.push_back(mediator.catalog().source(j).name());
+    }
+    std::printf("-- plan (%s, %s), estimated cost %.3f --\n%s\n",
+                optimized->algorithm.c_str(),
+                PlanClassName(optimized->plan_class),
+                optimized->estimated_cost,
+                optimized->plan.ToString(names).c_str());
+  }
+
+  if (!args->plan_out.empty()) {
+    const Status written =
+        WriteStringToFile(args->plan_out, SerializePlan(optimized->plan));
+    if (!written.ok()) {
+      std::fprintf(stderr, "plan-out: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+
+  ExecOptions exec_options;
+  exec_options.lazy_short_circuit = args->lazy;
+  const auto report = ExecutePlan(optimized->plan, mediator.catalog(), *query,
+                                  exec_options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "execute: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("answer (%zu items): %s\n", report->answer.size(),
+              report->answer.ToString().c_str());
+  std::printf("cost: %.3f over %zu source queries", report->ledger.total(),
+              report->ledger.num_queries());
+  if (report->emulated_semijoins > 0) {
+    std::printf(" (%zu semijoins emulated)", report->emulated_semijoins);
+  }
+  if (report->skipped_ops > 0) {
+    std::printf(" (%zu ops short-circuited)", report->skipped_ops);
+  }
+  std::printf("\n");
+  if (args->ledger) {
+    std::printf("\n%s", report->ledger.Report().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fusion
+
+int main(int argc, char** argv) { return fusion::Run(argc, argv); }
