@@ -1,0 +1,62 @@
+#include "exec/exec_internal.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace fusion {
+namespace exec_internal {
+
+Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
+                                const std::string& merge_attribute,
+                                const ItemSet& candidates, int max_attempts,
+                                CostLedger& ledger) {
+  ItemSet result;
+  for (const Value& item : candidates) {
+    const Condition probe =
+        Condition::And(cond, Condition::Eq(merge_attribute, item));
+    CostLedger local;
+    FUSION_ASSIGN_OR_RETURN(
+        ItemSet part,
+        CallWithRetries(
+            [&] { return source.Select(probe, merge_attribute, &local); },
+            max_attempts));
+    for (Charge charge : local.charges()) {
+      charge.kind = ChargeKind::kEmulatedSemiJoinProbe;
+      ledger.Add(std::move(charge));
+    }
+    result = ItemSet::Union(result, part);
+  }
+  return result;
+}
+
+Result<ItemSet> CachedSelect(SourceWrapper& source, size_t source_index,
+                             const Condition& cond,
+                             const std::string& merge_attribute,
+                             const ExecOptions& options, CostLedger& ledger) {
+  auto call = [&] {
+    return CallWithRetries(
+        [&] { return source.Select(cond, merge_attribute, &ledger); },
+        options.max_attempts);
+  };
+  if (options.cache == nullptr) return call();
+  SourceCallCache::FlightGuard flight =
+      options.cache->BeginFlight(source_index, cond.ToString());
+  if (flight.cached() != nullptr) {
+    return *flight.cached();  // free: answered from the memo
+  }
+  // This caller leads the flight; a failure abandons it (guard destructor)
+  // so concurrent waiters retry rather than inheriting the error.
+  FUSION_ASSIGN_OR_RETURN(ItemSet result, call());
+  flight.Fulfill(result);
+  return result;
+}
+
+void SleepForCost(double cost, const ExecOptions& options) {
+  if (options.simulated_seconds_per_cost <= 0.0 || cost <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(
+      cost * options.simulated_seconds_per_cost));
+}
+
+}  // namespace exec_internal
+}  // namespace fusion

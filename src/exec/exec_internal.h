@@ -1,0 +1,59 @@
+#ifndef FUSION_EXEC_EXEC_INTERNAL_H_
+#define FUSION_EXEC_EXEC_INTERNAL_H_
+
+#include <string>
+
+#include "common/item_set.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "relational/condition.h"
+#include "source/cost_ledger.h"
+#include "source/source_wrapper.h"
+
+/// Source-call machinery shared by the sequential interpreter
+/// (exec/executor.cc) and the parallel executor (exec/parallel_executor.cc).
+/// Both paths must charge, retry, cache, and emulate identically — that is
+/// what makes their ledgers byte-comparable in tests.
+namespace fusion {
+namespace exec_internal {
+
+/// Runs `fn` up to `max_attempts` times, retrying only transient
+/// (kInternal) failures. Returns the last result either way.
+template <typename Fn>
+auto CallWithRetries(Fn fn, int max_attempts) -> decltype(fn()) {
+  auto result = fn();
+  for (int attempt = 1; attempt < max_attempts && !result.ok() &&
+                        result.status().code() == StatusCode::kInternal;
+       ++attempt) {
+    result = fn();
+  }
+  return result;
+}
+
+/// Emulates sjq(cond, source, candidates) with one passed-binding selection
+/// per candidate. Probe charges are re-tagged so reports distinguish native
+/// semijoins from emulated ones.
+Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
+                                const std::string& merge_attribute,
+                                const ItemSet& candidates, int max_attempts,
+                                CostLedger& ledger);
+
+/// One selection op's source interaction: consults options.cache first
+/// (single-flight deduplicated, so concurrent identical selections — within
+/// one parallel plan or across racing executions — cost exactly one source
+/// call), retries transient failures, and publishes fresh answers back to
+/// the cache. Charges go to `ledger`; cache hits charge nothing.
+Result<ItemSet> CachedSelect(SourceWrapper& source, size_t source_index,
+                             const Condition& cond,
+                             const std::string& merge_attribute,
+                             const ExecOptions& options, CostLedger& ledger);
+
+/// Simulated-latency hook: sleeps cost * options.simulated_seconds_per_cost
+/// (no-op at the default scale 0). Lets benchmarks observe real wall-clock
+/// overlap whose per-op durations match the cost model's units.
+void SleepForCost(double cost, const ExecOptions& options);
+
+}  // namespace exec_internal
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_EXEC_INTERNAL_H_

@@ -1,54 +1,17 @@
 #include "exec/executor.h"
 
+#include <chrono>
 #include <optional>
 #include <vector>
+
+#include "exec/exec_internal.h"
+#include "exec/parallel_executor.h"
 
 namespace fusion {
 namespace {
 
-/// Runs `fn` up to `max_attempts` times, retrying only transient
-/// (kInternal) failures. Returns the last result either way.
-template <typename Fn>
-auto CallWithRetries(Fn fn, int max_attempts) -> decltype(fn()) {
-  auto result = fn();
-  for (int attempt = 1; attempt < max_attempts && !result.ok() &&
-                        result.status().code() == StatusCode::kInternal;
-       ++attempt) {
-    result = fn();
-  }
-  return result;
-}
-
-/// Emulates sjq(cond, source, candidates) with one passed-binding selection
-/// per candidate. Probe charges are re-tagged so reports distinguish native
-/// semijoins from emulated ones.
-Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
-                                const std::string& merge_attribute,
-                                const ItemSet& candidates, int max_attempts,
-                                CostLedger& ledger);
-
-Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
-                                const std::string& merge_attribute,
-                                const ItemSet& candidates, int max_attempts,
-                                CostLedger& ledger) {
-  ItemSet result;
-  for (const Value& item : candidates) {
-    const Condition probe =
-        Condition::And(cond, Condition::Eq(merge_attribute, item));
-    CostLedger local;
-    FUSION_ASSIGN_OR_RETURN(
-        ItemSet part,
-        CallWithRetries(
-            [&] { return source.Select(probe, merge_attribute, &local); },
-            max_attempts));
-    for (Charge charge : local.charges()) {
-      charge.kind = ChargeKind::kEmulatedSemiJoinProbe;
-      ledger.Add(std::move(charge));
-    }
-    result = ItemSet::Union(result, part);
-  }
-  return result;
-}
+using exec_internal::CallWithRetries;
+using exec_internal::EmulateSemiJoin;
 
 /// Shared interpreter for eager and lazy execution. In lazy mode, variables
 /// are evaluated on demand starting from the plan result, and empty
@@ -119,6 +82,7 @@ class PlanInterpreter {
         (report_.ledger.total() - attributed_) - unattributed_before;
     report_.per_op_cost[k] = own_cost;
     attributed_ += own_cost;
+    exec_internal::SleepForCost(own_cost, options_);
     return Status::Ok();
   }
 
@@ -128,29 +92,15 @@ class PlanInterpreter {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
         const Condition& cond =
             query_.conditions()[static_cast<size_t>(op.cond)];
-        std::string cache_key;
-        if (options_.cache != nullptr) {
-          cache_key = cond.ToString();
-          const ItemSet* cached = options_.cache->Lookup(
-              static_cast<size_t>(op.source), cache_key);
-          if (cached != nullptr) {
-            Observe(op.source, *cached);  // witness knowledge stays valid
-            items_[op.target] = *cached;  // free: answered from the memo
-            break;
-          }
-        }
+        // Cache consultation, single-flight dedup, retries, and memo
+        // publication all live in CachedSelect (shared with the parallel
+        // executor). Cache hits charge nothing; witness knowledge stays
+        // valid either way.
         FUSION_ASSIGN_OR_RETURN(
             ItemSet result,
-            CallWithRetries(
-                [&] {
-                  return src.Select(cond, query_.merge_attribute(),
-                                    &report_.ledger);
-                },
-                options_.max_attempts));
-        if (options_.cache != nullptr) {
-          options_.cache->Insert(static_cast<size_t>(op.source),
-                                 std::move(cache_key), result);
-        }
+            exec_internal::CachedSelect(src, static_cast<size_t>(op.source),
+                                        cond, query_.merge_attribute(),
+                                        options_, report_.ledger));
         Observe(op.source, result);
         items_[op.target] = std::move(result);
         break;
@@ -286,9 +236,20 @@ Result<ExecutionReport> ExecutePlan(const Plan& plan,
                                     const ExecOptions& options) {
   FUSION_RETURN_IF_ERROR(plan.Validate(query.num_conditions(), catalog.size()));
   ExecutionReport report;
-  PlanInterpreter interpreter(plan, catalog, query, options, report);
-  FUSION_RETURN_IF_ERROR(options.lazy_short_circuit ? interpreter.RunLazy()
-                                                    : interpreter.RunEager());
+  const auto start = std::chrono::steady_clock::now();
+  if (options.parallelism > 1 && !options.lazy_short_circuit) {
+    FUSION_RETURN_IF_ERROR(
+        ExecutePlanParallel(plan, catalog, query, options, report));
+  } else {
+    // parallelism == 1, or lazy mode: demand-driven evaluation is
+    // inherently serial (its payoff is skipping work, not overlapping it).
+    PlanInterpreter interpreter(plan, catalog, query, options, report);
+    FUSION_RETURN_IF_ERROR(options.lazy_short_circuit ? interpreter.RunLazy()
+                                                      : interpreter.RunEager());
+  }
+  report.wall_clock_makespan =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return report;
 }
 

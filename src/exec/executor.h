@@ -30,6 +30,12 @@ struct ExecutionReport {
   /// every item a source returned provably has a record there. Used by the
   /// second-phase fetch planner to avoid asking every source.
   std::vector<ItemSet> per_source_items;
+  /// Measured elapsed wall-clock time of the whole execution, in seconds.
+  /// Under ExecOptions::simulated_seconds_per_cost > 0 this is the *measured
+  /// makespan*: dividing by the scale yields cost units directly comparable
+  /// with ComputeResponseTime(plan, per_op_cost).response_time (parallel
+  /// execution) or with ledger.total() (sequential execution).
+  double wall_clock_makespan = 0.0;
 };
 
 /// Runtime options for plan execution.
@@ -49,8 +55,26 @@ struct ExecOptions {
   int max_attempts = 1;
   /// Optional memo of selection-query answers shared across executions
   /// (see SourceCallCache). Cached hits cost nothing and appear in the
-  /// report's cache statistics rather than the ledger.
+  /// report's cache statistics rather than the ledger. The cache is
+  /// internally synchronized and single-flight deduplicated, so it may be
+  /// shared by concurrent workers and concurrent executions.
   SourceCallCache* cache = nullptr;
+  /// Worker count for the parallel plan executor. 1 (the default) runs the
+  /// classic sequential interpreter and preserves its semantics exactly;
+  /// > 1 walks the plan's op dependency DAG with a thread pool, overlapping
+  /// data-independent source calls (queries to the *same* source still
+  /// serialize in plan order, matching plan/response_time.h's model). The
+  /// answer, per-op costs, and merged ledger are identical to sequential
+  /// execution. Combined with lazy_short_circuit the lazy sequential
+  /// interpreter runs instead (demand-driven evaluation is inherently
+  /// serial; its payoff is skipping work, not overlapping it).
+  int parallelism = 1;
+  /// When > 0, every plan op additionally sleeps for
+  /// (its metered cost) * this many seconds, turning the abstract cost units
+  /// into real source latencies. Benchmarks use it to demonstrate that
+  /// parallel execution's measured wall-clock makespan tracks the
+  /// theoretical critical-path makespan. 0 (default) = no artificial delay.
+  double simulated_seconds_per_cost = 0.0;
 };
 
 /// The mediator's plan interpreter: runs `plan` for `query` against the

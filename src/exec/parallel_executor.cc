@@ -1,0 +1,291 @@
+#include "exec/parallel_executor.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/exec_internal.h"
+#include "exec/thread_pool.h"
+
+namespace fusion {
+namespace {
+
+/// One plan execution scheduled over a worker pool.
+///
+/// Concurrency design: each op evaluates into op-private state (its own
+/// sub-ledger, observation set, and SSA target variable), so workers never
+/// write shared locations. The scheduler mutex orders an op's completion
+/// before the dispatch of its dependents, which makes the dependents' reads
+/// of the op's outputs race-free. All op-private state is merged into the
+/// report single-threaded, in plan-op order, after the pool has joined —
+/// reproducing the sequential interpreter's ledger charge-for-charge.
+class ParallelPlanRun {
+ public:
+  ParallelPlanRun(const Plan& plan, const SourceCatalog& catalog,
+                  const FusionQuery& query, const ExecOptions& options,
+                  ExecutionReport& report)
+      : plan_(plan),
+        catalog_(catalog),
+        query_(query),
+        options_(options),
+        report_(report) {
+    const size_t num_ops = plan.num_ops();
+    const size_t num_vars = plan.vars().size();
+    items_.resize(num_vars);
+    relations_.resize(num_vars);
+    op_ledgers_.resize(num_ops);
+    op_observed_.assign(num_ops, ItemSet());
+    op_emulated_.assign(num_ops, 0);
+    dependents_.assign(num_ops, {});
+    pending_.assign(num_ops, 0);
+    BuildDependencies();
+  }
+
+  Status Run() {
+    const size_t num_ops = plan_.num_ops();
+    {
+      // Everything ready at the outset (selects and loads with no inputs)
+      // is dispatched immediately; the rest unlocks as dependencies finish.
+      ThreadPool pool(options_.parallelism);
+      std::unique_lock<std::mutex> lock(mu_);
+      pool_ = &pool;
+      for (size_t k = 0; k < num_ops; ++k) {
+        if (pending_[k] == 0) Dispatch(k);
+      }
+      done_cv_.wait(lock, [&] {
+        return finished_ == scheduled_ && (failed_ || finished_ == num_ops);
+      });
+      pool_ = nullptr;
+    }  // pool joins here: every dispatched task has completed
+    if (failed_) return error_;
+
+    // Single-threaded merge in plan-op order: the resulting ledger is
+    // charge-for-charge (and therefore total-for-total, in floating point)
+    // identical to eager sequential execution.
+    report_.per_source_items.assign(catalog_.size(), ItemSet());
+    report_.per_op_cost.assign(num_ops, 0.0);
+    report_.emulated_semijoins = 0;
+    report_.skipped_ops = 0;
+    for (size_t k = 0; k < num_ops; ++k) {
+      report_.per_op_cost[k] = op_ledgers_[k].total();
+      report_.ledger.MergeFrom(std::move(op_ledgers_[k]));
+      report_.emulated_semijoins += op_emulated_[k];
+      const int source = plan_.ops()[k].source;
+      if (source >= 0) {
+        ItemSet& known = report_.per_source_items[static_cast<size_t>(source)];
+        known = ItemSet::Union(known, op_observed_[k]);
+      }
+    }
+    report_.answer = *items_[plan_.result()];
+    return Status::Ok();
+  }
+
+ private:
+  void BuildDependencies() {
+    const size_t num_ops = plan_.num_ops();
+    std::vector<int> var_def(plan_.vars().size(), -1);
+    std::vector<int> last_on_source;
+    for (size_t k = 0; k < num_ops; ++k) {
+      const PlanOp& op = plan_.ops()[k];
+      std::vector<int> deps;
+      if (op.input >= 0) deps.push_back(var_def[op.input]);
+      for (int v : op.inputs) deps.push_back(var_def[v]);
+      if (op.source >= 0) {
+        // Same-source ops serialize in plan order: a source answers one
+        // query at a time (the model ComputeResponseTime prices).
+        if (static_cast<size_t>(op.source) >= last_on_source.size()) {
+          last_on_source.resize(static_cast<size_t>(op.source) + 1, -1);
+        }
+        int& last = last_on_source[static_cast<size_t>(op.source)];
+        if (last >= 0) deps.push_back(last);
+        last = static_cast<int>(k);
+      }
+      std::sort(deps.begin(), deps.end());
+      deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+      for (int d : deps) {
+        dependents_[static_cast<size_t>(d)].push_back(static_cast<int>(k));
+        ++pending_[k];
+      }
+      var_def[op.target] = static_cast<int>(k);
+    }
+  }
+
+  /// Requires mu_ held.
+  void Dispatch(size_t k) {
+    ++scheduled_;
+    pool_->Submit([this, k] { RunOp(k); });
+  }
+
+  void RunOp(size_t k) {
+    const Status status = EvalOp(k);
+    if (status.ok()) {
+      // The op "takes" as long as it cost (scaled); dependents and the next
+      // query to this source wait for completion, so makespans compose.
+      exec_internal::SleepForCost(op_ledgers_[k].total(), options_);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!status.ok()) {
+      if (!failed_) {
+        failed_ = true;
+        error_ = status;
+      }
+    } else if (!failed_) {
+      for (const int d : dependents_[k]) {
+        if (--pending_[static_cast<size_t>(d)] == 0) {
+          Dispatch(static_cast<size_t>(d));
+        }
+      }
+    }
+    ++finished_;
+    done_cv_.notify_all();
+  }
+
+  /// Evaluates one op whose dependencies are complete. Mirrors the eager
+  /// branch of the sequential interpreter op-for-op; all writes go to
+  /// op-private slots (ledger, observations, the SSA target variable).
+  Status EvalOp(size_t k) {
+    const PlanOp& op = plan_.ops()[k];
+    CostLedger& ledger = op_ledgers_[k];
+    switch (op.kind) {
+      case PlanOpKind::kSelect: {
+        SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
+        const Condition& cond =
+            query_.conditions()[static_cast<size_t>(op.cond)];
+        FUSION_ASSIGN_OR_RETURN(
+            ItemSet result,
+            exec_internal::CachedSelect(src, static_cast<size_t>(op.source),
+                                        cond, query_.merge_attribute(),
+                                        options_, ledger));
+        op_observed_[k] = result;
+        items_[op.target] = std::move(result);
+        break;
+      }
+      case PlanOpKind::kSemiJoin: {
+        const ItemSet& candidates = *items_[op.input];
+        SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
+        const Condition& cond =
+            query_.conditions()[static_cast<size_t>(op.cond)];
+        switch (src.capabilities().semijoin) {
+          case SemijoinSupport::kNative: {
+            FUSION_ASSIGN_OR_RETURN(
+                ItemSet result,
+                exec_internal::CallWithRetries(
+                    [&] {
+                      return src.SemiJoin(cond, query_.merge_attribute(),
+                                          candidates, &ledger);
+                    },
+                    options_.max_attempts));
+            op_observed_[k] = result;
+            items_[op.target] = std::move(result);
+            break;
+          }
+          case SemijoinSupport::kPassedBindingsOnly: {
+            FUSION_ASSIGN_OR_RETURN(
+                ItemSet result,
+                exec_internal::EmulateSemiJoin(src, cond,
+                                               query_.merge_attribute(),
+                                               candidates,
+                                               options_.max_attempts, ledger));
+            op_observed_[k] = result;
+            items_[op.target] = std::move(result);
+            op_emulated_[k] = 1;
+            break;
+          }
+          case SemijoinSupport::kUnsupported:
+            return Status::Unsupported(
+                "plan issues a semijoin to source '" + src.name() +
+                "', which cannot process semijoins even by emulation");
+        }
+        break;
+      }
+      case PlanOpKind::kLoad: {
+        SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
+        FUSION_ASSIGN_OR_RETURN(
+            Relation loaded,
+            exec_internal::CallWithRetries(
+                [&] { return src.Load(&ledger); }, options_.max_attempts));
+        FUSION_ASSIGN_OR_RETURN(
+            ItemSet all_items,
+            loaded.SelectItems(Condition::True(), query_.merge_attribute()));
+        op_observed_[k] = std::move(all_items);
+        relations_[op.target] = std::move(loaded);
+        break;
+      }
+      case PlanOpKind::kLocalSelect: {
+        if (!relations_[op.input].has_value()) {
+          return Status::Internal("local select over unloaded relation var");
+        }
+        FUSION_ASSIGN_OR_RETURN(
+            ItemSet result,
+            relations_[op.input]->SelectItems(
+                query_.conditions()[static_cast<size_t>(op.cond)],
+                query_.merge_attribute()));
+        items_[op.target] = std::move(result);
+        break;
+      }
+      case PlanOpKind::kUnion: {
+        ItemSet acc;
+        for (int v : op.inputs) {
+          acc = ItemSet::Union(acc, *items_[v]);
+        }
+        items_[op.target] = std::move(acc);
+        break;
+      }
+      case PlanOpKind::kIntersect: {
+        std::optional<ItemSet> acc;
+        for (int v : op.inputs) {
+          acc = acc.has_value() ? ItemSet::Intersect(*acc, *items_[v])
+                                : *items_[v];
+        }
+        items_[op.target] = std::move(*acc);
+        break;
+      }
+      case PlanOpKind::kDifference: {
+        items_[op.target] = ItemSet::Difference(*items_[op.inputs[0]],
+                                                *items_[op.inputs[1]]);
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  const Plan& plan_;
+  const SourceCatalog& catalog_;
+  const FusionQuery& query_;
+  const ExecOptions& options_;
+  ExecutionReport& report_;
+
+  // Dependency DAG (immutable after construction).
+  std::vector<std::vector<int>> dependents_;
+
+  // Op-private result slots; written by exactly one worker each.
+  std::vector<std::optional<ItemSet>> items_;        // per SSA variable
+  std::vector<std::optional<Relation>> relations_;   // per SSA variable
+  std::vector<CostLedger> op_ledgers_;
+  std::vector<ItemSet> op_observed_;
+  std::vector<char> op_emulated_;
+
+  // Scheduler state, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::vector<int> pending_;  // unmet dependency counts
+  ThreadPool* pool_ = nullptr;
+  size_t scheduled_ = 0;
+  size_t finished_ = 0;
+  bool failed_ = false;
+  Status error_;
+};
+
+}  // namespace
+
+Status ExecutePlanParallel(const Plan& plan, const SourceCatalog& catalog,
+                           const FusionQuery& query, const ExecOptions& options,
+                           ExecutionReport& report) {
+  ParallelPlanRun run(plan, catalog, query, options, report);
+  return run.Run();
+}
+
+}  // namespace fusion

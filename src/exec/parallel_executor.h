@@ -1,0 +1,32 @@
+#ifndef FUSION_EXEC_PARALLEL_EXECUTOR_H_
+#define FUSION_EXEC_PARALLEL_EXECUTOR_H_
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "plan/plan.h"
+#include "query/fusion_query.h"
+#include "source/catalog.h"
+
+namespace fusion {
+
+/// Dependency-scheduled parallel plan execution (the realization of the
+/// response-time model in plan/response_time.h): walks the plan's op DAG
+/// with a thread pool of options.parallelism workers, dispatching every
+/// data-independent source query concurrently and joining results through
+/// the local ∪ / ∩ / − ops. Queries to the same source serialize in plan
+/// order (a source answers one query at a time — also what keeps per-source
+/// wrapper state like retry counters and lazily built indexes race-free
+/// within one execution).
+///
+/// Semantics are identical to the eager sequential interpreter: the answer,
+/// emulated-semijoin count, per-op costs, and the merged ledger (charges in
+/// plan-op order, so even floating-point totals match) are the same; only
+/// wall-clock time shrinks. Called through ExecutePlan when
+/// options.parallelism > 1; `report` is filled on success.
+Status ExecutePlanParallel(const Plan& plan, const SourceCatalog& catalog,
+                           const FusionQuery& query, const ExecOptions& options,
+                           ExecutionReport& report);
+
+}  // namespace fusion
+
+#endif  // FUSION_EXEC_PARALLEL_EXECUTOR_H_

@@ -2,26 +2,129 @@
 
 namespace fusion {
 
+/// Rendezvous state for one in-flight source call. `settled` flips exactly
+/// once — when the leader fulfills or abandons — and waiters re-check the
+/// memo under the cache mutex afterwards.
+struct SourceCallCache::FlightGuard::Flight {
+  std::condition_variable cv;
+  bool settled = false;
+};
+
+SourceCallCache::FlightGuard::FlightGuard(FlightGuard&& other) noexcept
+    : cache_(other.cache_),
+      cached_(other.cached_),
+      key_(std::move(other.key_)),
+      flight_(std::move(other.flight_)) {
+  other.cache_ = nullptr;
+  other.cached_ = nullptr;
+}
+
+SourceCallCache::FlightGuard::~FlightGuard() {
+  if (cache_ != nullptr && flight_ != nullptr) {
+    // Leader bailed without publishing (the call failed): abandon the flight
+    // so a waiter can be promoted and retry the call itself.
+    cache_->SettleFlight(key_, flight_, nullptr);
+  }
+}
+
+void SourceCallCache::FlightGuard::Fulfill(const ItemSet& items) {
+  if (cache_ == nullptr || flight_ == nullptr) return;
+  cache_->SettleFlight(key_, flight_, &items);
+  flight_.reset();
+}
+
+const ItemSet* SourceCallCache::LookupLocked(
+    const std::pair<size_t, std::string>& key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+SourceCallCache::FlightGuard SourceCallCache::BeginFlight(
+    size_t source, const std::string& cond_key) {
+  std::pair<size_t, std::string> key{source, cond_key};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (const ItemSet* hit = LookupLocked(key); hit != nullptr) {
+      ++hits_;
+      return FlightGuard(this, hit, std::move(key), nullptr);
+    }
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      auto flight = std::make_shared<FlightGuard::Flight>();
+      inflight_.emplace(key, flight);
+      ++misses_;
+      return FlightGuard(this, nullptr, std::move(key), std::move(flight));
+    }
+    // Someone else is already asking the source this exact question; wait
+    // for their answer instead of issuing a duplicate call.
+    ++flights_deduplicated_;
+    std::shared_ptr<FlightGuard::Flight> flight = it->second;
+    flight->cv.wait(lock, [&] { return flight->settled; });
+    // Loop: on fulfill the memo now hits; on abandon this caller competes
+    // for leadership of a fresh flight.
+  }
+}
+
+void SourceCallCache::SettleFlight(
+    const std::pair<size_t, std::string>& key,
+    const std::shared_ptr<FlightGuard::Flight>& flight, const ItemSet* items) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (items != nullptr) {
+    entries_.emplace(key, *items);  // first writer wins
+  }
+  auto it = inflight_.find(key);
+  if (it != inflight_.end() && it->second == flight) {
+    inflight_.erase(it);
+  }
+  flight->settled = true;
+  flight->cv.notify_all();
+}
+
 const ItemSet* SourceCallCache::Lookup(size_t source,
                                        const std::string& cond_key) {
-  auto it = entries_.find({source, cond_key});
-  if (it == entries_.end()) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const ItemSet* hit = LookupLocked({source, cond_key});
+  if (hit == nullptr) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
-  return &it->second;
+  return hit;
 }
 
 void SourceCallCache::Insert(size_t source, std::string cond_key,
                              ItemSet items) {
-  entries_[{source, std::move(cond_key)}] = std::move(items);
+  std::unique_lock<std::mutex> lock(mu_);
+  entries_.emplace(std::make_pair(source, std::move(cond_key)),
+                   std::move(items));
 }
 
 void SourceCallCache::Clear() {
+  std::unique_lock<std::mutex> lock(mu_);
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+  flights_deduplicated_ = 0;
+}
+
+size_t SourceCallCache::hits() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t SourceCallCache::misses() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t SourceCallCache::entries() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t SourceCallCache::flights_deduplicated() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return flights_deduplicated_;
 }
 
 }  // namespace fusion

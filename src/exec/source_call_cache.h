@@ -1,7 +1,10 @@
 #ifndef FUSION_EXEC_SOURCE_CALL_CACHE_H_
 #define FUSION_EXEC_SOURCE_CALL_CACHE_H_
 
+#include <condition_variable>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -16,6 +19,20 @@ namespace fusion {
 /// mediators would need at plan time, and a big win for the SPJ-union
 /// baseline and for repeated fusion queries against the same federation.
 ///
+/// Thread-safety: every method is internally synchronized, so one cache can
+/// be shared by concurrently running executions (parallel plan workers, or
+/// whole plans racing in different threads). Identical in-flight calls are
+/// deduplicated ("single-flight"): the first caller of BeginFlight for a key
+/// becomes the *leader* and performs the source call; callers arriving while
+/// the call is outstanding block until the leader publishes, then read the
+/// memoized answer without contacting the source. If the leader's call fails
+/// the flight is abandoned and one waiter is promoted to leader (a failed
+/// call must not poison the key).
+///
+/// Published entries are immutable and never overwritten, so the `ItemSet*`
+/// returned by Lookup / FlightGuard::cached() stays valid until Clear().
+/// Clear() must not race with in-flight executions.
+///
 /// Staleness caveat: cached answers reflect the sources at the time of the
 /// original call; autonomous sources may change. Call Clear() between
 /// "sessions" or whenever freshness matters more than cost.
@@ -27,23 +44,79 @@ class SourceCallCache {
   SourceCallCache(const SourceCallCache&) = delete;
   SourceCallCache& operator=(const SourceCallCache&) = delete;
 
-  /// Returns the cached answer for sq(cond_key, R_source), or null.
+  /// RAII handle for one single-flight participation. Exactly one of two
+  /// states: `cached() != nullptr` (answer available, use it) or leader
+  /// (cached() == nullptr): the caller must perform the source call and
+  /// either Fulfill(answer) or drop the guard, which abandons the flight and
+  /// lets a waiter retry.
+  class FlightGuard {
+   public:
+    FlightGuard(FlightGuard&& other) noexcept;
+    FlightGuard& operator=(FlightGuard&&) = delete;
+    FlightGuard(const FlightGuard&) = delete;
+    FlightGuard& operator=(const FlightGuard&) = delete;
+    ~FlightGuard();
+
+    /// The memoized answer, or null when this caller is the flight leader.
+    const ItemSet* cached() const { return cached_; }
+
+    /// Leader only: publishes the answer and wakes all waiters.
+    void Fulfill(const ItemSet& items);
+
+   private:
+    friend class SourceCallCache;
+    struct Flight;
+    FlightGuard(SourceCallCache* cache, const ItemSet* cached,
+                std::pair<size_t, std::string> key,
+                std::shared_ptr<Flight> flight)
+        : cache_(cache),
+          cached_(cached),
+          key_(std::move(key)),
+          flight_(std::move(flight)) {}
+
+    SourceCallCache* cache_ = nullptr;
+    const ItemSet* cached_ = nullptr;
+    std::pair<size_t, std::string> key_;
+    std::shared_ptr<Flight> flight_;  // non-null iff this guard leads
+  };
+
+  /// Single-flight entry point: returns a cache hit, or waits out another
+  /// thread's identical in-flight call, or makes the caller the leader.
+  /// Counts a hit when an answer is (eventually) served from the memo and a
+  /// miss when the caller is told to perform the call itself.
+  FlightGuard BeginFlight(size_t source, const std::string& cond_key);
+
+  /// Returns the cached answer for sq(cond_key, R_source), or null. Does not
+  /// wait on in-flight calls (plain memo read).
   const ItemSet* Lookup(size_t source, const std::string& cond_key);
 
-  /// Memoizes an answer (overwrites an existing entry, which must be
-  /// identical for deterministic sources).
+  /// Memoizes an answer. First writer wins: an existing entry is kept
+  /// (identical for deterministic sources, and keeping it preserves pointer
+  /// stability for concurrent readers).
   void Insert(size_t source, std::string cond_key, ItemSet items);
 
   void Clear();
 
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
-  size_t entries() const { return entries_.size(); }
+  size_t hits() const;
+  size_t misses() const;
+  size_t entries() const;
+  /// Times a caller blocked on (deduplicated into) another caller's
+  /// identical in-flight source call.
+  size_t flights_deduplicated() const;
 
  private:
+  const ItemSet* LookupLocked(const std::pair<size_t, std::string>& key);
+  void SettleFlight(const std::pair<size_t, std::string>& key,
+                    const std::shared_ptr<FlightGuard::Flight>& flight,
+                    const ItemSet* items);
+
+  mutable std::mutex mu_;
   std::map<std::pair<size_t, std::string>, ItemSet> entries_;
+  std::map<std::pair<size_t, std::string>, std::shared_ptr<FlightGuard::Flight>>
+      inflight_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t flights_deduplicated_ = 0;
 };
 
 }  // namespace fusion

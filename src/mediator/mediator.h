@@ -45,7 +45,7 @@ struct MediatorOptions {
   StatisticsMode statistics = StatisticsMode::kOracleParametric;
   CalibrationOptions calibration;
   PostOptOptions postopt;
-  /// Runtime execution options (lazy short-circuiting, retries).
+  /// Runtime execution options (lazy short-circuiting, retries, parallelism).
   ExecOptions execution;
 };
 

@@ -35,8 +35,15 @@ Result<Relation> RelationFromLines(const std::vector<std::string>& lines) {
 
 Result<SourceResponse> RemoteSource::RoundTrip(const SourceRequest& request,
                                                CostLedger* ledger) {
+  std::string response_text;
+  {
+    // The transport is a single channel: concurrent workers' requests queue
+    // here rather than interleaving bytes on the wire.
+    std::lock_guard<std::mutex> lock(transport_mu_);
+    response_text = transport_(SerializeRequest(request));
+  }
   FUSION_ASSIGN_OR_RETURN(SourceResponse response,
-                          ParseResponse(transport_(SerializeRequest(request))));
+                          ParseResponse(response_text));
   if (ledger != nullptr) {
     for (const ChargeSummary& summary : response.charges) {
       Charge charge;

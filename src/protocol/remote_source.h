@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "protocol/message.h"
@@ -21,6 +22,12 @@ using ProtocolTransport = std::function<std::string(const std::string&)>;
 /// the server's charge summaries into the caller's ledger, so cost
 /// accounting is identical to in-process wrappers (a property the protocol
 /// tests assert).
+///
+/// Thread-safety: the transport is one bidirectional channel, so round trips
+/// are serialized under a mutex — parallel plan workers may call any method
+/// concurrently and requests simply queue (matching the one-query-at-a-time
+/// source model). Metadata is fixed at Connect time and read without
+/// locking.
 class RemoteSource : public SourceWrapper {
  public:
   /// Performs the HELLO handshake; fails if the server is unreachable or
@@ -53,6 +60,7 @@ class RemoteSource : public SourceWrapper {
   Result<SourceResponse> RoundTrip(const SourceRequest& request,
                                    CostLedger* ledger);
 
+  std::mutex transport_mu_;  // one request/response in flight at a time
   ProtocolTransport transport_;
   std::string name_;
   Schema schema_;

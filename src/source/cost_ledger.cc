@@ -1,5 +1,7 @@
 #include "source/cost_ledger.h"
 
+#include <utility>
+
 #include "common/str_util.h"
 
 namespace fusion {
@@ -20,9 +22,33 @@ const char* ChargeKindName(ChargeKind kind) {
   return "?";
 }
 
+CostLedger::CostLedger(CostLedger&& other) noexcept
+    : charges_(std::move(other.charges_)), total_(other.total_) {
+  other.Clear();
+}
+
+CostLedger& CostLedger::operator=(CostLedger&& other) noexcept {
+  if (this != &other) {
+    charges_ = std::move(other.charges_);
+    total_ = other.total_;
+    other.Clear();
+  }
+  return *this;
+}
+
 void CostLedger::Add(Charge charge) {
   total_ += charge.cost;
   charges_.push_back(std::move(charge));
+}
+
+void CostLedger::MergeFrom(CostLedger other) {
+  // Charge-by-charge so the floating-point total accumulates in exactly the
+  // same order as sequential Add calls would have produced.
+  for (Charge& charge : other.charges_) {
+    total_ += charge.cost;
+    charges_.push_back(std::move(charge));
+  }
+  other.Clear();
 }
 
 size_t CostLedger::total_items_sent() const {

@@ -33,9 +33,30 @@ struct Charge {
 /// appends a Charge. The paper's cost of a plan is exactly `total()` —
 /// the sum of the constituent source-query costs (local mediator ops are
 /// free by assumption).
+///
+/// Threading contract: a ledger is single-thread-confined — Add/MergeFrom
+/// are unsynchronized read-modify-writes (charges_ grows, total_
+/// accumulates), so concurrent accumulation into one ledger is a data race.
+/// Concurrent executors must give each worker (the parallel plan executor:
+/// each *op*) a private sub-ledger and MergeFrom them after joining, in a
+/// deterministic order; merging charge-by-charge keeps even the
+/// floating-point total identical to the equivalent sequential accumulation.
 class CostLedger {
  public:
+  CostLedger() = default;
+  CostLedger(const CostLedger&) = default;
+  CostLedger& operator=(const CostLedger&) = default;
+  /// Moves leave the source cleared (not just unspecified), so a sub-ledger
+  /// already consumed by MergeFrom reads as empty — merging it again is a
+  /// no-op rather than a double charge.
+  CostLedger(CostLedger&& other) noexcept;
+  CostLedger& operator=(CostLedger&& other) noexcept;
+
   void Add(Charge charge);
+
+  /// Appends every charge of `other`, in order, as if Add had been called
+  /// for each — the join step for per-worker sub-ledgers.
+  void MergeFrom(CostLedger other);
 
   double total() const { return total_; }
   size_t num_queries() const { return charges_.size(); }

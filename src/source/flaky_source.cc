@@ -5,11 +5,18 @@
 namespace fusion {
 
 Status FlakySource::MaybeFail(const char* operation, CostLedger* ledger) {
-  const size_t call_index = calls_attempted_++;
-  const bool fail = call_index < options_.fail_first_k ||
-                    rng_.Bernoulli(options_.failure_probability);
+  bool fail;
+  {
+    // One atomic decision per call: the counter increment and the RNG draw
+    // must not interleave with another attempt's, or retries could lose
+    // counts / tear the deterministic failure stream.
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t call_index = calls_attempted_++;
+    fail = call_index < options_.fail_first_k ||
+           rng_.Bernoulli(options_.failure_probability);
+    if (fail) ++calls_failed_;
+  }
   if (!fail) return Status::Ok();
-  ++calls_failed_;
   if (ledger != nullptr) {
     Charge charge;
     charge.source = inner_->name();

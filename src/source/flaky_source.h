@@ -2,6 +2,7 @@
 #define FUSION_SOURCE_FLAKY_SOURCE_H_
 
 #include <memory>
+#include <mutex>
 
 #include "common/rng.h"
 #include "source/source_wrapper.h"
@@ -16,6 +17,14 @@ namespace fusion {
 /// A failed call still charges the network round-trip overhead to the ledger
 /// (the request went out; the answer never came back), so retries are not
 /// free — exactly the accounting a real mediator would face.
+///
+/// Thread-safety: the fail/pass decision (attempt counter + RNG draw) is
+/// mutex-guarded, so interleaved attempts from parallel workers neither lose
+/// counts nor tear the RNG stream; each call consumes exactly one decision.
+/// (The parallel executor additionally serializes same-source ops in plan
+/// order, which is what keeps the *assignment* of decisions to calls — and
+/// hence the whole execution — deterministic.) The inner source must itself
+/// be safe for whatever concurrency the caller applies.
 class FlakySource : public SourceWrapper {
  public:
   struct Options {
@@ -50,8 +59,14 @@ class FlakySource : public SourceWrapper {
                                 const ItemSet& items,
                                 CostLedger* ledger) override;
 
-  size_t calls_attempted() const { return calls_attempted_; }
-  size_t calls_failed() const { return calls_failed_; }
+  size_t calls_attempted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_attempted_;
+  }
+  size_t calls_failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_failed_;
+  }
 
  private:
   /// Returns non-OK (and meters the wasted round trip) when this call is
@@ -60,6 +75,7 @@ class FlakySource : public SourceWrapper {
 
   std::unique_ptr<SourceWrapper> inner_;
   Options options_;
+  mutable std::mutex mu_;  // guards rng_ and the counters
   Rng rng_;
   size_t calls_attempted_ = 0;
   size_t calls_failed_ = 0;

@@ -63,6 +63,7 @@ Result<ItemSet> SimulatedSource::Select(const Condition& cond,
 
 Result<const ColumnIndex*> SimulatedSource::IndexFor(
     const std::string& attribute) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = indexes_.find(attribute);
   if (it == indexes_.end()) {
     FUSION_ASSIGN_OR_RETURN(ColumnIndex index,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include <map>
+#include <mutex>
 
 #include "relational/column_index.h"
 #include "source/source_wrapper.h"
@@ -18,6 +19,15 @@ class SimulatedSource : public SourceWrapper {
  public:
   SimulatedSource(std::string name, Relation relation,
                   Capabilities capabilities, NetworkProfile network);
+
+  /// Copies the source's identity and data; the lazy index cache (and its
+  /// mutex) starts fresh in the copy. Tests copy simulated sources to build
+  /// decorated twin catalogs.
+  SimulatedSource(const SimulatedSource& other)
+      : name_(other.name_),
+        relation_(other.relation_),
+        capabilities_(other.capabilities_),
+        network_(other.network_) {}
 
   const std::string& name() const override { return name_; }
   const Schema& schema() const override { return relation_.schema(); }
@@ -53,15 +63,18 @@ class SimulatedSource : public SourceWrapper {
   double FetchCost(size_t item_count, size_t record_count) const;
 
  private:
-  /// Lazily built hash index over `attribute` (single-threaded use, like
-  /// the rest of the simulator). Pure accelerator: results and metered
-  /// costs are identical to the scan path (property-tested).
+  /// Lazily built hash index over `attribute`, mutex-guarded so concurrent
+  /// queries (parallel plan workers, racing executions) build it exactly
+  /// once. Pure accelerator: results and metered costs are identical to the
+  /// scan path (property-tested). Built indexes are immutable; map nodes are
+  /// pointer-stable, so returned pointers survive later insertions.
   Result<const ColumnIndex*> IndexFor(const std::string& attribute) const;
 
   std::string name_;
   Relation relation_;
   Capabilities capabilities_;
   NetworkProfile network_;
+  mutable std::mutex index_mu_;
   mutable std::map<std::string, ColumnIndex> indexes_;
 };
 

@@ -22,6 +22,14 @@ class SimulatedSource;
 ///
 /// Every call meters its actual cost into `ledger` (if non-null); that is the
 /// ground truth against which estimated plan costs are compared.
+///
+/// Thread-safety contract (relied on by the parallel plan executor):
+/// metadata accessors are immutable after construction, and query methods
+/// must tolerate concurrent invocation — implementations guard their own
+/// mutable state (SimulatedSource's lazy indexes, FlakySource's failure
+/// stream, RemoteSource's transport). The *ledger* is caller-owned and
+/// single-thread-confined: concurrent callers must pass distinct ledgers
+/// (the parallel executor passes per-op sub-ledgers and merges at join).
 class SourceWrapper {
  public:
   virtual ~SourceWrapper() = default;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "cost/oracle_cost_model.h"
+#include "source/cost_ledger.h"
 #include "cost/parametric_cost_model.h"
 #include "cost/set_estimate.h"
 #include "stats/oracle_stats.h"
@@ -237,6 +238,82 @@ TEST(OracleModelTest, OracleParamsMatchOracleModelOnSq) {
     }
   }
   EXPECT_DOUBLE_EQ(oracle->universe_size(), parametric->universe_size());
+}
+
+// ---------------------------------------------------------------------------
+// CostLedger: the merge path used by the parallel executor's sub-ledgers
+// ---------------------------------------------------------------------------
+
+Charge MakeCharge(const std::string& source, ChargeKind kind, double cost,
+                  size_t sent = 0, size_t received = 0) {
+  Charge charge;
+  charge.source = source;
+  charge.kind = kind;
+  charge.detail = source + "-detail";
+  charge.items_sent = sent;
+  charge.items_received = received;
+  charge.cost = cost;
+  return charge;
+}
+
+TEST(CostLedgerTest, MergeFromMatchesSequentialAccumulationExactly) {
+  // Costs chosen so floating-point addition order matters: merging must
+  // replay charges in order, not add precomputed totals, or the final
+  // total drifts from the sequential ledger's in the last ulp.
+  const double costs[] = {0.1, 1e8, 0.2, -1e8, 0.3, 1e-9, 12.75};
+  CostLedger sequential;
+  std::vector<CostLedger> sub(3);
+  for (size_t i = 0; i < std::size(costs); ++i) {
+    const Charge charge = MakeCharge("s" + std::to_string(i % 3),
+                                     ChargeKind::kSelect, costs[i], i, i + 1);
+    sequential.Add(charge);
+    sub[0].Add(charge);  // all into one sub-ledger: order preserved
+  }
+  CostLedger merged;
+  for (CostLedger& ledger : sub) merged.MergeFrom(std::move(ledger));
+  EXPECT_EQ(merged.num_queries(), sequential.num_queries());
+  EXPECT_EQ(merged.total(), sequential.total());  // bitwise, not just near
+  EXPECT_EQ(merged.Report(), sequential.Report());
+  EXPECT_EQ(merged.total_items_sent(), sequential.total_items_sent());
+  EXPECT_EQ(merged.total_items_received(), sequential.total_items_received());
+}
+
+TEST(CostLedgerTest, MergeFromAppendsInArgumentOrder) {
+  CostLedger a, b, merged;
+  a.Add(MakeCharge("alpha", ChargeKind::kSelect, 1.5));
+  a.Add(MakeCharge("alpha", ChargeKind::kSemiJoin, 2.5, 4, 2));
+  b.Add(MakeCharge("beta", ChargeKind::kLoad, 10.0));
+  merged.MergeFrom(std::move(a));
+  merged.MergeFrom(std::move(b));
+  ASSERT_EQ(merged.num_queries(), 3u);
+  EXPECT_EQ(merged.charges()[0].source, "alpha");
+  EXPECT_EQ(merged.charges()[1].kind, ChargeKind::kSemiJoin);
+  EXPECT_EQ(merged.charges()[2].source, "beta");
+  EXPECT_DOUBLE_EQ(merged.total(), 14.0);
+  EXPECT_EQ(merged.total_items_sent(), 4u);
+  EXPECT_EQ(merged.total_items_received(), 2u);
+}
+
+TEST(CostLedgerTest, MergeFromConsumesTheSourceLedger) {
+  CostLedger from, into;
+  from.Add(MakeCharge("s", ChargeKind::kSelect, 3.0));
+  into.MergeFrom(std::move(from));
+  // The moved-from ledger is left cleared, so accidentally merging a
+  // sub-ledger twice cannot double-charge.
+  EXPECT_EQ(from.num_queries(), 0u);
+  EXPECT_DOUBLE_EQ(from.total(), 0.0);
+  into.MergeFrom(std::move(from));
+  EXPECT_EQ(into.num_queries(), 1u);
+  EXPECT_DOUBLE_EQ(into.total(), 3.0);
+}
+
+TEST(CostLedgerTest, MergeFromEmptyIsANoOp) {
+  CostLedger into, empty;
+  into.Add(MakeCharge("s", ChargeKind::kFetchRecords, 7.0, 2, 2));
+  const std::string before = into.Report();
+  into.MergeFrom(std::move(empty));
+  EXPECT_EQ(into.Report(), before);
+  EXPECT_DOUBLE_EQ(into.total(), 7.0);
 }
 
 }  // namespace
