@@ -1,10 +1,45 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cctype>
+
 namespace fusion {
 namespace internal_logging {
 namespace {
 
-LogSeverity g_min_severity = LogSeverity::kWarning;
+/// Parses FUSION_LOG_LEVEL: full names ("info", "warning", "error",
+/// "fatal"), their single-letter tags, or the numeric severity (0-3).
+/// Unset or unparseable values keep the default (kWarning).
+LogSeverity InitialSeverity() {
+  const char* env = std::getenv("FUSION_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return LogSeverity::kWarning;
+  switch (std::tolower(static_cast<unsigned char>(env[0]))) {
+    case 'i':
+    case '0':
+      return LogSeverity::kInfo;
+    case 'w':
+    case '1':
+      return LogSeverity::kWarning;
+    case 'e':
+    case '2':
+      return LogSeverity::kError;
+    case 'f':
+    case '3':
+      return LogSeverity::kFatal;
+    default:
+      return LogSeverity::kWarning;
+  }
+}
+
+/// The minimum severity lives behind a function-local static so the env var
+/// is honored no matter how early the first log line happens. Atomic: tests
+/// and the parallel executor's workers may log while another thread adjusts
+/// verbosity, and a plain global here was a (benign-looking but real) data
+/// race under TSan.
+std::atomic<LogSeverity>& MinSeverityFlag() {
+  static std::atomic<LogSeverity> severity{InitialSeverity()};
+  return severity;
+}
 
 const char* SeverityTag(LogSeverity s) {
   switch (s) {
@@ -22,8 +57,12 @@ const char* SeverityTag(LogSeverity s) {
 
 }  // namespace
 
-void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
-LogSeverity MinLogSeverity() { return g_min_severity; }
+void SetMinLogSeverity(LogSeverity severity) {
+  MinSeverityFlag().store(severity, std::memory_order_relaxed);
+}
+LogSeverity MinLogSeverity() {
+  return MinSeverityFlag().load(std::memory_order_relaxed);
+}
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
@@ -32,7 +71,7 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
     std::cerr << stream_.str() << std::endl;
   }
   if (severity_ == LogSeverity::kFatal) std::abort();

@@ -29,7 +29,11 @@ class LogMessage {
 };
 
 /// Global minimum severity; messages below it are swallowed. Defaults to
-/// kWarning so library code is quiet unless something is wrong.
+/// kWarning so library code is quiet unless something is wrong; the
+/// FUSION_LOG_LEVEL environment variable ("info"/"warning"/"error"/"fatal",
+/// or their first letters, or 0-3) overrides the default at startup.
+/// Thread-safe: the severity is an atomic, so it may be adjusted while
+/// other threads (e.g. parallel plan workers) are logging.
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
 

@@ -1,26 +1,57 @@
 #include "exec/exec_internal.h"
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 #include <utility>
 
 namespace fusion {
 namespace exec_internal {
 
+void CountSourceCall(const char* op, double cost_delta) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter& sq = registry.counter(metrics::kSourceCallsSq);
+  static Counter& sjq = registry.counter(metrics::kSourceCallsSjq);
+  static Counter& probe = registry.counter(metrics::kSourceCallsProbe);
+  static Counter& lq = registry.counter(metrics::kSourceCallsLq);
+  static Counter& fetch = registry.counter(metrics::kSourceCallsFetch);
+  Counter* c = &sq;
+  if (std::strcmp(op, "sjq") == 0) {
+    c = &sjq;
+  } else if (std::strcmp(op, "probe") == 0) {
+    c = &probe;
+  } else if (std::strcmp(op, "lq") == 0) {
+    c = &lq;
+  } else if (std::strcmp(op, "fetch") == 0) {
+    c = &fetch;
+  }
+  c->Increment();
+  if (cost_delta >= 0.0) {
+    static Histogram& cost_hist =
+        registry.histogram(metrics::kSourceCallCost);
+    cost_hist.Observe(cost_delta);
+  }
+}
+
 Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
                                 const std::string& merge_attribute,
                                 const ItemSet& candidates, int max_attempts,
-                                CostLedger& ledger) {
+                                CostLedger& ledger, CallStats* stats) {
   ItemSet result;
   for (const Value& item : candidates) {
     const Condition probe =
         Condition::And(cond, Condition::Eq(merge_attribute, item));
     CostLedger local;
+    CallContext ctx;
+    ctx.op = "probe";
+    ctx.source_name = &source.name();
+    ctx.ledger = &local;
+    ctx.stats = stats;
     FUSION_ASSIGN_OR_RETURN(
         ItemSet part,
         CallWithRetries(
             [&] { return source.Select(probe, merge_attribute, &local); },
-            max_attempts));
+            max_attempts, ctx));
     for (Charge charge : local.charges()) {
       charge.kind = ChargeKind::kEmulatedSemiJoinProbe;
       ledger.Add(std::move(charge));
@@ -33,18 +64,37 @@ Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
 Result<ItemSet> CachedSelect(SourceWrapper& source, size_t source_index,
                              const Condition& cond,
                              const std::string& merge_attribute,
-                             const ExecOptions& options, CostLedger& ledger) {
+                             const ExecOptions& options, CostLedger& ledger,
+                             CallStats* stats) {
+  CallContext ctx;
+  ctx.op = "sq";
+  ctx.source_name = &source.name();
+  ctx.ledger = &ledger;
+  ctx.stats = stats;
   auto call = [&] {
     return CallWithRetries(
         [&] { return source.Select(cond, merge_attribute, &ledger); },
-        options.max_attempts);
+        options.max_attempts, ctx);
   };
   if (options.cache == nullptr) return call();
   SourceCallCache::FlightGuard flight =
       options.cache->BeginFlight(source_index, cond.ToString());
   if (flight.cached() != nullptr) {
+    static Counter& hits =
+        MetricsRegistry::Global().counter(metrics::kCacheHits);
+    hits.Increment();
+    if (stats != nullptr) ++stats->cache_hits;
+    ScopedSpan span(SpanCategory::kCache, "cache.hit");
+    if (span.active()) {
+      span.AddAttr("source", source.name());
+      span.AddAttr("cond", cond.ToString());
+    }
     return *flight.cached();  // free: answered from the memo
   }
+  static Counter& misses =
+      MetricsRegistry::Global().counter(metrics::kCacheMisses);
+  misses.Increment();
+  if (stats != nullptr) ++stats->cache_misses;
   // This caller leads the flight; a failure abandons it (guard destructor)
   // so concurrent waiters retry rather than inheriting the error.
   FUSION_ASSIGN_OR_RETURN(ItemSet result, call());

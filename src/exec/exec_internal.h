@@ -6,6 +6,8 @@
 #include "common/item_set.h"
 #include "common/status.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/condition.h"
 #include "source/cost_ledger.h"
 #include "source/source_wrapper.h"
@@ -13,19 +15,87 @@
 /// Source-call machinery shared by the sequential interpreter
 /// (exec/executor.cc) and the parallel executor (exec/parallel_executor.cc).
 /// Both paths must charge, retry, cache, and emulate identically — that is
-/// what makes their ledgers byte-comparable in tests.
+/// what makes their ledgers byte-comparable in tests. It is also where the
+/// observability layer hooks in: every wrapper call attempt gets a
+/// `source_call` span (one per ledger charge) and a source_calls_total
+/// metric tick, retries get `retry` spans and retries_total, and per-
+/// execution counts accumulate into a CallStats for the ExecutionReport.
 namespace fusion {
 namespace exec_internal {
 
+/// Per-execution observability counters, surfaced on ExecutionReport. The
+/// parallel executor gives each op a private CallStats and merges them
+/// after the pool joins (same discipline as the sub-ledgers).
+struct CallStats {
+  size_t retries = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+
+  void MergeFrom(const CallStats& other) {
+    retries += other.retries;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+  }
+};
+
+/// Who is being called and on whose behalf — context for spans, metrics,
+/// and per-execution stats. All fields optional; a default context traces
+/// anonymously and counts nothing per-execution.
+struct CallContext {
+  /// Operation tag: "sq", "sjq", "probe" (emulated-semijoin binding),
+  /// "lq", or "fetch". Drives the span name and the metric counter.
+  const char* op = "call";
+  const std::string* source_name = nullptr;
+  /// When set, each attempt's span carries the cost delta this attempt
+  /// charged to the ledger.
+  const CostLedger* ledger = nullptr;
+  CallStats* stats = nullptr;
+};
+
+/// Ticks source_calls_total.<op> and, when `cost_delta >= 0`, observes it
+/// in the source_call_cost histogram. Counter references are cached behind
+/// function-local statics, so the hot path is two relaxed atomic RMWs.
+void CountSourceCall(const char* op, double cost_delta);
+
 /// Runs `fn` up to `max_attempts` times, retrying only transient
-/// (kInternal) failures. Returns the last result either way.
+/// (kInternal) failures. Returns the last result either way. Every attempt
+/// is traced as one `source_call` span — so the span count equals the
+/// ledger's charge count, failed attempts included — and counted into
+/// source_calls_total.<op>; re-attempts additionally get an enclosing
+/// `retry` span and tick retries_total.
 template <typename Fn>
-auto CallWithRetries(Fn fn, int max_attempts) -> decltype(fn()) {
-  auto result = fn();
+auto CallWithRetries(Fn fn, int max_attempts, const CallContext& ctx = {})
+    -> decltype(fn()) {
+  auto one_attempt = [&](int attempt) {
+    ScopedSpan span(SpanCategory::kSourceCall, ctx.op);
+    const double cost_before =
+        ctx.ledger != nullptr ? ctx.ledger->total() : 0.0;
+    auto result = fn();
+    const double cost_delta =
+        ctx.ledger != nullptr ? ctx.ledger->total() - cost_before : -1.0;
+    if (span.active()) {
+      if (ctx.source_name != nullptr) span.AddAttr("source", *ctx.source_name);
+      if (attempt > 0) span.AddAttr("attempt", static_cast<int64_t>(attempt));
+      if (ctx.ledger != nullptr) span.AddAttr("cost", cost_delta);
+      if (!result.ok()) span.AddAttr("error", result.status().ToString());
+    }
+    CountSourceCall(ctx.op, cost_delta);
+    return result;
+  };
+  auto result = one_attempt(0);
   for (int attempt = 1; attempt < max_attempts && !result.ok() &&
                         result.status().code() == StatusCode::kInternal;
        ++attempt) {
-    result = fn();
+    static Counter& retries =
+        MetricsRegistry::Global().counter(metrics::kRetriesTotal);
+    retries.Increment();
+    if (ctx.stats != nullptr) ++ctx.stats->retries;
+    ScopedSpan retry_span(SpanCategory::kRetry, ctx.op);
+    if (retry_span.active() && ctx.source_name != nullptr) {
+      retry_span.AddAttr("source", *ctx.source_name);
+      retry_span.AddAttr("attempt", static_cast<int64_t>(attempt));
+    }
+    result = one_attempt(attempt);
   }
   return result;
 }
@@ -36,17 +106,19 @@ auto CallWithRetries(Fn fn, int max_attempts) -> decltype(fn()) {
 Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
                                 const std::string& merge_attribute,
                                 const ItemSet& candidates, int max_attempts,
-                                CostLedger& ledger);
+                                CostLedger& ledger, CallStats* stats);
 
 /// One selection op's source interaction: consults options.cache first
 /// (single-flight deduplicated, so concurrent identical selections — within
 /// one parallel plan or across racing executions — cost exactly one source
 /// call), retries transient failures, and publishes fresh answers back to
-/// the cache. Charges go to `ledger`; cache hits charge nothing.
+/// the cache. Charges go to `ledger`; cache hits charge nothing. Cache
+/// hits/misses tick both the global metrics and `stats`.
 Result<ItemSet> CachedSelect(SourceWrapper& source, size_t source_index,
                              const Condition& cond,
                              const std::string& merge_attribute,
-                             const ExecOptions& options, CostLedger& ledger);
+                             const ExecOptions& options, CostLedger& ledger,
+                             CallStats* stats);
 
 /// Simulated-latency hook: sleeps cost * options.simulated_seconds_per_cost
 /// (no-op at the default scale 0). Lets benchmarks observe real wall-clock

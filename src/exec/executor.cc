@@ -10,6 +10,8 @@
 namespace fusion {
 namespace {
 
+using exec_internal::CallContext;
+using exec_internal::CallStats;
 using exec_internal::CallWithRetries;
 using exec_internal::EmulateSemiJoin;
 
@@ -42,6 +44,7 @@ class PlanInterpreter {
       FUSION_RETURN_IF_ERROR(EvalOp(k, /*lazy=*/false));
     }
     report_.answer = *items_[plan_.result()];
+    ExportStats();
     return Status::Ok();
   }
 
@@ -57,10 +60,17 @@ class PlanInterpreter {
         ++report_.skipped_ops;
       }
     }
+    ExportStats();
     return Status::Ok();
   }
 
  private:
+  void ExportStats() {
+    report_.retries_total = stats_.retries;
+    report_.cache_hits = stats_.cache_hits;
+    report_.cache_misses = stats_.cache_misses;
+  }
+
   /// Ensures the op defining `var` has run (recursively, in lazy mode).
   Status EvalVar(int var, bool lazy) {
     if (items_[var].has_value() || relations_[var].has_value()) {
@@ -74,6 +84,16 @@ class PlanInterpreter {
     if (items_[op.target].has_value() || relations_[op.target].has_value()) {
       return Status::Ok();
     }
+    ScopedSpan span(SpanCategory::kPlanOp, PlanOpKindName(op.kind));
+    if (span.active()) {
+      span.AddAttr("op", static_cast<int64_t>(k));
+      span.AddAttr("target", plan_.var(op.target).name);
+      if (op.source >= 0) {
+        span.AddAttr("source",
+                     catalog_.source(static_cast<size_t>(op.source)).name());
+      }
+      if (op.cond >= 0) span.AddAttr("cond", static_cast<int64_t>(op.cond));
+    }
     // Attribute only this op's direct charges: nested evaluations (lazy
     // mode) book their own costs, which `attributed_` subtracts out.
     const double unattributed_before = report_.ledger.total() - attributed_;
@@ -82,6 +102,7 @@ class PlanInterpreter {
         (report_.ledger.total() - attributed_) - unattributed_before;
     report_.per_op_cost[k] = own_cost;
     attributed_ += own_cost;
+    span.AddAttr("cost", own_cost);
     exec_internal::SleepForCost(own_cost, options_);
     return Status::Ok();
   }
@@ -100,7 +121,7 @@ class PlanInterpreter {
             ItemSet result,
             exec_internal::CachedSelect(src, static_cast<size_t>(op.source),
                                         cond, query_.merge_attribute(),
-                                        options_, report_.ledger));
+                                        options_, report_.ledger, &stats_));
         Observe(op.source, result);
         items_[op.target] = std::move(result);
         break;
@@ -118,6 +139,11 @@ class PlanInterpreter {
             query_.conditions()[static_cast<size_t>(op.cond)];
         switch (src.capabilities().semijoin) {
           case SemijoinSupport::kNative: {
+            CallContext ctx;
+            ctx.op = "sjq";
+            ctx.source_name = &src.name();
+            ctx.ledger = &report_.ledger;
+            ctx.stats = &stats_;
             FUSION_ASSIGN_OR_RETURN(
                 ItemSet result,
                 CallWithRetries(
@@ -125,7 +151,7 @@ class PlanInterpreter {
                       return src.SemiJoin(cond, query_.merge_attribute(),
                                           candidates, &report_.ledger);
                     },
-                    options_.max_attempts));
+                    options_.max_attempts, ctx));
             Observe(op.source, result);
             items_[op.target] = std::move(result);
             break;
@@ -135,10 +161,13 @@ class PlanInterpreter {
                 ItemSet result,
                 EmulateSemiJoin(src, cond, query_.merge_attribute(),
                                 candidates, options_.max_attempts,
-                                report_.ledger));
+                                report_.ledger, &stats_));
             Observe(op.source, result);
             items_[op.target] = std::move(result);
             ++report_.emulated_semijoins;
+            static Counter& emulated = MetricsRegistry::Global().counter(
+                metrics::kEmulatedSemijoins);
+            emulated.Increment();
             break;
           }
           case SemijoinSupport::kUnsupported:
@@ -150,10 +179,15 @@ class PlanInterpreter {
       }
       case PlanOpKind::kLoad: {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
+        CallContext ctx;
+        ctx.op = "lq";
+        ctx.source_name = &src.name();
+        ctx.ledger = &report_.ledger;
+        ctx.stats = &stats_;
         FUSION_ASSIGN_OR_RETURN(
             Relation loaded,
             CallWithRetries([&] { return src.Load(&report_.ledger); },
-                            options_.max_attempts));
+                            options_.max_attempts, ctx));
         FUSION_ASSIGN_OR_RETURN(
             ItemSet all_items,
             loaded.SelectItems(Condition::True(), query_.merge_attribute()));
@@ -226,6 +260,7 @@ class PlanInterpreter {
   std::vector<int> defining_op_;
   size_t short_circuited_ = 0;
   double attributed_ = 0.0;  // ledger cost already assigned to some op
+  CallStats stats_;  // per-execution retry/cache counters
 };
 
 }  // namespace
@@ -236,6 +271,9 @@ Result<ExecutionReport> ExecutePlan(const Plan& plan,
                                     const ExecOptions& options) {
   FUSION_RETURN_IF_ERROR(plan.Validate(query.num_conditions(), catalog.size()));
   ExecutionReport report;
+  Tracer& tracer = Tracer::Global();
+  report.trace.enabled = tracer.enabled();
+  report.trace.start_us = tracer.NowMicros();
   const auto start = std::chrono::steady_clock::now();
   if (options.parallelism > 1 && !options.lazy_short_circuit) {
     FUSION_RETURN_IF_ERROR(
@@ -250,6 +288,7 @@ Result<ExecutionReport> ExecutePlan(const Plan& plan,
   report.wall_clock_makespan =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  report.trace.end_us = tracer.NowMicros();
   return report;
 }
 

@@ -3,6 +3,7 @@
 
 #include "common/item_set.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "plan/plan.h"
 #include "query/fusion_query.h"
 #include "source/catalog.h"
@@ -20,6 +21,16 @@ struct ExecutionReport {
   size_t emulated_semijoins = 0;
   /// Ops never evaluated thanks to lazy short-circuiting (0 when eager).
   size_t skipped_ops = 0;
+  /// Source-call re-attempts after transient failures (0 when nothing
+  /// flaked or max_attempts == 1). Every retry also left a wasted charge on
+  /// the ledger; this counter makes retry storms visible without diffing
+  /// ledgers.
+  size_t retries_total = 0;
+  /// Selections answered from / missed in ExecOptions::cache (both 0 when
+  /// no cache is attached). A hit issued no source call and charged
+  /// nothing.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
   /// Metered cost of each plan op, aligned with Plan::ops() (an emulated
   /// semijoin's probe charges are summed into its op). Lets the
   /// response-time analyzer compute the *measured* parallel makespan:
@@ -36,6 +47,11 @@ struct ExecutionReport {
   /// with ComputeResponseTime(plan, per_op_cost).response_time (parallel
   /// execution) or with ledger.total() (sequential execution).
   double wall_clock_makespan = 0.0;
+  /// Window into the global Tracer covering this execution (inert when
+  /// tracing was disabled). `trace.Spans()` returns the per-op and
+  /// source-call spans of this run; obs/trace_export.h turns them into
+  /// Chrome trace-event JSON.
+  TraceHandle trace;
 };
 
 /// Runtime options for plan execution.

@@ -13,6 +13,9 @@
 namespace fusion {
 namespace {
 
+using exec_internal::CallContext;
+using exec_internal::CallStats;
+
 /// One plan execution scheduled over a worker pool.
 ///
 /// Concurrency design: each op evaluates into op-private state (its own
@@ -37,6 +40,7 @@ class ParallelPlanRun {
     items_.resize(num_vars);
     relations_.resize(num_vars);
     op_ledgers_.resize(num_ops);
+    op_stats_.resize(num_ops);
     op_observed_.assign(num_ops, ItemSet());
     op_emulated_.assign(num_ops, 0);
     dependents_.assign(num_ops, {});
@@ -69,9 +73,11 @@ class ParallelPlanRun {
     report_.per_op_cost.assign(num_ops, 0.0);
     report_.emulated_semijoins = 0;
     report_.skipped_ops = 0;
+    CallStats stats;
     for (size_t k = 0; k < num_ops; ++k) {
       report_.per_op_cost[k] = op_ledgers_[k].total();
       report_.ledger.MergeFrom(std::move(op_ledgers_[k]));
+      stats.MergeFrom(op_stats_[k]);
       report_.emulated_semijoins += op_emulated_[k];
       const int source = plan_.ops()[k].source;
       if (source >= 0) {
@@ -80,6 +86,9 @@ class ParallelPlanRun {
       }
     }
     report_.answer = *items_[plan_.result()];
+    report_.retries_total = stats.retries;
+    report_.cache_hits = stats.cache_hits;
+    report_.cache_misses = stats.cache_misses;
     return Status::Ok();
   }
 
@@ -120,11 +129,30 @@ class ParallelPlanRun {
   }
 
   void RunOp(size_t k) {
-    const Status status = EvalOp(k);
-    if (status.ok()) {
-      // The op "takes" as long as it cost (scaled); dependents and the next
-      // query to this source wait for completion, so makespans compose.
-      exec_internal::SleepForCost(op_ledgers_[k].total(), options_);
+    Status status;
+    {
+      // The plan_op span covers the evaluation *and* the simulated-latency
+      // sleep, so traced parallel runs show real wall-clock overlap between
+      // ops on distinct worker threads.
+      const PlanOp& op = plan_.ops()[k];
+      ScopedSpan span(SpanCategory::kPlanOp, PlanOpKindName(op.kind));
+      if (span.active()) {
+        span.AddAttr("op", static_cast<int64_t>(k));
+        span.AddAttr("target", plan_.var(op.target).name);
+        if (op.source >= 0) {
+          span.AddAttr("source",
+                       catalog_.source(static_cast<size_t>(op.source)).name());
+        }
+        if (op.cond >= 0) span.AddAttr("cond", static_cast<int64_t>(op.cond));
+      }
+      status = EvalOp(k);
+      if (status.ok()) {
+        span.AddAttr("cost", op_ledgers_[k].total());
+        // The op "takes" as long as it cost (scaled); dependents and the
+        // next query to this source wait for completion, so makespans
+        // compose.
+        exec_internal::SleepForCost(op_ledgers_[k].total(), options_);
+      }
     }
     std::unique_lock<std::mutex> lock(mu_);
     if (!status.ok()) {
@@ -158,7 +186,7 @@ class ParallelPlanRun {
             ItemSet result,
             exec_internal::CachedSelect(src, static_cast<size_t>(op.source),
                                         cond, query_.merge_attribute(),
-                                        options_, ledger));
+                                        options_, ledger, &op_stats_[k]));
         op_observed_[k] = result;
         items_[op.target] = std::move(result);
         break;
@@ -170,6 +198,11 @@ class ParallelPlanRun {
             query_.conditions()[static_cast<size_t>(op.cond)];
         switch (src.capabilities().semijoin) {
           case SemijoinSupport::kNative: {
+            CallContext ctx;
+            ctx.op = "sjq";
+            ctx.source_name = &src.name();
+            ctx.ledger = &ledger;
+            ctx.stats = &op_stats_[k];
             FUSION_ASSIGN_OR_RETURN(
                 ItemSet result,
                 exec_internal::CallWithRetries(
@@ -177,7 +210,7 @@ class ParallelPlanRun {
                       return src.SemiJoin(cond, query_.merge_attribute(),
                                           candidates, &ledger);
                     },
-                    options_.max_attempts));
+                    options_.max_attempts, ctx));
             op_observed_[k] = result;
             items_[op.target] = std::move(result);
             break;
@@ -185,13 +218,15 @@ class ParallelPlanRun {
           case SemijoinSupport::kPassedBindingsOnly: {
             FUSION_ASSIGN_OR_RETURN(
                 ItemSet result,
-                exec_internal::EmulateSemiJoin(src, cond,
-                                               query_.merge_attribute(),
-                                               candidates,
-                                               options_.max_attempts, ledger));
+                exec_internal::EmulateSemiJoin(
+                    src, cond, query_.merge_attribute(), candidates,
+                    options_.max_attempts, ledger, &op_stats_[k]));
             op_observed_[k] = result;
             items_[op.target] = std::move(result);
             op_emulated_[k] = 1;
+            static Counter& emulated = MetricsRegistry::Global().counter(
+                metrics::kEmulatedSemijoins);
+            emulated.Increment();
             break;
           }
           case SemijoinSupport::kUnsupported:
@@ -203,10 +238,15 @@ class ParallelPlanRun {
       }
       case PlanOpKind::kLoad: {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
+        CallContext ctx;
+        ctx.op = "lq";
+        ctx.source_name = &src.name();
+        ctx.ledger = &ledger;
+        ctx.stats = &op_stats_[k];
         FUSION_ASSIGN_OR_RETURN(
             Relation loaded,
-            exec_internal::CallWithRetries(
-                [&] { return src.Load(&ledger); }, options_.max_attempts));
+            exec_internal::CallWithRetries([&] { return src.Load(&ledger); },
+                                           options_.max_attempts, ctx));
         FUSION_ASSIGN_OR_RETURN(
             ItemSet all_items,
             loaded.SelectItems(Condition::True(), query_.merge_attribute()));
@@ -265,6 +305,7 @@ class ParallelPlanRun {
   std::vector<std::optional<ItemSet>> items_;        // per SSA variable
   std::vector<std::optional<Relation>> relations_;   // per SSA variable
   std::vector<CostLedger> op_ledgers_;
+  std::vector<CallStats> op_stats_;
   std::vector<ItemSet> op_observed_;
   std::vector<char> op_emulated_;
 

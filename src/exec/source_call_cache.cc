@@ -1,5 +1,8 @@
 #include "exec/source_call_cache.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fusion {
 
 /// Rendezvous state for one in-flight source call. `settled` flips exactly
@@ -56,8 +59,15 @@ SourceCallCache::FlightGuard SourceCallCache::BeginFlight(
       return FlightGuard(this, nullptr, std::move(key), std::move(flight));
     }
     // Someone else is already asking the source this exact question; wait
-    // for their answer instead of issuing a duplicate call.
+    // for their answer instead of issuing a duplicate call. (Tracer::Record
+    // only takes its own shard mutex, so spanning the wait while holding
+    // mu_ cannot deadlock.)
     ++flights_deduplicated_;
+    static Counter& waits =
+        MetricsRegistry::Global().counter(metrics::kCacheFlightWaits);
+    waits.Increment();
+    ScopedSpan span(SpanCategory::kCache, "cache.wait");
+    if (span.active()) span.AddAttr("cond", key.second);
     std::shared_ptr<FlightGuard::Flight> flight = it->second;
     flight->cv.wait(lock, [&] { return flight->settled; });
     // Loop: on fulfill the memo now hits; on abandon this caller competes

@@ -1,7 +1,9 @@
 #include "mediator/mediator.h"
 
 #include "cost/oracle_cost_model.h"
+#include "exec/exec_internal.h"
 #include "mediator/fetch_planner.h"
+#include "obs/trace.h"
 #include "optimizer/filter.h"
 #include "optimizer/greedy.h"
 #include "optimizer/postopt.h"
@@ -11,6 +13,28 @@
 #include "stats/oracle_stats.h"
 
 namespace fusion {
+namespace {
+
+/// One record-fetch source call, traced and counted like the executor's
+/// sq/sjq/lq calls (exactly one `source_call` span per ledger charge).
+Result<Relation> TracedFetch(SourceWrapper& source,
+                             const std::string& merge_attribute,
+                             const ItemSet& items, CostLedger* ledger) {
+  ScopedSpan span(SpanCategory::kSourceCall, "fetch");
+  const double cost_before = ledger != nullptr ? ledger->total() : 0.0;
+  auto result = source.FetchRecords(merge_attribute, items, ledger);
+  const double cost_delta =
+      ledger != nullptr ? ledger->total() - cost_before : -1.0;
+  if (span.active()) {
+    span.AddAttr("source", source.name());
+    if (ledger != nullptr) span.AddAttr("cost", cost_delta);
+    if (!result.ok()) span.AddAttr("error", result.status().ToString());
+  }
+  exec_internal::CountSourceCall("fetch", cost_delta);
+  return result;
+}
+
+}  // namespace
 
 const char* OptimizerStrategyName(OptimizerStrategy s) {
   switch (s) {
@@ -116,14 +140,27 @@ Result<QueryAnswer> Mediator::Answer(const FusionQuery& raw_query,
                                      const MediatorOptions& options) {
   const FusionQuery query = raw_query.Canonicalized();
   CostLedger probe_ledger;
-  FUSION_ASSIGN_OR_RETURN(std::unique_ptr<CostModel> model,
-                          BuildCostModel(query, options, &probe_ledger));
-  FUSION_ASSIGN_OR_RETURN(
-      OptimizedPlan optimized,
-      RunOptimizer(*model, options.strategy, options.postopt));
-  FUSION_ASSIGN_OR_RETURN(
-      ExecutionReport execution,
-      ExecutePlan(optimized.plan, catalog_, query, options.execution));
+  Result<OptimizedPlan> optimized_or = [&]() -> Result<OptimizedPlan> {
+    ScopedSpan span(SpanCategory::kPhase, "optimize");
+    if (span.active()) {
+      span.AddAttr("strategy", OptimizerStrategyName(options.strategy));
+      span.AddAttr("statistics", StatisticsModeName(options.statistics));
+    }
+    FUSION_ASSIGN_OR_RETURN(std::unique_ptr<CostModel> model,
+                            BuildCostModel(query, options, &probe_ledger));
+    return RunOptimizer(*model, options.strategy, options.postopt);
+  }();
+  FUSION_ASSIGN_OR_RETURN(OptimizedPlan optimized, std::move(optimized_or));
+  Result<ExecutionReport> execution_or = [&]() -> Result<ExecutionReport> {
+    ScopedSpan span(SpanCategory::kPhase, "execute");
+    if (span.active()) {
+      span.AddAttr("ops", optimized.plan.num_ops());
+      span.AddAttr("parallelism",
+                   static_cast<int64_t>(options.execution.parallelism));
+    }
+    return ExecutePlan(optimized.plan, catalog_, query, options.execution);
+  }();
+  FUSION_ASSIGN_OR_RETURN(ExecutionReport execution, std::move(execution_or));
   QueryAnswer answer;
   answer.items = execution.answer;
   answer.optimized = std::move(optimized);
@@ -145,16 +182,18 @@ Result<Relation> Mediator::FetchRecordsFromWitnesses(
     return Status::InvalidArgument(
         "phase-1 report does not match this catalog");
   }
+  ScopedSpan span(SpanCategory::kPhase, "fetch");
   FUSION_ASSIGN_OR_RETURN(
       const std::vector<FetchAssignment> assignments,
       PlanWitnessFetch(phase1.per_source_items, phase1.answer));
+  if (span.active()) span.AddAttr("assignments", assignments.size());
   FUSION_ASSIGN_OR_RETURN(const Schema schema, catalog_.CommonSchema());
   Relation out(schema);
   for (const FetchAssignment& a : assignments) {
     FUSION_ASSIGN_OR_RETURN(
         Relation part,
-        catalog_.source(a.source).FetchRecords(query.merge_attribute(),
-                                               a.items, ledger));
+        TracedFetch(catalog_.source(a.source), query.merge_attribute(),
+                    a.items, ledger));
     FUSION_ASSIGN_OR_RETURN(out, Relation::Union(out, part));
   }
   return out;
@@ -163,13 +202,14 @@ Result<Relation> Mediator::FetchRecordsFromWitnesses(
 Result<Relation> Mediator::FetchRecords(const FusionQuery& query,
                                         const ItemSet& items,
                                         CostLedger* ledger) {
+  ScopedSpan span(SpanCategory::kPhase, "fetch");
   FUSION_ASSIGN_OR_RETURN(const Schema schema, catalog_.CommonSchema());
   Relation out(schema);
   for (size_t j = 0; j < catalog_.size(); ++j) {
     FUSION_ASSIGN_OR_RETURN(
         Relation part,
-        catalog_.source(j).FetchRecords(query.merge_attribute(), items,
-                                        ledger));
+        TracedFetch(catalog_.source(j), query.merge_attribute(), items,
+                    ledger));
     FUSION_ASSIGN_OR_RETURN(out, Relation::Union(out, part));
   }
   return out;

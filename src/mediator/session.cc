@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "source/simulated_source.h"
 
@@ -103,19 +104,31 @@ Result<QueryAnswer> QuerySession::Answer(const FusionQuery& raw_query) {
                           mediator_.catalog().CommonSchema());
   FUSION_RETURN_IF_ERROR(query.Validate(schema));
 
-  FUSION_ASSIGN_OR_RETURN(const ParametricCostModel model,
-                          BuildSessionModel(query));
-  FUSION_ASSIGN_OR_RETURN(
-      OptimizedPlan optimized,
-      RunOptimizer(model, options_.strategy, options_.postopt));
+  Result<OptimizedPlan> optimized_or = [&]() -> Result<OptimizedPlan> {
+    ScopedSpan span(SpanCategory::kPhase, "optimize");
+    if (span.active()) {
+      span.AddAttr("strategy", OptimizerStrategyName(options_.strategy));
+      span.AddAttr("statistics", "session-learned");
+    }
+    FUSION_ASSIGN_OR_RETURN(const ParametricCostModel model,
+                            BuildSessionModel(query));
+    return RunOptimizer(model, options_.strategy, options_.postopt);
+  }();
+  FUSION_ASSIGN_OR_RETURN(OptimizedPlan optimized, std::move(optimized_or));
 
   ExecOptions exec = options_.execution;
   exec.cache = &cache_;
-  FUSION_ASSIGN_OR_RETURN(
-      ExecutionReport execution,
-      ExecutePlan(optimized.plan, mediator_.catalog(), query, exec));
+  Result<ExecutionReport> execution_or = [&]() -> Result<ExecutionReport> {
+    ScopedSpan span(SpanCategory::kPhase, "execute");
+    if (span.active()) span.AddAttr("ops", optimized.plan.num_ops());
+    return ExecutePlan(optimized.plan, mediator_.catalog(), query, exec);
+  }();
+  FUSION_ASSIGN_OR_RETURN(ExecutionReport execution, std::move(execution_or));
 
-  Learn(query, optimized, execution);
+  {
+    ScopedSpan span(SpanCategory::kPhase, "learn");
+    Learn(query, optimized, execution);
+  }
 
   QueryAnswer answer;
   answer.items = execution.answer;

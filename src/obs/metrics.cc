@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace fusion {
+namespace {
+
+/// Relaxed atomic double accumulation (atomic<double>::fetch_add is C++20
+/// but not universally lowered; the CAS loop is portable and the sum is a
+/// cold statistic).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(double v) {
+  if (!(v > 1.0)) return 0;  // <= 1 and NaN land in the first bucket
+  const size_t i = static_cast<size_t>(std::ceil(std::log2(v)));
+  return i < kNumBuckets ? i : kNumBuckets - 1;
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i + 1 >= kNumBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+void Histogram::Observe(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.buckets.reserve(kNumBuckets);
+  for (const auto& b : buckets_) {
+    out.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->Snapshot();
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    out += StrFormat("%-34s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    out += StrFormat("%-34s %.6g\n", name.c_str(), v);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out += StrFormat("%-34s count=%llu sum=%.6g mean=%.6g\n", name.c_str(),
+                     static_cast<unsigned long long>(h.count), h.sum,
+                     h.mean());
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      out += StrFormat("  %s.le_%-26.6g %llu\n", name.c_str(),
+                       Histogram::BucketUpperBound(i),
+                       static_cast<unsigned long long>(h.buckets[i]));
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace metrics {
+
+const char* SourceCallCounterName(const char* op) {
+  if (std::strcmp(op, "sq") == 0) return kSourceCallsSq;
+  if (std::strcmp(op, "sjq") == 0) return kSourceCallsSjq;
+  if (std::strcmp(op, "probe") == 0) return kSourceCallsProbe;
+  if (std::strcmp(op, "lq") == 0) return kSourceCallsLq;
+  if (std::strcmp(op, "fetch") == 0) return kSourceCallsFetch;
+  return kSourceCallsSq;
+}
+
+}  // namespace metrics
+}  // namespace fusion

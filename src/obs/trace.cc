@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/str_util.h"
+
+namespace fusion {
+namespace {
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* SpanCategoryName(SpanCategory category) {
+  switch (category) {
+    case SpanCategory::kPhase:
+      return "phase";
+    case SpanCategory::kOptimize:
+      return "optimize";
+    case SpanCategory::kPlanOp:
+      return "plan_op";
+    case SpanCategory::kSourceCall:
+      return "source_call";
+    case SpanCategory::kRetry:
+      return "retry";
+    case SpanCategory::kCache:
+      return "cache";
+    case SpanCategory::kRpc:
+      return "rpc";
+  }
+  return "?";
+}
+
+Tracer::Tracer() : epoch_ns_(SteadyNowNanos()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never destroyed: usable at exit
+  return *tracer;
+}
+
+double Tracer::NowMicros() const {
+  return static_cast<double>(SteadyNowNanos() - epoch_ns_) * 1e-3;
+}
+
+uint32_t Tracer::CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::Record(SpanRecord record) {
+  Shard& shard = shards_[CurrentThreadId() % kNumShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.spans.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.spans.begin(), shard.spans.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              // Equal starts: the enclosing (longer) span first, so nesting
+              // order survives the sort; thread id breaks remaining ties.
+              if (a.end_us != b.end_us) return a.end_us > b.end_us;
+              return a.thread_id < b.thread_id;
+            });
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::Drain() {
+  std::vector<SpanRecord> out = Snapshot();
+  Clear();
+  return out;
+}
+
+void Tracer::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.spans.clear();
+  }
+}
+
+size_t Tracer::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.spans.size();
+  }
+  return n;
+}
+
+ScopedSpan::ScopedSpan(SpanCategory category, const char* name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  record_.name = name;
+  record_.category = category;
+  record_.thread_id = Tracer::CurrentThreadId();
+  record_.start_us = tracer.NowMicros();
+}
+
+ScopedSpan::ScopedSpan(SpanCategory category, std::string name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  record_.name = std::move(name);
+  record_.category = category;
+  record_.thread_id = Tracer::CurrentThreadId();
+  record_.start_us = tracer.NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::Global();
+  record_.end_us = tracer.NowMicros();
+  tracer.Record(std::move(record_));
+}
+
+void ScopedSpan::AddAttr(const char* key, std::string value) {
+  if (!active_) return;
+  record_.attributes.emplace_back(key, std::move(value));
+}
+
+void ScopedSpan::AddAttr(const char* key, const char* value) {
+  if (!active_) return;
+  record_.attributes.emplace_back(key, value);
+}
+
+void ScopedSpan::AddAttr(const char* key, double value) {
+  if (!active_) return;
+  record_.attributes.emplace_back(key, StrFormat("%.6g", value));
+}
+
+void ScopedSpan::AddAttr(const char* key, int64_t value) {
+  if (!active_) return;
+  record_.attributes.emplace_back(key, StrFormat("%lld",
+                                                 static_cast<long long>(value)));
+}
+
+std::vector<SpanRecord> TraceHandle::Spans() const {
+  std::vector<SpanRecord> out;
+  if (!enabled) return out;
+  for (SpanRecord& span : Tracer::Global().Snapshot()) {
+    if (span.start_us >= start_us && span.end_us <= end_us) {
+      out.push_back(std::move(span));
+    }
+  }
+  return out;
+}
+
+}  // namespace fusion

@@ -1,0 +1,117 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/file_util.h"
+#include "common/str_util.h"
+
+namespace fusion {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+        JsonEscape(span.name).c_str(), SpanCategoryName(span.category),
+        span.thread_id, span.start_us, span.duration_us());
+    if (!span.attributes.empty()) {
+      out += ",\"args\":{";
+      for (size_t i = 0; i < span.attributes.size(); ++i) {
+        if (i > 0) out += ",";
+        out += StrFormat("\"%s\":\"%s\"",
+                         JsonEscape(span.attributes[i].first).c_str(),
+                         JsonEscape(span.attributes[i].second).c_str());
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::vector<SpanRecord>& spans,
+                        const std::string& path) {
+  return WriteStringToFile(path, ChromeTraceJson(spans));
+}
+
+std::string FlameSummary(const std::vector<SpanRecord>& spans) {
+  struct Agg {
+    size_t count = 0;
+    double total_us = 0.0;
+  };
+  // category -> (per-category rollup, name -> per-name rollup)
+  std::map<std::string, std::pair<Agg, std::map<std::string, Agg>>> by_cat;
+  for (const SpanRecord& span : spans) {
+    auto& [cat_agg, names] = by_cat[SpanCategoryName(span.category)];
+    ++cat_agg.count;
+    cat_agg.total_us += span.duration_us();
+    Agg& name_agg = names[span.name];
+    ++name_agg.count;
+    name_agg.total_us += span.duration_us();
+  }
+  std::string out =
+      StrFormat("trace summary: %zu spans\n", spans.size());
+  for (const auto& [cat, entry] : by_cat) {
+    const auto& [cat_agg, names] = entry;
+    out += StrFormat("%-12s %6zu spans %12.3f ms\n", cat.c_str(),
+                     cat_agg.count, cat_agg.total_us * 1e-3);
+    std::vector<std::pair<std::string, Agg>> ranked(names.begin(),
+                                                    names.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.total_us > b.second.total_us;
+                     });
+    constexpr size_t kTopNames = 8;
+    for (size_t i = 0; i < ranked.size() && i < kTopNames; ++i) {
+      out += StrFormat("  %-28s %6zu x %12.3f ms\n",
+                       ranked[i].first.c_str(), ranked[i].second.count,
+                       ranked[i].second.total_us * 1e-3);
+    }
+    if (ranked.size() > kTopNames) {
+      out += StrFormat("  ... %zu more names\n", ranked.size() - kTopNames);
+    }
+  }
+  return out;
+}
+
+}  // namespace fusion

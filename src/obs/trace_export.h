@@ -1,0 +1,30 @@
+#ifndef FUSION_OBS_TRACE_EXPORT_H_
+#define FUSION_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace fusion {
+
+/// Serializes spans as Chrome trace-event JSON ("X" complete events inside
+/// a {"traceEvents": [...]} object), loadable in chrome://tracing and
+/// Perfetto. Span attributes become the event's "args"; the category name
+/// becomes "cat"; thread ids map to "tid" so concurrent spans render on
+/// separate tracks.
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// ChromeTraceJson written to `path`.
+Status WriteChromeTrace(const std::vector<SpanRecord>& spans,
+                        const std::string& path);
+
+/// Human-readable rollup: per category, span count and total self time;
+/// within each category the heaviest span names first. The terminal-side
+/// companion to the Chrome trace (a poor man's flame graph).
+std::string FlameSummary(const std::vector<SpanRecord>& spans);
+
+}  // namespace fusion
+
+#endif  // FUSION_OBS_TRACE_EXPORT_H_

@@ -10,6 +10,8 @@ Result<OptimizedPlan> OptimizeFilter(const CostModel& model) {
   if (m == 0 || n == 0) {
     return Status::InvalidArgument("filter: need conditions and sources");
   }
+  OptimizerRunSpan run_span("FILTER");
+  run_span.CountPlan();  // every filter plan is cost-equivalent; one suffices
   std::vector<size_t> ordering(m);
   std::iota(ordering.begin(), ordering.end(), 0);
   const ConditionOrderPlan structure = MakeStructure(std::move(ordering), n);

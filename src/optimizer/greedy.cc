@@ -75,6 +75,7 @@ Result<OptimizedPlan> OptimizeGreedy(const CostModel& model,
   if (m == 0 || n == 0) {
     return Status::InvalidArgument("greedy: need conditions and sources");
   }
+  OptimizerRunSpan run_span(adaptive ? "SJA-G" : "SJ-G");
 
   std::vector<size_t> ordering;
   ordering.reserve(m);
@@ -96,6 +97,7 @@ Result<OptimizedPlan> OptimizeGreedy(const CostModel& model,
       double best_cost = std::numeric_limits<double>::infinity();
       for (size_t i = 0; i < m; ++i) {
         if (used[i]) continue;
+        run_span.CountPlan();  // each candidate extension is one consideration
         SetEstimate x_copy = x;
         const double c = EvaluateRound(model, i, adaptive, step == 0, x_copy,
                                        /*row=*/nullptr);
@@ -112,6 +114,7 @@ Result<OptimizedPlan> OptimizeGreedy(const CostModel& model,
   }
 
   // Decisions along the chosen ordering.
+  run_span.CountPlan();  // the committed ordering itself
   ConditionOrderPlan structure = MakeStructure(ordering, n);
   SetEstimate x;
   for (size_t i = 0; i < m; ++i) {

@@ -3,8 +3,19 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace fusion {
+
+OptimizerRunSpan::OptimizerRunSpan(const char* algorithm)
+    : span_(SpanCategory::kOptimize, algorithm) {}
+
+OptimizerRunSpan::~OptimizerRunSpan() {
+  span_.AddAttr("plans_considered", plans_considered_);
+  static Counter& considered = MetricsRegistry::Global().counter(
+      metrics::kOptimizerPlansConsidered);
+  considered.Increment(plans_considered_);
+}
 
 ConditionOrderPlan MakeStructure(std::vector<size_t> ordering,
                                  size_t num_sources) {

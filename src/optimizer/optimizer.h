@@ -6,10 +6,31 @@
 
 #include "common/status.h"
 #include "cost/cost_model.h"
+#include "obs/trace.h"
 #include "plan/classifier.h"
 #include "plan/plan.h"
 
 namespace fusion {
+
+/// RAII observability for one optimizer algorithm run: an `optimize` span
+/// covering the search, carrying how many candidate plans (orderings,
+/// greedy candidate evaluations, postopt variants) were considered, which
+/// also feeds the optimizer_plans_considered counter. Counting happens
+/// whether or not tracing is enabled.
+class OptimizerRunSpan {
+ public:
+  explicit OptimizerRunSpan(const char* algorithm);
+  ~OptimizerRunSpan();
+
+  OptimizerRunSpan(const OptimizerRunSpan&) = delete;
+  OptimizerRunSpan& operator=(const OptimizerRunSpan&) = delete;
+
+  void CountPlan(size_t n = 1) { plans_considered_ += n; }
+
+ private:
+  ScopedSpan span_;
+  size_t plans_considered_ = 0;
+};
 
 /// The structure of a condition-at-a-time plan: the order in which conditions
 /// are processed and, for every non-first condition and every source, whether

@@ -8,6 +8,8 @@ Result<OptimizedPlan> PostOptimizeStructure(
     const CostModel& model, const ConditionOrderPlan& structure,
     const PostOptOptions& options, const std::string& base_algorithm) {
   const size_t n = model.num_sources();
+  OptimizerRunSpan run_span("POSTOPT");
+  run_span.CountPlan();
 
   // Pass 1: difference-pruned (or plain) plan, no loading, to get per-source
   // query cost totals.
@@ -31,6 +33,7 @@ Result<OptimizedPlan> PostOptimizeStructure(
 
   StructuredBuildResult final_result = std::move(base);
   if (any_loaded) {
+    run_span.CountPlan();  // the loading variant is a second candidate
     FUSION_ASSIGN_OR_RETURN(
         final_result,
         BuildStructuredPlan(model, structure, loaded,

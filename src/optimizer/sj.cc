@@ -21,6 +21,7 @@ Result<OptimizedPlan> OptimizeSj(const CostModel& model) {
         m, kMaxConditionsForExhaustive));
   }
 
+  OptimizerRunSpan run_span("SJ");
   std::vector<size_t> ordering(m);
   std::iota(ordering.begin(), ordering.end(), 0);
 
@@ -28,6 +29,7 @@ Result<OptimizedPlan> OptimizeSj(const CostModel& model) {
   ConditionOrderPlan best_structure;
 
   do {  // loop A of Figure 3
+    run_span.CountPlan();
     ConditionOrderPlan structure = MakeStructure(ordering, n);
     // First condition: selection queries at every source.
     double plan_cost = 0.0;

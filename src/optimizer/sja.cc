@@ -21,6 +21,7 @@ Result<OptimizedPlan> OptimizeSja(const CostModel& model) {
         m, kMaxConditionsForExhaustive));
   }
 
+  OptimizerRunSpan run_span("SJA");
   std::vector<size_t> ordering(m);
   std::iota(ordering.begin(), ordering.end(), 0);
 
@@ -28,6 +29,7 @@ Result<OptimizedPlan> OptimizeSja(const CostModel& model) {
   ConditionOrderPlan best_structure;
 
   do {  // loop A of Figure 4
+    run_span.CountPlan();
     ConditionOrderPlan structure = MakeStructure(ordering, n);
     double plan_cost = 0.0;
     for (size_t j = 0; j < n; ++j) plan_cost += model.SqCost(ordering[0], j);

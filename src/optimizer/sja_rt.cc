@@ -21,6 +21,7 @@ Result<OptimizedPlan> OptimizeSjaResponseTime(const CostModel& model) {
         m, kMaxConditionsForExhaustive));
   }
 
+  OptimizerRunSpan run_span("SJA-RT");
   std::vector<size_t> ordering(m);
   std::iota(ordering.begin(), ordering.end(), 0);
 
@@ -28,6 +29,7 @@ Result<OptimizedPlan> OptimizeSjaResponseTime(const CostModel& model) {
   ConditionOrderPlan best_structure;
 
   do {
+    run_span.CountPlan();
     ConditionOrderPlan structure = MakeStructure(ordering, n);
     SetEstimate x = CanonicalRoundResult(model, ordering[0], nullptr);
     // Greedy finish-time simulation.

@@ -1,10 +1,28 @@
 #include "protocol/remote_source.h"
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/relation.h"
 
 namespace fusion {
 namespace {
+
+const char* RequestKindName(SourceRequest::Kind kind) {
+  switch (kind) {
+    case SourceRequest::Kind::kHello:
+      return "hello";
+    case SourceRequest::Kind::kSelect:
+      return "sq";
+    case SourceRequest::Kind::kSemiJoin:
+      return "sjq";
+    case SourceRequest::Kind::kLoad:
+      return "lq";
+    case SourceRequest::Kind::kFetch:
+      return "fetch";
+  }
+  return "?";
+}
 
 Result<Capabilities> CapabilitiesFromWire(const std::string& semijoin,
                                           bool supports_load) {
@@ -35,12 +53,30 @@ Result<Relation> RelationFromLines(const std::vector<std::string>& lines) {
 
 Result<SourceResponse> RemoteSource::RoundTrip(const SourceRequest& request,
                                                CostLedger* ledger) {
+  ScopedSpan span(SpanCategory::kRpc,
+                  std::string("rpc.") + RequestKindName(request.kind));
+  const std::string request_text = SerializeRequest(request);
   std::string response_text;
   {
     // The transport is a single channel: concurrent workers' requests queue
     // here rather than interleaving bytes on the wire.
     std::lock_guard<std::mutex> lock(transport_mu_);
-    response_text = transport_(SerializeRequest(request));
+    response_text = transport_(request_text);
+  }
+  {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter& requests = registry.counter(metrics::kRpcRequests);
+    static Counter& bytes_sent = registry.counter(metrics::kRpcBytesSent);
+    static Counter& bytes_received =
+        registry.counter(metrics::kRpcBytesReceived);
+    requests.Increment();
+    bytes_sent.Increment(request_text.size());
+    bytes_received.Increment(response_text.size());
+  }
+  if (span.active()) {
+    if (!name_.empty()) span.AddAttr("source", name_);
+    span.AddAttr("bytes_sent", request_text.size());
+    span.AddAttr("bytes_received", response_text.size());
   }
   FUSION_ASSIGN_OR_RETURN(SourceResponse response,
                           ParseResponse(response_text));

@@ -1,6 +1,8 @@
 #include "protocol/source_server.h"
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/condition.h"
 #include "relational/relation.h"
 
@@ -104,11 +106,20 @@ SourceResponse SourceServer::HandleParsed(const SourceRequest& request) {
 }
 
 std::string SourceServer::Handle(const std::string& request_text) {
-  const auto request = ParseRequest(request_text);
-  if (!request.ok()) {
-    return SerializeResponse(ErrorResponse(request.status()));
+  ScopedSpan span(SpanCategory::kRpc, "rpc.serve");
+  static Counter& requests =
+      MetricsRegistry::Global().counter(metrics::kRpcServerRequests);
+  requests.Increment();
+  if (span.active()) {
+    span.AddAttr("source", impl_->name());
+    span.AddAttr("bytes_received", request_text.size());
   }
-  return SerializeResponse(HandleParsed(*request));
+  const auto request = ParseRequest(request_text);
+  std::string response_text =
+      request.ok() ? SerializeResponse(HandleParsed(*request))
+                   : SerializeResponse(ErrorResponse(request.status()));
+  span.AddAttr("bytes_sent", response_text.size());
+  return response_text;
 }
 
 }  // namespace fusion

@@ -1,0 +1,468 @@
+// Observability layer tests: tracer/span mechanics, metric primitives and
+// registry stability, Chrome-trace export validity, and the end-to-end
+// invariants the instrumentation promises — one `source_call` span per
+// ledger charge (retries and cache effects included), per-op spans from both
+// executors, and real wall-clock overlap on distinct thread ids under the
+// parallel executor (run this suite under TSan via the `concurrency` label).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "exec/executor.h"
+#include "exec/source_call_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "source/flaky_source.h"
+#include "source/simulated_source.h"
+#include "workload/dmv.h"
+
+namespace fusion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metric primitives
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 holds everything <= 1; bucket i holds (2^(i-1), 2^i].
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(0.5), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1.5), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2.0001), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4.0), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(1000.0), 10u);  // 2^9 < 1000 <= 2^10
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(5), 32.0);
+  EXPECT_TRUE(std::isinf(Histogram::BucketUpperBound(
+      Histogram::kNumBuckets - 1)));
+
+  // Every observation lands in the bucket whose bound covers it.
+  for (double v : {0.1, 1.0, 3.0, 17.5, 1024.0}) {
+    const size_t i = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(i)) << v;
+    if (i > 0) EXPECT_GT(v, Histogram::BucketUpperBound(i - 1)) << v;
+  }
+}
+
+TEST(MetricsTest, HistogramObserveAndSnapshot) {
+  Histogram h;
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(1.7);
+  h.Observe(100.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 103.7);
+  EXPECT_DOUBLE_EQ(snap.mean(), 103.7 / 4);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[Histogram::BucketIndex(100.0)], 1u);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+TEST(MetricsTest, RegistryReferencesSurviveResetAll) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& c = registry.counter("obs_test.stable_counter");
+  Gauge& g = registry.gauge("obs_test.stable_gauge");
+  c.Increment(7);
+  g.Set(2.5);
+  registry.ResetAll();
+  // Same objects, zeroed values: cached references stay usable.
+  EXPECT_EQ(&c, &registry.counter("obs_test.stable_counter"));
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  c.Increment();
+  EXPECT_EQ(registry.counter("obs_test.stable_counter").value(), 1u);
+}
+
+TEST(MetricsTest, SnapshotAndDumpAreDeterministic) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.counter("obs_test.snap_counter").Increment(3);
+  registry.histogram("obs_test.snap_hist").Observe(5.0);
+  const MetricsSnapshot a = registry.Snapshot();
+  const MetricsSnapshot b = registry.Snapshot();
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  EXPECT_EQ(a.counters.at("obs_test.snap_counter"), 3u);
+  EXPECT_EQ(registry.DumpText(), registry.DumpText());
+  EXPECT_NE(registry.DumpText().find("obs_test.snap_counter"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, SourceCallCounterNameMapping) {
+  EXPECT_STREQ(metrics::SourceCallCounterName("sq"), metrics::kSourceCallsSq);
+  EXPECT_STREQ(metrics::SourceCallCounterName("sjq"),
+               metrics::kSourceCallsSjq);
+  EXPECT_STREQ(metrics::SourceCallCounterName("probe"),
+               metrics::kSourceCallsProbe);
+  EXPECT_STREQ(metrics::SourceCallCounterName("lq"), metrics::kSourceCallsLq);
+  EXPECT_STREQ(metrics::SourceCallCounterName("fetch"),
+               metrics::kSourceCallsFetch);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer mechanics
+// ---------------------------------------------------------------------------
+
+/// Enables the global tracer for one test and restores the disabled default
+/// (draining any leftovers) on exit, so tests cannot leak spans into each
+/// other.
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    Tracer::Global().Clear();
+    Tracer::Global().Enable();
+  }
+  ~ScopedTracing() {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer::Global().Disable();
+  Tracer::Global().Clear();
+  {
+    ScopedSpan span(SpanCategory::kPlanOp, "ignored");
+    EXPECT_FALSE(span.active());
+    span.AddAttr("key", "value");  // must be a safe no-op
+  }
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+}
+
+TEST(TracerTest, NestedSpansOrderAndContainment) {
+  ScopedTracing tracing;
+  {
+    ScopedSpan outer(SpanCategory::kPhase, "outer");
+    EXPECT_TRUE(outer.active());
+    outer.AddAttr("detail", "top");
+    {
+      ScopedSpan inner(SpanCategory::kPlanOp, "inner");
+      inner.AddAttr("op", static_cast<int64_t>(0));
+    }
+  }
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start time: the enclosing span first.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[0].thread_id, spans[1].thread_id);
+  EXPECT_LE(spans[0].start_us, spans[1].start_us);
+  EXPECT_GE(spans[0].end_us, spans[1].end_us);
+  ASSERT_EQ(spans[0].attributes.size(), 1u);
+  EXPECT_EQ(spans[0].attributes[0].first, "detail");
+  EXPECT_EQ(spans[0].attributes[0].second, "top");
+}
+
+TEST(TracerTest, DrainEmptiesTheBuffer) {
+  ScopedTracing tracing;
+  { ScopedSpan span(SpanCategory::kCache, "once"); }
+  EXPECT_EQ(Tracer::Global().Drain().size(), 1u);
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+}
+
+TEST(TracerTest, TraceHandleWindowFiltersSpans) {
+  ScopedTracing tracing;
+  Tracer& tracer = Tracer::Global();
+  { ScopedSpan span(SpanCategory::kPhase, "before"); }
+  TraceHandle handle;
+  handle.enabled = true;
+  handle.start_us = tracer.NowMicros();
+  { ScopedSpan span(SpanCategory::kPhase, "inside"); }
+  handle.end_us = tracer.NowMicros();
+  { ScopedSpan span(SpanCategory::kPhase, "after"); }
+  const std::vector<SpanRecord> windowed = handle.Spans();
+  ASSERT_EQ(windowed.size(), 1u);
+  EXPECT_EQ(windowed[0].name, "inside");
+}
+
+TEST(TracerTest, ParallelSpansLandOnDistinctThreadIds) {
+  ScopedTracing tracing;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      ScopedSpan span(SpanCategory::kPlanOp, "worker");
+      span.AddAttr("index", static_cast<int64_t>(t));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kThreads));
+  std::vector<uint32_t> tids;
+  for (const SpanRecord& s : spans) tids.push_back(s.thread_id);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end())
+      << "each OS thread must get its own dense id";
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export
+// ---------------------------------------------------------------------------
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings,
+/// proper string termination, no trailing garbage. Not a full parser — just
+/// enough to catch broken escaping or truncation in the exporter.
+bool JsonLooksValid(const std::string& json) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (c == '\n') {
+        return false;  // raw newline inside a string literal
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(TraceExportTest, ChromeTraceJsonIsStructurallyValid) {
+  SpanRecord span;
+  span.name = "needs \"escaping\"\n\tand control\x01 chars";
+  span.category = SpanCategory::kSourceCall;
+  span.start_us = 10.0;
+  span.end_us = 32.5;
+  span.thread_id = 3;
+  span.attributes = {{"source", "DMV\\1"}, {"cost", "12.5"}};
+  const std::string json = ChromeTraceJson({span});
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"source_call\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"escaping\\\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ExecutionTraceContainsExpectedCategories) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  Plan plan;
+  std::vector<int> dui, sp;
+  for (int j = 0; j < 3; ++j) dui.push_back(plan.EmitSelect(0, j));
+  const int x1 = plan.EmitUnion(dui, "X1");
+  for (int j = 0; j < 3; ++j) sp.push_back(plan.EmitSemiJoin(1, j, x1));
+  plan.SetResult(plan.EmitUnion(sp, "X2"));
+
+  ScopedTracing tracing;
+  const auto report =
+      ExecutePlan(plan, instance->catalog, instance->query, ExecOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string json = ChromeTraceJson(Tracer::Global().Snapshot());
+  EXPECT_TRUE(JsonLooksValid(json));
+  EXPECT_NE(json.find("\"cat\":\"plan_op\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"source_call\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sq\""), std::string::npos);
+  // The flame summary covers every category that appeared.
+  const std::string summary = FlameSummary(Tracer::Global().Snapshot());
+  EXPECT_NE(summary.find("plan_op"), std::string::npos);
+  EXPECT_NE(summary.find("source_call"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end executor invariants
+// ---------------------------------------------------------------------------
+
+size_t CountCategory(const std::vector<SpanRecord>& spans, SpanCategory cat) {
+  size_t n = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.category == cat) ++n;
+  }
+  return n;
+}
+
+TEST(ObsExecutionTest, SequentialSpanCountsMatchPlanAndLedger) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  Plan plan;
+  std::vector<int> dui, sp;
+  for (int j = 0; j < 3; ++j) dui.push_back(plan.EmitSelect(0, j));
+  const int x1 = plan.EmitUnion(dui, "X1");
+  for (int j = 0; j < 3; ++j) sp.push_back(plan.EmitSelect(1, j));
+  const int u2 = plan.EmitUnion(sp, "U2");
+  plan.SetResult(plan.EmitIntersect({x1, u2}, "X2"));
+
+  ScopedTracing tracing;
+  const auto report =
+      ExecutePlan(plan, instance->catalog, instance->query, ExecOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  EXPECT_EQ(CountCategory(spans, SpanCategory::kPlanOp), plan.num_ops());
+  EXPECT_EQ(CountCategory(spans, SpanCategory::kSourceCall),
+            report->ledger.num_queries());
+  EXPECT_TRUE(report->trace.enabled);
+  EXPECT_EQ(report->trace.Spans().size(), spans.size())
+      << "every span of this execution falls inside the report's window";
+}
+
+TEST(ObsExecutionTest, ParallelRunOverlapsSpansOnDistinctThreads) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  Plan plan;
+  std::vector<int> dui, sp;
+  for (int j = 0; j < 3; ++j) dui.push_back(plan.EmitSelect(0, j));
+  const int x1 = plan.EmitUnion(dui, "X1");
+  for (int j = 0; j < 3; ++j) sp.push_back(plan.EmitSelect(1, j));
+  const int u2 = plan.EmitUnion(sp, "U2");
+  plan.SetResult(plan.EmitIntersect({x1, u2}, "X2"));
+
+  ScopedTracing tracing;
+  ExecOptions options;
+  options.parallelism = 4;
+  options.simulated_seconds_per_cost = 2e-4;  // make overlap observable
+  const auto report =
+      ExecutePlan(plan, instance->catalog, instance->query, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  EXPECT_EQ(CountCategory(spans, SpanCategory::kPlanOp), plan.num_ops());
+  EXPECT_EQ(CountCategory(spans, SpanCategory::kSourceCall),
+            report->ledger.num_queries());
+
+  // The two sources' select chains are data-independent, so with >= 2
+  // workers some pair of plan-op spans must overlap in time on different
+  // thread ids.
+  bool overlap_across_threads = false;
+  for (size_t a = 0; a < spans.size() && !overlap_across_threads; ++a) {
+    if (spans[a].category != SpanCategory::kPlanOp) continue;
+    for (size_t b = a + 1; b < spans.size(); ++b) {
+      if (spans[b].category != SpanCategory::kPlanOp) continue;
+      if (spans[a].thread_id == spans[b].thread_id) continue;
+      if (spans[b].start_us < spans[a].end_us &&
+          spans[a].start_us < spans[b].end_us) {
+        overlap_across_threads = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(overlap_across_threads)
+      << "parallel execution produced no concurrent plan-op spans";
+}
+
+TEST(ObsExecutionTest, RetriesSurfaceOnReportAndKeepSpanInvariant) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  SourceCatalog flaky;
+  for (size_t j = 0; j < instance->catalog.size(); ++j) {
+    const SimulatedSource* sim = instance->catalog.source(j).AsSimulated();
+    ASSERT_NE(sim, nullptr);
+    FlakySource::Options options;
+    options.fail_first_k = j == 0 ? 2 : 0;  // source 0: first two calls fail
+    ASSERT_TRUE(flaky
+                    .Add(std::make_unique<FlakySource>(
+                        std::make_unique<SimulatedSource>(*sim), options))
+                    .ok());
+  }
+  Plan plan;
+  plan.SetResult(plan.EmitSelect(0, 0));
+
+  ScopedTracing tracing;
+  ExecOptions options;
+  options.max_attempts = 4;
+  const auto report = ExecutePlan(plan, flaky, instance->query, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->retries_total, 2u);
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  // 3 attempts = 3 ledger charges = 3 source_call spans, plus 2 retry spans.
+  EXPECT_EQ(report->ledger.num_queries(), 3u);
+  EXPECT_EQ(CountCategory(spans, SpanCategory::kSourceCall), 3u);
+  EXPECT_EQ(CountCategory(spans, SpanCategory::kRetry), 2u);
+}
+
+TEST(ObsExecutionTest, CacheHitsAndMissesSurfaceOnReport) {
+  const auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  Plan plan;
+  std::vector<int> dui;
+  for (int j = 0; j < 3; ++j) dui.push_back(plan.EmitSelect(0, j));
+  plan.SetResult(plan.EmitUnion(dui, "X1"));
+
+  SourceCallCache cache;
+  ExecOptions options;
+  options.cache = &cache;
+  const auto first =
+      ExecutePlan(plan, instance->catalog, instance->query, options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->cache_hits, 0u);
+  EXPECT_EQ(first->cache_misses, 3u);
+
+  ScopedTracing tracing;
+  const auto second =
+      ExecutePlan(plan, instance->catalog, instance->query, options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->cache_hits, 3u);
+  EXPECT_EQ(second->cache_misses, 0u);
+  // Cache hits issue no source call: zero charges, zero source_call spans —
+  // the 1:1 invariant holds — and each hit leaves a cache span instead.
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  EXPECT_EQ(second->ledger.num_queries(), 0u);
+  EXPECT_EQ(CountCategory(spans, SpanCategory::kSourceCall), 0u);
+  EXPECT_EQ(CountCategory(spans, SpanCategory::kCache), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Logging thread safety
+// ---------------------------------------------------------------------------
+
+TEST(LoggingTest, ConcurrentSeverityChangesAreSafe) {
+  using internal_logging::LogSeverity;
+  const LogSeverity original = internal_logging::MinLogSeverity();
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    for (int i = 0; i < 500; ++i) {
+      internal_logging::SetMinLogSeverity(i % 2 == 0 ? LogSeverity::kError
+                                                     : LogSeverity::kWarning);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> loggers;
+  for (int t = 0; t < 3; ++t) {
+    loggers.emplace_back([&] {
+      while (!stop.load()) {
+        FUSION_LOG(Info) << "swallowed below the minimum severity";
+      }
+    });
+  }
+  toggler.join();
+  for (std::thread& t : loggers) t.join();
+  internal_logging::SetMinLogSeverity(original);
+}
+
+}  // namespace
+}  // namespace fusion

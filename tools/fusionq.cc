@@ -10,15 +10,21 @@
 //           WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
 //           [--strategy=filter|sj|sja|sja+|greedy|greedy+]
 //           [--stats=oracle|parametric]
-//           [--lazy] [--explain] [--ledger]
+//           [--lazy] [--explain] [--ledger] [--parallelism=N]
+//           [--trace=FILE] [--trace-summary] [--metrics]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "cli/catalog_config.h"
 #include "common/str_util.h"
 #include "common/file_util.h"
 #include "mediator/mediator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "plan/plan_serde.h"
 #include "query/parser.h"
 
@@ -34,7 +40,11 @@ struct Args {
   bool explain = false;
   bool ledger = false;
   bool help = false;
-  std::string plan_out;  // write the chosen plan in FPLAN/1 format
+  std::string plan_out;    // write the chosen plan in FPLAN/1 format
+  std::string trace_out;   // write a Chrome trace-event JSON file
+  bool trace_summary = false;  // print the per-category span rollup
+  bool metrics = false;        // print the process metrics dump
+  int parallelism = 1;
 };
 
 void PrintUsage() {
@@ -49,7 +59,12 @@ void PrintUsage() {
       "  --lazy           lazy short-circuit execution\n"
       "  --explain        print the optimized plan and response-time info\n"
       "  --ledger         print the per-query cost ledger\n"
-      "  --plan-out=FILE  write the chosen plan in FPLAN/1 format\n");
+      "  --plan-out=FILE  write the chosen plan in FPLAN/1 format\n"
+      "  --parallelism=N  parallel plan execution with N workers (default 1)\n"
+      "  --trace=FILE     record spans; write Chrome trace-event JSON to\n"
+      "                   FILE (open in chrome://tracing or Perfetto)\n"
+      "  --trace-summary  record spans; print a per-category rollup\n"
+      "  --metrics        print the process-wide metrics dump\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -70,6 +85,23 @@ Result<Args> ParseArgs(int argc, char** argv) {
     if (ParseFlag(a, "--strategy", &args.strategy)) continue;
     if (ParseFlag(a, "--stats", &args.stats)) continue;
     if (ParseFlag(a, "--plan-out", &args.plan_out)) continue;
+    if (ParseFlag(a, "--trace", &args.trace_out)) continue;
+    std::string parallelism;
+    if (ParseFlag(a, "--parallelism", &parallelism)) {
+      args.parallelism = std::atoi(parallelism.c_str());
+      if (args.parallelism < 1) {
+        return Status::InvalidArgument("--parallelism must be >= 1");
+      }
+      continue;
+    }
+    if (std::strcmp(a, "--trace-summary") == 0) {
+      args.trace_summary = true;
+      continue;
+    }
+    if (std::strcmp(a, "--metrics") == 0) {
+      args.metrics = true;
+      continue;
+    }
     if (std::strcmp(a, "--lazy") == 0) {
       args.lazy = true;
       continue;
@@ -141,6 +173,9 @@ int Run(int argc, char** argv) {
                            ? StatisticsMode::kOracleParametric
                            : StatisticsMode::kOracle;
 
+  const bool tracing = !args->trace_out.empty() || args->trace_summary;
+  if (tracing) Tracer::Global().Enable();
+
   Mediator mediator(std::move(catalog).value());
   const auto optimized = mediator.Optimize(*query, options);
   if (!optimized.ok()) {
@@ -175,11 +210,29 @@ int Run(int argc, char** argv) {
 
   ExecOptions exec_options;
   exec_options.lazy_short_circuit = args->lazy;
+  exec_options.parallelism = args->parallelism;
   const auto report = ExecutePlan(optimized->plan, mediator.catalog(), *query,
                                   exec_options);
   if (!report.ok()) {
     std::fprintf(stderr, "execute: %s\n", report.status().ToString().c_str());
     return 1;
+  }
+
+  if (tracing) {
+    const std::vector<SpanRecord> spans = Tracer::Global().Drain();
+    Tracer::Global().Disable();
+    if (!args->trace_out.empty()) {
+      const Status written = WriteChromeTrace(spans, args->trace_out);
+      if (!written.ok()) {
+        std::fprintf(stderr, "trace: %s\n", written.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace: %zu spans -> %s\n", spans.size(),
+                  args->trace_out.c_str());
+    }
+    if (args->trace_summary) {
+      std::printf("%s", FlameSummary(spans).c_str());
+    }
   }
 
   std::printf("answer (%zu items): %s\n", report->answer.size(),
@@ -195,6 +248,10 @@ int Run(int argc, char** argv) {
   std::printf("\n");
   if (args->ledger) {
     std::printf("\n%s", report->ledger.Report().c_str());
+  }
+  if (args->metrics) {
+    std::printf("\n-- metrics --\n%s",
+                MetricsRegistry::Global().DumpText().c_str());
   }
   return 0;
 }
