@@ -1,11 +1,13 @@
 #include "cli/catalog_config.h"
 
 #include <cstdlib>
+#include <limits>
 #include <memory>
 
 #include "common/file_util.h"
 #include "common/str_util.h"
 #include "relational/relation.h"
+#include "source/flaky_source.h"
 #include "source/simulated_source.h"
 
 namespace fusion {
@@ -85,6 +87,28 @@ Status ApplyKeyValue(SourceSpecConfig& spec, const std::string& key,
                             ParseDouble(value, key));
     return Status::Ok();
   }
+  if (key == "outage") {
+    if (EqualsIgnoreCase(value, "yes")) {
+      spec.outage = true;
+    } else if (EqualsIgnoreCase(value, "no")) {
+      spec.outage = false;
+    } else {
+      return Status::ParseError("outage must be yes|no, got " + value);
+    }
+    return Status::Ok();
+  }
+  if (key == "flaky") {
+    FUSION_ASSIGN_OR_RETURN(spec.flaky_probability, ParseDouble(value, key));
+    if (spec.flaky_probability > 1.0) {
+      return Status::ParseError("flaky must be in [0, 1], got " + value);
+    }
+    return Status::Ok();
+  }
+  if (key == "flaky_seed") {
+    FUSION_ASSIGN_OR_RETURN(const double seed, ParseDouble(value, key));
+    spec.flaky_seed = static_cast<uint64_t>(seed);
+    return Status::Ok();
+  }
   return Status::ParseError("unknown key '" + key + "' in source section");
 }
 
@@ -161,9 +185,23 @@ Result<SourceCatalog> LoadCatalog(const std::vector<SourceSpecConfig>& specs,
                     "source '" + spec.name + "' (" + path +
                         "): " + relation.status().message());
     }
-    FUSION_RETURN_IF_ERROR(catalog.Add(std::make_unique<SimulatedSource>(
+    auto source = std::make_unique<SimulatedSource>(
         spec.name, std::move(relation).value(), spec.capabilities,
-        spec.network)));
+        spec.network);
+    if (spec.outage || spec.flaky_probability > 0.0) {
+      FlakySource::Options flaky;
+      flaky.failure_probability = spec.flaky_probability;
+      flaky.seed = spec.flaky_seed;
+      if (spec.outage) {
+        // The source is down for good: every call, from the first on.
+        flaky.outage_start = 0;
+        flaky.outage_end = std::numeric_limits<size_t>::max();
+      }
+      FUSION_RETURN_IF_ERROR(catalog.Add(
+          std::make_unique<FlakySource>(std::move(source), flaky)));
+    } else {
+      FUSION_RETURN_IF_ERROR(catalog.Add(std::move(source)));
+    }
   }
   return catalog;
 }

@@ -1,6 +1,7 @@
 #ifndef FUSION_CLI_CATALOG_CONFIG_H_
 #define FUSION_CLI_CATALOG_CONFIG_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,14 @@ struct SourceSpecConfig {
   std::string csv_path;  // relative to the config file's directory
   Capabilities capabilities;
   NetworkProfile network;
+  /// `outage = yes` wraps the source so every call fails with kUnavailable
+  /// (a permanently down source) — the CLI's way to demonstrate circuit
+  /// breakers and degraded-mode execution against real configs.
+  bool outage = false;
+  /// `flaky = P` makes each call fail transiently (kInternal) with
+  /// probability P ∈ [0, 1]; `flaky_seed = N` fixes the failure stream.
+  double flaky_probability = 0.0;
+  uint64_t flaky_seed = 1;
 };
 
 /// Parses the fusionq catalog configuration format — INI-style sections,
@@ -30,6 +39,9 @@ struct SourceSpecConfig {
 ///   recv = 1
 ///   proc = 0.01
 ///   width = 3
+///   outage = no              # yes: every call fails (source is down)
+///   flaky = 0                # transient failure probability in [0, 1]
+///   flaky_seed = 1           # RNG seed for the failure stream
 ///
 /// Unknown keys are errors; omitted cost keys keep NetworkProfile defaults.
 /// Lines starting with '#' (or blank) are ignored; inline `# comments` after

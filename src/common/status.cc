@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kAlreadyExists:
       return "AlreadyExists";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -18,6 +18,8 @@ enum class StatusCode {
   kInternal,
   kParseError,
   kAlreadyExists,
+  kUnavailable,       // source down / circuit open: permanent for this query
+  kDeadlineExceeded,  // per-call timeout, per-query deadline, or cost budget
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -52,6 +54,12 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

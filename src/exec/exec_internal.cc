@@ -1,12 +1,49 @@
 #include "exec/exec_internal.h"
 
-#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <utility>
 
+#include "plan/plan.h"
+
 namespace fusion {
 namespace exec_internal {
+
+double FaultState::remaining_seconds() const {
+  if (deadline_seconds_ <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  return deadline_seconds_ - elapsed;
+}
+
+Status FaultState::Check() const {
+  if (remaining_seconds() < 0.0) {
+    static Counter& exceeded = MetricsRegistry::Global().counter(
+        metrics::kDeadlineExceededTotal);
+    exceeded.Increment();
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  if (cost_budget_ > 0.0 && cost_spent() >= cost_budget_) {
+    static Counter& exceeded = MetricsRegistry::Global().counter(
+        metrics::kDeadlineExceededTotal);
+    exceeded.Increment();
+    return Status::DeadlineExceeded("query cost budget exhausted");
+  }
+  return Status::Ok();
+}
+
+void FaultState::ChargeCost(double cost) {
+  // fetch_add for atomic<double> is C++20; a CAS loop keeps us portable.
+  double current = cost_spent_.load(std::memory_order_relaxed);
+  while (!cost_spent_.compare_exchange_weak(current, current + cost,
+                                            std::memory_order_relaxed)) {
+  }
+}
 
 void CountSourceCall(const char* op, double cost_delta) {
   MetricsRegistry& registry = MetricsRegistry::Global();
@@ -33,25 +70,76 @@ void CountSourceCall(const char* op, double cost_delta) {
   }
 }
 
+Status AdmitCall(const CallContext& ctx) {
+  if (ctx.fault != nullptr) {
+    FUSION_RETURN_IF_ERROR(ctx.fault->Check());
+  }
+  if (ctx.health != nullptr && ctx.source_index >= 0) {
+    const SourceHealth::Admission admission = ctx.health->Admit(
+        static_cast<size_t>(ctx.source_index), ctx.source_name);
+    if (!admission.allowed) {
+      if (ctx.stats != nullptr) ++ctx.stats->breaker_fast_fails;
+      std::string who = ctx.source_name != nullptr
+                            ? "'" + *ctx.source_name + "'"
+                            : "#" + std::to_string(ctx.source_index);
+      return Status::Unavailable("circuit breaker open for source " + who);
+    }
+  }
+  return Status::Ok();
+}
+
+Status BackoffBeforeAttempt(const CallContext& ctx, const RetryPolicy& retry,
+                            int attempt, ScopedSpan& retry_span) {
+  const size_t source = ctx.source_index >= 0
+                            ? static_cast<size_t>(ctx.source_index)
+                            : 0;
+  double backoff = retry.BackoffSeconds(source, attempt);
+  if (backoff <= 0.0) return Status::Ok();
+  if (ctx.fault != nullptr) {
+    // No point sleeping past the query deadline: truncate the sleep to the
+    // remaining budget, and give up on the retry outright when there is
+    // (almost) nothing left.
+    const double remaining = ctx.fault->remaining_seconds();
+    if (remaining <= 0.0) return ctx.fault->Check();
+    if (backoff > remaining) backoff = remaining;
+  }
+  if (retry_span.active()) retry_span.AddAttr("backoff_s", backoff);
+  static Counter& sleeps =
+      MetricsRegistry::Global().counter(metrics::kBackoffSleepsTotal);
+  sleeps.Increment();
+  if (ctx.blocking_pool != nullptr) ctx.blocking_pool->BeginBlocking();
+  std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  if (ctx.blocking_pool != nullptr) ctx.blocking_pool->EndBlocking();
+  return Status::Ok();
+}
+
+Status CallTimeoutStatus(const CallContext& ctx, double call_seconds,
+                         double timeout_seconds) {
+  std::string who =
+      ctx.source_name != nullptr ? " to '" + *ctx.source_name + "'" : "";
+  return Status::DeadlineExceeded(
+      "call" + who + " exceeded per-call timeout (" +
+      std::to_string(call_seconds) + "s > " +
+      std::to_string(timeout_seconds) + "s)");
+}
+
 Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
                                 const std::string& merge_attribute,
-                                const ItemSet& candidates, int max_attempts,
-                                CostLedger& ledger, CallStats* stats) {
+                                const ItemSet& candidates, CallContext ctx,
+                                CostLedger& ledger) {
   ItemSet result;
   for (const Value& item : candidates) {
     const Condition probe =
         Condition::And(cond, Condition::Eq(merge_attribute, item));
     CostLedger local;
-    CallContext ctx;
     ctx.op = "probe";
     ctx.source_name = &source.name();
     ctx.ledger = &local;
-    ctx.stats = stats;
     FUSION_ASSIGN_OR_RETURN(
         ItemSet part,
         CallWithRetries(
             [&] { return source.Select(probe, merge_attribute, &local); },
-            max_attempts, ctx));
+            ctx));
     for (Charge charge : local.charges()) {
       charge.kind = ChargeKind::kEmulatedSemiJoinProbe;
       ledger.Add(std::move(charge));
@@ -61,29 +149,25 @@ Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
   return result;
 }
 
-Result<ItemSet> CachedSelect(SourceWrapper& source, size_t source_index,
-                             const Condition& cond,
+Result<ItemSet> CachedSelect(SourceWrapper& source, const Condition& cond,
                              const std::string& merge_attribute,
                              const ExecOptions& options, CostLedger& ledger,
-                             CallStats* stats) {
-  CallContext ctx;
+                             CallContext ctx) {
   ctx.op = "sq";
   ctx.source_name = &source.name();
   ctx.ledger = &ledger;
-  ctx.stats = stats;
   auto call = [&] {
     return CallWithRetries(
-        [&] { return source.Select(cond, merge_attribute, &ledger); },
-        options.max_attempts, ctx);
+        [&] { return source.Select(cond, merge_attribute, &ledger); }, ctx);
   };
-  if (options.cache == nullptr) return call();
-  SourceCallCache::FlightGuard flight =
-      options.cache->BeginFlight(source_index, cond.ToString());
+  if (options.cache == nullptr || ctx.source_index < 0) return call();
+  SourceCallCache::FlightGuard flight = options.cache->BeginFlight(
+      static_cast<size_t>(ctx.source_index), cond.ToString());
   if (flight.cached() != nullptr) {
     static Counter& hits =
         MetricsRegistry::Global().counter(metrics::kCacheHits);
     hits.Increment();
-    if (stats != nullptr) ++stats->cache_hits;
+    if (ctx.stats != nullptr) ++ctx.stats->cache_hits;
     ScopedSpan span(SpanCategory::kCache, "cache.hit");
     if (span.active()) {
       span.AddAttr("source", source.name());
@@ -94,7 +178,7 @@ Result<ItemSet> CachedSelect(SourceWrapper& source, size_t source_index,
   static Counter& misses =
       MetricsRegistry::Global().counter(metrics::kCacheMisses);
   misses.Increment();
-  if (stats != nullptr) ++stats->cache_misses;
+  if (ctx.stats != nullptr) ++ctx.stats->cache_misses;
   // This caller leads the flight; a failure abandons it (guard destructor)
   // so concurrent waiters retry rather than inheriting the error.
   FUSION_ASSIGN_OR_RETURN(ItemSet result, call());
@@ -106,6 +190,115 @@ void SleepForCost(double cost, const ExecOptions& options) {
   if (options.simulated_seconds_per_cost <= 0.0 || cost <= 0.0) return;
   std::this_thread::sleep_for(std::chrono::duration<double>(
       cost * options.simulated_seconds_per_cost));
+}
+
+namespace {
+// Polarity bits for the monotonicity walk.
+constexpr char kPos = 1;  // appears at a monotone (shrink-is-sound) position
+constexpr char kNeg = 2;  // appears under an odd number of difference-rhs
+}  // namespace
+
+std::vector<char> DegradableOps(const Plan& plan) {
+  const std::vector<PlanOp>& ops = plan.ops();
+  // var -> polarity bits, seeded at the result variable. Plans are SSA and
+  // straight-line (defs precede uses), so one reverse pass sees every use of
+  // a variable before its defining op.
+  std::vector<char> var_polarity(plan.vars().size(), 0);
+  if (plan.result() >= 0) {
+    var_polarity[static_cast<size_t>(plan.result())] = kPos;
+  }
+  auto add = [&](int var, char bits) {
+    if (var >= 0) var_polarity[static_cast<size_t>(var)] |= bits;
+  };
+  for (size_t k = ops.size(); k-- > 0;) {
+    const PlanOp& op = ops[k];
+    const char p = op.target >= 0
+                       ? var_polarity[static_cast<size_t>(op.target)]
+                       : 0;
+    if (p == 0) continue;  // dead op: never feeds the result
+    const char flipped = static_cast<char>(((p & kPos) ? kNeg : 0) |
+                                           ((p & kNeg) ? kPos : 0));
+    switch (op.kind) {
+      case PlanOpKind::kUnion:
+      case PlanOpKind::kIntersect:
+        // Both ∪ and ∩ are monotone in every input.
+        for (int in : op.inputs) add(in, p);
+        break;
+      case PlanOpKind::kDifference:
+        // Y − Z is monotone in Y, *anti*-monotone in Z: shrinking Z grows
+        // the result, so Z's subtree flips polarity.
+        add(op.inputs[0], p);
+        add(op.inputs[1], flipped);
+        break;
+      case PlanOpKind::kSemiJoin:
+        // sjq(c, R, Y) ⊆ Y and is monotone in the candidate set Y.
+        add(op.input, p);
+        break;
+      case PlanOpKind::kLocalSelect:
+        // σ_c(Y) ⊆ Y, monotone in the loaded relation.
+        add(op.input, p);
+        break;
+      case PlanOpKind::kSelect:
+      case PlanOpKind::kLoad:
+        break;  // leaves: nothing upstream
+    }
+  }
+  // A source op is ∅-substitutable iff its value never reaches the result
+  // through an anti-monotone position. (A dead op is trivially safe.)
+  std::vector<char> degradable(ops.size(), 0);
+  for (size_t k = 0; k < ops.size(); ++k) {
+    const PlanOp& op = ops[k];
+    const bool is_source_call = op.kind == PlanOpKind::kSelect ||
+                                op.kind == PlanOpKind::kSemiJoin ||
+                                op.kind == PlanOpKind::kLoad;
+    if (!is_source_call) continue;
+    const char p = op.target >= 0
+                       ? var_polarity[static_cast<size_t>(op.target)]
+                       : 0;
+    degradable[k] = (p & kNeg) == 0 ? 1 : 0;
+  }
+  return degradable;
+}
+
+void BuildCompletenessReport(const Plan& plan,
+                             const std::vector<std::string>& reasons,
+                             CompletenessReport* out) {
+  const std::vector<PlanOp>& ops = plan.ops();
+  for (size_t k = 0; k < ops.size() && k < reasons.size(); ++k) {
+    if (reasons[k].empty()) continue;
+    const PlanOp& op = ops[k];
+    out->degraded_ops.push_back(static_cast<int>(k));
+    if (op.kind == PlanOpKind::kLoad) {
+      // A degraded load excludes its source from every condition evaluated
+      // against the loaded relation downstream.
+      bool found_dependent = false;
+      for (size_t j = k + 1; j < ops.size(); ++j) {
+        if (ops[j].kind == PlanOpKind::kLocalSelect &&
+            ops[j].input == op.target) {
+          out->excluded.push_back({ops[j].cond, op.source, reasons[k]});
+          found_dependent = true;
+        }
+      }
+      if (!found_dependent) {
+        out->excluded.push_back({-1, op.source, reasons[k]});
+      }
+    } else {
+      out->excluded.push_back({op.cond, op.source, reasons[k]});
+    }
+  }
+  out->answer_complete = out->degraded_ops.empty();
+  out->sound = true;  // by construction: non-degradable ops fail the query
+}
+
+bool IsDegradableFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInternal:          // transient retries exhausted
+    case StatusCode::kUnavailable:       // source down / breaker open
+    case StatusCode::kDeadlineExceeded:  // call timeout / deadline / budget
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace exec_internal

@@ -1,11 +1,16 @@
 #ifndef FUSION_EXEC_EXEC_INTERNAL_H_
 #define FUSION_EXEC_EXEC_INTERNAL_H_
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <vector>
 
 #include "common/item_set.h"
 #include "common/status.h"
 #include "exec/executor.h"
+#include "exec/source_health.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/condition.h"
@@ -14,12 +19,13 @@
 
 /// Source-call machinery shared by the sequential interpreter
 /// (exec/executor.cc) and the parallel executor (exec/parallel_executor.cc).
-/// Both paths must charge, retry, cache, and emulate identically — that is
-/// what makes their ledgers byte-comparable in tests. It is also where the
-/// observability layer hooks in: every wrapper call attempt gets a
-/// `source_call` span (one per ledger charge) and a source_calls_total
-/// metric tick, retries get `retry` spans and retries_total, and per-
-/// execution counts accumulate into a CallStats for the ExecutionReport.
+/// Both paths must charge, retry, back off, breaker-gate, and cache
+/// identically — that is what makes their ledgers byte-comparable in tests.
+/// It is also where the observability layer hooks in: every wrapper call
+/// attempt gets a `source_call` span (one per ledger charge) and a
+/// source_calls_total metric tick, retries get `retry` spans (covering the
+/// backoff sleep) and retries_total, and per-execution counts accumulate
+/// into a CallStats for the ExecutionReport.
 namespace fusion {
 namespace exec_internal {
 
@@ -30,26 +36,72 @@ struct CallStats {
   size_t retries = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  size_t breaker_fast_fails = 0;
 
   void MergeFrom(const CallStats& other) {
     retries += other.retries;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    breaker_fast_fails += other.breaker_fast_fails;
   }
 };
 
+/// Per-execution fault budgets, shared by every worker of one ExecutePlan:
+/// the wall-clock deadline (fixed at construction) and the metered-cost
+/// budget (accumulated with a relaxed atomic — the check is advisory
+/// admission control, not accounting; the ledger stays the ground truth).
+class FaultState {
+ public:
+  explicit FaultState(const ExecOptions& options)
+      : deadline_seconds_(options.deadline_seconds),
+        cost_budget_(options.cost_budget),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds until the deadline (negative once passed); +infinity when no
+  /// deadline is configured.
+  double remaining_seconds() const;
+
+  /// Admission check before a source call or a backoff sleep: non-OK
+  /// (kDeadlineExceeded, and a deadline_exceeded_total tick) once the
+  /// deadline has passed or the cost budget is spent.
+  Status Check() const;
+
+  void ChargeCost(double cost);
+  double cost_spent() const {
+    return cost_spent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const double deadline_seconds_;
+  const double cost_budget_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<double> cost_spent_{0.0};
+};
+
 /// Who is being called and on whose behalf — context for spans, metrics,
-/// and per-execution stats. All fields optional; a default context traces
-/// anonymously and counts nothing per-execution.
+/// per-execution stats, and the fault-tolerance gates. All fields optional;
+/// a default context traces anonymously, counts nothing per-execution,
+/// retries once (no backoff), and applies no deadline or breaker.
 struct CallContext {
   /// Operation tag: "sq", "sjq", "probe" (emulated-semijoin binding),
   /// "lq", or "fetch". Drives the span name and the metric counter.
   const char* op = "call";
   const std::string* source_name = nullptr;
   /// When set, each attempt's span carries the cost delta this attempt
-  /// charged to the ledger.
+  /// charged to the ledger, and the delta feeds the FaultState cost budget.
   const CostLedger* ledger = nullptr;
   CallStats* stats = nullptr;
+  /// Retry/backoff/timeout policy; null = single attempt.
+  const RetryPolicy* retry = nullptr;
+  /// Per-query deadline / cost budget; null = unbounded.
+  FaultState* fault = nullptr;
+  /// Shared circuit breakers; requires source_index >= 0. Null = no gate.
+  SourceHealth* health = nullptr;
+  int source_index = -1;
+  /// When set, backoff sleeps are bracketed with BeginBlocking/EndBlocking
+  /// so a sleeping retry does not hold one of the parallel executor's
+  /// worker slots (ready ops keep draining at full parallelism).
+  ThreadPool* blocking_pool = nullptr;
 };
 
 /// Ticks source_calls_total.<op> and, when `cost_delta >= 0`, observes it
@@ -57,22 +109,67 @@ struct CallContext {
 /// function-local statics, so the hot path is two relaxed atomic RMWs.
 void CountSourceCall(const char* op, double cost_delta);
 
-/// Runs `fn` up to `max_attempts` times, retrying only transient
-/// (kInternal) failures. Returns the last result either way. Every attempt
-/// is traced as one `source_call` span — so the span count equals the
-/// ledger's charge count, failed attempts included — and counted into
-/// source_calls_total.<op>; re-attempts additionally get an enclosing
-/// `retry` span and tick retries_total.
+/// Pre-call admission: the per-query deadline/cost budget, then the
+/// circuit breaker. A non-OK return means the call must not be issued —
+/// nothing was charged and no round-trip happened. Ticks the corresponding
+/// fast-fail metrics and `stats`.
+Status AdmitCall(const CallContext& ctx);
+
+/// Sleeps the policy backoff before re-attempt `attempt`, truncated by the
+/// remaining deadline, inside the given (already open) retry span. Returns
+/// non-OK without sleeping when the deadline leaves no room to retry.
+Status BackoffBeforeAttempt(const CallContext& ctx, const RetryPolicy& retry,
+                            int attempt, ScopedSpan& retry_span);
+
+/// Builds the per-call-timeout status (kDeadlineExceeded) for ctx's call.
+Status CallTimeoutStatus(const CallContext& ctx, double call_seconds,
+                         double timeout_seconds);
+
+/// Runs `fn` under the context's full fault policy:
+///  - admission (deadline / cost budget / circuit breaker) before every
+///    attempt; inadmissible calls fail fast without charging a round-trip;
+///  - per-call timeout: an attempt that outlives
+///    retry.call_timeout_seconds is treated as a (retriable) timeout
+///    failure;
+///  - transient failures (kInternal, call timeouts) are retried up to
+///    retry.max_attempts times with exponential backoff and deterministic
+///    seeded jitter; permanent failures (kUnavailable, kUnsupported) and
+///    the query deadline are not retried;
+///  - every attempt's outcome is reported to the breaker.
+/// Every attempt is traced as one `source_call` span — so the span count
+/// equals the ledger's charge count, failed attempts included — and counted
+/// into source_calls_total.<op>; re-attempts get an enclosing `retry` span
+/// that also covers the backoff sleep, and tick retries_total.
 template <typename Fn>
-auto CallWithRetries(Fn fn, int max_attempts, const CallContext& ctx = {})
-    -> decltype(fn()) {
+auto CallWithRetries(Fn fn, const CallContext& ctx = {}) -> decltype(fn()) {
+  static const RetryPolicy kNoRetry;
+  const RetryPolicy& retry = ctx.retry != nullptr ? *ctx.retry : kNoRetry;
+  // Set when the last failure was a per-call timeout conversion — the one
+  // kDeadlineExceeded flavor that is retriable (the next attempt may be
+  // fast); a query-deadline kDeadlineExceeded never re-enters the loop.
+  bool last_was_call_timeout = false;
   auto one_attempt = [&](int attempt) {
+    last_was_call_timeout = false;
     ScopedSpan span(SpanCategory::kSourceCall, ctx.op);
     const double cost_before =
         ctx.ledger != nullptr ? ctx.ledger->total() : 0.0;
+    const auto started = std::chrono::steady_clock::now();
     auto result = fn();
+    const double call_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
     const double cost_delta =
         ctx.ledger != nullptr ? ctx.ledger->total() - cost_before : -1.0;
+    if (ctx.fault != nullptr && cost_delta > 0.0) {
+      ctx.fault->ChargeCost(cost_delta);
+    }
+    if (result.ok() && retry.call_timeout_seconds > 0.0 &&
+        call_seconds > retry.call_timeout_seconds) {
+      last_was_call_timeout = true;
+      result = CallTimeoutStatus(ctx, call_seconds,
+                                 retry.call_timeout_seconds);
+    }
     if (span.active()) {
       if (ctx.source_name != nullptr) span.AddAttr("source", *ctx.source_name);
       if (attempt > 0) span.AddAttr("attempt", static_cast<int64_t>(attempt));
@@ -80,11 +177,29 @@ auto CallWithRetries(Fn fn, int max_attempts, const CallContext& ctx = {})
       if (!result.ok()) span.AddAttr("error", result.status().ToString());
     }
     CountSourceCall(ctx.op, cost_delta);
+    if (ctx.health != nullptr && ctx.source_index >= 0) {
+      if (result.ok()) {
+        ctx.health->RecordSuccess(static_cast<size_t>(ctx.source_index),
+                                  ctx.source_name);
+      } else {
+        ctx.health->RecordFailure(static_cast<size_t>(ctx.source_index),
+                                  ctx.source_name);
+      }
+    }
     return result;
   };
+  {
+    const Status admitted = AdmitCall(ctx);
+    if (!admitted.ok()) return admitted;
+  }
   auto result = one_attempt(0);
-  for (int attempt = 1; attempt < max_attempts && !result.ok() &&
-                        result.status().code() == StatusCode::kInternal;
+  auto retriable = [&] {
+    if (result.ok()) return false;
+    const StatusCode code = result.status().code();
+    return code == StatusCode::kInternal ||
+           (code == StatusCode::kDeadlineExceeded && last_was_call_timeout);
+  };
+  for (int attempt = 1; attempt < retry.max_attempts && retriable();
        ++attempt) {
     static Counter& retries =
         MetricsRegistry::Global().counter(metrics::kRetriesTotal);
@@ -95,6 +210,10 @@ auto CallWithRetries(Fn fn, int max_attempts, const CallContext& ctx = {})
       retry_span.AddAttr("source", *ctx.source_name);
       retry_span.AddAttr("attempt", static_cast<int64_t>(attempt));
     }
+    const Status slept = BackoffBeforeAttempt(ctx, retry, attempt, retry_span);
+    if (!slept.ok()) return slept;
+    const Status admitted = AdmitCall(ctx);
+    if (!admitted.ok()) return admitted;
     result = one_attempt(attempt);
   }
   return result;
@@ -102,28 +221,54 @@ auto CallWithRetries(Fn fn, int max_attempts, const CallContext& ctx = {})
 
 /// Emulates sjq(cond, source, candidates) with one passed-binding selection
 /// per candidate. Probe charges are re-tagged so reports distinguish native
-/// semijoins from emulated ones.
+/// semijoins from emulated ones. `ctx.op`/`ledger` are overridden per probe;
+/// the fault-tolerance fields gate every probe individually.
 Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
                                 const std::string& merge_attribute,
-                                const ItemSet& candidates, int max_attempts,
-                                CostLedger& ledger, CallStats* stats);
+                                const ItemSet& candidates, CallContext ctx,
+                                CostLedger& ledger);
 
 /// One selection op's source interaction: consults options.cache first
 /// (single-flight deduplicated, so concurrent identical selections — within
 /// one parallel plan or across racing executions — cost exactly one source
 /// call), retries transient failures, and publishes fresh answers back to
 /// the cache. Charges go to `ledger`; cache hits charge nothing. Cache
-/// hits/misses tick both the global metrics and `stats`.
-Result<ItemSet> CachedSelect(SourceWrapper& source, size_t source_index,
-                             const Condition& cond,
+/// hits/misses tick both the global metrics and `ctx.stats`.
+Result<ItemSet> CachedSelect(SourceWrapper& source, const Condition& cond,
                              const std::string& merge_attribute,
                              const ExecOptions& options, CostLedger& ledger,
-                             CallStats* stats);
+                             CallContext ctx);
 
 /// Simulated-latency hook: sleeps cost * options.simulated_seconds_per_cost
 /// (no-op at the default scale 0). Lets benchmarks observe real wall-clock
 /// overlap whose per-op durations match the cost model's units.
 void SleepForCost(double cost, const ExecOptions& options);
+
+/// Degradability of each plan op under SourceFailurePolicy::kDegrade:
+/// true iff the op is a source call (sq/sjq/lq) whose target variable is
+/// only ever used at *monotone* plan positions — every path to the plan
+/// result passes through union/intersect inputs, semijoin candidate sets,
+/// local selections, or the *left* side of a difference. Substituting ∅
+/// there can only shrink the answer (sound). A leaf feeding the right side
+/// of a difference is not degradable: shrinking a subtrahend could add
+/// items to the answer.
+std::vector<char> DegradableOps(const Plan& plan);
+
+/// Assembles report.completeness (and report.breaker_fast_fails via stats
+/// callers merge separately) from the per-op degradation outcomes:
+/// `reasons[k]` non-empty iff op k was substituted with ∅, holding the
+/// final status string. Load exclusions fan out to the conditions of their
+/// dependent local selections.
+void BuildCompletenessReport(const Plan& plan,
+                             const std::vector<std::string>& reasons,
+                             CompletenessReport* out);
+
+/// True when `status` is the kind of source-unreachable failure degraded
+/// mode may absorb: exhausted transient retries (kInternal), a permanently
+/// unavailable source / open breaker (kUnavailable), or an exceeded
+/// deadline, call timeout, or cost budget (kDeadlineExceeded). Plan or
+/// capability errors (kUnsupported, kInvalidArgument, ...) always fail.
+bool IsDegradableFailure(const Status& status);
 
 }  // namespace exec_internal
 }  // namespace fusion

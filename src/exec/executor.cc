@@ -1,11 +1,13 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <vector>
 
 #include "exec/exec_internal.h"
 #include "exec/parallel_executor.h"
+#include "exec/source_health.h"
 
 namespace fusion {
 namespace {
@@ -15,6 +17,117 @@ using exec_internal::CallStats;
 using exec_internal::CallWithRetries;
 using exec_internal::EmulateSemiJoin;
 
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash. Used for retry
+/// jitter so the schedule is a pure function of (seed, source, attempt) —
+/// no RNG stream, hence no dependence on thread interleaving.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double RetryPolicy::BackoffSeconds(size_t source_index, int attempt) const {
+  if (attempt < 1 || initial_backoff_seconds <= 0.0) return 0.0;
+  double backoff = initial_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) backoff *= backoff_multiplier;
+  if (max_backoff_seconds > 0.0 && backoff > max_backoff_seconds) {
+    backoff = max_backoff_seconds;
+  }
+  if (jitter_fraction > 0.0) {
+    uint64_t h = SplitMix64(jitter_seed);
+    h = SplitMix64(h ^ static_cast<uint64_t>(source_index));
+    h = SplitMix64(h ^ static_cast<uint64_t>(attempt));
+    // Top 53 bits → uniform in [0, 1), then map into the symmetric band
+    // [1 - jitter, 1 + jitter).
+    const double unit =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    backoff *= 1.0 - jitter_fraction + 2.0 * jitter_fraction * unit;
+  }
+  return backoff;
+}
+
+std::vector<int> CompletenessReport::ExcludedSources(int condition) const {
+  std::vector<int> sources;
+  for (const SourceExclusion& e : excluded) {
+    if (e.condition != condition) continue;
+    if (std::find(sources.begin(), sources.end(), e.source) == sources.end()) {
+      sources.push_back(e.source);
+    }
+  }
+  return sources;
+}
+
+std::string CompletenessReport::ToString(
+    const std::vector<std::string>& condition_names,
+    const std::vector<std::string>& source_names) const {
+  if (answer_complete) return "complete answer (no sources excluded)";
+  auto cond_text = [&](int c) {
+    if (c < 0) return std::string("whole query");
+    if (static_cast<size_t>(c) < condition_names.size()) {
+      return condition_names[static_cast<size_t>(c)];
+    }
+    return "c" + std::to_string(c + 1);
+  };
+  auto source_text = [&](int s) {
+    if (s >= 0 && static_cast<size_t>(s) < source_names.size()) {
+      return source_names[static_cast<size_t>(s)];
+    }
+    return "R" + std::to_string(s + 1);
+  };
+  std::string out =
+      "partial answer (sound: every returned item satisfies the query at "
+      "some responding source)\n";
+  for (const SourceExclusion& e : excluded) {
+    out += "  excluded " + source_text(e.source) + " from " +
+           cond_text(e.condition) + ": " + e.reason + "\n";
+  }
+  return out;
+}
+
+Status ValidateExecOptions(const ExecOptions& options) {
+  const RetryPolicy& retry = options.retry;
+  if (retry.max_attempts < 1) {
+    return Status::InvalidArgument(
+        "retry.max_attempts must be >= 1, got " +
+        std::to_string(retry.max_attempts));
+  }
+  if (retry.initial_backoff_seconds < 0.0) {
+    return Status::InvalidArgument("retry.initial_backoff_seconds < 0");
+  }
+  if (retry.backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("retry.backoff_multiplier must be >= 1");
+  }
+  if (retry.max_backoff_seconds < 0.0) {
+    return Status::InvalidArgument("retry.max_backoff_seconds < 0");
+  }
+  if (retry.jitter_fraction < 0.0 || retry.jitter_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "retry.jitter_fraction must be in [0, 1)");
+  }
+  if (retry.call_timeout_seconds < 0.0) {
+    return Status::InvalidArgument("retry.call_timeout_seconds < 0");
+  }
+  if (options.deadline_seconds < 0.0) {
+    return Status::InvalidArgument("deadline_seconds < 0");
+  }
+  if (options.cost_budget < 0.0) {
+    return Status::InvalidArgument("cost_budget < 0");
+  }
+  if (options.parallelism < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1, got " +
+                                   std::to_string(options.parallelism));
+  }
+  if (options.simulated_seconds_per_cost < 0.0) {
+    return Status::InvalidArgument("simulated_seconds_per_cost < 0");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
 /// Shared interpreter for eager and lazy execution. In lazy mode, variables
 /// are evaluated on demand starting from the plan result, and empty
 /// accumulators cut off remaining operand subtrees.
@@ -22,11 +135,12 @@ class PlanInterpreter {
  public:
   PlanInterpreter(const Plan& plan, const SourceCatalog& catalog,
                   const FusionQuery& query, const ExecOptions& options,
-                  ExecutionReport& report)
+                  exec_internal::FaultState* fault, ExecutionReport& report)
       : plan_(plan),
         catalog_(catalog),
         query_(query),
         options_(options),
+        fault_(fault),
         report_(report) {
     report_.per_source_items.assign(catalog.size(), ItemSet());
     report_.per_op_cost.assign(plan.num_ops(), 0.0);
@@ -36,6 +150,10 @@ class PlanInterpreter {
     for (size_t k = 0; k < plan.ops().size(); ++k) {
       defining_op_[static_cast<size_t>(plan.ops()[k].target)] =
           static_cast<int>(k);
+    }
+    reasons_.assign(plan.num_ops(), "");
+    if (options.on_source_failure == SourceFailurePolicy::kDegrade) {
+      degradable_ = exec_internal::DegradableOps(plan);
     }
   }
 
@@ -69,6 +187,44 @@ class PlanInterpreter {
     report_.retries_total = stats_.retries;
     report_.cache_hits = stats_.cache_hits;
     report_.cache_misses = stats_.cache_misses;
+    report_.breaker_fast_fails = stats_.breaker_fast_fails;
+    exec_internal::BuildCompletenessReport(plan_, reasons_,
+                                           &report_.completeness);
+  }
+
+  /// The fault-tolerance call context for op k's source interactions.
+  /// CachedSelect / EmulateSemiJoin override op/source_name/ledger.
+  CallContext ContextFor(const char* op_name, const SourceWrapper& src,
+                         int source) {
+    CallContext ctx;
+    ctx.op = op_name;
+    ctx.source_name = &src.name();
+    ctx.ledger = &report_.ledger;
+    ctx.stats = &stats_;
+    ctx.retry = &options_.retry;
+    ctx.fault = fault_;
+    ctx.health = options_.health;
+    ctx.source_index = source;
+    return ctx;
+  }
+
+  /// Degraded-mode absorption of an exhausted source call: substitutes ∅
+  /// (or an empty relation) for op k and records the exclusion when that is
+  /// provably sound; otherwise returns `status`, failing the query.
+  Status HandleSourceFailure(size_t k, const PlanOp& op, const Status& status) {
+    if (options_.on_source_failure != SourceFailurePolicy::kDegrade ||
+        degradable_.empty() || degradable_[k] == 0 ||
+        !exec_internal::IsDegradableFailure(status)) {
+      return status;
+    }
+    reasons_[k] = status.ToString();
+    if (op.kind == PlanOpKind::kLoad) {
+      relations_[op.target] = Relation(
+          catalog_.source(static_cast<size_t>(op.source)).schema());
+    } else {
+      items_[op.target] = ItemSet();
+    }
+    return Status::Ok();
   }
 
   /// Ensures the op defining `var` has run (recursively, in lazy mode).
@@ -97,17 +253,18 @@ class PlanInterpreter {
     // Attribute only this op's direct charges: nested evaluations (lazy
     // mode) book their own costs, which `attributed_` subtracts out.
     const double unattributed_before = report_.ledger.total() - attributed_;
-    FUSION_RETURN_IF_ERROR(EvalOpBody(op, lazy));
+    FUSION_RETURN_IF_ERROR(EvalOpBody(k, op, lazy));
     const double own_cost =
         (report_.ledger.total() - attributed_) - unattributed_before;
     report_.per_op_cost[k] = own_cost;
     attributed_ += own_cost;
     span.AddAttr("cost", own_cost);
+    if (!reasons_[k].empty()) span.AddAttr("degraded", reasons_[k]);
     exec_internal::SleepForCost(own_cost, options_);
     return Status::Ok();
   }
 
-  Status EvalOpBody(const PlanOp& op, bool lazy) {
+  Status EvalOpBody(size_t k, const PlanOp& op, bool lazy) {
     switch (op.kind) {
       case PlanOpKind::kSelect: {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
@@ -117,13 +274,12 @@ class PlanInterpreter {
         // publication all live in CachedSelect (shared with the parallel
         // executor). Cache hits charge nothing; witness knowledge stays
         // valid either way.
-        FUSION_ASSIGN_OR_RETURN(
-            ItemSet result,
-            exec_internal::CachedSelect(src, static_cast<size_t>(op.source),
-                                        cond, query_.merge_attribute(),
-                                        options_, report_.ledger, &stats_));
-        Observe(op.source, result);
-        items_[op.target] = std::move(result);
+        Result<ItemSet> result = exec_internal::CachedSelect(
+            src, cond, query_.merge_attribute(), options_, report_.ledger,
+            ContextFor("sq", src, op.source));
+        if (!result.ok()) return HandleSourceFailure(k, op, result.status());
+        Observe(op.source, *result);
+        items_[op.target] = std::move(result).value();
         break;
       }
       case PlanOpKind::kSemiJoin: {
@@ -139,31 +295,28 @@ class PlanInterpreter {
             query_.conditions()[static_cast<size_t>(op.cond)];
         switch (src.capabilities().semijoin) {
           case SemijoinSupport::kNative: {
-            CallContext ctx;
-            ctx.op = "sjq";
-            ctx.source_name = &src.name();
-            ctx.ledger = &report_.ledger;
-            ctx.stats = &stats_;
-            FUSION_ASSIGN_OR_RETURN(
-                ItemSet result,
-                CallWithRetries(
-                    [&] {
-                      return src.SemiJoin(cond, query_.merge_attribute(),
-                                          candidates, &report_.ledger);
-                    },
-                    options_.max_attempts, ctx));
-            Observe(op.source, result);
-            items_[op.target] = std::move(result);
+            Result<ItemSet> result = CallWithRetries(
+                [&] {
+                  return src.SemiJoin(cond, query_.merge_attribute(),
+                                      candidates, &report_.ledger);
+                },
+                ContextFor("sjq", src, op.source));
+            if (!result.ok()) {
+              return HandleSourceFailure(k, op, result.status());
+            }
+            Observe(op.source, *result);
+            items_[op.target] = std::move(result).value();
             break;
           }
           case SemijoinSupport::kPassedBindingsOnly: {
-            FUSION_ASSIGN_OR_RETURN(
-                ItemSet result,
-                EmulateSemiJoin(src, cond, query_.merge_attribute(),
-                                candidates, options_.max_attempts,
-                                report_.ledger, &stats_));
-            Observe(op.source, result);
-            items_[op.target] = std::move(result);
+            Result<ItemSet> result = EmulateSemiJoin(
+                src, cond, query_.merge_attribute(), candidates,
+                ContextFor("probe", src, op.source), report_.ledger);
+            if (!result.ok()) {
+              return HandleSourceFailure(k, op, result.status());
+            }
+            Observe(op.source, *result);
+            items_[op.target] = std::move(result).value();
             ++report_.emulated_semijoins;
             static Counter& emulated = MetricsRegistry::Global().counter(
                 metrics::kEmulatedSemijoins);
@@ -179,20 +332,15 @@ class PlanInterpreter {
       }
       case PlanOpKind::kLoad: {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
-        CallContext ctx;
-        ctx.op = "lq";
-        ctx.source_name = &src.name();
-        ctx.ledger = &report_.ledger;
-        ctx.stats = &stats_;
-        FUSION_ASSIGN_OR_RETURN(
-            Relation loaded,
+        Result<Relation> loaded =
             CallWithRetries([&] { return src.Load(&report_.ledger); },
-                            options_.max_attempts, ctx));
+                            ContextFor("lq", src, op.source));
+        if (!loaded.ok()) return HandleSourceFailure(k, op, loaded.status());
         FUSION_ASSIGN_OR_RETURN(
             ItemSet all_items,
-            loaded.SelectItems(Condition::True(), query_.merge_attribute()));
+            loaded->SelectItems(Condition::True(), query_.merge_attribute()));
         Observe(op.source, all_items);
-        relations_[op.target] = std::move(loaded);
+        relations_[op.target] = std::move(loaded).value();
         break;
       }
       case PlanOpKind::kLocalSelect: {
@@ -254,13 +402,16 @@ class PlanInterpreter {
   const SourceCatalog& catalog_;
   const FusionQuery& query_;
   const ExecOptions& options_;
+  exec_internal::FaultState* fault_;
   ExecutionReport& report_;
   std::vector<std::optional<ItemSet>> items_;
   std::vector<std::optional<Relation>> relations_;
   std::vector<int> defining_op_;
   size_t short_circuited_ = 0;
   double attributed_ = 0.0;  // ledger cost already assigned to some op
-  CallStats stats_;  // per-execution retry/cache counters
+  CallStats stats_;  // per-execution retry/cache/breaker counters
+  std::vector<char> degradable_;     // empty unless on_source_failure=kDegrade
+  std::vector<std::string> reasons_;  // non-empty iff op was ∅-substituted
 };
 
 }  // namespace
@@ -269,19 +420,23 @@ Result<ExecutionReport> ExecutePlan(const Plan& plan,
                                     const SourceCatalog& catalog,
                                     const FusionQuery& query,
                                     const ExecOptions& options) {
+  FUSION_RETURN_IF_ERROR(ValidateExecOptions(options));
   FUSION_RETURN_IF_ERROR(plan.Validate(query.num_conditions(), catalog.size()));
   ExecutionReport report;
   Tracer& tracer = Tracer::Global();
   report.trace.enabled = tracer.enabled();
   report.trace.start_us = tracer.NowMicros();
   const auto start = std::chrono::steady_clock::now();
+  // One fault state per execution: the deadline clock starts here, and the
+  // cost budget covers every ledger (all ops, failed attempts included).
+  exec_internal::FaultState fault(options);
   if (options.parallelism > 1 && !options.lazy_short_circuit) {
     FUSION_RETURN_IF_ERROR(
-        ExecutePlanParallel(plan, catalog, query, options, report));
+        ExecutePlanParallel(plan, catalog, query, options, &fault, report));
   } else {
     // parallelism == 1, or lazy mode: demand-driven evaluation is
     // inherently serial (its payoff is skipping work, not overlapping it).
-    PlanInterpreter interpreter(plan, catalog, query, options, report);
+    PlanInterpreter interpreter(plan, catalog, query, options, &fault, report);
     FUSION_RETURN_IF_ERROR(options.lazy_short_circuit ? interpreter.RunLazy()
                                                       : interpreter.RunEager());
   }

@@ -1,6 +1,10 @@
 #ifndef FUSION_EXEC_EXECUTOR_H_
 #define FUSION_EXEC_EXECUTOR_H_
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "common/item_set.h"
 #include "common/status.h"
 #include "obs/trace.h"
@@ -11,6 +15,52 @@
 #include "source/cost_ledger.h"
 
 namespace fusion {
+
+class SourceHealth;
+
+/// One source excluded from one condition's union by degraded-mode
+/// execution: every call to it was exhausted (retries spent, breaker open,
+/// or deadline hit) and the executor substituted ∅ for its contribution.
+struct SourceExclusion {
+  /// Condition index the exclusion applies to; -1 means the whole query
+  /// (a degraded load whose relation never fed a local selection).
+  int condition = -1;
+  int source = -1;  // catalog index
+  /// The final status that exhausted the source, e.g.
+  /// "Unavailable: circuit breaker open for source 'R2'".
+  std::string reason;
+};
+
+/// Completeness metadata for a (possibly partial) answer. The fusion answer
+/// is an intersection of per-condition unions U_i = ∪_j sq(c_i, R_j);
+/// dropping a source from some union can only *shrink* it, so every item
+/// that survives the intersection still provably satisfies every condition
+/// at some responding source. A degraded answer is therefore **sound**
+/// (no false positives) but possibly **incomplete** (items witnessed only
+/// by the excluded sources are missing).
+struct CompletenessReport {
+  /// True iff no source was excluded anywhere — the answer is the full one.
+  bool answer_complete = true;
+  /// Soundness of the partial answer. Always true on a returned report: the
+  /// executor refuses ∅-substitution at non-monotone plan positions (the
+  /// right side of a difference) and fails the query instead, because
+  /// shrinking a subtrahend could *add* items. Present so callers can
+  /// assert the invariant rather than trust it.
+  bool sound = true;
+  std::vector<SourceExclusion> excluded;
+  /// Plan-op indices whose results were substituted with ∅ (or an empty
+  /// relation). Lets consumers that walk the plan next to the ledger —
+  /// e.g. session statistics learning — skip ops that charged failed
+  /// attempts but produced no answer.
+  std::vector<int> degraded_ops;
+
+  /// Catalog indices excluded from `condition`'s union (deduplicated).
+  std::vector<int> ExcludedSources(int condition) const;
+  /// Human-readable account, one exclusion per line; names are optional
+  /// (indices are printed when a name vector is empty or short).
+  std::string ToString(const std::vector<std::string>& condition_names = {},
+                       const std::vector<std::string>& source_names = {}) const;
+};
 
 /// What actually happened when a plan ran against live sources.
 struct ExecutionReport {
@@ -31,6 +81,13 @@ struct ExecutionReport {
   /// nothing.
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Calls failed fast by an open circuit breaker (no round-trip issued, no
+  /// ledger charge). 0 unless ExecOptions::health is attached.
+  size_t breaker_fast_fails = 0;
+  /// Which sources (if any) were excluded under degraded-mode execution,
+  /// per condition — and the soundness contract of the partial answer.
+  /// `completeness.answer_complete` is true for every non-degraded run.
+  CompletenessReport completeness;
   /// Metered cost of each plan op, aligned with Plan::ops() (an emulated
   /// semijoin's probe charges are summed into its op). Lets the
   /// response-time analyzer compute the *measured* parallel makespan:
@@ -54,6 +111,52 @@ struct ExecutionReport {
   TraceHandle trace;
 };
 
+/// How source calls are retried and bounded. Subsumes the old bare
+/// `max_attempts`: attempts, exponential backoff with *deterministic* seeded
+/// jitter (identical seeds ⇒ identical retry schedules, under any executor),
+/// and a per-call timeout.
+struct RetryPolicy {
+  /// Total attempts per source call (1 = no retries). Transient failures
+  /// (kInternal, and per-call timeouts) are retried up to this many times;
+  /// permanent errors (kUnsupported, kUnavailable, schema problems) are
+  /// not. Every attempt's cost stays on the ledger — retries are not free.
+  int max_attempts = 1;
+  /// Sleep before the first re-attempt; doubles (see multiplier) per
+  /// further attempt. 0 (default) = immediate retries, as before.
+  double initial_backoff_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+  /// Upper bound on a single backoff sleep (0 = uncapped).
+  double max_backoff_seconds = 1.0;
+  /// Symmetric jitter: each sleep is scaled by a factor in
+  /// [1 - jitter_fraction, 1 + jitter_fraction], computed *deterministically*
+  /// from (jitter_seed, source index, attempt) — no shared RNG stream, so
+  /// parallel executors cannot perturb the schedule. Range [0, 1).
+  double jitter_fraction = 0.0;
+  uint64_t jitter_seed = 1;
+  /// When > 0, an attempt whose wall-clock duration exceeds this is treated
+  /// as a timeout failure (kDeadlineExceeded, retriable) even if an answer
+  /// eventually arrived — a real mediator would have hung up. This is what
+  /// makes slow sources trip the per-query deadline and the breaker.
+  double call_timeout_seconds = 0.0;
+
+  /// The (jittered, capped) sleep before re-attempt `attempt` (1-based).
+  /// Pure function of the policy, the source, and the attempt number.
+  double BackoffSeconds(size_t source_index, int attempt) const;
+};
+
+/// What the executor does when a source call is *exhausted* — retries spent
+/// on a transient failure, a permanent kUnavailable (source down or circuit
+/// breaker open), or the per-query deadline/cost budget hit.
+enum class SourceFailurePolicy {
+  /// Fail the whole query with the source's error (the classic behavior).
+  kFail,
+  /// Substitute ∅ for the failed sq/sjq/lq leaf and keep going, returning a
+  /// sound partial answer with a CompletenessReport naming the excluded
+  /// sources. Substitution is refused (the query still fails) at plan
+  /// positions where ∅ is not provably sound — see CompletenessReport.
+  kDegrade,
+};
+
 /// Runtime options for plan execution.
 struct ExecOptions {
   /// Lazy, demand-driven evaluation with sound short-circuits: a semijoin
@@ -64,11 +167,24 @@ struct ExecOptions {
   /// only the (metered) work can shrink. This is runtime adaptivity the
   /// optimizer cannot plan for, since it depends on actual data.
   bool lazy_short_circuit = false;
-  /// Total attempts per source call (1 = no retries). Transient failures
-  /// (StatusCode::kInternal, e.g. injected by FlakySource) are retried up to
-  /// this many times; permanent errors (kUnsupported, schema problems) are
-  /// not. Every attempt's cost stays on the ledger — retries are not free.
-  int max_attempts = 1;
+  /// Per-call retry/backoff/timeout policy (retry.max_attempts was
+  /// previously ExecOptions::max_attempts).
+  RetryPolicy retry;
+  /// Wall-clock budget for the whole execution (0 = none). Once exceeded,
+  /// further source calls and backoff sleeps fail fast with
+  /// kDeadlineExceeded; an in-flight call is not interrupted, so total
+  /// wall clock is bounded by deadline + one call duration.
+  double deadline_seconds = 0.0;
+  /// Metered-cost budget for the whole execution (0 = none). Checked before
+  /// each source call against the cost charged so far (all ledgers,
+  /// failed attempts included).
+  double cost_budget = 0.0;
+  /// Whether an exhausted source fails the query or degrades the answer.
+  SourceFailurePolicy on_source_failure = SourceFailurePolicy::kFail;
+  /// Optional shared per-source circuit breakers (see exec/source_health.h).
+  /// Typically owned by a QuerySession so one query's failures fast-fail the
+  /// next query's calls. Null = no breaker.
+  SourceHealth* health = nullptr;
   /// Optional memo of selection-query answers shared across executions
   /// (see SourceCallCache). Cached hits cost nothing and appear in the
   /// report's cache statistics rather than the ledger. The cache is
@@ -92,6 +208,13 @@ struct ExecOptions {
   /// theoretical critical-path makespan. 0 (default) = no artificial delay.
   double simulated_seconds_per_cost = 0.0;
 };
+
+/// Rejects nonsensical options with kInvalidArgument before any source is
+/// contacted: retry.max_attempts < 1, parallelism < 1, negative
+/// simulated_seconds_per_cost / deadline / budget / backoff / timeout,
+/// backoff_multiplier < 1, jitter_fraction outside [0, 1). Called by
+/// ExecutePlan; exposed for callers that want to validate eagerly.
+Status ValidateExecOptions(const ExecOptions& options);
 
 /// The mediator's plan interpreter: runs `plan` for `query` against the
 /// catalog's sources, metering every source interaction. Semijoin queries to

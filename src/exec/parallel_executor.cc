@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/exec_internal.h"
+#include "exec/source_health.h"
 #include "exec/thread_pool.h"
 
 namespace fusion {
@@ -19,21 +20,23 @@ using exec_internal::CallStats;
 /// One plan execution scheduled over a worker pool.
 ///
 /// Concurrency design: each op evaluates into op-private state (its own
-/// sub-ledger, observation set, and SSA target variable), so workers never
-/// write shared locations. The scheduler mutex orders an op's completion
-/// before the dispatch of its dependents, which makes the dependents' reads
-/// of the op's outputs race-free. All op-private state is merged into the
-/// report single-threaded, in plan-op order, after the pool has joined —
-/// reproducing the sequential interpreter's ledger charge-for-charge.
+/// sub-ledger, observation set, stats, degradation slot, and SSA target
+/// variable), so workers never write shared locations. The scheduler mutex
+/// orders an op's completion before the dispatch of its dependents, which
+/// makes the dependents' reads of the op's outputs race-free. All op-private
+/// state is merged into the report single-threaded, in plan-op order, after
+/// the pool has joined — reproducing the sequential interpreter's ledger
+/// charge-for-charge.
 class ParallelPlanRun {
  public:
   ParallelPlanRun(const Plan& plan, const SourceCatalog& catalog,
                   const FusionQuery& query, const ExecOptions& options,
-                  ExecutionReport& report)
+                  exec_internal::FaultState* fault, ExecutionReport& report)
       : plan_(plan),
         catalog_(catalog),
         query_(query),
         options_(options),
+        fault_(fault),
         report_(report) {
     const size_t num_ops = plan.num_ops();
     const size_t num_vars = plan.vars().size();
@@ -43,6 +46,10 @@ class ParallelPlanRun {
     op_stats_.resize(num_ops);
     op_observed_.assign(num_ops, ItemSet());
     op_emulated_.assign(num_ops, 0);
+    op_reasons_.assign(num_ops, "");
+    if (options.on_source_failure == SourceFailurePolicy::kDegrade) {
+      degradable_ = exec_internal::DegradableOps(plan);
+    }
     dependents_.assign(num_ops, {});
     pending_.assign(num_ops, 0);
     BuildDependencies();
@@ -89,6 +96,9 @@ class ParallelPlanRun {
     report_.retries_total = stats.retries;
     report_.cache_hits = stats.cache_hits;
     report_.cache_misses = stats.cache_misses;
+    report_.breaker_fast_fails = stats.breaker_fast_fails;
+    exec_internal::BuildCompletenessReport(plan_, op_reasons_,
+                                           &report_.completeness);
     return Status::Ok();
   }
 
@@ -125,10 +135,12 @@ class ParallelPlanRun {
   /// Requires mu_ held.
   void Dispatch(size_t k) {
     ++scheduled_;
-    pool_->Submit([this, k] { RunOp(k); });
+    // The pool pointer rides in the task (not read from the member) so the
+    // backoff-compensation hook needs no lock in the workers.
+    pool_->Submit([this, k, pool = pool_] { RunOp(k, pool); });
   }
 
-  void RunOp(size_t k) {
+  void RunOp(size_t k, ThreadPool* pool) {
     Status status;
     {
       // The plan_op span covers the evaluation *and* the simulated-latency
@@ -145,9 +157,10 @@ class ParallelPlanRun {
         }
         if (op.cond >= 0) span.AddAttr("cond", static_cast<int64_t>(op.cond));
       }
-      status = EvalOp(k);
+      status = EvalOp(k, pool);
       if (status.ok()) {
         span.AddAttr("cost", op_ledgers_[k].total());
+        if (!op_reasons_[k].empty()) span.AddAttr("degraded", op_reasons_[k]);
         // The op "takes" as long as it cost (scaled); dependents and the
         // next query to this source wait for completion, so makespans
         // compose.
@@ -171,10 +184,45 @@ class ParallelPlanRun {
     done_cv_.notify_all();
   }
 
+  /// The fault-tolerance call context for op k's source interactions.
+  CallContext ContextFor(const char* op_name, const SourceWrapper& src,
+                         size_t k, int source, CostLedger& ledger,
+                         ThreadPool* pool) {
+    CallContext ctx;
+    ctx.op = op_name;
+    ctx.source_name = &src.name();
+    ctx.ledger = &ledger;
+    ctx.stats = &op_stats_[k];
+    ctx.retry = &options_.retry;
+    ctx.fault = fault_;
+    ctx.health = options_.health;
+    ctx.source_index = source;
+    ctx.blocking_pool = pool;
+    return ctx;
+  }
+
+  /// Degraded-mode absorption (op-private: each op writes only its own
+  /// reason slot). See PlanInterpreter::HandleSourceFailure.
+  Status HandleSourceFailure(size_t k, const PlanOp& op, const Status& status) {
+    if (options_.on_source_failure != SourceFailurePolicy::kDegrade ||
+        degradable_.empty() || degradable_[k] == 0 ||
+        !exec_internal::IsDegradableFailure(status)) {
+      return status;
+    }
+    op_reasons_[k] = status.ToString();
+    if (op.kind == PlanOpKind::kLoad) {
+      relations_[op.target] = Relation(
+          catalog_.source(static_cast<size_t>(op.source)).schema());
+    } else {
+      items_[op.target] = ItemSet();
+    }
+    return Status::Ok();
+  }
+
   /// Evaluates one op whose dependencies are complete. Mirrors the eager
   /// branch of the sequential interpreter op-for-op; all writes go to
   /// op-private slots (ledger, observations, the SSA target variable).
-  Status EvalOp(size_t k) {
+  Status EvalOp(size_t k, ThreadPool* pool) {
     const PlanOp& op = plan_.ops()[k];
     CostLedger& ledger = op_ledgers_[k];
     switch (op.kind) {
@@ -182,13 +230,12 @@ class ParallelPlanRun {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
         const Condition& cond =
             query_.conditions()[static_cast<size_t>(op.cond)];
-        FUSION_ASSIGN_OR_RETURN(
-            ItemSet result,
-            exec_internal::CachedSelect(src, static_cast<size_t>(op.source),
-                                        cond, query_.merge_attribute(),
-                                        options_, ledger, &op_stats_[k]));
-        op_observed_[k] = result;
-        items_[op.target] = std::move(result);
+        Result<ItemSet> result = exec_internal::CachedSelect(
+            src, cond, query_.merge_attribute(), options_, ledger,
+            ContextFor("sq", src, k, op.source, ledger, pool));
+        if (!result.ok()) return HandleSourceFailure(k, op, result.status());
+        op_observed_[k] = *result;
+        items_[op.target] = std::move(result).value();
         break;
       }
       case PlanOpKind::kSemiJoin: {
@@ -198,31 +245,28 @@ class ParallelPlanRun {
             query_.conditions()[static_cast<size_t>(op.cond)];
         switch (src.capabilities().semijoin) {
           case SemijoinSupport::kNative: {
-            CallContext ctx;
-            ctx.op = "sjq";
-            ctx.source_name = &src.name();
-            ctx.ledger = &ledger;
-            ctx.stats = &op_stats_[k];
-            FUSION_ASSIGN_OR_RETURN(
-                ItemSet result,
-                exec_internal::CallWithRetries(
-                    [&] {
-                      return src.SemiJoin(cond, query_.merge_attribute(),
-                                          candidates, &ledger);
-                    },
-                    options_.max_attempts, ctx));
-            op_observed_[k] = result;
-            items_[op.target] = std::move(result);
+            Result<ItemSet> result = exec_internal::CallWithRetries(
+                [&] {
+                  return src.SemiJoin(cond, query_.merge_attribute(),
+                                      candidates, &ledger);
+                },
+                ContextFor("sjq", src, k, op.source, ledger, pool));
+            if (!result.ok()) {
+              return HandleSourceFailure(k, op, result.status());
+            }
+            op_observed_[k] = *result;
+            items_[op.target] = std::move(result).value();
             break;
           }
           case SemijoinSupport::kPassedBindingsOnly: {
-            FUSION_ASSIGN_OR_RETURN(
-                ItemSet result,
-                exec_internal::EmulateSemiJoin(
-                    src, cond, query_.merge_attribute(), candidates,
-                    options_.max_attempts, ledger, &op_stats_[k]));
-            op_observed_[k] = result;
-            items_[op.target] = std::move(result);
+            Result<ItemSet> result = exec_internal::EmulateSemiJoin(
+                src, cond, query_.merge_attribute(), candidates,
+                ContextFor("probe", src, k, op.source, ledger, pool), ledger);
+            if (!result.ok()) {
+              return HandleSourceFailure(k, op, result.status());
+            }
+            op_observed_[k] = *result;
+            items_[op.target] = std::move(result).value();
             op_emulated_[k] = 1;
             static Counter& emulated = MetricsRegistry::Global().counter(
                 metrics::kEmulatedSemijoins);
@@ -238,20 +282,15 @@ class ParallelPlanRun {
       }
       case PlanOpKind::kLoad: {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
-        CallContext ctx;
-        ctx.op = "lq";
-        ctx.source_name = &src.name();
-        ctx.ledger = &ledger;
-        ctx.stats = &op_stats_[k];
-        FUSION_ASSIGN_OR_RETURN(
-            Relation loaded,
-            exec_internal::CallWithRetries([&] { return src.Load(&ledger); },
-                                           options_.max_attempts, ctx));
+        Result<Relation> loaded = exec_internal::CallWithRetries(
+            [&] { return src.Load(&ledger); },
+            ContextFor("lq", src, k, op.source, ledger, pool));
+        if (!loaded.ok()) return HandleSourceFailure(k, op, loaded.status());
         FUSION_ASSIGN_OR_RETURN(
             ItemSet all_items,
-            loaded.SelectItems(Condition::True(), query_.merge_attribute()));
+            loaded->SelectItems(Condition::True(), query_.merge_attribute()));
         op_observed_[k] = std::move(all_items);
-        relations_[op.target] = std::move(loaded);
+        relations_[op.target] = std::move(loaded).value();
         break;
       }
       case PlanOpKind::kLocalSelect: {
@@ -296,10 +335,12 @@ class ParallelPlanRun {
   const SourceCatalog& catalog_;
   const FusionQuery& query_;
   const ExecOptions& options_;
+  exec_internal::FaultState* fault_;
   ExecutionReport& report_;
 
   // Dependency DAG (immutable after construction).
   std::vector<std::vector<int>> dependents_;
+  std::vector<char> degradable_;  // empty unless on_source_failure=kDegrade
 
   // Op-private result slots; written by exactly one worker each.
   std::vector<std::optional<ItemSet>> items_;        // per SSA variable
@@ -308,6 +349,7 @@ class ParallelPlanRun {
   std::vector<CallStats> op_stats_;
   std::vector<ItemSet> op_observed_;
   std::vector<char> op_emulated_;
+  std::vector<std::string> op_reasons_;  // non-empty iff op ∅-substituted
 
   // Scheduler state, guarded by mu_.
   std::mutex mu_;
@@ -324,8 +366,9 @@ class ParallelPlanRun {
 
 Status ExecutePlanParallel(const Plan& plan, const SourceCatalog& catalog,
                            const FusionQuery& query, const ExecOptions& options,
+                           exec_internal::FaultState* fault,
                            ExecutionReport& report) {
-  ParallelPlanRun run(plan, catalog, query, options, report);
+  ParallelPlanRun run(plan, catalog, query, options, fault, report);
   return run.Run();
 }
 

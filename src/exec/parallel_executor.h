@@ -9,6 +9,10 @@
 
 namespace fusion {
 
+namespace exec_internal {
+class FaultState;
+}  // namespace exec_internal
+
 /// Dependency-scheduled parallel plan execution (the realization of the
 /// response-time model in plan/response_time.h): walks the plan's op DAG
 /// with a thread pool of options.parallelism workers, dispatching every
@@ -23,8 +27,15 @@ namespace fusion {
 /// plan-op order, so even floating-point totals match) are the same; only
 /// wall-clock time shrinks. Called through ExecutePlan when
 /// options.parallelism > 1; `report` is filled on success.
+///
+/// Fault tolerance mirrors the sequential path: `fault` carries the shared
+/// per-query deadline / cost budget, retry backoff sleeps release their
+/// worker slot (ThreadPool::BeginBlocking), and under kDegrade each op
+/// absorbs its own source failure into an op-private exclusion slot, merged
+/// into report.completeness after the pool joins.
 Status ExecutePlanParallel(const Plan& plan, const SourceCatalog& catalog,
                            const FusionQuery& query, const ExecOptions& options,
+                           exec_internal::FaultState* fault,
                            ExecutionReport& report);
 
 }  // namespace fusion

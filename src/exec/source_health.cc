@@ -1,0 +1,110 @@
+#include "exec/source_health.h"
+
+#include "obs/metrics.h"
+
+namespace fusion {
+
+SourceHealth::Breaker& SourceHealth::BreakerFor(size_t source) {
+  if (source >= breakers_.size()) breakers_.resize(source + 1);
+  return breakers_[source];
+}
+
+void SourceHealth::PublishState(const Breaker& breaker,
+                                const std::string* source_name) {
+  if (source_name == nullptr) return;
+  MetricsRegistry::Global()
+      .gauge(metrics::BreakerStateGaugeName(*source_name))
+      .Set(static_cast<double>(breaker.state));
+}
+
+SourceHealth::Admission SourceHealth::Admit(size_t source,
+                                            const std::string* source_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = BreakerFor(source);
+  switch (b.state) {
+    case BreakerState::kClosed:
+      return {true, false};
+    case BreakerState::kHalfOpen:
+      // The probe slot is taken; everyone else keeps failing fast until the
+      // probe settles (no stampede on a barely-recovered source).
+      break;
+    case BreakerState::kOpen:
+      if (++b.rejections_since_open > options_.open_cooldown_rejections) {
+        b.state = BreakerState::kHalfOpen;
+        b.probe_in_flight = true;
+        PublishState(b, source_name);
+        return {true, true};
+      }
+      break;
+  }
+  ++b.fast_fails;
+  static Counter& fast_fails =
+      MetricsRegistry::Global().counter(metrics::kBreakerFastFailsTotal);
+  fast_fails.Increment();
+  return {false, false};
+}
+
+void SourceHealth::RecordSuccess(size_t source,
+                                 const std::string* source_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = BreakerFor(source);
+  b.consecutive_failures = 0;
+  if (b.state != BreakerState::kClosed) {
+    b.state = BreakerState::kClosed;
+    b.probe_in_flight = false;
+    b.rejections_since_open = 0;
+    PublishState(b, source_name);
+  }
+}
+
+void SourceHealth::RecordFailure(size_t source,
+                                 const std::string* source_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = BreakerFor(source);
+  switch (b.state) {
+    case BreakerState::kClosed:
+      if (++b.consecutive_failures >= options_.failure_threshold) {
+        b.state = BreakerState::kOpen;
+        b.rejections_since_open = 0;
+        static Counter& opens =
+            MetricsRegistry::Global().counter(metrics::kBreakerOpensTotal);
+        opens.Increment();
+        PublishState(b, source_name);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // The probe failed: back to a full cool-down.
+      b.state = BreakerState::kOpen;
+      b.probe_in_flight = false;
+      b.rejections_since_open = 0;
+      PublishState(b, source_name);
+      break;
+    case BreakerState::kOpen:
+      break;  // late failure report from a call admitted before opening
+  }
+}
+
+SourceHealth::BreakerState SourceHealth::state(size_t source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (source >= breakers_.size()) return BreakerState::kClosed;
+  return breakers_[source].state;
+}
+
+int SourceHealth::consecutive_failures(size_t source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (source >= breakers_.size()) return 0;
+  return breakers_[source].consecutive_failures;
+}
+
+size_t SourceHealth::fast_fails(size_t source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (source >= breakers_.size()) return 0;
+  return breakers_[source].fast_fails;
+}
+
+void SourceHealth::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  breakers_.clear();
+}
+
+}  // namespace fusion

@@ -31,6 +31,29 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::BeginBlocking() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++blocked_;
+  // One replacement worker per concurrently blocked task keeps the number
+  // of *runnable* workers at the configured parallelism. Compensation
+  // workers are never retired early — they idle on the queue and join with
+  // everyone else at destruction (a plan-scoped pool is short-lived).
+  if (spawned_for_blocking_ < blocked_) {
+    ++spawned_for_blocking_;
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::EndBlocking() {
+  std::unique_lock<std::mutex> lock(mu_);
+  --blocked_;
+}
+
+size_t ThreadPool::num_threads() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -33,15 +33,28 @@ class ThreadPool {
   /// Enqueues a task. Must not be called after the destructor has begun.
   void Submit(std::function<void()> task);
 
-  size_t num_threads() const { return workers_.size(); }
+  /// Declares that the calling task is about to block *off-CPU* for a while
+  /// (a retry backoff sleep, not a source round-trip) and should not hold
+  /// one of the pool's execution slots while it does. The pool compensates
+  /// by spawning one replacement worker (at most one per concurrently
+  /// blocked task), so ready work keeps draining at the configured
+  /// parallelism even while calls back off. Must be paired with
+  /// EndBlocking from the same task, and — like Submit — must not be called
+  /// once the destructor has begun (the executor joins all tasks first).
+  void BeginBlocking();
+  void EndBlocking();
+
+  size_t num_threads() const;
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  size_t blocked_ = 0;    // tasks currently inside Begin/EndBlocking
+  size_t spawned_for_blocking_ = 0;  // compensation workers created
   std::vector<std::thread> workers_;
 };
 

@@ -56,6 +56,10 @@ void QuerySession::Learn(const FusionQuery& query, const OptimizedPlan& plan,
   // answer size of that selection).
   size_t charge_idx = 0;
   const auto& charges = report.ledger.charges();
+  // Ops ∅-substituted by degraded-mode execution charged their failed
+  // attempts (per_op_cost > 0) but produced no successful charge — walking
+  // them would misalign every later op's charge. Skip them outright.
+  const std::vector<int>& degraded = report.completeness.degraded_ops;
   // Advances to the next successful sq charge (skipping failed-attempt
   // charges injected by flaky sources and non-selection kinds).
   auto next_select_charge = [&]() -> const Charge* {
@@ -74,6 +78,10 @@ void QuerySession::Learn(const FusionQuery& query, const OptimizedPlan& plan,
     // Cache hits and lazily skipped selections issue no charge; there is
     // nothing new to learn from them.
     if (k >= report.per_op_cost.size() || report.per_op_cost[k] <= 0.0) {
+      continue;
+    }
+    if (std::find(degraded.begin(), degraded.end(), static_cast<int>(k)) !=
+        degraded.end()) {
       continue;
     }
     const Charge* charge = next_select_charge();
@@ -118,9 +126,15 @@ Result<QueryAnswer> QuerySession::Answer(const FusionQuery& raw_query) {
 
   ExecOptions exec = options_.execution;
   exec.cache = &cache_;
+  if (exec.health == nullptr) exec.health = &health_;
   Result<ExecutionReport> execution_or = [&]() -> Result<ExecutionReport> {
     ScopedSpan span(SpanCategory::kPhase, "execute");
-    if (span.active()) span.AddAttr("ops", optimized.plan.num_ops());
+    if (span.active()) {
+      span.AddAttr("ops", optimized.plan.num_ops());
+      if (exec.on_source_failure == SourceFailurePolicy::kDegrade) {
+        span.AddAttr("on_source_failure", "degrade");
+      }
+    }
     return ExecutePlan(optimized.plan, mediator_.catalog(), query, exec);
   }();
   FUSION_ASSIGN_OR_RETURN(ExecutionReport execution, std::move(execution_or));

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "exec/source_call_cache.h"
+#include "exec/source_health.h"
 #include "mediator/mediator.h"
 
 namespace fusion {
@@ -21,7 +22,11 @@ namespace fusion {
 ///    execution observations*: every executed selection reveals the true
 ///    result size, so later queries plan with measured statistics instead
 ///    of estimates. No oracle access is needed anywhere — this is the
-///    deployment configuration for sources behind the wrapper protocol.
+///    deployment configuration for sources behind the wrapper protocol;
+///  - **source-health memory** — per-source circuit breakers (see
+///    exec/source_health.h) are shared across the session's queries, so a
+///    source that exhausted one query's retries fails the next query's
+///    calls fast instead of re-paying the whole retry ladder.
 ///
 /// The statistics-feedback loop makes the session a simple learning
 /// optimizer: plans approach oracle quality as the session observes more
@@ -34,7 +39,11 @@ class QuerySession {
   struct Options {
     OptimizerStrategy strategy = OptimizerStrategy::kSjaPlus;
     PostOptOptions postopt;
-    ExecOptions execution;  // session cache is attached automatically
+    /// Session cache and circuit breakers are attached automatically
+    /// (execution.health, when left null, becomes the session's own).
+    ExecOptions execution;
+    /// Breaker thresholds for the session-owned SourceHealth.
+    SourceHealth::Options health;
     /// Priors used for conditions never seen before (fraction of a source's
     /// cardinality assumed to satisfy an unknown condition).
     double default_selectivity = 0.2;
@@ -45,7 +54,9 @@ class QuerySession {
   };
 
   QuerySession(Mediator mediator, const Options& options)
-      : mediator_(std::move(mediator)), options_(options) {}
+      : mediator_(std::move(mediator)),
+        options_(options),
+        health_(options.health) {}
 
   /// Optimizes with session statistics, executes with the session cache,
   /// and folds the execution's observations back into the statistics.
@@ -54,6 +65,7 @@ class QuerySession {
 
   const Mediator& mediator() const { return mediator_; }
   const SourceCallCache& cache() const { return cache_; }
+  const SourceHealth& health() const { return health_; }
   size_t observed_conditions() const { return observed_result_size_.size(); }
 
  private:
@@ -69,6 +81,7 @@ class QuerySession {
   Mediator mediator_;
   Options options_;
   SourceCallCache cache_;
+  SourceHealth health_;
 
   // Session knowledge. Keys use canonical condition text.
   std::map<std::pair<size_t, std::string>, double> observed_result_size_;

@@ -134,5 +134,9 @@ const char* SourceCallCounterName(const char* op) {
   return kSourceCallsSq;
 }
 
+std::string BreakerStateGaugeName(const std::string& source_name) {
+  return "breaker_state." + source_name;
+}
+
 }  // namespace metrics
 }  // namespace fusion

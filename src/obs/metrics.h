@@ -124,6 +124,10 @@ inline constexpr char kSourceCallsLq[] = "source_calls_total.lq";
 inline constexpr char kSourceCallsFetch[] = "source_calls_total.fetch";
 inline constexpr char kSourceCallCost[] = "source_call_cost";  // histogram
 inline constexpr char kRetriesTotal[] = "retries_total";
+inline constexpr char kBackoffSleepsTotal[] = "backoff_sleeps_total";
+inline constexpr char kDeadlineExceededTotal[] = "deadline_exceeded_total";
+inline constexpr char kBreakerOpensTotal[] = "breaker_opens_total";
+inline constexpr char kBreakerFastFailsTotal[] = "breaker_fast_fails_total";
 inline constexpr char kCacheHits[] = "cache_hits_total";
 inline constexpr char kCacheMisses[] = "cache_misses_total";
 inline constexpr char kCacheFlightWaits[] = "cache_flight_waits_total";
@@ -138,6 +142,10 @@ inline constexpr char kRpcServerRequests[] = "rpc_server_requests_total";
 /// Maps a CallWithRetries op tag ("sq"/"sjq"/"probe"/"lq"/"fetch") to its
 /// source_calls_total counter name.
 const char* SourceCallCounterName(const char* op);
+
+/// Per-source circuit breaker state gauge name ("breaker_state.<source>");
+/// values follow SourceHealth::BreakerState (0 closed, 1 half-open, 2 open).
+std::string BreakerStateGaugeName(const std::string& source_name);
 
 }  // namespace metrics
 

@@ -1,18 +1,34 @@
 #include "source/flaky_source.h"
 
+#include <chrono>
+#include <cstring>
+#include <thread>
+
 #include "source/simulated_source.h"
 
 namespace fusion {
 
 Status FlakySource::MaybeFail(const char* operation, CostLedger* ledger) {
+  if (options_.target_operation != nullptr &&
+      std::strcmp(options_.target_operation, operation) != 0) {
+    return Status::Ok();  // untargeted op: no decision consumed, no delay
+  }
+  if (options_.injected_latency_seconds > 0.0) {
+    // Outside the mutex: a slow source delays its callers, not its peers.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.injected_latency_seconds));
+  }
   bool fail;
+  bool outage;
   {
     // One atomic decision per call: the counter increment and the RNG draw
     // must not interleave with another attempt's, or retries could lose
     // counts / tear the deterministic failure stream.
     std::lock_guard<std::mutex> lock(mu_);
     const size_t call_index = calls_attempted_++;
-    fail = call_index < options_.fail_first_k ||
+    outage = call_index >= options_.outage_start &&
+             call_index < options_.outage_end;
+    fail = outage || call_index < options_.fail_first_k ||
            rng_.Bernoulli(options_.failure_probability);
     if (fail) ++calls_failed_;
   }
@@ -27,8 +43,14 @@ Status FlakySource::MaybeFail(const char* operation, CostLedger* ledger) {
     charge.cost = sim != nullptr ? sim->network().query_overhead : 0.0;
     ledger->Add(std::move(charge));
   }
-  return Status::Internal(std::string("transient failure at source '") +
-                          inner_->name() + "' during " + operation);
+  if (outage) {
+    return Status(options_.outage_code,
+                  std::string("source '") + inner_->name() +
+                      "' is down (outage) during " + operation);
+  }
+  return Status(options_.failure_code,
+                std::string("transient failure at source '") +
+                    inner_->name() + "' during " + operation);
 }
 
 Result<ItemSet> FlakySource::Select(const Condition& cond,

@@ -33,6 +33,26 @@ class FlakySource : public SourceWrapper {
     /// The first k calls fail deterministically (for targeted tests).
     size_t fail_first_k = 0;
     uint64_t seed = 1;
+    /// Status code of an injected *transient* failure. kInternal (the
+    /// default) is what the executor's retry policy re-attempts; tests use
+    /// other codes to assert that only transients are retried.
+    StatusCode failure_code = StatusCode::kInternal;
+    /// Outage window: calls with index in [outage_start, outage_end) fail
+    /// with `outage_code` — a *permanent* failure (retries don't help while
+    /// the source is down; the circuit breaker is the right tool). The
+    /// default empty window injects no outage.
+    size_t outage_start = 0;
+    size_t outage_end = 0;
+    StatusCode outage_code = StatusCode::kUnavailable;
+    /// When non-null, only this operation ("sq", "sjq", "lq", "fetch") is
+    /// subject to failure injection and latency; other operations pass
+    /// through without consuming a call index or an RNG decision. Must
+    /// point at a string with static storage duration.
+    const char* target_operation = nullptr;
+    /// Wall-clock delay added to every (targeted) call, successful or not —
+    /// slow sources are how per-call timeouts get exercised. Applied
+    /// outside the decision mutex, so parallel calls still overlap.
+    double injected_latency_seconds = 0.0;
   };
 
   FlakySource(std::unique_ptr<SourceWrapper> inner, const Options& options)
@@ -70,7 +90,9 @@ class FlakySource : public SourceWrapper {
 
  private:
   /// Returns non-OK (and meters the wasted round trip) when this call is
-  /// chosen to fail.
+  /// chosen to fail — transiently (failure_code), or permanently while
+  /// inside the outage window (outage_code). Also applies the injected
+  /// latency. Operations not matching `target_operation` pass untouched.
   Status MaybeFail(const char* operation, CostLedger* ledger);
 
   std::unique_ptr<SourceWrapper> inner_;

@@ -144,7 +144,7 @@ TEST_P(FlakyMatrixTest, RetriesKeepAnswersCorrectUnderTransientFailures) {
   MediatorOptions options;
   options.strategy = strategy;
   options.statistics = StatisticsMode::kOracle;
-  options.execution.max_attempts = 8;
+  options.execution.retry.max_attempts = 8;
   const auto answer = mediator.Answer(query, options);
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   EXPECT_EQ(answer->items, expected);

@@ -394,7 +394,7 @@ TEST(ObsExecutionTest, RetriesSurfaceOnReportAndKeepSpanInvariant) {
 
   ScopedTracing tracing;
   ExecOptions options;
-  options.max_attempts = 4;
+  options.retry.max_attempts = 4;
   const auto report = ExecutePlan(plan, flaky, instance->query, options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->retries_total, 2u);

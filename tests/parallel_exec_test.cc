@@ -311,9 +311,9 @@ TEST(ParallelExecStressTest, HundredFlakyExecutionsMatchSequentialTwin) {
 
   ExecOptions par_options;
   par_options.parallelism = 8;
-  par_options.max_attempts = 10;
+  par_options.retry.max_attempts = 10;
   ExecOptions seq_options;
-  seq_options.max_attempts = 10;
+  seq_options.retry.max_attempts = 10;
 
   for (int i = 0; i < kExecutions; ++i) {
     const auto par =

@@ -1,10 +1,17 @@
-// Failure-injection tests: transient source failures (FlakySource) and the
-// executor's retry policy, including the cost accounting of failed attempts.
+// Failure-injection tests: transient source failures (FlakySource), the
+// executor's retry/backoff policy, option validation, and the retry × cache
+// interaction — including the cost accounting of failed attempts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "exec/executor.h"
+#include "exec/source_call_cache.h"
 #include "mediator/mediator.h"
 #include "optimizer/filter.h"
 #include "relational/reference_evaluator.h"
@@ -91,6 +98,58 @@ TEST(FlakySourceTest, FailuresAreSeedDeterministic) {
   }
 }
 
+TEST(FlakySourceTest, OutageWindowFailsPermanently) {
+  FlakySource::Options options;
+  options.outage_start = 1;
+  options.outage_end = 3;  // calls 1 and 2 are down; 0 and 3+ are fine
+  auto src = MakeFlaky(options);
+  EXPECT_TRUE(src->Select(Condition::True(), "L", nullptr).ok());
+  const auto down = src->Select(Condition::True(), "L", nullptr);
+  ASSERT_FALSE(down.ok());
+  EXPECT_EQ(down.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(src->Select(Condition::True(), "L", nullptr).ok());
+  EXPECT_TRUE(src->Select(Condition::True(), "L", nullptr).ok());
+}
+
+TEST(FlakySourceTest, TransientAndOutageCodesAreDistinct) {
+  FlakySource::Options transient;
+  transient.fail_first_k = 1;
+  auto a = MakeFlaky(transient);
+  EXPECT_EQ(a->Select(Condition::True(), "L", nullptr).status().code(),
+            StatusCode::kInternal);
+
+  FlakySource::Options outage;
+  outage.outage_end = std::numeric_limits<size_t>::max();
+  auto b = MakeFlaky(outage);
+  EXPECT_EQ(b->Select(Condition::True(), "L", nullptr).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(FlakySourceTest, TargetedOperationLeavesOthersAlone) {
+  FlakySource::Options options;
+  options.fail_first_k = 100;
+  options.target_operation = "lq";
+  auto src = MakeFlaky(options);
+  // sq passes untouched and consumes no failure decision...
+  EXPECT_TRUE(src->Select(Condition::True(), "L", nullptr).ok());
+  EXPECT_EQ(src->calls_attempted(), 0u);
+  // ...while lq is on the failure budget.
+  EXPECT_FALSE(src->Load(nullptr).ok());
+  EXPECT_EQ(src->calls_attempted(), 1u);
+}
+
+TEST(FlakySourceTest, InjectedLatencyDelaysCalls) {
+  FlakySource::Options options;
+  options.injected_latency_seconds = 0.02;
+  auto src = MakeFlaky(options);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(src->Select(Condition::True(), "L", nullptr).ok());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.02);
+}
+
 // ---------------------------------------------------------------------------
 // Executor retries
 // ---------------------------------------------------------------------------
@@ -143,7 +202,7 @@ TEST(RetryTest, RetriesRecoverFromTransientFailures) {
   options.fail_first_k = 1;
   const SourceCatalog catalog = FlakyCatalog(options);
   ExecOptions exec;
-  exec.max_attempts = 3;
+  exec.retry.max_attempts = 3;
   const auto report =
       ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -161,7 +220,7 @@ TEST(RetryTest, RetriesExhaustEventually) {
   options.fail_first_k = 100;  // fails more times than we retry
   const SourceCatalog catalog = FlakyCatalog(options);
   ExecOptions exec;
-  exec.max_attempts = 3;
+  exec.retry.max_attempts = 3;
   const auto report =
       ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
   EXPECT_FALSE(report.ok());
@@ -183,10 +242,212 @@ TEST(RetryTest, PermanentErrorsAreNotRetried) {
   const int s = plan.EmitSemiJoin(1, 0, a);
   plan.SetResult(s);
   ExecOptions exec;
-  exec.max_attempts = 5;
+  exec.retry.max_attempts = 5;
   const auto report = ExecutePlan(plan, catalog, DuiSpQuery(), exec);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(RetryTest, PermanentUnavailableIsNotRetried) {
+  // A source in outage fails with kUnavailable: retrying cannot help, so the
+  // executor must not burn the retry ladder (one attempt, one wasted charge).
+  FlakySource::Options options;
+  options.outage_end = std::numeric_limits<size_t>::max();
+  SourceCatalog catalog = FlakyCatalog(options);
+  ExecOptions exec;
+  exec.retry.max_attempts = 5;
+  const auto report =
+      ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnavailable);
+  const auto* flaky = dynamic_cast<const FlakySource*>(&catalog.source(0));
+  ASSERT_NE(flaky, nullptr);
+  EXPECT_EQ(flaky->calls_attempted(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ExecOptions validation
+// ---------------------------------------------------------------------------
+
+TEST(ValidateOptionsTest, RejectsBadOptionsBeforeContactingSources) {
+  const SourceCatalog catalog = FlakyCatalog({});
+  const Plan plan = FilterPlanFor2x2();
+  const FusionQuery query = DuiSpQuery();
+  auto expect_invalid = [&](const ExecOptions& exec) {
+    const auto report = ExecutePlan(plan, catalog, query, exec);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+    // Rejected before any call: the flaky source saw nothing.
+    const auto* flaky = dynamic_cast<const FlakySource*>(&catalog.source(0));
+    ASSERT_NE(flaky, nullptr);
+    EXPECT_EQ(flaky->calls_attempted(), 0u);
+  };
+  ExecOptions exec;
+  exec.retry.max_attempts = 0;
+  expect_invalid(exec);
+  exec = ExecOptions{};
+  exec.retry.max_attempts = -3;
+  expect_invalid(exec);
+  exec = ExecOptions{};
+  exec.parallelism = 0;
+  expect_invalid(exec);
+  exec = ExecOptions{};
+  exec.simulated_seconds_per_cost = -0.5;
+  expect_invalid(exec);
+  exec = ExecOptions{};
+  exec.retry.jitter_fraction = 1.0;
+  expect_invalid(exec);
+  exec = ExecOptions{};
+  exec.retry.backoff_multiplier = 0.5;
+  expect_invalid(exec);
+  exec = ExecOptions{};
+  exec.deadline_seconds = -1.0;
+  expect_invalid(exec);
+  exec = ExecOptions{};
+  exec.cost_budget = -1.0;
+  expect_invalid(exec);
+}
+
+TEST(ValidateOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateExecOptions(ExecOptions{}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Backoff schedule
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, ExponentialGrowthWithCap) {
+  RetryPolicy retry;
+  retry.initial_backoff_seconds = 0.1;
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(retry.BackoffSeconds(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(retry.BackoffSeconds(0, 2), 0.2);
+  EXPECT_DOUBLE_EQ(retry.BackoffSeconds(0, 3), 0.4);
+  EXPECT_DOUBLE_EQ(retry.BackoffSeconds(0, 4), 0.5);  // capped
+  EXPECT_DOUBLE_EQ(retry.BackoffSeconds(0, 9), 0.5);
+}
+
+TEST(BackoffTest, NoBackoffByDefault) {
+  EXPECT_DOUBLE_EQ(RetryPolicy{}.BackoffSeconds(0, 1), 0.0);
+}
+
+TEST(BackoffTest, JitterIsDeterministicPerSeedSourceAndAttempt) {
+  RetryPolicy retry;
+  retry.initial_backoff_seconds = 0.1;
+  retry.jitter_fraction = 0.3;
+  retry.jitter_seed = 42;
+  RetryPolicy same = retry;
+  RetryPolicy other = retry;
+  other.jitter_seed = 43;
+  bool any_differs_across_seeds = false;
+  for (size_t source = 0; source < 4; ++source) {
+    double base = retry.initial_backoff_seconds;
+    for (int attempt = 1; attempt <= 5; ++attempt) {
+      const double a = retry.BackoffSeconds(source, attempt);
+      // Identical policy ⇒ identical schedule, every time (pure function).
+      EXPECT_DOUBLE_EQ(a, same.BackoffSeconds(source, attempt));
+      EXPECT_DOUBLE_EQ(a, retry.BackoffSeconds(source, attempt));
+      // Jitter stays inside the symmetric band around the capped base.
+      const double capped = std::min(base, retry.max_backoff_seconds);
+      EXPECT_GE(a, capped * (1.0 - retry.jitter_fraction) - 1e-12);
+      EXPECT_LE(a, capped * (1.0 + retry.jitter_fraction) + 1e-12);
+      if (a != other.BackoffSeconds(source, attempt)) {
+        any_differs_across_seeds = true;
+      }
+      base *= retry.backoff_multiplier;
+    }
+  }
+  EXPECT_TRUE(any_differs_across_seeds);
+}
+
+TEST(BackoffTest, RetriesActuallySleep) {
+  FlakySource::Options options;
+  options.fail_first_k = 2;
+  const SourceCatalog catalog = FlakyCatalog(options);
+  ExecOptions exec;
+  exec.retry.max_attempts = 3;
+  exec.retry.initial_backoff_seconds = 0.02;
+  const auto start = std::chrono::steady_clock::now();
+  const auto report =
+      ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->answer.ToString(), "{'J55'}");
+  // Two transient failures ⇒ two backoff sleeps: 0.02 + 0.04.
+  EXPECT_GE(elapsed, 0.06);
+  EXPECT_EQ(report->retries_total, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry × cache
+// ---------------------------------------------------------------------------
+
+TEST(RetryCacheTest, RetriedSuccessPopulatesCacheExactlyOnce) {
+  FlakySource::Options options;
+  options.fail_first_k = 1;
+  SourceCatalog catalog = FlakyCatalog(options);
+  SourceCallCache cache;
+  ExecOptions exec;
+  exec.retry.max_attempts = 3;
+  exec.cache = &cache;
+  const auto first =
+      ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->retries_total, 1u);
+  const auto* flaky = dynamic_cast<const FlakySource*>(&catalog.source(0));
+  ASSERT_NE(flaky, nullptr);
+  const size_t calls_after_first = flaky->calls_attempted();
+
+  // The retried success was published: a second run answers every selection
+  // from the memo and issues no further source calls.
+  const auto second =
+      ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->answer, first->answer);
+  EXPECT_EQ(second->cache_hits, 4u);
+  EXPECT_EQ(second->ledger.num_queries(), 0u);
+  EXPECT_EQ(flaky->calls_attempted(), calls_after_first);
+}
+
+TEST(RetryCacheTest, ConcurrentExecutionsShareTheRetriedAnswer) {
+  // Several executions race on the same cache against a source whose first
+  // call fails. Single-flight: whoever leads a given (source, cond) flight
+  // retries through the failure; waiters inherit the retried success. All
+  // executions must agree on the answer. (Run under TSan via the
+  // concurrency label.)
+  FlakySource::Options options;
+  options.fail_first_k = 1;
+  SourceCatalog catalog = FlakyCatalog(options);
+  SourceCallCache cache;
+  constexpr int kThreads = 4;
+  std::vector<Result<ExecutionReport>> results(
+      kThreads, Status(StatusCode::kInternal, "never ran"));
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        ExecOptions exec;
+        exec.retry.max_attempts = 3;
+        exec.cache = &cache;
+        results[static_cast<size_t>(t)] =
+            ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->answer.ToString(), "{'J55'}");
+  }
+  // Exactly one failure was injected (fail_first_k = 1), so exactly one
+  // flight retried; every other consumer either waited on a flight or hit
+  // the memo.
+  const auto* flaky = dynamic_cast<const FlakySource*>(&catalog.source(0));
+  ASSERT_NE(flaky, nullptr);
+  EXPECT_EQ(flaky->calls_failed(), 1u);
 }
 
 TEST(RetryTest, EndToEndThroughMediatorOnFlakyFederation) {
@@ -220,7 +481,7 @@ TEST(RetryTest, EndToEndThroughMediatorOnFlakyFederation) {
   Mediator mediator(std::move(flaky));
   MediatorOptions options;
   options.statistics = StatisticsMode::kOracle;
-  options.execution.max_attempts = 6;
+  options.execution.retry.max_attempts = 6;
   const auto answer = mediator.Answer(query, options);
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   EXPECT_EQ(answer->items, expected);

@@ -21,6 +21,7 @@
 #include "cli/catalog_config.h"
 #include "common/str_util.h"
 #include "common/file_util.h"
+#include "exec/source_health.h"
 #include "mediator/mediator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -45,6 +46,12 @@ struct Args {
   bool trace_summary = false;  // print the per-category span rollup
   bool metrics = false;        // print the process metrics dump
   int parallelism = 1;
+  // Fault tolerance.
+  std::string on_failure = "fail";  // fail | degrade
+  int max_attempts = 1;
+  double deadline_ms = 0.0;       // per-query deadline (0 = none)
+  double retry_backoff_ms = 0.0;  // initial retry backoff (0 = immediate)
+  double call_timeout_ms = 0.0;   // per-call timeout (0 = none)
 };
 
 void PrintUsage() {
@@ -61,6 +68,14 @@ void PrintUsage() {
       "  --ledger         print the per-query cost ledger\n"
       "  --plan-out=FILE  write the chosen plan in FPLAN/1 format\n"
       "  --parallelism=N  parallel plan execution with N workers (default 1)\n"
+      "  --on-failure=P   fail | degrade — what to do when a source is\n"
+      "                   exhausted: fail the query (default) or return a\n"
+      "                   sound partial answer excluding the dead source\n"
+      "  --max-attempts=N retry transient source failures up to N attempts\n"
+      "  --retry-backoff=MS  initial exponential-backoff sleep, in ms\n"
+      "  --call-timeout-ms=MS  per-source-call timeout (0 = none)\n"
+      "  --deadline-ms=MS per-query deadline; with --on-failure=degrade the\n"
+      "                   partial answer gathered in time is returned\n"
       "  --trace=FILE     record spans; write Chrome trace-event JSON to\n"
       "                   FILE (open in chrome://tracing or Perfetto)\n"
       "  --trace-summary  record spans; print a per-category rollup\n"
@@ -92,6 +107,33 @@ Result<Args> ParseArgs(int argc, char** argv) {
       if (args.parallelism < 1) {
         return Status::InvalidArgument("--parallelism must be >= 1");
       }
+      continue;
+    }
+    if (ParseFlag(a, "--on-failure", &args.on_failure)) {
+      if (args.on_failure != "fail" && args.on_failure != "degrade") {
+        return Status::InvalidArgument(
+            "--on-failure must be 'fail' or 'degrade'");
+      }
+      continue;
+    }
+    std::string number;
+    if (ParseFlag(a, "--max-attempts", &number)) {
+      args.max_attempts = std::atoi(number.c_str());
+      if (args.max_attempts < 1) {
+        return Status::InvalidArgument("--max-attempts must be >= 1");
+      }
+      continue;
+    }
+    if (ParseFlag(a, "--deadline-ms", &number)) {
+      args.deadline_ms = std::atof(number.c_str());
+      continue;
+    }
+    if (ParseFlag(a, "--retry-backoff", &number)) {
+      args.retry_backoff_ms = std::atof(number.c_str());
+      continue;
+    }
+    if (ParseFlag(a, "--call-timeout-ms", &number)) {
+      args.call_timeout_ms = std::atof(number.c_str());
       continue;
     }
     if (std::strcmp(a, "--trace-summary") == 0) {
@@ -211,6 +253,15 @@ int Run(int argc, char** argv) {
   ExecOptions exec_options;
   exec_options.lazy_short_circuit = args->lazy;
   exec_options.parallelism = args->parallelism;
+  exec_options.retry.max_attempts = args->max_attempts;
+  exec_options.retry.initial_backoff_seconds = args->retry_backoff_ms / 1e3;
+  exec_options.retry.call_timeout_seconds = args->call_timeout_ms / 1e3;
+  exec_options.deadline_seconds = args->deadline_ms / 1e3;
+  if (args->on_failure == "degrade") {
+    exec_options.on_source_failure = SourceFailurePolicy::kDegrade;
+  }
+  SourceHealth health;
+  exec_options.health = &health;
   const auto report = ExecutePlan(optimized->plan, mediator.catalog(), *query,
                                   exec_options);
   if (!report.ok()) {
@@ -245,7 +296,26 @@ int Run(int argc, char** argv) {
   if (report->skipped_ops > 0) {
     std::printf(" (%zu ops short-circuited)", report->skipped_ops);
   }
+  if (report->retries_total > 0) {
+    std::printf(" (%zu retries)", report->retries_total);
+  }
+  if (report->breaker_fast_fails > 0) {
+    std::printf(" (%zu breaker fast-fails)", report->breaker_fast_fails);
+  }
   std::printf("\n");
+  if (!report->completeness.answer_complete) {
+    std::vector<std::string> cond_names;
+    for (const Condition& c : query->conditions()) {
+      cond_names.push_back(c.ToString());
+    }
+    std::vector<std::string> source_names;
+    for (size_t j = 0; j < num_sources; ++j) {
+      source_names.push_back(mediator.catalog().source(j).name());
+    }
+    std::printf("%s",
+                report->completeness.ToString(cond_names, source_names)
+                    .c_str());
+  }
   if (args->ledger) {
     std::printf("\n%s", report->ledger.Report().c_str());
   }
