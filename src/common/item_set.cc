@@ -48,8 +48,33 @@ ItemSet ItemSet::Difference(const ItemSet& a, const ItemSet& b) {
   return FromSortedUnique(std::move(out));
 }
 
+void ItemSet::UnionInPlace(const ItemSet& other) {
+  if (other.empty()) return;
+  if (values_.empty()) {
+    values_ = other.values_;
+    return;
+  }
+  if (values_.back() < other.values_.front()) {
+    values_.insert(values_.end(), other.begin(), other.end());
+    return;
+  }
+  const size_t mid = values_.size();
+  values_.insert(values_.end(), other.begin(), other.end());
+  std::inplace_merge(values_.begin(), values_.begin() + static_cast<long>(mid),
+                     values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+}
+
 bool ItemSet::IsSubsetOf(const ItemSet& other) const {
   return std::includes(other.begin(), other.end(), begin(), end());
+}
+
+size_t ItemSet::ApproxBytes() const {
+  size_t bytes = sizeof(ItemSet) + values_.capacity() * sizeof(Value);
+  for (const Value& v : values_) {
+    if (v.type() == ValueType::kString) bytes += v.str().capacity();
+  }
+  return bytes;
 }
 
 std::string ItemSet::ToString() const {

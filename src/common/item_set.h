@@ -43,6 +43,13 @@ class ItemSet {
   static ItemSet Intersect(const ItemSet& a, const ItemSet& b);
   static ItemSet Difference(const ItemSet& a, const ItemSet& b);
 
+  /// Merges `other` into this set without allocating a fresh result vector.
+  /// When `other` sorts entirely after the current contents — the shape of
+  /// per-probe accumulation over sorted candidates — this is O(|other|), so
+  /// accumulating k disjoint ordered pieces is O(n) total instead of the
+  /// O(k·n) that repeated `a = Union(a, b)` rebuilds cost.
+  void UnionInPlace(const ItemSet& other);
+
   bool operator==(const ItemSet& other) const {
     return values_ == other.values_;
   }
@@ -53,6 +60,10 @@ class ItemSet {
 
   /// Renders "{J55, T21}" style output (elements in sorted order).
   std::string ToString() const;
+
+  /// Approximate resident size in bytes (vector capacity plus string
+  /// payloads). Used by byte-budgeted caches.
+  size_t ApproxBytes() const;
 
  private:
   std::vector<Value> values_;  // sorted, unique

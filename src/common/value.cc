@@ -148,4 +148,10 @@ size_t Value::Hash() const {
   return 0;
 }
 
+size_t Value::ApproxBytes() const {
+  size_t bytes = sizeof(Value);
+  if (type() == ValueType::kString) bytes += str().capacity();
+  return bytes;
+}
+
 }  // namespace fusion

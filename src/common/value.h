@@ -67,6 +67,10 @@ class Value {
   /// hashes both int64 and double forms of integral doubles identically).
   size_t Hash() const;
 
+  /// Approximate resident size in bytes, including string payloads. Used by
+  /// byte-budgeted caches; an estimate, not an allocator-exact figure.
+  size_t ApproxBytes() const;
+
  private:
   std::variant<std::monostate, int64_t, double, std::string> data_;
 };

@@ -123,28 +123,64 @@ Status CallTimeoutStatus(const CallContext& ctx, double call_seconds,
       std::to_string(timeout_seconds) + "s)");
 }
 
+namespace {
+
+/// Ticks the exact-hit or containment-hit counters (global metrics and
+/// per-execution stats) and emits the cache span for one answered call.
+void CountCacheAnswer(const CallContext& ctx, bool derived,
+                      const SourceWrapper& source, const std::string& key) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (derived) {
+    static Counter& containment =
+        registry.counter(metrics::kCacheContainmentHits);
+    containment.Increment();
+    if (ctx.stats != nullptr) ++ctx.stats->cache_containment_hits;
+  } else {
+    static Counter& hits = registry.counter(metrics::kCacheHits);
+    hits.Increment();
+    if (ctx.stats != nullptr) ++ctx.stats->cache_hits;
+  }
+  ScopedSpan span(SpanCategory::kCache,
+                  derived ? "cache.derived" : "cache.hit");
+  if (span.active()) {
+    span.AddAttr("source", source.name());
+    span.AddAttr("cond", key);
+  }
+}
+
+void CountCacheMiss(const CallContext& ctx) {
+  static Counter& misses =
+      MetricsRegistry::Global().counter(metrics::kCacheMisses);
+  misses.Increment();
+  if (ctx.stats != nullptr) ++ctx.stats->cache_misses;
+}
+
+}  // namespace
+
 Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
                                 const std::string& merge_attribute,
-                                const ItemSet& candidates, CallContext ctx,
+                                const ItemSet& candidates,
+                                const ExecOptions& options, CallContext ctx,
                                 CostLedger& ledger) {
   ItemSet result;
   for (const Value& item : candidates) {
     const Condition probe =
         Condition::And(cond, Condition::Eq(merge_attribute, item));
     CostLedger local;
-    ctx.op = "probe";
-    ctx.source_name = &source.name();
-    ctx.ledger = &local;
+    // Probes go through the cache path keyed on the canonical probe
+    // condition, so identical probes across plans and queries answer from
+    // the memo (and concurrent identical probes single-flight).
     FUSION_ASSIGN_OR_RETURN(
-        ItemSet part,
-        CallWithRetries(
-            [&] { return source.Select(probe, merge_attribute, &local); },
-            ctx));
+        ItemSet part, CachedSelect(source, probe, merge_attribute, options,
+                                   local, ctx, "probe"));
     for (Charge charge : local.charges()) {
       charge.kind = ChargeKind::kEmulatedSemiJoinProbe;
       ledger.Add(std::move(charge));
     }
-    result = ItemSet::Union(result, part);
+    // Candidates are probed in sorted order and each probe returns at most
+    // {item}, so this appends in O(1) amortized — O(k) across all probes
+    // where the old `result = Union(result, part)` rebuild was O(k²).
+    result.UnionInPlace(part);
   }
   return result;
 }
@@ -152,8 +188,8 @@ Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
 Result<ItemSet> CachedSelect(SourceWrapper& source, const Condition& cond,
                              const std::string& merge_attribute,
                              const ExecOptions& options, CostLedger& ledger,
-                             CallContext ctx) {
-  ctx.op = "sq";
+                             CallContext ctx, const char* op_tag) {
+  ctx.op = op_tag;
   ctx.source_name = &source.name();
   ctx.ledger = &ledger;
   auto call = [&] {
@@ -161,29 +197,100 @@ Result<ItemSet> CachedSelect(SourceWrapper& source, const Condition& cond,
         [&] { return source.Select(cond, merge_attribute, &ledger); }, ctx);
   };
   if (options.cache == nullptr || ctx.source_index < 0) return call();
+  const std::string key = cond.CacheKey();
   SourceCallCache::FlightGuard flight = options.cache->BeginFlight(
-      static_cast<size_t>(ctx.source_index), cond.ToString());
+      static_cast<size_t>(ctx.source_index), key);
   if (flight.cached() != nullptr) {
-    static Counter& hits =
-        MetricsRegistry::Global().counter(metrics::kCacheHits);
-    hits.Increment();
-    if (ctx.stats != nullptr) ++ctx.stats->cache_hits;
-    ScopedSpan span(SpanCategory::kCache, "cache.hit");
-    if (span.active()) {
-      span.AddAttr("source", source.name());
-      span.AddAttr("cond", cond.ToString());
-    }
+    CountCacheAnswer(ctx, /*derived=*/false, source, key);
     return *flight.cached();  // free: answered from the memo
   }
-  static Counter& misses =
-      MetricsRegistry::Global().counter(metrics::kCacheMisses);
-  misses.Increment();
-  if (ctx.stats != nullptr) ++ctx.stats->cache_misses;
-  // This caller leads the flight; a failure abandons it (guard destructor)
-  // so concurrent waiters retry rather than inheriting the error.
+  // This caller leads the flight. Before contacting the source, try
+  // containment: with lq(R) cached, sq(c, R) is a free local evaluation.
+  // Fulfilling publishes the derived answer as an exact entry, so waiters
+  // and future lookups hit directly.
+  if (std::shared_ptr<const ItemSet> derived = options.cache->DeriveSelect(
+          static_cast<size_t>(ctx.source_index), cond, merge_attribute)) {
+    CountCacheAnswer(ctx, /*derived=*/true, source, key);
+    flight.Fulfill(*derived);
+    return *derived;
+  }
+  CountCacheMiss(ctx);
+  // A failure abandons the flight (guard destructor) so concurrent waiters
+  // retry rather than inheriting the error.
   FUSION_ASSIGN_OR_RETURN(ItemSet result, call());
   flight.Fulfill(result);
   return result;
+}
+
+Result<ItemSet> CachedSemiJoin(SourceWrapper& source, const Condition& cond,
+                               const std::string& merge_attribute,
+                               const ItemSet& candidates,
+                               const ExecOptions& options, CostLedger& ledger,
+                               CallContext ctx, bool* emulated) {
+  *emulated = false;
+  ctx.source_name = &source.name();
+  ctx.ledger = &ledger;
+  SourceCallCache* cache = ctx.source_index >= 0 ? options.cache : nullptr;
+  std::string key;
+  if (cache != nullptr) {
+    key = cond.CacheKey();
+    bool derived = false;
+    if (std::shared_ptr<const ItemSet> answer = cache->FindSemiJoin(
+            static_cast<size_t>(ctx.source_index), cond, key, merge_attribute,
+            candidates, &derived)) {
+      CountCacheAnswer(ctx, derived, source, key);
+      return *answer;  // free: exact or containment-derived, no round trip
+    }
+    CountCacheMiss(ctx);
+  }
+  Result<ItemSet> result = [&]() -> Result<ItemSet> {
+    switch (source.capabilities().semijoin) {
+      case SemijoinSupport::kNative:
+        ctx.op = "sjq";
+        return CallWithRetries(
+            [&] {
+              return source.SemiJoin(cond, merge_attribute, candidates,
+                                     &ledger);
+            },
+            ctx);
+      case SemijoinSupport::kPassedBindingsOnly:
+        *emulated = true;
+        return EmulateSemiJoin(source, cond, merge_attribute, candidates,
+                               options, ctx, ledger);
+      case SemijoinSupport::kUnsupported:
+        return Status::Unsupported(
+            "plan issues a semijoin to source '" + source.name() +
+            "', which cannot process semijoins even by emulation");
+    }
+    return Status::Internal("unknown semijoin capability");
+  }();
+  if (result.ok() && cache != nullptr) {
+    cache->InsertSemiJoin(static_cast<size_t>(ctx.source_index),
+                          std::move(key), candidates, *result);
+  }
+  return result;
+}
+
+Result<Relation> CachedLoad(SourceWrapper& source, const ExecOptions& options,
+                            CostLedger& ledger, CallContext ctx) {
+  ctx.op = "lq";
+  ctx.source_name = &source.name();
+  ctx.ledger = &ledger;
+  SourceCallCache* cache = ctx.source_index >= 0 ? options.cache : nullptr;
+  if (cache != nullptr) {
+    if (std::shared_ptr<const Relation> relation =
+            cache->LookupLoad(static_cast<size_t>(ctx.source_index))) {
+      CountCacheAnswer(ctx, /*derived=*/false, source, "lq");
+      return *relation;  // local copy: free per the cost model
+    }
+    CountCacheMiss(ctx);
+  }
+  Result<Relation> loaded =
+      CallWithRetries([&] { return source.Load(&ledger); }, ctx);
+  if (loaded.ok() && cache != nullptr) {
+    cache->InsertLoad(static_cast<size_t>(ctx.source_index), *loaded);
+  }
+  return loaded;
 }
 
 void SleepForCost(double cost, const ExecOptions& options) {

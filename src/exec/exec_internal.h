@@ -36,12 +36,18 @@ struct CallStats {
   size_t retries = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Answers derived locally from a containing cached entry (sjq answered
+  /// from a cached sq or candidate-superset sjq, sq/sjq answered from a
+  /// cached relation). Disjoint from cache_hits; such a call also counts a
+  /// miss (the exact key missed) but issues no source round trip.
+  size_t cache_containment_hits = 0;
   size_t breaker_fast_fails = 0;
 
   void MergeFrom(const CallStats& other) {
     retries += other.retries;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    cache_containment_hits += other.cache_containment_hits;
     breaker_fast_fails += other.breaker_fast_fails;
   }
 };
@@ -220,24 +226,49 @@ auto CallWithRetries(Fn fn, const CallContext& ctx = {}) -> decltype(fn()) {
 }
 
 /// Emulates sjq(cond, source, candidates) with one passed-binding selection
-/// per candidate. Probe charges are re-tagged so reports distinguish native
-/// semijoins from emulated ones. `ctx.op`/`ledger` are overridden per probe;
-/// the fault-tolerance fields gate every probe individually.
+/// per candidate. Probes route through the cache path (CachedSelect, keyed
+/// on the canonical probe condition), so identical probes across plans and
+/// queries re-answer from the memo instead of re-contacting the source.
+/// Probe charges are re-tagged so reports distinguish native semijoins from
+/// emulated ones. `ctx.op`/`ledger` are overridden per probe; the
+/// fault-tolerance fields gate every probe individually.
 Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
                                 const std::string& merge_attribute,
-                                const ItemSet& candidates, CallContext ctx,
+                                const ItemSet& candidates,
+                                const ExecOptions& options, CallContext ctx,
                                 CostLedger& ledger);
 
 /// One selection op's source interaction: consults options.cache first
 /// (single-flight deduplicated, so concurrent identical selections — within
 /// one parallel plan or across racing executions — cost exactly one source
-/// call), retries transient failures, and publishes fresh answers back to
-/// the cache. Charges go to `ledger`; cache hits charge nothing. Cache
-/// hits/misses tick both the global metrics and `ctx.stats`.
+/// call), falls back to containment derivation from a cached lq(R), retries
+/// transient failures, and publishes fresh answers back to the cache.
+/// Charges go to `ledger`; cache hits and derived answers charge nothing.
+/// Hits/misses/containment tick both the global metrics and `ctx.stats`.
+/// `op_tag` labels spans/metrics ("sq", or "probe" for emulated-semijoin
+/// bindings).
 Result<ItemSet> CachedSelect(SourceWrapper& source, const Condition& cond,
                              const std::string& merge_attribute,
                              const ExecOptions& options, CostLedger& ledger,
-                             CallContext ctx);
+                             CallContext ctx, const char* op_tag = "sq");
+
+/// One semijoin op's source interaction, shared by both executors: answers
+/// from the cache when possible (exact sjq entry, candidate-superset sjq,
+/// cached sq, or cached relation — all free), otherwise dispatches on the
+/// source's semijoin capability (native call, per-binding emulation, or
+/// kUnsupported) and memoizes the fresh answer. `*emulated` is set when the
+/// per-binding path ran (the caller counts emulated semijoins).
+Result<ItemSet> CachedSemiJoin(SourceWrapper& source, const Condition& cond,
+                               const std::string& merge_attribute,
+                               const ItemSet& candidates,
+                               const ExecOptions& options, CostLedger& ledger,
+                               CallContext ctx, bool* emulated);
+
+/// One load op's source interaction: returns the cached relation when
+/// present (free), otherwise performs lq(R) with the full fault policy and
+/// memoizes the result.
+Result<Relation> CachedLoad(SourceWrapper& source, const ExecOptions& options,
+                            CostLedger& ledger, CallContext ctx);
 
 /// Simulated-latency hook: sleeps cost * options.simulated_seconds_per_cost
 /// (no-op at the default scale 0). Lets benchmarks observe real wall-clock

@@ -14,8 +14,6 @@ namespace {
 
 using exec_internal::CallContext;
 using exec_internal::CallStats;
-using exec_internal::CallWithRetries;
-using exec_internal::EmulateSemiJoin;
 
 /// splitmix64 finalizer: a cheap, well-mixed 64-bit hash. Used for retry
 /// jitter so the schedule is a pure function of (seed, source, attempt) —
@@ -187,6 +185,7 @@ class PlanInterpreter {
     report_.retries_total = stats_.retries;
     report_.cache_hits = stats_.cache_hits;
     report_.cache_misses = stats_.cache_misses;
+    report_.cache_containment_hits = stats_.cache_containment_hits;
     report_.breaker_fast_fails = stats_.breaker_fast_fails;
     exec_internal::BuildCompletenessReport(plan_, reasons_,
                                            &report_.completeness);
@@ -293,48 +292,30 @@ class PlanInterpreter {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
         const Condition& cond =
             query_.conditions()[static_cast<size_t>(op.cond)];
-        switch (src.capabilities().semijoin) {
-          case SemijoinSupport::kNative: {
-            Result<ItemSet> result = CallWithRetries(
-                [&] {
-                  return src.SemiJoin(cond, query_.merge_attribute(),
-                                      candidates, &report_.ledger);
-                },
-                ContextFor("sjq", src, op.source));
-            if (!result.ok()) {
-              return HandleSourceFailure(k, op, result.status());
-            }
-            Observe(op.source, *result);
-            items_[op.target] = std::move(result).value();
-            break;
-          }
-          case SemijoinSupport::kPassedBindingsOnly: {
-            Result<ItemSet> result = EmulateSemiJoin(
-                src, cond, query_.merge_attribute(), candidates,
-                ContextFor("probe", src, op.source), report_.ledger);
-            if (!result.ok()) {
-              return HandleSourceFailure(k, op, result.status());
-            }
-            Observe(op.source, *result);
-            items_[op.target] = std::move(result).value();
-            ++report_.emulated_semijoins;
-            static Counter& emulated = MetricsRegistry::Global().counter(
-                metrics::kEmulatedSemijoins);
-            emulated.Increment();
-            break;
-          }
-          case SemijoinSupport::kUnsupported:
-            return Status::Unsupported(
-                "plan issues a semijoin to source '" + src.name() +
-                "', which cannot process semijoins even by emulation");
+        // Cache lookup (exact or containment-derived), capability dispatch
+        // (native / emulated / unsupported), and memo publication all live
+        // in CachedSemiJoin (shared with the parallel executor).
+        bool emulated = false;
+        Result<ItemSet> result = exec_internal::CachedSemiJoin(
+            src, cond, query_.merge_attribute(), candidates, options_,
+            report_.ledger, ContextFor("sjq", src, op.source), &emulated);
+        if (!result.ok()) {
+          return HandleSourceFailure(k, op, result.status());
+        }
+        Observe(op.source, *result);
+        items_[op.target] = std::move(result).value();
+        if (emulated) {
+          ++report_.emulated_semijoins;
+          static Counter& counter =
+              MetricsRegistry::Global().counter(metrics::kEmulatedSemijoins);
+          counter.Increment();
         }
         break;
       }
       case PlanOpKind::kLoad: {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
-        Result<Relation> loaded =
-            CallWithRetries([&] { return src.Load(&report_.ledger); },
-                            ContextFor("lq", src, op.source));
+        Result<Relation> loaded = exec_internal::CachedLoad(
+            src, options_, report_.ledger, ContextFor("lq", src, op.source));
         if (!loaded.ok()) return HandleSourceFailure(k, op, loaded.status());
         FUSION_ASSIGN_OR_RETURN(
             ItemSet all_items,
@@ -360,7 +341,7 @@ class PlanInterpreter {
         ItemSet acc;
         for (int v : op.inputs) {
           if (lazy) FUSION_RETURN_IF_ERROR(EvalVar(v, lazy));
-          acc = ItemSet::Union(acc, *items_[v]);
+          acc.UnionInPlace(*items_[v]);
         }
         items_[op.target] = std::move(acc);
         break;
@@ -394,8 +375,8 @@ class PlanInterpreter {
   }
 
   void Observe(int source, const ItemSet& received) {
-    ItemSet& known = report_.per_source_items[static_cast<size_t>(source)];
-    known = ItemSet::Union(known, received);
+    report_.per_source_items[static_cast<size_t>(source)].UnionInPlace(
+        received);
   }
 
   const Plan& plan_;

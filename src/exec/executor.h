@@ -76,11 +76,16 @@ struct ExecutionReport {
   /// the ledger; this counter makes retry storms visible without diffing
   /// ledgers.
   size_t retries_total = 0;
-  /// Selections answered from / missed in ExecOptions::cache (both 0 when
+  /// Source calls answered from / missed in ExecOptions::cache (both 0 when
   /// no cache is attached). A hit issued no source call and charged
   /// nothing.
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Calls whose exact key missed but whose answer was still derived locally
+  /// from a *containing* cached entry (sjq from a cached sq or
+  /// candidate-superset sjq; sq/sjq from a cached lq). Free like a hit, and
+  /// also counted in cache_misses (the exact key did miss).
+  size_t cache_containment_hits = 0;
   /// Calls failed fast by an open circuit breaker (no round-trip issued, no
   /// ledger charge). 0 unless ExecOptions::health is attached.
   size_t breaker_fast_fails = 0;

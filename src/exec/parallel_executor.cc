@@ -88,14 +88,15 @@ class ParallelPlanRun {
       report_.emulated_semijoins += op_emulated_[k];
       const int source = plan_.ops()[k].source;
       if (source >= 0) {
-        ItemSet& known = report_.per_source_items[static_cast<size_t>(source)];
-        known = ItemSet::Union(known, op_observed_[k]);
+        report_.per_source_items[static_cast<size_t>(source)].UnionInPlace(
+            op_observed_[k]);
       }
     }
     report_.answer = *items_[plan_.result()];
     report_.retries_total = stats.retries;
     report_.cache_hits = stats.cache_hits;
     report_.cache_misses = stats.cache_misses;
+    report_.cache_containment_hits = stats.cache_containment_hits;
     report_.breaker_fast_fails = stats.breaker_fast_fails;
     exec_internal::BuildCompletenessReport(plan_, op_reasons_,
                                            &report_.completeness);
@@ -243,47 +244,27 @@ class ParallelPlanRun {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
         const Condition& cond =
             query_.conditions()[static_cast<size_t>(op.cond)];
-        switch (src.capabilities().semijoin) {
-          case SemijoinSupport::kNative: {
-            Result<ItemSet> result = exec_internal::CallWithRetries(
-                [&] {
-                  return src.SemiJoin(cond, query_.merge_attribute(),
-                                      candidates, &ledger);
-                },
-                ContextFor("sjq", src, k, op.source, ledger, pool));
-            if (!result.ok()) {
-              return HandleSourceFailure(k, op, result.status());
-            }
-            op_observed_[k] = *result;
-            items_[op.target] = std::move(result).value();
-            break;
-          }
-          case SemijoinSupport::kPassedBindingsOnly: {
-            Result<ItemSet> result = exec_internal::EmulateSemiJoin(
-                src, cond, query_.merge_attribute(), candidates,
-                ContextFor("probe", src, k, op.source, ledger, pool), ledger);
-            if (!result.ok()) {
-              return HandleSourceFailure(k, op, result.status());
-            }
-            op_observed_[k] = *result;
-            items_[op.target] = std::move(result).value();
-            op_emulated_[k] = 1;
-            static Counter& emulated = MetricsRegistry::Global().counter(
-                metrics::kEmulatedSemijoins);
-            emulated.Increment();
-            break;
-          }
-          case SemijoinSupport::kUnsupported:
-            return Status::Unsupported(
-                "plan issues a semijoin to source '" + src.name() +
-                "', which cannot process semijoins even by emulation");
+        bool emulated = false;
+        Result<ItemSet> result = exec_internal::CachedSemiJoin(
+            src, cond, query_.merge_attribute(), candidates, options_, ledger,
+            ContextFor("sjq", src, k, op.source, ledger, pool), &emulated);
+        if (!result.ok()) {
+          return HandleSourceFailure(k, op, result.status());
+        }
+        op_observed_[k] = *result;
+        items_[op.target] = std::move(result).value();
+        if (emulated) {
+          op_emulated_[k] = 1;
+          static Counter& counter =
+              MetricsRegistry::Global().counter(metrics::kEmulatedSemijoins);
+          counter.Increment();
         }
         break;
       }
       case PlanOpKind::kLoad: {
         SourceWrapper& src = catalog_.source(static_cast<size_t>(op.source));
-        Result<Relation> loaded = exec_internal::CallWithRetries(
-            [&] { return src.Load(&ledger); },
+        Result<Relation> loaded = exec_internal::CachedLoad(
+            src, options_, ledger,
             ContextFor("lq", src, k, op.source, ledger, pool));
         if (!loaded.ok()) return HandleSourceFailure(k, op, loaded.status());
         FUSION_ASSIGN_OR_RETURN(
@@ -308,7 +289,7 @@ class ParallelPlanRun {
       case PlanOpKind::kUnion: {
         ItemSet acc;
         for (int v : op.inputs) {
-          acc = ItemSet::Union(acc, *items_[v]);
+          acc.UnionInPlace(*items_[v]);
         }
         items_[op.target] = std::move(acc);
         break;

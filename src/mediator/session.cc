@@ -45,6 +45,25 @@ Result<ParametricCostModel> QuerySession::BuildSessionModel(
   return ParametricCostModel(std::move(params), universe);
 }
 
+QueryCacheView QuerySession::BuildCacheView(const FusionQuery& query) {
+  const size_t num_sources = mediator_.catalog().size();
+  QueryCacheView view;
+  view.sq_answerable.assign(query.num_conditions(),
+                            std::vector<char>(num_sources, 0));
+  view.lq_cached.assign(num_sources, 0);
+  for (size_t j = 0; j < num_sources; ++j) {
+    // A cached relation answers lq and, by containment, every sq/sjq on it.
+    const bool lq = cache_.ContainsLoad(j);
+    view.lq_cached[j] = lq ? 1 : 0;
+    for (size_t i = 0; i < query.num_conditions(); ++i) {
+      if (lq || cache_.ContainsSelect(j, query.conditions()[i].CacheKey())) {
+        view.sq_answerable[i][j] = 1;
+      }
+    }
+  }
+  return view;
+}
+
 void QuerySession::Learn(const FusionQuery& query, const OptimizedPlan& plan,
                          const ExecutionReport& report) {
   // Selections reveal exact per-(source, condition) result sizes. Walk the
@@ -120,6 +139,17 @@ Result<QueryAnswer> QuerySession::Answer(const FusionQuery& raw_query) {
     }
     FUSION_ASSIGN_OR_RETURN(const ParametricCostModel model,
                             BuildSessionModel(query));
+    // Cache-aware re-optimization: calls the memo can already answer are
+    // priced at zero, so a repeated (or overlapping) query plans *through*
+    // the cache instead of re-deriving the cold-cache plan.
+    if (options_.cache_aware_optimization) {
+      const QueryCacheView view = BuildCacheView(query);
+      if (view.AnySet()) {
+        if (span.active()) span.AddAttr("cache_aware", "true");
+        const CacheAwareCostModel cached_model(model, view);
+        return RunOptimizer(cached_model, options_.strategy, options_.postopt);
+      }
+    }
     return RunOptimizer(model, options_.strategy, options_.postopt);
   }();
   FUSION_ASSIGN_OR_RETURN(OptimizedPlan optimized, std::move(optimized_or));

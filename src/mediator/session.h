@@ -8,6 +8,7 @@
 #include "exec/source_call_cache.h"
 #include "exec/source_health.h"
 #include "mediator/mediator.h"
+#include "plan/cost_estimator.h"
 
 namespace fusion {
 
@@ -44,6 +45,15 @@ class QuerySession {
     ExecOptions execution;
     /// Breaker thresholds for the session-owned SourceHealth.
     SourceHealth::Options health;
+    /// Resource bounds for the session-owned SourceCallCache (byte budget,
+    /// TTL). Defaults keep the cache unbounded, as before.
+    SourceCallCache::Options cache;
+    /// Re-optimize repeated queries against the cache: calls the memo can
+    /// answer (exactly or by containment) are priced at zero, so the
+    /// optimizer steers warm-cache plans through them (CacheAwareCostModel).
+    /// Disable for strictly cache-oblivious planning — execution still uses
+    /// the cache either way.
+    bool cache_aware_optimization = true;
     /// Priors used for conditions never seen before (fraction of a source's
     /// cardinality assumed to satisfy an unknown condition).
     double default_selectivity = 0.2;
@@ -56,6 +66,7 @@ class QuerySession {
   QuerySession(Mediator mediator, const Options& options)
       : mediator_(std::move(mediator)),
         options_(options),
+        cache_(options.cache),
         health_(options.health) {}
 
   /// Optimizes with session statistics, executes with the session cache,
@@ -68,9 +79,20 @@ class QuerySession {
   const SourceHealth& health() const { return health_; }
   size_t observed_conditions() const { return observed_result_size_.size(); }
 
+  /// Drops every memoized answer (all sources) — e.g. after bulk updates.
+  /// Safe while queries are running; see SourceCallCache::Clear.
+  void ResetCache() { cache_.Clear(); }
+  /// Drops one source's memoized answers and fences its in-flight calls —
+  /// the hook to call when a source reports its data changed.
+  void InvalidateSource(size_t source) { cache_.Invalidate(source); }
+
  private:
   /// Builds the per-query parametric model from session knowledge.
   Result<ParametricCostModel> BuildSessionModel(const FusionQuery& query);
+
+  /// What the cache can answer for this query's (condition, source) pairs,
+  /// for cache-aware optimization.
+  QueryCacheView BuildCacheView(const FusionQuery& query);
 
   /// Learns from one execution: exact result sizes for every selection the
   /// plan issued, source cardinalities from loads, and the universe lower

@@ -131,6 +131,14 @@ inline constexpr char kBreakerFastFailsTotal[] = "breaker_fast_fails_total";
 inline constexpr char kCacheHits[] = "cache_hits_total";
 inline constexpr char kCacheMisses[] = "cache_misses_total";
 inline constexpr char kCacheFlightWaits[] = "cache_flight_waits_total";
+/// Answers derived locally from a containing cached entry (sjq from sq,
+/// sq/sjq from lq, sjq from a candidate-superset sjq) — no source call.
+inline constexpr char kCacheContainmentHits[] = "cache_containment_hits_total";
+/// Entries dropped for the byte budget or TTL expiry.
+inline constexpr char kCacheEvictions[] = "cache_evictions_total";
+inline constexpr char kCacheInvalidations[] = "cache_invalidations_total";
+inline constexpr char kCacheBytes[] = "cache_bytes";      // gauge
+inline constexpr char kCacheEntries[] = "cache_entries";  // gauge
 inline constexpr char kEmulatedSemijoins[] = "emulated_semijoins_total";
 inline constexpr char kOptimizerPlansConsidered[] =
     "optimizer_plans_considered";

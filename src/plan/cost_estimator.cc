@@ -78,4 +78,23 @@ Result<PlanCostBreakdown> EstimatePlanCost(const Plan& plan,
   return out;
 }
 
+bool QueryCacheView::AnySet() const {
+  for (const std::vector<char>& row : sq_answerable) {
+    for (const char v : row) {
+      if (v != 0) return true;
+    }
+  }
+  for (const char v : lq_cached) {
+    if (v != 0) return true;
+  }
+  return false;
+}
+
+Result<PlanCostBreakdown> EstimatePlanCost(const Plan& plan,
+                                           const CostModel& model,
+                                           const QueryCacheView& view) {
+  const CacheAwareCostModel cached(model, view);
+  return EstimatePlanCost(plan, cached);
+}
+
 }  // namespace fusion

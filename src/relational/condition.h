@@ -76,6 +76,14 @@ class Condition {
   /// text) and give the optimizer trivially-empty conditions to exploit.
   Condition Simplified() const;
 
+  /// Canonical cache key: the Simplified() form rendered as text. Unlike raw
+  /// ToString(), commutatively equal conditions — `(a AND b)` vs `(b AND a)`,
+  /// duplicated or reordered disjuncts — map to one key, so result caches
+  /// keyed on this never miss on syntactic permutations. Simplification is
+  /// semantics-preserving, hence two conditions sharing a key have identical
+  /// answers at any source.
+  std::string CacheKey() const { return Simplified().ToString(); }
+
   /// True for the vacuous condition created by True()/default construction.
   bool IsTrue() const;
   /// True for the unsatisfiable condition created by False().

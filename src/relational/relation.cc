@@ -84,6 +84,17 @@ Result<Relation> Relation::UnionAll(const std::vector<const Relation*>& rels) {
   return out;
 }
 
+size_t Relation::ApproxBytes() const {
+  size_t bytes = sizeof(Relation) + tuples_.capacity() * sizeof(Tuple);
+  for (const Tuple& tuple : tuples_) {
+    bytes += tuple.capacity() * sizeof(Value);
+    for (const Value& v : tuple) {
+      if (v.type() == ValueType::kString) bytes += v.str().capacity();
+    }
+  }
+  return bytes;
+}
+
 std::string Relation::ToString() const {
   // Compute column widths.
   std::vector<size_t> widths(schema_.num_columns());

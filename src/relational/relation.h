@@ -57,6 +57,10 @@ class Relation {
   /// Renders an aligned table for display.
   std::string ToString() const;
 
+  /// Approximate resident size in bytes (tuple storage plus string
+  /// payloads). Used by byte-budgeted caches holding loaded relations.
+  size_t ApproxBytes() const;
+
  private:
   Schema schema_;
   std::vector<Tuple> tuples_;

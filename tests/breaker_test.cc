@@ -356,6 +356,11 @@ TEST(BreakerSessionTest, OneQuerysFailuresFastFailTheNext) {
   // be a real (failing) round-trip and muddy the accounting.
   options.health.open_cooldown_rejections = 1000000;
   options.execution.on_source_failure = SourceFailurePolicy::kDegrade;
+  // Keep the second query's plan shape identical to the first: cache-aware
+  // re-optimization would plan R1 behind a difference (an SJA+ shape),
+  // where a breaker fast-fail is not ∅-substitutable and the degraded
+  // query would fail instead. This test is about breaker sharing.
+  options.cache_aware_optimization = false;
   QuerySession session(Mediator(std::move(catalog)), options);
 
   const auto first = session.Answer(DuiSpQuery());

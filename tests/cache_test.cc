@@ -1,0 +1,562 @@
+// Tests for the cross-query result cache: bounded LRU with a hard byte
+// budget, TTL expiry, versioned invalidation that fences in-flight calls,
+// containment reuse (sjq from sq / lq, sq from lq, sjq from a
+// candidate-superset sjq) proved byte-identical to direct source answers,
+// canonical condition cache keys, and cache-aware re-optimization making a
+// repeated session query strictly cheaper than cache-oblivious planning.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/source_call_cache.h"
+#include "mediator/session.h"
+#include "query/fusion_query.h"
+#include "source/simulated_source.h"
+
+namespace fusion {
+namespace {
+
+ItemSet Ints(std::vector<int64_t> xs) {
+  std::vector<Value> v;
+  v.reserve(xs.size());
+  for (int64_t x : xs) v.push_back(Value(x));
+  return ItemSet(std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// LRU byte budget
+// ---------------------------------------------------------------------------
+
+/// Resident bytes of one single-int entry under a one-character key,
+/// measured rather than hardcoded (entry overhead + ItemSet layout are
+/// implementation details).
+size_t OneEntryBytes() {
+  SourceCallCache probe;
+  probe.Insert(0, "k", Ints({1}));
+  return probe.bytes();
+}
+
+TEST(CacheLruTest, ByteBudgetIsAHardInvariantUnderInsertStress) {
+  SourceCallCache::Options options;
+  options.max_bytes = 4 * OneEntryBytes();
+  SourceCallCache cache(options);
+  for (int i = 0; i < 200; ++i) {
+    cache.Insert(0, "c" + std::to_string(i), Ints({i, i + 1, i + 2}));
+    ASSERT_LE(cache.bytes(), options.max_bytes)
+        << "budget exceeded after insert " << i;
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_LT(cache.entries(), 200u);
+  // The newest entry survived; the oldest was evicted long ago.
+  EXPECT_NE(cache.Lookup(0, "c199"), nullptr);
+  EXPECT_EQ(cache.Lookup(0, "c0"), nullptr);
+}
+
+TEST(CacheLruTest, EvictsLeastRecentlyUsedFirst) {
+  const size_t entry = OneEntryBytes();
+  SourceCallCache::Options options;
+  options.max_bytes = 2 * entry + entry / 2;  // room for two entries, not three
+  SourceCallCache cache(options);
+  cache.Insert(0, "a", Ints({1}));
+  cache.Insert(0, "b", Ints({2}));
+  EXPECT_EQ(cache.entries(), 2u);
+  // Touch "a": "b" becomes the least recently used.
+  EXPECT_NE(cache.Lookup(0, "a"), nullptr);
+  cache.Insert(0, "c", Ints({3}));
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(0, "b"), nullptr);
+  EXPECT_NE(cache.Lookup(0, "a"), nullptr);
+  EXPECT_NE(cache.Lookup(0, "c"), nullptr);
+}
+
+TEST(CacheLruTest, EntryLargerThanBudgetIsEvictedImmediately) {
+  SourceCallCache::Options options;
+  options.max_bytes = 1;  // nothing fits
+  SourceCallCache cache(options);
+  cache.Insert(0, "big", Ints({1, 2, 3, 4, 5}));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(CacheLruTest, EvictionCannotInvalidateAHandedOutAnswer) {
+  const size_t entry = OneEntryBytes();
+  SourceCallCache::Options options;
+  options.max_bytes = entry + entry / 2;  // exactly one entry fits
+  SourceCallCache cache(options);
+  cache.Insert(0, "a", Ints({7}));
+  const std::shared_ptr<const ItemSet> held = cache.Lookup(0, "a");
+  ASSERT_NE(held, nullptr);
+  cache.Insert(0, "b", Ints({8}));  // evicts "a"
+  EXPECT_EQ(cache.Lookup(0, "a"), nullptr);
+  // The shared_ptr pins the evicted answer; it is still fully readable.
+  EXPECT_EQ(held->ToString(), "{7}");
+}
+
+TEST(CacheLruTest, TtlExpiresEntriesLazily) {
+  SourceCallCache::Options options;
+  options.ttl_seconds = 0.02;
+  SourceCallCache cache(options);
+  cache.Insert(0, "a", Ints({1}));
+  EXPECT_NE(cache.Lookup(0, "a"), nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(cache.Lookup(0, "a"), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_GE(cache.evictions(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation and flight fencing
+// ---------------------------------------------------------------------------
+
+TEST(CacheInvalidationTest, InvalidateDropsOnlyThatSource) {
+  SourceCallCache cache;
+  cache.Insert(0, "c", Ints({1}));
+  cache.Insert(1, "c", Ints({2}));
+  cache.InsertLoad(0, Relation(Schema({{"L", ValueType::kInt64}})));
+  cache.Invalidate(0);
+  EXPECT_EQ(cache.Lookup(0, "c"), nullptr);
+  EXPECT_EQ(cache.LookupLoad(0), nullptr);
+  EXPECT_NE(cache.Lookup(1, "c"), nullptr);
+  EXPECT_EQ(cache.invalidations(), 1u);
+}
+
+TEST(CacheInvalidationTest, InvalidationDropsTheInFlightPublish) {
+  SourceCallCache cache;
+  SourceCallCache::FlightGuard flight = cache.BeginFlight(0, "c");
+  ASSERT_EQ(flight.cached(), nullptr);  // leader
+  // The source's data changes while the call is outstanding.
+  cache.Invalidate(0);
+  flight.Fulfill(Ints({42}));  // stale answer: publish must be dropped
+  EXPECT_EQ(cache.Lookup(0, "c"), nullptr);
+  // A different source's flights are not fenced.
+  SourceCallCache::FlightGuard other = cache.BeginFlight(1, "c");
+  ASSERT_EQ(other.cached(), nullptr);
+  other.Fulfill(Ints({7}));
+  EXPECT_NE(cache.Lookup(1, "c"), nullptr);
+}
+
+TEST(CacheInvalidationTest, FencedWaiterIsPromotedAndPublishesFreshAnswer) {
+  SourceCallCache cache;
+  auto leader = std::make_unique<SourceCallCache::FlightGuard>(
+      cache.BeginFlight(0, "c"));
+  ASSERT_EQ(leader->cached(), nullptr);
+  std::thread waiter([&] {
+    SourceCallCache::FlightGuard flight = cache.BeginFlight(0, "c");
+    // The leader's publish was dropped by the invalidation, so this caller
+    // is promoted to leader and performs the (fresh) call itself.
+    ASSERT_EQ(flight.cached(), nullptr);
+    flight.Fulfill(Ints({2026}));
+  });
+  while (cache.flights_deduplicated() == 0) {
+    std::this_thread::yield();
+  }
+  cache.Invalidate(0);
+  leader->Fulfill(Ints({1998}));  // stale: dropped
+  leader.reset();
+  waiter.join();
+  const std::shared_ptr<const ItemSet> fresh = cache.Lookup(0, "c");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->ToString(), "{2026}");
+}
+
+TEST(CacheInvalidationTest, ClearResetsEntriesStatsAndFencesFlights) {
+  SourceCallCache cache;
+  cache.Insert(0, "a", Ints({1}));
+  EXPECT_NE(cache.Lookup(0, "a"), nullptr);  // one hit on the books
+  SourceCallCache::FlightGuard flight = cache.BeginFlight(0, "b");
+  ASSERT_EQ(flight.cached(), nullptr);
+  cache.Clear();
+  flight.Fulfill(Ints({3}));  // began before the Clear: publish dropped
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);  // stats reset
+  EXPECT_EQ(cache.Lookup(0, "b"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Containment reuse — derived answers must be byte-identical to what the
+// source itself would return.
+// ---------------------------------------------------------------------------
+
+Schema ItemSchema() {
+  return Schema({{"L", ValueType::kInt64}, {"V", ValueType::kString}});
+}
+
+/// 12 rows: L = 0..11, V = 'a' for even L, 'u' for odd L.
+SimulatedSource ParitySource() {
+  Relation r(ItemSchema());
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(r.Append({Value(i), Value(i % 2 == 0 ? "a" : "u")}).ok());
+  }
+  return SimulatedSource("R1", std::move(r), Capabilities{}, NetworkProfile{});
+}
+
+TEST(CacheContainmentTest, SemiJoinFromCachedSelectIsByteIdentical) {
+  SimulatedSource src = ParitySource();
+  const Condition cond = Condition::Eq("V", Value("a"));
+  CostLedger scratch;
+  const auto direct_sq = src.Select(cond, "L", &scratch);
+  ASSERT_TRUE(direct_sq.ok());
+  const ItemSet candidates = Ints({0, 1, 2, 3, 99});
+  const auto direct_sjq = src.SemiJoin(cond, "L", candidates, &scratch);
+  ASSERT_TRUE(direct_sjq.ok());
+
+  SourceCallCache cache;
+  cache.Insert(0, cond.CacheKey(), *direct_sq);
+  bool derived = false;
+  const std::shared_ptr<const ItemSet> answer =
+      cache.FindSemiJoin(0, cond, cond.CacheKey(), "L", candidates, &derived);
+  ASSERT_NE(answer, nullptr);
+  EXPECT_TRUE(derived);
+  EXPECT_EQ(*answer, *direct_sjq);
+  // A containment hit is also an exact-key miss (the sjq key was absent).
+  EXPECT_EQ(cache.containment_hits(), 1u);
+  EXPECT_GE(cache.misses(), cache.containment_hits());
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheContainmentTest, SelectAndSemiJoinFromCachedLoadAreByteIdentical) {
+  SimulatedSource src = ParitySource();
+  const Condition cond = Condition::Eq("V", Value("u"));
+  CostLedger scratch;
+  const auto direct_sq = src.Select(cond, "L", &scratch);
+  ASSERT_TRUE(direct_sq.ok());
+  const ItemSet candidates = Ints({1, 2, 3});
+  const auto direct_sjq = src.SemiJoin(cond, "L", candidates, &scratch);
+  ASSERT_TRUE(direct_sjq.ok());
+  const auto loaded = src.Load(&scratch);
+  ASSERT_TRUE(loaded.ok());
+
+  SourceCallCache cache;
+  cache.InsertLoad(0, *loaded);
+  const std::shared_ptr<const ItemSet> sq = cache.DeriveSelect(0, cond, "L");
+  ASSERT_NE(sq, nullptr);
+  EXPECT_EQ(*sq, *direct_sq);
+  bool derived = false;
+  const std::shared_ptr<const ItemSet> sjq =
+      cache.FindSemiJoin(0, cond, cond.CacheKey(), "L", candidates, &derived);
+  ASSERT_NE(sjq, nullptr);
+  EXPECT_TRUE(derived);
+  EXPECT_EQ(*sjq, *direct_sjq);
+}
+
+TEST(CacheContainmentTest, SemiJoinFromCandidateSupersetSemiJoin) {
+  SimulatedSource src = ParitySource();
+  const Condition cond = Condition::Eq("V", Value("a"));
+  const ItemSet superset = Ints({0, 1, 2, 3, 4, 5, 6});
+  const ItemSet subset = Ints({2, 3, 4});
+  CostLedger scratch;
+  const auto direct_superset = src.SemiJoin(cond, "L", superset, &scratch);
+  ASSERT_TRUE(direct_superset.ok());
+  const auto direct_subset = src.SemiJoin(cond, "L", subset, &scratch);
+  ASSERT_TRUE(direct_subset.ok());
+
+  SourceCallCache cache;
+  cache.InsertSemiJoin(0, cond.CacheKey(), superset, *direct_superset);
+  // Same candidate set: an exact hit, not a derivation.
+  bool derived = true;
+  std::shared_ptr<const ItemSet> exact =
+      cache.FindSemiJoin(0, cond, cond.CacheKey(), "L", superset, &derived);
+  ASSERT_NE(exact, nullptr);
+  EXPECT_FALSE(derived);
+  EXPECT_EQ(*exact, *direct_superset);
+  // Subset candidates: sjq(c, R, X) = sjq(c, R, Y) ∩ X for X ⊆ Y.
+  std::shared_ptr<const ItemSet> narrowed =
+      cache.FindSemiJoin(0, cond, cond.CacheKey(), "L", subset, &derived);
+  ASSERT_NE(narrowed, nullptr);
+  EXPECT_TRUE(derived);
+  EXPECT_EQ(*narrowed, *direct_subset);
+  // Non-subset candidates cannot be derived from the stored entry.
+  EXPECT_EQ(cache.FindSemiJoin(0, cond, cond.CacheKey(), "L",
+                               Ints({0, 100}), &derived),
+            nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical cache keys
+// ---------------------------------------------------------------------------
+
+TEST(CacheKeyTest, CommutativelyEqualConditionsShareOneKey) {
+  const Condition a = Condition::Eq("V", Value("a"));
+  const Condition b = Condition::Compare("L", CompareOp::kGt, Value(int64_t{5}));
+  EXPECT_EQ(Condition::And(a, b).CacheKey(), Condition::And(b, a).CacheKey());
+  EXPECT_EQ(Condition::Or(a, b).CacheKey(), Condition::Or(b, a).CacheKey());
+  // Duplicated conjuncts collapse.
+  EXPECT_EQ(Condition::And(a, Condition::And(b, a)).CacheKey(),
+            Condition::And(a, b).CacheKey());
+  // Raw text differs — only the canonical key is shared.
+  EXPECT_NE(Condition::And(a, b).ToString(), Condition::And(b, a).ToString());
+}
+
+TEST(CacheKeyTest, ReorderedConjunctsHitTheCacheAcrossExecutions) {
+  // Regression: the cache used to key on raw ToString(), so `a AND b`
+  // missed an entry stored under `b AND a` and re-paid the source call.
+  SourceCatalog catalog;
+  {
+    Relation r(ItemSchema());
+    for (int64_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(r.Append({Value(i), Value(i < 4 ? "a" : "u")}).ok());
+    }
+    ASSERT_TRUE(catalog
+                    .Add(std::make_unique<SimulatedSource>(
+                        "R1", std::move(r), Capabilities{}, NetworkProfile{}))
+                    .ok());
+  }
+  const Condition a = Condition::Eq("V", Value("a"));
+  const Condition b = Condition::Compare("L", CompareOp::kLt, Value(int64_t{2}));
+  Plan plan;
+  plan.SetResult(plan.EmitSelect(0, 0));
+
+  SourceCallCache cache;
+  ExecOptions exec;
+  exec.cache = &cache;
+  const auto first = ExecutePlan(plan, catalog,
+                                 FusionQuery("L", {Condition::And(a, b)}), exec);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->ledger.total(), 0.0);
+  const auto second = ExecutePlan(
+      plan, catalog, FusionQuery("L", {Condition::And(b, a)}), exec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->answer, first->answer);
+  EXPECT_EQ(second->ledger.total(), 0.0);  // answered from the memo
+  EXPECT_EQ(second->cache_hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Emulated semijoins probe through the cache
+// ---------------------------------------------------------------------------
+
+TEST(CacheProbeTest, RepeatedProbesAreAnsweredFromTheMemo) {
+  // R2 has passed-bindings-only semijoin support, so sjq is emulated as one
+  // probe selection per candidate. Growing the candidate set re-pays only
+  // the *new* probe: old probes answer from the cache, keyed on the
+  // canonical probe condition.
+  SourceCatalog catalog;
+  {
+    Relation r1(ItemSchema());
+    Relation r2(ItemSchema());
+    for (int64_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(r1.Append({Value(i), Value(i < 2 ? "a" : i < 3 ? "b" : "x")})
+                      .ok());
+      ASSERT_TRUE(r2.Append({Value(i), Value("u")}).ok());
+    }
+    ASSERT_TRUE(catalog
+                    .Add(std::make_unique<SimulatedSource>(
+                        "R1", std::move(r1), Capabilities{}, NetworkProfile{}))
+                    .ok());
+    Capabilities bindings_only;
+    bindings_only.semijoin = SemijoinSupport::kPassedBindingsOnly;
+    ASSERT_TRUE(catalog
+                    .Add(std::make_unique<SimulatedSource>(
+                        "R2", std::move(r2), bindings_only, NetworkProfile{}))
+                    .ok());
+  }
+  // Query 1 selects {0, 1} as candidates; query 2 selects {0, 1, 2}. The
+  // semijoin condition (c2 = V = 'u') is shared.
+  const Condition narrow = Condition::Eq("V", Value("a"));
+  const Condition wide =
+      Condition::Or(Condition::Eq("V", Value("a")), Condition::Eq("V", Value("b")));
+  const Condition probe_cond = Condition::Eq("V", Value("u"));
+  Plan plan;
+  const int x = plan.EmitSelect(0, 0);
+  plan.SetResult(plan.EmitSemiJoin(1, 1, x));
+
+  SourceCallCache cache;
+  ExecOptions exec;
+  exec.cache = &cache;
+  const auto first = ExecutePlan(plan, catalog,
+                                 FusionQuery("L", {narrow, probe_cond}), exec);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->emulated_semijoins, 1u);
+  EXPECT_EQ(first->answer.ToString(), "{0, 1}");
+
+  const auto second = ExecutePlan(plan, catalog,
+                                  FusionQuery("L", {wide, probe_cond}), exec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->answer.ToString(), "{0, 1, 2}");
+  // Probes for candidates 0 and 1 hit the memo; only candidate 2 paid.
+  EXPECT_GE(second->cache_hits, 2u);
+  size_t probe_charges = 0;
+  for (const Charge& c : second->ledger.charges()) {
+    if (c.kind == ChargeKind::kEmulatedSemiJoinProbe) ++probe_charges;
+  }
+  EXPECT_EQ(probe_charges, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: flights vs Clear/Invalidate vs eviction (run under TSan via
+// the `concurrency` label)
+// ---------------------------------------------------------------------------
+
+TEST(CacheConcurrencyTest, FlightsSurviveConcurrentClearInvalidateAndEviction) {
+  SourceCallCache::Options options;
+  options.max_bytes = 6 * OneEntryBytes();
+  SourceCallCache cache(options);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> budget_violations{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 400; ++i) {
+        const std::string key = "c" + std::to_string((t * 7 + i) % 16);
+        SourceCallCache::FlightGuard flight =
+            cache.BeginFlight(static_cast<size_t>(i % 3), key);
+        if (flight.cached() != nullptr) {
+          (void)flight.cached()->size();  // must stay readable
+        } else if (i % 7 != 0) {          // sometimes abandon the flight
+          flight.Fulfill(Ints({i, i + t}));
+        }
+        bool derived = false;
+        (void)cache.FindSemiJoin(static_cast<size_t>(i % 3),
+                                 Condition::Eq("V", Value("a")), key, "L",
+                                 Ints({1, 2}), &derived);
+      }
+    });
+  }
+  std::thread churn([&] {
+    while (!stop.load()) {
+      cache.Invalidate(1);
+      cache.Clear();
+      std::this_thread::yield();
+    }
+  });
+  std::thread auditor([&] {
+    while (!stop.load()) {
+      if (cache.bytes() > options.max_bytes) ++budget_violations;
+      (void)cache.StatsSnapshot();
+      (void)cache.Lookup(0, "c1");
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  stop.store(true);
+  churn.join();
+  auditor.join();
+  EXPECT_EQ(budget_violations.load(), 0u);
+  EXPECT_LE(cache.bytes(), options.max_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-aware optimization: a repeated session query must get strictly
+// cheaper when the optimizer is allowed to plan through the cache.
+// ---------------------------------------------------------------------------
+
+/// Two native-semijoin sources whose conditions are *negatively correlated*:
+/// c_a ("V = 'a'") matches ~800 items per source, c_u ("V = 'u'") matches
+/// 300 per source, and their join overlaps in only 5 items (L = 2000..2004).
+/// Shipping item sets is nearly free (cost_per_item_sent = 0.001) while
+/// receiving answers is expensive (1.0/item) — the regime where anchoring on
+/// the *cached* unselective condition and semijoining the other wins big,
+/// but only an optimizer that knows c_a is cached will pick that order.
+SourceCatalog CorrelatedCatalog() {
+  NetworkProfile net;
+  net.query_overhead = 10.0;
+  net.cost_per_item_sent = 0.001;
+  net.cost_per_item_received = 1.0;
+  SourceCatalog catalog;
+  Relation r1(ItemSchema());
+  for (int64_t i = 0; i < 800; ++i) EXPECT_TRUE(r1.Append({Value(i), Value("a")}).ok());
+  for (int64_t i = 2000; i < 2005; ++i) EXPECT_TRUE(r1.Append({Value(i), Value("a")}).ok());
+  for (int64_t i = 2800; i < 3100; ++i) EXPECT_TRUE(r1.Append({Value(i), Value("u")}).ok());
+  EXPECT_TRUE(catalog
+                  .Add(std::make_unique<SimulatedSource>("R1", std::move(r1),
+                                                         Capabilities{}, net))
+                  .ok());
+  Relation r2(ItemSchema());
+  for (int64_t i = 700; i < 1500; ++i) EXPECT_TRUE(r2.Append({Value(i), Value("a")}).ok());
+  for (int64_t i = 2000; i < 2005; ++i) EXPECT_TRUE(r2.Append({Value(i), Value("u")}).ok());
+  for (int64_t i = 3100; i < 3395; ++i) EXPECT_TRUE(r2.Append({Value(i), Value("u")}).ok());
+  EXPECT_TRUE(catalog
+                  .Add(std::make_unique<SimulatedSource>("R2", std::move(r2),
+                                                         Capabilities{}, net))
+                  .ok());
+  return catalog;
+}
+
+TEST(CacheAwareOptimizationTest, RepeatedQueryIsStrictlyCheaperThanOblivious) {
+  const Condition c_a = Condition::Eq("V", Value("a"));
+  const Condition c_u = Condition::Eq("V", Value("u"));
+  const FusionQuery warmup("L", {c_a});
+  const FusionQuery query("L", {c_a, c_u});
+
+  // Two identical sessions over identical catalogs; only the optimizer's
+  // cache awareness differs. Both *execute* with the cache.
+  auto run = [&](bool cache_aware) -> std::pair<ItemSet, double> {
+    QuerySession::Options options;
+    options.strategy = OptimizerStrategy::kSja;
+    options.cache_aware_optimization = cache_aware;
+    QuerySession session(Mediator(CorrelatedCatalog()), options);
+    const auto first = session.Answer(warmup);
+    EXPECT_TRUE(first.ok());
+    const auto second = session.Answer(query);
+    EXPECT_TRUE(second.ok());
+    if (!second.ok()) return {ItemSet(), -1.0};
+    return {second->items, second->execution.ledger.total()};
+  };
+  const auto [oblivious_answer, oblivious_cost] = run(false);
+  const auto [aware_answer, aware_cost] = run(true);
+
+  // Same answer, byte-identical, with or without cache-aware planning.
+  EXPECT_EQ(aware_answer, oblivious_answer);
+  EXPECT_EQ(aware_answer,
+            Ints({2000, 2001, 2002, 2003, 2004}));
+  // The cache-aware plan anchors on the cached c_a union (free) and
+  // semijoins c_u against it; the oblivious plan re-derives the cold-cache
+  // order and pays the full sq(c_u, ·) union. Strictly cheaper — this is
+  // the tentpole acceptance bar.
+  ASSERT_GE(oblivious_cost, 0.0);
+  ASSERT_GE(aware_cost, 0.0);
+  EXPECT_LT(aware_cost, oblivious_cost);
+}
+
+TEST(CacheAwareOptimizationTest, CostModelRepricesOnlyCachedCalls) {
+  // Unit-level: the decorator zeroes sq/sjq for view-marked pairs and lq
+  // for cached sources, leaves everything else alone, and never turns an
+  // infinite (unsupported) semijoin finite.
+  class FixedModel final : public CostModel {
+   public:
+    size_t num_conditions() const override { return 2; }
+    size_t num_sources() const override { return 2; }
+    double universe_size() const override { return 100.0; }
+    double SqCost(size_t, size_t) const override { return 5.0; }
+    double SjqCost(size_t, size_t source, const SetEstimate&) const override {
+      return source == 1 ? std::numeric_limits<double>::infinity() : 3.0;
+    }
+    double LqCost(size_t) const override { return 7.0; }
+    SetEstimate SqResult(size_t, size_t) const override {
+      return SetEstimate{10.0};
+    }
+    SetEstimate SjqResult(size_t, size_t, const SetEstimate& x) const override {
+      return x;
+    }
+    double FetchCost(size_t, double) const override { return 1.0; }
+  };
+  FixedModel base;
+  QueryCacheView view;
+  view.sq_answerable = {{1, 1}, {0, 0}};  // c0 cached everywhere, c1 nowhere
+  view.lq_cached = {1, 0};
+  EXPECT_TRUE(view.AnySet());
+  const CacheAwareCostModel model(base, view);
+  const SetEstimate x{4.0};
+  EXPECT_EQ(model.SqCost(0, 0), 0.0);
+  EXPECT_EQ(model.SqCost(1, 0), 5.0);
+  EXPECT_EQ(model.SjqCost(0, 0, x), 0.0);
+  EXPECT_EQ(model.SjqCost(1, 0, x), 3.0);
+  // Cached sq cannot rescue a source that cannot semijoin at all.
+  EXPECT_EQ(model.SjqCost(0, 1, x), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(model.LqCost(0), 0.0);
+  EXPECT_EQ(model.LqCost(1), 7.0);
+  EXPECT_EQ(QueryCacheView{}.AnySet(), false);
+}
+
+}  // namespace
+}  // namespace fusion

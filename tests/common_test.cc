@@ -174,6 +174,36 @@ TEST(ItemSetTest, SubsetChecks) {
   EXPECT_FALSE(Ints({1, 4}).IsSubsetOf(Ints({1, 2, 3})));
 }
 
+TEST(ItemSetTest, UnionInPlaceMatchesUnion) {
+  ItemSet acc = Ints({1, 3, 5});
+  acc.UnionInPlace(Ints({2, 3, 4}));
+  EXPECT_EQ(acc, Ints({1, 2, 3, 4, 5}));
+  // Disjoint tail: the append fast path must still produce a sorted set.
+  acc.UnionInPlace(Ints({6, 7}));
+  EXPECT_EQ(acc, Ints({1, 2, 3, 4, 5, 6, 7}));
+  // Idempotent.
+  acc.UnionInPlace(acc);
+  EXPECT_EQ(acc, Ints({1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ItemSetTest, UnionInPlaceEmptyIdentities) {
+  ItemSet acc;
+  acc.UnionInPlace(ItemSet());
+  EXPECT_TRUE(acc.empty());
+  acc.UnionInPlace(Ints({1, 2}));
+  EXPECT_EQ(acc, Ints({1, 2}));
+  acc.UnionInPlace(ItemSet());
+  EXPECT_EQ(acc, Ints({1, 2}));
+}
+
+TEST(ItemSetTest, ApproxBytesGrowsWithContents) {
+  const ItemSet small = Ints({1});
+  ItemSet big = Ints({1});
+  for (int64_t i = 2; i < 100; ++i) big.Insert(Value(i));
+  EXPECT_GT(small.ApproxBytes(), 0u);
+  EXPECT_GT(big.ApproxBytes(), small.ApproxBytes());
+}
+
 TEST(ItemSetTest, MixedTypeElementsKeepTotalOrder) {
   ItemSet s({Value("b"), Value(int64_t{1}), Value("a"), Value(2.5)});
   EXPECT_EQ(s.size(), 4u);

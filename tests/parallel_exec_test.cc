@@ -494,7 +494,7 @@ TEST(SingleFlightTest, AbandonedFlightPromotesAWaiter) {
   leader.join();
   waiter.join();
   EXPECT_EQ(fulfilled.load(), 1);
-  const ItemSet* entry = cache.Lookup(0, "c");
+  const std::shared_ptr<const ItemSet> entry = cache.Lookup(0, "c");
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->ToString(), "{'x'}");
 }

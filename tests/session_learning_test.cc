@@ -69,6 +69,10 @@ TEST(QuerySessionTest, LearnedStatisticsImproveLaterPlans) {
 
   QuerySession::Options options;
   options.strategy = OptimizerStrategy::kSja;
+  // Plan cache-obliviously: this test scores the *learned-statistics* plan
+  // against the oracle optimum, and cache-aware re-pricing would swap in a
+  // warm-cache plan that looks expensive under the (cache-free) oracle.
+  options.cache_aware_optimization = false;
   QuerySession session(Mediator(std::move(instance.catalog)), options);
 
   const auto first = session.Answer(query);

@@ -39,7 +39,7 @@ TEST(SourceCallCacheTest, LookupInsertAndStats) {
   EXPECT_EQ(cache.Lookup(0, "V = 'dui'"), nullptr);
   EXPECT_EQ(cache.misses(), 1u);
   cache.Insert(0, "V = 'dui'", ItemSet({Value("J55")}));
-  const ItemSet* hit = cache.Lookup(0, "V = 'dui'");
+  const std::shared_ptr<const ItemSet> hit = cache.Lookup(0, "V = 'dui'");
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->ToString(), "{'J55'}");
   EXPECT_EQ(cache.hits(), 1u);

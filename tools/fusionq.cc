@@ -21,6 +21,7 @@
 #include "cli/catalog_config.h"
 #include "common/str_util.h"
 #include "common/file_util.h"
+#include "exec/source_call_cache.h"
 #include "exec/source_health.h"
 #include "mediator/mediator.h"
 #include "obs/metrics.h"
@@ -52,6 +53,11 @@ struct Args {
   double deadline_ms = 0.0;       // per-query deadline (0 = none)
   double retry_backoff_ms = 0.0;  // initial retry backoff (0 = immediate)
   double call_timeout_ms = 0.0;   // per-call timeout (0 = none)
+  // Result cache.
+  bool cache = false;          // attach a SourceCallCache to the run
+  double cache_mb = 0.0;       // byte budget in MiB (0 = unbounded)
+  double cache_ttl_ms = 0.0;   // entry TTL (0 = never expires)
+  int repeat = 1;              // execute the query N times (cache demo)
 };
 
 void PrintUsage() {
@@ -76,6 +82,14 @@ void PrintUsage() {
       "  --call-timeout-ms=MS  per-source-call timeout (0 = none)\n"
       "  --deadline-ms=MS per-query deadline; with --on-failure=degrade the\n"
       "                   partial answer gathered in time is returned\n"
+      "  --cache          attach a source-call result cache (sq/sjq/lq memo\n"
+      "                   with containment reuse) and print its statistics\n"
+      "  --cache-mb=MB    cache byte budget in MiB, LRU-evicted (implies\n"
+      "                   --cache; 0 = unbounded)\n"
+      "  --cache-ttl-ms=MS  cache entry time-to-live (implies --cache;\n"
+      "                   0 = never expires)\n"
+      "  --repeat=N       run the query N times against the same cache —\n"
+      "                   shows the warm-cache cost drop (default 1)\n"
       "  --trace=FILE     record spans; write Chrome trace-event JSON to\n"
       "                   FILE (open in chrome://tracing or Perfetto)\n"
       "  --trace-summary  record spans; print a per-category rollup\n"
@@ -134,6 +148,33 @@ Result<Args> ParseArgs(int argc, char** argv) {
     }
     if (ParseFlag(a, "--call-timeout-ms", &number)) {
       args.call_timeout_ms = std::atof(number.c_str());
+      continue;
+    }
+    if (ParseFlag(a, "--cache-mb", &number)) {
+      args.cache_mb = std::atof(number.c_str());
+      if (args.cache_mb < 0.0) {
+        return Status::InvalidArgument("--cache-mb must be >= 0");
+      }
+      args.cache = true;
+      continue;
+    }
+    if (ParseFlag(a, "--cache-ttl-ms", &number)) {
+      args.cache_ttl_ms = std::atof(number.c_str());
+      if (args.cache_ttl_ms < 0.0) {
+        return Status::InvalidArgument("--cache-ttl-ms must be >= 0");
+      }
+      args.cache = true;
+      continue;
+    }
+    if (ParseFlag(a, "--repeat", &number)) {
+      args.repeat = std::atoi(number.c_str());
+      if (args.repeat < 1) {
+        return Status::InvalidArgument("--repeat must be >= 1");
+      }
+      continue;
+    }
+    if (std::strcmp(a, "--cache") == 0) {
+      args.cache = true;
       continue;
     }
     if (std::strcmp(a, "--trace-summary") == 0) {
@@ -262,11 +303,28 @@ int Run(int argc, char** argv) {
   }
   SourceHealth health;
   exec_options.health = &health;
-  const auto report = ExecutePlan(optimized->plan, mediator.catalog(), *query,
-                                  exec_options);
-  if (!report.ok()) {
-    std::fprintf(stderr, "execute: %s\n", report.status().ToString().c_str());
-    return 1;
+  SourceCallCache::Options cache_options;
+  cache_options.max_bytes =
+      static_cast<size_t>(args->cache_mb * 1024.0 * 1024.0);
+  cache_options.ttl_seconds = args->cache_ttl_ms / 1e3;
+  SourceCallCache cache(cache_options);
+  if (args->cache) exec_options.cache = &cache;
+
+  Result<ExecutionReport> report = Status::Internal("no runs");
+  for (int run = 0; run < args->repeat; ++run) {
+    report = ExecutePlan(optimized->plan, mediator.catalog(), *query,
+                         exec_options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "execute: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (args->repeat > 1) {
+      std::printf("run %d: cost %.3f (%zu cache hits, %zu misses, "
+                  "%zu containment)\n",
+                  run + 1, report->ledger.total(), report->cache_hits,
+                  report->cache_misses, report->cache_containment_hits);
+    }
   }
 
   if (tracing) {
@@ -303,6 +361,14 @@ int Run(int argc, char** argv) {
     std::printf(" (%zu breaker fast-fails)", report->breaker_fast_fails);
   }
   std::printf("\n");
+  if (args->cache) {
+    const SourceCallCache::Stats cs = cache.StatsSnapshot();
+    std::printf(
+        "cache: %zu hits, %zu misses (%zu answered by containment), "
+        "%zu evictions, %zu entries, %zu bytes\n",
+        cs.hits, cs.misses, cs.containment_hits, cs.evictions, cs.entries,
+        cs.bytes);
+  }
   if (!report->completeness.answer_complete) {
     std::vector<std::string> cond_names;
     for (const Condition& c : query->conditions()) {
