@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "mediator/mediator.h"
+#include "mediator/client.h"
 #include "workload/bibliographic.h"
 
 using namespace fusion;
@@ -39,21 +39,23 @@ int main() {
   }
   std::printf("\n\nsearch: %s\n\n", query.ToString().c_str());
 
-  Mediator mediator(std::move(instance->catalog));
-  MediatorOptions options;
-  options.statistics = StatisticsMode::kOracle;
-  options.strategy = OptimizerStrategy::kSjaPlus;
+  auto client = Client::Builder()
+                    .Catalog(std::move(instance->catalog))
+                    .Statistics(StatisticsMode::kOracle)
+                    .Strategy(OptimizerStrategy::kSjaPlus)
+                    .Build();
+  if (!client.ok()) return Fail(client.status());
 
   // Phase 1: fuse matching ids across libraries.
-  const auto answer = mediator.Answer(query, options);
+  const auto answer = client->Query(query);
   if (!answer.ok()) return Fail(answer.status());
   std::printf("phase 1: %zu matching documents, cost %.0f (%zu queries, "
               "%zu semijoins emulated)\n",
-              answer->items.size(), answer->execution.ledger.total(),
-              answer->execution.ledger.num_queries(),
-              answer->execution.emulated_semijoins);
+              answer->items.size(), answer->cost, answer->source_queries,
+              answer->detail->execution.emulated_semijoins);
 
   // Phase 2: page through full records, 5 at a time (like a result screen).
+  Mediator& mediator = client->session()->mediator();
   const std::vector<Value>& ids = answer->items.values();
   double phase2_cost = 0;
   size_t pages = 0;
@@ -79,15 +81,14 @@ int main() {
   }
   std::printf("\nphase 2: %zu pages fetched, total cost %.0f\n", pages,
               phase2_cost);
-  std::printf("total (two-phase): %.0f\n",
-              answer->execution.ledger.total() + phase2_cost);
+  std::printf("total (two-phase): %.0f\n", answer->cost + phase2_cost);
 
   // Smarter phase 2: phase 1 already revealed which library returned each
   // id, so the mediator can fetch from witnesses only (greedy set cover)
   // instead of broadcasting every page to all libraries.
   CostLedger witness_ledger;
   const auto witness_records = mediator.FetchRecordsFromWitnesses(
-      query, answer->execution, &witness_ledger);
+      query, answer->detail->execution, &witness_ledger);
   if (!witness_records.ok()) return Fail(witness_records.status());
   std::printf("witness-based phase 2 (all matches in one pass): cost %.0f "
               "for %zu records\n",

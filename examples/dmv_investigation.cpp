@@ -4,12 +4,13 @@
 // paper's introduction motivates.
 //
 // The example compares what each optimizer strategy pays for the same
-// question ("drivers with both a dui and a speeding violation"), prints the
-// winning plan, and then runs a second investigation with a date predicate
-// to show condition parsing.
+// question ("drivers with both a dui and a speeding violation") using the
+// client API's per-call strategy override, prints the winning plan, and then
+// runs a second investigation with a date predicate to show condition
+// parsing.
 #include <cstdio>
 
-#include "mediator/mediator.h"
+#include "mediator/client.h"
 #include "workload/dmv.h"
 
 using namespace fusion;
@@ -47,7 +48,15 @@ int main() {
   std::printf(" totalling %zu violation records\n\n", total);
 
   const FusionQuery query = instance->query;
-  Mediator mediator(std::move(instance->catalog));
+  // One client over the federation. Oracle statistics and no result cache:
+  // the strategy comparison below must meter every plan's full traffic, not
+  // a warm-cache rerun of the first plan's.
+  auto client = Client::Builder()
+                    .Catalog(std::move(instance->catalog))
+                    .Statistics(StatisticsMode::kOracle)
+                    .UseCache(false)
+                    .Build();
+  if (!client.ok()) return Fail(client.status());
 
   std::printf("query: %s\n\n", query.ToString().c_str());
   std::printf("%-10s %10s %12s %10s  %s\n", "strategy", "queries", "cost",
@@ -57,16 +66,14 @@ int main() {
        {OptimizerStrategy::kFilter, OptimizerStrategy::kSj,
         OptimizerStrategy::kSja, OptimizerStrategy::kSjaPlus,
         OptimizerStrategy::kGreedySjaPlus}) {
-    MediatorOptions options;
-    options.strategy = strategy;
-    options.statistics = StatisticsMode::kOracle;
-    const auto answer = mediator.Answer(query, options);
+    CallControls controls;
+    controls.strategy = strategy;
+    const auto answer = client->Query(query, controls);
     if (!answer.ok()) return Fail(answer.status());
     std::printf("%-10s %10zu %12.0f %10zu  %s\n",
-                OptimizerStrategyName(strategy),
-                answer->execution.ledger.num_queries(),
-                answer->execution.ledger.total(), answer->items.size(),
-                PlanClassName(answer->optimized.plan_class));
+                OptimizerStrategyName(strategy), answer->source_queries,
+                answer->cost, answer->items.size(),
+                PlanClassName(answer->detail->optimized.plan_class));
     suspects = answer->items;
   }
 
@@ -74,22 +81,19 @@ int main() {
               suspects.size());
 
   // Refined question with a date range, written as SQL.
-  const auto refined = mediator.AnswerSql(
+  const auto refined = client->QuerySql(
       "SELECT u1.L FROM U u1, U u2 "
       "WHERE u1.L = u2.L AND u1.V = 'dui' AND u1.D >= 1995 "
-      "AND u2.V = 'sp'",
-      [] {
-        MediatorOptions o;
-        o.statistics = StatisticsMode::kOracle;
-        return o;
-      }());
+      "AND u2.V = 'sp'");
   if (!refined.ok()) return Fail(refined.status());
   std::printf("recent dui (>=1995) and any sp: %zu drivers, cost %.0f\n",
-              refined->items.size(), refined->execution.ledger.total());
+              refined->items.size(), refined->cost);
 
   // Second phase: pull the full records of the first investigation.
   CostLedger fetch_ledger;
-  const auto records = mediator.FetchRecords(query, suspects, &fetch_ledger);
+  const auto records =
+      client->session()->mediator().FetchRecords(query, suspects,
+                                                 &fetch_ledger);
   if (!records.ok()) return Fail(records.status());
   std::printf("\nphase 2: fetched %zu full records for %zu suspects "
               "(cost %.0f)\n",

@@ -1,15 +1,16 @@
 // Marketplace monitoring without oracle statistics: overlapping vendor
 // catalogs list products (skewed coverage, heterogeneous capabilities), and
-// the mediator must *calibrate its cost model by sampling* through the
-// public wrapper interface before planning — the realistic deployment mode
-// (cf. Zhu & Larson [25], cited by the paper for statistics gathering).
+// the client must *calibrate its cost model by sampling* through the public
+// wrapper interface before planning — the realistic deployment mode (cf.
+// Zhu & Larson [25], cited by the paper for statistics gathering).
 //
 // The example finds products that are simultaneously discounted at one
 // vendor, highly rated at another, and in stock somewhere, then compares
-// the calibrated plan against the oracle plan.
+// the calibrated plan against the oracle plan — switching statistics modes
+// per call over one client.
 #include <cstdio>
 
-#include "mediator/mediator.h"
+#include "mediator/client.h"
 #include "workload/synthetic.h"
 
 using namespace fusion;
@@ -47,24 +48,33 @@ int main() {
   std::printf("\nquery: %s\n\n", instance->query.ToString().c_str());
 
   const FusionQuery query = instance->query;
-  Mediator mediator(std::move(instance->catalog));
+
+  // One client; no result cache, so both runs below meter their full plan
+  // traffic and the comparison is statistics-mode against statistics-mode.
+  ClientOptions options;
+  options.strategy = OptimizerStrategy::kSjaPlus;
+  options.use_cache = false;
+  options.calibration.merge_domain_lo = 0;
+  options.calibration.merge_domain_hi =
+      static_cast<int64_t>(spec.universe_size) - 1;
+  options.calibration.num_range_probes = 5;
+  options.calibration.range_fraction = 0.05;
+  auto client = Client::Builder()
+                    .Catalog(std::move(instance->catalog))
+                    .Options(options)
+                    .Build();
+  if (!client.ok()) return Fail(client.status());
 
   // Realistic mode: statistics from sampling probes (costs real traffic).
-  MediatorOptions calibrated;
+  CallControls calibrated;
   calibrated.statistics = StatisticsMode::kCalibrated;
-  calibrated.calibration.merge_domain_lo = 0;
-  calibrated.calibration.merge_domain_hi =
-      static_cast<int64_t>(spec.universe_size) - 1;
-  calibrated.calibration.num_range_probes = 5;
-  calibrated.calibration.range_fraction = 0.05;
-  calibrated.strategy = OptimizerStrategy::kSjaPlus;
-  const auto real = mediator.Answer(query, calibrated);
+  const auto real = client->Query(query, calibrated);
   if (!real.ok()) return Fail(real.status());
 
   // Reference: what we would have done with perfect information.
-  MediatorOptions oracle = calibrated;
+  CallControls oracle;
   oracle.statistics = StatisticsMode::kOracle;
-  const auto ideal = mediator.Answer(query, oracle);
+  const auto ideal = client->Query(query, oracle);
   if (!ideal.ok()) return Fail(ideal.status());
 
   std::printf("interesting products found: %zu (both modes agree: %s)\n\n",
@@ -73,19 +83,16 @@ int main() {
   std::printf("%-12s %14s %14s %14s\n", "statistics", "probe cost",
               "plan cost", "total");
   std::printf("%-12s %14.0f %14.0f %14.0f\n", "calibrated",
-              real->calibration_cost, real->execution.ledger.total(),
-              real->calibration_cost + real->execution.ledger.total());
-  std::printf("%-12s %14.0f %14.0f %14.0f\n", "oracle", 0.0,
-              ideal->execution.ledger.total(),
-              ideal->execution.ledger.total());
+              real->calibration_cost, real->cost,
+              real->calibration_cost + real->cost);
+  std::printf("%-12s %14.0f %14.0f %14.0f\n", "oracle", 0.0, ideal->cost,
+              ideal->cost);
   std::printf(
       "\nplan regret from sampled statistics: %.1f%% (probes amortize over "
       "repeated queries against the same vendors)\n",
-      100.0 * (real->execution.ledger.total() /
-                   ideal->execution.ledger.total() -
-               1.0));
+      100.0 * (real->cost / ideal->cost - 1.0));
 
   std::printf("\ncalibrated plan:\n%s",
-              real->optimized.plan.ToString().c_str());
+              real->detail->optimized.plan.ToString().c_str());
   return 0;
 }

@@ -1,13 +1,14 @@
 // Quickstart: the paper's running example in ~60 lines of API use.
 //
 // Three state DMVs export overlapping violation records; we ask for drivers
-// with both a 'dui' and an 'sp' violation. The mediator optimizes the fusion
-// query (SJA+ by default), executes the plan against the sources, and
-// reports the answer plus the metered communication cost.
+// with both a 'dui' and an 'sp' violation. Everything goes through the one
+// client surface of the system — fusion::Client — which optimizes the
+// fusion query (SJA+ by default), executes the plan against the sources,
+// and reports the answer plus the metered communication cost.
 #include <cstdio>
 #include <memory>
 
-#include "mediator/mediator.h"
+#include "mediator/client.h"
 #include "source/simulated_source.h"
 
 using namespace fusion;
@@ -52,14 +53,19 @@ int main() {
     }
   }
 
-  // 3. Ask the mediator, in the paper's SQL form.
-  Mediator mediator(std::move(catalog));
-  MediatorOptions options;
-  options.statistics = StatisticsMode::kOracle;  // simulated sources
-  const auto answer = mediator.AnswerSql(
+  // 3. Build the client (simulated sources: oracle statistics) and ask it,
+  //    in the paper's SQL form.
+  auto client = Client::Builder()
+                    .Catalog(std::move(catalog))
+                    .Statistics(StatisticsMode::kOracle)
+                    .Build();
+  if (!client.ok()) {
+    std::fprintf(stderr, "client: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  const auto answer = client->QuerySql(
       "SELECT u1.L FROM U u1, U u2 "
-      "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'",
-      options);
+      "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'");
   if (!answer.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  answer.status().ToString().c_str());
@@ -70,11 +76,10 @@ int main() {
   std::printf("drivers with dui AND sp: %s\n\n",
               answer->items.ToString().c_str());
   std::printf("plan (%s, %s):\n%s\n",
-              answer->optimized.algorithm.c_str(),
-              PlanClassName(answer->optimized.plan_class),
-              answer->optimized.plan.ToString().c_str());
+              answer->detail->optimized.algorithm.c_str(),
+              PlanClassName(answer->detail->optimized.plan_class),
+              answer->detail->optimized.plan.ToString().c_str());
   std::printf("communication cost: %.2f over %zu source queries\n",
-              answer->execution.ledger.total(),
-              answer->execution.ledger.num_queries());
+              answer->cost, answer->source_queries);
   return 0;
 }

@@ -1,12 +1,13 @@
 // A federation behind the wire: every source sits behind the FUSIONP/1
 // wrapper protocol (serialized requests/responses, as a real deployment
-// would run over sockets), so the mediator has no oracle access at all. A
-// QuerySession plans from priors, learns statistics from execution
-// feedback, and reuses cached answers — the full production configuration.
+// would run over sockets), so the client has no oracle access at all. Its
+// session plans from priors, learns statistics from execution feedback, and
+// reuses cached answers — the full production configuration behind the one
+// fusion::Client surface.
 #include <cstdio>
 #include <memory>
 
-#include "mediator/session.h"
+#include "mediator/client.h"
 #include "protocol/remote_source.h"
 #include "protocol/source_server.h"
 #include "workload/dmv.h"
@@ -50,12 +51,18 @@ int main() {
   std::printf("connected to %zu sources over FUSIONP/1\n\n",
               remote_catalog.size());
 
-  // A session: no oracle statistics anywhere — priors, then feedback.
-  QuerySession::Options options;
+  // A client in its default statistics mode: no oracle anywhere — priors,
+  // then execution feedback (Builder::Statistics(std::nullopt) is the
+  // session-learned default).
+  ClientOptions options;
   options.strategy = OptimizerStrategy::kGreedySjaPlus;
   options.default_cardinality = 2000;
   options.default_universe = 3000;
-  QuerySession session(Mediator(std::move(remote_catalog)), options);
+  auto client = Client::Builder()
+                    .Catalog(std::move(remote_catalog))
+                    .Options(options)
+                    .Build();
+  if (!client.ok()) return Fail(client.status());
 
   const char* queries[] = {
       // The investigation escalates; conditions overlap across queries.
@@ -73,17 +80,16 @@ int main() {
   std::printf("%4s %10s %10s %10s %12s  %s\n", "#", "answers", "queries",
               "cost", "cache hits", "plan class");
   for (size_t i = 0; i < 4; ++i) {
-    const auto answer = session.AnswerSql(queries[i]);
+    const auto answer = client->QuerySql(queries[i]);
     if (!answer.ok()) return Fail(answer.status());
     std::printf("%4zu %10zu %10zu %10.0f %12zu  %s\n", i + 1,
-                answer->items.size(),
-                answer->execution.ledger.num_queries(),
-                answer->execution.ledger.total(), session.cache().hits(),
-                PlanClassName(answer->optimized.plan_class));
+                answer->items.size(), answer->source_queries, answer->cost,
+                client->session()->cache().hits(),
+                PlanClassName(answer->detail->optimized.plan_class));
   }
   std::printf(
       "\nsession learned %zu (source, condition) statistics; query 4 reused "
       "query 1's answers from the cache.\n",
-      session.observed_conditions());
+      client->session()->observed_conditions());
   return 0;
 }

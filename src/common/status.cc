@@ -24,8 +24,17 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
+}
+
+Result<StatusCode> StatusCodeFromName(const std::string& name) {
+  for (const StatusCode code : kAllStatusCodes) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return Status::ParseError("unknown status code name: " + name);
 }
 
 std::string Status::ToString() const {

@@ -9,6 +9,13 @@ namespace fusion {
 
 /// Error categories used across the library. Mirrors the usual database-system
 /// Status idiom (exceptions are not used anywhere in this codebase).
+///
+/// This is the **one** error taxonomy of the system: local library calls,
+/// the wrapper protocol (FUSIONP/1), and the client protocol (FUSIONQ/1)
+/// all carry exactly these codes, serialized by StatusCodeName and parsed
+/// back by StatusCodeFromName — no dialect re-codes errors at its boundary.
+/// Tests iterate kAllStatusCodes to pin that every code survives a
+/// serialize→parse round trip through both dialects.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -18,11 +25,25 @@ enum class StatusCode {
   kInternal,
   kParseError,
   kAlreadyExists,
-  kUnavailable,       // source down / circuit open: permanent for this query
+  kUnavailable,       // source down / circuit open / service saturated
   kDeadlineExceeded,  // per-call timeout, per-query deadline, or cost budget
+  kCancelled,         // the client withdrew the request (service CANCEL)
+};
+
+/// Every StatusCode, for exhaustive round-trip tests. Keep in sync with the
+/// enum (StatusCodeName's switch triggers -Wswitch when a code is added).
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,           StatusCode::kInvalidArgument,
+    StatusCode::kNotFound,     StatusCode::kUnsupported,
+    StatusCode::kOutOfRange,   StatusCode::kInternal,
+    StatusCode::kParseError,   StatusCode::kAlreadyExists,
+    StatusCode::kUnavailable,  StatusCode::kDeadlineExceeded,
+    StatusCode::kCancelled,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+/// The names double as the wire encoding of error codes in both protocol
+/// dialects; StatusCodeFromName is the inverse.
 const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error result, cheap to copy on the OK path.
@@ -60,6 +81,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -105,6 +129,11 @@ class Result {
   Status status_;
   std::optional<T> value_;
 };
+
+/// Parses a StatusCodeName back into its code ("Cancelled" →
+/// StatusCode::kCancelled); the inverse both protocol dialects use to
+/// decode error lines. kParseError for unknown names.
+Result<StatusCode> StatusCodeFromName(const std::string& name);
 
 }  // namespace fusion
 

@@ -22,6 +22,12 @@ double FaultState::remaining_seconds() const {
 }
 
 Status FaultState::Check() const {
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    static Counter& cancelled =
+        MetricsRegistry::Global().counter(metrics::kCancelledTotal);
+    cancelled.Increment();
+    return Status::Cancelled("query cancelled by client");
+  }
   if (remaining_seconds() < 0.0) {
     static Counter& exceeded = MetricsRegistry::Global().counter(
         metrics::kDeadlineExceededTotal);

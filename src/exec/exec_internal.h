@@ -61,15 +61,17 @@ class FaultState {
   explicit FaultState(const ExecOptions& options)
       : deadline_seconds_(options.deadline_seconds),
         cost_budget_(options.cost_budget),
+        cancel_(options.cancel),
         start_(std::chrono::steady_clock::now()) {}
 
   /// Seconds until the deadline (negative once passed); +infinity when no
   /// deadline is configured.
   double remaining_seconds() const;
 
-  /// Admission check before a source call or a backoff sleep: non-OK
-  /// (kDeadlineExceeded, and a deadline_exceeded_total tick) once the
-  /// deadline has passed or the cost budget is spent.
+  /// Admission check before a source call or a backoff sleep: non-OK once
+  /// the query was cancelled (kCancelled, checked first), the deadline has
+  /// passed, or the cost budget is spent (both kDeadlineExceeded, with a
+  /// deadline_exceeded_total tick).
   Status Check() const;
 
   void ChargeCost(double cost);
@@ -80,6 +82,7 @@ class FaultState {
  private:
   const double deadline_seconds_;
   const double cost_budget_;
+  const std::atomic<bool>* const cancel_;
   const std::chrono::steady_clock::time_point start_;
   std::atomic<double> cost_spent_{0.0};
 };

@@ -1,6 +1,7 @@
 #ifndef FUSION_EXEC_EXECUTOR_H_
 #define FUSION_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -184,6 +185,13 @@ struct ExecOptions {
   /// each source call against the cost charged so far (all ledgers,
   /// failed attempts included).
   double cost_budget = 0.0;
+  /// Optional cooperative cancellation token (the serving layer's CANCEL
+  /// path). When non-null and set, further source calls and backoff sleeps
+  /// fail fast with kCancelled; like the deadline, an in-flight call is not
+  /// interrupted, so cancellation latency is bounded by one call duration.
+  /// kCancelled is never retried and never degraded — a cancelled query
+  /// fails as a whole, immediately freeing its executor workers.
+  const std::atomic<bool>* cancel = nullptr;
   /// Whether an exhausted source fails the query or degrades the answer.
   SourceFailurePolicy on_source_failure = SourceFailurePolicy::kFail;
   /// Optional shared per-source circuit breakers (see exec/source_health.h).

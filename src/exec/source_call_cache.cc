@@ -366,6 +366,13 @@ bool SourceCallCache::ContainsLoad(size_t source) const {
   return it != entries_.end() && !ExpiredLocked(it->second);
 }
 
+bool SourceCallCache::ContainsSemiJoin(size_t source,
+                                       const std::string& cond_key) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(Key{source, Kind::kSjq, cond_key});
+  return it != entries_.end() && !ExpiredLocked(it->second);
+}
+
 size_t SourceCallCache::hits() const {
   std::unique_lock<std::mutex> lock(mu_);
   return hits_;

@@ -186,9 +186,12 @@ class SourceCallCache {
   void Clear();
 
   /// Planner probes (no statistics ticked, no LRU touch): whether the memo
-  /// can answer sq(cond_key, R_source) exactly / holds lq(R_source).
+  /// can answer sq(cond_key, R_source) exactly / holds lq(R_source) / holds
+  /// a semijoin anchor for (cond_key, R_source) — an sjq entry that answers
+  /// any contained candidate set.
   bool ContainsSelect(size_t source, const std::string& cond_key) const;
   bool ContainsLoad(size_t source) const;
+  bool ContainsSemiJoin(size_t source, const std::string& cond_key) const;
 
   /// Exact-key answers served from the memo.
   size_t hits() const;

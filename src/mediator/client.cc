@@ -1,0 +1,119 @@
+#include "mediator/client.h"
+
+#include "cli/catalog_config.h"
+#include "query/parser.h"
+
+namespace fusion {
+
+Result<Client> Client::Builder::Build() {
+  const int modes = (have_catalog_ ? 1 : 0) + (catalog_file_.empty() ? 0 : 1) +
+                    (endpoint_.empty() ? 0 : 1);
+  if (modes == 0) {
+    return Status::InvalidArgument(
+        "Client::Builder needs a catalog (Catalog / CatalogFile) or a "
+        "service endpoint (Connect)");
+  }
+  if (modes > 1) {
+    return Status::InvalidArgument(
+        "Client::Builder: Catalog, CatalogFile, and Connect are mutually "
+        "exclusive");
+  }
+  Client client;
+  if (!endpoint_.empty()) {
+    auto remote = std::make_unique<Remote>();
+    FUSION_ASSIGN_OR_RETURN(remote->socket, DialTcp(endpoint_));
+    remote->client_id = client_id_;
+    // HELLO handshake: validates that the peer speaks FUSIONQ/1 before the
+    // caller trusts the connection, and names the server for diagnostics.
+    ClientRequest hello;
+    hello.kind = ClientRequest::Kind::kHello;
+    hello.client_id = client_id_;
+    FUSION_RETURN_IF_ERROR(remote->socket.Send(SerializeClientRequest(hello)));
+    FUSION_ASSIGN_OR_RETURN(const std::string reply, remote->socket.Receive());
+    FUSION_ASSIGN_OR_RETURN(const ClientResponse response,
+                            ParseClientResponse(reply));
+    if (!response.ok) {
+      return Status(response.error_code, "hello: " + response.error_message);
+    }
+    client.server_ = response.server;
+    client.remote_ = std::move(remote);
+    return client;
+  }
+  SourceCatalog catalog = std::move(catalog_);
+  if (!catalog_file_.empty()) {
+    FUSION_ASSIGN_OR_RETURN(catalog, LoadCatalogFromFile(catalog_file_));
+  }
+  if (catalog.empty()) {
+    return Status::InvalidArgument("Client::Builder: catalog has no sources");
+  }
+  FUSION_RETURN_IF_ERROR(ValidateExecOptions(options_.execution));
+  client.session_ = std::make_unique<QuerySession>(
+      Mediator(std::move(catalog)), options_);
+  return client;
+}
+
+ClientAnswer SummarizeAnswer(QueryAnswer answer) {
+  ClientAnswer out;
+  out.items = answer.items;
+  out.cost = answer.execution.ledger.total();
+  out.source_queries = answer.execution.ledger.num_queries();
+  out.cache_hits = answer.execution.cache_hits;
+  out.cache_misses = answer.execution.cache_misses;
+  out.cache_containment_hits = answer.execution.cache_containment_hits;
+  out.calibration_cost = answer.calibration_cost;
+  out.complete = answer.execution.completeness.answer_complete;
+  out.detail = std::make_shared<const QueryAnswer>(std::move(answer));
+  return out;
+}
+
+Result<ClientAnswer> Client::Query(const FusionQuery& query,
+                                   const CallControls& controls) {
+  if (remote_ != nullptr) return RemoteQuery(query.ToSql(), controls);
+  FUSION_ASSIGN_OR_RETURN(QueryAnswer answer,
+                          session_->Answer(query, controls));
+  return SummarizeAnswer(std::move(answer));
+}
+
+Result<ClientAnswer> Client::QuerySql(const std::string& sql,
+                                      const CallControls& controls) {
+  if (remote_ != nullptr) return RemoteQuery(sql, controls);
+  FUSION_ASSIGN_OR_RETURN(FusionQuery query, ParseFusionQuery(sql));
+  return Query(query, controls);
+}
+
+Result<ClientAnswer> Client::RemoteQuery(const std::string& sql,
+                                         const CallControls& controls) {
+  // Planning/statistics choices are the *service's* configuration — a
+  // connected client cannot override them per call (every client shares one
+  // session), and silently ignoring the override would be worse than
+  // refusing it.
+  if (controls.strategy.has_value() || controls.statistics.has_value()) {
+    return Status::Unsupported(
+        "per-call strategy/statistics overrides are not available over a "
+        "fusionqd connection");
+  }
+  ClientRequest request;
+  request.kind = ClientRequest::Kind::kSubmit;
+  request.client_id = remote_->client_id;
+  request.sql = sql;
+  request.wait = true;
+  std::lock_guard<std::mutex> lock(remote_->mutex);
+  FUSION_RETURN_IF_ERROR(remote_->socket.Send(SerializeClientRequest(request)));
+  FUSION_ASSIGN_OR_RETURN(const std::string reply, remote_->socket.Receive());
+  FUSION_ASSIGN_OR_RETURN(const ClientResponse response,
+                          ParseClientResponse(reply));
+  if (!response.ok) {
+    return Status(response.error_code, response.error_message);
+  }
+  ClientAnswer out;
+  for (const Value& v : response.items) out.items.Insert(v);
+  out.cost = response.cost;
+  out.source_queries = response.source_queries;
+  out.cache_hits = response.cache_hits;
+  out.cache_misses = response.cache_misses;
+  out.calibration_cost = response.calibration_cost;
+  out.complete = response.complete;
+  return out;
+}
+
+}  // namespace fusion

@@ -1,0 +1,180 @@
+#ifndef FUSION_MEDIATOR_CLIENT_H_
+#define FUSION_MEDIATOR_CLIENT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "mediator/session.h"
+#include "protocol/client_protocol.h"
+#include "protocol/socket.h"
+
+namespace fusion {
+
+/// The one options struct of the client surface. Everything a caller can
+/// configure — optimizer strategy, statistics mode, execution/fault policy,
+/// cache and breaker bounds, planning priors — lives here, shared verbatim
+/// with QuerySession so the embedded and served paths cannot drift.
+using ClientOptions = QuerySession::Options;
+
+/// Per-call overrides (strategy / statistics / cancellation / deadline).
+using CallControls = QuerySession::CallControls;
+
+/// What a client gets back for one query: the fused answer plus the metering
+/// a caller acts on, identical in shape whether the query ran in-process or
+/// through a fusionqd service. `detail` carries the full QueryAnswer
+/// (optimized plan, execution report, ledger) in local mode and is null in
+/// remote mode — the wire protocol ships the summary, not the plan.
+struct ClientAnswer {
+  ItemSet items;
+  /// Total metered cost of this query's source traffic.
+  double cost = 0.0;
+  /// Source queries issued (ledger entries; cache hits issue none).
+  size_t source_queries = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_containment_hits = 0;  // local mode only (not on the wire)
+  /// Probe traffic charged by kCalibrated statistics (0 otherwise).
+  double calibration_cost = 0.0;
+  /// False iff the answer is sound but degraded (sources excluded).
+  bool complete = true;
+  std::shared_ptr<const QueryAnswer> detail;
+};
+
+/// Summarizes a full QueryAnswer into the client-facing ClientAnswer —
+/// the one conversion both the embedded client and the serving layer use,
+/// so local and served answers cannot diverge in shape.
+ClientAnswer SummarizeAnswer(QueryAnswer answer);
+
+/// The client API of the system: one facade over the whole stack
+/// (catalog → statistics → optimizer → executor → cache/breakers), built
+/// once and then asked fusion queries. Two modes behind the same surface:
+///
+///  - **embedded**: the client owns a QuerySession over a local catalog;
+///    every call runs the full mediator stack in-process;
+///  - **connected**: the client speaks FUSIONQ/1 to a fusionqd service
+///    (Builder::Connect), sharing that daemon's session — and therefore its
+///    result cache, breakers, and learned statistics — with every other
+///    connected client.
+///
+/// Construction goes through the Builder:
+///
+///   FUSION_ASSIGN_OR_RETURN(
+///       Client client,
+///       Client::Builder().CatalogFile("dmv.ini").Build());
+///   FUSION_ASSIGN_OR_RETURN(ClientAnswer a, client.QuerySql(sql));
+///
+/// A Client is move-only. An embedded client may be shared by concurrent
+/// threads (QuerySession is thread-safe); a connected client serializes its
+/// request/response exchanges internally.
+class Client {
+ public:
+  class Builder {
+   public:
+    /// Embedded mode over an already-built catalog.
+    Builder& Catalog(SourceCatalog catalog) {
+      catalog_ = std::move(catalog);
+      have_catalog_ = true;
+      return *this;
+    }
+    /// Embedded mode over an INI catalog config (see cli/catalog_config.h).
+    Builder& CatalogFile(const std::string& path) {
+      catalog_file_ = path;
+      return *this;
+    }
+    /// Connected mode: speak FUSIONQ/1 to a fusionqd at "host:port".
+    /// Mutually exclusive with Catalog/CatalogFile.
+    Builder& Connect(const std::string& endpoint) {
+      endpoint_ = endpoint;
+      return *this;
+    }
+    /// Connected mode's fair-scheduling identity (defaults to "anon"; every
+    /// distinct id gets its own round-robin turn at the service).
+    Builder& ClientId(const std::string& id) {
+      client_id_ = id;
+      return *this;
+    }
+    /// Replaces the whole options struct (then refine with the setters).
+    Builder& Options(const ClientOptions& options) {
+      options_ = options;
+      return *this;
+    }
+    Builder& Strategy(OptimizerStrategy strategy) {
+      options_.strategy = strategy;
+      return *this;
+    }
+    /// Fixed statistics mode; `std::nullopt` = session-learned (default).
+    Builder& Statistics(std::optional<StatisticsMode> mode) {
+      options_.statistics = mode;
+      return *this;
+    }
+    Builder& Execution(const ExecOptions& execution) {
+      options_.execution = execution;
+      return *this;
+    }
+    /// Attach/detach the cross-query result cache (embedded mode).
+    Builder& UseCache(bool use_cache) {
+      options_.use_cache = use_cache;
+      return *this;
+    }
+
+    /// Validates the configuration and builds the client. Embedded mode
+    /// requires a catalog; connected mode performs the HELLO handshake.
+    Result<Client> Build();
+
+   private:
+    SourceCatalog catalog_;
+    bool have_catalog_ = false;
+    std::string catalog_file_;
+    std::string endpoint_;
+    std::string client_id_ = "anon";
+    ClientOptions options_;
+  };
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Answers one fusion query (blocking). Thread-safe.
+  Result<ClientAnswer> Query(const FusionQuery& query) {
+    return Query(query, CallControls{});
+  }
+  Result<ClientAnswer> Query(const FusionQuery& query,
+                             const CallControls& controls);
+  Result<ClientAnswer> QuerySql(const std::string& sql) {
+    return QuerySql(sql, CallControls{});
+  }
+  Result<ClientAnswer> QuerySql(const std::string& sql,
+                                const CallControls& controls);
+
+  /// True when this client speaks to a fusionqd instead of running locally.
+  bool connected() const { return remote_ != nullptr; }
+  /// The server name from the HELLO handshake (empty in embedded mode).
+  const std::string& server() const { return server_; }
+
+  /// The embedded session, for callers that need the full surface
+  /// (ResetCache, InvalidateSource, health introspection). Null in
+  /// connected mode.
+  QuerySession* session() { return session_.get(); }
+  const QuerySession* session() const { return session_.get(); }
+
+ private:
+  struct Remote {
+    std::mutex mutex;  // one request/response exchange at a time
+    MessageSocket socket;
+    std::string client_id;
+  };
+
+  Client() = default;
+
+  Result<ClientAnswer> RemoteQuery(const std::string& sql,
+                                   const CallControls& controls);
+
+  std::unique_ptr<QuerySession> session_;  // embedded mode
+  std::unique_ptr<Remote> remote_;         // connected mode
+  std::string server_;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_MEDIATOR_CLIENT_H_

@@ -1,0 +1,288 @@
+#include "mediator/service.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fusion {
+namespace {
+
+void SetQueueGauges(size_t queued, size_t active_clients) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Gauge& depth = registry.gauge(metrics::kServiceQueueDepth);
+  static Gauge& clients = registry.gauge(metrics::kServiceActiveClients);
+  depth.Set(static_cast<double>(queued));
+  clients.Set(static_cast<double>(active_clients));
+}
+
+}  // namespace
+
+QueryService::QueryService(Mediator mediator, const Options& options)
+    : options_(options),
+      session_(std::make_unique<QuerySession>(std::move(mediator),
+                                              options.client)),
+      pool_(std::make_unique<ThreadPool>(options.workers)) {}
+
+QueryService::~QueryService() {
+  Shutdown();
+  // Drain + join: every admitted request has a PopAndRun task; with all
+  // cancellation tokens set they finish promptly (a running execution
+  // aborts at its next source-call admission).
+  pool_.reset();
+}
+
+void QueryService::Shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shutting_down_ = true;
+  for (auto& [ticket, request] : by_ticket_) {
+    if (!request->finished) {
+      request->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+Result<uint64_t> QueryService::Submit(const std::string& client_id,
+                                      const std::string& sql) {
+  RequestPtr request;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return Status::Unavailable("service is shutting down");
+    }
+    if (queued_ >= options_.max_queue) {
+      ++shedded_;
+      static Counter& shed =
+          MetricsRegistry::Global().counter(metrics::kServiceSheddedTotal);
+      shed.Increment();
+      return Status::Unavailable(
+          "service saturated (" + std::to_string(queued_) +
+          " requests queued); resubmit later");
+    }
+    request = std::make_shared<Request>();
+    request->ticket = ++next_ticket_;
+    request->client_id = client_id;
+    request->sql = sql;
+    by_ticket_[request->ticket] = request;
+    std::deque<RequestPtr>& queue = pending_[client_id];
+    if (queue.empty()) rotation_.push_back(client_id);
+    queue.push_back(request);
+    ++queued_;
+    SetQueueGauges(queued_, pending_.size());
+    static Counter& accepted =
+        MetricsRegistry::Global().counter(metrics::kServiceRequestsTotal);
+    accepted.Increment();
+  }
+  pool_->Submit([this] { PopAndRun(); });
+  return request->ticket;
+}
+
+QueryService::RequestPtr QueryService::NextLocked() {
+  while (!rotation_.empty()) {
+    const std::string client = std::move(rotation_.front());
+    rotation_.pop_front();
+    auto it = pending_.find(client);
+    if (it == pending_.end() || it->second.empty()) {
+      pending_.erase(client);
+      continue;
+    }
+    RequestPtr request = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) {
+      pending_.erase(it);
+    } else {
+      rotation_.push_back(client);  // more work: back of the rotation
+    }
+    --queued_;
+    SetQueueGauges(queued_, pending_.size());
+    return request;
+  }
+  return nullptr;
+}
+
+void QueryService::FinishLocked(const RequestPtr& request, std::string state,
+                                Result<ClientAnswer> outcome) {
+  request->state = std::move(state);
+  request->outcome = std::move(outcome);
+  request->finished = true;
+  retired_order_.push_back(request->ticket);
+  while (retired_order_.size() > options_.max_retained) {
+    by_ticket_.erase(retired_order_.front());
+    retired_order_.pop_front();
+  }
+  finished_cv_.notify_all();
+}
+
+void QueryService::PopAndRun() {
+  RequestPtr request;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    request = NextLocked();
+    if (request == nullptr) return;  // spurious: request already consumed
+    if (request->cancel.load(std::memory_order_relaxed)) {
+      static Counter& cancelled = MetricsRegistry::Global().counter(
+          metrics::kServiceCancelledTotal);
+      cancelled.Increment();
+      FinishLocked(request, "cancelled",
+                   Status::Cancelled("cancelled before execution"));
+      return;
+    }
+    request->state = "running";
+  }
+  Result<ClientAnswer> outcome = [&]() -> Result<ClientAnswer> {
+    ScopedSpan span(SpanCategory::kRpc, "service.request");
+    if (span.active()) {
+      span.AddAttr("client", request->client_id);
+      span.AddAttr("ticket", static_cast<int64_t>(request->ticket));
+    }
+    CallControls controls;
+    controls.cancel = &request->cancel;
+    FUSION_ASSIGN_OR_RETURN(QueryAnswer answer,
+                            session_->AnswerSql(request->sql, controls));
+    return SummarizeAnswer(std::move(answer));
+  }();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool was_cancelled =
+      !outcome.ok() && outcome.status().code() == StatusCode::kCancelled;
+  if (was_cancelled) {
+    static Counter& cancelled =
+        MetricsRegistry::Global().counter(metrics::kServiceCancelledTotal);
+    cancelled.Increment();
+  }
+  FinishLocked(request,
+               outcome.ok() ? "done" : (was_cancelled ? "cancelled" : "failed"),
+               std::move(outcome));
+}
+
+Result<ClientAnswer> QueryService::Wait(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = by_ticket_.find(ticket);
+  if (it == by_ticket_.end()) {
+    return Status::NotFound("unknown ticket " + std::to_string(ticket));
+  }
+  const RequestPtr request = it->second;  // keep alive across eviction
+  finished_cv_.wait(lock, [&] { return request->finished; });
+  return request->outcome;
+}
+
+Result<QueryService::RequestStatus> QueryService::Poll(uint64_t ticket) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_ticket_.find(ticket);
+  if (it == by_ticket_.end()) {
+    return Status::NotFound("unknown ticket " + std::to_string(ticket));
+  }
+  RequestStatus status;
+  status.state = it->second->state;
+  if (it->second->finished) status.outcome = it->second->outcome;
+  return status;
+}
+
+Status QueryService::Cancel(uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_ticket_.find(ticket);
+  if (it == by_ticket_.end()) {
+    return Status::NotFound("unknown ticket " + std::to_string(ticket));
+  }
+  // Cooperative: the flag is checked when the request is popped and at
+  // every source-call admission of a running execution. Idempotent, and a
+  // no-op on finished requests.
+  it->second->cancel.store(true, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+size_t QueryService::shedded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shedded_;
+}
+
+ClientResponse QueryService::HandleParsed(const ClientRequest& request) {
+  const std::string client_id =
+      request.client_id.empty() ? "anon" : request.client_id;
+  switch (request.kind) {
+    case ClientRequest::Kind::kHello: {
+      ClientResponse response;
+      response.server = options_.server_name;
+      return response;
+    }
+    case ClientRequest::Kind::kSubmit: {
+      if (request.sql.empty()) {
+        return ClientErrorResponse(
+            Status::InvalidArgument("SUBMIT requires an sql line"));
+      }
+      const Result<uint64_t> ticket = Submit(client_id, request.sql);
+      if (!ticket.ok()) return ClientErrorResponse(ticket.status());
+      if (!request.wait) {
+        ClientResponse response;
+        response.ticket = *ticket;
+        response.state = "queued";
+        return response;
+      }
+      Result<ClientAnswer> outcome = Wait(*ticket);
+      if (!outcome.ok()) {
+        ClientResponse response = ClientErrorResponse(outcome.status());
+        response.ticket = *ticket;
+        return response;
+      }
+      ClientResponse response;
+      response.ticket = *ticket;
+      response.state = "done";
+      for (const Value& v : outcome->items) response.items.push_back(v);
+      response.cost = outcome->cost;
+      response.source_queries = outcome->source_queries;
+      response.cache_hits = outcome->cache_hits;
+      response.cache_misses = outcome->cache_misses;
+      response.calibration_cost = outcome->calibration_cost;
+      response.complete = outcome->complete;
+      return response;
+    }
+    case ClientRequest::Kind::kStatus: {
+      const Result<RequestStatus> status = Poll(request.ticket);
+      if (!status.ok()) return ClientErrorResponse(status.status());
+      ClientResponse response;
+      if (status->state == "done") {
+        const ClientAnswer& answer = *status->outcome;
+        for (const Value& v : answer.items) response.items.push_back(v);
+        response.cost = answer.cost;
+        response.source_queries = answer.source_queries;
+        response.cache_hits = answer.cache_hits;
+        response.cache_misses = answer.cache_misses;
+        response.calibration_cost = answer.calibration_cost;
+        response.complete = answer.complete;
+      } else if (status->state == "failed" || status->state == "cancelled") {
+        response = ClientErrorResponse(status->outcome.status());
+      }
+      response.ticket = request.ticket;
+      response.state = status->state;
+      return response;
+    }
+    case ClientRequest::Kind::kCancel: {
+      const Status cancelled = Cancel(request.ticket);
+      if (!cancelled.ok()) return ClientErrorResponse(cancelled);
+      ClientResponse response;
+      response.ticket = request.ticket;
+      const Result<RequestStatus> status = Poll(request.ticket);
+      response.state = status.ok() ? status->state : "cancelled";
+      return response;
+    }
+  }
+  return ClientErrorResponse(Status::Internal("unknown request kind"));
+}
+
+std::string QueryService::Handle(const std::string& request_text) {
+  const Result<ClientRequest> request = ParseClientRequest(request_text);
+  if (!request.ok()) {
+    return SerializeClientResponse(ClientErrorResponse(request.status()));
+  }
+  return SerializeClientResponse(HandleParsed(*request));
+}
+
+void QueryService::ServeConnection(MessageSocket socket) {
+  for (;;) {
+    const Result<std::string> message = socket.Receive();
+    if (!message.ok()) return;  // peer closed (or transport error)
+    const std::string response = Handle(*message);
+    if (!socket.Send(response).ok()) return;
+  }
+}
+
+}  // namespace fusion

@@ -1,0 +1,176 @@
+#ifndef FUSION_MEDIATOR_SERVICE_H_
+#define FUSION_MEDIATOR_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "mediator/client.h"
+#include "mediator/session.h"
+#include "protocol/client_protocol.h"
+#include "protocol/socket.h"
+
+namespace fusion {
+
+/// The serving layer of fusionqd: multiplexes many concurrent clients onto
+/// **one** shared QuerySession, so every client benefits from — and
+/// contributes to — the same result cache, circuit breakers, and learned
+/// statistics. Two clients submitting the same query concurrently cost one
+/// set of source calls (the cache single-flights the overlap); a source
+/// that trips its breaker under one client's traffic fast-fails everyone
+/// else's calls too.
+///
+/// Request lifecycle:
+///
+///   Submit ──▶ admission (bounded queue; kUnavailable when saturated)
+///          ──▶ per-client FIFO, clients drained round-robin (fair share:
+///              a chatty client cannot starve an occasional one)
+///          ──▶ execution on the service's ThreadPool, with a cooperative
+///              cancellation token plumbed into the executor
+///          ──▶ outcome retained for STATUS/Wait, evicted FIFO after
+///              Options::max_retained completions
+///
+/// Surfaces: the programmatic Submit/Wait/Cancel/Status API (used by tests
+/// and embedded drivers), the protocol-level Handle() mapping one FUSIONQ/1
+/// request to one response, and ServeConnection() — the blocking
+/// read-dispatch-reply loop fusionqd runs per accepted socket.
+///
+/// All public methods are thread-safe; one QueryService instance serves
+/// every connection thread of the daemon.
+class QueryService {
+ public:
+  struct Options {
+    /// Server identity reported in the HELLO handshake.
+    std::string server_name = "fusionqd";
+    /// Executor workers: how many requests run concurrently. Each running
+    /// request may itself use ClientOptions::execution.parallelism pool
+    /// workers of its own for intra-query parallelism.
+    int workers = 4;
+    /// Admission bound: requests queued (admitted, not yet running) beyond
+    /// which Submit sheds load with kUnavailable. Running requests do not
+    /// count against the bound.
+    size_t max_queue = 64;
+    /// Completed requests retained for STATUS/Wait lookups before FIFO
+    /// eviction.
+    size_t max_retained = 256;
+    /// The shared session's configuration (statistics, cache, breakers,
+    /// execution policy) — one ClientOptions, same struct the embedded
+    /// client uses.
+    ClientOptions client;
+  };
+
+  /// One request's externally visible state.
+  struct RequestStatus {
+    /// "queued" | "running" | "done" | "failed" | "cancelled".
+    std::string state;
+    /// The outcome; meaningful once state is terminal ("done" carries the
+    /// answer, "failed"/"cancelled" the error).
+    Result<ClientAnswer> outcome = Status::Unavailable("not finished");
+  };
+
+  QueryService(Mediator mediator, const Options& options);
+  /// Cancels everything outstanding, drains the pool, joins.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits one query for `client_id` and returns its ticket, or
+  /// kUnavailable when the admission queue is full (load shedding — the
+  /// client should back off and resubmit) or the service is shutting down.
+  Result<uint64_t> Submit(const std::string& client_id,
+                          const std::string& sql);
+
+  /// Blocks until the ticket's request reaches a terminal state and
+  /// returns its outcome. kNotFound for unknown/evicted tickets.
+  Result<ClientAnswer> Wait(uint64_t ticket);
+
+  /// Snapshot of a ticket's state without blocking.
+  Result<RequestStatus> Poll(uint64_t ticket) const;
+
+  /// Requests cooperative cancellation: a queued request never starts; a
+  /// running one aborts at its next source-call admission (kCancelled) —
+  /// its executor workers are freed, not leaked. Idempotent.
+  Status Cancel(uint64_t ticket);
+
+  /// Protocol entry point: one serialized FUSIONQ/1 request in, one
+  /// serialized response out (never throws, never returns malformed text —
+  /// parse and execution failures become ERROR responses). SUBMIT with
+  /// wait=yes blocks until the answer: this is the driver that makes
+  /// concurrent clients exercise the shared cache and breakers.
+  std::string Handle(const std::string& request_text);
+
+  /// Runs the per-connection serve loop: receive one request, Handle it,
+  /// send the response, until the peer closes (or the socket errors).
+  /// fusionqd runs this on one thread per accepted connection.
+  void ServeConnection(MessageSocket socket);
+
+  /// Begins shutdown: rejects new submissions and cancels all outstanding
+  /// requests. Called by the destructor; exposed for the daemon's signal
+  /// path.
+  void Shutdown();
+
+  QuerySession& session() { return *session_; }
+  const std::string& server_name() const { return options_.server_name; }
+  /// Requests shed with kUnavailable at admission since construction.
+  size_t shedded() const;
+
+ private:
+  struct Request {
+    uint64_t ticket = 0;
+    std::string client_id;
+    std::string sql;
+    /// The cooperative cancellation token, plumbed into ExecOptions::cancel
+    /// for the whole execution.
+    std::atomic<bool> cancel{false};
+    std::string state = "queued";  // guarded by QueryService::mutex_
+    bool finished = false;         // guarded by QueryService::mutex_
+    Result<ClientAnswer> outcome = Status::Unavailable("pending");
+  };
+  using RequestPtr = std::shared_ptr<Request>;
+
+  /// Pops the next request in round-robin client order and runs it.
+  /// Exactly one PopAndRun task is pool-submitted per admitted request, so
+  /// the pool's queue length equals the admission queue length.
+  void PopAndRun();
+  /// Picks the next request under mutex_ (round-robin over clients with
+  /// pending work); null when nothing is queued.
+  RequestPtr NextLocked();
+  void FinishLocked(const RequestPtr& request, std::string state,
+                    Result<ClientAnswer> outcome);
+
+  ClientResponse HandleParsed(const ClientRequest& request);
+
+  Options options_;
+  std::unique_ptr<QuerySession> session_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable finished_cv_;
+  bool shutting_down_ = false;
+  uint64_t next_ticket_ = 0;
+  /// Per-client FIFO queues + the round-robin rotation over client ids
+  /// with pending work (a client id appears in rotation_ iff its queue is
+  /// non-empty; NextLocked pops the front id and re-appends it while work
+  /// remains — textbook fair round-robin).
+  std::map<std::string, std::deque<RequestPtr>> pending_;
+  std::deque<std::string> rotation_;
+  size_t queued_ = 0;
+  size_t shedded_ = 0;
+  /// Ticket index for STATUS/CANCEL/Wait; completed entries evicted FIFO.
+  std::map<uint64_t, RequestPtr> by_ticket_;
+  std::deque<uint64_t> retired_order_;
+
+  /// Declared last so its destructor (drain + join) runs before the state
+  /// it uses is torn down.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_MEDIATOR_SERVICE_H_

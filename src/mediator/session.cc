@@ -1,6 +1,7 @@
 #include "mediator/session.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/trace.h"
 #include "query/parser.h"
@@ -45,19 +46,38 @@ Result<ParametricCostModel> QuerySession::BuildSessionModel(
   return ParametricCostModel(std::move(params), universe);
 }
 
+namespace {
+
+/// Plan-memo key: the memo is consulted only when the caller asks for the
+/// same strategy (a strategy-comparison driver must get the strategy it
+/// asked for, not whatever plan happens to be anchored).
+std::string PlanMemoKey(const FusionQuery& query, OptimizerStrategy strategy) {
+  return std::string(OptimizerStrategyName(strategy)) + "|" + query.ToString();
+}
+
+}  // namespace
+
 QueryCacheView QuerySession::BuildCacheView(const FusionQuery& query) {
   const size_t num_sources = mediator_.catalog().size();
   QueryCacheView view;
   view.sq_answerable.assign(query.num_conditions(),
                             std::vector<char>(num_sources, 0));
+  view.sjq_answerable.assign(query.num_conditions(),
+                             std::vector<char>(num_sources, 0));
   view.lq_cached.assign(num_sources, 0);
   for (size_t j = 0; j < num_sources; ++j) {
     // A cached relation answers lq and, by containment, every sq/sjq on it.
     const bool lq = cache_.ContainsLoad(j);
     view.lq_cached[j] = lq ? 1 : 0;
     for (size_t i = 0; i < query.num_conditions(); ++i) {
-      if (lq || cache_.ContainsSelect(j, query.conditions()[i].CacheKey())) {
+      const std::string key = query.conditions()[i].CacheKey();
+      if (lq || cache_.ContainsSelect(j, key)) {
         view.sq_answerable[i][j] = 1;
+        view.sjq_answerable[i][j] = 1;
+      } else if (cache_.ContainsSemiJoin(j, key)) {
+        // A prior semijoin on this (condition, source) anchors containment
+        // derivation: a repeated query's candidates are answerable locally.
+        view.sjq_answerable[i][j] = 1;
       }
     }
   }
@@ -66,6 +86,7 @@ QueryCacheView QuerySession::BuildCacheView(const FusionQuery& query) {
 
 void QuerySession::Learn(const FusionQuery& query, const OptimizedPlan& plan,
                          const ExecutionReport& report) {
+  std::lock_guard<std::mutex> lock(knowledge_mutex_);
   // Selections reveal exact per-(source, condition) result sizes. Walk the
   // plan's ops next to the report's per-op costs/answers: we only get set
   // *sizes* from the ledger, but the executor's witness sets give the items
@@ -125,38 +146,94 @@ void QuerySession::Learn(const FusionQuery& query, const OptimizedPlan& plan,
   }
 }
 
-Result<QueryAnswer> QuerySession::Answer(const FusionQuery& raw_query) {
+Result<QueryAnswer> QuerySession::Answer(const FusionQuery& raw_query,
+                                         const CallControls& controls) {
   const FusionQuery query = raw_query.Canonicalized();
   FUSION_ASSIGN_OR_RETURN(const Schema schema,
                           mediator_.catalog().CommonSchema());
   FUSION_RETURN_IF_ERROR(query.Validate(schema));
 
+  const OptimizerStrategy strategy =
+      controls.strategy.value_or(options_.strategy);
+  const std::optional<StatisticsMode> statistics =
+      controls.statistics.has_value() ? controls.statistics
+                                      : options_.statistics;
+
+  CostLedger probe_ledger;
   Result<OptimizedPlan> optimized_or = [&]() -> Result<OptimizedPlan> {
     ScopedSpan span(SpanCategory::kPhase, "optimize");
     if (span.active()) {
-      span.AddAttr("strategy", OptimizerStrategyName(options_.strategy));
-      span.AddAttr("statistics", "session-learned");
+      span.AddAttr("strategy", OptimizerStrategyName(strategy));
+      span.AddAttr("statistics", statistics.has_value()
+                                     ? StatisticsModeName(*statistics)
+                                     : "session-learned");
     }
-    FUSION_ASSIGN_OR_RETURN(const ParametricCostModel model,
-                            BuildSessionModel(query));
+    // Build the base model: either a snapshot of the session-learned
+    // statistics (under the knowledge mutex — concurrent learners see a
+    // consistent view) or the mediator's fixed-mode model (oracle /
+    // parametric / calibrated; probes metered into probe_ledger).
+    std::unique_ptr<CostModel> fixed_model;
+    std::optional<ParametricCostModel> session_model;
+    if (statistics.has_value()) {
+      MediatorOptions mopts;
+      mopts.strategy = strategy;
+      mopts.statistics = *statistics;
+      mopts.calibration = options_.calibration;
+      mopts.postopt = options_.postopt;
+      FUSION_ASSIGN_OR_RETURN(
+          fixed_model, mediator_.BuildCostModel(query, mopts, &probe_ledger));
+    } else {
+      std::lock_guard<std::mutex> lock(knowledge_mutex_);
+      FUSION_ASSIGN_OR_RETURN(ParametricCostModel model,
+                              BuildSessionModel(query));
+      session_model.emplace(std::move(model));
+    }
+    const CostModel& model = fixed_model != nullptr
+                                 ? *fixed_model
+                                 : static_cast<const CostModel&>(
+                                       *session_model);
     // Cache-aware re-optimization: calls the memo can already answer are
     // priced at zero, so a repeated (or overlapping) query plans *through*
     // the cache instead of re-deriving the cold-cache plan.
-    if (options_.cache_aware_optimization) {
+    if (options_.use_cache && options_.cache_aware_optimization) {
       const QueryCacheView view = BuildCacheView(query);
       if (view.AnySet()) {
         if (span.active()) span.AddAttr("cache_aware", "true");
         const CacheAwareCostModel cached_model(model, view);
-        return RunOptimizer(cached_model, options_.strategy, options_.postopt);
+        FUSION_ASSIGN_OR_RETURN(
+            OptimizedPlan fresh,
+            RunOptimizer(cached_model, strategy, options_.postopt));
+        // Plan memo: re-running the plan this exact query executed last
+        // time turns every call into an exact cache hit, while a *fresh*
+        // plan with the same (often zero) estimate may order its semijoin
+        // chains differently and miss the cached anchors. So when the
+        // remembered plan re-prices at least as cheap as the fresh one,
+        // prefer it — ties must break toward the anchored plan.
+        std::lock_guard<std::mutex> lock(knowledge_mutex_);
+        const auto it = plan_memo_.find(PlanMemoKey(query, strategy));
+        if (it != plan_memo_.end()) {
+          const auto estimate = EstimatePlanCost(it->second.plan, cached_model);
+          if (estimate.ok() && estimate->total <= fresh.estimated_cost) {
+            OptimizedPlan remembered = it->second;
+            remembered.estimated_cost = estimate->total;
+            if (span.active()) span.AddAttr("plan_memo", "reused");
+            return remembered;
+          }
+        }
+        return fresh;
       }
     }
-    return RunOptimizer(model, options_.strategy, options_.postopt);
+    return RunOptimizer(model, strategy, options_.postopt);
   }();
   FUSION_ASSIGN_OR_RETURN(OptimizedPlan optimized, std::move(optimized_or));
 
   ExecOptions exec = options_.execution;
-  exec.cache = &cache_;
+  if (options_.use_cache) exec.cache = &cache_;
   if (exec.health == nullptr) exec.health = &health_;
+  if (controls.cancel != nullptr) exec.cancel = controls.cancel;
+  if (controls.deadline_seconds >= 0.0) {
+    exec.deadline_seconds = controls.deadline_seconds;
+  }
   Result<ExecutionReport> execution_or = [&]() -> Result<ExecutionReport> {
     ScopedSpan span(SpanCategory::kPhase, "execute");
     if (span.active()) {
@@ -173,17 +250,34 @@ Result<QueryAnswer> QuerySession::Answer(const FusionQuery& raw_query) {
     ScopedSpan span(SpanCategory::kPhase, "learn");
     Learn(query, optimized, execution);
   }
+  if (options_.use_cache && options_.cache_aware_optimization) {
+    // Remember the executed plan for this (query, strategy): its source
+    // calls are now cached under exactly its candidate sets, so replaying
+    // it on the next identical query is free.
+    std::lock_guard<std::mutex> lock(knowledge_mutex_);
+    const std::string key = PlanMemoKey(query, strategy);
+    if (plan_memo_.find(key) == plan_memo_.end()) {
+      plan_memo_order_.push_back(key);
+      if (plan_memo_order_.size() > kPlanMemoCapacity) {
+        plan_memo_.erase(plan_memo_order_.front());
+        plan_memo_order_.pop_front();
+      }
+    }
+    plan_memo_[key] = optimized;
+  }
 
   QueryAnswer answer;
   answer.items = execution.answer;
   answer.optimized = std::move(optimized);
   answer.execution = std::move(execution);
+  answer.calibration_cost = probe_ledger.total();
   return answer;
 }
 
-Result<QueryAnswer> QuerySession::AnswerSql(const std::string& sql) {
+Result<QueryAnswer> QuerySession::AnswerSql(const std::string& sql,
+                                            const CallControls& controls) {
   FUSION_ASSIGN_OR_RETURN(FusionQuery query, ParseFusionQuery(sql));
-  return Answer(query);
+  return Answer(query, controls);
 }
 
 }  // namespace fusion

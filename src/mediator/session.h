@@ -1,8 +1,12 @@
 #ifndef FUSION_MEDIATOR_SESSION_H_
 #define FUSION_MEDIATOR_SESSION_H_
 
+#include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "exec/source_call_cache.h"
@@ -35,10 +39,30 @@ namespace fusion {
 /// semijoin reveals only |X ∩ S|, not |S|, and cached answers yield no new
 /// observations — so convergence is to near-optimality, not exact parity
 /// (tests pin a 1.3× band against the oracle plan after one round).
+///
+/// **Thread safety.** Answer()/AnswerSql() may be called concurrently from
+/// many threads against one session — this is what the serving layer
+/// (mediator/service.h) does, multiplexing every connected client onto one
+/// shared session so they share the cache, the breakers, and the learned
+/// statistics. The session knowledge maps are guarded by an internal mutex
+/// (held only while snapshotting statistics into a per-query cost model and
+/// while folding one execution's observations back in — never across source
+/// calls); the cache and the breakers are internally synchronized already.
 class QuerySession {
  public:
   struct Options {
     OptimizerStrategy strategy = OptimizerStrategy::kSjaPlus;
+    /// Where planning statistics come from. nullopt (the default) runs the
+    /// session-learned feedback loop described above. A fixed
+    /// StatisticsMode instead routes through Mediator::BuildCostModel —
+    /// oracle / parametric statistics for controlled experiments, or
+    /// kCalibrated sampling probes whose metered traffic lands in
+    /// QueryAnswer::calibration_cost. Execution observations are folded
+    /// into the session statistics either way, so a session can calibrate
+    /// first and go nullopt later without losing what it saw.
+    std::optional<StatisticsMode> statistics;
+    /// Probe budget etc. for statistics == kCalibrated.
+    CalibrationOptions calibration;
     PostOptOptions postopt;
     /// Session cache and circuit breakers are attached automatically
     /// (execution.health, when left null, becomes the session's own).
@@ -48,6 +72,11 @@ class QuerySession {
     /// Resource bounds for the session-owned SourceCallCache (byte budget,
     /// TTL). Defaults keep the cache unbounded, as before.
     SourceCallCache::Options cache;
+    /// Attach the session cache to executions at all. Disable to keep every
+    /// query's source traffic cold (each pays its full metered cost —
+    /// the single-query CLI default) while still learning statistics and
+    /// sharing breakers.
+    bool use_cache = true;
     /// Re-optimize repeated queries against the cache: calls the memo can
     /// answer (exactly or by containment) are priced at zero, so the
     /// optimizer steers warm-cache plans through them (CacheAwareCostModel).
@@ -63,6 +92,24 @@ class QuerySession {
     double default_universe = 2000.0;
   };
 
+  /// Per-call overrides, for callers that vary planning inputs query by
+  /// query over one shared session (experiment drivers comparing
+  /// strategies; the serving layer's CANCEL path).
+  struct CallControls {
+    /// Overrides Options::strategy for this call.
+    std::optional<OptimizerStrategy> strategy;
+    /// Overrides Options::statistics for this call (set to a fixed mode;
+    /// there is no way — or need — to override a fixed session default
+    /// back to session-learned per call).
+    std::optional<StatisticsMode> statistics;
+    /// Cooperative cancellation token, plumbed into ExecOptions::cancel:
+    /// setting it makes the execution fail fast with kCancelled at the next
+    /// source-call admission. Must outlive the call.
+    const std::atomic<bool>* cancel = nullptr;
+    /// Overrides ExecOptions::deadline_seconds when >= 0.
+    double deadline_seconds = -1.0;
+  };
+
   QuerySession(Mediator mediator, const Options& options)
       : mediator_(std::move(mediator)),
         options_(options),
@@ -71,13 +118,28 @@ class QuerySession {
 
   /// Optimizes with session statistics, executes with the session cache,
   /// and folds the execution's observations back into the statistics.
-  Result<QueryAnswer> Answer(const FusionQuery& query);
-  Result<QueryAnswer> AnswerSql(const std::string& sql);
+  /// Safe to call concurrently (see class comment).
+  Result<QueryAnswer> Answer(const FusionQuery& query) {
+    return Answer(query, CallControls{});
+  }
+  Result<QueryAnswer> Answer(const FusionQuery& query,
+                             const CallControls& controls);
+  Result<QueryAnswer> AnswerSql(const std::string& sql) {
+    return AnswerSql(sql, CallControls{});
+  }
+  Result<QueryAnswer> AnswerSql(const std::string& sql,
+                                const CallControls& controls);
 
   const Mediator& mediator() const { return mediator_; }
+  /// Mutable mediator access, for the two-phase protocol's second phase
+  /// (FetchRecords issues fresh source traffic outside any session query).
+  Mediator& mediator() { return mediator_; }
   const SourceCallCache& cache() const { return cache_; }
   const SourceHealth& health() const { return health_; }
-  size_t observed_conditions() const { return observed_result_size_.size(); }
+  size_t observed_conditions() const {
+    std::lock_guard<std::mutex> lock(knowledge_mutex_);
+    return observed_result_size_.size();
+  }
 
   /// Drops every memoized answer (all sources) — e.g. after bulk updates.
   /// Safe while queries are running; see SourceCallCache::Clear.
@@ -88,6 +150,7 @@ class QuerySession {
 
  private:
   /// Builds the per-query parametric model from session knowledge.
+  /// Caller must hold knowledge_mutex_.
   Result<ParametricCostModel> BuildSessionModel(const FusionQuery& query);
 
   /// What the cache can answer for this query's (condition, source) pairs,
@@ -96,7 +159,7 @@ class QuerySession {
 
   /// Learns from one execution: exact result sizes for every selection the
   /// plan issued, source cardinalities from loads, and the universe lower
-  /// bound from all observed items.
+  /// bound from all observed items. Takes knowledge_mutex_ itself.
   void Learn(const FusionQuery& query, const OptimizedPlan& plan,
              const ExecutionReport& report);
 
@@ -105,10 +168,21 @@ class QuerySession {
   SourceCallCache cache_;
   SourceHealth health_;
 
-  // Session knowledge. Keys use canonical condition text.
+  // Session knowledge, shared by every concurrent Answer(). Keys use
+  // canonical condition text. Guarded by knowledge_mutex_.
+  mutable std::mutex knowledge_mutex_;
   std::map<std::pair<size_t, std::string>, double> observed_result_size_;
   std::map<size_t, double> observed_cardinality_;
   ItemSet observed_universe_;
+
+  /// Last executed plan per (strategy, canonical query), FIFO-bounded. On a
+  /// repeated query the memoized plan's calls are exact cache hits, so
+  /// cache-aware optimization prefers it over an equally-priced fresh plan
+  /// whose semijoin chains would miss the cached anchors. Guarded by
+  /// knowledge_mutex_.
+  static constexpr size_t kPlanMemoCapacity = 128;
+  std::map<std::string, OptimizedPlan> plan_memo_;
+  std::deque<std::string> plan_memo_order_;
 };
 
 }  // namespace fusion

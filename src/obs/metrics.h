@@ -126,6 +126,18 @@ inline constexpr char kSourceCallCost[] = "source_call_cost";  // histogram
 inline constexpr char kRetriesTotal[] = "retries_total";
 inline constexpr char kBackoffSleepsTotal[] = "backoff_sleeps_total";
 inline constexpr char kDeadlineExceededTotal[] = "deadline_exceeded_total";
+/// Source calls refused at admission because the query's cancellation token
+/// was set (the serving layer's CANCEL path).
+inline constexpr char kCancelledTotal[] = "cancelled_total";
+/// The serving layer (mediator/service.h): requests accepted into the
+/// admission queue, requests shed with kUnavailable at saturation, requests
+/// cancelled before or during execution, and the live queue depth gauge.
+inline constexpr char kServiceRequestsTotal[] = "service_requests_total";
+inline constexpr char kServiceSheddedTotal[] = "service_shedded_total";
+inline constexpr char kServiceCancelledTotal[] = "service_cancelled_total";
+inline constexpr char kServiceQueueDepth[] = "service_queue_depth";  // gauge
+inline constexpr char kServiceActiveClients[] =
+    "service_active_clients";  // gauge
 inline constexpr char kBreakerOpensTotal[] = "breaker_opens_total";
 inline constexpr char kBreakerFastFailsTotal[] = "breaker_fast_fails_total";
 inline constexpr char kCacheHits[] = "cache_hits_total";

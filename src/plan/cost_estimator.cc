@@ -84,6 +84,11 @@ bool QueryCacheView::AnySet() const {
       if (v != 0) return true;
     }
   }
+  for (const std::vector<char>& row : sjq_answerable) {
+    for (const char v : row) {
+      if (v != 0) return true;
+    }
+  }
   for (const char v : lq_cached) {
     if (v != 0) return true;
   }

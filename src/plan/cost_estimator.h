@@ -36,6 +36,14 @@ Result<PlanCostBreakdown> EstimatePlanCost(const Plan& plan,
 struct QueryCacheView {
   /// sq_answerable[cond][source] != 0 iff sq(c_cond, R_source) is free.
   std::vector<std::vector<char>> sq_answerable;
+  /// sjq_answerable[cond][source] != 0 iff the memo holds *some* answer for
+  /// semijoins on (c_cond, R_source): a cached sq/lq (always derivable) or a
+  /// prior sjq entry. The sjq-entry case is optimistic — it derives free
+  /// only when the new plan's candidates are contained in the cached
+  /// anchor's, which holds for a repeated identical query but is not
+  /// guaranteed across plan shapes. Mispricing costs nothing worse than the
+  /// cache-oblivious plan: execution falls back to the real call.
+  std::vector<std::vector<char>> sjq_answerable;
   /// lq_cached[source] != 0 iff lq(R_source) is cached.
   std::vector<char> lq_cached;
 
@@ -43,6 +51,11 @@ struct QueryCacheView {
     return cond < sq_answerable.size() &&
            source < sq_answerable[cond].size() &&
            sq_answerable[cond][source] != 0;
+  }
+  bool SjqAnswerable(size_t cond, size_t source) const {
+    return cond < sjq_answerable.size() &&
+           source < sjq_answerable[cond].size() &&
+           sjq_answerable[cond][source] != 0;
   }
   bool LqCached(size_t source) const {
     return source < lq_cached.size() && lq_cached[source] != 0;
@@ -56,8 +69,9 @@ struct QueryCacheView {
 ///  - SqCost(c, R) = 0 when the view says sq(c, R) is answerable;
 ///  - SjqCost(c, R, X) = 0 when sq(c, R) is answerable — sjq(c, R, X) is then
 ///    the local intersection sq(c, R) ∩ X, free per the paper's cost model —
-///    but only when the base cost is finite (an unsupported semijoin stays
-///    +inf so capability constraints survive re-pricing);
+///    or when a prior sjq(c, R, ·) entry exists (containment derivation on a
+///    repeated query); only when the base cost is finite (an unsupported
+///    semijoin stays +inf so capability constraints survive re-pricing);
 ///  - LqCost(R) = 0 when lq(R) is cached.
 /// This is what makes FILTER / SJ / SJA / greedy *cache-aware*: on a repeated
 /// query the subplans the cache can answer look free, so the optimizer
@@ -79,7 +93,8 @@ class CacheAwareCostModel final : public CostModel {
   double SjqCost(size_t cond, size_t source,
                  const SetEstimate& x) const override {
     const double cost = base_.SjqCost(cond, source, x);
-    if (view_.SqAnswerable(cond, source) &&
+    if ((view_.SqAnswerable(cond, source) ||
+         view_.SjqAnswerable(cond, source)) &&
         cost != std::numeric_limits<double>::infinity()) {
       return 0.0;
     }

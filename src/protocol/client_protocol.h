@@ -1,0 +1,82 @@
+#ifndef FUSION_PROTOCOL_CLIENT_PROTOCOL_H_
+#define FUSION_PROTOCOL_CLIENT_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace fusion {
+
+/// The client-facing dialect of the line protocol ("FUSIONQ/1"): what an
+/// investigation client speaks to a fusionqd mediator service, the sibling
+/// of FUSIONP/1 (protocol/message.h) which the mediator speaks to source
+/// wrappers. Same idioms throughout — line-oriented, human-readable,
+/// `end`-terminated, conditions and SQL travelling as escaped text, error
+/// codes travelling as StatusCodeName from the one shared taxonomy — so a
+/// deployment debugging either side of the mediator reads the same wire
+/// format.
+///
+/// Request grammar (one field per line, terminated by `end`):
+///   FUSIONQ/1 <HELLO|SUBMIT|STATUS|CANCEL>
+///   client <client id>           (optional; the fair-scheduling key)
+///   sql <escaped query text>     (SUBMIT)
+///   ticket <id>                  (STATUS / CANCEL)
+///   wait <yes|no>                (SUBMIT: block for the answer — the
+///                                 default — or return a ticket immediately)
+///   end
+struct ClientRequest {
+  enum class Kind { kHello, kSubmit, kStatus, kCancel };
+
+  Kind kind = Kind::kHello;
+  std::string client_id;
+  std::string sql;
+  uint64_t ticket = 0;
+  bool wait = true;
+};
+
+/// Response grammar:
+///   FUSIONQ/1 <OK|ERROR>
+///   error <CodeName> <message>   (ERROR only; same codes as local Status)
+///   server <name>                (HELLO)
+///   ticket <id>                  (SUBMIT / STATUS / CANCEL)
+///   state <queued|running|done|failed|cancelled>   (SUBMIT wait=no, STATUS)
+///   item <value>                 (0+; the fused answer, in set order)
+///   cost <metered total>         (RESULT)
+///   source-queries <n>           (RESULT)
+///   cache-hits <n>               (RESULT)
+///   cache-misses <n>             (RESULT)
+///   calibration-cost <c>         (RESULT, when probes were charged)
+///   complete <yes|no>            (RESULT; no = sound but degraded answer)
+///   end
+struct ClientResponse {
+  bool ok = true;
+  StatusCode error_code = StatusCode::kOk;
+  std::string error_message;
+
+  std::string server;      // hello
+  uint64_t ticket = 0;
+  std::string state;       // queued|running|done|failed|cancelled (or empty)
+  std::vector<Value> items;
+  double cost = 0.0;
+  size_t source_queries = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  double calibration_cost = 0.0;
+  bool complete = true;
+};
+
+std::string SerializeClientRequest(const ClientRequest& request);
+Result<ClientRequest> ParseClientRequest(const std::string& text);
+
+std::string SerializeClientResponse(const ClientResponse& response);
+Result<ClientResponse> ParseClientResponse(const std::string& text);
+
+/// Builds the ERROR response for `status` (which must not be OK).
+ClientResponse ClientErrorResponse(const Status& status);
+
+}  // namespace fusion
+
+#endif  // FUSION_PROTOCOL_CLIENT_PROTOCOL_H_

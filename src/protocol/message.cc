@@ -34,7 +34,19 @@ Result<SourceRequest::Kind> ParseRequestKind(const std::string& name) {
   return Status::ParseError("unknown request kind: " + name);
 }
 
-std::string EscapeText(const std::string& s) {
+std::string EscapeText(const std::string& s) { return EscapeWireText(s); }
+
+Result<std::string> UnescapeText(const std::string& s) {
+  return UnescapeWireText(s);
+}
+
+std::pair<std::string, std::string> SplitKeyValue(const std::string& line) {
+  return SplitWireKeyValue(line);
+}
+
+}  // namespace
+
+std::string EscapeWireText(const std::string& s) {
   std::string out;
   for (char c : s) {
     if (c == '\\') {
@@ -48,7 +60,7 @@ std::string EscapeText(const std::string& s) {
   return out;
 }
 
-Result<std::string> UnescapeText(const std::string& s) {
+Result<std::string> UnescapeWireText(const std::string& s) {
   std::string out;
   for (size_t i = 0; i < s.size(); ++i) {
     if (s[i] != '\\') {
@@ -68,14 +80,24 @@ Result<std::string> UnescapeText(const std::string& s) {
   return out;
 }
 
-/// Splits "key rest-of-line" on the first space.
-std::pair<std::string, std::string> SplitKeyValue(const std::string& line) {
+std::pair<std::string, std::string> SplitWireKeyValue(const std::string& line) {
   const size_t space = line.find(' ');
   if (space == std::string::npos) return {line, ""};
   return {line.substr(0, space), line.substr(space + 1)};
 }
 
-}  // namespace
+Result<StatusCode> ParseWireStatusCode(const std::string& text) {
+  if (!text.empty() && text.find_first_not_of("0123456789") ==
+                           std::string::npos) {
+    const int raw = std::atoi(text.c_str());
+    const size_t count = sizeof(kAllStatusCodes) / sizeof(kAllStatusCodes[0]);
+    if (raw < 0 || static_cast<size_t>(raw) >= count) {
+      return Status::ParseError("status code integer out of range: " + text);
+    }
+    return static_cast<StatusCode>(raw);
+  }
+  return StatusCodeFromName(text);
+}
 
 std::string SerializeValue(const Value& value) {
   switch (value.type()) {
@@ -175,7 +197,9 @@ std::string SerializeResponse(const SourceResponse& response) {
   std::string out = std::string(kMagic) + " " +
                     (response.ok ? "OK" : "ERROR") + "\n";
   if (!response.ok) {
-    out += StrFormat("error %d %s\n", static_cast<int>(response.error_code),
+    // Codes travel by name (the shared StatusCode taxonomy), so a reader of
+    // the wire sees "error Unavailable ..." rather than a magic number.
+    out += StrFormat("error %s %s\n", StatusCodeName(response.error_code),
                      EscapeText(response.error_message).c_str());
   }
   for (const Value& v : response.items) {
@@ -222,7 +246,8 @@ Result<SourceResponse> ParseResponse(const std::string& text) {
     const auto [key, value] = SplitKeyValue(lines[i]);
     if (key == "error") {
       const auto [code_text, message] = SplitKeyValue(value);
-      response.error_code = static_cast<StatusCode>(std::atoi(code_text.c_str()));
+      FUSION_ASSIGN_OR_RETURN(response.error_code,
+                              ParseWireStatusCode(code_text));
       FUSION_ASSIGN_OR_RETURN(response.error_message, UnescapeText(message));
     } else if (key == "item") {
       FUSION_ASSIGN_OR_RETURN(Value v, ParseSerializedValue(value));

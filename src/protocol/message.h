@@ -33,7 +33,9 @@ struct SourceRequest {
 
 /// Response grammar:
 ///   FUSIONP/1 <OK|ERROR>
-///   error <code> <message>       (ERROR only)
+///   error <CodeName> <message>   (ERROR only; StatusCodeName text, one
+///                                 shared taxonomy with local calls and the
+///                                 FUSIONQ/1 client dialect)
 ///   item <value>                 (0+; SELECT / SEMIJOIN answers)
 ///   relation-line <csv line>     (0+; LOAD / FETCH relations, HELLO schema)
 ///   name <source name>           (HELLO)
@@ -66,6 +68,18 @@ struct SourceResponse {
 /// `s:<escaped>` with backslash escapes for newline/backslash.
 std::string SerializeValue(const Value& value);
 Result<Value> ParseSerializedValue(const std::string& text);
+
+/// Shared line-format helpers, used identically by both dialects (FUSIONP/1
+/// to wrappers, FUSIONQ/1 to clients) so their wire idioms cannot drift.
+/// Backslash escapes for newline/backslash, one "key rest-of-line" field per
+/// line, and error codes travelling by StatusCodeName.
+std::string EscapeWireText(const std::string& text);
+Result<std::string> UnescapeWireText(const std::string& text);
+/// Splits "key rest-of-line" on the first space ({line, ""} when none).
+std::pair<std::string, std::string> SplitWireKeyValue(const std::string& line);
+/// Decodes an error-line status code: a StatusCodeName, or (for
+/// compatibility with pre-taxonomy peers) a bare enum integer.
+Result<StatusCode> ParseWireStatusCode(const std::string& text);
 
 std::string SerializeRequest(const SourceRequest& request);
 Result<SourceRequest> ParseRequest(const std::string& text);

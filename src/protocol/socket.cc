@@ -1,0 +1,203 @@
+#include "protocol/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace fusion {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Finds the end of the first complete message in `buffer`: the offset one
+/// past its "end\n" terminator line, or npos. Messages start with a magic
+/// line, so a terminator is either "...\nend\n" or the whole buffer "end\n"
+/// (degenerate, tolerated).
+size_t FindMessageEnd(const std::string& buffer) {
+  if (buffer.rfind("end\n", 0) == 0) return 4;
+  const size_t pos = buffer.find("\nend\n");
+  if (pos == std::string::npos) return std::string::npos;
+  return pos + 5;
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 host: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+MessageSocket::MessageSocket(MessageSocket&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+MessageSocket& MessageSocket::operator=(MessageSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void MessageSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status MessageSocket::Send(const std::string& message) {
+  if (!valid()) return Status::Internal("send on closed socket");
+  size_t sent = 0;
+  while (sent < message.size()) {
+    const ssize_t n = ::send(fd_, message.data() + sent, message.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> MessageSocket::Receive() {
+  if (!valid()) return Status::Internal("receive on closed socket");
+  char chunk[4096];
+  for (;;) {
+    const size_t end = FindMessageEnd(buffer_);
+    if (end != std::string::npos) {
+      std::string message = buffer_.substr(0, end);
+      buffer_.erase(0, end);
+      return message;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (buffer_.empty()) {
+        return Status::Unavailable("connection closed");
+      }
+      return Status::ParseError("connection closed mid-message");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<MessageSocket> DialTcp(const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("endpoint must be host:port, got " +
+                                   endpoint);
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in endpoint: " + endpoint);
+  }
+  FUSION_ASSIGN_OR_RETURN(const sockaddr_in addr, ResolveV4(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status =
+        Status::Unavailable("connect " + endpoint + ": " +
+                            std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return MessageSocket(fd);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Bind(const std::string& host, int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad listen port");
+  }
+  FUSION_ASSIGN_OR_RETURN(const sockaddr_in addr, ResolveV4(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Errno("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    listener.port_ = ntohs(bound.sin_port);
+  } else {
+    listener.port_ = port;
+  }
+  return listener;
+}
+
+Result<MessageSocket> TcpListener::Accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return MessageSocket(fd);
+    }
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL after Close(): the shutdown path, not an error worth a
+    // scary message.
+    return Status::Unavailable("listener closed");
+  }
+}
+
+}  // namespace fusion

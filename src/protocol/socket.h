@@ -1,0 +1,91 @@
+#ifndef FUSION_PROTOCOL_SOCKET_H_
+#define FUSION_PROTOCOL_SOCKET_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace fusion {
+
+/// Minimal blocking TCP transport for the line protocols. Both dialects
+/// frame every message with a terminating `end` line, so the socket layer
+/// needs no length prefixes: Send ships the serialized text verbatim and
+/// Receive reads until it has one whole `end`-terminated message, buffering
+/// any bytes that follow for the next call.
+///
+/// POSIX sockets only — fusionqd and `fusionq --connect` are the intended
+/// users; in-process tests keep using plain function transports.
+class MessageSocket {
+ public:
+  MessageSocket() = default;
+  /// Takes ownership of a connected socket fd.
+  explicit MessageSocket(int fd) : fd_(fd) {}
+  ~MessageSocket() { Close(); }
+
+  MessageSocket(MessageSocket&& other) noexcept;
+  MessageSocket& operator=(MessageSocket&& other) noexcept;
+  MessageSocket(const MessageSocket&) = delete;
+  MessageSocket& operator=(const MessageSocket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Writes the whole message (which must already carry its `end` line).
+  Status Send(const std::string& message);
+
+  /// Reads one `end`-terminated message (terminator included). A clean
+  /// peer close before any bytes of a message yields kUnavailable
+  /// ("connection closed").
+  Result<std::string> Receive();
+
+  void Close();
+
+  /// The connected fd, for out-of-band shutdown paths (a daemon calling
+  /// shutdown(2) to wake a Receive() blocked on another thread).
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last returned message
+};
+
+/// Connects to "host:port" (e.g. "127.0.0.1:4631"). Numeric IPv4 hosts and
+/// "localhost" only — the serving layer is a daemon on one machine, not a
+/// name-resolution exercise.
+Result<MessageSocket> DialTcp(const std::string& endpoint);
+
+/// Listening endpoint for fusionqd. Bind with port 0 to let the kernel pick
+/// an ephemeral port (read it back via port()).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  static Result<TcpListener> Bind(const std::string& host, int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+
+  /// Blocks for the next connection. Returns kUnavailable once the
+  /// listener has been Close()d (the daemon's shutdown path: closing the
+  /// fd from a signal handler unblocks the accept loop).
+  Result<MessageSocket> Accept();
+
+  void Close();
+
+  /// The listening fd, for shutdown paths that must close from a signal
+  /// handler (close(2) is async-signal-safe).
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace fusion
+
+#endif  // FUSION_PROTOCOL_SOCKET_H_

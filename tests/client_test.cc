@@ -1,0 +1,266 @@
+// Tests for the fusion::Client facade (the one client API over the stack)
+// and for the unified error taxonomy: every StatusCode must survive a
+// serialize→parse round trip through BOTH protocol dialects (FUSIONP/1, the
+// wrapper side, and FUSIONQ/1, the client side) with nothing re-coded at a
+// boundary.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "mediator/client.h"
+#include "protocol/client_protocol.h"
+#include "protocol/message.h"
+#include "workload/dmv.h"
+
+namespace fusion {
+namespace {
+
+constexpr char kDuiAndSp[] =
+    "SELECT u1.L FROM U u1, U u2 "
+    "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'";
+
+Result<Client> Figure1Client(ClientOptions options = {}) {
+  auto instance = BuildDmvFigure1();
+  EXPECT_TRUE(instance.ok());
+  return Client::Builder()
+      .Catalog(std::move(instance->catalog))
+      .Options(options)
+      .Statistics(StatisticsMode::kOracle)
+      .Build();
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation
+// ---------------------------------------------------------------------------
+
+TEST(ClientBuilderTest, RequiresACatalogOrAnEndpoint) {
+  const auto client = Client::Builder().Build();
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClientBuilderTest, CatalogAndConnectAreMutuallyExclusive) {
+  auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  const auto client = Client::Builder()
+                          .Catalog(std::move(instance->catalog))
+                          .Connect("127.0.0.1:1")
+                          .Build();
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClientBuilderTest, MissingCatalogFileFailsBuild) {
+  const auto client =
+      Client::Builder().CatalogFile("/nonexistent/catalog.ini").Build();
+  EXPECT_FALSE(client.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Embedded queries through the facade
+// ---------------------------------------------------------------------------
+
+TEST(ClientTest, AnswersTheRunningExample) {
+  auto client = Figure1Client();
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(client->connected());
+  const auto answer = client->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->items.ToString(), "{'J55', 'T21'}");
+  EXPECT_GT(answer->cost, 0.0);
+  EXPECT_GT(answer->source_queries, 0u);
+  EXPECT_TRUE(answer->complete);
+  // Embedded mode ships the full QueryAnswer alongside the summary.
+  ASSERT_NE(answer->detail, nullptr);
+  EXPECT_DOUBLE_EQ(answer->detail->execution.ledger.total(), answer->cost);
+  EXPECT_EQ(answer->detail->execution.ledger.num_queries(),
+            answer->source_queries);
+}
+
+TEST(ClientTest, PerCallStrategyOverrideChangesThePlan) {
+  auto client = Figure1Client();
+  ASSERT_TRUE(client.ok());
+  CallControls filter;
+  filter.strategy = OptimizerStrategy::kFilter;
+  const auto baseline = client->QuerySql(kDuiAndSp, filter);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_NE(baseline->detail, nullptr);
+  EXPECT_EQ(baseline->detail->optimized.plan_class, PlanClass::kFilter);
+  // The session default (SJA+) stays in force for plain calls.
+  const auto tuned = client->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(tuned.ok());
+  ASSERT_NE(tuned->detail, nullptr);
+  EXPECT_NE(tuned->detail->optimized.plan_class, PlanClass::kFilter);
+  EXPECT_EQ(baseline->items, tuned->items);
+}
+
+TEST(ClientTest, UseCacheFalseKeepsEveryRunCold) {
+  ClientOptions options;
+  options.use_cache = false;
+  auto client = Figure1Client(options);
+  ASSERT_TRUE(client.ok());
+  const auto first = client->QuerySql(kDuiAndSp);
+  const auto second = client->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(first->cost, 0.0);
+  // No memo attached: the rerun pays the full metered cost again.
+  EXPECT_DOUBLE_EQ(second->cost, first->cost);
+}
+
+TEST(ClientTest, CachedRerunIsNearlyFree) {
+  auto client = Figure1Client();  // use_cache defaults to true
+  ASSERT_TRUE(client.ok());
+  const auto cold = client->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_GT(cold->cost, 0.0);
+  const auto warm = client->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->items, cold->items);
+  EXPECT_LE(warm->cost, 0.1 * cold->cost);
+}
+
+TEST(ClientTest, CancelledTokenFailsTheCall) {
+  auto client = Figure1Client();
+  ASSERT_TRUE(client.ok());
+  std::atomic<bool> cancel{true};  // already cancelled at admission
+  CallControls controls;
+  controls.cancel = &cancel;
+  const auto answer = client->QuerySql(kDuiAndSp, controls);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ClientTest, SummarizeAnswerMapsTheLedger) {
+  auto client = Figure1Client();
+  ASSERT_TRUE(client.ok());
+  const auto answer = client->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(answer.ok());
+  const ClientAnswer summary = SummarizeAnswer(*answer->detail);
+  EXPECT_EQ(summary.items, answer->items);
+  EXPECT_DOUBLE_EQ(summary.cost, answer->cost);
+  EXPECT_EQ(summary.source_queries, answer->source_queries);
+  EXPECT_EQ(summary.complete, answer->complete);
+}
+
+// ---------------------------------------------------------------------------
+// The unified error taxonomy: every code survives both wire dialects
+// ---------------------------------------------------------------------------
+
+TEST(ErrorTaxonomyTest, EveryCodeRoundTripsThroughItsName) {
+  for (const StatusCode code : kAllStatusCodes) {
+    const auto parsed = StatusCodeFromName(StatusCodeName(code));
+    ASSERT_TRUE(parsed.ok()) << StatusCodeName(code);
+    EXPECT_EQ(*parsed, code);
+  }
+}
+
+TEST(ErrorTaxonomyTest, EveryCodeSurvivesTheWrapperDialect) {
+  for (const StatusCode code : kAllStatusCodes) {
+    if (code == StatusCode::kOk) continue;  // OK is not an error response
+    SourceResponse response;
+    response.ok = false;
+    response.error_code = code;
+    response.error_message = "boom: details & 'quotes'\nsecond line";
+    const auto parsed = ParseResponse(SerializeResponse(response));
+    ASSERT_TRUE(parsed.ok()) << StatusCodeName(code);
+    EXPECT_FALSE(parsed->ok);
+    EXPECT_EQ(parsed->error_code, code) << StatusCodeName(code);
+    EXPECT_EQ(parsed->error_message, response.error_message);
+  }
+}
+
+TEST(ErrorTaxonomyTest, EveryCodeSurvivesTheClientDialect) {
+  for (const StatusCode code : kAllStatusCodes) {
+    if (code == StatusCode::kOk) continue;
+    const ClientResponse error =
+        ClientErrorResponse(Status(code, "op failed\nwith detail"));
+    const auto parsed = ParseClientResponse(SerializeClientResponse(error));
+    ASSERT_TRUE(parsed.ok()) << StatusCodeName(code);
+    EXPECT_FALSE(parsed->ok);
+    EXPECT_EQ(parsed->error_code, code) << StatusCodeName(code);
+    EXPECT_EQ(parsed->error_message, "op failed\nwith detail");
+  }
+}
+
+TEST(ErrorTaxonomyTest, UnknownCodeNameIsAParseError) {
+  const auto parsed = StatusCodeFromName("NotACode");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// FUSIONQ/1 request / response serde
+// ---------------------------------------------------------------------------
+
+TEST(ClientProtocolTest, SubmitRequestRoundTrips) {
+  ClientRequest request;
+  request.kind = ClientRequest::Kind::kSubmit;
+  request.client_id = "investigator-7";
+  request.sql = kDuiAndSp;
+  request.wait = false;
+  const auto parsed = ParseClientRequest(SerializeClientRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, ClientRequest::Kind::kSubmit);
+  EXPECT_EQ(parsed->client_id, "investigator-7");
+  EXPECT_EQ(parsed->sql, request.sql);
+  EXPECT_FALSE(parsed->wait);
+}
+
+TEST(ClientProtocolTest, SqlWithNewlinesAndEscapesRoundTrips) {
+  ClientRequest request;
+  request.kind = ClientRequest::Kind::kSubmit;
+  request.sql = "SELECT x\nFROM y\\z WHERE a = 'b c'";
+  const auto parsed = ParseClientRequest(SerializeClientRequest(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->sql, request.sql);
+}
+
+TEST(ClientProtocolTest, StatusAndCancelCarryTheTicket) {
+  for (const auto kind :
+       {ClientRequest::Kind::kStatus, ClientRequest::Kind::kCancel}) {
+    ClientRequest request;
+    request.kind = kind;
+    request.ticket = 4631;
+    const auto parsed = ParseClientRequest(SerializeClientRequest(request));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->kind, kind);
+    EXPECT_EQ(parsed->ticket, 4631u);
+  }
+}
+
+TEST(ClientProtocolTest, ResultResponseRoundTrips) {
+  ClientResponse response;
+  response.ticket = 9;
+  response.state = "done";
+  response.items = {Value("J55"), Value("T21")};
+  response.cost = 65.62;
+  response.source_queries = 3;
+  response.cache_hits = 2;
+  response.cache_misses = 1;
+  response.calibration_cost = 4.5;
+  response.complete = false;
+  const auto parsed = ParseClientResponse(SerializeClientResponse(response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->ok);
+  EXPECT_EQ(parsed->ticket, 9u);
+  EXPECT_EQ(parsed->state, "done");
+  EXPECT_EQ(parsed->items, response.items);
+  EXPECT_DOUBLE_EQ(parsed->cost, 65.62);
+  EXPECT_EQ(parsed->source_queries, 3u);
+  EXPECT_EQ(parsed->cache_hits, 2u);
+  EXPECT_EQ(parsed->cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(parsed->calibration_cost, 4.5);
+  EXPECT_FALSE(parsed->complete);
+}
+
+TEST(ClientProtocolTest, MalformedTextIsAParseError) {
+  EXPECT_FALSE(ParseClientRequest("HTTP/1.1 GET /\nend\n").ok());
+  EXPECT_FALSE(ParseClientRequest("FUSIONQ/1 SUBMIT\n").ok());  // no end
+  EXPECT_FALSE(ParseClientResponse("FUSIONQ/1 MAYBE\nend\n").ok());
+}
+
+}  // namespace
+}  // namespace fusion

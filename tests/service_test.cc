@@ -1,0 +1,453 @@
+// Tests for the serving layer (mediator/service.h): admission control and
+// load shedding, round-robin fairness, cooperative CANCEL, the FUSIONQ/1
+// Handle() driver, and the acceptance property of the shared session — two
+// clients submitting the same query get byte-identical answers with the
+// second metered at a fraction of the first.
+//
+// Labelled `service` and `concurrency` (see tests/CMakeLists.txt): the soak
+// and shared-cache tests exercise many client threads against one session
+// and must stay TSan-clean.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mediator/service.h"
+#include "protocol/client_protocol.h"
+#include "source/simulated_source.h"
+#include "workload/dmv.h"
+
+namespace fusion {
+namespace {
+
+constexpr char kDuiAndSp[] =
+    "SELECT u1.L FROM U u1, U u2 "
+    "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'";
+constexpr char kDuiAndSp93[] =
+    "SELECT u1.L FROM U u1, U u2 "
+    "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp' AND u1.D >= 1993";
+constexpr char kDuiOnly[] = "SELECT u1.L FROM U u1 WHERE u1.V = 'dui'";
+
+/// Service over the Figure-1 federation with oracle statistics (the sources
+/// are simulated, so the deterministic mode keeps costs pinned).
+std::unique_ptr<QueryService> Figure1Service(QueryService::Options options) {
+  auto instance = BuildDmvFigure1();
+  EXPECT_TRUE(instance.ok());
+  options.client.statistics = StatisticsMode::kOracle;
+  return std::make_unique<QueryService>(Mediator(std::move(instance->catalog)),
+                                        options);
+}
+
+/// A gate shared by decorated sources: every Select/Load blocks until the
+/// test opens it, and the test can await the first arrival — the tool for
+/// holding a request *mid-execution* deterministically.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  int entered = 0;
+
+  void Enter() {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lock, [&] { return open; });
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return entered > 0; });
+  }
+  void Open() {
+    std::lock_guard<std::mutex> lock(mutex);
+    open = true;
+    cv.notify_all();
+  }
+};
+
+class GatedSource : public SourceWrapper {
+ public:
+  GatedSource(std::unique_ptr<SourceWrapper> inner, Gate* gate)
+      : inner_(std::move(inner)), gate_(gate) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const Schema& schema() const override { return inner_->schema(); }
+  const Capabilities& capabilities() const override {
+    return inner_->capabilities();
+  }
+
+  Result<ItemSet> Select(const Condition& cond,
+                         const std::string& merge_attribute,
+                         CostLedger* ledger) override {
+    gate_->Enter();
+    return inner_->Select(cond, merge_attribute, ledger);
+  }
+  Result<ItemSet> SemiJoin(const Condition& cond,
+                           const std::string& merge_attribute,
+                           const ItemSet& candidates,
+                           CostLedger* ledger) override {
+    gate_->Enter();
+    return inner_->SemiJoin(cond, merge_attribute, candidates, ledger);
+  }
+  Result<Relation> Load(CostLedger* ledger) override {
+    gate_->Enter();
+    return inner_->Load(ledger);
+  }
+  Result<Relation> FetchRecords(const std::string& merge_attribute,
+                                const ItemSet& items,
+                                CostLedger* ledger) override {
+    return inner_->FetchRecords(merge_attribute, items, ledger);
+  }
+
+ private:
+  std::unique_ptr<SourceWrapper> inner_;
+  Gate* gate_;
+};
+
+/// Service whose sources all block on `gate`. Session-learned statistics
+/// (the decorated sources hide the oracle) and no cache, so every submitted
+/// query really reaches the gate.
+std::unique_ptr<QueryService> GatedService(Gate* gate,
+                                           QueryService::Options options) {
+  auto instance = BuildDmvFigure1();
+  EXPECT_TRUE(instance.ok());
+  SourceCatalog catalog;
+  for (size_t j = 0; j < instance->catalog.size(); ++j) {
+    const SimulatedSource* sim = instance->catalog.source(j).AsSimulated();
+    EXPECT_NE(sim, nullptr);
+    EXPECT_TRUE(catalog
+                    .Add(std::make_unique<GatedSource>(
+                        std::make_unique<SimulatedSource>(*sim), gate))
+                    .ok());
+  }
+  options.client.use_cache = false;
+  options.client.execution.parallelism = 1;
+  return std::make_unique<QueryService>(Mediator(std::move(catalog)),
+                                        options);
+}
+
+// ---------------------------------------------------------------------------
+// Submit / Wait / Poll basics
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, SubmitWaitAnswersTheRunningExample) {
+  auto service = Figure1Service({});
+  const auto ticket = service->Submit("alice", kDuiAndSp);
+  ASSERT_TRUE(ticket.ok());
+  const auto answer = service->Wait(*ticket);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->items.ToString(), "{'J55', 'T21'}");
+  EXPECT_GT(answer->cost, 0.0);
+  const auto status = service->Poll(*ticket);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, "done");
+}
+
+TEST(QueryServiceTest, UnknownTicketIsNotFound) {
+  auto service = Figure1Service({});
+  EXPECT_EQ(service->Wait(12345).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service->Poll(12345).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service->Cancel(12345).code(), StatusCode::kNotFound);
+}
+
+TEST(QueryServiceTest, InvalidSqlFailsTheRequestNotTheService) {
+  auto service = Figure1Service({});
+  const auto bad = service->Submit("alice", "SELECT nonsense");
+  ASSERT_TRUE(bad.ok());  // admission succeeds; the failure is the outcome
+  EXPECT_FALSE(service->Wait(*bad).ok());
+  const auto status = service->Poll(*bad);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, "failed");
+  // The service keeps serving after a failed request.
+  const auto good = service->Submit("alice", kDuiAndSp);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(service->Wait(*good).ok());
+}
+
+TEST(QueryServiceTest, ShutdownRejectsNewSubmissions) {
+  auto service = Figure1Service({});
+  service->Shutdown();
+  const auto ticket = service->Submit("alice", kDuiAndSp);
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance property: a shared session makes the second client cheap
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, SecondClientSameQueryIsNearlyFreeAndIdentical) {
+  auto service = Figure1Service({});
+  const auto first = service->Submit("alice", kDuiAndSp);
+  ASSERT_TRUE(first.ok());
+  const auto cold = service->Wait(*first);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_GT(cold->cost, 0.0);
+
+  // A *different* client submits the same query: same session, same cache.
+  const auto second = service->Submit("bob", kDuiAndSp);
+  ASSERT_TRUE(second.ok());
+  const auto warm = service->Wait(*second);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->items.ToString(), cold->items.ToString());
+  EXPECT_LE(warm->cost, 0.1 * cold->cost);
+}
+
+TEST(QueryServiceTest, ConcurrentSameQueryClientsShareOneExecution) {
+  QueryService::Options options;
+  options.workers = 4;
+  auto service = Figure1Service(options);
+
+  // Phase 1: one cold request establishes the full metered cost.
+  const auto cold_ticket = service->Submit("warmup", kDuiAndSp);
+  ASSERT_TRUE(cold_ticket.ok());
+  const auto cold = service->Wait(*cold_ticket);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_GT(cold->cost, 0.0);
+
+  // Phase 2: many clients hit the warm session concurrently. Every answer
+  // must be byte-identical to the cold one and nearly free.
+  constexpr int kClients = 6;
+  std::vector<std::string> answers(kClients);
+  std::vector<double> costs(kClients, -1.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      const auto ticket =
+          service->Submit("client-" + std::to_string(i), kDuiAndSp);
+      if (!ticket.ok()) return;
+      const auto answer = service->Wait(*ticket);
+      if (!answer.ok()) return;
+      answers[i] = answer->items.ToString();
+      costs[i] = answer->cost;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(answers[i], cold->items.ToString()) << "client " << i;
+    ASSERT_GE(costs[i], 0.0) << "client " << i;
+    EXPECT_LE(costs[i], 0.1 * cold->cost) << "client " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and load shedding
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, AdmissionOverflowShedsWithUnavailableNotAHang) {
+  Gate gate;
+  QueryService::Options options;
+  options.workers = 1;
+  options.max_queue = 1;
+  auto service = GatedService(&gate, options);
+
+  // First request occupies the only worker (held at the gate)...
+  const auto running = service->Submit("alice", kDuiAndSp);
+  ASSERT_TRUE(running.ok());
+  gate.AwaitEntered();
+  // ...second request fills the single admission slot...
+  const auto queued = service->Submit("bob", kDuiAndSp93);
+  ASSERT_TRUE(queued.ok());
+  // ...third is shed immediately — kUnavailable, not a blocked Submit.
+  const auto shed = service->Submit("carol", kDuiOnly);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service->shedded(), 1u);
+
+  // Draining the gate lets the admitted requests finish normally.
+  gate.Open();
+  EXPECT_TRUE(service->Wait(*running).ok());
+  EXPECT_TRUE(service->Wait(*queued).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, CancelMidExecutionFreesThePoolSlot) {
+  Gate gate;
+  QueryService::Options options;
+  options.workers = 1;
+  auto service = GatedService(&gate, options);
+
+  const auto ticket = service->Submit("alice", kDuiAndSp);
+  ASSERT_TRUE(ticket.ok());
+  gate.AwaitEntered();  // the request is mid-execution, inside a source call
+  ASSERT_TRUE(service->Cancel(*ticket).ok());
+  gate.Open();  // the in-flight call returns; the next admission cancels
+
+  const auto outcome = service->Wait(*ticket);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+  const auto status = service->Poll(*ticket);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, "cancelled");
+
+  // The worker the cancelled query held must be free again: a fresh request
+  // on the same single-worker pool completes.
+  const auto next = service->Submit("bob", kDuiAndSp93);
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(service->Wait(*next).ok());
+}
+
+TEST(QueryServiceTest, CancelQueuedRequestNeverStarts) {
+  Gate gate;
+  QueryService::Options options;
+  options.workers = 1;
+  auto service = GatedService(&gate, options);
+
+  const auto running = service->Submit("alice", kDuiAndSp);
+  ASSERT_TRUE(running.ok());
+  gate.AwaitEntered();
+  const auto queued = service->Submit("bob", kDuiAndSp93);
+  ASSERT_TRUE(queued.ok());
+  ASSERT_TRUE(service->Cancel(*queued).ok());
+  gate.Open();
+
+  const auto outcome = service->Wait(*queued);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(service->Wait(*running).ok());
+}
+
+TEST(QueryServiceTest, CancelIsIdempotent) {
+  Gate gate;
+  QueryService::Options options;
+  options.workers = 1;
+  auto service = GatedService(&gate, options);
+  const auto ticket = service->Submit("alice", kDuiAndSp);
+  ASSERT_TRUE(ticket.ok());
+  gate.AwaitEntered();
+  EXPECT_TRUE(service->Cancel(*ticket).ok());
+  EXPECT_TRUE(service->Cancel(*ticket).ok());
+  gate.Open();
+  EXPECT_FALSE(service->Wait(*ticket).ok());
+  EXPECT_TRUE(service->Cancel(*ticket).ok());  // after completion, still OK
+}
+
+// ---------------------------------------------------------------------------
+// The FUSIONQ/1 protocol driver
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, HandleAnswersHelloSubmitStatusCancel) {
+  auto service = Figure1Service({});
+
+  ClientRequest hello;
+  hello.kind = ClientRequest::Kind::kHello;
+  const auto hello_response =
+      ParseClientResponse(service->Handle(SerializeClientRequest(hello)));
+  ASSERT_TRUE(hello_response.ok());
+  EXPECT_TRUE(hello_response->ok);
+  EXPECT_EQ(hello_response->server, "fusionqd");
+
+  ClientRequest submit;
+  submit.kind = ClientRequest::Kind::kSubmit;
+  submit.client_id = "wire-client";
+  submit.sql = kDuiAndSp;
+  submit.wait = true;
+  const auto result =
+      ParseClientResponse(service->Handle(SerializeClientRequest(submit)));
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->ok);
+  EXPECT_EQ(result->state, "done");
+  ASSERT_EQ(result->items.size(), 2u);
+  EXPECT_GT(result->cost, 0.0);
+
+  ClientRequest status;
+  status.kind = ClientRequest::Kind::kStatus;
+  status.ticket = result->ticket;
+  const auto polled =
+      ParseClientResponse(service->Handle(SerializeClientRequest(status)));
+  ASSERT_TRUE(polled.ok());
+  ASSERT_TRUE(polled->ok);
+  EXPECT_EQ(polled->state, "done");
+  EXPECT_EQ(polled->items, result->items);
+
+  ClientRequest cancel;
+  cancel.kind = ClientRequest::Kind::kCancel;
+  cancel.ticket = result->ticket;
+  const auto cancelled =
+      ParseClientResponse(service->Handle(SerializeClientRequest(cancel)));
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_TRUE(cancelled->ok);  // terminal request: cancel is a no-op
+}
+
+TEST(QueryServiceTest, HandleTurnsGarbageIntoAnErrorResponse) {
+  auto service = Figure1Service({});
+  const auto response =
+      ParseClientResponse(service->Handle("GET / HTTP/1.1\r\n\r\n"));
+  ASSERT_TRUE(response.ok());  // the *response* is well-formed FUSIONQ/1
+  EXPECT_FALSE(response->ok);
+  EXPECT_EQ(response->error_code, StatusCode::kParseError);
+}
+
+TEST(QueryServiceTest, HandleReportsUnknownTicketsAsNotFound) {
+  auto service = Figure1Service({});
+  ClientRequest status;
+  status.kind = ClientRequest::Kind::kStatus;
+  status.ticket = 777;
+  const auto response =
+      ParseClientResponse(service->Handle(SerializeClientRequest(status)));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->ok);
+  EXPECT_EQ(response->error_code, StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-client soak: N clients, mixed queries, one shared session
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceSoakTest, ManyClientsManyQueriesOneSession) {
+  QueryService::Options options;
+  options.workers = 4;
+  options.max_queue = 256;  // soak must not shed
+  auto service = Figure1Service(options);
+
+  // Reference answers, computed through the same service up front.
+  const char* queries[] = {kDuiAndSp, kDuiAndSp93, kDuiOnly};
+  std::string expected[3];
+  for (int q = 0; q < 3; ++q) {
+    const auto ticket = service->Submit("reference", queries[q]);
+    ASSERT_TRUE(ticket.ok());
+    const auto answer = service->Wait(*ticket);
+    ASSERT_TRUE(answer.ok()) << queries[q];
+    expected[q] = answer->items.ToString();
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 6;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const int q = (c + i) % 3;
+        const auto ticket =
+            service->Submit("soak-" + std::to_string(c), queries[q]);
+        if (!ticket.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto answer = service->Wait(*ticket);
+        if (!answer.ok()) {
+          failures.fetch_add(1);
+        } else if (answer->items.ToString() != expected[q]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace fusion

@@ -1,32 +1,39 @@
 // fusionq — command-line fusion query processor.
 //
-// Loads a catalog of sources from an INI-style config (each source a CSV
-// file plus capability/network profiles), optimizes a fusion query written
-// in the paper's SQL form, and executes it, printing the chosen plan, the
-// answer, and a metered cost report.
+// Two modes behind one fusion::Client facade:
+//
+//  - embedded (default): loads a catalog of sources from an INI-style
+//    config (each source a CSV file plus capability/network profiles),
+//    optimizes the fusion query written in the paper's SQL form, and
+//    executes it in-process, printing the chosen plan, the answer, and a
+//    metered cost report;
+//  - connected (--connect=host:port): submits the query to a running
+//    fusionqd over FUSIONQ/1 and prints the served answer — sharing that
+//    daemon's result cache, breakers, and learned statistics with every
+//    other connected client.
 //
 // Usage:
 //   fusionq --catalog=<config.ini> --sql="SELECT u1.L FROM U u1, U u2
 //           WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
-//           [--strategy=filter|sj|sja|sja+|greedy|greedy+]
-//           [--stats=oracle|parametric]
+//           [--strategy=...] [--stats=...] [--cache] [--repeat=N]
 //           [--lazy] [--explain] [--ledger] [--parallelism=N]
 //           [--trace=FILE] [--trace-summary] [--metrics]
+//   fusionq --connect=127.0.0.1:4631 --sql="..." [--client-id=me]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "cli/catalog_config.h"
-#include "common/str_util.h"
+#include "cli/client_flags.h"
 #include "common/file_util.h"
-#include "exec/source_call_cache.h"
-#include "exec/source_health.h"
-#include "mediator/mediator.h"
+#include "common/str_util.h"
+#include "mediator/client.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "plan/plan.h"
 #include "plan/plan_serde.h"
 #include "query/parser.h"
 
@@ -35,146 +42,74 @@ namespace {
 
 struct Args {
   std::string catalog_path;
+  std::string connect;      // fusionqd endpoint (connected mode)
+  std::string client_id = "fusionq";
   std::string sql;
-  std::string strategy = "sja+";
-  std::string stats = "oracle";
-  bool lazy = false;
   bool explain = false;
   bool ledger = false;
   bool help = false;
   std::string plan_out;    // write the chosen plan in FPLAN/1 format
-  std::string trace_out;   // write a Chrome trace-event JSON file
+  std::string trace_out;   // write Chrome trace-event JSON file(s)
   bool trace_summary = false;  // print the per-category span rollup
   bool metrics = false;        // print the process metrics dump
-  int parallelism = 1;
-  // Fault tolerance.
-  std::string on_failure = "fail";  // fail | degrade
-  int max_attempts = 1;
-  double deadline_ms = 0.0;       // per-query deadline (0 = none)
-  double retry_backoff_ms = 0.0;  // initial retry backoff (0 = immediate)
-  double call_timeout_ms = 0.0;   // per-call timeout (0 = none)
-  // Result cache.
-  bool cache = false;          // attach a SourceCallCache to the run
-  double cache_mb = 0.0;       // byte budget in MiB (0 = unbounded)
-  double cache_ttl_ms = 0.0;   // entry TTL (0 = never expires)
   int repeat = 1;              // execute the query N times (cache demo)
+  ClientFlags client;
 };
 
 void PrintUsage() {
   std::printf(
       "fusionq — fusion queries over autonomous sources (EDBT'98 repro)\n\n"
-      "usage: fusionq --catalog=FILE --sql=QUERY [options]\n\n"
-      "  --catalog=FILE   INI catalog config (see examples/data/)\n"
+      "usage: fusionq --catalog=FILE --sql=QUERY [options]\n"
+      "       fusionq --connect=HOST:PORT --sql=QUERY [options]\n\n"
+      "  --catalog=FILE   INI catalog config (see examples/data/) —\n"
+      "                   embedded mode: the full mediator runs in-process\n"
+      "  --connect=H:P    connected mode: submit to a running fusionqd and\n"
+      "                   share its session (cache, breakers, statistics);\n"
+      "                   planning flags and --cache are the daemon's\n"
+      "                   configuration and cannot be set per client\n"
+      "  --client-id=S    fair-scheduling identity at the daemon\n"
+      "                   (default 'fusionq')\n"
       "  --sql=QUERY      fusion query in the paper's SQL form\n"
-      "  --strategy=S     filter | sj | sja | sja+ | greedy | greedy+\n"
-      "                   (default sja+)\n"
-      "  --stats=S        oracle | parametric (default oracle)\n"
-      "  --lazy           lazy short-circuit execution\n"
+      "%s"
       "  --explain        print the optimized plan and response-time info\n"
-      "  --ledger         print the per-query cost ledger\n"
+      "                   (embedded mode)\n"
+      "  --ledger         print the per-query cost ledger (embedded mode)\n"
       "  --plan-out=FILE  write the chosen plan in FPLAN/1 format\n"
-      "  --parallelism=N  parallel plan execution with N workers (default 1)\n"
-      "  --on-failure=P   fail | degrade — what to do when a source is\n"
-      "                   exhausted: fail the query (default) or return a\n"
-      "                   sound partial answer excluding the dead source\n"
-      "  --max-attempts=N retry transient source failures up to N attempts\n"
-      "  --retry-backoff=MS  initial exponential-backoff sleep, in ms\n"
-      "  --call-timeout-ms=MS  per-source-call timeout (0 = none)\n"
-      "  --deadline-ms=MS per-query deadline; with --on-failure=degrade the\n"
-      "                   partial answer gathered in time is returned\n"
-      "  --cache          attach a source-call result cache (sq/sjq/lq memo\n"
-      "                   with containment reuse) and print its statistics\n"
-      "  --cache-mb=MB    cache byte budget in MiB, LRU-evicted (implies\n"
-      "                   --cache; 0 = unbounded)\n"
-      "  --cache-ttl-ms=MS  cache entry time-to-live (implies --cache;\n"
-      "                   0 = never expires)\n"
-      "  --repeat=N       run the query N times against the same cache —\n"
+      "  --repeat=N       run the query N times against the same session —\n"
       "                   shows the warm-cache cost drop (default 1)\n"
       "  --trace=FILE     record spans; write Chrome trace-event JSON to\n"
-      "                   FILE (open in chrome://tracing or Perfetto)\n"
-      "  --trace-summary  record spans; print a per-category rollup\n"
-      "  --metrics        print the process-wide metrics dump\n");
-}
-
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
-  const size_t n = std::strlen(name);
-  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
-    *out = arg + n + 1;
-    return true;
-  }
-  return false;
+      "                   FILE (open in chrome://tracing or Perfetto).\n"
+      "                   With --repeat=N (N > 1), each run's spans are\n"
+      "                   exported separately to FILE.run1, FILE.run2, ...\n"
+      "                   (suffix before the extension) so one run's spans\n"
+      "                   never bleed into another's timeline\n"
+      "  --trace-summary  record spans; print a per-category rollup over\n"
+      "                   all runs\n"
+      "  --metrics        print the process-wide metrics dump\n",
+      ClientFlags::Help());
 }
 
 Result<Args> ParseArgs(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
-    if (ParseFlag(a, "--catalog", &args.catalog_path)) continue;
-    if (ParseFlag(a, "--sql", &args.sql)) continue;
-    if (ParseFlag(a, "--strategy", &args.strategy)) continue;
-    if (ParseFlag(a, "--stats", &args.stats)) continue;
-    if (ParseFlag(a, "--plan-out", &args.plan_out)) continue;
-    if (ParseFlag(a, "--trace", &args.trace_out)) continue;
-    std::string parallelism;
-    if (ParseFlag(a, "--parallelism", &parallelism)) {
-      args.parallelism = std::atoi(parallelism.c_str());
-      if (args.parallelism < 1) {
-        return Status::InvalidArgument("--parallelism must be >= 1");
-      }
+    Status client_error = Status::Ok();
+    if (args.client.Consume(a, &client_error)) {
+      FUSION_RETURN_IF_ERROR(client_error);
       continue;
     }
-    if (ParseFlag(a, "--on-failure", &args.on_failure)) {
-      if (args.on_failure != "fail" && args.on_failure != "degrade") {
-        return Status::InvalidArgument(
-            "--on-failure must be 'fail' or 'degrade'");
-      }
-      continue;
-    }
+    if (ParseFlagValue(a, "--catalog", &args.catalog_path)) continue;
+    if (ParseFlagValue(a, "--connect", &args.connect)) continue;
+    if (ParseFlagValue(a, "--client-id", &args.client_id)) continue;
+    if (ParseFlagValue(a, "--sql", &args.sql)) continue;
+    if (ParseFlagValue(a, "--plan-out", &args.plan_out)) continue;
+    if (ParseFlagValue(a, "--trace", &args.trace_out)) continue;
     std::string number;
-    if (ParseFlag(a, "--max-attempts", &number)) {
-      args.max_attempts = std::atoi(number.c_str());
-      if (args.max_attempts < 1) {
-        return Status::InvalidArgument("--max-attempts must be >= 1");
-      }
-      continue;
-    }
-    if (ParseFlag(a, "--deadline-ms", &number)) {
-      args.deadline_ms = std::atof(number.c_str());
-      continue;
-    }
-    if (ParseFlag(a, "--retry-backoff", &number)) {
-      args.retry_backoff_ms = std::atof(number.c_str());
-      continue;
-    }
-    if (ParseFlag(a, "--call-timeout-ms", &number)) {
-      args.call_timeout_ms = std::atof(number.c_str());
-      continue;
-    }
-    if (ParseFlag(a, "--cache-mb", &number)) {
-      args.cache_mb = std::atof(number.c_str());
-      if (args.cache_mb < 0.0) {
-        return Status::InvalidArgument("--cache-mb must be >= 0");
-      }
-      args.cache = true;
-      continue;
-    }
-    if (ParseFlag(a, "--cache-ttl-ms", &number)) {
-      args.cache_ttl_ms = std::atof(number.c_str());
-      if (args.cache_ttl_ms < 0.0) {
-        return Status::InvalidArgument("--cache-ttl-ms must be >= 0");
-      }
-      args.cache = true;
-      continue;
-    }
-    if (ParseFlag(a, "--repeat", &number)) {
+    if (ParseFlagValue(a, "--repeat", &number)) {
       args.repeat = std::atoi(number.c_str());
       if (args.repeat < 1) {
         return Status::InvalidArgument("--repeat must be >= 1");
       }
-      continue;
-    }
-    if (std::strcmp(a, "--cache") == 0) {
-      args.cache = true;
       continue;
     }
     if (std::strcmp(a, "--trace-summary") == 0) {
@@ -183,10 +118,6 @@ Result<Args> ParseArgs(int argc, char** argv) {
     }
     if (std::strcmp(a, "--metrics") == 0) {
       args.metrics = true;
-      continue;
-    }
-    if (std::strcmp(a, "--lazy") == 0) {
-      args.lazy = true;
       continue;
     }
     if (std::strcmp(a, "--explain") == 0) {
@@ -206,15 +137,56 @@ Result<Args> ParseArgs(int argc, char** argv) {
   return args;
 }
 
-Result<OptimizerStrategy> StrategyFromName(const std::string& name) {
-  const std::string s = ToLower(name);
-  if (s == "filter") return OptimizerStrategy::kFilter;
-  if (s == "sj") return OptimizerStrategy::kSj;
-  if (s == "sja") return OptimizerStrategy::kSja;
-  if (s == "sja+") return OptimizerStrategy::kSjaPlus;
-  if (s == "greedy") return OptimizerStrategy::kGreedySja;
-  if (s == "greedy+") return OptimizerStrategy::kGreedySjaPlus;
-  return Status::InvalidArgument("unknown strategy: " + name);
+/// "trace.json" + run 2 -> "trace.run2.json" (suffix before the extension).
+std::string PerRunTracePath(const std::string& base, int run) {
+  const size_t dot = base.rfind('.');
+  const size_t slash = base.rfind('/');
+  const bool has_ext =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  const std::string stem = has_ext ? base.substr(0, dot) : base;
+  const std::string ext = has_ext ? base.substr(dot) : "";
+  return stem + ".run" + std::to_string(run) + ext;
+}
+
+/// Condition and source display names for the plan / completeness printers
+/// (embedded mode only: re-parses the query and reads the local catalog).
+Result<PlanPrintNames> PrintNames(const std::string& sql, Client& client) {
+  FUSION_ASSIGN_OR_RETURN(FusionQuery query, ParseFusionQuery(sql));
+  PlanPrintNames names;
+  for (const Condition& c : query.conditions()) {
+    names.conditions.push_back(c.ToString());
+  }
+  const SourceCatalog& catalog = client.session()->mediator().catalog();
+  for (size_t j = 0; j < catalog.size(); ++j) {
+    names.sources.push_back(catalog.source(j).name());
+  }
+  return names;
+}
+
+void PrintAnswer(const Args& args, const ClientAnswer& answer) {
+  std::printf("answer (%zu items): %s\n", answer.items.size(),
+              answer.items.ToString().c_str());
+  std::printf("cost: %.3f over %zu source queries", answer.cost,
+              answer.source_queries);
+  if (answer.detail != nullptr) {
+    const ExecutionReport& report = answer.detail->execution;
+    if (report.emulated_semijoins > 0) {
+      std::printf(" (%zu semijoins emulated)", report.emulated_semijoins);
+    }
+    if (report.skipped_ops > 0) {
+      std::printf(" (%zu ops short-circuited)", report.skipped_ops);
+    }
+    if (report.retries_total > 0) {
+      std::printf(" (%zu retries)", report.retries_total);
+    }
+    if (report.breaker_fast_fails > 0) {
+      std::printf(" (%zu breaker fast-fails)", report.breaker_fast_fails);
+    }
+  }
+  std::printf("\n");
+  if (answer.calibration_cost > 0.0) {
+    std::printf("calibration cost: %.3f\n", answer.calibration_cost);
+  }
 }
 
 int Run(int argc, char** argv) {
@@ -224,166 +196,136 @@ int Run(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
-  if (args->help || args->catalog_path.empty() || args->sql.empty()) {
+  const bool connected = !args->connect.empty();
+  if (args->help || args->sql.empty() ||
+      (args->catalog_path.empty() && !connected)) {
     PrintUsage();
     return args->help ? 0 : 2;
   }
-
-  auto catalog = LoadCatalogFromFile(args->catalog_path);
-  if (!catalog.ok()) {
-    std::fprintf(stderr, "catalog: %s\n",
-                 catalog.status().ToString().c_str());
-    return 1;
+  if (connected && !args->catalog_path.empty()) {
+    std::fprintf(stderr, "--catalog and --connect are mutually exclusive\n");
+    return 2;
   }
-  const size_t num_sources = catalog->size();
-
-  auto query = ParseFusionQuery(args->sql);
-  if (!query.ok()) {
-    std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
-    return 1;
+  if (connected && (args->explain || args->ledger || !args->plan_out.empty())) {
+    std::fprintf(stderr,
+                 "--explain/--ledger/--plan-out need the in-process plan and "
+                 "report; they are not available with --connect\n");
+    return 2;
   }
 
-  MediatorOptions options;
-  {
-    const auto strategy = StrategyFromName(args->strategy);
-    if (!strategy.ok()) {
-      std::fprintf(stderr, "%s\n", strategy.status().ToString().c_str());
+  Client::Builder builder;
+  if (connected) {
+    builder.Connect(args->connect).ClientId(args->client_id);
+  } else {
+    const auto options = args->client.ToClientOptions();
+    if (!options.ok()) {
+      std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
       return 2;
     }
-    options.strategy = *strategy;
+    builder.CatalogFile(args->catalog_path).Options(*options);
   }
-  options.statistics = ToLower(args->stats) == "parametric"
-                           ? StatisticsMode::kOracleParametric
-                           : StatisticsMode::kOracle;
+  auto client_or = builder.Build();
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "client: %s\n",
+                 client_or.status().ToString().c_str());
+    return 1;
+  }
+  Client client = std::move(client_or).value();
 
   const bool tracing = !args->trace_out.empty() || args->trace_summary;
   if (tracing) Tracer::Global().Enable();
 
-  Mediator mediator(std::move(catalog).value());
-  const auto optimized = mediator.Optimize(*query, options);
-  if (!optimized.ok()) {
-    std::fprintf(stderr, "optimize: %s\n",
-                 optimized.status().ToString().c_str());
-    return 1;
-  }
-
-  if (args->explain) {
-    PlanPrintNames names;
-    for (const Condition& c : query->conditions()) {
-      names.conditions.push_back(c.ToString());
-    }
-    for (size_t j = 0; j < num_sources; ++j) {
-      names.sources.push_back(mediator.catalog().source(j).name());
-    }
-    std::printf("-- plan (%s, %s), estimated cost %.3f --\n%s\n",
-                optimized->algorithm.c_str(),
-                PlanClassName(optimized->plan_class),
-                optimized->estimated_cost,
-                optimized->plan.ToString(names).c_str());
-  }
-
-  if (!args->plan_out.empty()) {
-    const Status written =
-        WriteStringToFile(args->plan_out, SerializePlan(optimized->plan));
-    if (!written.ok()) {
-      std::fprintf(stderr, "plan-out: %s\n", written.ToString().c_str());
+  Result<ClientAnswer> answer = Status::Internal("no runs");
+  std::vector<SpanRecord> all_spans;
+  for (int run = 1; run <= args->repeat; ++run) {
+    answer = client.QuerySql(args->sql);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "query: %s\n", answer.status().ToString().c_str());
       return 1;
     }
-  }
-
-  ExecOptions exec_options;
-  exec_options.lazy_short_circuit = args->lazy;
-  exec_options.parallelism = args->parallelism;
-  exec_options.retry.max_attempts = args->max_attempts;
-  exec_options.retry.initial_backoff_seconds = args->retry_backoff_ms / 1e3;
-  exec_options.retry.call_timeout_seconds = args->call_timeout_ms / 1e3;
-  exec_options.deadline_seconds = args->deadline_ms / 1e3;
-  if (args->on_failure == "degrade") {
-    exec_options.on_source_failure = SourceFailurePolicy::kDegrade;
-  }
-  SourceHealth health;
-  exec_options.health = &health;
-  SourceCallCache::Options cache_options;
-  cache_options.max_bytes =
-      static_cast<size_t>(args->cache_mb * 1024.0 * 1024.0);
-  cache_options.ttl_seconds = args->cache_ttl_ms / 1e3;
-  SourceCallCache cache(cache_options);
-  if (args->cache) exec_options.cache = &cache;
-
-  Result<ExecutionReport> report = Status::Internal("no runs");
-  for (int run = 0; run < args->repeat; ++run) {
-    report = ExecutePlan(optimized->plan, mediator.catalog(), *query,
-                         exec_options);
-    if (!report.ok()) {
-      std::fprintf(stderr, "execute: %s\n",
-                   report.status().ToString().c_str());
-      return 1;
+    if (run == 1 && args->explain && answer->detail != nullptr) {
+      const OptimizedPlan& optimized = answer->detail->optimized;
+      const auto names = PrintNames(args->sql, client);
+      if (!names.ok()) {
+        std::fprintf(stderr, "explain: %s\n",
+                     names.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("-- plan (%s, %s), estimated cost %.3f --\n%s\n",
+                  optimized.algorithm.c_str(),
+                  PlanClassName(optimized.plan_class),
+                  optimized.estimated_cost,
+                  optimized.plan.ToString(*names).c_str());
+    }
+    if (run == 1 && !args->plan_out.empty() && answer->detail != nullptr) {
+      const Status written = WriteStringToFile(
+          args->plan_out, SerializePlan(answer->detail->optimized.plan));
+      if (!written.ok()) {
+        std::fprintf(stderr, "plan-out: %s\n", written.ToString().c_str());
+        return 1;
+      }
     }
     if (args->repeat > 1) {
       std::printf("run %d: cost %.3f (%zu cache hits, %zu misses, "
                   "%zu containment)\n",
-                  run + 1, report->ledger.total(), report->cache_hits,
-                  report->cache_misses, report->cache_containment_hits);
+                  run, answer->cost, answer->cache_hits, answer->cache_misses,
+                  answer->cache_containment_hits);
+    }
+    if (tracing) {
+      // Per-run scope: drain the tracer after every run so one run's spans
+      // never leak into the next run's export (the old behavior wrote one
+      // file mixing every repeat's spans).
+      std::vector<SpanRecord> spans = Tracer::Global().Drain();
+      if (!args->trace_out.empty()) {
+        const std::string path = args->repeat > 1
+                                     ? PerRunTracePath(args->trace_out, run)
+                                     : args->trace_out;
+        const Status written = WriteChromeTrace(spans, path);
+        if (!written.ok()) {
+          std::fprintf(stderr, "trace: %s\n", written.ToString().c_str());
+          return 1;
+        }
+        std::printf("trace: %zu spans -> %s\n", spans.size(), path.c_str());
+      }
+      all_spans.insert(all_spans.end(),
+                       std::make_move_iterator(spans.begin()),
+                       std::make_move_iterator(spans.end()));
     }
   }
 
   if (tracing) {
-    const std::vector<SpanRecord> spans = Tracer::Global().Drain();
     Tracer::Global().Disable();
-    if (!args->trace_out.empty()) {
-      const Status written = WriteChromeTrace(spans, args->trace_out);
-      if (!written.ok()) {
-        std::fprintf(stderr, "trace: %s\n", written.ToString().c_str());
-        return 1;
-      }
-      std::printf("trace: %zu spans -> %s\n", spans.size(),
-                  args->trace_out.c_str());
-    }
     if (args->trace_summary) {
-      std::printf("%s", FlameSummary(spans).c_str());
+      std::printf("%s", FlameSummary(all_spans).c_str());
     }
   }
 
-  std::printf("answer (%zu items): %s\n", report->answer.size(),
-              report->answer.ToString().c_str());
-  std::printf("cost: %.3f over %zu source queries", report->ledger.total(),
-              report->ledger.num_queries());
-  if (report->emulated_semijoins > 0) {
-    std::printf(" (%zu semijoins emulated)", report->emulated_semijoins);
-  }
-  if (report->skipped_ops > 0) {
-    std::printf(" (%zu ops short-circuited)", report->skipped_ops);
-  }
-  if (report->retries_total > 0) {
-    std::printf(" (%zu retries)", report->retries_total);
-  }
-  if (report->breaker_fast_fails > 0) {
-    std::printf(" (%zu breaker fast-fails)", report->breaker_fast_fails);
-  }
-  std::printf("\n");
-  if (args->cache) {
-    const SourceCallCache::Stats cs = cache.StatsSnapshot();
+  PrintAnswer(*args, *answer);
+  if (args->client.cache && client.session() != nullptr) {
+    const SourceCallCache::Stats cs =
+        client.session()->cache().StatsSnapshot();
     std::printf(
         "cache: %zu hits, %zu misses (%zu answered by containment), "
         "%zu evictions, %zu entries, %zu bytes\n",
         cs.hits, cs.misses, cs.containment_hits, cs.evictions, cs.entries,
         cs.bytes);
   }
-  if (!report->completeness.answer_complete) {
-    std::vector<std::string> cond_names;
-    for (const Condition& c : query->conditions()) {
-      cond_names.push_back(c.ToString());
+  if (!answer->complete) {
+    const auto names = answer->detail != nullptr
+                           ? PrintNames(args->sql, client)
+                           : Result<PlanPrintNames>(Status::Unavailable(""));
+    if (answer->detail != nullptr && names.ok()) {
+      std::printf("%s",
+                  answer->detail->execution.completeness
+                      .ToString(names->conditions, names->sources)
+                      .c_str());
+    } else {
+      std::printf("answer incomplete: sources were excluded (degraded "
+                  "mode at the service)\n");
     }
-    std::vector<std::string> source_names;
-    for (size_t j = 0; j < num_sources; ++j) {
-      source_names.push_back(mediator.catalog().source(j).name());
-    }
-    std::printf("%s",
-                report->completeness.ToString(cond_names, source_names)
-                    .c_str());
   }
-  if (args->ledger) {
-    std::printf("\n%s", report->ledger.Report().c_str());
+  if (args->ledger && answer->detail != nullptr) {
+    std::printf("\n%s", answer->detail->execution.ledger.Report().c_str());
   }
   if (args->metrics) {
     std::printf("\n-- metrics --\n%s",

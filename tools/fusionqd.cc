@@ -1,0 +1,354 @@
+// fusionqd — the fusion query service daemon.
+//
+// Loads a catalog once, builds ONE shared QuerySession (result cache,
+// circuit breakers, learned statistics), and serves concurrent FUSIONQ/1
+// clients over TCP: every accepted connection gets a thread running the
+// service's receive → dispatch → reply loop, and every query funnels
+// through the same admission queue, fair per-client scheduler, and executor
+// pool. Point `fusionq --connect=host:port` (or any FUSIONQ/1 speaker) at
+// it.
+//
+// Usage:
+//   fusionqd --catalog=<config.ini> [--host=127.0.0.1] [--port=4631]
+//            [--workers=N] [--max-queue=N] [--name=fusionqd]
+//            [client flags: --strategy/--stats/--cache/...]
+//   fusionqd --catalog=... --sql=QUERY --smoke   # in-process self-test
+//
+// --port=0 binds an ephemeral port; the actual port is printed on the
+// "listening on" line, so scripts can parse it.
+#include <sys/socket.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/catalog_config.h"
+#include "cli/client_flags.h"
+#include "mediator/client.h"
+#include "mediator/service.h"
+#include "obs/metrics.h"
+#include "protocol/socket.h"
+
+namespace fusion {
+namespace {
+
+struct Args {
+  std::string catalog_path;
+  std::string host = "127.0.0.1";
+  int port = 4631;
+  int workers = 4;
+  int max_queue = 64;
+  std::string name = "fusionqd";
+  std::string sql;   // --smoke's test query
+  bool smoke = false;
+  bool help = false;
+  ClientFlags client;
+
+  Args() {
+    // Daemon defaults differ from the one-shot CLI: a long-lived service
+    // exists to amortize — result cache on, session-learned statistics.
+    client.cache = true;
+    client.stats = "session";
+  }
+};
+
+void PrintUsage() {
+  std::printf(
+      "fusionqd — fusion query service daemon (FUSIONQ/1 over TCP)\n\n"
+      "usage: fusionqd --catalog=FILE [options]\n\n"
+      "  --catalog=FILE   INI catalog config (see examples/data/)\n"
+      "  --host=H         listen address (default 127.0.0.1)\n"
+      "  --port=P         listen port; 0 = ephemeral, printed on startup\n"
+      "                   (default 4631)\n"
+      "  --workers=N      concurrently running queries (default 4)\n"
+      "  --max-queue=N    admission bound: queued requests beyond this are\n"
+      "                   shed with Unavailable (default 64)\n"
+      "  --name=S         server name reported in the HELLO handshake\n"
+      "  --smoke          in-process self-test: serve on an ephemeral port,\n"
+      "                   run two concurrent clients over real sockets\n"
+      "                   (requires --sql), verify identical answers and a\n"
+      "                   warm second query, then exit\n"
+      "  --sql=QUERY      the query --smoke submits\n"
+      "\nshared client flags (same meanings as fusionq; defaults here:\n"
+      "--cache on, --stats=session):\n%s",
+      ClientFlags::Help());
+}
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    Status client_error = Status::Ok();
+    if (args.client.Consume(a, &client_error)) {
+      FUSION_RETURN_IF_ERROR(client_error);
+      continue;
+    }
+    if (ParseFlagValue(a, "--catalog", &args.catalog_path)) continue;
+    if (ParseFlagValue(a, "--host", &args.host)) continue;
+    if (ParseFlagValue(a, "--name", &args.name)) continue;
+    if (ParseFlagValue(a, "--sql", &args.sql)) continue;
+    std::string number;
+    if (ParseFlagValue(a, "--port", &number)) {
+      args.port = std::atoi(number.c_str());
+      if (args.port < 0 || args.port > 65535) {
+        return Status::InvalidArgument("--port must be in [0, 65535]");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--workers", &number)) {
+      args.workers = std::atoi(number.c_str());
+      if (args.workers < 1) {
+        return Status::InvalidArgument("--workers must be >= 1");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--max-queue", &number)) {
+      args.max_queue = std::atoi(number.c_str());
+      if (args.max_queue < 1) {
+        return Status::InvalidArgument("--max-queue must be >= 1");
+      }
+      continue;
+    }
+    if (std::strcmp(a, "--smoke") == 0) {
+      args.smoke = true;
+      continue;
+    }
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      args.help = true;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unknown argument: ") + a);
+  }
+  return args;
+}
+
+/// The accepted connections, so shutdown can unblock their Receive()s
+/// (shutdown(2) wakes a blocked recv; close alone does not).
+class ConnectionRegistry {
+ public:
+  std::shared_ptr<MessageSocket> Adopt(MessageSocket socket) {
+    auto shared = std::make_shared<MessageSocket>(std::move(socket));
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.push_back(shared);
+    return shared;
+  }
+
+  void ShutdownAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& connection : connections_) {
+      if (connection->valid()) ::shutdown(connection->fd(), SHUT_RDWR);
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::shared_ptr<MessageSocket>> connections_;
+};
+
+// The listening fd, for the async-signal-safe shutdown path: SIGINT/SIGTERM
+// close it, which makes the blocked accept() return and the main loop exit.
+std::atomic<int> g_listener_fd{-1};
+
+void HandleSignal(int) {
+  const int fd = g_listener_fd.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+Result<QueryService::Options> ServiceOptionsFromArgs(const Args& args) {
+  QueryService::Options options;
+  options.server_name = args.name;
+  options.workers = args.workers;
+  options.max_queue = static_cast<size_t>(args.max_queue);
+  FUSION_ASSIGN_OR_RETURN(options.client, args.client.ToClientOptions());
+  return options;
+}
+
+int Serve(const Args& args) {
+  auto catalog = LoadCatalogFromFile(args.catalog_path);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "catalog: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  const size_t num_sources = catalog->size();
+  const auto options = ServiceOptionsFromArgs(args);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 2;
+  }
+  auto listener = TcpListener::Bind(args.host, args.port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "bind: %s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  QueryService service(Mediator(std::move(catalog).value()), *options);
+
+  g_listener_fd.store(listener->fd());
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("%s: listening on %s:%d (%zu sources, workers=%d, queue=%d)\n",
+              args.name.c_str(), args.host.c_str(), listener->port(),
+              num_sources, args.workers, args.max_queue);
+  std::fflush(stdout);
+
+  ConnectionRegistry connections;
+  std::vector<std::thread> threads;
+  for (;;) {
+    Result<MessageSocket> accepted = listener->Accept();
+    if (!accepted.ok()) break;  // listener closed: shutdown
+    std::shared_ptr<MessageSocket> connection =
+        connections.Adopt(std::move(accepted).value());
+    threads.emplace_back([&service, connection] {
+      service.ServeConnection(std::move(*connection));
+    });
+  }
+  // Signal path: reject new work, cancel in-flight queries, wake blocked
+  // connection reads, then join everything.
+  std::printf("%s: shutting down\n", args.name.c_str());
+  service.Shutdown();
+  connections.ShutdownAll();
+  for (std::thread& t : threads) t.join();
+  return 0;
+}
+
+/// --smoke: the daemon exercises its own serving path end to end, over real
+/// sockets, inside one process — two concurrent clients submit the same
+/// query, answers must match byte for byte, and a repeat query must be
+/// answered warm (metered cost an order of magnitude below the first).
+int Smoke(const Args& args) {
+  if (args.sql.empty()) {
+    std::fprintf(stderr, "--smoke requires --sql\n");
+    return 2;
+  }
+  auto catalog = LoadCatalogFromFile(args.catalog_path);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "catalog: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  const auto options = ServiceOptionsFromArgs(args);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 2;
+  }
+  auto listener = TcpListener::Bind("127.0.0.1", 0);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "bind: %s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(listener->port());
+  QueryService service(Mediator(std::move(catalog).value()), *options);
+
+  // Serve exactly two connections, each on its own thread — the smoke's
+  // clients below.
+  std::vector<std::thread> server_threads;
+  std::thread acceptor([&] {
+    for (int i = 0; i < 2; ++i) {
+      Result<MessageSocket> accepted = listener->Accept();
+      if (!accepted.ok()) return;
+      server_threads.emplace_back(
+          [&service, socket = std::move(accepted).value()]() mutable {
+            service.ServeConnection(std::move(socket));
+          });
+    }
+  });
+
+  auto first_or =
+      Client::Builder().Connect(endpoint).ClientId("smoke-0").Build();
+  if (!first_or.ok()) {
+    std::fprintf(stderr, "smoke: connect: %s\n",
+                 first_or.status().ToString().c_str());
+    return 1;
+  }
+  // unique_ptr so the connection can be closed (below) before the serve
+  // threads are joined — they run until their peer hangs up.
+  auto first = std::make_unique<Client>(std::move(first_or).value());
+  // Phase 1: one cold query pays the full metered cost.
+  Result<ClientAnswer> cold = first->QuerySql(args.sql);
+  if (!cold.ok()) {
+    std::fprintf(stderr, "smoke: cold query failed: %s\n",
+                 cold.status().ToString().c_str());
+    return 1;
+  }
+  if (cold->cost <= 0.0) {
+    std::fprintf(stderr, "smoke: cold query was free (cost %.3f) — "
+                 "cannot demonstrate cache sharing\n", cold->cost);
+    return 1;
+  }
+  // Phase 2: the same query from the *same* client and from a *different*
+  // client, concurrently. Both must be answered warm — the second client
+  // never asked anything before, so a cheap answer proves the cache is
+  // shared across clients through the service path.
+  Result<ClientAnswer> warm_same = Status::Unavailable("not run");
+  Result<ClientAnswer> warm_other = Status::Unavailable("not run");
+  std::thread same([&] { warm_same = first->QuerySql(args.sql); });
+  std::thread other([&] {
+    auto second =
+        Client::Builder().Connect(endpoint).ClientId("smoke-1").Build();
+    if (!second.ok()) {
+      warm_other = second.status();
+      return;
+    }
+    warm_other = second->QuerySql(args.sql);
+  });
+  same.join();
+  other.join();
+  first.reset();  // hang up so the serve loops (and their threads) exit
+  acceptor.join();
+  for (std::thread& t : server_threads) t.join();
+
+  for (const auto* run : {&warm_same, &warm_other}) {
+    if (!run->ok()) {
+      std::fprintf(stderr, "smoke: warm query failed: %s\n",
+                   run->status().ToString().c_str());
+      return 1;
+    }
+  }
+  const std::string answer = cold->items.ToString();
+  if (warm_same->items.ToString() != answer ||
+      warm_other->items.ToString() != answer) {
+    std::fprintf(stderr, "smoke: answers diverge: %s / %s / %s\n",
+                 answer.c_str(), warm_same->items.ToString().c_str(),
+                 warm_other->items.ToString().c_str());
+    return 1;
+  }
+  if (warm_same->cost > 0.1 * cold->cost ||
+      warm_other->cost > 0.1 * cold->cost) {
+    std::fprintf(stderr,
+                 "smoke: no cache sharing across clients (cold %.3f, "
+                 "warm %.3f and %.3f)\n",
+                 cold->cost, warm_same->cost, warm_other->cost);
+    return 1;
+  }
+  std::printf(
+      "smoke: ok (answer %s; cold cost %.3f; warm costs %.3f / %.3f; "
+      "second client shared the first's cache)\n",
+      answer.c_str(), cold->cost, warm_same->cost, warm_other->cost);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  const auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (args->help || args->catalog_path.empty()) {
+    PrintUsage();
+    return args->help ? 0 : 2;
+  }
+  return args->smoke ? Smoke(*args) : Serve(*args);
+}
+
+}  // namespace
+}  // namespace fusion
+
+int main(int argc, char** argv) { return fusion::Run(argc, argv); }
