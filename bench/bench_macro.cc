@@ -1,0 +1,629 @@
+// bench_macro — the macro-benchmark harness: end-to-end serving throughput
+// with a built-in differential correctness oracle.
+//
+// The harness stands up a real QueryService on an ephemeral TCP port (the
+// same serving path as fusionqd), generates a multi-tenant workload — Zipf
+// query popularity over a pool of fusion queries with configurable
+// condition overlap, per-tenant private working sets, and source churn via
+// cache invalidation — and drives it with one connected fusion::Client per
+// tenant over real sockets for a fixed duration.
+//
+// Two outputs:
+//  - a perf report (QPS, p50/p95/p99 latency, cache hit/containment rates,
+//    metered cost, items moved), also written as a schema-versioned
+//    BENCH_<date>.json so runs accumulate into a perf trajectory
+//    (tools/bench_diff.py compares the two most recent);
+//  - a correctness verdict: a configurable sample of served answers is
+//    re-executed on a fresh, serial, cache-less Mediator over an identical
+//    federation and compared byte-for-byte. Any divergence fails the run —
+//    the harness doubles as a load-time differential test.
+//
+// Deterministic: every random stream derives from one root seed
+// (--seed, else FUSION_SEED, else 1); the seed is printed for replay.
+//
+// Usage:
+//   bench_macro [--tenants=N] [--duration=SEC] [--seed=N]
+//               [--universe=N] [--sources=N] [--conditions=N] [--pool=N]
+//               [--zipf=T] [--overlap=F] [--shared=F] [--churn-every=N]
+//               [--oracle-sample=F] [--workers=N] [--max-queue=N]
+//               [--out=PATH]
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/workload.h"
+#include "cli/client_flags.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "mediator/client.h"
+#include "mediator/mediator.h"
+#include "mediator/service.h"
+#include "protocol/socket.h"
+
+namespace fusion {
+namespace bench {
+namespace {
+
+constexpr int kBenchSchemaVersion = 1;
+
+struct Args {
+  size_t tenants = 4;
+  double duration_seconds = 5.0;
+  MacroWorkloadSpec workload;
+  /// One source invalidation per this many completed requests (0 = off).
+  size_t churn_every = 200;
+  /// Fraction of served answers re-checked against the oracle.
+  double oracle_sample = 0.25;
+  int workers = 8;
+  int max_queue = 256;
+  /// Output: a *.json path writes exactly there; a directory writes
+  /// BENCH_<date>.json inside it; empty disables the file.
+  std::string out = ".";
+  bool seed_given = false;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "bench_macro — multi-tenant serving benchmark with differential "
+      "oracle\n\n"
+      "usage: bench_macro [options]\n\n"
+      "  --tenants=N        concurrent tenant clients (default 4)\n"
+      "  --duration=SEC     measured serving window (default 5)\n"
+      "  --seed=N           root seed (else FUSION_SEED env, else 1)\n"
+      "  --universe=N       synthetic universe size (default 20000)\n"
+      "  --sources=N        sources in the federation (default 8)\n"
+      "  --conditions=N     condition-pool dimensionality (default 6)\n"
+      "  --pool=N           distinct queries in the pool (default 64)\n"
+      "  --zipf=T           query-popularity skew (default 1.1)\n"
+      "  --overlap=F        P(condition shared verbatim across queries)\n"
+      "                     (default 0.7)\n"
+      "  --shared=F         P(request drawn from the shared pool, not the\n"
+      "                     tenant's private slice) (default 0.75)\n"
+      "  --churn-every=N    invalidate a random source's cache entries per\n"
+      "                     N completed requests; 0 = off (default 200)\n"
+      "  --oracle-sample=F  fraction of answers re-checked on a fresh\n"
+      "                     serial uncached mediator (default 0.25)\n"
+      "  --workers=N        service executor workers (default 8)\n"
+      "  --max-queue=N      service admission bound (default 256)\n"
+      "  --out=PATH         BENCH json: a .json file path, a directory for\n"
+      "                     BENCH_<date>.json, or '' to disable\n"
+      "                     (default .)\n");
+}
+
+bool ParseSize(const std::string& text, size_t* out) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *out = static_cast<size_t>(std::strtoull(text.c_str(), nullptr, 10));
+  return true;
+}
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    std::string v;
+    if (ParseFlagValue(a, "--tenants", &v)) {
+      if (!ParseSize(v, &args.tenants) || args.tenants == 0) {
+        return Status::InvalidArgument("--tenants must be a positive count");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--duration", &v)) {
+      args.duration_seconds = std::atof(v.c_str());
+      if (args.duration_seconds <= 0.0) {
+        return Status::InvalidArgument("--duration must be > 0");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--seed", &v)) {
+      size_t seed = 0;
+      if (!ParseSize(v, &seed)) {
+        return Status::InvalidArgument("--seed must be a number");
+      }
+      args.workload.seed = seed;
+      args.seed_given = true;
+      continue;
+    }
+    if (ParseFlagValue(a, "--universe", &v)) {
+      if (!ParseSize(v, &args.workload.universe_size)) {
+        return Status::InvalidArgument("--universe must be a count");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--sources", &v)) {
+      if (!ParseSize(v, &args.workload.num_sources)) {
+        return Status::InvalidArgument("--sources must be a count");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--conditions", &v)) {
+      if (!ParseSize(v, &args.workload.num_conditions)) {
+        return Status::InvalidArgument("--conditions must be a count");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--pool", &v)) {
+      if (!ParseSize(v, &args.workload.pool_size)) {
+        return Status::InvalidArgument("--pool must be a count");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--zipf", &v)) {
+      args.workload.zipf_theta = std::atof(v.c_str());
+      continue;
+    }
+    if (ParseFlagValue(a, "--overlap", &v)) {
+      args.workload.condition_overlap = std::atof(v.c_str());
+      continue;
+    }
+    if (ParseFlagValue(a, "--shared", &v)) {
+      args.workload.shared_fraction = std::atof(v.c_str());
+      continue;
+    }
+    if (ParseFlagValue(a, "--churn-every", &v)) {
+      if (!ParseSize(v, &args.churn_every)) {
+        return Status::InvalidArgument("--churn-every must be a count");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--oracle-sample", &v)) {
+      args.oracle_sample = std::atof(v.c_str());
+      if (args.oracle_sample < 0.0 || args.oracle_sample > 1.0) {
+        return Status::InvalidArgument("--oracle-sample must be in [0, 1]");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--workers", &v)) {
+      args.workers = std::atoi(v.c_str());
+      if (args.workers < 1) {
+        return Status::InvalidArgument("--workers must be >= 1");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--max-queue", &v)) {
+      args.max_queue = std::atoi(v.c_str());
+      if (args.max_queue < 1) {
+        return Status::InvalidArgument("--max-queue must be >= 1");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--out", &v)) {
+      args.out = v;
+      continue;
+    }
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      args.help = true;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unknown argument: ") + a);
+  }
+  if (!args.seed_given) args.workload.seed = GlobalSeed(args.workload.seed);
+  return args;
+}
+
+/// What one tenant thread measured. Merged after the join; no cross-thread
+/// sharing during the run beyond the churn counter.
+struct TenantResult {
+  std::vector<double> latencies_ms;
+  size_t ok = 0;
+  size_t errors = 0;
+  size_t shed = 0;
+  size_t incomplete = 0;
+  double cost = 0.0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t items_sent = 0;
+  size_t items_received = 0;
+  /// Oracle samples: (pool index, canonical answer text) per sampled
+  /// request. Complete answers only; incomplete ones are a sound subset by
+  /// design and are counted, not compared.
+  std::vector<std::pair<size_t, std::string>> samples;
+  std::string fatal;  // connect failure etc.
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * sorted.size()));
+  return sorted[index];
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int RunHarness(const Args& args) {
+  std::printf("bench_macro: seed %llu (replay: --seed=%llu or "
+              "FUSION_SEED=%llu)\n",
+              static_cast<unsigned long long>(args.workload.seed),
+              static_cast<unsigned long long>(args.workload.seed),
+              static_cast<unsigned long long>(args.workload.seed));
+
+  auto workload_or = MacroWorkload::Generate(args.workload);
+  if (!workload_or.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload_or.status().ToString().c_str());
+    return 2;
+  }
+  MacroWorkload workload = std::move(workload_or).value();
+  std::printf(
+      "bench_macro: %zu sources, universe %zu, pool %zu queries, "
+      "%zu tenants, %.1fs\n",
+      args.workload.num_sources, args.workload.universe_size,
+      workload.pool().size(), args.tenants, args.duration_seconds);
+
+  // The service: daemon defaults (shared cache, session-learned stats),
+  // the exact configuration fusionqd serves with.
+  QueryService::Options service_options;
+  service_options.server_name = "bench-macro";
+  service_options.workers = args.workers;
+  service_options.max_queue = static_cast<size_t>(args.max_queue);
+  QueryService service(Mediator(std::move(workload.catalog())),
+                       service_options);
+
+  auto listener_or = TcpListener::Bind("127.0.0.1", 0);
+  if (!listener_or.ok()) {
+    std::fprintf(stderr, "bind: %s\n",
+                 listener_or.status().ToString().c_str());
+    return 1;
+  }
+  TcpListener listener = std::move(listener_or).value();
+  const std::string endpoint = "127.0.0.1:" + std::to_string(listener.port());
+
+  std::mutex connection_mutex;
+  std::vector<std::thread> connection_threads;
+  std::thread acceptor([&] {
+    for (;;) {
+      Result<MessageSocket> accepted = listener.Accept();
+      if (!accepted.ok()) return;  // listener closed: harness shutdown
+      std::lock_guard<std::mutex> lock(connection_mutex);
+      connection_threads.emplace_back(
+          [&service, socket = std::move(accepted).value()]() mutable {
+            service.ServeConnection(std::move(socket));
+          });
+    }
+  });
+
+  // Tenant threads: each drives its deterministic stream through its own
+  // connected client until the deadline. The only cross-tenant state is the
+  // completed-request counter that schedules churn.
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> churn_invalidations{0};
+  std::vector<TenantResult> results(args.tenants);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration<double>(args.duration_seconds);
+  std::vector<std::thread> tenants;
+  tenants.reserve(args.tenants);
+  for (size_t t = 0; t < args.tenants; ++t) {
+    tenants.emplace_back([&, t] {
+      TenantResult& result = results[t];
+      auto client_or = Client::Builder()
+                           .Connect(endpoint)
+                           .ClientId(StrFormat("tenant-%zu", t))
+                           .Build();
+      if (!client_or.ok()) {
+        result.fatal = client_or.status().ToString();
+        return;
+      }
+      Client client = std::move(client_or).value();
+      MacroWorkload::TenantStream stream =
+          workload.StreamFor(t, args.tenants);
+      Rng oracle_rng(MixSeed(args.workload.seed, 0x2000 + t));
+      while (std::chrono::steady_clock::now() < deadline) {
+        const size_t index = stream.NextIndex();
+        const auto t0 = std::chrono::steady_clock::now();
+        const Result<ClientAnswer> answer =
+            client.QuerySql(workload.pool()[index]);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!answer.ok()) {
+          if (answer.status().code() == StatusCode::kUnavailable) {
+            ++result.shed;  // admission control; back off briefly
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          } else {
+            ++result.errors;
+          }
+          continue;
+        }
+        ++result.ok;
+        result.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        result.cost += answer->cost;
+        result.cache_hits += answer->cache_hits;
+        result.cache_misses += answer->cache_misses;
+        result.items_sent += answer->items_sent;
+        result.items_received += answer->items_received;
+        if (!answer->complete) ++result.incomplete;
+        if (oracle_rng.Bernoulli(args.oracle_sample) && answer->complete) {
+          result.samples.emplace_back(index, answer->items.ToString());
+        }
+        const size_t done =
+            completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (args.churn_every > 0 && done % args.churn_every == 0) {
+          // Deterministic churn schedule: the Nth invalidation always hits
+          // the same source for a given seed.
+          const size_t source =
+              MixSeed(args.workload.seed, 0x3000 + done) %
+              args.workload.num_sources;
+          service.session().InvalidateSource(source);
+          churn_invalidations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& tenant : tenants) tenant.join();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  // shutdown(2), not just close: closing an fd from another thread does not
+  // wake a blocked accept() on Linux; shutting the listener down does.
+  ::shutdown(listener.fd(), SHUT_RDWR);
+  listener.Close();
+  acceptor.join();
+  {
+    std::lock_guard<std::mutex> lock(connection_mutex);
+    for (std::thread& connection : connection_threads) connection.join();
+  }
+
+  for (size_t t = 0; t < results.size(); ++t) {
+    if (!results[t].fatal.empty()) {
+      std::fprintf(stderr, "tenant-%zu: %s\n", t, results[t].fatal.c_str());
+      return 1;
+    }
+  }
+
+  // Merge.
+  TenantResult total;
+  std::vector<double> latencies;
+  for (const TenantResult& r : results) {
+    total.ok += r.ok;
+    total.errors += r.errors;
+    total.shed += r.shed;
+    total.incomplete += r.incomplete;
+    total.cost += r.cost;
+    total.cache_hits += r.cache_hits;
+    total.cache_misses += r.cache_misses;
+    total.items_sent += r.items_sent;
+    total.items_received += r.items_received;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  if (total.ok == 0) {
+    std::fprintf(stderr, "bench_macro: no queries completed\n");
+    return 1;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps = static_cast<double>(total.ok) / elapsed;
+  const double p50 = Percentile(latencies, 0.50);
+  const double p95 = Percentile(latencies, 0.95);
+  const double p99 = Percentile(latencies, 0.99);
+  double mean = 0.0;
+  for (const double l : latencies) mean += l;
+  mean /= static_cast<double>(latencies.size());
+  const SourceCallCache::Stats cache =
+      service.session().cache().StatsSnapshot();
+  const double lookups =
+      static_cast<double>(cache.hits + cache.containment_hits + cache.misses);
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(cache.hits) / lookups : 0.0;
+  const double containment_rate =
+      lookups > 0 ? static_cast<double>(cache.containment_hits) / lookups
+                  : 0.0;
+
+  std::printf(
+      "bench_macro: %zu queries in %.2fs — %.1f QPS; latency ms "
+      "p50 %.3f p95 %.3f p99 %.3f mean %.3f max %.3f\n",
+      total.ok, elapsed, qps, p50, p95, p99, mean, latencies.back());
+  std::printf(
+      "bench_macro: cache hit rate %.3f, containment rate %.3f "
+      "(%zu hits, %zu containment, %zu misses, %zu invalidations); "
+      "%zu churn events\n",
+      hit_rate, containment_rate, cache.hits, cache.containment_hits,
+      cache.misses, cache.invalidations, churn_invalidations.load());
+  std::printf(
+      "bench_macro: metered cost %.1f (%.3f/query); items moved: "
+      "%zu sent, %zu received; %zu shed, %zu errors, %zu incomplete\n",
+      total.cost, total.cost / static_cast<double>(total.ok),
+      total.items_sent, total.items_received, total.shed, total.errors,
+      total.incomplete);
+
+  // ---- Differential oracle ----------------------------------------------
+  // Re-execute every *distinct* sampled pool query on a fresh, serial,
+  // cache-less Mediator over an identical federation, then hold every
+  // sampled served answer to that reference byte-for-byte. Distinct-query
+  // dedup keeps the oracle cost bounded by the pool size while still
+  // crediting every sampled request to the verdict.
+  size_t sampled = 0;
+  for (const TenantResult& r : results) sampled += r.samples.size();
+  size_t divergences = 0;
+  size_t distinct = 0;
+  if (sampled > 0) {
+    auto oracle_catalog = workload.MakeOracleCatalog();
+    if (!oracle_catalog.ok()) {
+      std::fprintf(stderr, "oracle catalog: %s\n",
+                   oracle_catalog.status().ToString().c_str());
+      return 1;
+    }
+    Mediator oracle(std::move(oracle_catalog).value());
+    const MediatorOptions serial;  // sequential, uncached, fresh statistics
+    std::map<size_t, std::string> reference;
+    for (const TenantResult& r : results) {
+      for (const auto& [index, answer] : r.samples) {
+        auto it = reference.find(index);
+        if (it == reference.end()) {
+          Result<QueryAnswer> truth =
+              oracle.AnswerSql(workload.pool()[index], serial);
+          if (!truth.ok()) {
+            std::fprintf(stderr, "oracle: %s\n",
+                         truth.status().ToString().c_str());
+            return 1;
+          }
+          it = reference.emplace(index, truth->items.ToString()).first;
+          ++distinct;
+        }
+        if (answer != it->second) {
+          if (divergences < 5) {
+            std::fprintf(stderr,
+                         "DIVERGENCE pool[%zu]:\n  sql:    %s\n"
+                         "  served: %s\n  oracle: %s\n",
+                         index, workload.pool()[index].c_str(),
+                         answer.c_str(), it->second.c_str());
+          }
+          ++divergences;
+        }
+      }
+    }
+  }
+  std::printf(
+      "bench_macro: oracle: %zu divergences (%zu answers sampled, "
+      "%zu distinct queries re-executed serially)\n",
+      divergences, sampled, distinct);
+
+  // ---- BENCH_<date>.json -------------------------------------------------
+  if (!args.out.empty()) {
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char day[16], stamp[32];
+    std::strftime(day, sizeof(day), "%Y-%m-%d", &utc);
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    std::string path = args.out;
+    const bool is_file = path.size() > 5 &&
+                         path.compare(path.size() - 5, 5, ".json") == 0;
+    if (!is_file) {
+      if (!path.empty() && path.back() != '/') path += '/';
+      path += StrFormat("BENCH_%s.json", day);
+    }
+    std::string json = StrFormat(
+        "{\n"
+        "  \"schema_version\": %d,\n"
+        "  \"bench\": \"bench_macro\",\n"
+        "  \"date\": \"%s\",\n"
+        "  \"seed\": %llu,\n"
+        "  \"config\": {\n"
+        "    \"tenants\": %zu,\n"
+        "    \"duration_seconds\": %g,\n"
+        "    \"universe\": %zu,\n"
+        "    \"sources\": %zu,\n"
+        "    \"conditions\": %zu,\n"
+        "    \"pool\": %zu,\n"
+        "    \"zipf_theta\": %g,\n"
+        "    \"condition_overlap\": %g,\n"
+        "    \"shared_fraction\": %g,\n"
+        "    \"churn_every\": %zu,\n"
+        "    \"oracle_sample\": %g,\n"
+        "    \"workers\": %d,\n"
+        "    \"max_queue\": %d\n"
+        "  },\n",
+        kBenchSchemaVersion, stamp,
+        static_cast<unsigned long long>(args.workload.seed), args.tenants,
+        args.duration_seconds, args.workload.universe_size,
+        args.workload.num_sources, args.workload.num_conditions,
+        workload.pool().size(), args.workload.zipf_theta,
+        args.workload.condition_overlap, args.workload.shared_fraction,
+        args.churn_every, args.oracle_sample, args.workers, args.max_queue);
+    json += StrFormat(
+        "  \"metrics\": {\n"
+        "    \"qps\": %.3f,\n"
+        "    \"queries\": %zu,\n"
+        "    \"elapsed_seconds\": %.3f,\n"
+        "    \"errors\": %zu,\n"
+        "    \"shed\": %zu,\n"
+        "    \"incomplete\": %zu,\n"
+        "    \"latency_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, "
+        "\"mean\": %.4f, \"max\": %.4f},\n"
+        "    \"cache\": {\"hit_rate\": %.4f, \"containment_rate\": %.4f, "
+        "\"hits\": %zu, \"containment_hits\": %zu, \"misses\": %zu, "
+        "\"invalidations\": %zu},\n"
+        "    \"churn_events\": %zu,\n"
+        "    \"metered_cost_total\": %.3f,\n"
+        "    \"metered_cost_per_query\": %.5f,\n"
+        "    \"items_moved\": {\"sent\": %zu, \"received\": %zu}\n"
+        "  },\n",
+        qps, total.ok, elapsed, total.errors, total.shed, total.incomplete,
+        p50, p95, p99, mean, latencies.back(), hit_rate, containment_rate,
+        cache.hits, cache.containment_hits, cache.misses,
+        cache.invalidations, churn_invalidations.load(), total.cost,
+        total.cost / static_cast<double>(total.ok), total.items_sent,
+        total.items_received);
+    json += StrFormat(
+        "  \"oracle\": {\"sampled\": %zu, \"distinct\": %zu, "
+        "\"divergences\": %zu}\n"
+        "}\n",
+        sampled, distinct, divergences);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_macro: cannot write %s\n",
+                   JsonEscape(path).c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("bench_macro: wrote %s\n", path.c_str());
+  }
+
+  if (divergences > 0) {
+    std::fprintf(stderr,
+                 "bench_macro: FAILED — served answers diverged from the "
+                 "serial oracle\n");
+    return 1;
+  }
+  if (total.errors > 0) {
+    std::fprintf(stderr, "bench_macro: FAILED — %zu queries errored\n",
+                 total.errors);
+    return 1;
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  const auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (args->help) {
+    PrintUsage();
+    return 0;
+  }
+  return RunHarness(*args);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fusion
+
+int main(int argc, char** argv) { return fusion::bench::Run(argc, argv); }

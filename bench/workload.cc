@@ -1,0 +1,143 @@
+#include "bench/workload.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace fusion {
+namespace bench {
+namespace {
+
+// Salts for per-component seed streams (see MixSeed).
+constexpr uint64_t kFederationSalt = 0x01;
+constexpr uint64_t kPoolSalt = 0x02;
+constexpr uint64_t kTenantSaltBase = 0x1000;
+
+}  // namespace
+
+Result<MacroWorkload> MacroWorkload::Generate(const MacroWorkloadSpec& spec) {
+  if (spec.pool_size == 0) {
+    return Status::InvalidArgument("macro workload: pool_size must be > 0");
+  }
+  if (spec.min_conditions_per_query == 0 ||
+      spec.min_conditions_per_query > spec.max_conditions_per_query) {
+    return Status::InvalidArgument(
+        "macro workload: need 1 <= min_conditions_per_query <= "
+        "max_conditions_per_query");
+  }
+  if (spec.max_conditions_per_query > spec.num_conditions) {
+    return Status::InvalidArgument(
+        StrFormat("macro workload: max_conditions_per_query (%zu) exceeds "
+                  "num_conditions (%zu)",
+                  spec.max_conditions_per_query, spec.num_conditions));
+  }
+
+  MacroWorkload workload;
+  workload.spec_ = spec;
+
+  SyntheticSpec synth;
+  synth.universe_size = spec.universe_size;
+  synth.num_sources = spec.num_sources;
+  synth.num_conditions = spec.num_conditions;
+  synth.coverage = spec.coverage;
+  synth.selectivity_default = spec.selectivity;
+  synth.seed = MixSeed(spec.seed, kFederationSalt);
+  workload.synth_spec_ = synth;
+  FUSION_ASSIGN_OR_RETURN(workload.instance_, GenerateSynthetic(synth));
+
+  // Query pool. Each query selects k distinct flag columns; each selected
+  // column contributes either the shared base condition (verbatim across
+  // queries — the overlap that makes cross-query caching pay off) or a
+  // query-private variant that also constrains the merge attribute.
+  Rng rng(MixSeed(spec.seed, kPoolSalt));
+  std::set<std::string> seen;
+  const int64_t universe = static_cast<int64_t>(spec.universe_size);
+  size_t attempts = 0;
+  const size_t max_attempts = spec.pool_size * 64;
+  while (workload.pool_.size() < spec.pool_size) {
+    if (++attempts > max_attempts) {
+      return Status::InvalidArgument(
+          "macro workload: condition space too small to build a distinct "
+          "query pool of the requested size; lower pool_size or raise "
+          "num_conditions");
+    }
+    const size_t k = static_cast<size_t>(
+        rng.Uniform(static_cast<int64_t>(spec.min_conditions_per_query),
+                    static_cast<int64_t>(spec.max_conditions_per_query)));
+    std::vector<size_t> columns(spec.num_conditions);
+    for (size_t i = 0; i < columns.size(); ++i) columns[i] = i;
+    std::shuffle(columns.begin(), columns.end(), rng.engine());
+    columns.resize(k);
+    std::sort(columns.begin(), columns.end());
+
+    std::vector<Condition> conditions;
+    conditions.reserve(k);
+    for (const size_t column : columns) {
+      Condition base =
+          Condition::Eq(StrFormat("A%zu", column + 1), Value(int64_t{1}));
+      if (rng.Bernoulli(spec.condition_overlap)) {
+        conditions.push_back(std::move(base));
+      } else {
+        // Query-private variant: base AND a random merge-attribute cutoff.
+        // Distinct cutoffs make distinct canonical texts, so these entries
+        // never share source-call cache lines with other queries.
+        const int64_t cutoff = rng.Uniform(universe / 4, universe - 1);
+        conditions.push_back(Condition::And(
+            std::move(base),
+            Condition::Compare("M", CompareOp::kLe, Value(cutoff))));
+      }
+    }
+    const FusionQuery query("M", std::move(conditions));
+    std::string sql = query.ToSql();
+    // Duplicate shapes retry with fresh randomness (attempt-bounded above).
+    if (seen.insert(sql).second) {
+      workload.pool_.push_back(std::move(sql));
+    }
+  }
+
+  workload.popularity_ = ZipfSampler(workload.pool_.size(), spec.zipf_theta);
+  return workload;
+}
+
+Result<SourceCatalog> MacroWorkload::MakeOracleCatalog() const {
+  FUSION_ASSIGN_OR_RETURN(SyntheticInstance oracle,
+                          GenerateSynthetic(synth_spec_));
+  return std::move(oracle.catalog);
+}
+
+MacroWorkload::TenantStream::TenantStream(const MacroWorkload* workload,
+                                          size_t tenant, size_t num_tenants,
+                                          uint64_t seed)
+    : workload_(workload), rng_(seed) {
+  const size_t pool = workload->pool_.size();
+  // Contiguous private slice; empty when there are more tenants than pool
+  // entries (those tenants fall back to the shared Zipf draw).
+  const size_t tenants = std::max<size_t>(num_tenants, 1);
+  const size_t width = pool / tenants;
+  slice_begin_ = std::min(tenant * width, pool);
+  slice_size_ = width;
+  if (slice_begin_ + slice_size_ > pool) {
+    slice_size_ = pool - slice_begin_;
+  }
+}
+
+size_t MacroWorkload::TenantStream::NextIndex() {
+  const MacroWorkloadSpec& spec = workload_->spec_;
+  if (slice_size_ == 0 || rng_.Bernoulli(spec.shared_fraction)) {
+    return workload_->popularity_.Sample(rng_);
+  }
+  return slice_begin_ +
+         static_cast<size_t>(
+             rng_.Uniform(0, static_cast<int64_t>(slice_size_) - 1));
+}
+
+MacroWorkload::TenantStream MacroWorkload::StreamFor(
+    size_t tenant, size_t num_tenants) const {
+  return TenantStream(this, tenant, num_tenants,
+                      MixSeed(spec_.seed, kTenantSaltBase + tenant));
+}
+
+}  // namespace bench
+}  // namespace fusion

@@ -1,0 +1,105 @@
+#ifndef FUSION_BENCH_WORKLOAD_H_
+#define FUSION_BENCH_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "source/catalog.h"
+#include "workload/synthetic.h"
+
+namespace fusion {
+namespace bench {
+
+/// The multi-tenant macro workload: one synthetic federation plus a pool of
+/// distinct fusion queries over it, sampled by tenants with Zipf popularity.
+/// Everything is deterministic in `seed` (per-component streams are derived
+/// with MixSeed), so any harness run — including the failure streams of
+/// FlakySources honoring FUSION_SEED — replays exactly.
+struct MacroWorkloadSpec {
+  // Federation shape (forwarded to GenerateSynthetic).
+  size_t universe_size = 20000;
+  size_t num_sources = 8;
+  /// Condition-pool dimensionality: the schema carries one flag column per
+  /// condition, and every pool query draws its conditions from this pool.
+  size_t num_conditions = 6;
+  double coverage = 0.25;
+  double selectivity = 0.08;
+
+  // Query pool.
+  /// Distinct queries in the pool (the Zipf popularity domain).
+  size_t pool_size = 64;
+  size_t min_conditions_per_query = 1;
+  size_t max_conditions_per_query = 3;
+  /// Popularity skew across the pool: rank r is drawn ∝ 1/(r+1)^zipf_theta.
+  /// 0 = uniform. Realistic serving traffic is heavily skewed (~1.0), which
+  /// is what makes the shared result cache earn its keep.
+  double zipf_theta = 1.1;
+  /// Probability a query's condition slot reuses the pool's shared base
+  /// condition for its flag column verbatim (cacheable across queries);
+  /// otherwise the slot gets a query-private variant (base AND a random
+  /// merge-attribute range) whose canonical text no other query shares.
+  double condition_overlap = 0.7;
+
+  // Tenant mix.
+  /// Probability a request samples the whole pool Zipf-style (traffic every
+  /// tenant shares); otherwise it draws uniformly from the tenant's private
+  /// contiguous slice of the pool — per-tenant working sets that only that
+  /// tenant keeps warm.
+  double shared_fraction = 0.75;
+
+  uint64_t seed = 1;
+};
+
+/// A generated macro workload: the live federation, the SQL query pool, and
+/// deterministic per-tenant request streams.
+class MacroWorkload {
+ public:
+  static Result<MacroWorkload> Generate(const MacroWorkloadSpec& spec);
+
+  const MacroWorkloadSpec& spec() const { return spec_; }
+  const SyntheticInstance& instance() const { return instance_; }
+  SourceCatalog& catalog() { return instance_.catalog; }
+  const std::vector<std::string>& pool() const { return pool_; }
+
+  /// A second, independently built federation with byte-identical data —
+  /// the differential oracle executes against this one so its source calls
+  /// never touch the served federation's wrappers.
+  Result<SourceCatalog> MakeOracleCatalog() const;
+
+  /// One tenant's deterministic request stream: Zipf over the shared pool
+  /// with probability spec.shared_fraction, else uniform over the tenant's
+  /// private slice. Streams for the same (workload seed, tenant) replay
+  /// identically; streams for distinct tenants are independent.
+  class TenantStream {
+   public:
+    /// Pool index of the next request.
+    size_t NextIndex();
+
+   private:
+    friend class MacroWorkload;
+    TenantStream(const MacroWorkload* workload, size_t tenant,
+                 size_t num_tenants, uint64_t seed);
+
+    const MacroWorkload* workload_;
+    Rng rng_;
+    size_t slice_begin_ = 0;
+    size_t slice_size_ = 0;
+  };
+
+  /// `tenant` indexes into `num_tenants` equal private slices of the pool.
+  TenantStream StreamFor(size_t tenant, size_t num_tenants) const;
+
+ private:
+  MacroWorkloadSpec spec_;
+  SyntheticSpec synth_spec_;
+  SyntheticInstance instance_;
+  std::vector<std::string> pool_;
+  ZipfSampler popularity_{1, 0.0};
+};
+
+}  // namespace bench
+}  // namespace fusion
+
+#endif  // FUSION_BENCH_WORKLOAD_H_

@@ -2,8 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 
 namespace fusion {
+namespace {
+
+std::optional<uint64_t> ReadGlobalSeed() {
+  const char* env = std::getenv("FUSION_SEED");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return std::nullopt;
+  return static_cast<uint64_t>(value);
+}
+
+const std::optional<uint64_t>& CachedGlobalSeed() {
+  static const std::optional<uint64_t> seed = ReadGlobalSeed();
+  return seed;
+}
+
+}  // namespace
+
+uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+  // splitmix64: one round per input, then a finalizing round.
+  auto round = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  return round(round(seed) ^ round(~salt));
+}
+
+bool HasGlobalSeed() { return CachedGlobalSeed().has_value(); }
+
+uint64_t GlobalSeed(uint64_t fallback) {
+  return CachedGlobalSeed().value_or(fallback);
+}
 
 int64_t Rng::Uniform(int64_t lo, int64_t hi) {
   std::uniform_int_distribution<int64_t> dist(lo, hi);

@@ -34,6 +34,23 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// splitmix64 finalizer mixing `seed` and `salt` into one well-distributed
+/// stream seed. Deriving per-component seeds this way (instead of seed + i)
+/// keeps the component streams statistically independent, so the macro
+/// harness can hand every tenant / source / sampler its own Rng from one
+/// root seed and still replay the whole run bit-for-bit.
+uint64_t MixSeed(uint64_t seed, uint64_t salt);
+
+/// True iff the FUSION_SEED environment variable is set to a number.
+bool HasGlobalSeed();
+
+/// The process-wide replay seed: the value of FUSION_SEED when set (read
+/// once, cached), else `fallback`. Every seeded component of the macro
+/// harness (workload generator, tenants, FlakySource failure streams)
+/// resolves its seed through this, so exporting FUSION_SEED replays a
+/// harness-found divergence exactly — flaky streams included.
+uint64_t GlobalSeed(uint64_t fallback);
+
 /// Zipf-distributed sampler over {0, 1, ..., n-1} with exponent `theta`
 /// (theta = 0 is uniform; larger values are more skewed). Uses the
 /// precomputed-CDF method: O(n) setup, O(log n) per sample.

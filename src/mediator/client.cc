@@ -60,6 +60,8 @@ ClientAnswer SummarizeAnswer(QueryAnswer answer) {
   out.cache_hits = answer.execution.cache_hits;
   out.cache_misses = answer.execution.cache_misses;
   out.cache_containment_hits = answer.execution.cache_containment_hits;
+  out.items_sent = answer.execution.ledger.total_items_sent();
+  out.items_received = answer.execution.ledger.total_items_received();
   out.calibration_cost = answer.calibration_cost;
   out.complete = answer.execution.completeness.answer_complete;
   out.detail = std::make_shared<const QueryAnswer>(std::move(answer));
@@ -111,6 +113,8 @@ Result<ClientAnswer> Client::RemoteQuery(const std::string& sql,
   out.source_queries = response.source_queries;
   out.cache_hits = response.cache_hits;
   out.cache_misses = response.cache_misses;
+  out.items_sent = response.items_sent;
+  out.items_received = response.items_received;
   out.calibration_cost = response.calibration_cost;
   out.complete = response.complete;
   return out;

@@ -35,6 +35,11 @@ struct ClientAnswer {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t cache_containment_hits = 0;  // local mode only (not on the wire)
+  /// Merge-attribute items shipped to sources (semijoin bindings, probes)
+  /// and received back (answer items) — the bytes-moved proxy the cost
+  /// model charges per item, summed over this query's ledger.
+  size_t items_sent = 0;
+  size_t items_received = 0;
   /// Probe traffic charged by kCalibrated statistics (0 otherwise).
   double calibration_cost = 0.0;
   /// False iff the answer is sound but degraded (sources excluded).

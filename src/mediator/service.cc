@@ -231,6 +231,8 @@ ClientResponse QueryService::HandleParsed(const ClientRequest& request) {
       response.source_queries = outcome->source_queries;
       response.cache_hits = outcome->cache_hits;
       response.cache_misses = outcome->cache_misses;
+      response.items_sent = outcome->items_sent;
+      response.items_received = outcome->items_received;
       response.calibration_cost = outcome->calibration_cost;
       response.complete = outcome->complete;
       return response;
@@ -246,6 +248,8 @@ ClientResponse QueryService::HandleParsed(const ClientRequest& request) {
         response.source_queries = answer.source_queries;
         response.cache_hits = answer.cache_hits;
         response.cache_misses = answer.cache_misses;
+        response.items_sent = answer.items_sent;
+        response.items_received = answer.items_received;
         response.calibration_cost = answer.calibration_cost;
         response.complete = answer.complete;
       } else if (status->state == "failed" || status->state == "cancelled") {

@@ -48,6 +48,20 @@ Result<size_t> ParseCount(const std::string& key, const std::string& text) {
   return static_cast<size_t>(std::strtoull(text.c_str(), nullptr, 10));
 }
 
+/// Splits `text` into lines, rejecting any line over the protocol's cap.
+Result<std::vector<std::string>> SplitBoundedLines(const std::string& text,
+                                                   const char* what) {
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  for (const std::string& line : lines) {
+    if (line.size() > kMaxClientProtocolLineBytes) {
+      return Status::ParseError(
+          StrFormat("oversized %s line (%zu bytes; limit %zu)", what,
+                    line.size(), kMaxClientProtocolLineBytes));
+    }
+  }
+  return lines;
+}
+
 }  // namespace
 
 std::string SerializeClientRequest(const ClientRequest& request) {
@@ -71,7 +85,8 @@ std::string SerializeClientRequest(const ClientRequest& request) {
 }
 
 Result<ClientRequest> ParseClientRequest(const std::string& text) {
-  const std::vector<std::string> lines = StrSplit(text, '\n');
+  FUSION_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
+                          SplitBoundedLines(text, "client request"));
   if (lines.empty()) return Status::ParseError("empty client request");
   const auto [magic, kind_name] = SplitWireKeyValue(lines[0]);
   if (magic != kMagic) {
@@ -126,6 +141,8 @@ std::string SerializeClientResponse(const ClientResponse& response) {
     out += StrFormat("source-queries %zu\n", response.source_queries);
     out += StrFormat("cache-hits %zu\n", response.cache_hits);
     out += StrFormat("cache-misses %zu\n", response.cache_misses);
+    out += StrFormat("items-sent %zu\n", response.items_sent);
+    out += StrFormat("items-received %zu\n", response.items_received);
   }
   if (response.calibration_cost > 0.0) {
     out += StrFormat("calibration-cost %.17g\n", response.calibration_cost);
@@ -136,7 +153,8 @@ std::string SerializeClientResponse(const ClientResponse& response) {
 }
 
 Result<ClientResponse> ParseClientResponse(const std::string& text) {
-  const std::vector<std::string> lines = StrSplit(text, '\n');
+  FUSION_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
+                          SplitBoundedLines(text, "client response"));
   if (lines.empty()) return Status::ParseError("empty client response");
   const auto [magic, status_name] = SplitWireKeyValue(lines[0]);
   if (magic != kMagic) {
@@ -182,6 +200,10 @@ Result<ClientResponse> ParseClientResponse(const std::string& text) {
       FUSION_ASSIGN_OR_RETURN(response.cache_hits, ParseCount(key, value));
     } else if (key == "cache-misses") {
       FUSION_ASSIGN_OR_RETURN(response.cache_misses, ParseCount(key, value));
+    } else if (key == "items-sent") {
+      FUSION_ASSIGN_OR_RETURN(response.items_sent, ParseCount(key, value));
+    } else if (key == "items-received") {
+      FUSION_ASSIGN_OR_RETURN(response.items_received, ParseCount(key, value));
     } else if (key == "calibration-cost") {
       response.calibration_cost = std::atof(value.c_str());
     } else if (key == "complete") {

@@ -48,9 +48,16 @@ struct ClientRequest {
 ///   source-queries <n>           (RESULT)
 ///   cache-hits <n>               (RESULT)
 ///   cache-misses <n>             (RESULT)
+///   items-sent <n>               (RESULT; items shipped mediator -> sources)
+///   items-received <n>           (RESULT; items shipped sources -> mediator)
 ///   calibration-cost <c>         (RESULT, when probes were charged)
 ///   complete <yes|no>            (RESULT; no = sound but degraded answer)
 ///   end
+///
+/// Hardening: both parsers reject any line longer than
+/// kMaxClientProtocolLineBytes with a clean kParseError — a peer streaming
+/// an absurd sql/client line gets an ERROR response, never an allocation
+/// storm or a crash.
 struct ClientResponse {
   bool ok = true;
   StatusCode error_code = StatusCode::kOk;
@@ -64,9 +71,17 @@ struct ClientResponse {
   size_t source_queries = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Merge-attribute items shipped to / from sources (bindings out, answer
+  /// items back) — the bytes-moved proxy the cost model charges per item.
+  size_t items_sent = 0;
+  size_t items_received = 0;
   double calibration_cost = 0.0;
   bool complete = true;
 };
+
+/// Longest line either FUSIONQ/1 parser accepts (64 KiB): longer lines are
+/// rejected with kParseError before any per-field work happens.
+inline constexpr size_t kMaxClientProtocolLineBytes = 64 * 1024;
 
 std::string SerializeClientRequest(const ClientRequest& request);
 Result<ClientRequest> ParseClientRequest(const std::string& text);

@@ -42,15 +42,29 @@ std::string FusionQuery::ToSql() const {
     sql += StrFormat("U u%zu", i + 1);
   }
   sql += "\nWHERE ";
+  // Merge equalities, then each condition with its attributes qualified by
+  // its tuple variable — exactly the clause shapes ParseFusionQuery accepts,
+  // so ToSql() round-trips (this is how FusionQuery objects travel to a
+  // fusionqd, which only speaks SQL text). A vacuous TRUE condition emits no
+  // clause: the parser re-creates it for any variable left bare.
+  std::vector<std::string> clauses;
   for (size_t i = 1; i < m; ++i) {
-    if (i > 1) sql += " AND ";
-    sql += StrFormat("u1.%s = u%zu.%s", merge_attribute_.c_str(), i + 1,
-                     merge_attribute_.c_str());
+    clauses.push_back(StrFormat("u1.%s = u%zu.%s", merge_attribute_.c_str(),
+                                i + 1, merge_attribute_.c_str()));
   }
   for (size_t i = 0; i < m; ++i) {
-    if (i > 0 || m > 1) sql += " AND ";
-    // Conditions print with their attribute qualified by the variable.
-    sql += StrFormat("[u%zu] %s", i + 1, conditions_[i].ToString().c_str());
+    if (conditions_[i].IsTrue()) continue;
+    clauses.push_back(
+        conditions_[i].ToStringPrefixed(StrFormat("u%zu.", i + 1)));
+  }
+  if (clauses.empty()) {
+    // Single variable, vacuous condition: the parser still needs one clause.
+    clauses.push_back(StrFormat("u1.%s = u1.%s", merge_attribute_.c_str(),
+                                merge_attribute_.c_str()));
+  }
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) sql += " AND ";
+    sql += clauses[i];
   }
   return sql;
 }

@@ -247,7 +247,8 @@ void CollectAttributes(const Condition::Node& node,
   }
 }
 
-std::string NodeToString(const Condition::Node& node) {
+std::string NodeToString(const Condition::Node& node,
+                         const std::string& prefix = std::string()) {
   using Kind = Condition::Node::Kind;
   switch (node.kind) {
     case Kind::kTrue:
@@ -255,13 +256,13 @@ std::string NodeToString(const Condition::Node& node) {
     case Kind::kFalse:
       return "FALSE";
     case Kind::kCompare:
-      return node.attribute + " " + CompareOpSymbol(node.op) + " " +
+      return prefix + node.attribute + " " + CompareOpSymbol(node.op) + " " +
              node.constant.ToString();
     case Kind::kBetween:
-      return node.attribute + " BETWEEN " + node.lo.ToString() + " AND " +
-             node.hi.ToString();
+      return prefix + node.attribute + " BETWEEN " + node.lo.ToString() +
+             " AND " + node.hi.ToString();
     case Kind::kIn: {
-      std::string out = node.attribute + " IN (";
+      std::string out = prefix + node.attribute + " IN (";
       for (size_t i = 0; i < node.set.size(); ++i) {
         if (i > 0) out += ", ";
         out += node.set[i].ToString();
@@ -270,13 +271,13 @@ std::string NodeToString(const Condition::Node& node) {
       return out;
     }
     case Kind::kAnd:
-      return "(" + NodeToString(*node.left) + " AND " +
-             NodeToString(*node.right) + ")";
+      return "(" + NodeToString(*node.left, prefix) + " AND " +
+             NodeToString(*node.right, prefix) + ")";
     case Kind::kOr:
-      return "(" + NodeToString(*node.left) + " OR " +
-             NodeToString(*node.right) + ")";
+      return "(" + NodeToString(*node.left, prefix) + " OR " +
+             NodeToString(*node.right, prefix) + ")";
     case Kind::kNot:
-      return "NOT (" + NodeToString(*node.left) + ")";
+      return "NOT (" + NodeToString(*node.left, prefix) + ")";
   }
   return "?";
 }
@@ -317,6 +318,11 @@ std::vector<std::string> Condition::ReferencedAttributes() const {
 }
 
 std::string Condition::ToString() const { return NodeToString(*node_); }
+
+std::string Condition::ToStringPrefixed(
+    const std::string& attribute_prefix) const {
+  return NodeToString(*node_, attribute_prefix);
+}
 
 bool Condition::Equals(const Condition& other) const {
   return NodesEqual(*node_, *other.node_);

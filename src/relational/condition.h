@@ -58,6 +58,11 @@ class Condition {
   /// Renders "V = 'dui'", "D BETWEEN 1993 AND 1995", "(a OR b)" etc.
   std::string ToString() const;
 
+  /// ToString() with every attribute reference prefixed (e.g. "u1." for
+  /// variable-qualified SQL rendering). TRUE/FALSE print unprefixed — they
+  /// reference no attribute.
+  std::string ToStringPrefixed(const std::string& attribute_prefix) const;
+
   /// Structural equality (same tree shape, operators and constants).
   bool Equals(const Condition& other) const;
 

@@ -32,6 +32,10 @@ class FlakySource : public SourceWrapper {
     double failure_probability = 0.0;
     /// The first k calls fail deterministically (for targeted tests).
     size_t fail_first_k = 0;
+    /// Seed of the failure-decision stream. When the FUSION_SEED environment
+    /// variable is set (the macro harness's replay knob), the stream is
+    /// re-derived as MixSeed(FUSION_SEED, seed): distinct FlakySources keep
+    /// distinct streams, but one exported variable replays them all.
     uint64_t seed = 1;
     /// Status code of an injected *transient* failure. kInternal (the
     /// default) is what the executor's retry policy re-attempts; tests use
@@ -56,7 +60,10 @@ class FlakySource : public SourceWrapper {
   };
 
   FlakySource(std::unique_ptr<SourceWrapper> inner, const Options& options)
-      : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+      : inner_(std::move(inner)),
+        options_(options),
+        rng_(HasGlobalSeed() ? MixSeed(GlobalSeed(0), options.seed)
+                             : options.seed) {}
 
   const std::string& name() const override { return inner_->name(); }
   const Schema& schema() const override { return inner_->schema(); }

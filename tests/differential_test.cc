@@ -1,0 +1,187 @@
+// Property-style differential test of the serving path: randomized fusion
+// queries answered by a concurrent QueryService (shared cache, learned
+// statistics, plan memo, churn invalidations) must be byte-identical to a
+// fresh, serial, cache-less Mediator over an identical federation. The
+// service may pick different plans than the reference — the answers must
+// not differ.
+//
+// Seeded and deterministic (honors FUSION_SEED for replay); part of the
+// TSan matrix via the concurrency label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/workload.h"
+#include "common/rng.h"
+#include "mediator/mediator.h"
+#include "mediator/service.h"
+#include "protocol/client_protocol.h"
+
+namespace fusion {
+namespace {
+
+using bench::MacroWorkload;
+using bench::MacroWorkloadSpec;
+
+MacroWorkloadSpec SmallSpec(uint64_t seed) {
+  MacroWorkloadSpec spec;
+  spec.universe_size = 1500;
+  spec.num_sources = 5;
+  spec.num_conditions = 5;
+  spec.pool_size = 40;
+  spec.coverage = 0.3;
+  spec.selectivity = 0.1;
+  spec.seed = GlobalSeed(seed);
+  return spec;
+}
+
+/// Submits one SQL query through the full wire path (serialize → Handle →
+/// parse) and returns the canonical answer text.
+Result<std::string> SubmitOverWire(QueryService& service,
+                                   const std::string& client_id,
+                                   const std::string& sql) {
+  ClientRequest request;
+  request.kind = ClientRequest::Kind::kSubmit;
+  request.client_id = client_id;
+  request.sql = sql;
+  request.wait = true;
+  const std::string reply = service.Handle(SerializeClientRequest(request));
+  FUSION_ASSIGN_OR_RETURN(const ClientResponse response,
+                          ParseClientResponse(reply));
+  if (!response.ok) {
+    return Status(response.error_code, response.error_message);
+  }
+  ItemSet items;
+  for (const Value& v : response.items) items.Insert(v);
+  return items.ToString();
+}
+
+// 200 randomized queries from 4 concurrent tenants — with churn
+// invalidations interleaved — against one shared service session, then
+// every answer re-derived on a serial uncached mediator.
+TEST(DifferentialTest, ServiceMatchesSerialMediatorUnderConcurrency) {
+  const MacroWorkloadSpec spec = SmallSpec(7);
+  auto workload_or = MacroWorkload::Generate(spec);
+  ASSERT_TRUE(workload_or.ok()) << workload_or.status().ToString();
+  MacroWorkload workload = std::move(workload_or).value();
+
+  QueryService::Options options;
+  options.workers = 4;
+  QueryService service(Mediator(std::move(workload.catalog())), options);
+
+  constexpr size_t kTenants = 4;
+  constexpr size_t kQueriesPerTenant = 50;
+  std::mutex mutex;
+  std::vector<std::pair<size_t, std::string>> served;  // (pool idx, answer)
+  std::vector<std::string> failures;
+  std::atomic<size_t> completed{0};
+  std::vector<std::thread> tenants;
+  for (size_t t = 0; t < kTenants; ++t) {
+    tenants.emplace_back([&, t] {
+      MacroWorkload::TenantStream stream = workload.StreamFor(t, kTenants);
+      for (size_t i = 0; i < kQueriesPerTenant; ++i) {
+        const size_t index = stream.NextIndex();
+        const Result<std::string> answer = SubmitOverWire(
+            service, "tenant-" + std::to_string(t), workload.pool()[index]);
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!answer.ok()) {
+          failures.push_back(answer.status().ToString());
+          continue;
+        }
+        served.emplace_back(index, *answer);
+        // Deterministic churn: every 25th completion invalidates a source,
+        // so reuse must survive cache wipes mid-run.
+        const size_t done = completed.fetch_add(1) + 1;
+        if (done % 25 == 0) {
+          service.session().InvalidateSource(
+              MixSeed(spec.seed, done) % spec.num_sources);
+        }
+      }
+    });
+  }
+  for (std::thread& tenant : tenants) tenant.join();
+  ASSERT_TRUE(failures.empty()) << failures.front();
+  ASSERT_EQ(served.size(), kTenants * kQueriesPerTenant);
+
+  // Reference: same federation, fresh build, serial execution, no cache,
+  // no session statistics — the simplest trustworthy evaluator.
+  auto oracle_catalog = workload.MakeOracleCatalog();
+  ASSERT_TRUE(oracle_catalog.ok()) << oracle_catalog.status().ToString();
+  Mediator oracle(std::move(oracle_catalog).value());
+  const MediatorOptions serial;
+  std::map<size_t, std::string> reference;
+  size_t divergences = 0;
+  for (const auto& [index, answer] : served) {
+    auto it = reference.find(index);
+    if (it == reference.end()) {
+      auto truth = oracle.AnswerSql(workload.pool()[index], serial);
+      ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+      it = reference.emplace(index, truth->items.ToString()).first;
+    }
+    if (answer != it->second) {
+      ++divergences;
+      ADD_FAILURE() << "pool[" << index << "] diverged\n  sql:    "
+                    << workload.pool()[index] << "\n  served: " << answer
+                    << "\n  oracle: " << it->second;
+      if (divergences >= 3) break;  // enough detail to debug
+    }
+  }
+  EXPECT_EQ(divergences, 0u);
+}
+
+// The workload generator itself must be replayable: the same spec yields
+// the same pool and the same per-tenant request streams, and distinct
+// tenants get distinct streams.
+TEST(DifferentialTest, WorkloadStreamsAreDeterministic) {
+  const MacroWorkloadSpec spec = SmallSpec(11);
+  auto a = MacroWorkload::Generate(spec);
+  auto b = MacroWorkload::Generate(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->pool(), b->pool());
+
+  MacroWorkload::TenantStream s1 = a->StreamFor(0, 4);
+  MacroWorkload::TenantStream s2 = b->StreamFor(0, 4);
+  MacroWorkload::TenantStream other = a->StreamFor(1, 4);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const size_t expected = s1.NextIndex();
+    EXPECT_EQ(expected, s2.NextIndex());
+    if (other.NextIndex() != expected) differs = true;
+  }
+  EXPECT_TRUE(differs) << "tenant streams should not be identical";
+}
+
+// Embedded path sanity: the same pool through a local uncached session must
+// equal the serial mediator too (catches bugs that the cached service path
+// could mask by construction).
+TEST(DifferentialTest, UncachedSessionMatchesSerialMediator) {
+  const MacroWorkloadSpec spec = SmallSpec(13);
+  auto workload_or = MacroWorkload::Generate(spec);
+  ASSERT_TRUE(workload_or.ok());
+  MacroWorkload workload = std::move(workload_or).value();
+
+  QuerySession::Options options;
+  options.use_cache = false;
+  QuerySession session(Mediator(std::move(workload.catalog())), options);
+  auto oracle_catalog = workload.MakeOracleCatalog();
+  ASSERT_TRUE(oracle_catalog.ok());
+  Mediator oracle(std::move(oracle_catalog).value());
+  const MediatorOptions serial;
+  for (size_t index = 0; index < workload.pool().size(); ++index) {
+    const std::string& sql = workload.pool()[index];
+    auto served = session.AnswerSql(sql);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    auto truth = oracle.AnswerSql(sql, serial);
+    ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+    EXPECT_EQ(served->items.ToString(), truth->items.ToString()) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace fusion

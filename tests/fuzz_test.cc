@@ -8,10 +8,14 @@
 
 #include "cli/catalog_config.h"
 #include "common/rng.h"
+#include "common/str_util.h"
+#include "mediator/service.h"
+#include "protocol/client_protocol.h"
 #include "protocol/message.h"
 #include "query/parser.h"
 #include "relational/condition.h"
 #include "relational/relation.h"
+#include "workload/synthetic.h"
 
 namespace fusion {
 namespace {
@@ -179,6 +183,127 @@ TEST(FuzzTest, ConditionTextRoundTripProperty) {
     EXPECT_TRUE(original.Simplified().Equals(reparsed->Simplified()))
         << original.ToString();
   }
+}
+
+ClientRequest ValidSubmit() {
+  ClientRequest request;
+  request.kind = ClientRequest::Kind::kSubmit;
+  request.client_id = "fuzz";
+  request.sql =
+      "SELECT u1.M FROM U u1, U u2 WHERE u1.M = u2.M AND u1.A1 = 1 "
+      "AND u2.A2 = 1";
+  request.wait = true;
+  return request;
+}
+
+TEST(FuzzTest, ClientProtocolParsersNeverCrash) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string bytes = RandomBytes(rng, 200);
+    (void)ParseClientRequest(bytes);
+    (void)ParseClientResponse(bytes);
+  }
+  const std::string valid_request = SerializeClientRequest(ValidSubmit());
+  ClientResponse ok;
+  ok.ticket = 42;
+  ok.state = "done";
+  ok.items = {Value(int64_t{3}), Value("x")};
+  ok.cost = 12.5;
+  ok.source_queries = 2;
+  ok.cache_hits = 1;
+  ok.items_sent = 4;
+  ok.items_received = 9;
+  const std::string valid_response = SerializeClientResponse(ok);
+  for (int i = 0; i < 2000; ++i) {
+    const auto request = ParseClientRequest(Mutate(rng, valid_request, 1 + i % 5));
+    if (request.ok()) {
+      // Accepted mutants must re-serialize and re-parse.
+      EXPECT_TRUE(ParseClientRequest(SerializeClientRequest(*request)).ok());
+    }
+    const auto response =
+        ParseClientResponse(Mutate(rng, valid_response, 1 + i % 5));
+    if (response.ok()) {
+      EXPECT_TRUE(
+          ParseClientResponse(SerializeClientResponse(*response)).ok());
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, ClientProtocolTruncatedFramesRejected) {
+  const std::string full = SerializeClientRequest(ValidSubmit());
+  // Every strict byte prefix short of the closing "end" line is an
+  // incomplete frame: a clean parse error, never a crash or an accept.
+  // (The last two bytes are "d\n"; a prefix missing only the trailing
+  // newline still contains a complete "end" line, so stop before it.)
+  for (size_t len = 0; len + 2 <= full.size(); ++len) {
+    const auto result = ParseClientRequest(full.substr(0, len));
+    EXPECT_FALSE(result.ok()) << "accepted truncated frame of " << len
+                              << " bytes";
+  }
+  // Dropping whole lines from the tail loses the terminator too.
+  const std::vector<std::string> lines = StrSplit(full, '\n');
+  std::string partial;
+  for (size_t i = 0; i + 2 < lines.size(); ++i) {
+    partial += lines[i] + "\n";
+    EXPECT_FALSE(ParseClientRequest(partial).ok());
+  }
+}
+
+TEST(FuzzTest, ClientProtocolOversizedLinesRejected) {
+  // A line beyond the cap must be rejected up front — the serving layer
+  // reads frames from untrusted sockets, and an unbounded line is a memory
+  // amplification vector.
+  ClientRequest huge = ValidSubmit();
+  huge.sql = std::string(kMaxClientProtocolLineBytes + 1, 'a');
+  const auto request = ParseClientRequest(SerializeClientRequest(huge));
+  ASSERT_FALSE(request.ok());
+  EXPECT_NE(request.status().message().find("oversized"), std::string::npos)
+      << request.status().ToString();
+
+  ClientResponse big;
+  big.server = std::string(kMaxClientProtocolLineBytes + 1, 's');
+  const auto response = ParseClientResponse(SerializeClientResponse(big));
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.status().message().find("oversized"), std::string::npos);
+
+  // At (not over) the cap the frame still parses: the bound is a limit,
+  // not a shrinking of the usable protocol.
+  ClientRequest fits = ValidSubmit();
+  fits.sql = std::string(kMaxClientProtocolLineBytes - 16, 'a');
+  EXPECT_TRUE(ParseClientRequest(SerializeClientRequest(fits)).ok());
+}
+
+TEST(FuzzTest, QueryServiceHandleNeverCrashes) {
+  // The full dispatch surface: arbitrary bytes into QueryService::Handle
+  // must always come back as one parseable FUSIONQ/1 response — an ERROR
+  // for garbage, never a crash, hang, or unframed reply.
+  SyntheticSpec spec;
+  spec.universe_size = 200;
+  spec.num_sources = 3;
+  spec.num_conditions = 2;
+  spec.seed = 17;
+  auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  QueryService::Options options;
+  options.workers = 2;
+  QueryService service(Mediator(std::move(instance->catalog)), options);
+
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    const auto response = ParseClientResponse(service.Handle(RandomBytes(rng, 200)));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->ok);  // random bytes are never a valid request
+  }
+  const std::string valid = SerializeClientRequest(ValidSubmit());
+  for (int i = 0; i < 300; ++i) {
+    // Mutants that happen to parse run real queries; either way the reply
+    // must be a well-formed frame.
+    const auto response =
+        ParseClientResponse(service.Handle(Mutate(rng, valid, 1 + i % 5)));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  SUCCEED();
 }
 
 }  // namespace

@@ -52,6 +52,40 @@ TEST(FusionQueryTest, ToSqlMentionsAllParts) {
   EXPECT_NE(sql.find("'sp'"), std::string::npos);
 }
 
+TEST(FusionQueryTest, ToSqlRoundTrips) {
+  // ToSql output must re-parse to the same query — it is the wire form a
+  // connected Client sends to a fusionqd for Query(FusionQuery) calls.
+  const std::vector<FusionQuery> queries = {
+      FusionQuery("L", {Condition::Eq("V", Value("dui")),
+                        Condition::Eq("V", Value("sp"))}),
+      FusionQuery("M", {Condition::Eq("A1", Value(int64_t{1}))}),
+      FusionQuery("M",
+                  {Condition::And(
+                       Condition::Eq("A2", Value(int64_t{1})),
+                       Condition::Compare("M", CompareOp::kGe,
+                                          Value(int64_t{100}))),
+                   Condition::Between("M", Value(int64_t{0}),
+                                      Value(int64_t{5000})),
+                   Condition::In("A1", {Value(int64_t{0}),
+                                        Value(int64_t{1})})}),
+      FusionQuery("M", {Condition::True()}),
+      FusionQuery("M", {Condition::Eq("A1", Value(int64_t{1})),
+                        Condition::True()}),
+  };
+  for (const FusionQuery& q : queries) {
+    const auto reparsed = ParseFusionQuery(q.ToSql());
+    ASSERT_TRUE(reparsed.ok()) << q.ToSql() << "\n"
+                               << reparsed.status().ToString();
+    EXPECT_EQ(reparsed->merge_attribute(), q.merge_attribute());
+    ASSERT_EQ(reparsed->num_conditions(), q.num_conditions()) << q.ToSql();
+    for (size_t i = 0; i < q.num_conditions(); ++i) {
+      EXPECT_TRUE(reparsed->conditions()[i].Simplified().Equals(
+          q.conditions()[i].Simplified()))
+          << q.ToSql();
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // SQL parsing — the paper's running example and variants
 // ---------------------------------------------------------------------------

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare the two most recent bench_macro trajectory files.
+
+bench_macro writes a schema-versioned BENCH_<date>.json per run (repo root
+by default). This tool finds the two most recent ones, prints a metric
+diff, and exits nonzero when throughput or tail latency regressed beyond
+the threshold — the perf gate the verify workflow runs after a bench.
+
+Usage:
+  tools/bench_diff.py [--dir PATH] [--threshold PCT] [FILE_OLD FILE_NEW]
+
+With two positional files, compares exactly those. Otherwise scans --dir
+(default: the repo root, i.e. the parent of this script's directory) for
+BENCH_*.json and compares the two lexically newest (the date-stamped names
+sort chronologically). Exits 0 with a note when fewer than two files
+exist — a fresh checkout has no trajectory yet, and that is not a failure.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# A regression gate, not a noise detector: QPS dropping or p99 rising by
+# more than this fraction fails the run.
+DEFAULT_THRESHOLD = 0.20
+
+# (json path under "metrics", label, higher_is_better)
+TRACKED = [
+    (("qps",), "QPS", True),
+    (("latency_ms", "p50"), "p50 latency ms", False),
+    (("latency_ms", "p95"), "p95 latency ms", False),
+    (("latency_ms", "p99"), "p99 latency ms", False),
+    (("cache", "hit_rate"), "cache hit rate", True),
+    (("cache", "containment_rate"), "containment rate", True),
+    (("metered_cost_per_query",), "cost/query", False),
+]
+
+# Only these gate the exit code; the rest are informational (cache rates
+# legitimately move when the workload config changes).
+GATED = {"QPS", "p99 latency ms"}
+
+
+def lookup(metrics, path):
+    node = metrics
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version "
+                 f"{data.get('schema_version')!r} (expected 1)")
+    if "metrics" not in data:
+        sys.exit(f"{path}: no metrics block")
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff the two most recent BENCH_*.json files")
+    parser.add_argument("files", nargs="*",
+                        help="explicit OLD NEW files (default: scan --dir)")
+    parser.add_argument("--dir", default=None,
+                        help="directory to scan for BENCH_*.json "
+                             "(default: repo root)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD * 100,
+                        help="regression threshold in percent (default 20)")
+    args = parser.parse_args()
+    threshold = args.threshold / 100.0
+
+    if args.files and len(args.files) != 2:
+        parser.error("pass exactly two files, or none to scan --dir")
+    if args.files:
+        old_path, new_path = args.files
+    else:
+        root = args.dir or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        found = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+        if len(found) < 2:
+            print(f"bench_diff: {len(found)} trajectory file(s) in {root}; "
+                  "need two to compare — nothing to do")
+            return 0
+        old_path, new_path = found[-2], found[-1]
+
+    old, new = load(old_path), load(new_path)
+    print(f"bench_diff: {os.path.basename(old_path)} "
+          f"({old.get('date', '?')}) -> {os.path.basename(new_path)} "
+          f"({new.get('date', '?')})")
+    if old.get("config") != new.get("config"):
+        print("bench_diff: note: configs differ; deltas may reflect the "
+              "workload change, not the code")
+
+    regressions = []
+    for path, label, higher_is_better in TRACKED:
+        before = lookup(old["metrics"], path)
+        after = lookup(new["metrics"], path)
+        if before is None or after is None:
+            continue
+        if before == 0:
+            delta_text = "n/a"
+            regressed = False
+        else:
+            delta = (after - before) / before
+            delta_text = f"{delta:+.1%}"
+            worse = -delta if higher_is_better else delta
+            regressed = label in GATED and worse > threshold
+        flag = "  REGRESSION" if regressed else ""
+        print(f"  {label:<20} {before:>12.4f} -> {after:>12.4f}  "
+              f"{delta_text}{flag}")
+        if regressed:
+            regressions.append(label)
+
+    old_div = lookup(old.get("oracle", {}), ("divergences",))
+    new_div = lookup(new.get("oracle", {}), ("divergences",))
+    if new_div is not None:
+        print(f"  oracle divergences   {old_div} -> {new_div}")
+        if new_div and new_div > 0:
+            regressions.append("oracle divergences")
+
+    if regressions:
+        print(f"bench_diff: FAILED — {', '.join(regressions)} beyond "
+              f"{threshold:.0%}")
+        return 1
+    print("bench_diff: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,10 @@ struct Args {
   int workers = 4;
   int max_queue = 64;
   std::string name = "fusionqd";
+  /// Readiness hook: the bound port is written here once the daemon is
+  /// accepting, so harnesses using --port=0 can poll the file instead of
+  /// parsing stdout.
+  std::string port_file;
   std::string sql;   // --smoke's test query
   bool smoke = false;
   bool help = false;
@@ -71,6 +75,8 @@ void PrintUsage() {
       "  --max-queue=N    admission bound: queued requests beyond this are\n"
       "                   shed with Unavailable (default 64)\n"
       "  --name=S         server name reported in the HELLO handshake\n"
+      "  --port-file=PATH write the bound port here once listening (the\n"
+      "                   readiness hook for scripts using --port=0)\n"
       "  --smoke          in-process self-test: serve on an ephemeral port,\n"
       "                   run two concurrent clients over real sockets\n"
       "                   (requires --sql), verify identical answers and a\n"
@@ -93,6 +99,7 @@ Result<Args> ParseArgs(int argc, char** argv) {
     if (ParseFlagValue(a, "--catalog", &args.catalog_path)) continue;
     if (ParseFlagValue(a, "--host", &args.host)) continue;
     if (ParseFlagValue(a, "--name", &args.name)) continue;
+    if (ParseFlagValue(a, "--port-file", &args.port_file)) continue;
     if (ParseFlagValue(a, "--sql", &args.sql)) continue;
     std::string number;
     if (ParseFlagValue(a, "--port", &number)) {
@@ -197,6 +204,16 @@ int Serve(const Args& args) {
               args.name.c_str(), args.host.c_str(), listener->port(),
               num_sources, args.workers, args.max_queue);
   std::fflush(stdout);
+  if (!args.port_file.empty()) {
+    std::FILE* f = std::fopen(args.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "port-file: cannot write %s\n",
+                   args.port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", listener->port());
+    std::fclose(f);
+  }
 
   ConnectionRegistry connections;
   std::vector<std::thread> threads;
