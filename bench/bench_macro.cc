@@ -51,13 +51,18 @@
 #include "mediator/client.h"
 #include "mediator/mediator.h"
 #include "mediator/service.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "protocol/socket.h"
 
 namespace fusion {
 namespace bench {
 namespace {
 
-constexpr int kBenchSchemaVersion = 1;
+// v2: latency percentiles come from HistogramSnapshot::Quantile (the same
+// log-bucket math the STATS exposition serves), and a "tenants" section
+// carries the server-side per-tenant SLO view sampled over the wire.
+constexpr int kBenchSchemaVersion = 2;
 
 struct Args {
   size_t tenants = 4;
@@ -220,7 +225,11 @@ Result<Args> ParseArgs(int argc, char** argv) {
 /// What one tenant thread measured. Merged after the join; no cross-thread
 /// sharing during the run beyond the churn counter.
 struct TenantResult {
-  std::vector<double> latencies_ms;
+  /// Client-observed latency in the same fixed log buckets the service's
+  /// SLO registry uses, so the percentiles below and a STATS p99 read off
+  /// the wire go through identical Quantile math.
+  Histogram latency_ms;
+  double max_latency_ms = 0.0;
   size_t ok = 0;
   size_t errors = 0;
   size_t shed = 0;
@@ -237,11 +246,39 @@ struct TenantResult {
   std::string fatal;  // connect failure etc.
 };
 
-double Percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const size_t index = std::min(
-      sorted.size() - 1, static_cast<size_t>(q * sorted.size()));
-  return sorted[index];
+/// Element-wise sum of every tenant's latency histogram; Quantile on the
+/// result is the whole-run percentile.
+HistogramSnapshot MergeLatencies(const std::vector<TenantResult>& results) {
+  HistogramSnapshot merged;
+  merged.buckets.assign(Histogram::kNumBuckets, 0);
+  for (const TenantResult& r : results) {
+    const HistogramSnapshot s = r.latency_ms.Snapshot();
+    for (size_t i = 0; i < s.buckets.size(); ++i) {
+      merged.buckets[i] += s.buckets[i];
+    }
+    merged.count += s.count;
+    merged.sum += s.sum;
+  }
+  return merged;
+}
+
+double TenantStat(const StatsExposition& stats, const std::string& name,
+                  const std::string& tenant) {
+  const StatsSample* sample = stats.Find(name, tenant);
+  return sample == nullptr ? 0.0 : sample->value;
+}
+
+double TenantQuantile(const StatsExposition& stats, const std::string& tenant,
+                      const char* quantile) {
+  for (const StatsSample& sample : stats.samples) {
+    if (sample.name != "tenant_latency_ms") continue;
+    const std::string* t = sample.Label("tenant");
+    const std::string* q = sample.Label("quantile");
+    if (t != nullptr && *t == tenant && q != nullptr && *q == quantile) {
+      return sample.value;
+    }
+  }
+  return 0.0;
 }
 
 std::string JsonEscape(const std::string& text) {
@@ -325,6 +362,27 @@ int RunHarness(const Args& args) {
   const auto start = std::chrono::steady_clock::now();
   const auto deadline =
       start + std::chrono::duration<double>(args.duration_seconds);
+  // STATS sampler: a separate connected client polls the live exposition
+  // while the tenants drive load — the mid-run observability surface the
+  // trajectory records — then takes one final sample after the deadline so
+  // the JSON's per-tenant section reflects the whole run.
+  std::atomic<size_t> stats_samples{0};
+  std::string final_stats_text;
+  std::thread sampler([&] {
+    auto client_or = Client::Builder()
+                         .Connect(endpoint)
+                         .ClientId("bench-stats")
+                         .Build();
+    if (!client_or.ok()) return;
+    Client client = std::move(client_or).value();
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      const Result<std::string> text = client.Stats();
+      if (text.ok() && ParseStatsText(*text).ok()) {
+        stats_samples.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
   std::vector<std::thread> tenants;
   tenants.reserve(args.tenants);
   for (size_t t = 0; t < args.tenants; ++t) {
@@ -358,8 +416,12 @@ int RunHarness(const Args& args) {
           continue;
         }
         ++result.ok;
-        result.latencies_ms.push_back(
-            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        result.latency_ms.Observe(latency_ms);
+        if (latency_ms > result.max_latency_ms) {
+          result.max_latency_ms = latency_ms;
+        }
         result.cost += answer->cost;
         result.cache_hits += answer->cache_hits;
         result.cache_misses += answer->cache_misses;
@@ -387,6 +449,20 @@ int RunHarness(const Args& args) {
   const double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
+  sampler.join();
+  // One more STATS after every tenant finished: the server-side SLO view of
+  // the complete run, recorded in the trajectory JSON next to the
+  // client-observed numbers.
+  {
+    auto stats_client = Client::Builder()
+                            .Connect(endpoint)
+                            .ClientId("bench-stats-final")
+                            .Build();
+    if (stats_client.ok()) {
+      const Result<std::string> text = stats_client->Stats();
+      if (text.ok()) final_stats_text = *text;
+    }
+  }
   // shutdown(2), not just close: closing an fd from another thread does not
   // wake a blocked accept() on Linux; shutting the listener down does.
   ::shutdown(listener.fd(), SHUT_RDWR);
@@ -406,7 +482,7 @@ int RunHarness(const Args& args) {
 
   // Merge.
   TenantResult total;
-  std::vector<double> latencies;
+  double max_latency = 0.0;
   for (const TenantResult& r : results) {
     total.ok += r.ok;
     total.errors += r.errors;
@@ -417,21 +493,18 @@ int RunHarness(const Args& args) {
     total.cache_misses += r.cache_misses;
     total.items_sent += r.items_sent;
     total.items_received += r.items_received;
-    latencies.insert(latencies.end(), r.latencies_ms.begin(),
-                     r.latencies_ms.end());
+    if (r.max_latency_ms > max_latency) max_latency = r.max_latency_ms;
   }
   if (total.ok == 0) {
     std::fprintf(stderr, "bench_macro: no queries completed\n");
     return 1;
   }
-  std::sort(latencies.begin(), latencies.end());
+  const HistogramSnapshot latency = MergeLatencies(results);
   const double qps = static_cast<double>(total.ok) / elapsed;
-  const double p50 = Percentile(latencies, 0.50);
-  const double p95 = Percentile(latencies, 0.95);
-  const double p99 = Percentile(latencies, 0.99);
-  double mean = 0.0;
-  for (const double l : latencies) mean += l;
-  mean /= static_cast<double>(latencies.size());
+  const double p50 = latency.Quantile(0.50);
+  const double p95 = latency.Quantile(0.95);
+  const double p99 = latency.Quantile(0.99);
+  const double mean = latency.mean();
   const SourceCallCache::Stats cache =
       service.session().cache().StatsSnapshot();
   const double lookups =
@@ -445,7 +518,7 @@ int RunHarness(const Args& args) {
   std::printf(
       "bench_macro: %zu queries in %.2fs — %.1f QPS; latency ms "
       "p50 %.3f p95 %.3f p99 %.3f mean %.3f max %.3f\n",
-      total.ok, elapsed, qps, p50, p95, p99, mean, latencies.back());
+      total.ok, elapsed, qps, p50, p95, p99, mean, max_latency);
   std::printf(
       "bench_macro: cache hit rate %.3f, containment rate %.3f "
       "(%zu hits, %zu containment, %zu misses, %zu invalidations); "
@@ -458,6 +531,44 @@ int RunHarness(const Args& args) {
       total.cost, total.cost / static_cast<double>(total.ok),
       total.items_sent, total.items_received, total.shed, total.errors,
       total.incomplete);
+
+  // ---- Server-side SLO view ---------------------------------------------
+  // The final STATS exposition is the service's own account of the run.
+  // Its per-tenant metered cost must agree with what the clients summed —
+  // the two are independent paths to the same number, so a mismatch means
+  // the SLO accounting dropped or double-counted requests.
+  Result<StatsExposition> server_stats =
+      Status::NotFound("no STATS exposition sampled");
+  if (!final_stats_text.empty()) {
+    server_stats = ParseStatsText(final_stats_text);
+  }
+  double server_cost = 0.0;
+  if (server_stats.ok()) {
+    for (size_t t = 0; t < args.tenants; ++t) {
+      const std::string tenant = StrFormat("tenant-%zu", t);
+      server_cost +=
+          TenantStat(*server_stats, "tenant_metered_cost_total", tenant);
+      std::printf(
+          "bench_macro: %s: %.0f req, %.0f shed, p99 %.2f ms, "
+          "cost %.1f (server view)\n",
+          tenant.c_str(),
+          TenantStat(*server_stats, "tenant_requests_total", tenant),
+          TenantStat(*server_stats, "tenant_shed_total", tenant),
+          TenantQuantile(*server_stats, tenant, "0.99"),
+          TenantStat(*server_stats, "tenant_metered_cost_total", tenant));
+    }
+    const double drift =
+        total.cost > 0 ? (server_cost - total.cost) / total.cost : 0.0;
+    std::printf(
+        "bench_macro: stats: %zu mid-run samples; server metered cost %.1f "
+        "vs client %.1f (drift %+.2f%%)\n",
+        stats_samples.load(), server_cost, total.cost, 100.0 * drift);
+  } else {
+    std::printf("bench_macro: stats: %zu mid-run samples; final STATS "
+                "unavailable: %s\n",
+                stats_samples.load(),
+                server_stats.status().ToString().c_str());
+  }
 
   // ---- Differential oracle ----------------------------------------------
   // Re-execute every *distinct* sampled pool query on a fresh, serial,
@@ -570,14 +681,40 @@ int RunHarness(const Args& args) {
         "    \"churn_events\": %zu,\n"
         "    \"metered_cost_total\": %.3f,\n"
         "    \"metered_cost_per_query\": %.5f,\n"
-        "    \"items_moved\": {\"sent\": %zu, \"received\": %zu}\n"
+        "    \"items_moved\": {\"sent\": %zu, \"received\": %zu},\n"
+        "    \"stats_samples\": %zu\n"
         "  },\n",
         qps, total.ok, elapsed, total.errors, total.shed, total.incomplete,
-        p50, p95, p99, mean, latencies.back(), hit_rate, containment_rate,
+        p50, p95, p99, mean, max_latency, hit_rate, containment_rate,
         cache.hits, cache.containment_hits, cache.misses,
         cache.invalidations, churn_invalidations.load(), total.cost,
         total.cost / static_cast<double>(total.ok), total.items_sent,
-        total.items_received);
+        total.items_received, stats_samples.load());
+    // Per-tenant SLO rows from the server's own STATS exposition — what
+    // tools/bench_diff.py gates per-tenant p99 on.
+    json += "  \"tenants\": {";
+    if (server_stats.ok()) {
+      for (size_t t = 0; t < args.tenants; ++t) {
+        const std::string tenant = StrFormat("tenant-%zu", t);
+        json += StrFormat(
+            "%s\n    \"%s\": {\"requests\": %.0f, \"errors\": %.0f, "
+            "\"shed\": %.0f, \"degraded\": %.0f, \"error_rate\": %.4f, "
+            "\"metered_cost\": %.3f, \"latency_ms\": "
+            "{\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f}}",
+            t == 0 ? "" : ",", JsonEscape(tenant).c_str(),
+            TenantStat(*server_stats, "tenant_requests_total", tenant),
+            TenantStat(*server_stats, "tenant_errors_total", tenant),
+            TenantStat(*server_stats, "tenant_shed_total", tenant),
+            TenantStat(*server_stats, "tenant_degraded_total", tenant),
+            TenantStat(*server_stats, "tenant_error_rate", tenant),
+            TenantStat(*server_stats, "tenant_metered_cost_total", tenant),
+            TenantQuantile(*server_stats, tenant, "0.5"),
+            TenantQuantile(*server_stats, tenant, "0.95"),
+            TenantQuantile(*server_stats, tenant, "0.99"));
+      }
+      json += "\n  ";
+    }
+    json += "},\n";
     json += StrFormat(
         "  \"oracle\": {\"sampled\": %zu, \"distinct\": %zu, "
         "\"divergences\": %zu}\n"

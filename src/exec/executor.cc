@@ -142,6 +142,8 @@ class PlanInterpreter {
         report_(report) {
     report_.per_source_items.assign(catalog.size(), ItemSet());
     report_.per_op_cost.assign(plan.num_ops(), 0.0);
+    report_.per_op_seconds.assign(plan.num_ops(), 0.0);
+    report_.per_op_cache.assign(plan.num_ops(), '-');
     items_.resize(plan.vars().size());
     relations_.resize(plan.vars().size());
     defining_op_.assign(plan.vars().size(), -1);
@@ -250,9 +252,48 @@ class PlanInterpreter {
       if (op.cond >= 0) span.AddAttr("cond", static_cast<int64_t>(op.cond));
     }
     // Attribute only this op's direct charges: nested evaluations (lazy
-    // mode) book their own costs, which `attributed_` subtracts out.
+    // mode) book their own costs, which `attributed_` subtracts out. Time
+    // and cache interactions use the same subtraction so EXPLAIN's per-op
+    // annotations stay child-exclusive too.
     const double unattributed_before = report_.ledger.total() - attributed_;
+    const double attr_secs_before = attributed_seconds_;
+    const size_t hits_before = stats_.cache_hits;
+    const size_t misses_before = stats_.cache_misses;
+    const size_t containment_before = stats_.cache_containment_hits;
+    const size_t attr_hits_before = attributed_hits_;
+    const size_t attr_misses_before = attributed_misses_;
+    const size_t attr_containment_before = attributed_containment_;
+    const auto op_start = std::chrono::steady_clock::now();
     FUSION_RETURN_IF_ERROR(EvalOpBody(k, op, lazy));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      op_start)
+            .count();
+    report_.per_op_seconds[k] =
+        elapsed - (attributed_seconds_ - attr_secs_before);
+    attributed_seconds_ = attr_secs_before + elapsed;
+    const size_t own_hits = (stats_.cache_hits - hits_before) -
+                            (attributed_hits_ - attr_hits_before);
+    const size_t own_misses = (stats_.cache_misses - misses_before) -
+                              (attributed_misses_ - attr_misses_before);
+    const size_t own_containment =
+        (stats_.cache_containment_hits - containment_before) -
+        (attributed_containment_ - attr_containment_before);
+    attributed_hits_ = attr_hits_before + (stats_.cache_hits - hits_before);
+    attributed_misses_ =
+        attr_misses_before + (stats_.cache_misses - misses_before);
+    attributed_containment_ =
+        attr_containment_before +
+        (stats_.cache_containment_hits - containment_before);
+    // Containment hits are double-counted inside misses (the exact key did
+    // miss), so a "real" miss is a miss beyond the containment count.
+    if (own_misses > own_containment) {
+      report_.per_op_cache[k] = 'm';
+    } else if (own_containment > 0) {
+      report_.per_op_cache[k] = 'c';
+    } else if (own_hits > 0) {
+      report_.per_op_cache[k] = 'h';
+    }
     const double own_cost =
         (report_.ledger.total() - attributed_) - unattributed_before;
     report_.per_op_cost[k] = own_cost;
@@ -390,6 +431,12 @@ class PlanInterpreter {
   std::vector<int> defining_op_;
   size_t short_circuited_ = 0;
   double attributed_ = 0.0;  // ledger cost already assigned to some op
+  // Per-op attribution state for EXPLAIN: elapsed time and cache
+  // interactions already assigned to some (nested) op.
+  double attributed_seconds_ = 0.0;
+  size_t attributed_hits_ = 0;
+  size_t attributed_misses_ = 0;
+  size_t attributed_containment_ = 0;
   CallStats stats_;  // per-execution retry/cache/breaker counters
   std::vector<char> degradable_;     // empty unless on_source_failure=kDegrade
   std::vector<std::string> reasons_;  // non-empty iff op was ∅-substituted

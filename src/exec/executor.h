@@ -99,6 +99,17 @@ struct ExecutionReport {
   /// response-time analyzer compute the *measured* parallel makespan:
   /// ComputeResponseTime(plan, report.per_op_cost).
   std::vector<double> per_op_cost;
+  /// Wall-clock seconds each plan op spent evaluating, aligned with
+  /// Plan::ops() (0 for ops skipped by lazy short-circuiting). Measured with
+  /// the steady clock independently of the tracer, so EXPLAIN can annotate
+  /// the executed plan with per-op timings even when tracing is disabled.
+  std::vector<double> per_op_seconds;
+  /// Cache provenance of each plan op, aligned with Plan::ops():
+  ///   'h'  every metered call the op issued was an exact cache hit
+  ///   'c'  answered with at least one containment-derived hit, rest hits
+  ///   'm'  at least one real miss (a source was contacted)
+  ///   '-'  no cacheable calls (local op, skipped op, or no cache attached)
+  std::vector<char> per_op_cache;
   /// Witness knowledge gathered for free during execution: per source (by
   /// catalog index), the merge values this source was observed to hold —
   /// every item a source returned provably has a record there. Used by the

@@ -1,6 +1,7 @@
 #include "exec/parallel_executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
@@ -44,6 +45,7 @@ class ParallelPlanRun {
     relations_.resize(num_vars);
     op_ledgers_.resize(num_ops);
     op_stats_.resize(num_ops);
+    op_seconds_.assign(num_ops, 0.0);
     op_observed_.assign(num_ops, ItemSet());
     op_emulated_.assign(num_ops, 0);
     op_reasons_.assign(num_ops, "");
@@ -78,11 +80,22 @@ class ParallelPlanRun {
     // identical to eager sequential execution.
     report_.per_source_items.assign(catalog_.size(), ItemSet());
     report_.per_op_cost.assign(num_ops, 0.0);
+    report_.per_op_seconds.assign(num_ops, 0.0);
+    report_.per_op_cache.assign(num_ops, '-');
     report_.emulated_semijoins = 0;
     report_.skipped_ops = 0;
     CallStats stats;
     for (size_t k = 0; k < num_ops; ++k) {
       report_.per_op_cost[k] = op_ledgers_[k].total();
+      report_.per_op_seconds[k] = op_seconds_[k];
+      const CallStats& s = op_stats_[k];
+      if (s.cache_misses > s.cache_containment_hits) {
+        report_.per_op_cache[k] = 'm';
+      } else if (s.cache_containment_hits > 0) {
+        report_.per_op_cache[k] = 'c';
+      } else if (s.cache_hits > 0) {
+        report_.per_op_cache[k] = 'h';
+      }
       report_.ledger.MergeFrom(std::move(op_ledgers_[k]));
       stats.MergeFrom(op_stats_[k]);
       report_.emulated_semijoins += op_emulated_[k];
@@ -158,7 +171,11 @@ class ParallelPlanRun {
         }
         if (op.cond >= 0) span.AddAttr("cond", static_cast<int64_t>(op.cond));
       }
+      const auto op_start = std::chrono::steady_clock::now();
       status = EvalOp(k, pool);
+      op_seconds_[k] = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - op_start)
+                           .count();
       if (status.ok()) {
         span.AddAttr("cost", op_ledgers_[k].total());
         if (!op_reasons_[k].empty()) span.AddAttr("degraded", op_reasons_[k]);
@@ -328,6 +345,7 @@ class ParallelPlanRun {
   std::vector<std::optional<Relation>> relations_;   // per SSA variable
   std::vector<CostLedger> op_ledgers_;
   std::vector<CallStats> op_stats_;
+  std::vector<double> op_seconds_;
   std::vector<ItemSet> op_observed_;
   std::vector<char> op_emulated_;
   std::vector<std::string> op_reasons_;  // non-empty iff op ∅-substituted

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace fusion {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -24,9 +26,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Tasks inherit the submitter's trace context, so spans opened by pool
+  // workers (plan ops, source calls) parent under the span that fanned the
+  // work out instead of starting orphan traces.
+  TraceContext context = Tracer::CurrentContext();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back([context, task = std::move(task)] {
+      TraceContextScope scope(context);
+      task();
+    });
   }
   work_cv_.notify_one();
 }

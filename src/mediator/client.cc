@@ -1,9 +1,61 @@
 #include "mediator/client.h"
 
 #include "cli/catalog_config.h"
+#include "common/str_util.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
+#include "plan/classifier.h"
 #include "query/parser.h"
 
 namespace fusion {
+namespace {
+
+const char* CacheProvenanceName(char provenance) {
+  switch (provenance) {
+    case 'h':
+      return "hit";
+    case 'c':
+      return "containment";
+    case 'm':
+      return "miss";
+    default:
+      return "-";
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> RenderExplainLines(const QueryAnswer& answer,
+                                            const PlanPrintNames& names) {
+  const OptimizedPlan& optimized = answer.optimized;
+  const ExecutionReport& report = answer.execution;
+  std::vector<std::string> lines;
+  lines.push_back(StrFormat(
+      "plan %s (%s), estimated cost %.3f, measured cost %.3f",
+      optimized.algorithm.c_str(), PlanClassName(optimized.plan_class),
+      optimized.estimated_cost, report.ledger.total()));
+  const std::vector<std::string> plan_lines =
+      StrSplit(optimized.plan.ToString(names), '\n');
+  // Plan::ToString prints exactly one line per op, so line k annotates with
+  // op k's measurements.
+  for (size_t k = 0; k < plan_lines.size(); ++k) {
+    if (plan_lines[k].empty()) continue;
+    std::string line = plan_lines[k];
+    if (k < optimized.plan.num_ops()) {
+      const double cost =
+          k < report.per_op_cost.size() ? report.per_op_cost[k] : 0.0;
+      const double ms = k < report.per_op_seconds.size()
+                            ? report.per_op_seconds[k] * 1e3
+                            : 0.0;
+      const char provenance =
+          k < report.per_op_cache.size() ? report.per_op_cache[k] : '-';
+      line += StrFormat("   [cost %.3f, %.3f ms, cache %s]", cost, ms,
+                        CacheProvenanceName(provenance));
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
 
 Result<Client> Client::Builder::Build() {
   const int modes = (have_catalog_ ? 1 : 0) + (catalog_file_.empty() ? 0 : 1) +
@@ -28,6 +80,7 @@ Result<Client> Client::Builder::Build() {
     ClientRequest hello;
     hello.kind = ClientRequest::Kind::kHello;
     hello.client_id = client_id_;
+    hello.features = ClientProtocolFeatures();
     FUSION_RETURN_IF_ERROR(remote->socket.Send(SerializeClientRequest(hello)));
     FUSION_ASSIGN_OR_RETURN(const std::string reply, remote->socket.Receive());
     FUSION_ASSIGN_OR_RETURN(const ClientResponse response,
@@ -36,6 +89,12 @@ Result<Client> Client::Builder::Build() {
       return Status(response.error_code, "hello: " + response.error_message);
     }
     client.server_ = response.server;
+    client.server_features_ = response.features;
+    for (const std::string& feature : response.features) {
+      if (feature == kFeatureTrace) remote->server_traces = true;
+      if (feature == kFeatureStats) remote->server_stats = true;
+      if (feature == kFeatureExplain) remote->server_explain = true;
+    }
     client.remote_ = std::move(remote);
     return client;
   }
@@ -84,7 +143,8 @@ Result<ClientAnswer> Client::QuerySql(const std::string& sql,
 }
 
 Result<ClientAnswer> Client::RemoteQuery(const std::string& sql,
-                                         const CallControls& controls) {
+                                         const CallControls& controls,
+                                         bool explain) {
   // Planning/statistics choices are the *service's* configuration — a
   // connected client cannot override them per call (every client shares one
   // session), and silently ignoring the override would be worse than
@@ -94,11 +154,22 @@ Result<ClientAnswer> Client::RemoteQuery(const std::string& sql,
         "per-call strategy/statistics overrides are not available over a "
         "fusionqd connection");
   }
+  // The client side of the distributed trace: this span is the parent of
+  // the daemon's service.request span. With local tracing off the context
+  // is still minted and forwarded, so the daemon's trace has a stable root
+  // id even when the client keeps no spans itself.
+  ScopedSpan span(SpanCategory::kRpc, "client.query");
   ClientRequest request;
   request.kind = ClientRequest::Kind::kSubmit;
   request.client_id = remote_->client_id;
   request.sql = sql;
   request.wait = true;
+  request.explain = explain;
+  if (remote_->server_traces) {
+    const TraceContext context = Tracer::CurrentContext();
+    request.trace_id = context.valid() ? context.trace_id : Tracer::MintId();
+    request.parent_span = context.span_id;
+  }
   std::lock_guard<std::mutex> lock(remote_->mutex);
   FUSION_RETURN_IF_ERROR(remote_->socket.Send(SerializeClientRequest(request)));
   FUSION_ASSIGN_OR_RETURN(const std::string reply, remote_->socket.Receive());
@@ -113,11 +184,66 @@ Result<ClientAnswer> Client::RemoteQuery(const std::string& sql,
   out.source_queries = response.source_queries;
   out.cache_hits = response.cache_hits;
   out.cache_misses = response.cache_misses;
+  out.cache_containment_hits = response.cache_containment_hits;
   out.items_sent = response.items_sent;
   out.items_received = response.items_received;
   out.calibration_cost = response.calibration_cost;
   out.complete = response.complete;
+  out.explain_lines = response.explain_lines;
   return out;
+}
+
+Result<ClientAnswer> Client::QuerySqlExplained(const std::string& sql) {
+  if (remote_ != nullptr) {
+    if (!remote_->server_explain) {
+      return Status::Unsupported(
+          "server '" + server_ + "' does not speak the explain feature");
+    }
+    return RemoteQuery(sql, CallControls{}, /*explain=*/true);
+  }
+  FUSION_ASSIGN_OR_RETURN(FusionQuery query, ParseFusionQuery(sql));
+  FUSION_ASSIGN_OR_RETURN(ClientAnswer answer, Query(query, CallControls{}));
+  PlanPrintNames names;
+  for (const Condition& c : query.conditions()) {
+    names.conditions.push_back(c.ToString());
+  }
+  const SourceCatalog& catalog = session_->mediator().catalog();
+  for (size_t j = 0; j < catalog.size(); ++j) {
+    names.sources.push_back(catalog.source(j).name());
+  }
+  if (answer.detail != nullptr) {
+    answer.explain_lines = RenderExplainLines(*answer.detail, names);
+  }
+  return answer;
+}
+
+Result<std::string> Client::Stats() {
+  if (remote_ == nullptr) {
+    // Embedded: the process metrics are the stats; there is no serving
+    // layer, hence no tenant SLO table.
+    return RenderStatsText(MetricsRegistry::Global().Snapshot(), {});
+  }
+  if (!remote_->server_stats) {
+    return Status::Unsupported(
+        "server '" + server_ + "' does not speak the stats feature");
+  }
+  ClientRequest request;
+  request.kind = ClientRequest::Kind::kStats;
+  request.client_id = remote_->client_id;
+  std::lock_guard<std::mutex> lock(remote_->mutex);
+  FUSION_RETURN_IF_ERROR(remote_->socket.Send(SerializeClientRequest(request)));
+  FUSION_ASSIGN_OR_RETURN(const std::string reply, remote_->socket.Receive());
+  FUSION_ASSIGN_OR_RETURN(const ClientResponse response,
+                          ParseClientResponse(reply));
+  if (!response.ok) {
+    return Status(response.error_code, response.error_message);
+  }
+  std::string text;
+  for (const std::string& line : response.stats_lines) {
+    text += line;
+    text += '\n';
+  }
+  return text;
 }
 
 }  // namespace fusion

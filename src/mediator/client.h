@@ -5,8 +5,10 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "mediator/session.h"
+#include "plan/plan.h"
 #include "protocol/client_protocol.h"
 #include "protocol/socket.h"
 
@@ -34,7 +36,7 @@ struct ClientAnswer {
   size_t source_queries = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
-  size_t cache_containment_hits = 0;  // local mode only (not on the wire)
+  size_t cache_containment_hits = 0;  // FUSIONQ/1 `cache-containment` field
   /// Merge-attribute items shipped to sources (semijoin bindings, probes)
   /// and received back (answer items) — the bytes-moved proxy the cost
   /// model charges per item, summed over this query's ledger.
@@ -44,6 +46,10 @@ struct ClientAnswer {
   double calibration_cost = 0.0;
   /// False iff the answer is sound but degraded (sources excluded).
   bool complete = true;
+  /// The executed plan annotated with per-op cost / wall-clock / cache
+  /// provenance, one line per op (see RenderExplainLines). Filled by
+  /// QuerySqlExplained in both modes; empty otherwise.
+  std::vector<std::string> explain_lines;
   std::shared_ptr<const QueryAnswer> detail;
 };
 
@@ -51,6 +57,15 @@ struct ClientAnswer {
 /// the one conversion both the embedded client and the serving layer use,
 /// so local and served answers cannot diverge in shape.
 ClientAnswer SummarizeAnswer(QueryAnswer answer);
+
+/// Renders the executed plan with one annotation per op — metered cost,
+/// wall-clock milliseconds, and cache provenance (hit / containment /
+/// miss / none) — after a header naming the algorithm, plan class, and
+/// estimated vs. measured cost. The same renderer backs `fusionq
+/// --explain` (embedded) and the FUSIONQ/1 `explain` response lines
+/// (served), so the two surfaces cannot drift.
+std::vector<std::string> RenderExplainLines(const QueryAnswer& answer,
+                                            const PlanPrintNames& names);
 
 /// The client API of the system: one facade over the whole stack
 /// (catalog → statistics → optimizer → executor → cache/breakers), built
@@ -152,10 +167,27 @@ class Client {
   Result<ClientAnswer> QuerySql(const std::string& sql,
                                 const CallControls& controls);
 
+  /// As QuerySql, with the answer's `explain_lines` filled: the executed
+  /// plan annotated per op. Embedded mode renders locally; connected mode
+  /// sets `explain yes` on the SUBMIT (kUnsupported against a server that
+  /// never advertised the `explain` feature).
+  Result<ClientAnswer> QuerySqlExplained(const std::string& sql);
+
+  /// The live STATS text exposition (obs/exposition.h). Connected mode
+  /// round-trips the FUSIONQ/1 STATS verb (kUnsupported against a server
+  /// that never advertised `stats`); embedded mode renders this process's
+  /// metrics directly (no tenant table — tenants are a serving concept).
+  Result<std::string> Stats();
+
   /// True when this client speaks to a fusionqd instead of running locally.
   bool connected() const { return remote_ != nullptr; }
   /// The server name from the HELLO handshake (empty in embedded mode).
   const std::string& server() const { return server_; }
+  /// Feature tokens the server advertised on HELLO (empty in embedded mode
+  /// and against pre-feature servers).
+  const std::vector<std::string>& server_features() const {
+    return server_features_;
+  }
 
   /// The embedded session, for callers that need the full surface
   /// (ResetCache, InvalidateSource, health introspection). Null in
@@ -168,16 +200,23 @@ class Client {
     std::mutex mutex;  // one request/response exchange at a time
     MessageSocket socket;
     std::string client_id;
+    /// Negotiated from the HELLO response: optional fields/verbs are only
+    /// sent to servers that advertised the matching feature token.
+    bool server_traces = false;
+    bool server_stats = false;
+    bool server_explain = false;
   };
 
   Client() = default;
 
   Result<ClientAnswer> RemoteQuery(const std::string& sql,
-                                   const CallControls& controls);
+                                   const CallControls& controls,
+                                   bool explain = false);
 
   std::unique_ptr<QuerySession> session_;  // embedded mode
   std::unique_ptr<Remote> remote_;         // connected mode
   std::string server_;
+  std::vector<std::string> server_features_;
 };
 
 }  // namespace fusion

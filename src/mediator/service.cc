@@ -1,9 +1,13 @@
 #include "mediator/service.h"
 
+#include <chrono>
 #include <utility>
 
+#include "common/str_util.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/parser.h"
 
 namespace fusion {
 namespace {
@@ -14,6 +18,26 @@ void SetQueueGauges(size_t queued, size_t active_clients) {
   static Gauge& clients = registry.gauge(metrics::kServiceActiveClients);
   depth.Set(static_cast<double>(queued));
   clients.Set(static_cast<double>(active_clients));
+}
+
+/// Builds the display names the explain renderer wants: condition texts by
+/// re-parsing the sql (best-effort — an unparsable query just falls back to
+/// c1..cm), source names from the shared session's catalog.
+std::vector<std::string> ExplainLinesFor(const std::string& sql,
+                                         const QuerySession& session,
+                                         const QueryAnswer& answer) {
+  PlanPrintNames names;
+  const auto query = ParseFusionQuery(sql);
+  if (query.ok()) {
+    for (const Condition& c : query->conditions()) {
+      names.conditions.push_back(c.ToString());
+    }
+  }
+  const SourceCatalog& catalog = session.mediator().catalog();
+  for (size_t j = 0; j < catalog.size(); ++j) {
+    names.sources.push_back(catalog.source(j).name());
+  }
+  return RenderExplainLines(answer, names);
 }
 
 }  // namespace
@@ -43,7 +67,8 @@ void QueryService::Shutdown() {
 }
 
 Result<uint64_t> QueryService::Submit(const std::string& client_id,
-                                      const std::string& sql) {
+                                      const std::string& sql,
+                                      const SubmitOptions& submit_options) {
   RequestPtr request;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -55,6 +80,7 @@ Result<uint64_t> QueryService::Submit(const std::string& client_id,
       static Counter& shed =
           MetricsRegistry::Global().counter(metrics::kServiceSheddedTotal);
       shed.Increment();
+      slo_.RecordShed(client_id);
       return Status::Unavailable(
           "service saturated (" + std::to_string(queued_) +
           " requests queued); resubmit later");
@@ -63,6 +89,9 @@ Result<uint64_t> QueryService::Submit(const std::string& client_id,
     request->ticket = ++next_ticket_;
     request->client_id = client_id;
     request->sql = sql;
+    request->trace_id = submit_options.trace_id;
+    request->parent_span = submit_options.parent_span;
+    request->admitted_at = std::chrono::steady_clock::now();
     by_ticket_[request->ticket] = request;
     std::deque<RequestPtr>& queue = pending_[client_id];
     if (queue.empty()) rotation_.push_back(client_id);
@@ -123,13 +152,21 @@ void QueryService::PopAndRun() {
       static Counter& cancelled = MetricsRegistry::Global().counter(
           metrics::kServiceCancelledTotal);
       cancelled.Increment();
-      FinishLocked(request, "cancelled",
-                   Status::Cancelled("cancelled before execution"));
+      const Result<ClientAnswer> never_ran =
+          Status::Cancelled("cancelled before execution");
+      RecordSlo(*request, never_ran);
+      FinishLocked(request, "cancelled", never_ran);
       return;
     }
     request->state = "running";
   }
   Result<ClientAnswer> outcome = [&]() -> Result<ClientAnswer> {
+    // Adopt the client's trace context (no-op when the SUBMIT carried none)
+    // so the service/session/exec/source-RPC spans underneath — and the
+    // contexts forwarded further to source servers — join the client's
+    // trace rather than rooting a local one.
+    TraceContextScope trace_scope(
+        TraceContext{request->trace_id, request->parent_span});
     ScopedSpan span(SpanCategory::kRpc, "service.request");
     if (span.active()) {
       span.AddAttr("client", request->client_id);
@@ -141,6 +178,7 @@ void QueryService::PopAndRun() {
                             session_->AnswerSql(request->sql, controls));
     return SummarizeAnswer(std::move(answer));
   }();
+  RecordSlo(*request, outcome);
   std::lock_guard<std::mutex> lock(mutex_);
   const bool was_cancelled =
       !outcome.ok() && outcome.status().code() == StatusCode::kCancelled;
@@ -195,13 +233,35 @@ size_t QueryService::shedded() const {
   return shedded_;
 }
 
+void QueryService::RecordSlo(const Request& request,
+                             const Result<ClientAnswer>& outcome) {
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - request.admitted_at)
+          .count();
+  const bool ok = outcome.ok();
+  slo_.RecordCompletion(request.client_id, latency_ms,
+                        ok ? outcome->cost : 0.0, ok,
+                        ok ? StatusCode::kOk : outcome.status().code(),
+                        ok ? outcome->complete : true);
+}
+
+std::string QueryService::StatsText() const {
+  return RenderStatsText(MetricsRegistry::Global().Snapshot(),
+                         slo_.Snapshot());
+}
+
 ClientResponse QueryService::HandleParsed(const ClientRequest& request) {
   const std::string client_id =
       request.client_id.empty() ? "anon" : request.client_id;
   switch (request.kind) {
     case ClientRequest::Kind::kHello: {
+      // Registering here (not just at completion) makes a connected-but-idle
+      // tenant visible in STATS with zero counts.
+      slo_.Register(client_id);
       ClientResponse response;
       response.server = options_.server_name;
+      response.features = ClientProtocolFeatures();
       return response;
     }
     case ClientRequest::Kind::kSubmit: {
@@ -209,7 +269,11 @@ ClientResponse QueryService::HandleParsed(const ClientRequest& request) {
         return ClientErrorResponse(
             Status::InvalidArgument("SUBMIT requires an sql line"));
       }
-      const Result<uint64_t> ticket = Submit(client_id, request.sql);
+      SubmitOptions submit_options;
+      submit_options.trace_id = request.trace_id;
+      submit_options.parent_span = request.parent_span;
+      const Result<uint64_t> ticket =
+          Submit(client_id, request.sql, submit_options);
       if (!ticket.ok()) return ClientErrorResponse(ticket.status());
       if (!request.wait) {
         ClientResponse response;
@@ -231,10 +295,15 @@ ClientResponse QueryService::HandleParsed(const ClientRequest& request) {
       response.source_queries = outcome->source_queries;
       response.cache_hits = outcome->cache_hits;
       response.cache_misses = outcome->cache_misses;
+      response.cache_containment_hits = outcome->cache_containment_hits;
       response.items_sent = outcome->items_sent;
       response.items_received = outcome->items_received;
       response.calibration_cost = outcome->calibration_cost;
       response.complete = outcome->complete;
+      if (request.explain && outcome->detail != nullptr) {
+        response.explain_lines =
+            ExplainLinesFor(request.sql, *session_, *outcome->detail);
+      }
       return response;
     }
     case ClientRequest::Kind::kStatus: {
@@ -248,6 +317,7 @@ ClientResponse QueryService::HandleParsed(const ClientRequest& request) {
         response.source_queries = answer.source_queries;
         response.cache_hits = answer.cache_hits;
         response.cache_misses = answer.cache_misses;
+        response.cache_containment_hits = answer.cache_containment_hits;
         response.items_sent = answer.items_sent;
         response.items_received = answer.items_received;
         response.calibration_cost = answer.calibration_cost;
@@ -266,6 +336,14 @@ ClientResponse QueryService::HandleParsed(const ClientRequest& request) {
       response.ticket = request.ticket;
       const Result<RequestStatus> status = Poll(request.ticket);
       response.state = status.ok() ? status->state : "cancelled";
+      return response;
+    }
+    case ClientRequest::Kind::kStats: {
+      ClientResponse response;
+      response.server = options_.server_name;
+      for (const std::string& line : StrSplit(StatsText(), '\n')) {
+        if (!line.empty()) response.stats_lines.push_back(line);
+      }
       return response;
     }
   }

@@ -1,6 +1,7 @@
 #ifndef FUSION_MEDIATOR_SERVICE_H_
 #define FUSION_MEDIATOR_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -13,6 +14,7 @@
 #include "exec/thread_pool.h"
 #include "mediator/client.h"
 #include "mediator/session.h"
+#include "obs/slo.h"
 #include "protocol/client_protocol.h"
 #include "protocol/socket.h"
 
@@ -81,11 +83,23 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
+  /// Per-submission extras beyond (client, sql): the distributed trace
+  /// context the execution should join (0 = none — the request roots its
+  /// own spans).
+  struct SubmitOptions {
+    uint64_t trace_id = 0;
+    uint64_t parent_span = 0;
+  };
+
   /// Admits one query for `client_id` and returns its ticket, or
   /// kUnavailable when the admission queue is full (load shedding — the
   /// client should back off and resubmit) or the service is shutting down.
   Result<uint64_t> Submit(const std::string& client_id,
-                          const std::string& sql);
+                          const std::string& sql) {
+    return Submit(client_id, sql, SubmitOptions{});
+  }
+  Result<uint64_t> Submit(const std::string& client_id, const std::string& sql,
+                          const SubmitOptions& submit_options);
 
   /// Blocks until the ticket's request reaches a terminal state and
   /// returns its outcome. kNotFound for unknown/evicted tickets.
@@ -121,11 +135,27 @@ class QueryService {
   /// Requests shed with kUnavailable at admission since construction.
   size_t shedded() const;
 
+  /// Per-tenant SLO accounting (keyed by the FUSIONQ/1 client id): latency
+  /// histograms, metered cost, shed/deadline/cancel/degraded counts, and
+  /// the rolling error rate. One registry per service, not process-global.
+  const SloRegistry& slo() const { return slo_; }
+
+  /// The versioned STATS text exposition this service serves over the wire
+  /// (obs/exposition.h): every process metric plus this service's tenant
+  /// SLO table. Exposed directly so embedded drivers and tests need no
+  /// protocol round trip.
+  std::string StatsText() const;
+
  private:
   struct Request {
     uint64_t ticket = 0;
     std::string client_id;
     std::string sql;
+    /// Inbound distributed trace context; the execution's spans join it.
+    uint64_t trace_id = 0;
+    uint64_t parent_span = 0;
+    /// Admission time — SLO latency is client-perceived (queueing included).
+    std::chrono::steady_clock::time_point admitted_at;
     /// The cooperative cancellation token, plumbed into ExecOptions::cancel
     /// for the whole execution.
     std::atomic<bool> cancel{false};
@@ -147,8 +177,13 @@ class QueryService {
 
   ClientResponse HandleParsed(const ClientRequest& request);
 
+  /// Accounts one terminal request into slo_ (latency from admission,
+  /// metered cost, outcome class, completeness). Called outside mutex_.
+  void RecordSlo(const Request& request, const Result<ClientAnswer>& outcome);
+
   Options options_;
   std::unique_ptr<QuerySession> session_;
+  SloRegistry slo_;
 
   mutable std::mutex mutex_;
   std::condition_variable finished_cv_;

@@ -1,0 +1,222 @@
+#include "obs/exposition.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace fusion {
+namespace {
+
+std::string EscapeLabelValue(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatValue(double v) {
+  // Integral values print without an exponent or trailing zeros so counter
+  // lines stay `name 42`; everything else gets 10 significant digits.
+  if (v == static_cast<double>(static_cast<long long>(v)) && v >= -1e15 &&
+      v <= 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.10g", v);
+}
+
+void AddSample(std::vector<std::string>& lines, const std::string& name,
+               double value) {
+  lines.push_back(name + " " + FormatValue(value));
+}
+
+void AddLabelled(std::vector<std::string>& lines, const std::string& name,
+                 const std::vector<std::pair<std::string, std::string>>& labels,
+                 double value) {
+  std::string line = name + "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) line += ",";
+    line += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  line += "} " + FormatValue(value);
+  lines.push_back(std::move(line));
+}
+
+void AddHistogram(std::vector<std::string>& lines, const std::string& name,
+                  const std::vector<std::pair<std::string, std::string>>& labels,
+                  const HistogramSnapshot& h) {
+  if (labels.empty()) {
+    AddSample(lines, name + "_count", static_cast<double>(h.count));
+    AddSample(lines, name + "_sum", h.sum);
+  } else {
+    AddLabelled(lines, name + "_count", labels, static_cast<double>(h.count));
+    AddLabelled(lines, name + "_sum", labels, h.sum);
+  }
+  static constexpr struct {
+    const char* text;
+    double q;
+  } kQuantiles[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+  for (const auto& [text, q] : kQuantiles) {
+    auto quantile_labels = labels;
+    quantile_labels.emplace_back("quantile", text);
+    AddLabelled(lines, name, quantile_labels, h.Quantile(q));
+  }
+}
+
+}  // namespace
+
+const std::string* StatsSample::Label(const std::string& key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const StatsSample* StatsExposition::Find(const std::string& name,
+                                         const std::string& tenant) const {
+  for (const StatsSample& sample : samples) {
+    if (sample.name != name) continue;
+    if (!tenant.empty()) {
+      const std::string* label = sample.Label("tenant");
+      if (label == nullptr || *label != tenant) continue;
+    }
+    return &sample;
+  }
+  return nullptr;
+}
+
+std::string RenderStatsText(const MetricsSnapshot& metrics,
+                            const std::vector<TenantSloSnapshot>& tenants) {
+  std::vector<std::string> lines;
+  for (const auto& [name, v] : metrics.counters) {
+    AddSample(lines, name, static_cast<double>(v));
+  }
+  for (const auto& [name, v] : metrics.gauges) {
+    AddSample(lines, name, v);
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    AddHistogram(lines, name, {}, h);
+  }
+  for (const TenantSloSnapshot& t : tenants) {
+    const std::vector<std::pair<std::string, std::string>> labels = {
+        {"tenant", t.tenant}};
+    AddLabelled(lines, "tenant_requests_total", labels,
+                static_cast<double>(t.requests));
+    AddLabelled(lines, "tenant_errors_total", labels,
+                static_cast<double>(t.errors));
+    AddLabelled(lines, "tenant_shed_total", labels,
+                static_cast<double>(t.shed));
+    AddLabelled(lines, "tenant_deadline_exceeded_total", labels,
+                static_cast<double>(t.deadline_exceeded));
+    AddLabelled(lines, "tenant_cancelled_total", labels,
+                static_cast<double>(t.cancelled));
+    AddLabelled(lines, "tenant_degraded_total", labels,
+                static_cast<double>(t.degraded));
+    AddLabelled(lines, "tenant_metered_cost_total", labels, t.metered_cost);
+    AddLabelled(lines, "tenant_error_rate", labels, t.error_rate);
+    AddHistogram(lines, "tenant_latency_ms", labels, t.latency_ms);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out =
+      StrFormat("%s%d\n", kStatsHeaderPrefix, kStatsSchemaVersion);
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+Result<StatsSample> ParseSampleLine(const std::string& line) {
+  StatsSample sample;
+  size_t pos = 0;
+  while (pos < line.size() &&
+         (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+          line[pos] == '_' || line[pos] == '.')) {
+    ++pos;
+  }
+  if (pos == 0) return Status::ParseError("bad stats sample name: " + line);
+  sample.name = line.substr(0, pos);
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      const size_t eq = line.find("=\"", pos);
+      if (eq == std::string::npos) {
+        return Status::ParseError("bad stats label in: " + line);
+      }
+      std::string key = line.substr(pos, eq - pos);
+      pos = eq + 2;
+      std::string value;
+      while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\' && pos + 1 < line.size()) {
+          const char next = line[pos + 1];
+          value += next == 'n' ? '\n' : next;
+          pos += 2;
+        } else {
+          value += line[pos++];
+        }
+      }
+      if (pos >= line.size()) {
+        return Status::ParseError("unterminated stats label in: " + line);
+      }
+      ++pos;  // closing quote
+      sample.labels.emplace_back(std::move(key), std::move(value));
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      return Status::ParseError("unterminated stats labels in: " + line);
+    }
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    return Status::ParseError("stats sample missing value: " + line);
+  }
+  const char* begin = line.c_str() + pos + 1;
+  char* end = nullptr;
+  sample.value = std::strtod(begin, &end);
+  if (end == begin || (end != nullptr && *end != '\0')) {
+    return Status::ParseError("bad stats sample value: " + line);
+  }
+  return sample;
+}
+
+}  // namespace
+
+Result<StatsExposition> ParseStatsText(const std::string& text) {
+  const std::vector<std::string> lines = StrSplit(text, '\n');
+  if (lines.empty() || lines[0].rfind(kStatsHeaderPrefix, 0) != 0) {
+    return Status::ParseError("stats exposition missing schema header");
+  }
+  StatsExposition out;
+  const std::string version = lines[0].substr(strlen(kStatsHeaderPrefix));
+  if (version.empty() ||
+      version.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::ParseError("bad stats schema version: " + version);
+  }
+  out.schema = std::atoi(version.c_str());
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty() || lines[i][0] == '#') continue;
+    FUSION_ASSIGN_OR_RETURN(StatsSample sample, ParseSampleLine(lines[i]));
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace fusion

@@ -1,0 +1,63 @@
+#ifndef FUSION_OBS_EXPOSITION_H_
+#define FUSION_OBS_EXPOSITION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace fusion {
+
+/// The versioned text exposition served by the FUSIONQ/1 STATS verb.
+///
+/// Grammar (one sample per line, after a mandatory header):
+///   # fusionq-stats schema <version>
+///   <name> <value>
+///   <name>{<label>="<escaped>",...} <value>
+///
+/// Names are [a-zA-Z0-9_.] (registry metric names keep their dotted
+/// suffixes). Label values escape backslash, double-quote, and newline with
+/// backslashes. All sample lines are emitted in lexicographic order, so two
+/// expositions diff cleanly and the golden test can pin the layout.
+///
+/// Registry histograms and per-tenant latency render as `<name>_count`,
+/// `<name>_sum`, and `quantile`-labelled p50/p95/p99 samples computed with
+/// HistogramSnapshot::Quantile — the same math the macro-bench uses, so a
+/// p99 read off the wire matches BENCH_<date>.json by construction.
+inline constexpr int kStatsSchemaVersion = 1;
+inline constexpr char kStatsHeaderPrefix[] = "# fusionq-stats schema ";
+
+struct StatsSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+
+  const std::string* Label(const std::string& key) const;
+};
+
+struct StatsExposition {
+  int schema = 0;
+  std::vector<StatsSample> samples;
+
+  /// First sample matching `name` (and, when non-empty, a `tenant` label).
+  const StatsSample* Find(const std::string& name,
+                          const std::string& tenant = "") const;
+};
+
+/// Renders the full exposition: every registry metric plus one SLO table row
+/// set per tenant.
+std::string RenderStatsText(const MetricsSnapshot& metrics,
+                            const std::vector<TenantSloSnapshot>& tenants);
+
+/// Parses what RenderStatsText produced (or a newer peer's superset — since
+/// samples are self-describing lines, unknown names simply come back as
+/// samples the caller ignores). Rejects a missing/bad header or a malformed
+/// sample line with kParseError.
+Result<StatsExposition> ParseStatsText(const std::string& text);
+
+}  // namespace fusion
+
+#endif  // FUSION_OBS_EXPOSITION_H_

@@ -21,6 +21,39 @@ void AtomicAdd(std::atomic<double>& target, double delta) {
 
 }  // namespace
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation in [1, count]; walk cumulative bucket
+  // counts until it is covered, then interpolate linearly inside the
+  // bucket's [lower, upper] value range.
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lower = i == 0 ? 0.0 : Histogram::BucketUpperBound(i - 1);
+    const double upper = Histogram::BucketUpperBound(i);
+    if (!std::isfinite(upper)) return lower;  // unbounded last bucket
+    const double fraction =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * (fraction < 0.0 ? 0.0 : fraction);
+  }
+  // All mass below the rank (only possible via rounding at q == 1).
+  for (size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] != 0) {
+      const double upper = Histogram::BucketUpperBound(i);
+      return std::isfinite(upper)
+                 ? upper
+                 : (i == 0 ? 0.0 : Histogram::BucketUpperBound(i - 1));
+    }
+  }
+  return 0.0;
+}
+
 size_t Histogram::BucketIndex(double v) {
   if (!(v > 1.0)) return 0;  // <= 1 and NaN land in the first bucket
   const size_t i = static_cast<size_t>(std::ceil(std::log2(v)));

@@ -41,6 +41,14 @@ struct HistogramSnapshot {
   double sum = 0.0;
 
   double mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Estimated q-quantile (q in [0,1], clamped) by linear interpolation
+  /// inside the log-scale bucket holding the q·count-th observation. The
+  /// unbounded last bucket reports its finite lower boundary. Both the
+  /// bench harness and the STATS exposition compute percentiles through
+  /// this, so a p99 read off the wire matches the one in BENCH_<date>.json
+  /// by construction.
+  double Quantile(double q) const;
 };
 
 /// Fixed log-scale histogram: bucket 0 holds observations <= 1, bucket i

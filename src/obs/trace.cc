@@ -1,8 +1,11 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 
+#include "common/rng.h"
 #include "common/str_util.h"
 
 namespace fusion {
@@ -51,6 +54,34 @@ uint32_t Tracer::CurrentThreadId() {
   static std::atomic<uint32_t> next{0};
   thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+TraceContext& Tracer::MutableCurrentContext() {
+  thread_local TraceContext context;
+  return context;
+}
+
+TraceContext Tracer::CurrentContext() { return MutableCurrentContext(); }
+
+uint64_t Tracer::MintId() {
+  // One process-wide stream: GlobalSeed ⊕ pid picks the stream, a counter
+  // walks it. splitmix64 (MixSeed) makes consecutive counters statistically
+  // independent ids.
+  static const uint64_t stream =
+      MixSeed(GlobalSeed(0x0b5e11ab1e), static_cast<uint64_t>(getpid()));
+  static std::atomic<uint64_t> next{1};
+  const uint64_t id =
+      MixSeed(stream, next.fetch_add(1, std::memory_order_relaxed));
+  return id == 0 ? 1 : id;
+}
+
+TraceContextScope::TraceContextScope(TraceContext context)
+    : saved_(Tracer::MutableCurrentContext()) {
+  if (context.valid()) Tracer::MutableCurrentContext() = context;
+}
+
+TraceContextScope::~TraceContextScope() {
+  Tracer::MutableCurrentContext() = saved_;
 }
 
 void Tracer::Record(SpanRecord record) {
@@ -105,6 +136,14 @@ ScopedSpan::ScopedSpan(SpanCategory category, const char* name) {
   record_.name = name;
   record_.category = category;
   record_.thread_id = Tracer::CurrentThreadId();
+  // Join the ambient trace (minting a fresh trace id for roots), become the
+  // parent of anything opened underneath, and remember what to restore.
+  TraceContext& current = Tracer::MutableCurrentContext();
+  saved_context_ = current;
+  record_.trace_id = current.valid() ? current.trace_id : Tracer::MintId();
+  record_.parent_id = current.span_id;
+  record_.span_id = Tracer::MintId();
+  current = TraceContext{record_.trace_id, record_.span_id};
   record_.start_us = tracer.NowMicros();
 }
 
@@ -115,6 +154,12 @@ ScopedSpan::ScopedSpan(SpanCategory category, std::string name) {
   record_.name = std::move(name);
   record_.category = category;
   record_.thread_id = Tracer::CurrentThreadId();
+  TraceContext& current = Tracer::MutableCurrentContext();
+  saved_context_ = current;
+  record_.trace_id = current.valid() ? current.trace_id : Tracer::MintId();
+  record_.parent_id = current.span_id;
+  record_.span_id = Tracer::MintId();
+  current = TraceContext{record_.trace_id, record_.span_id};
   record_.start_us = tracer.NowMicros();
 }
 
@@ -122,6 +167,7 @@ ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   Tracer& tracer = Tracer::Global();
   record_.end_us = tracer.NowMicros();
+  Tracer::MutableCurrentContext() = saved_context_;
   tracer.Record(std::move(record_));
 }
 

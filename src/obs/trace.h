@@ -25,17 +25,36 @@ enum class SpanCategory {
 
 const char* SpanCategoryName(SpanCategory category);
 
+/// A position in a (possibly distributed) trace: which trace the current
+/// work belongs to and which span is the would-be parent of new child spans.
+/// Ids are minted by Tracer::MintId — splitmix64 over the seeded RNG stream
+/// (common/rng.h), never the wall clock — so a FUSION_SEED replay of a
+/// single-process run reproduces its ids bit-for-bit. A context travels
+/// across the wire as two decimal fields (FUSIONQ/1 `trace-id`/`parent-span`,
+/// FUSIONP/1 `trace`), letting the daemon and source servers stitch their
+/// spans into the client's trace.
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = no ambient trace
+  uint64_t span_id = 0;   // parent for spans opened under this context
+
+  bool valid() const { return trace_id != 0; }
+};
+
 /// One finished span. Times are microseconds since the tracer's epoch
 /// (steady clock, so durations and overlap are meaningful; absolute wall
 /// time is not recorded). `thread_id` is a small sequential id assigned per
 /// OS thread — it is the Chrome trace `tid`, so spans on different ids
-/// render on different tracks.
+/// render on different tracks. `trace_id`/`span_id`/`parent_id` stitch the
+/// span into a distributed trace (0 when recorded outside any context).
 struct SpanRecord {
   std::string name;
   SpanCategory category = SpanCategory::kPhase;
   double start_us = 0.0;
   double end_us = 0.0;
   uint32_t thread_id = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
   std::vector<std::pair<std::string, std::string>> attributes;
 
   double duration_us() const { return end_us - start_us; }
@@ -76,7 +95,24 @@ class Tracer {
   /// Small dense id for the calling thread (assigned on first use).
   static uint32_t CurrentThreadId();
 
+  /// The calling thread's ambient trace context ({0,0} when none). Works
+  /// whether or not tracing is enabled: a daemon with local tracing off
+  /// still forwards the client's context to source servers.
+  static TraceContext CurrentContext();
+
+  /// Mints a nonzero id from the seeded splitmix64 stream: GlobalSeed mixed
+  /// with the process id and a process-local counter. No wall clock — a
+  /// FUSION_SEED replay of one process mints the same ids in the same
+  /// order; distinct processes diverge via the pid salt, so a stitched
+  /// three-process trace never collides span ids.
+  static uint64_t MintId();
+
  private:
+  friend class ScopedSpan;
+  friend class TraceContextScope;
+
+  static TraceContext& MutableCurrentContext();
+
   Tracer();
 
   static constexpr size_t kNumShards = 16;
@@ -119,6 +155,28 @@ class ScopedSpan {
  private:
   bool active_ = false;
   SpanRecord record_;
+  TraceContext saved_context_;  // restored on destruction (active spans only)
+};
+
+/// RAII adoption of an inbound trace context: installs `context` as the
+/// calling thread's ambient context and restores the previous one on
+/// destruction. Used where a request crosses a process boundary
+/// (QueryService request execution, SourceServer::Handle) so every span
+/// opened underneath joins the remote caller's trace. An invalid ({0,0})
+/// context is a no-op — the ambient context (e.g. the mediator's own, when
+/// the "remote" source is an in-process transport) stays in place. Unlike
+/// ScopedSpan this is always live — context must flow even when local
+/// tracing is disabled, because a downstream process may have tracing on.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext context);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
 };
 
 /// A window into the global trace covering one plan execution, surfaced on

@@ -53,10 +53,21 @@ std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
         "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
         JsonEscape(span.name).c_str(), SpanCategoryName(span.category),
         span.thread_id, span.start_us, span.duration_us());
-    if (!span.attributes.empty()) {
+    if (!span.attributes.empty() || span.trace_id != 0) {
       out += ",\"args\":{";
+      bool first_arg = true;
+      if (span.trace_id != 0) {
+        out += StrFormat(
+            "\"trace_id\":\"%016llx\",\"span_id\":\"%016llx\","
+            "\"parent_id\":\"%016llx\"",
+            static_cast<unsigned long long>(span.trace_id),
+            static_cast<unsigned long long>(span.span_id),
+            static_cast<unsigned long long>(span.parent_id));
+        first_arg = false;
+      }
       for (size_t i = 0; i < span.attributes.size(); ++i) {
-        if (i > 0) out += ",";
+        if (!first_arg) out += ",";
+        first_arg = false;
         out += StrFormat("\"%s\":\"%s\"",
                          JsonEscape(span.attributes[i].first).c_str(),
                          JsonEscape(span.attributes[i].second).c_str());

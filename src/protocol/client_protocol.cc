@@ -20,6 +20,8 @@ const char* RequestKindName(ClientRequest::Kind kind) {
       return "STATUS";
     case ClientRequest::Kind::kCancel:
       return "CANCEL";
+    case ClientRequest::Kind::kStats:
+      return "STATS";
   }
   return "?";
 }
@@ -29,7 +31,33 @@ Result<ClientRequest::Kind> ParseRequestKind(const std::string& name) {
   if (name == "SUBMIT") return ClientRequest::Kind::kSubmit;
   if (name == "STATUS") return ClientRequest::Kind::kStatus;
   if (name == "CANCEL") return ClientRequest::Kind::kCancel;
+  if (name == "STATS") return ClientRequest::Kind::kStats;
   return Status::ParseError("unknown client request kind: " + name);
+}
+
+std::string JoinFeatures(const std::vector<std::string>& features) {
+  std::string out;
+  for (const std::string& f : features) {
+    if (!out.empty()) out += ",";
+    out += f;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitFeatures(const std::string& text) {
+  std::vector<std::string> out;
+  for (const std::string& f : StrSplit(text, ',')) {
+    if (!f.empty()) out.push_back(f);
+  }
+  return out;
+}
+
+Result<uint64_t> ParseU64(const std::string& key, const std::string& text) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::ParseError("bad " + key + ": " + text);
+  }
+  return static_cast<uint64_t>(std::strtoull(text.c_str(), nullptr, 10));
 }
 
 Result<uint64_t> ParseTicket(const std::string& text) {
@@ -64,6 +92,10 @@ Result<std::vector<std::string>> SplitBoundedLines(const std::string& text,
 
 }  // namespace
 
+std::vector<std::string> ClientProtocolFeatures() {
+  return {kFeatureTrace, kFeatureStats, kFeatureExplain};
+}
+
 std::string SerializeClientRequest(const ClientRequest& request) {
   std::string out =
       std::string(kMagic) + " " + RequestKindName(request.kind) + "\n";
@@ -79,6 +111,19 @@ std::string SerializeClientRequest(const ClientRequest& request) {
   }
   if (request.kind == ClientRequest::Kind::kSubmit && !request.wait) {
     out += "wait no\n";
+  }
+  if (request.kind == ClientRequest::Kind::kSubmit && request.explain) {
+    out += "explain yes\n";
+  }
+  if (request.kind == ClientRequest::Kind::kHello &&
+      !request.features.empty()) {
+    out += "features " + JoinFeatures(request.features) + "\n";
+  }
+  if (request.kind == ClientRequest::Kind::kSubmit && request.trace_id != 0) {
+    out += "trace-id " + std::to_string(request.trace_id) + "\n";
+    if (request.parent_span != 0) {
+      out += "parent-span " + std::to_string(request.parent_span) + "\n";
+    }
   }
   out += "end\n";
   return out;
@@ -110,9 +155,18 @@ Result<ClientRequest> ParseClientRequest(const std::string& text) {
       FUSION_ASSIGN_OR_RETURN(request.ticket, ParseTicket(value));
     } else if (key == "wait") {
       request.wait = value != "no";
-    } else {
-      return Status::ParseError("unknown client request field: " + key);
+    } else if (key == "explain") {
+      request.explain = value == "yes";
+    } else if (key == "features") {
+      request.features = SplitFeatures(value);
+    } else if (key == "trace-id") {
+      FUSION_ASSIGN_OR_RETURN(request.trace_id, ParseU64(key, value));
+    } else if (key == "parent-span") {
+      FUSION_ASSIGN_OR_RETURN(request.parent_span, ParseU64(key, value));
     }
+    // Unknown fields are ignored: a newer peer may send fields this build
+    // does not know, and must be able to do so without negotiating first
+    // (negotiation itself rides on HELLO fields).
   }
   if (!terminated) return Status::ParseError("client request missing 'end'");
   return request;
@@ -144,10 +198,23 @@ std::string SerializeClientResponse(const ClientResponse& response) {
     out += StrFormat("items-sent %zu\n", response.items_sent);
     out += StrFormat("items-received %zu\n", response.items_received);
   }
+  if (response.cache_containment_hits > 0) {
+    out += StrFormat("cache-containment %zu\n",
+                     response.cache_containment_hits);
+  }
   if (response.calibration_cost > 0.0) {
     out += StrFormat("calibration-cost %.17g\n", response.calibration_cost);
   }
   if (!response.complete) out += "complete no\n";
+  if (!response.features.empty()) {
+    out += "features " + JoinFeatures(response.features) + "\n";
+  }
+  for (const std::string& line : response.stats_lines) {
+    out += "stats " + EscapeWireText(line) + "\n";
+  }
+  for (const std::string& line : response.explain_lines) {
+    out += "explain " + EscapeWireText(line) + "\n";
+  }
   out += "end\n";
   return out;
 }
@@ -204,13 +271,23 @@ Result<ClientResponse> ParseClientResponse(const std::string& text) {
       FUSION_ASSIGN_OR_RETURN(response.items_sent, ParseCount(key, value));
     } else if (key == "items-received") {
       FUSION_ASSIGN_OR_RETURN(response.items_received, ParseCount(key, value));
+    } else if (key == "cache-containment") {
+      FUSION_ASSIGN_OR_RETURN(response.cache_containment_hits,
+                              ParseCount(key, value));
     } else if (key == "calibration-cost") {
       response.calibration_cost = std::atof(value.c_str());
     } else if (key == "complete") {
       response.complete = value != "no";
-    } else {
-      return Status::ParseError("unknown client response field: " + key);
+    } else if (key == "features") {
+      response.features = SplitFeatures(value);
+    } else if (key == "stats") {
+      FUSION_ASSIGN_OR_RETURN(std::string line, UnescapeWireText(value));
+      response.stats_lines.push_back(std::move(line));
+    } else if (key == "explain") {
+      FUSION_ASSIGN_OR_RETURN(std::string line, UnescapeWireText(value));
+      response.explain_lines.push_back(std::move(line));
     }
+    // Unknown fields are ignored (see ParseClientRequest).
   }
   if (!terminated) return Status::ParseError("client response missing 'end'");
   return response;

@@ -20,21 +20,43 @@ namespace fusion {
 /// format.
 ///
 /// Request grammar (one field per line, terminated by `end`):
-///   FUSIONQ/1 <HELLO|SUBMIT|STATUS|CANCEL>
-///   client <client id>           (optional; the fair-scheduling key)
+///   FUSIONQ/1 <HELLO|SUBMIT|STATUS|CANCEL|STATS>
+///   client <client id>           (optional; the fair-scheduling key and the
+///                                 per-tenant SLO accounting key)
 ///   sql <escaped query text>     (SUBMIT)
 ///   ticket <id>                  (STATUS / CANCEL)
 ///   wait <yes|no>                (SUBMIT: block for the answer — the
 ///                                 default — or return a ticket immediately)
+///   explain <yes|no>             (SUBMIT wait=yes: annotate the response
+///                                 with the executed plan)
+///   features <csv>               (HELLO: capabilities the client speaks,
+///                                 e.g. trace,stats,explain)
+///   trace-id <u64>               (SUBMIT: distributed trace to join)
+///   parent-span <u64>            (SUBMIT: the client-side parent span)
 ///   end
+///
+/// Forward compatibility: both parsers *ignore* unknown fields, so a newer
+/// peer can add fields (the way trace-id/parent-span were added) and an
+/// older peer degrades gracefully instead of erroring. Capabilities a peer
+/// acts on are negotiated explicitly via HELLO `features`.
 struct ClientRequest {
-  enum class Kind { kHello, kSubmit, kStatus, kCancel };
+  enum class Kind { kHello, kSubmit, kStatus, kCancel, kStats };
 
   Kind kind = Kind::kHello;
   std::string client_id;
   std::string sql;
   uint64_t ticket = 0;
   bool wait = true;
+  /// SUBMIT wait=yes: ask the server to render the executed plan (per-op
+  /// timings, cache provenance, metered cost) into the response.
+  bool explain = false;
+  /// HELLO: feature tokens the sender understands (comma-separated on the
+  /// wire). See kClientProtocolFeatures for what this build speaks.
+  std::vector<std::string> features;
+  /// Distributed trace context to adopt for this request (0 = none). The
+  /// daemon's service/session/exec/source-RPC spans join this trace.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 /// Response grammar:
@@ -50,8 +72,15 @@ struct ClientRequest {
 ///   cache-misses <n>             (RESULT)
 ///   items-sent <n>               (RESULT; items shipped mediator -> sources)
 ///   items-received <n>           (RESULT; items shipped sources -> mediator)
+///   cache-containment <n>        (RESULT; subset of cache-misses answered
+///                                 by containment derivation)
 ///   calibration-cost <c>         (RESULT, when probes were charged)
 ///   complete <yes|no>            (RESULT; no = sound but degraded answer)
+///   features <csv>               (HELLO; capabilities the server speaks)
+///   stats <escaped line>         (0+; STATS — one exposition line each,
+///                                 reassembled with newlines client-side)
+///   explain <escaped line>       (0+; SUBMIT explain=yes — one annotated
+///                                 plan line each)
 ///   end
 ///
 /// Hardening: both parsers reject any line longer than
@@ -75,13 +104,33 @@ struct ClientResponse {
   /// items back) — the bytes-moved proxy the cost model charges per item.
   size_t items_sent = 0;
   size_t items_received = 0;
+  /// Subset of cache_misses whose answer was still derived locally from a
+  /// containing cached entry (no source call).
+  size_t cache_containment_hits = 0;
   double calibration_cost = 0.0;
   bool complete = true;
+  /// HELLO: feature tokens the server understands.
+  std::vector<std::string> features;
+  /// STATS: the versioned exposition (obs/exposition.h), line by line.
+  std::vector<std::string> stats_lines;
+  /// SUBMIT explain=yes: the executed plan annotated with per-op timings,
+  /// cache provenance, and metered cost, line by line.
+  std::vector<std::string> explain_lines;
 };
 
 /// Longest line either FUSIONQ/1 parser accepts (64 KiB): longer lines are
 /// rejected with kParseError before any per-field work happens.
 inline constexpr size_t kMaxClientProtocolLineBytes = 64 * 1024;
+
+/// The feature tokens this build of the protocol speaks, advertised on
+/// HELLO in both directions. A peer only *sends* optional fields (trace-id,
+/// explain) or optional verbs (STATS) after the other side advertised the
+/// matching token — unknown-field tolerance is the safety net, negotiation
+/// is the contract.
+inline constexpr char kFeatureTrace[] = "trace";
+inline constexpr char kFeatureStats[] = "stats";
+inline constexpr char kFeatureExplain[] = "explain";
+std::vector<std::string> ClientProtocolFeatures();
 
 std::string SerializeClientRequest(const ClientRequest& request);
 Result<ClientRequest> ParseClientRequest(const std::string& text);

@@ -157,6 +157,11 @@ std::string SerializeRequest(const SourceRequest& request) {
   for (const Value& v : request.bindings) {
     out += "bind " + SerializeValue(v) + "\n";
   }
+  if (request.trace_id != 0) {
+    out += StrFormat("trace %llu %llu\n",
+                     static_cast<unsigned long long>(request.trace_id),
+                     static_cast<unsigned long long>(request.parent_span));
+  }
   out += "end\n";
   return out;
 }
@@ -185,9 +190,22 @@ Result<SourceRequest> ParseRequest(const std::string& text) {
     } else if (key == "bind") {
       FUSION_ASSIGN_OR_RETURN(Value v, ParseSerializedValue(value));
       request.bindings.push_back(std::move(v));
-    } else {
-      return Status::ParseError("unknown request field: " + key);
+    } else if (key == "trace") {
+      const auto [trace_text, span_text] = SplitKeyValue(value);
+      if (trace_text.empty() ||
+          trace_text.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::ParseError("bad trace line: " + value);
+      }
+      request.trace_id = std::strtoull(trace_text.c_str(), nullptr, 10);
+      if (!span_text.empty()) {
+        if (span_text.find_first_not_of("0123456789") != std::string::npos) {
+          return Status::ParseError("bad trace line: " + value);
+        }
+        request.parent_span = std::strtoull(span_text.c_str(), nullptr, 10);
+      }
     }
+    // Unknown fields are ignored for forward compatibility: peers act on
+    // optional capabilities only after HELLO `features` negotiation.
   }
   if (!terminated) return Status::ParseError("request missing 'end'");
   return request;
@@ -213,6 +231,14 @@ std::string SerializeResponse(const SourceResponse& response) {
     out += "semijoin " + response.semijoin_support + "\n";
   }
   out += std::string("load ") + (response.supports_load ? "yes" : "no") + "\n";
+  if (!response.features.empty()) {
+    std::string joined;
+    for (const std::string& f : response.features) {
+      if (!joined.empty()) joined += ",";
+      joined += f;
+    }
+    out += "features " + joined + "\n";
+  }
   for (const ChargeSummary& c : response.charges) {
     out += StrFormat("charge %s %zu %zu %zu %.17g\n", c.kind.c_str(),
                      c.items_sent, c.items_received, c.tuples_scanned, c.cost);
@@ -261,6 +287,10 @@ Result<SourceResponse> ParseResponse(const std::string& text) {
       response.semijoin_support = value;
     } else if (key == "load") {
       response.supports_load = value == "yes";
+    } else if (key == "features") {
+      for (const std::string& f : StrSplit(value, ',')) {
+        if (!f.empty()) response.features.push_back(f);
+      }
     } else if (key == "charge") {
       const std::vector<std::string> parts = StrSplit(value, ' ');
       if (parts.size() != 5) {
@@ -273,9 +303,8 @@ Result<SourceResponse> ParseResponse(const std::string& text) {
       c.tuples_scanned = static_cast<size_t>(std::atoll(parts[3].c_str()));
       c.cost = std::atof(parts[4].c_str());
       response.charges.push_back(std::move(c));
-    } else {
-      return Status::ParseError("unknown response field: " + key);
     }
+    // Unknown fields are ignored (see ParseRequest).
   }
   if (!terminated) return Status::ParseError("response missing 'end'");
   return response;

@@ -21,7 +21,14 @@ namespace fusion {
 ///   merge <attribute>            (SELECT / SEMIJOIN / FETCH)
 ///   cond <condition text>        (SELECT / SEMIJOIN)
 ///   bind <value>                 (0+ times; SEMIJOIN / FETCH)
+///   trace <trace-id> <parent-span>  (optional; distributed trace context —
+///                                 sent only to servers whose HELLO
+///                                 advertised the `trace` feature)
 ///   end
+///
+/// Both parsers ignore unknown fields (matching FUSIONQ/1), so optional
+/// fields added later degrade gracefully against older peers; capabilities
+/// are negotiated via the HELLO response's `features` line.
 struct SourceRequest {
   enum class Kind { kHello, kSelect, kSemiJoin, kLoad, kFetch };
 
@@ -29,6 +36,11 @@ struct SourceRequest {
   std::string merge_attribute;
   std::string condition_text;   // parseable by ParseCondition
   std::vector<Value> bindings;  // semijoin candidates / fetch items
+  /// Distributed trace context the server should adopt (0 = none): the
+  /// mediator's ambient trace at the time of the call, so daemon and source
+  /// spans stitch into one trace.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 /// Response grammar:
@@ -41,6 +53,7 @@ struct SourceRequest {
 ///   name <source name>           (HELLO)
 ///   semijoin <native|bindings|none>  (HELLO)
 ///   load <yes|no>                (HELLO)
+///   features <csv>               (HELLO; e.g. trace)
 ///   charge <kind> <sent> <recv> <scanned> <cost>   (0+; metering transfer)
 ///   end
 struct ChargeSummary {
@@ -61,6 +74,7 @@ struct SourceResponse {
   std::string name;                         // hello
   std::string semijoin_support;             // hello: native|bindings|none
   bool supports_load = true;                // hello
+  std::vector<std::string> features;        // hello: e.g. {"trace"}
   std::vector<ChargeSummary> charges;
 };
 

@@ -51,10 +51,18 @@ Result<Relation> RelationFromLines(const std::vector<std::string>& lines) {
 
 }  // namespace
 
-Result<SourceResponse> RemoteSource::RoundTrip(const SourceRequest& request,
+Result<SourceResponse> RemoteSource::RoundTrip(SourceRequest& request,
                                                CostLedger* ledger) {
   ScopedSpan span(SpanCategory::kRpc,
                   std::string("rpc.") + RequestKindName(request.kind));
+  if (peer_traces_) {
+    // Forward the ambient context (which the rpc span just joined/extended
+    // when tracing is on, and which a TraceContextScope upstream installed
+    // even when it is off) so the server's spans stitch into one trace.
+    const TraceContext context = Tracer::CurrentContext();
+    request.trace_id = context.trace_id;
+    request.parent_span = context.span_id;
+  }
   const std::string request_text = SerializeRequest(request);
   std::string response_text;
   {
@@ -118,6 +126,9 @@ Result<std::unique_ptr<RemoteSource>> RemoteSource::Connect(
     return Status::ParseError("HELLO response carries no source name");
   }
   source->name_ = response.name;
+  for (const std::string& feature : response.features) {
+    if (feature == "trace") source->peer_traces_ = true;
+  }
   FUSION_ASSIGN_OR_RETURN(
       source->capabilities_,
       CapabilitiesFromWire(response.semijoin_support, response.supports_load));

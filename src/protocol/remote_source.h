@@ -56,15 +56,19 @@ class RemoteSource : public SourceWrapper {
       : transport_(std::move(transport)) {}
 
   /// Ships a request, parses the response, replays charges into `ledger`,
-  /// and maps ERROR responses back into Status.
-  Result<SourceResponse> RoundTrip(const SourceRequest& request,
-                                   CostLedger* ledger);
+  /// and maps ERROR responses back into Status. Stamps the caller's ambient
+  /// trace context onto the request when the server negotiated `trace`
+  /// (mutating the request in place — callers pass throwaway locals).
+  Result<SourceResponse> RoundTrip(SourceRequest& request, CostLedger* ledger);
 
   std::mutex transport_mu_;  // one request/response in flight at a time
   ProtocolTransport transport_;
   std::string name_;
   Schema schema_;
   Capabilities capabilities_;
+  /// Whether the HELLO response advertised the `trace` feature; only then
+  /// does RoundTrip attach trace lines (old servers never see them).
+  bool peer_traces_ = false;
 };
 
 }  // namespace fusion

@@ -57,6 +57,7 @@ SourceResponse SourceServer::HandleParsed(const SourceRequest& request) {
       response.semijoin_support =
           SemijoinWireName(impl_->capabilities().semijoin);
       response.supports_load = impl_->capabilities().supports_load;
+      response.features = {"trace"};
       // Ship the schema as a CSV header line.
       Relation empty(impl_->schema());
       AttachRelation(empty, response);
@@ -106,6 +107,13 @@ SourceResponse SourceServer::HandleParsed(const SourceRequest& request) {
 }
 
 std::string SourceServer::Handle(const std::string& request_text) {
+  const auto request = ParseRequest(request_text);
+  // Adopt the mediator's trace context (when the request carried one)
+  // *before* opening the serve span, so this server's spans — in-process or
+  // in a separate source daemon — stitch into the client's trace.
+  TraceContextScope trace_scope(
+      request.ok() ? TraceContext{request->trace_id, request->parent_span}
+                   : TraceContext{});
   ScopedSpan span(SpanCategory::kRpc, "rpc.serve");
   static Counter& requests =
       MetricsRegistry::Global().counter(metrics::kRpcServerRequests);
@@ -114,7 +122,6 @@ std::string SourceServer::Handle(const std::string& request_text) {
     span.AddAttr("source", impl_->name());
     span.AddAttr("bytes_received", request_text.size());
   }
-  const auto request = ParseRequest(request_text);
   std::string response_text =
       request.ok() ? SerializeResponse(HandleParsed(*request))
                    : SerializeResponse(ErrorResponse(request.status()));

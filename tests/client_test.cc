@@ -5,13 +5,18 @@
 // boundary.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/status.h"
 #include "mediator/client.h"
+#include "mediator/service.h"
+#include "obs/exposition.h"
 #include "protocol/client_protocol.h"
 #include "protocol/message.h"
+#include "protocol/socket.h"
 #include "workload/dmv.h"
 
 namespace fusion {
@@ -120,6 +125,92 @@ TEST(ClientTest, CachedRerunIsNearlyFree) {
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(warm->items, cold->items);
   EXPECT_LE(warm->cost, 0.1 * cold->cost);
+}
+
+TEST(ClientTest, EmbeddedExplainAnnotatesTheExecutedPlan) {
+  auto client = Figure1Client();
+  ASSERT_TRUE(client.ok());
+  const auto answer = client->QuerySqlExplained(kDuiAndSp);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->items.ToString(), "{'J55', 'T21'}");
+  ASSERT_FALSE(answer->explain_lines.empty());
+  EXPECT_NE(answer->explain_lines[0].find("plan "), std::string::npos);
+  EXPECT_NE(answer->explain_lines[0].find("estimated cost"),
+            std::string::npos);
+  // At least one op line carries the [cost, ms, cache] annotation.
+  bool annotated = false;
+  for (const std::string& line : answer->explain_lines) {
+    if (line.find("cache") != std::string::npos) annotated = true;
+  }
+  EXPECT_TRUE(annotated);
+  // The plain path stays unannotated.
+  const auto plain = client->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->explain_lines.empty());
+}
+
+TEST(ClientTest, EmbeddedStatsRendersParseableExposition) {
+  auto client = Figure1Client();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->QuerySql(kDuiAndSp).ok());
+  const auto text = client->Stats();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const auto exposition = ParseStatsText(*text);
+  ASSERT_TRUE(exposition.ok()) << exposition.status().ToString();
+  EXPECT_EQ(exposition->schema, kStatsSchemaVersion);
+  EXPECT_GT(exposition->samples.size(), 0u);
+}
+
+TEST(ClientTest, RemoteClientNegotiatesObservabilityFeatures) {
+  auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  QueryService::Options options;
+  options.client.statistics = StatisticsMode::kOracle;
+  QueryService service(Mediator(std::move(instance->catalog)), options);
+  auto listener = TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(listener->port());
+  std::thread server([&] {
+    auto accepted = listener->Accept();
+    if (accepted.ok()) {
+      service.ServeConnection(std::move(accepted).value());
+    }
+  });
+  {
+    auto client =
+        Client::Builder().Connect(endpoint).ClientId("negotiator").Build();
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    EXPECT_TRUE(client->connected());
+    // HELLO negotiated all three observability features.
+    const auto& features = client->server_features();
+    EXPECT_NE(std::find(features.begin(), features.end(),
+                        std::string(kFeatureTrace)),
+              features.end());
+    EXPECT_NE(std::find(features.begin(), features.end(),
+                        std::string(kFeatureStats)),
+              features.end());
+    EXPECT_NE(std::find(features.begin(), features.end(),
+                        std::string(kFeatureExplain)),
+              features.end());
+    // EXPLAIN over the wire: annotated executed plan rides the response.
+    const auto explained = client->QuerySqlExplained(kDuiAndSp);
+    ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+    EXPECT_EQ(explained->items.ToString(), "{'J55', 'T21'}");
+    EXPECT_FALSE(explained->explain_lines.empty());
+    // STATS over the wire parses and names this client as a tenant.
+    const auto text = client->Stats();
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    const auto exposition = ParseStatsText(*text);
+    ASSERT_TRUE(exposition.ok());
+    EXPECT_NE(exposition->Find("tenant_requests_total", "negotiator"),
+              nullptr);
+    // Server-side cache counters surfaced on the wire answer.
+    const auto warm = client->QuerySql(kDuiAndSp);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_GT(warm->cache_hits + warm->cache_containment_hits, 0u);
+  }
+  server.join();
 }
 
 TEST(ClientTest, CancelledTokenFailsTheCall) {
@@ -260,6 +351,76 @@ TEST(ClientProtocolTest, MalformedTextIsAParseError) {
   EXPECT_FALSE(ParseClientRequest("HTTP/1.1 GET /\nend\n").ok());
   EXPECT_FALSE(ParseClientRequest("FUSIONQ/1 SUBMIT\n").ok());  // no end
   EXPECT_FALSE(ParseClientResponse("FUSIONQ/1 MAYBE\nend\n").ok());
+}
+
+TEST(ClientProtocolTest, ObservabilityFieldsRoundTrip) {
+  // The tracing/negotiation fields added for distributed observability:
+  // trace-id / parent-span / explain on requests, features / stats /
+  // explain / cache-containment on responses.
+  ClientRequest request;
+  request.kind = ClientRequest::Kind::kSubmit;
+  request.client_id = "traced";
+  request.sql = kDuiAndSp;
+  request.wait = true;
+  request.explain = true;
+  request.trace_id = 0xdeadbeefcafef00dULL;
+  request.parent_span = 42;
+  const std::string wire = SerializeClientRequest(request);
+  const auto parsed = ParseClientRequest(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->explain);
+  EXPECT_EQ(parsed->trace_id, request.trace_id);
+  EXPECT_EQ(parsed->parent_span, request.parent_span);
+  // A zero trace id stays off the wire entirely.
+  request.trace_id = 0;
+  EXPECT_EQ(SerializeClientRequest(request).find("trace-id"),
+            std::string::npos);
+
+  ClientRequest hello;
+  hello.kind = ClientRequest::Kind::kHello;
+  hello.features = ClientProtocolFeatures();
+  const auto hello_parsed = ParseClientRequest(SerializeClientRequest(hello));
+  ASSERT_TRUE(hello_parsed.ok());
+  EXPECT_EQ(hello_parsed->features, ClientProtocolFeatures());
+
+  ClientRequest stats;
+  stats.kind = ClientRequest::Kind::kStats;
+  stats.client_id = "watcher";
+  const auto stats_parsed = ParseClientRequest(SerializeClientRequest(stats));
+  ASSERT_TRUE(stats_parsed.ok());
+  EXPECT_EQ(stats_parsed->kind, ClientRequest::Kind::kStats);
+
+  ClientResponse response;
+  response.ticket = 3;
+  response.state = "done";
+  response.features = ClientProtocolFeatures();
+  response.cache_containment_hits = 5;
+  response.stats_lines = {"# fusionq-stats schema 1", "requests_total 7"};
+  response.explain_lines = {"plan SJA+ (simple), estimated cost 1.000",
+                           "  op 0: sq source=0 [cost 1.000, 0.2 ms, "
+                           "cache miss]"};
+  const auto response_parsed =
+      ParseClientResponse(SerializeClientResponse(response));
+  ASSERT_TRUE(response_parsed.ok());
+  EXPECT_EQ(response_parsed->features, ClientProtocolFeatures());
+  EXPECT_EQ(response_parsed->cache_containment_hits, 5u);
+  EXPECT_EQ(response_parsed->stats_lines, response.stats_lines);
+  EXPECT_EQ(response_parsed->explain_lines, response.explain_lines);
+}
+
+TEST(ClientProtocolTest, UnknownFieldsAreIgnoredForForwardCompat) {
+  // A newer peer may send fields this build has never heard of; they must
+  // parse as a valid frame, not an error — that is what lets HELLO feature
+  // negotiation evolve the protocol without breaking old binaries.
+  const auto request = ParseClientRequest(
+      "FUSIONQ/1 SUBMIT\nclient shiny\nsql SELECT 1\n"
+      "brand-new-field value with spaces\nend\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->client_id, "shiny");
+  const auto response = ParseClientResponse(
+      "FUSIONQ/1 OK\nticket 1\nstate done\nfuture-field 9\nend\n");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->state, "done");
 }
 
 }  // namespace

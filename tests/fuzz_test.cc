@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "mediator/service.h"
+#include "obs/exposition.h"
 #include "protocol/client_protocol.h"
 #include "protocol/message.h"
 #include "query/parser.h"
@@ -302,6 +303,67 @@ TEST(FuzzTest, QueryServiceHandleNeverCrashes) {
     const auto response =
         ParseClientResponse(service.Handle(Mutate(rng, valid, 1 + i % 5)));
     ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, QueryServiceStatsAndExplainFramesNeverCrash) {
+  // The new observability verbs share Handle's dispatch: mutated STATS
+  // frames and trace/explain-carrying SUBMITs must always yield a framed
+  // response, and a well-formed STATS reply must parse as an exposition.
+  SyntheticSpec spec;
+  spec.universe_size = 200;
+  spec.num_sources = 3;
+  spec.num_conditions = 2;
+  spec.seed = 18;
+  auto instance = GenerateSynthetic(spec);
+  ASSERT_TRUE(instance.ok());
+  QueryService::Options options;
+  options.workers = 2;
+  QueryService service(Mediator(std::move(instance->catalog)), options);
+
+  ClientRequest stats;
+  stats.kind = ClientRequest::Kind::kStats;
+  stats.client_id = "fuzz";
+  const std::string valid_stats = SerializeClientRequest(stats);
+  ClientRequest explained = ValidSubmit();
+  explained.explain = true;
+  explained.trace_id = 0xfadedacedeadbeefULL;
+  explained.parent_span = 77;
+  const std::string valid_explain = SerializeClientRequest(explained);
+
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    const auto stats_reply =
+        ParseClientResponse(service.Handle(Mutate(rng, valid_stats, 1 + i % 5)));
+    ASSERT_TRUE(stats_reply.ok()) << stats_reply.status().ToString();
+    const auto explain_reply = ParseClientResponse(
+        service.Handle(Mutate(rng, valid_explain, 1 + i % 5)));
+    ASSERT_TRUE(explain_reply.ok()) << explain_reply.status().ToString();
+  }
+  // The unmutated STATS frame round-trips all the way into a parsed
+  // exposition with the mandatory schema header.
+  const auto reply = ParseClientResponse(service.Handle(valid_stats));
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply->ok) << reply->error_message;
+  std::string text;
+  for (const std::string& line : reply->stats_lines) text += line + "\n";
+  const auto exposition = ParseStatsText(text);
+  ASSERT_TRUE(exposition.ok()) << exposition.status().ToString();
+  EXPECT_GT(exposition->samples.size(), 0u);
+}
+
+TEST(FuzzTest, StatsExpositionParserNeverCrashes) {
+  Rng rng(10);
+  for (int i = 0; i < 2000; ++i) {
+    (void)ParseStatsText(RandomBytes(rng, 200));
+  }
+  const std::string valid =
+      "# fusionq-stats schema 1\n"
+      "requests_total 42\n"
+      "tenant_latency_ms{tenant=\"a\\\"b\",quantile=\"0.99\"} 3.5\n";
+  for (int i = 0; i < 2000; ++i) {
+    (void)ParseStatsText(Mutate(rng, valid, 1 + i % 5));
   }
   SUCCEED();
 }

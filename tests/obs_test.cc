@@ -15,7 +15,10 @@
 #include "common/logging.h"
 #include "exec/executor.h"
 #include "exec/source_call_cache.h"
+#include "exec/thread_pool.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "source/flaky_source.h"
@@ -70,6 +73,54 @@ TEST(MetricsTest, HistogramObserveAndSnapshot) {
   EXPECT_EQ(snap.buckets[Histogram::BucketIndex(100.0)], 1u);
   h.Reset();
   EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+TEST(MetricsTest, QuantileInterpolatesInsideLogBuckets) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.5), 0.0);  // empty histogram
+  // Four observations in bucket 0 ([0, 1]): quantiles interpolate linearly
+  // across the bucket's value range.
+  for (int i = 0; i < 4; ++i) h.Observe(0.5);
+  const HistogramSnapshot one_bucket = h.Snapshot();
+  EXPECT_DOUBLE_EQ(one_bucket.Quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(one_bucket.Quantile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(one_bucket.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(one_bucket.Quantile(-3.0), 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(one_bucket.Quantile(7.0), 1.0);   // clamped
+
+  // Two in (1, 2], two in (2, 4]: the median lands exactly on the first
+  // bucket's upper bound, p75 halfway through the second.
+  Histogram two;
+  two.Observe(1.5);
+  two.Observe(2.0);
+  two.Observe(3.0);
+  two.Observe(4.0);
+  const HistogramSnapshot two_buckets = two.Snapshot();
+  EXPECT_DOUBLE_EQ(two_buckets.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(two_buckets.Quantile(0.75), 3.0);
+
+  // The unbounded last bucket reports its finite lower boundary instead of
+  // extrapolating to infinity.
+  Histogram top;
+  top.Observe(1e300);
+  EXPECT_DOUBLE_EQ(top.Snapshot().Quantile(0.99),
+                   Histogram::BucketUpperBound(Histogram::kNumBuckets - 2));
+}
+
+TEST(MetricsTest, QuantileIsMonotoneInQ) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  const HistogramSnapshot snap = h.Snapshot();
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = snap.Quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+  // Sanity: p50 of 1..1000 must land in the right log bucket, i.e. within
+  // (256, 1024] — bucket resolution, not exact-rank, accuracy.
+  EXPECT_GT(snap.Quantile(0.5), 256.0);
+  EXPECT_LE(snap.Quantile(0.5), 1024.0);
 }
 
 TEST(MetricsTest, RegistryReferencesSurviveResetAll) {
@@ -209,6 +260,98 @@ TEST(TracerTest, ParallelSpansLandOnDistinctThreadIds) {
 }
 
 // ---------------------------------------------------------------------------
+// Distributed trace context
+// ---------------------------------------------------------------------------
+
+TEST(TraceContextTest, MintIdIsNonZeroAndDistinct) {
+  const uint64_t a = Tracer::MintId();
+  const uint64_t b = Tracer::MintId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceContextTest, ScopeInstallsAndRestoresContext) {
+  EXPECT_FALSE(Tracer::CurrentContext().valid());
+  {
+    TraceContextScope scope(TraceContext{7, 9});
+    EXPECT_EQ(Tracer::CurrentContext().trace_id, 7u);
+    EXPECT_EQ(Tracer::CurrentContext().span_id, 9u);
+    {
+      // An invalid inbound context must NOT clobber the ambient one: a
+      // request with no trace fields leaves the local trace in place.
+      TraceContextScope noop(TraceContext{});
+      EXPECT_EQ(Tracer::CurrentContext().trace_id, 7u);
+    }
+    EXPECT_EQ(Tracer::CurrentContext().trace_id, 7u);
+  }
+  EXPECT_FALSE(Tracer::CurrentContext().valid());
+}
+
+TEST(TraceContextTest, SpansJoinTheAmbientTraceAndParentEachOther) {
+  ScopedTracing tracing;
+  const TraceContext inbound{0xfeedULL, 0xbeefULL};
+  {
+    TraceContextScope scope(inbound);
+    ScopedSpan outer(SpanCategory::kRpc, "outer");
+    { ScopedSpan inner(SpanCategory::kPlanOp, "inner"); }
+  }
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& outer = spans[0].name == "outer" ? spans[0] : spans[1];
+  const SpanRecord& inner = spans[0].name == "inner" ? spans[0] : spans[1];
+  // Both spans join the adopted trace; the outer span's parent is the
+  // inbound span id, the inner span's parent is the outer span itself.
+  EXPECT_EQ(outer.trace_id, inbound.trace_id);
+  EXPECT_EQ(inner.trace_id, inbound.trace_id);
+  EXPECT_EQ(outer.parent_id, inbound.span_id);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_NE(inner.span_id, 0u);
+  EXPECT_NE(outer.span_id, inner.span_id);
+}
+
+TEST(TraceContextTest, RootSpanMintsItsOwnTraceId) {
+  ScopedTracing tracing;
+  { ScopedSpan root(SpanCategory::kPhase, "root"); }
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_NE(spans[0].trace_id, 0u);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+}
+
+TEST(TraceContextTest, ThreadPoolTasksInheritTheSubmittersContext) {
+  ScopedTracing tracing;
+  const TraceContext inbound{0xabcULL, 0x123ULL};
+  {
+    TraceContextScope scope(inbound);
+    ThreadPool pool(2);
+    for (int i = 0; i < 4; ++i) {
+      pool.Submit([] { ScopedSpan span(SpanCategory::kPlanOp, "task"); });
+    }
+    // Pool destructor drains and joins all tasks.
+  }
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (const SpanRecord& span : spans) {
+    EXPECT_EQ(span.trace_id, inbound.trace_id)
+        << "task span escaped the submitter's trace";
+    EXPECT_EQ(span.parent_id, inbound.span_id);
+  }
+}
+
+TEST(TraceContextTest, ContextFlowsEvenWithTracingDisabled) {
+  Tracer::Global().Disable();
+  TraceContextScope scope(TraceContext{11, 22});
+  // No spans are recorded, but the ambient context must still be visible —
+  // this is what lets an untraced daemon forward the client's ids to a
+  // traced source server.
+  EXPECT_EQ(Tracer::CurrentContext().trace_id, 11u);
+  EXPECT_EQ(Tracer::CurrentContext().span_id, 22u);
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Chrome-trace export
 // ---------------------------------------------------------------------------
 
@@ -269,6 +412,26 @@ TEST(TraceExportTest, ChromeTraceJsonIsStructurallyValid) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"source_call\""), std::string::npos);
   EXPECT_NE(json.find("\\\"escaping\\\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ExportCarriesDistributedIdsAsHex) {
+  SpanRecord span;
+  span.name = "rpc";
+  span.category = SpanCategory::kRpc;
+  span.start_us = 1.0;
+  span.end_us = 2.0;
+  span.trace_id = 0xdeadbeefcafef00dULL;
+  span.span_id = 0x42;
+  span.parent_id = 0x17;
+  const std::string json = ChromeTraceJson({span});
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  // Fixed-width hex strings: what tools/trace_merge.py keys its shared
+  // trace-id / unique span-id checks on.
+  EXPECT_NE(json.find("\"trace_id\":\"deadbeefcafef00d\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"span_id\":\"0000000000000042\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\":\"0000000000000017\""),
+            std::string::npos);
 }
 
 TEST(TraceExportTest, ExecutionTraceContainsExpectedCategories) {
@@ -434,6 +597,134 @@ TEST(ObsExecutionTest, CacheHitsAndMissesSurfaceOnReport) {
   EXPECT_EQ(second->ledger.num_queries(), 0u);
   EXPECT_EQ(CountCategory(spans, SpanCategory::kSourceCall), 0u);
   EXPECT_EQ(CountCategory(spans, SpanCategory::kCache), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// STATS exposition grammar (golden) and SLO registry
+// ---------------------------------------------------------------------------
+
+TEST(ExpositionTest, GoldenRenderPinsTheGrammar) {
+  // A hand-built snapshot with every sample shape: bare counter, gauge,
+  // labelled tenant counters, and a labelled histogram — plus a tenant name
+  // that needs every escape. The full text is pinned byte-for-byte: any
+  // change to sorting, escaping, value formatting, or the schema header is
+  // a deliberate schema bump, not an accident.
+  MetricsSnapshot metrics;
+  metrics.counters["requests_total"] = 42;
+  metrics.gauges["queue_depth"] = 3.5;
+  TenantSloSnapshot tenant;
+  tenant.tenant = "a\"b\\c";
+  tenant.requests = 2;
+  tenant.errors = 1;
+  tenant.degraded = 1;
+  tenant.metered_cost = 12.5;
+  tenant.error_rate = 0.5;
+  Histogram latency;
+  latency.Observe(0.5);
+  latency.Observe(3.0);
+  tenant.latency_ms = latency.Snapshot();
+
+  const std::string text = RenderStatsText(metrics, {tenant});
+  const std::string expected =
+      "# fusionq-stats schema 1\n"
+      "queue_depth 3.5\n"
+      "requests_total 42\n"
+      "tenant_cancelled_total{tenant=\"a\\\"b\\\\c\"} 0\n"
+      "tenant_deadline_exceeded_total{tenant=\"a\\\"b\\\\c\"} 0\n"
+      "tenant_degraded_total{tenant=\"a\\\"b\\\\c\"} 1\n"
+      "tenant_error_rate{tenant=\"a\\\"b\\\\c\"} 0.5\n"
+      "tenant_errors_total{tenant=\"a\\\"b\\\\c\"} 1\n"
+      "tenant_latency_ms_count{tenant=\"a\\\"b\\\\c\"} 2\n"
+      "tenant_latency_ms_sum{tenant=\"a\\\"b\\\\c\"} 3.5\n"
+      "tenant_latency_ms{tenant=\"a\\\"b\\\\c\",quantile=\"0.5\"} 1\n"
+      "tenant_latency_ms{tenant=\"a\\\"b\\\\c\",quantile=\"0.95\"} 3.8\n"
+      "tenant_latency_ms{tenant=\"a\\\"b\\\\c\",quantile=\"0.99\"} 3.96\n"
+      "tenant_metered_cost_total{tenant=\"a\\\"b\\\\c\"} 12.5\n"
+      "tenant_requests_total{tenant=\"a\\\"b\\\\c\"} 2\n"
+      "tenant_shed_total{tenant=\"a\\\"b\\\\c\"} 0\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ExpositionTest, ParseRoundTripsTheRender) {
+  MetricsSnapshot metrics;
+  metrics.counters["requests_total"] = 7;
+  TenantSloSnapshot tenant;
+  tenant.tenant = "needs\nnewline\"and\\slash";
+  tenant.requests = 3;
+  const std::string text = RenderStatsText(metrics, {tenant});
+  const Result<StatsExposition> parsed = ParseStatsText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->schema, kStatsSchemaVersion);
+  const StatsSample* requests = parsed->Find("requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_DOUBLE_EQ(requests->value, 7.0);
+  // The escaped tenant label value comes back verbatim.
+  const StatsSample* tenant_requests =
+      parsed->Find("tenant_requests_total", tenant.tenant);
+  ASSERT_NE(tenant_requests, nullptr);
+  EXPECT_DOUBLE_EQ(tenant_requests->value, 3.0);
+}
+
+TEST(ExpositionTest, ParserRejectsMalformedText) {
+  EXPECT_FALSE(ParseStatsText("").ok());
+  EXPECT_FALSE(ParseStatsText("requests_total 1\n").ok());  // no header
+  EXPECT_FALSE(ParseStatsText("# fusionq-stats schema x\n").ok());
+  const std::string header = "# fusionq-stats schema 1\n";
+  EXPECT_FALSE(ParseStatsText(header + "name_without_value\n").ok());
+  EXPECT_FALSE(ParseStatsText(header + "name{unterminated=\"v} 1\n").ok());
+  EXPECT_FALSE(ParseStatsText(header + "name notanumber\n").ok());
+  // Unknown sample names are future schema, not errors.
+  const auto superset =
+      ParseStatsText(header + "metric_from_the_future 9\n");
+  ASSERT_TRUE(superset.ok());
+  EXPECT_EQ(superset->samples.size(), 1u);
+}
+
+TEST(SloRegistryTest, AccountsOutcomesPerTenant) {
+  SloRegistry slo;
+  slo.Register("idle");  // connected but never queried: visible, all zeros
+  slo.RecordCompletion("alpha", 5.0, 10.0, true, StatusCode::kOk, true);
+  slo.RecordCompletion("alpha", 7.0, 2.5, true, StatusCode::kOk, false);
+  slo.RecordCompletion("alpha", 3.0, 0.0, false,
+                       StatusCode::kDeadlineExceeded, true);
+  slo.RecordCompletion("alpha", 4.0, 0.0, false, StatusCode::kCancelled,
+                       true);
+  slo.RecordShed("alpha");
+  slo.RecordCompletion("beta", 1.0, 1.0, true, StatusCode::kOk, true);
+
+  const std::vector<TenantSloSnapshot> tenants = slo.Snapshot();
+  ASSERT_EQ(tenants.size(), 3u);  // sorted: alpha, beta, idle
+  const TenantSloSnapshot& alpha = tenants[0];
+  EXPECT_EQ(alpha.tenant, "alpha");
+  EXPECT_EQ(alpha.requests, 4u);
+  EXPECT_EQ(alpha.errors, 2u);
+  EXPECT_EQ(alpha.shed, 1u);
+  EXPECT_EQ(alpha.deadline_exceeded, 1u);
+  EXPECT_EQ(alpha.cancelled, 1u);
+  EXPECT_EQ(alpha.degraded, 1u);
+  EXPECT_DOUBLE_EQ(alpha.metered_cost, 12.5);
+  EXPECT_DOUBLE_EQ(alpha.error_rate, 0.5);  // 2 errors in 4 completions
+  EXPECT_EQ(alpha.latency_ms.count, 4u);
+  EXPECT_DOUBLE_EQ(alpha.latency_ms.sum, 19.0);
+  EXPECT_EQ(tenants[1].tenant, "beta");
+  EXPECT_EQ(tenants[2].tenant, "idle");
+  EXPECT_EQ(tenants[2].requests, 0u);
+}
+
+TEST(SloRegistryTest, ErrorRateIsRollingNotLifetime) {
+  SloRegistry slo;
+  // Fill the window with errors, then recover with a full window of
+  // successes: the lifetime ratio stays high, the rolling rate reads clean.
+  for (size_t i = 0; i < SloRegistry::kErrorWindow; ++i) {
+    slo.RecordCompletion("t", 1.0, 0.0, false, StatusCode::kInternal, true);
+  }
+  EXPECT_DOUBLE_EQ(slo.Snapshot()[0].error_rate, 1.0);
+  for (size_t i = 0; i < SloRegistry::kErrorWindow; ++i) {
+    slo.RecordCompletion("t", 1.0, 0.0, true, StatusCode::kOk, true);
+  }
+  const TenantSloSnapshot snap = slo.Snapshot()[0];
+  EXPECT_DOUBLE_EQ(snap.error_rate, 0.0);
+  EXPECT_EQ(snap.errors, SloRegistry::kErrorWindow);  // lifetime count stays
 }
 
 // ---------------------------------------------------------------------------

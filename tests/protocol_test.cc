@@ -100,9 +100,39 @@ TEST(ProtocolMessageTest, RejectsMalformedFrames) {
   EXPECT_FALSE(ParseRequest("HTTP/1.1 GET\nend\n").ok());
   EXPECT_FALSE(ParseRequest("FUSIONP/1 NOPE\nend\n").ok());
   EXPECT_FALSE(ParseRequest("FUSIONP/1 SELECT\nmerge L\n").ok());  // no end
-  EXPECT_FALSE(ParseRequest("FUSIONP/1 SELECT\nwat x\nend\n").ok());
   EXPECT_FALSE(ParseResponse("FUSIONP/1 MAYBE\nend\n").ok());
   EXPECT_FALSE(ParseResponse("FUSIONP/1 OK\ncharge sq 1\nend\n").ok());
+  // Malformed values of *known* fields still fail...
+  EXPECT_FALSE(ParseRequest("FUSIONP/1 SELECT\ntrace x y\nend\n").ok());
+}
+
+TEST(ProtocolMessageTest, IgnoresUnknownFieldsForForwardCompat) {
+  // ...but unknown fields are skipped, so an older peer survives a newer
+  // peer's extensions (the way trace/features were added) instead of
+  // erroring on every new line.
+  const auto request = ParseRequest("FUSIONP/1 SELECT\nwat x\nend\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->kind, SourceRequest::Kind::kSelect);
+  const auto response =
+      ParseResponse("FUSIONP/1 OK\nname dmv\nshiny new-field\nend\n");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->name, "dmv");
+}
+
+TEST(ProtocolMessageTest, TraceContextRoundTrip) {
+  SourceRequest request;
+  request.kind = SourceRequest::Kind::kSelect;
+  request.condition_text = "V = 'x'";
+  request.merge_attribute = "L";
+  request.trace_id = 0xdeadbeefcafef00dULL;
+  request.parent_span = 42;
+  const auto back = ParseRequest(SerializeRequest(request));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->trace_id, request.trace_id);
+  EXPECT_EQ(back->parent_span, request.parent_span);
+  // A request without a context serializes no trace line at all.
+  request.trace_id = 0;
+  EXPECT_EQ(SerializeRequest(request).find("trace"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 // and must stay TSan-clean.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
@@ -18,6 +19,8 @@
 #include <vector>
 
 #include "mediator/service.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
 #include "protocol/client_protocol.h"
 #include "source/simulated_source.h"
 #include "workload/dmv.h"
@@ -396,6 +399,169 @@ TEST(QueryServiceTest, HandleReportsUnknownTicketsAsNotFound) {
   ASSERT_TRUE(response.ok());
   EXPECT_FALSE(response->ok);
   EXPECT_EQ(response->error_code, StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Observability surfaces: STATS, EXPLAIN, SLO accounting, trace adoption
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, HelloAdvertisesObservabilityFeatures) {
+  auto service = Figure1Service({});
+  ClientRequest hello;
+  hello.kind = ClientRequest::Kind::kHello;
+  hello.client_id = "negotiator";
+  hello.features = ClientProtocolFeatures();
+  const auto response =
+      ParseClientResponse(service->Handle(SerializeClientRequest(hello)));
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok);
+  const auto& features = response->features;
+  EXPECT_NE(std::find(features.begin(), features.end(), kFeatureTrace),
+            features.end());
+  EXPECT_NE(std::find(features.begin(), features.end(), kFeatureStats),
+            features.end());
+  EXPECT_NE(std::find(features.begin(), features.end(), kFeatureExplain),
+            features.end());
+}
+
+TEST(QueryServiceTest, StatsVerbServesParseableExposition) {
+  auto service = Figure1Service({});
+  ClientRequest hello;
+  hello.kind = ClientRequest::Kind::kHello;
+  hello.client_id = "statsy";
+  ASSERT_TRUE(ParseClientResponse(
+                  service->Handle(SerializeClientRequest(hello)))->ok);
+  ClientRequest submit;
+  submit.kind = ClientRequest::Kind::kSubmit;
+  submit.client_id = "statsy";
+  submit.sql = kDuiAndSp;
+  submit.wait = true;
+  ASSERT_TRUE(ParseClientResponse(
+                  service->Handle(SerializeClientRequest(submit)))->ok);
+
+  ClientRequest stats;
+  stats.kind = ClientRequest::Kind::kStats;
+  stats.client_id = "statsy";
+  const auto response =
+      ParseClientResponse(service->Handle(SerializeClientRequest(stats)));
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok);
+  ASSERT_FALSE(response->stats_lines.empty());
+  std::string text;
+  for (const std::string& line : response->stats_lines) text += line + "\n";
+  const auto exposition = ParseStatsText(text);
+  ASSERT_TRUE(exposition.ok()) << exposition.status().ToString();
+  const StatsSample* requests =
+      exposition->Find("tenant_requests_total", "statsy");
+  ASSERT_NE(requests, nullptr) << text;
+  EXPECT_GE(requests->value, 1.0);
+  const StatsSample* cost =
+      exposition->Find("tenant_metered_cost_total", "statsy");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_GT(cost->value, 0.0);
+}
+
+TEST(QueryServiceTest, ExplainReturnsTheAnnotatedExecutedPlan) {
+  auto service = Figure1Service({});
+  ClientRequest submit;
+  submit.kind = ClientRequest::Kind::kSubmit;
+  submit.client_id = "explainer";
+  submit.sql = kDuiAndSp;
+  submit.wait = true;
+  submit.explain = true;
+  const auto response =
+      ParseClientResponse(service->Handle(SerializeClientRequest(submit)));
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok) << response->error_message;
+  ASSERT_FALSE(response->explain_lines.empty());
+  // Header names the chosen algorithm and both cost figures; op lines carry
+  // the per-op timing/cache annotations.
+  EXPECT_NE(response->explain_lines[0].find("plan "), std::string::npos);
+  EXPECT_NE(response->explain_lines[0].find("measured cost"),
+            std::string::npos);
+  bool annotated = false;
+  for (const std::string& line : response->explain_lines) {
+    if (line.find("cache") != std::string::npos &&
+        line.find("ms") != std::string::npos) {
+      annotated = true;
+    }
+  }
+  EXPECT_TRUE(annotated) << "no per-op annotation in explain output";
+  // Without the flag, no explain lines ride the response.
+  submit.explain = false;
+  const auto plain =
+      ParseClientResponse(service->Handle(SerializeClientRequest(submit)));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->explain_lines.empty());
+}
+
+TEST(QueryServiceTest, SloRegistryAccountsCompletionsErrorsAndSheds) {
+  auto service = Figure1Service({});
+  ASSERT_TRUE(service->Wait(*service->Submit("alice", kDuiAndSp)).ok());
+  EXPECT_FALSE(service->Wait(*service->Submit("alice", "SELECT junk")).ok());
+  const std::vector<TenantSloSnapshot> tenants = service->slo().Snapshot();
+  ASSERT_EQ(tenants.size(), 1u);
+  EXPECT_EQ(tenants[0].tenant, "alice");
+  EXPECT_EQ(tenants[0].requests, 2u);
+  EXPECT_EQ(tenants[0].errors, 1u);
+  EXPECT_DOUBLE_EQ(tenants[0].error_rate, 0.5);
+  EXPECT_GT(tenants[0].metered_cost, 0.0);
+  EXPECT_EQ(tenants[0].latency_ms.count, 2u);
+}
+
+TEST(QueryServiceTest, SloRegistryCountsShedsAndCancels) {
+  Gate gate;
+  QueryService::Options options;
+  options.workers = 1;
+  options.max_queue = 1;
+  auto service = GatedService(&gate, options);
+  const auto running = service->Submit("alice", kDuiAndSp);
+  ASSERT_TRUE(running.ok());
+  gate.AwaitEntered();
+  const auto queued = service->Submit("bob", kDuiAndSp93);
+  ASSERT_TRUE(queued.ok());
+  ASSERT_FALSE(service->Submit("carol", kDuiOnly).ok());  // shed
+  ASSERT_TRUE(service->Cancel(*queued).ok());             // never runs
+  gate.Open();
+  ASSERT_TRUE(service->Wait(*running).ok());
+  EXPECT_FALSE(service->Wait(*queued).ok());
+
+  const std::vector<TenantSloSnapshot> tenants = service->slo().Snapshot();
+  ASSERT_EQ(tenants.size(), 3u);  // alice, bob, carol (sorted)
+  EXPECT_EQ(tenants[0].tenant, "alice");
+  EXPECT_EQ(tenants[0].requests, 1u);
+  EXPECT_EQ(tenants[0].errors, 0u);
+  EXPECT_EQ(tenants[1].tenant, "bob");
+  EXPECT_EQ(tenants[1].cancelled, 1u);
+  EXPECT_EQ(tenants[2].tenant, "carol");
+  EXPECT_EQ(tenants[2].shed, 1u);
+  EXPECT_EQ(tenants[2].requests, 0u);  // shed is not a completion
+}
+
+TEST(QueryServiceTest, SubmitAdoptsTheInboundTraceContext) {
+  Tracer::Global().Clear();
+  Tracer::Global().Enable();
+  auto service = Figure1Service({});
+  QueryService::SubmitOptions submit_options;
+  submit_options.trace_id = 0x5eedULL;
+  submit_options.parent_span = 0x77ULL;
+  const auto ticket = service->Submit("traced", kDuiAndSp, submit_options);
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(service->Wait(*ticket).ok());
+  const std::vector<SpanRecord> spans = Tracer::Global().Drain();
+  Tracer::Global().Disable();
+  const SpanRecord* request_span = nullptr;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "service.request") request_span = &span;
+  }
+  ASSERT_NE(request_span, nullptr);
+  // The service span joins the client's trace and parents to its span; so
+  // does every span recorded underneath it.
+  EXPECT_EQ(request_span->trace_id, submit_options.trace_id);
+  EXPECT_EQ(request_span->parent_id, submit_options.parent_span);
+  for (const SpanRecord& span : spans) {
+    EXPECT_EQ(span.trace_id, submit_options.trace_id) << span.name;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -43,6 +43,11 @@ TRACKED = [
 # legitimately move when the workload config changes).
 GATED = {"QPS", "p99 latency ms"}
 
+# Schema history: v1 had no "tenants" section and no stats_samples; v2
+# (per-tenant SLO from the server's STATS exposition) added both. Old files
+# stay comparable — missing fields are skipped, with a drift note.
+KNOWN_SCHEMAS = {1, 2}
+
 
 def lookup(metrics, path):
     node = metrics
@@ -56,12 +61,28 @@ def lookup(metrics, path):
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    if data.get("schema_version") != 1:
+    if data.get("schema_version") not in KNOWN_SCHEMAS:
         sys.exit(f"{path}: unsupported schema_version "
-                 f"{data.get('schema_version')!r} (expected 1)")
+                 f"{data.get('schema_version')!r} "
+                 f"(expected one of {sorted(KNOWN_SCHEMAS)})")
     if "metrics" not in data:
         sys.exit(f"{path}: no metrics block")
     return data
+
+
+def warn_field_drift(old, new):
+    """Fields appearing or vanishing between runs are usually a schema
+    change landing; name them so the drift is deliberate, not silent."""
+    for scope, a, b in [("", old, new), ("metrics.", old.get("metrics", {}),
+                                         new.get("metrics", {}))]:
+        added = sorted(set(b) - set(a))
+        removed = sorted(set(a) - set(b))
+        if added:
+            print(f"bench_diff: note: new field(s) in the newer run: "
+                  f"{', '.join(scope + k for k in added)}")
+        if removed:
+            print(f"bench_diff: note: field(s) gone from the newer run: "
+                  f"{', '.join(scope + k for k in removed)}")
 
 
 def main():
@@ -99,6 +120,7 @@ def main():
     if old.get("config") != new.get("config"):
         print("bench_diff: note: configs differ; deltas may reflect the "
               "workload change, not the code")
+    warn_field_drift(old, new)
 
     regressions = []
     for path, label, higher_is_better in TRACKED:
@@ -117,6 +139,25 @@ def main():
         flag = "  REGRESSION" if regressed else ""
         print(f"  {label:<20} {before:>12.4f} -> {after:>12.4f}  "
               f"{delta_text}{flag}")
+        if regressed:
+            regressions.append(label)
+
+    # Per-tenant p99 (schema >= 2): the aggregate p99 can hide one tenant's
+    # tail regressing while the others improve, so each tenant present in
+    # both runs gates independently.
+    old_tenants = old.get("tenants", {}) or {}
+    new_tenants = new.get("tenants", {}) or {}
+    for tenant in sorted(set(old_tenants) & set(new_tenants)):
+        before = lookup(old_tenants[tenant], ("latency_ms", "p99"))
+        after = lookup(new_tenants[tenant], ("latency_ms", "p99"))
+        if before is None or after is None or before == 0:
+            continue
+        delta = (after - before) / before
+        regressed = delta > threshold
+        flag = "  REGRESSION" if regressed else ""
+        label = f"{tenant} p99 ms"
+        print(f"  {label:<20} {before:>12.4f} -> {after:>12.4f}  "
+              f"{delta:+.1%}{flag}")
         if regressed:
             regressions.append(label)
 

@@ -52,6 +52,7 @@ struct Args {
   std::string trace_out;   // write Chrome trace-event JSON file(s)
   bool trace_summary = false;  // print the per-category span rollup
   bool metrics = false;        // print the process metrics dump
+  bool stats = false;          // print the live STATS exposition
   int repeat = 1;              // execute the query N times (cache demo)
   ClientFlags client;
 };
@@ -71,8 +72,14 @@ void PrintUsage() {
       "                   (default 'fusionq')\n"
       "  --sql=QUERY      fusion query in the paper's SQL form\n"
       "%s"
-      "  --explain        print the optimized plan and response-time info\n"
-      "                   (embedded mode)\n"
+      "  --explain        print the executed plan annotated with per-op\n"
+      "                   metered cost, wall-clock time, and cache\n"
+      "                   provenance (both modes; a connected server\n"
+      "                   renders it from its own execution)\n"
+      "  --stats          print the live STATS exposition — connected mode\n"
+      "                   fetches the daemon's (per-tenant SLO table\n"
+      "                   included); embedded mode renders this process's\n"
+      "                   metrics. With --connect, works without --sql\n"
       "  --ledger         print the per-query cost ledger (embedded mode)\n"
       "  --plan-out=FILE  write the chosen plan in FPLAN/1 format\n"
       "  --repeat=N       run the query N times against the same session —\n"
@@ -118,6 +125,10 @@ Result<Args> ParseArgs(int argc, char** argv) {
     }
     if (std::strcmp(a, "--metrics") == 0) {
       args.metrics = true;
+      continue;
+    }
+    if (std::strcmp(a, "--stats") == 0) {
+      args.stats = true;
       continue;
     }
     if (std::strcmp(a, "--explain") == 0) {
@@ -197,7 +208,8 @@ int Run(int argc, char** argv) {
     return 2;
   }
   const bool connected = !args->connect.empty();
-  if (args->help || args->sql.empty() ||
+  const bool stats_only = args->stats && connected && args->sql.empty();
+  if (args->help || (args->sql.empty() && !stats_only) ||
       (args->catalog_path.empty() && !connected)) {
     PrintUsage();
     return args->help ? 0 : 2;
@@ -206,9 +218,9 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--catalog and --connect are mutually exclusive\n");
     return 2;
   }
-  if (connected && (args->explain || args->ledger || !args->plan_out.empty())) {
+  if (connected && (args->ledger || !args->plan_out.empty())) {
     std::fprintf(stderr,
-                 "--explain/--ledger/--plan-out need the in-process plan and "
+                 "--ledger/--plan-out need the in-process plan and "
                  "report; they are not available with --connect\n");
     return 2;
   }
@@ -232,30 +244,36 @@ int Run(int argc, char** argv) {
   }
   Client client = std::move(client_or).value();
 
+  if (stats_only) {
+    const auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", stats->c_str());
+    return 0;
+  }
+
   const bool tracing = !args->trace_out.empty() || args->trace_summary;
   if (tracing) Tracer::Global().Enable();
 
   Result<ClientAnswer> answer = Status::Internal("no runs");
   std::vector<SpanRecord> all_spans;
   for (int run = 1; run <= args->repeat; ++run) {
-    answer = client.QuerySql(args->sql);
+    // Explain rides on the first run only: warm repeats would annotate an
+    // all-hit plan, which is the cache demo's job (--repeat) not explain's.
+    answer = (run == 1 && args->explain)
+                 ? client.QuerySqlExplained(args->sql)
+                 : client.QuerySql(args->sql);
     if (!answer.ok()) {
       std::fprintf(stderr, "query: %s\n", answer.status().ToString().c_str());
       return 1;
     }
-    if (run == 1 && args->explain && answer->detail != nullptr) {
-      const OptimizedPlan& optimized = answer->detail->optimized;
-      const auto names = PrintNames(args->sql, client);
-      if (!names.ok()) {
-        std::fprintf(stderr, "explain: %s\n",
-                     names.status().ToString().c_str());
-        return 1;
+    if (run == 1 && args->explain) {
+      std::printf("-- explain --\n");
+      for (const std::string& line : answer->explain_lines) {
+        std::printf("%s\n", line.c_str());
       }
-      std::printf("-- plan (%s, %s), estimated cost %.3f --\n%s\n",
-                  optimized.algorithm.c_str(),
-                  PlanClassName(optimized.plan_class),
-                  optimized.estimated_cost,
-                  optimized.plan.ToString(*names).c_str());
     }
     if (run == 1 && !args->plan_out.empty() && answer->detail != nullptr) {
       const Status written = WriteStringToFile(
@@ -301,6 +319,14 @@ int Run(int argc, char** argv) {
   }
 
   PrintAnswer(*args, *answer);
+  if (connected) {
+    // The daemon's view of this query: its shared cross-client cache did
+    // the work, so the counters are the server's, not ours.
+    std::printf(
+        "server cache: %zu hits, %zu misses (%zu answered by containment)\n",
+        answer->cache_hits, answer->cache_misses,
+        answer->cache_containment_hits);
+  }
   if (args->client.cache && client.session() != nullptr) {
     const SourceCallCache::Stats cs =
         client.session()->cache().StatsSnapshot();
@@ -330,6 +356,14 @@ int Run(int argc, char** argv) {
   if (args->metrics) {
     std::printf("\n-- metrics --\n%s",
                 MetricsRegistry::Global().DumpText().c_str());
+  }
+  if (args->stats) {
+    const auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n-- stats --\n%s", stats->c_str());
   }
   return 0;
 }

@@ -34,6 +34,8 @@
 #include "mediator/client.h"
 #include "mediator/service.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "protocol/socket.h"
 
 namespace fusion {
@@ -51,6 +53,11 @@ struct Args {
   /// parsing stdout.
   std::string port_file;
   std::string sql;   // --smoke's test query
+  /// Record spans for every served request; write Chrome trace-event JSON
+  /// here at shutdown. Served spans carry the client's trace ids, so this
+  /// file merges with client-side exports (tools/trace_merge.py) into one
+  /// stitched distributed trace.
+  std::string trace_out;
   bool smoke = false;
   bool help = false;
   ClientFlags client;
@@ -77,6 +84,11 @@ void PrintUsage() {
       "  --name=S         server name reported in the HELLO handshake\n"
       "  --port-file=PATH write the bound port here once listening (the\n"
       "                   readiness hook for scripts using --port=0)\n"
+      "  --trace=FILE     record spans for every served request; write\n"
+      "                   Chrome trace-event JSON to FILE at shutdown.\n"
+      "                   Spans keep the submitting client's trace ids, so\n"
+      "                   tools/trace_merge.py can stitch this file with\n"
+      "                   client-side exports into one distributed trace\n"
       "  --smoke          in-process self-test: serve on an ephemeral port,\n"
       "                   run two concurrent clients over real sockets\n"
       "                   (requires --sql), verify identical answers and a\n"
@@ -101,6 +113,7 @@ Result<Args> ParseArgs(int argc, char** argv) {
     if (ParseFlagValue(a, "--name", &args.name)) continue;
     if (ParseFlagValue(a, "--port-file", &args.port_file)) continue;
     if (ParseFlagValue(a, "--sql", &args.sql)) continue;
+    if (ParseFlagValue(a, "--trace", &args.trace_out)) continue;
     std::string number;
     if (ParseFlagValue(a, "--port", &number)) {
       args.port = std::atoi(number.c_str());
@@ -195,6 +208,7 @@ int Serve(const Args& args) {
     return 1;
   }
   QueryService service(Mediator(std::move(catalog).value()), *options);
+  if (!args.trace_out.empty()) Tracer::Global().Enable();
 
   g_listener_fd.store(listener->fd());
   std::signal(SIGINT, HandleSignal);
@@ -232,6 +246,16 @@ int Serve(const Args& args) {
   service.Shutdown();
   connections.ShutdownAll();
   for (std::thread& t : threads) t.join();
+  if (!args.trace_out.empty()) {
+    const std::vector<SpanRecord> spans = Tracer::Global().Drain();
+    const Status written = WriteChromeTrace(spans, args.trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: trace: %zu spans -> %s\n", args.name.c_str(),
+                spans.size(), args.trace_out.c_str());
+  }
   return 0;
 }
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Merge per-process Chrome trace exports into one distributed trace file.
+
+Each fusion process (fusionq, fusionqd, a source daemon) exports its own
+Chrome trace-event JSON with pid=1 and timestamps on its own steady-clock
+epoch. This tool stitches N such files into one viewable trace:
+
+  * every input file becomes its own pid (1..N), with a process_name
+    metadata event naming it after the file;
+  * --align shifts each file's timestamps so its earliest span starts at 0
+    (per-process epochs are not comparable across machines; alignment makes
+    the merged view readable, not clock-accurate);
+  * the distributed span ids recorded in each event's args (trace_id /
+    span_id / parent_id) are preserved verbatim — they are what actually
+    stitches the processes together, and --check verifies them: every file
+    must share at least one common trace_id, and span ids must be unique
+    across the whole merge.
+
+Usage:
+  trace_merge.py --out merged.json [--align] [--check] client.json daemon.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    return [e for e in events if isinstance(e, dict)]
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="merge per-process Chrome traces into one file")
+    parser.add_argument("inputs", nargs="+", help="Chrome trace JSON files")
+    parser.add_argument("--out", required=True, help="merged output file")
+    parser.add_argument("--align", action="store_true",
+                        help="shift each file so its first span starts at 0")
+    parser.add_argument("--check", action="store_true",
+                        help="verify one shared trace id and unique span ids")
+    args = parser.parse_args()
+
+    merged = []
+    trace_ids_per_file = []
+    span_ids = {}
+    for pid, path in enumerate(args.inputs, start=1):
+        events = load_events(path)
+        spans = [e for e in events if e.get("ph") == "X"]
+        base = min((e.get("ts", 0.0) for e in spans), default=0.0)
+        merged.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": os.path.basename(path)},
+        })
+        file_trace_ids = set()
+        for event in events:
+            event = dict(event)
+            event["pid"] = pid
+            if args.align and "ts" in event:
+                event["ts"] = event["ts"] - base
+            trace_args = event.get("args", {})
+            if "trace_id" in trace_args:
+                file_trace_ids.add(trace_args["trace_id"])
+            if "span_id" in trace_args:
+                span_id = trace_args["span_id"]
+                if span_id in span_ids and span_ids[span_id] != path:
+                    print(f"error: span id {span_id} appears in both "
+                          f"{span_ids[span_id]} and {path}", file=sys.stderr)
+                    if args.check:
+                        return 1
+                span_ids[span_id] = path
+            merged.append(event)
+        trace_ids_per_file.append((path, file_trace_ids))
+
+    if args.check:
+        traced = [(p, ids) for p, ids in trace_ids_per_file if ids]
+        if len(traced) >= 2:
+            common = set.intersection(*(ids for _, ids in traced))
+            if not common:
+                print("error: no trace id is shared by every traced file",
+                      file=sys.stderr)
+                return 1
+            print(f"check: ok ({len(common)} shared trace id(s), "
+                  f"{len(span_ids)} unique span ids)")
+        else:
+            print("check: fewer than two files carry trace ids; "
+                  "nothing to stitch", file=sys.stderr)
+            return 1
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump({"traceEvents": merged, "displayTimeUnit": "ms"}, f)
+        f.write("\n")
+    total = sum(1 for e in merged if e.get("ph") == "X")
+    print(f"merged {total} spans from {len(args.inputs)} file(s) "
+          f"-> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
