@@ -26,7 +26,7 @@
 //               [--universe=N] [--sources=N] [--conditions=N] [--pool=N]
 //               [--zipf=T] [--overlap=F] [--shared=F] [--churn-every=N]
 //               [--oracle-sample=F] [--workers=N] [--max-queue=N]
-//               [--out=PATH]
+//               [--chaos-profile=off|light|heavy] [--out=PATH]
 #include <sys/socket.h>
 
 #include <algorithm>
@@ -53,6 +53,7 @@
 #include "mediator/service.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "protocol/chaos.h"
 #include "protocol/socket.h"
 
 namespace fusion {
@@ -62,7 +63,12 @@ namespace {
 // v2: latency percentiles come from HistogramSnapshot::Quantile (the same
 // log-bucket math the STATS exposition serves), and a "tenants" section
 // carries the server-side per-tenant SLO view sampled over the wire.
-constexpr int kBenchSchemaVersion = 2;
+// v3: a "chaos" section records the fault-injection profile the run was
+// served under (seeded socket-level drops/torn writes at the service edge)
+// plus the recovery counters — client reconnects, idempotent SUBMIT replays
+// — and the oracle divergence count under that abuse, which
+// tools/bench_diff.py gates at zero.
+constexpr int kBenchSchemaVersion = 3;
 
 struct Args {
   size_t tenants = 4;
@@ -74,6 +80,10 @@ struct Args {
   double oracle_sample = 0.25;
   int workers = 8;
   int max_queue = 256;
+  /// Named fault-injection profile at the serving edge ("off", "light",
+  /// "heavy"); the resolved rates land in `chaos`.
+  std::string chaos_profile = "off";
+  ChaosPolicy chaos;
   /// Output: a *.json path writes exactly there; a directory writes
   /// BENCH_<date>.json inside it; empty disables the file.
   std::string out = ".";
@@ -104,6 +114,11 @@ void PrintUsage() {
       "                     serial uncached mediator (default 0.25)\n"
       "  --workers=N        service executor workers (default 8)\n"
       "  --max-queue=N      service admission bound (default 256)\n"
+      "  --chaos-profile=P  seeded fault injection at the serving edge:\n"
+      "                     off (default), light (2%% drops, 1%% torn\n"
+      "                     writes), heavy (5%% drops, 3%% torn writes);\n"
+      "                     the differential oracle still gates at zero\n"
+      "                     divergences\n"
       "  --out=PATH         BENCH json: a .json file path, a directory for\n"
       "                     BENCH_<date>.json, or '' to disable\n"
       "                     (default .)\n");
@@ -208,6 +223,22 @@ Result<Args> ParseArgs(int argc, char** argv) {
       }
       continue;
     }
+    if (ParseFlagValue(a, "--chaos-profile", &v)) {
+      args.chaos_profile = v;
+      if (v == "off") {
+        args.chaos = ChaosPolicy{};
+      } else if (v == "light") {
+        args.chaos.drop_rate = 0.02;
+        args.chaos.torn_write_rate = 0.01;
+      } else if (v == "heavy") {
+        args.chaos.drop_rate = 0.05;
+        args.chaos.torn_write_rate = 0.03;
+      } else {
+        return Status::InvalidArgument(
+            "--chaos-profile must be off, light, or heavy");
+      }
+      continue;
+    }
     if (ParseFlagValue(a, "--out", &v)) {
       args.out = v;
       continue;
@@ -219,6 +250,9 @@ Result<Args> ParseArgs(int argc, char** argv) {
     return Status::InvalidArgument(std::string("unknown argument: ") + a);
   }
   if (!args.seed_given) args.workload.seed = GlobalSeed(args.workload.seed);
+  // The fault schedule derives from the same root seed as the workload:
+  // one --seed replays the queries *and* the faults they absorbed.
+  args.chaos.seed = MixSeed(args.workload.seed, 0xC4A05);
   return args;
 }
 
@@ -243,6 +277,8 @@ struct TenantResult {
   /// request. Complete answers only; incomplete ones are a sound subset by
   /// design and are counted, not compared.
   std::vector<std::pair<size_t, std::string>> samples;
+  /// Transparent redials this tenant's client performed (chaos recovery).
+  size_t reconnects = 0;
   std::string fatal;  // connect failure etc.
 };
 
@@ -339,16 +375,36 @@ int RunHarness(const Args& args) {
   TcpListener listener = std::move(listener_or).value();
   const std::string endpoint = "127.0.0.1:" + std::to_string(listener.port());
 
+  // Chaos at the serving edge: every accepted connection shares one seeded
+  // decision stream, exactly as fusionqd's --chaos-* flags wire it. The
+  // counter deltas (not absolutes — the registry is process-global) become
+  // the JSON's injected-fault tally.
+  std::shared_ptr<ChaosDecider> chaos;
+  if (args.chaos.enabled()) {
+    chaos = std::make_shared<ChaosDecider>(args.chaos);
+    std::printf(
+        "bench_macro: chaos profile '%s' (drop %.3f, torn %.3f, seed "
+        "%llu)\n",
+        args.chaos_profile.c_str(), args.chaos.drop_rate,
+        args.chaos.torn_write_rate,
+        static_cast<unsigned long long>(args.chaos.seed));
+  }
+  const ChaosCounts chaos_before = GlobalChaosCounts();
+
   std::mutex connection_mutex;
   std::vector<std::thread> connection_threads;
   std::thread acceptor([&] {
     for (;;) {
       Result<MessageSocket> accepted = listener.Accept();
       if (!accepted.ok()) return;  // listener closed: harness shutdown
+      if (ChaosRefuseAccept(chaos.get())) {
+        accepted->Close();
+        continue;
+      }
       std::lock_guard<std::mutex> lock(connection_mutex);
       connection_threads.emplace_back(
-          [&service, socket = std::move(accepted).value()]() mutable {
-            service.ServeConnection(std::move(socket));
+          [&service, chaos, socket = std::move(accepted).value()]() mutable {
+            service.ServeConnection(ChaosSocket(std::move(socket), chaos));
           });
     }
   });
@@ -388,10 +444,18 @@ int RunHarness(const Args& args) {
   for (size_t t = 0; t < args.tenants; ++t) {
     tenants.emplace_back([&, t] {
       TenantResult& result = results[t];
-      auto client_or = Client::Builder()
-                           .Connect(endpoint)
-                           .ClientId(StrFormat("tenant-%zu", t))
-                           .Build();
+      Client::Builder builder;
+      builder.Connect(endpoint).ClientId(StrFormat("tenant-%zu", t));
+      if (args.chaos.enabled()) {
+        // Under injected faults the default redial ladder is too short for
+        // unlucky streaks; errors here would read as serving bugs.
+        RetryPolicy reconnect;
+        reconnect.max_attempts = 12;
+        reconnect.initial_backoff_seconds = 0.002;
+        reconnect.max_backoff_seconds = 0.05;
+        builder.Reconnect(reconnect);
+      }
+      auto client_or = builder.Build();
       if (!client_or.ok()) {
         result.fatal = client_or.status().ToString();
         return;
@@ -443,6 +507,7 @@ int RunHarness(const Args& args) {
           churn_invalidations.fetch_add(1, std::memory_order_relaxed);
         }
       }
+      result.reconnects = client.reconnects();
     });
   }
   for (std::thread& tenant : tenants) tenant.join();
@@ -472,6 +537,12 @@ int RunHarness(const Args& args) {
     std::lock_guard<std::mutex> lock(connection_mutex);
     for (std::thread& connection : connection_threads) connection.join();
   }
+  const ChaosCounts chaos_after = GlobalChaosCounts();
+  const uint64_t chaos_drops = chaos_after.drops - chaos_before.drops;
+  const uint64_t chaos_torn =
+      chaos_after.torn_writes - chaos_before.torn_writes;
+  const uint64_t chaos_refusals =
+      chaos_after.refusals - chaos_before.refusals;
 
   for (size_t t = 0; t < results.size(); ++t) {
     if (!results[t].fatal.empty()) {
@@ -493,6 +564,7 @@ int RunHarness(const Args& args) {
     total.cache_misses += r.cache_misses;
     total.items_sent += r.items_sent;
     total.items_received += r.items_received;
+    total.reconnects += r.reconnects;
     if (r.max_latency_ms > max_latency) max_latency = r.max_latency_ms;
   }
   if (total.ok == 0) {
@@ -531,6 +603,15 @@ int RunHarness(const Args& args) {
       total.cost, total.cost / static_cast<double>(total.ok),
       total.items_sent, total.items_received, total.shed, total.errors,
       total.incomplete);
+  if (args.chaos.enabled()) {
+    std::printf(
+        "bench_macro: chaos: %llu drops, %llu torn writes, %llu refusals "
+        "injected; %zu client reconnects, %zu idempotent replays\n",
+        static_cast<unsigned long long>(chaos_drops),
+        static_cast<unsigned long long>(chaos_torn),
+        static_cast<unsigned long long>(chaos_refusals), total.reconnects,
+        service.idempotent_replays());
+  }
 
   // ---- Server-side SLO view ---------------------------------------------
   // The final STATS exposition is the service's own account of the run.
@@ -656,7 +737,8 @@ int RunHarness(const Args& args) {
         "    \"churn_every\": %zu,\n"
         "    \"oracle_sample\": %g,\n"
         "    \"workers\": %d,\n"
-        "    \"max_queue\": %d\n"
+        "    \"max_queue\": %d,\n"
+        "    \"chaos_profile\": \"%s\"\n"
         "  },\n",
         kBenchSchemaVersion, stamp,
         static_cast<unsigned long long>(args.workload.seed), args.tenants,
@@ -664,7 +746,8 @@ int RunHarness(const Args& args) {
         args.workload.num_sources, args.workload.num_conditions,
         workload.pool().size(), args.workload.zipf_theta,
         args.workload.condition_overlap, args.workload.shared_fraction,
-        args.churn_every, args.oracle_sample, args.workers, args.max_queue);
+        args.churn_every, args.oracle_sample, args.workers, args.max_queue,
+        JsonEscape(args.chaos_profile).c_str());
     json += StrFormat(
         "  \"metrics\": {\n"
         "    \"qps\": %.3f,\n"
@@ -690,6 +773,38 @@ int RunHarness(const Args& args) {
         cache.invalidations, churn_invalidations.load(), total.cost,
         total.cost / static_cast<double>(total.ok), total.items_sent,
         total.items_received, stats_samples.load());
+    // The chaos section pairs the injected-fault tally with the recovery
+    // counters and the divergence verdict under that abuse. In a federation
+    // of networked sources the failover counter is live too; this harness's
+    // in-process sources never fail over, so it reads 0 here.
+    json += StrFormat(
+        "  \"chaos\": {\n"
+        "    \"enabled\": %s,\n"
+        "    \"profile\": \"%s\",\n"
+        "    \"drop_rate\": %g,\n"
+        "    \"torn_write_rate\": %g,\n"
+        "    \"seed\": %llu,\n"
+        "    \"drops\": %llu,\n"
+        "    \"torn_writes\": %llu,\n"
+        "    \"refusals\": %llu,\n"
+        "    \"client_reconnects\": %zu,\n"
+        "    \"service_replays\": %zu,\n"
+        "    \"source_failovers\": %llu,\n"
+        "    \"divergences\": %zu\n"
+        "  },\n",
+        args.chaos.enabled() ? "true" : "false",
+        JsonEscape(args.chaos_profile).c_str(), args.chaos.drop_rate,
+        args.chaos.torn_write_rate,
+        static_cast<unsigned long long>(args.chaos.seed),
+        static_cast<unsigned long long>(chaos_drops),
+        static_cast<unsigned long long>(chaos_torn),
+        static_cast<unsigned long long>(chaos_refusals), total.reconnects,
+        service.idempotent_replays(),
+        static_cast<unsigned long long>(
+            MetricsRegistry::Global()
+                .counter(metrics::kSourceFailoversTotal)
+                .value()),
+        divergences);
     // Per-tenant SLO rows from the server's own STATS exposition — what
     // tools/bench_diff.py gates per-tenant p99 on.
     json += "  \"tenants\": {";

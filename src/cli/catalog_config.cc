@@ -6,6 +6,7 @@
 
 #include "common/file_util.h"
 #include "common/str_util.h"
+#include "protocol/remote_source.h"
 #include "relational/relation.h"
 #include "source/flaky_source.h"
 #include "source/simulated_source.h"
@@ -109,6 +110,13 @@ Status ApplyKeyValue(SourceSpecConfig& spec, const std::string& key,
     spec.flaky_seed = static_cast<uint64_t>(seed);
     return Status::Ok();
   }
+  if (key == "endpoint") {
+    if (value.find(':') == std::string::npos) {
+      return Status::ParseError("endpoint must be host:port, got " + value);
+    }
+    spec.endpoints.push_back(value);
+    return Status::Ok();
+  }
   return Status::ParseError("unknown key '" + key + "' in source section");
 }
 
@@ -163,17 +171,39 @@ Result<std::vector<SourceSpecConfig>> ParseCatalogConfig(
     return Status::ParseError("config defines no sources");
   }
   for (const SourceSpecConfig& spec : specs) {
-    if (spec.csv_path.empty()) {
-      return Status::ParseError("source '" + spec.name + "' has no csv path");
+    if (spec.csv_path.empty() && spec.endpoints.empty()) {
+      return Status::ParseError("source '" + spec.name +
+                                "' has no csv path (and no endpoints)");
+    }
+    if (!spec.csv_path.empty() && !spec.endpoints.empty()) {
+      return Status::ParseError(
+          "source '" + spec.name +
+          "': csv and endpoint are mutually exclusive (remote sources serve "
+          "their own data)");
     }
   }
   return specs;
 }
 
-Result<SourceCatalog> LoadCatalog(const std::vector<SourceSpecConfig>& specs,
-                                  const std::string& base_dir) {
-  SourceCatalog catalog;
-  for (const SourceSpecConfig& spec : specs) {
+Result<std::unique_ptr<SourceWrapper>> LoadSourceWrapper(
+    const SourceSpecConfig& spec, const std::string& base_dir) {
+  std::unique_ptr<SourceWrapper> source;
+  if (!spec.endpoints.empty()) {
+    // Remote source: the data (and its metering) lives behind the
+    // endpoints; failover across the replicas is RemoteSource's job.
+    auto remote = RemoteSource::ConnectTcp(spec.endpoints);
+    if (!remote.ok()) {
+      return Status(remote.status().code(),
+                    "source '" + spec.name +
+                        "': " + remote.status().message());
+    }
+    if (remote.value()->name() != spec.name) {
+      return Status::InvalidArgument(
+          "source '" + spec.name + "': endpoints serve source '" +
+          remote.value()->name() + "'");
+    }
+    source = std::move(remote).value();
+  } else {
     std::string path = spec.csv_path;
     if (!path.empty() && path.front() != '/' && !base_dir.empty()) {
       path = base_dir + "/" + path;
@@ -185,23 +215,31 @@ Result<SourceCatalog> LoadCatalog(const std::vector<SourceSpecConfig>& specs,
                     "source '" + spec.name + "' (" + path +
                         "): " + relation.status().message());
     }
-    auto source = std::make_unique<SimulatedSource>(
+    source = std::make_unique<SimulatedSource>(
         spec.name, std::move(relation).value(), spec.capabilities,
         spec.network);
-    if (spec.outage || spec.flaky_probability > 0.0) {
-      FlakySource::Options flaky;
-      flaky.failure_probability = spec.flaky_probability;
-      flaky.seed = spec.flaky_seed;
-      if (spec.outage) {
-        // The source is down for good: every call, from the first on.
-        flaky.outage_start = 0;
-        flaky.outage_end = std::numeric_limits<size_t>::max();
-      }
-      FUSION_RETURN_IF_ERROR(catalog.Add(
-          std::make_unique<FlakySource>(std::move(source), flaky)));
-    } else {
-      FUSION_RETURN_IF_ERROR(catalog.Add(std::move(source)));
+  }
+  if (spec.outage || spec.flaky_probability > 0.0) {
+    FlakySource::Options flaky;
+    flaky.failure_probability = spec.flaky_probability;
+    flaky.seed = spec.flaky_seed;
+    if (spec.outage) {
+      // The source is down for good: every call, from the first on.
+      flaky.outage_start = 0;
+      flaky.outage_end = std::numeric_limits<size_t>::max();
     }
+    source = std::make_unique<FlakySource>(std::move(source), flaky);
+  }
+  return source;
+}
+
+Result<SourceCatalog> LoadCatalog(const std::vector<SourceSpecConfig>& specs,
+                                  const std::string& base_dir) {
+  SourceCatalog catalog;
+  for (const SourceSpecConfig& spec : specs) {
+    FUSION_ASSIGN_OR_RETURN(std::unique_ptr<SourceWrapper> source,
+                            LoadSourceWrapper(spec, base_dir));
+    FUSION_RETURN_IF_ERROR(catalog.Add(std::move(source)));
   }
   return catalog;
 }

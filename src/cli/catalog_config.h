@@ -2,12 +2,14 @@
 #define FUSION_CLI_CATALOG_CONFIG_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "source/capabilities.h"
 #include "source/catalog.h"
+#include "source/source_wrapper.h"
 
 namespace fusion {
 
@@ -15,6 +17,11 @@ namespace fusion {
 struct SourceSpecConfig {
   std::string name;
   std::string csv_path;  // relative to the config file's directory
+  /// Remote mode: FUSIONP/1 replica endpoints ("host:port"), repeatable —
+  /// the loaded source speaks the wire protocol with failover across them
+  /// (RemoteSource::ConnectTcp) instead of simulating locally. Mutually
+  /// exclusive with csv (the data lives behind the endpoints).
+  std::vector<std::string> endpoints;
   Capabilities capabilities;
   NetworkProfile network;
   /// `outage = yes` wraps the source so every call fails with kUnavailable
@@ -43,14 +50,28 @@ struct SourceSpecConfig {
 ///   flaky = 0                # transient failure probability in [0, 1]
 ///   flaky_seed = 1           # RNG seed for the failure stream
 ///
+/// A *remote* source replaces `csv` with one or more replica endpoints
+/// (fusionsd daemons serving the same data; failover rotates across them):
+///
+///   [source R2]
+///   endpoint = 127.0.0.1:9201
+///   endpoint = 127.0.0.1:9202
+///
 /// Unknown keys are errors; omitted cost keys keep NetworkProfile defaults.
 /// Lines starting with '#' (or blank) are ignored; inline `# comments` after
 /// values are stripped.
 Result<std::vector<SourceSpecConfig>> ParseCatalogConfig(
     const std::string& text);
 
-/// Builds a live catalog from a parsed config: reads each CSV (resolved
-/// against `base_dir` unless absolute) and wraps it in a SimulatedSource.
+/// Builds one live source from its spec: a SimulatedSource over the CSV
+/// (resolved against `base_dir` unless absolute), optionally FlakySource-
+/// wrapped (outage/flaky keys) — or a RemoteSource dialing the spec's
+/// endpoints. fusionsd uses this to serve exactly the source a catalog
+/// describes.
+Result<std::unique_ptr<SourceWrapper>> LoadSourceWrapper(
+    const SourceSpecConfig& spec, const std::string& base_dir);
+
+/// Builds a live catalog from a parsed config via LoadSourceWrapper.
 Result<SourceCatalog> LoadCatalog(const std::vector<SourceSpecConfig>& specs,
                                   const std::string& base_dir);
 

@@ -1,8 +1,17 @@
 #include "mediator/client.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "cli/catalog_config.h"
+#include "common/rng.h"
 #include "common/str_util.h"
 #include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/classifier.h"
 #include "query/parser.h"
@@ -23,7 +32,85 @@ const char* CacheProvenanceName(char provenance) {
   }
 }
 
+void SleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds));
+}
+
+/// Transport-level failures a redial can cure. Protocol-level failures
+/// (kParseError from a malformed frame, an ERROR response) are final — a
+/// fresh connection would get the same answer.
+bool IsTransportError(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kInternal;
+}
+
+/// HELLO-phase failures worth a redial: every transport error plus the
+/// kParseError a torn HELLO reply produces (a fresh connection gets a whole
+/// frame; a genuinely incompatible peer merely costs the bounded backoff
+/// schedule before the same error surfaces).
+bool IsHelloRetryable(const Status& status) {
+  return IsTransportError(status) ||
+         status.code() == StatusCode::kParseError;
+}
+
+/// Client-minted SUBMIT idempotency keys: unique per (process, mint) with
+/// overwhelming probability, deterministic under FUSION_SEED (the soak test
+/// replays a run byte-for-byte), and never 0 (0 = "no request-id" on the
+/// wire).
+uint64_t MintRequestId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t seed =
+      GlobalSeed(0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(getpid()));
+  const uint64_t id = MixSeed(MixSeed(seed, 0x1de9u), n);
+  return id == 0 ? 1 : id;
+}
+
+struct HelloResult {
+  MessageSocket socket;
+  ClientResponse response;
+};
+
+/// Dials `endpoint` and runs the FUSIONQ/1 HELLO handshake — the one
+/// connection-establishment path, shared by Builder::Build and the
+/// transparent-reconnect redial so a reconnected client renegotiates
+/// features exactly like a fresh one.
+Result<HelloResult> DialAndHello(const std::string& endpoint,
+                                 const std::string& client_id) {
+  HelloResult out;
+  FUSION_ASSIGN_OR_RETURN(out.socket, DialTcp(endpoint));
+  ClientRequest hello;
+  hello.kind = ClientRequest::Kind::kHello;
+  hello.client_id = client_id;
+  hello.features = ClientProtocolFeatures();
+  FUSION_RETURN_IF_ERROR(out.socket.Send(SerializeClientRequest(hello)));
+  FUSION_ASSIGN_OR_RETURN(const std::string reply, out.socket.Receive());
+  FUSION_ASSIGN_OR_RETURN(out.response, ParseClientResponse(reply));
+  if (!out.response.ok) {
+    return Status(out.response.error_code,
+                  "hello: " + out.response.error_message);
+  }
+  return out;
+}
+
 }  // namespace
+
+void Client::AdoptServerFeatures(Remote& remote,
+                                 const ClientResponse& response) {
+  remote.server_traces = false;
+  remote.server_stats = false;
+  remote.server_explain = false;
+  remote.server_idempotency = false;
+  for (const std::string& feature : response.features) {
+    if (feature == kFeatureTrace) remote.server_traces = true;
+    if (feature == kFeatureStats) remote.server_stats = true;
+    if (feature == kFeatureExplain) remote.server_explain = true;
+    if (feature == kFeatureIdempotency) remote.server_idempotency = true;
+  }
+}
 
 std::vector<std::string> RenderExplainLines(const QueryAnswer& answer,
                                             const PlanPrintNames& names) {
@@ -73,28 +160,29 @@ Result<Client> Client::Builder::Build() {
   Client client;
   if (!endpoint_.empty()) {
     auto remote = std::make_unique<Remote>();
-    FUSION_ASSIGN_OR_RETURN(remote->socket, DialTcp(endpoint_));
+    remote->endpoint = endpoint_;
     remote->client_id = client_id_;
+    remote->reconnect = reconnect_;
     // HELLO handshake: validates that the peer speaks FUSIONQ/1 before the
     // caller trusts the connection, and names the server for diagnostics.
-    ClientRequest hello;
-    hello.kind = ClientRequest::Kind::kHello;
-    hello.client_id = client_id_;
-    hello.features = ClientProtocolFeatures();
-    FUSION_RETURN_IF_ERROR(remote->socket.Send(SerializeClientRequest(hello)));
-    FUSION_ASSIGN_OR_RETURN(const std::string reply, remote->socket.Receive());
-    FUSION_ASSIGN_OR_RETURN(const ClientResponse response,
-                            ParseClientResponse(reply));
-    if (!response.ok) {
-      return Status(response.error_code, "hello: " + response.error_message);
+    // Dialing retries transient failures under the reconnect policy — a
+    // daemon mid-restart (or a chaos accept-refusal) costs backoff, not a
+    // build failure.
+    const int attempts = std::max(1, reconnect_.max_attempts);
+    Result<HelloResult> hello = Status::Unavailable("never dialed");
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+      if (attempt > 1) {
+        SleepSeconds(reconnect_.BackoffSeconds(0, attempt - 1));
+      }
+      hello = DialAndHello(endpoint_, client_id_);
+      if (hello.ok() || !IsHelloRetryable(hello.status())) break;
     }
+    FUSION_RETURN_IF_ERROR(hello.status());
+    remote->socket = std::move(hello.value().socket);
+    const ClientResponse& response = hello.value().response;
     client.server_ = response.server;
     client.server_features_ = response.features;
-    for (const std::string& feature : response.features) {
-      if (feature == kFeatureTrace) remote->server_traces = true;
-      if (feature == kFeatureStats) remote->server_stats = true;
-      if (feature == kFeatureExplain) remote->server_explain = true;
-    }
+    AdoptServerFeatures(*remote, response);
     client.remote_ = std::move(remote);
     return client;
   }
@@ -109,6 +197,90 @@ Result<Client> Client::Builder::Build() {
   client.session_ = std::make_unique<QuerySession>(
       Mediator(std::move(catalog)), options_);
   return client;
+}
+
+RetryPolicy Client::DefaultReconnectPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_seconds = 0.01;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.25;
+  return policy;
+}
+
+size_t Client::reconnects() const {
+  if (remote_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(remote_->mutex);
+  return remote_->reconnects;
+}
+
+Status Client::RemoteReconnectLocked() {
+  Remote& remote = *remote_;
+  remote.socket.Close();
+  FUSION_ASSIGN_OR_RETURN(HelloResult hello,
+                          DialAndHello(remote.endpoint, remote.client_id));
+  remote.socket = std::move(hello.socket);
+  server_ = hello.response.server;
+  server_features_ = hello.response.features;
+  AdoptServerFeatures(remote, hello.response);
+  ++remote.reconnects;
+  static Counter& reconnects =
+      MetricsRegistry::Global().counter(metrics::kClientReconnectsTotal);
+  reconnects.Increment();
+  return Status::Ok();
+}
+
+Result<ClientResponse> Client::RemoteExchangeLocked(
+    const ClientRequest& request) {
+  Remote& remote = *remote_;
+  // When is a *resend* safe? HELLO/STATUS/STATS/CANCEL are read-only or
+  // idempotent by construction. SUBMIT executes a query: resending one the
+  // server may already have received risks a second execution (and second
+  // metering) — only the request-id dedup makes that replay safe, so
+  // without negotiated idempotency a SUBMIT gets redial-before-send at
+  // most, never send-again-after-send.
+  const bool resend_safe =
+      request.kind != ClientRequest::Kind::kSubmit ||
+      (remote.server_idempotency && request.request_id != 0);
+  const std::string wire = SerializeClientRequest(request);
+  const int attempts = std::max(1, remote.reconnect.max_attempts);
+  Status last_error = Status::Unavailable("connection lost");
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      SleepSeconds(remote.reconnect.BackoffSeconds(0, attempt - 1));
+      const Status redial = RemoteReconnectLocked();
+      if (!redial.ok()) {
+        if (!IsHelloRetryable(redial)) return redial;
+        last_error = redial;
+        continue;
+      }
+    }
+    bool frame_sent = false;
+    bool transport_failure = false;
+    const Status sent = remote.socket.Send(wire);
+    if (sent.ok()) {
+      frame_sent = true;
+      Result<std::string> reply = remote.socket.Receive();
+      if (reply.ok()) return ParseClientResponse(reply.value());
+      // A failed Receive is always a transport event — including the
+      // kParseError a torn response frame produces ("connection closed
+      // mid-message"): a redial gets a fresh, whole frame. Only
+      // ParseClientResponse on a *complete* frame is a protocol error.
+      last_error = reply.status();
+      transport_failure = true;
+    } else {
+      last_error = sent;
+      transport_failure = IsTransportError(sent);
+    }
+    if (!transport_failure) return last_error;
+    // Transport failure: this connection is dead. Close it so the next
+    // attempt redials; stop retrying when the frame may have been
+    // delivered and a resend is not replay-safe.
+    remote.socket.Close();
+    if (frame_sent && !resend_safe) break;
+  }
+  return Status(last_error.code(),
+                last_error.message() + " (endpoint " + remote.endpoint + ")");
 }
 
 ClientAnswer SummarizeAnswer(QueryAnswer answer) {
@@ -159,6 +331,7 @@ Result<ClientAnswer> Client::RemoteQuery(const std::string& sql,
   // is still minted and forwarded, so the daemon's trace has a stable root
   // id even when the client keeps no spans itself.
   ScopedSpan span(SpanCategory::kRpc, "client.query");
+  std::lock_guard<std::mutex> lock(remote_->mutex);
   ClientRequest request;
   request.kind = ClientRequest::Kind::kSubmit;
   request.client_id = remote_->client_id;
@@ -170,11 +343,15 @@ Result<ClientAnswer> Client::RemoteQuery(const std::string& sql,
     request.trace_id = context.valid() ? context.trace_id : Tracer::MintId();
     request.parent_span = context.span_id;
   }
-  std::lock_guard<std::mutex> lock(remote_->mutex);
-  FUSION_RETURN_IF_ERROR(remote_->socket.Send(SerializeClientRequest(request)));
-  FUSION_ASSIGN_OR_RETURN(const std::string reply, remote_->socket.Receive());
+  if (remote_->server_idempotency) {
+    // The idempotency key that makes this SUBMIT replay-safe: if the
+    // connection dies mid-exchange, RemoteExchangeLocked reconnects and
+    // re-sends the same request-id, and the service's dedup table hands
+    // back the original execution's outcome.
+    request.request_id = MintRequestId();
+  }
   FUSION_ASSIGN_OR_RETURN(const ClientResponse response,
-                          ParseClientResponse(reply));
+                          RemoteExchangeLocked(request));
   if (!response.ok) {
     return Status(response.error_code, response.error_message);
   }
@@ -195,9 +372,12 @@ Result<ClientAnswer> Client::RemoteQuery(const std::string& sql,
 
 Result<ClientAnswer> Client::QuerySqlExplained(const std::string& sql) {
   if (remote_ != nullptr) {
-    if (!remote_->server_explain) {
-      return Status::Unsupported(
-          "server '" + server_ + "' does not speak the explain feature");
+    {
+      std::lock_guard<std::mutex> lock(remote_->mutex);
+      if (!remote_->server_explain) {
+        return Status::Unsupported(
+            "server '" + server_ + "' does not speak the explain feature");
+      }
     }
     return RemoteQuery(sql, CallControls{}, /*explain=*/true);
   }
@@ -223,6 +403,7 @@ Result<std::string> Client::Stats() {
     // layer, hence no tenant SLO table.
     return RenderStatsText(MetricsRegistry::Global().Snapshot(), {});
   }
+  std::lock_guard<std::mutex> lock(remote_->mutex);
   if (!remote_->server_stats) {
     return Status::Unsupported(
         "server '" + server_ + "' does not speak the stats feature");
@@ -230,11 +411,8 @@ Result<std::string> Client::Stats() {
   ClientRequest request;
   request.kind = ClientRequest::Kind::kStats;
   request.client_id = remote_->client_id;
-  std::lock_guard<std::mutex> lock(remote_->mutex);
-  FUSION_RETURN_IF_ERROR(remote_->socket.Send(SerializeClientRequest(request)));
-  FUSION_ASSIGN_OR_RETURN(const std::string reply, remote_->socket.Receive());
   FUSION_ASSIGN_OR_RETURN(const ClientResponse response,
-                          ParseClientResponse(reply));
+                          RemoteExchangeLocked(request));
   if (!response.ok) {
     return Status(response.error_code, response.error_message);
   }

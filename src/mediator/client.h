@@ -115,6 +115,15 @@ class Client {
       client_id_ = id;
       return *this;
     }
+    /// Connected mode's transparent-reconnect policy: how many dial/exchange
+    /// attempts a lost connection gets, and the capped exponential backoff
+    /// between them (RetryPolicy::BackoffSeconds — the same schedule shape
+    /// PR 3's source-call retries use). max_attempts <= 1 disables
+    /// reconnection: the first transport error surfaces to the caller.
+    Builder& Reconnect(const RetryPolicy& policy) {
+      reconnect_ = policy;
+      return *this;
+    }
     /// Replaces the whole options struct (then refine with the setters).
     Builder& Options(const ClientOptions& options) {
       options_ = options;
@@ -150,7 +159,13 @@ class Client {
     std::string endpoint_;
     std::string client_id_ = "anon";
     ClientOptions options_;
+    RetryPolicy reconnect_ = DefaultReconnectPolicy();
   };
+
+  /// The default connected-mode reconnect schedule: 6 attempts, 10 ms
+  /// doubling to a 250 ms cap — a dropped connection is usually back within
+  /// a few hundred milliseconds, and a dead daemon fails in under a second.
+  static RetryPolicy DefaultReconnectPolicy();
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
@@ -181,6 +196,9 @@ class Client {
 
   /// True when this client speaks to a fusionqd instead of running locally.
   bool connected() const { return remote_ != nullptr; }
+  /// Times this client re-dialed and re-handshook after losing its
+  /// connection (0 in embedded mode and on a healthy network).
+  size_t reconnects() const;
   /// The server name from the HELLO handshake (empty in embedded mode).
   const std::string& server() const { return server_; }
   /// Feature tokens the server advertised on HELLO (empty in embedded mode
@@ -199,12 +217,19 @@ class Client {
   struct Remote {
     std::mutex mutex;  // one request/response exchange at a time
     MessageSocket socket;
+    std::string endpoint;  // for redialing after a transport failure
     std::string client_id;
+    RetryPolicy reconnect;
     /// Negotiated from the HELLO response: optional fields/verbs are only
     /// sent to servers that advertised the matching feature token.
     bool server_traces = false;
     bool server_stats = false;
     bool server_explain = false;
+    /// Server keeps a SUBMIT request-id dedup table: a re-SUBMIT after a
+    /// reconnect replays the original outcome instead of re-executing, so
+    /// transparent reconnect is safe for queries too (not just reads).
+    bool server_idempotency = false;
+    size_t reconnects = 0;  // guarded by mutex
   };
 
   Client() = default;
@@ -212,6 +237,27 @@ class Client {
   Result<ClientAnswer> RemoteQuery(const std::string& sql,
                                    const CallControls& controls,
                                    bool explain = false);
+
+  /// One request/response over the remote connection, with transparent
+  /// redial + re-HELLO + resend on transport failure (capped exponential
+  /// backoff per Remote::reconnect). A SUBMIT is only ever *resent* when
+  /// the server negotiated idempotency and the request carries a
+  /// request-id — otherwise a lost connection after the frame may have
+  /// shipped surfaces as the transport error (at-most-once beats a
+  /// possible double execution). Requires Remote::mutex held (callers hold
+  /// it across building the request too, because reconnection renegotiates
+  /// the feature flags the request depends on).
+  Result<ClientResponse> RemoteExchangeLocked(const ClientRequest& request);
+
+  /// Redials Remote::endpoint and re-runs the HELLO handshake, refreshing
+  /// the negotiated feature set. Requires Remote::mutex held.
+  Status RemoteReconnectLocked();
+
+  /// Applies a HELLO response's advertised feature tokens to the
+  /// connection's negotiated-capability flags (clearing stale ones first —
+  /// a restarted daemon may speak fewer features than its predecessor).
+  static void AdoptServerFeatures(Remote& remote,
+                                  const ClientResponse& response);
 
   std::unique_ptr<QuerySession> session_;  // embedded mode
   std::unique_ptr<Remote> remote_;         // connected mode

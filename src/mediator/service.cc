@@ -75,6 +75,30 @@ Result<uint64_t> QueryService::Submit(const std::string& client_id,
     if (shutting_down_) {
       return Status::Unavailable("service is shutting down");
     }
+    if (submit_options.request_id != 0) {
+      const auto key = std::make_pair(client_id, submit_options.request_id);
+      const auto hit = dedup_.find(key);
+      if (hit != dedup_.end()) {
+        // Idempotent replay: a client that lost its connection after (or
+        // while) submitting re-sends the same request-id; hand back the
+        // original ticket so Wait resolves to the first execution's outcome
+        // — nothing runs twice, nothing is metered twice.
+        const RequestPtr& original = hit->second;
+        ++idempotent_replays_;
+        static Counter& replays = MetricsRegistry::Global().counter(
+            metrics::kIdempotentReplaysTotal);
+        replays.Increment();
+        // Re-register the ticket if it aged out of by_ticket_, so the
+        // replaying caller's Wait/Poll still resolve. (A finished request
+        // re-enters the retirement FIFO; double entries there are benign —
+        // the second eviction pass finds nothing to erase.)
+        if (by_ticket_.find(original->ticket) == by_ticket_.end()) {
+          by_ticket_[original->ticket] = original;
+          if (original->finished) retired_order_.push_back(original->ticket);
+        }
+        return original->ticket;
+      }
+    }
     if (queued_ >= options_.max_queue) {
       ++shedded_;
       static Counter& shed =
@@ -93,6 +117,15 @@ Result<uint64_t> QueryService::Submit(const std::string& client_id,
     request->parent_span = submit_options.parent_span;
     request->admitted_at = std::chrono::steady_clock::now();
     by_ticket_[request->ticket] = request;
+    if (submit_options.request_id != 0) {
+      const auto key = std::make_pair(client_id, submit_options.request_id);
+      dedup_[key] = request;
+      dedup_order_.push_back(key);
+      while (dedup_order_.size() > options_.max_dedup) {
+        dedup_.erase(dedup_order_.front());
+        dedup_order_.pop_front();
+      }
+    }
     std::deque<RequestPtr>& queue = pending_[client_id];
     if (queue.empty()) rotation_.push_back(client_id);
     queue.push_back(request);
@@ -233,6 +266,11 @@ size_t QueryService::shedded() const {
   return shedded_;
 }
 
+size_t QueryService::idempotent_replays() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return idempotent_replays_;
+}
+
 void QueryService::RecordSlo(const Request& request,
                              const Result<ClientAnswer>& outcome) {
   const double latency_ms =
@@ -272,6 +310,7 @@ ClientResponse QueryService::HandleParsed(const ClientRequest& request) {
       SubmitOptions submit_options;
       submit_options.trace_id = request.trace_id;
       submit_options.parent_span = request.parent_span;
+      submit_options.request_id = request.request_id;
       const Result<uint64_t> ticket =
           Submit(client_id, request.sql, submit_options);
       if (!ticket.ok()) return ClientErrorResponse(ticket.status());
@@ -358,10 +397,18 @@ std::string QueryService::Handle(const std::string& request_text) {
   return SerializeClientResponse(HandleParsed(*request));
 }
 
-void QueryService::ServeConnection(MessageSocket socket) {
+void QueryService::ServeConnection(ChaosSocket socket) {
+  if (socket.valid()) {
+    socket.inner().SetReceiveLimit(8 * kMaxClientProtocolLineBytes);
+    if (options_.stall_deadline_seconds > 0.0) {
+      // Best-effort: a failed setsockopt leaves the connection unguarded,
+      // not unserved.
+      (void)socket.inner().SetStallDeadline(options_.stall_deadline_seconds);
+    }
+  }
   for (;;) {
     const Result<std::string> message = socket.Receive();
-    if (!message.ok()) return;  // peer closed (or transport error)
+    if (!message.ok()) return;  // peer closed, stalled, or transport error
     const std::string response = Handle(*message);
     if (!socket.Send(response).ok()) return;
   }

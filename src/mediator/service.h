@@ -15,6 +15,7 @@
 #include "mediator/client.h"
 #include "mediator/session.h"
 #include "obs/slo.h"
+#include "protocol/chaos.h"
 #include "protocol/client_protocol.h"
 #include "protocol/socket.h"
 
@@ -61,6 +62,16 @@ class QueryService {
     /// Completed requests retained for STATUS/Wait lookups before FIFO
     /// eviction.
     size_t max_retained = 256;
+    /// Idempotency dedup entries retained — (client, request-id) pairs that
+    /// map a re-SUBMIT after a reconnect back to its original outcome.
+    /// Evicted FIFO; an evicted request-id re-executes (at-most-once within
+    /// the window, at-least-once beyond it).
+    size_t max_dedup = 1024;
+    /// Stalled-peer guard for ServeConnection: a connection whose peer goes
+    /// silent *mid-frame* for this long is dropped, so a torn write or a
+    /// wedged client cannot pin a connection thread forever. Idle
+    /// connections (no frame in progress) never time out. 0 disables.
+    double stall_deadline_seconds = 10.0;
     /// The shared session's configuration (statistics, cache, breakers,
     /// execution policy) — one ClientOptions, same struct the embedded
     /// client uses.
@@ -89,6 +100,11 @@ class QueryService {
   struct SubmitOptions {
     uint64_t trace_id = 0;
     uint64_t parent_span = 0;
+    /// Client-minted idempotency key (0 = none). A Submit whose
+    /// (client_id, request_id) pair matches a retained earlier submission
+    /// returns the *original* ticket without executing anything — the
+    /// reconnect-replay path of FUSIONQ/1.
+    uint64_t request_id = 0;
   };
 
   /// Admits one query for `client_id` and returns its ticket, or
@@ -122,8 +138,11 @@ class QueryService {
 
   /// Runs the per-connection serve loop: receive one request, Handle it,
   /// send the response, until the peer closes (or the socket errors).
-  /// fusionqd runs this on one thread per accepted connection.
-  void ServeConnection(MessageSocket socket);
+  /// fusionqd runs this on one thread per accepted connection. Accepts a
+  /// plain MessageSocket (implicitly wrapped, no chaos) or a ChaosSocket
+  /// carrying a fault-injection policy; Options::stall_deadline_seconds is
+  /// armed on the connection either way.
+  void ServeConnection(ChaosSocket socket);
 
   /// Begins shutdown: rejects new submissions and cancels all outstanding
   /// requests. Called by the destructor; exposed for the daemon's signal
@@ -134,6 +153,9 @@ class QueryService {
   const std::string& server_name() const { return options_.server_name; }
   /// Requests shed with kUnavailable at admission since construction.
   size_t shedded() const;
+  /// Submits answered from the idempotency dedup table (no execution, no
+  /// second metering) since construction.
+  size_t idempotent_replays() const;
 
   /// Per-tenant SLO accounting (keyed by the FUSIONQ/1 client id): latency
   /// histograms, metered cost, shed/deadline/cancel/degraded counts, and
@@ -197,9 +219,16 @@ class QueryService {
   std::deque<std::string> rotation_;
   size_t queued_ = 0;
   size_t shedded_ = 0;
+  size_t idempotent_replays_ = 0;
   /// Ticket index for STATUS/CANCEL/Wait; completed entries evicted FIFO.
   std::map<uint64_t, RequestPtr> by_ticket_;
   std::deque<uint64_t> retired_order_;
+  /// Idempotency dedup: (client id, request-id) -> the original request.
+  /// Holds the RequestPtr itself (not just the ticket) so a replay can
+  /// recover the outcome even after by_ticket_ FIFO eviction. Bounded by
+  /// Options::max_dedup, evicted FIFO via dedup_order_.
+  std::map<std::pair<std::string, uint64_t>, RequestPtr> dedup_;
+  std::deque<std::pair<std::string, uint64_t>> dedup_order_;
 
   /// Declared last so its destructor (drain + join) runs before the state
   /// it uses is torn down.

@@ -166,6 +166,19 @@ inline constexpr char kRpcBytesSent[] = "rpc_bytes_sent";
 inline constexpr char kRpcBytesReceived[] = "rpc_bytes_received";
 inline constexpr char kRpcRequests[] = "rpc_requests_total";
 inline constexpr char kRpcServerRequests[] = "rpc_server_requests_total";
+/// Network-resilience counters: connected clients redialing a lost fusionqd
+/// connection, SUBMITs answered from the service's idempotency dedup table
+/// (a replay after reconnect — no re-execution, no re-metering), and
+/// RemoteSource transport failovers to another replica endpoint.
+inline constexpr char kClientReconnectsTotal[] = "client_reconnects_total";
+inline constexpr char kIdempotentReplaysTotal[] = "idempotent_replays_total";
+inline constexpr char kSourceFailoversTotal[] = "source_failovers_total";
+/// Faults injected by the chaos layer (protocol/chaos.h), by kind.
+inline constexpr char kChaosDropsTotal[] = "chaos_drops_total";
+inline constexpr char kChaosTornWritesTotal[] = "chaos_torn_writes_total";
+inline constexpr char kChaosDelaysTotal[] = "chaos_delays_total";
+inline constexpr char kChaosHangsTotal[] = "chaos_hangs_total";
+inline constexpr char kChaosRefusalsTotal[] = "chaos_refusals_total";
 
 /// Maps a CallWithRetries op tag ("sq"/"sjq"/"probe"/"lq"/"fetch") to its
 /// source_calls_total counter name.

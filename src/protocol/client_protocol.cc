@@ -93,7 +93,7 @@ Result<std::vector<std::string>> SplitBoundedLines(const std::string& text,
 }  // namespace
 
 std::vector<std::string> ClientProtocolFeatures() {
-  return {kFeatureTrace, kFeatureStats, kFeatureExplain};
+  return {kFeatureTrace, kFeatureStats, kFeatureExplain, kFeatureIdempotency};
 }
 
 std::string SerializeClientRequest(const ClientRequest& request) {
@@ -124,6 +124,9 @@ std::string SerializeClientRequest(const ClientRequest& request) {
     if (request.parent_span != 0) {
       out += "parent-span " + std::to_string(request.parent_span) + "\n";
     }
+  }
+  if (request.kind == ClientRequest::Kind::kSubmit && request.request_id != 0) {
+    out += "request-id " + std::to_string(request.request_id) + "\n";
   }
   out += "end\n";
   return out;
@@ -163,6 +166,8 @@ Result<ClientRequest> ParseClientRequest(const std::string& text) {
       FUSION_ASSIGN_OR_RETURN(request.trace_id, ParseU64(key, value));
     } else if (key == "parent-span") {
       FUSION_ASSIGN_OR_RETURN(request.parent_span, ParseU64(key, value));
+    } else if (key == "request-id") {
+      FUSION_ASSIGN_OR_RETURN(request.request_id, ParseU64(key, value));
     }
     // Unknown fields are ignored: a newer peer may send fields this build
     // does not know, and must be able to do so without negotiating first

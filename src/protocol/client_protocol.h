@@ -33,6 +33,10 @@ namespace fusion {
 ///                                 e.g. trace,stats,explain)
 ///   trace-id <u64>               (SUBMIT: distributed trace to join)
 ///   parent-span <u64>            (SUBMIT: the client-side parent span)
+///   request-id <u64>             (SUBMIT: client-minted idempotency key —
+///                                 a re-SUBMIT after a dropped connection
+///                                 replays the original outcome instead of
+///                                 executing twice)
 ///   end
 ///
 /// Forward compatibility: both parsers *ignore* unknown fields, so a newer
@@ -57,6 +61,12 @@ struct ClientRequest {
   /// daemon's service/session/exec/source-RPC spans join this trace.
   uint64_t trace_id = 0;
   uint64_t parent_span = 0;
+  /// Client-minted idempotency key for SUBMIT (0 = none). A service keyed
+  /// dedup table maps (client, request-id) to the original ticket, so a
+  /// client that reconnects and re-SUBMITs after a transport failure gets
+  /// the first execution's answer — never a second execution, never double
+  /// metering. Sent only to servers that advertised `idempotency`.
+  uint64_t request_id = 0;
 };
 
 /// Response grammar:
@@ -130,6 +140,8 @@ inline constexpr size_t kMaxClientProtocolLineBytes = 64 * 1024;
 inline constexpr char kFeatureTrace[] = "trace";
 inline constexpr char kFeatureStats[] = "stats";
 inline constexpr char kFeatureExplain[] = "explain";
+/// SUBMIT `request-id` dedup: re-SUBMITs replay the original outcome.
+inline constexpr char kFeatureIdempotency[] = "idempotency";
 std::vector<std::string> ClientProtocolFeatures();
 
 std::string SerializeClientRequest(const ClientRequest& request);

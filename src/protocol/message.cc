@@ -44,6 +44,21 @@ std::pair<std::string, std::string> SplitKeyValue(const std::string& line) {
   return SplitWireKeyValue(line);
 }
 
+/// Splits `text` into lines, rejecting any line over the dialect's cap
+/// (the FUSIONQ/1 parsers do the same via kMaxClientProtocolLineBytes).
+Result<std::vector<std::string>> SplitBoundedSourceLines(
+    const std::string& text, const char* what) {
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  for (const std::string& line : lines) {
+    if (line.size() > kMaxSourceProtocolLineBytes) {
+      return Status::ParseError(
+          StrFormat("oversized %s line (%zu bytes; limit %zu)", what,
+                    line.size(), kMaxSourceProtocolLineBytes));
+    }
+  }
+  return lines;
+}
+
 }  // namespace
 
 std::string EscapeWireText(const std::string& s) {
@@ -167,7 +182,8 @@ std::string SerializeRequest(const SourceRequest& request) {
 }
 
 Result<SourceRequest> ParseRequest(const std::string& text) {
-  const std::vector<std::string> lines = StrSplit(text, '\n');
+  FUSION_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
+                          SplitBoundedSourceLines(text, "source request"));
   if (lines.empty()) return Status::ParseError("empty request");
   const auto [magic, kind_name] = SplitKeyValue(lines[0]);
   if (magic != kMagic) {
@@ -248,7 +264,8 @@ std::string SerializeResponse(const SourceResponse& response) {
 }
 
 Result<SourceResponse> ParseResponse(const std::string& text) {
-  const std::vector<std::string> lines = StrSplit(text, '\n');
+  FUSION_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
+                          SplitBoundedSourceLines(text, "source response"));
   if (lines.empty()) return Status::ParseError("empty response");
   const auto [magic, status_name] = SplitKeyValue(lines[0]);
   if (magic != kMagic) {

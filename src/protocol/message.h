@@ -95,6 +95,13 @@ std::pair<std::string, std::string> SplitWireKeyValue(const std::string& line);
 /// compatibility with pre-taxonomy peers) a bare enum integer.
 Result<StatusCode> ParseWireStatusCode(const std::string& text);
 
+/// Longest line either FUSIONP/1 parser accepts (256 KiB — relation CSV
+/// lines are wide, but not unbounded): longer lines are rejected with a
+/// clean kParseError before any per-field work, mirroring FUSIONQ/1's
+/// kMaxClientProtocolLineBytes so a malicious or corrupted peer cannot
+/// drive an allocation storm through either dialect.
+inline constexpr size_t kMaxSourceProtocolLineBytes = 256 * 1024;
+
 std::string SerializeRequest(const SourceRequest& request);
 Result<SourceRequest> ParseRequest(const std::string& text);
 

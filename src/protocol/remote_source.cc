@@ -1,5 +1,9 @@
 #include "protocol/remote_source.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/str_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -7,6 +11,19 @@
 
 namespace fusion {
 namespace {
+
+/// Stalled-replica guard: a replica that goes silent mid-frame for this
+/// long is treated as dead and failed over, so a hung source cannot pin an
+/// executor worker.
+constexpr double kTcpStallDeadlineSeconds = 10.0;
+/// Unterminated-receive cap — far above any legitimate frame this protocol
+/// ships, low enough that a garbage-spewing peer is cut off cleanly.
+constexpr size_t kTcpReceiveLimitBytes = 64 * 1024 * 1024;
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
 
 const char* RequestKindName(SourceRequest::Kind kind) {
   switch (kind) {
@@ -69,7 +86,11 @@ Result<SourceResponse> RemoteSource::RoundTrip(SourceRequest& request,
     // The transport is a single channel: concurrent workers' requests queue
     // here rather than interleaving bytes on the wire.
     std::lock_guard<std::mutex> lock(transport_mu_);
-    response_text = transport_(request_text);
+    if (tcp_mode_) {
+      FUSION_ASSIGN_OR_RETURN(response_text, TcpExchangeLocked(request_text));
+    } else {
+      response_text = transport_(request_text);
+    }
   }
   {
     MetricsRegistry& registry = MetricsRegistry::Global();
@@ -114,6 +135,24 @@ Result<SourceResponse> RemoteSource::RoundTrip(SourceRequest& request,
   return response;
 }
 
+Status RemoteSource::AdoptHello(const SourceResponse& response) {
+  if (response.name.empty()) {
+    return Status::ParseError("HELLO response carries no source name");
+  }
+  name_ = response.name;
+  peer_traces_ = false;
+  for (const std::string& feature : response.features) {
+    if (feature == "trace") peer_traces_ = true;
+  }
+  FUSION_ASSIGN_OR_RETURN(
+      capabilities_,
+      CapabilitiesFromWire(response.semijoin_support, response.supports_load));
+  FUSION_ASSIGN_OR_RETURN(const Relation schema_relation,
+                          RelationFromLines(response.relation_lines));
+  schema_ = schema_relation.schema();
+  return Status::Ok();
+}
+
 Result<std::unique_ptr<RemoteSource>> RemoteSource::Connect(
     ProtocolTransport transport) {
   auto source = std::unique_ptr<RemoteSource>(
@@ -122,20 +161,152 @@ Result<std::unique_ptr<RemoteSource>> RemoteSource::Connect(
   hello.kind = SourceRequest::Kind::kHello;
   FUSION_ASSIGN_OR_RETURN(const SourceResponse response,
                           source->RoundTrip(hello, nullptr));
-  if (response.name.empty()) {
-    return Status::ParseError("HELLO response carries no source name");
-  }
-  source->name_ = response.name;
-  for (const std::string& feature : response.features) {
-    if (feature == "trace") source->peer_traces_ = true;
-  }
-  FUSION_ASSIGN_OR_RETURN(
-      source->capabilities_,
-      CapabilitiesFromWire(response.semijoin_support, response.supports_load));
-  FUSION_ASSIGN_OR_RETURN(const Relation schema_relation,
-                          RelationFromLines(response.relation_lines));
-  source->schema_ = schema_relation.schema();
+  FUSION_RETURN_IF_ERROR(source->AdoptHello(response));
   return source;
+}
+
+RetryPolicy RemoteSource::DefaultFailoverPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_seconds = 0.005;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.1;
+  return policy;
+}
+
+Result<std::unique_ptr<RemoteSource>> RemoteSource::ConnectTcp(
+    std::vector<std::string> endpoints, const RetryPolicy& policy) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("ConnectTcp: no endpoints");
+  }
+  auto source = std::unique_ptr<RemoteSource>(new RemoteSource(nullptr));
+  source->tcp_mode_ = true;
+  source->endpoints_ = std::move(endpoints);
+  source->failover_ = policy;
+  {
+    std::lock_guard<std::mutex> lock(source->transport_mu_);
+    // Initial connect rotates across the replicas like any failover: the
+    // catalog stays loadable while any one replica is up.
+    const int attempts =
+        std::max(std::max(1, policy.max_attempts),
+                 static_cast<int>(source->endpoints_.size()));
+    Status dialed = Status::Unavailable("never dialed");
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+      if (attempt > 1) {
+        SleepSeconds(policy.BackoffSeconds(source->active_, attempt - 1));
+      }
+      dialed = source->TcpDialActiveLocked();
+      if (dialed.ok()) break;
+      source->TcpAdvanceReplicaLocked();
+    }
+    FUSION_RETURN_IF_ERROR(dialed);
+    FUSION_RETURN_IF_ERROR(source->AdoptHello(source->last_hello_));
+  }
+  return source;
+}
+
+Status RemoteSource::TcpDialActiveLocked() {
+  socket_.Close();
+  Result<MessageSocket> dialed = DialTcp(endpoints_[active_]);
+  if (!dialed.ok()) return dialed.status();
+  socket_ = std::move(dialed).value();
+  (void)socket_.SetStallDeadline(kTcpStallDeadlineSeconds);
+  socket_.SetReceiveLimit(kTcpReceiveLimitBytes);
+  // Validate the replica via HELLO before trusting it with a query — and,
+  // after the first connect, that it really is a replica of the same
+  // source (same name) rather than a misconfigured endpoint.
+  SourceRequest hello;
+  hello.kind = SourceRequest::Kind::kHello;
+  Status sent = socket_.Send(SerializeRequest(hello));
+  if (!sent.ok()) {
+    socket_.Close();
+    return sent;
+  }
+  Result<std::string> reply = socket_.Receive();
+  if (!reply.ok()) {
+    socket_.Close();
+    return reply.status();
+  }
+  Result<SourceResponse> parsed = ParseResponse(reply.value());
+  if (!parsed.ok()) {
+    socket_.Close();
+    return parsed.status();
+  }
+  if (!parsed.value().ok) {
+    socket_.Close();
+    return Status(parsed.value().error_code,
+                  "replica hello: " + parsed.value().error_message);
+  }
+  if (!name_.empty() && parsed.value().name != name_) {
+    socket_.Close();
+    return Status::Internal("replica " + endpoints_[active_] +
+                            " serves source '" + parsed.value().name +
+                            "', expected '" + name_ + "'");
+  }
+  last_hello_ = std::move(parsed).value();
+  if (dialed_once_) ++reconnects_;
+  dialed_once_ = true;
+  return Status::Ok();
+}
+
+void RemoteSource::TcpAdvanceReplicaLocked() {
+  if (endpoints_.size() <= 1) return;
+  active_ = (active_ + 1) % endpoints_.size();
+  ++failovers_;
+  static Counter& failovers =
+      MetricsRegistry::Global().counter(metrics::kSourceFailoversTotal);
+  failovers.Increment();
+}
+
+Result<std::string> RemoteSource::TcpExchangeLocked(
+    const std::string& request_text) {
+  const int attempts = std::max(std::max(1, failover_.max_attempts),
+                                static_cast<int>(endpoints_.size()));
+  Status last_error = Status::Unavailable("never sent");
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      SleepSeconds(failover_.BackoffSeconds(active_, attempt - 1));
+    }
+    if (!socket_.valid()) {
+      const Status dialed = TcpDialActiveLocked();
+      if (!dialed.ok()) {
+        last_error = dialed;
+        TcpAdvanceReplicaLocked();
+        continue;
+      }
+    }
+    const Status sent = socket_.Send(request_text);
+    if (sent.ok()) {
+      Result<std::string> reply = socket_.Receive();
+      if (reply.ok()) return reply;
+      last_error = reply.status();
+    } else {
+      last_error = sent;
+    }
+    // Transport failure: this replica is suspect. FUSIONP/1 requests are
+    // pure reads, so re-issuing against the next replica is always safe —
+    // and the failed attempt replayed no charges, so nothing is metered
+    // twice.
+    socket_.Close();
+    TcpAdvanceReplicaLocked();
+  }
+  return Status::Unavailable("source '" + (name_.empty() ? "?" : name_) +
+                             "': all replicas failed: " + last_error.message());
+}
+
+size_t RemoteSource::failovers() const {
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  return failovers_;
+}
+
+size_t RemoteSource::reconnects() const {
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  return reconnects_;
+}
+
+std::string RemoteSource::active_endpoint() const {
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  return tcp_mode_ ? endpoints_[active_] : std::string();
 }
 
 Result<ItemSet> RemoteSource::Select(const Condition& cond,

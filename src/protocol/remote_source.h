@@ -5,8 +5,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "exec/executor.h"
 #include "protocol/message.h"
+#include "protocol/socket.h"
 #include "source/source_wrapper.h"
 
 namespace fusion {
@@ -35,6 +38,28 @@ class RemoteSource : public SourceWrapper {
   static Result<std::unique_ptr<RemoteSource>> Connect(
       ProtocolTransport transport);
 
+  /// TCP mode with replica failover: `endpoints` ("host:port") are replicas
+  /// of the *same* source (every one must HELLO with the same source name).
+  /// Operations stick to the connected replica while it is healthy; on a
+  /// transport failure the source redials, rotating to the next replica,
+  /// with capped exponential backoff per `policy` (BackoffSeconds — the
+  /// same schedule shape source-call retries use). FUSIONP/1 requests are
+  /// pure reads, so re-issuing one against another replica is always safe;
+  /// charges replay from the one successful response only, so a failed
+  /// attempt is never double-metered. With every replica exhausted the
+  /// operation fails kUnavailable — the transient class the executor's
+  /// breakers and degraded mode already handle.
+  static Result<std::unique_ptr<RemoteSource>> ConnectTcp(
+      std::vector<std::string> endpoints) {
+    return ConnectTcp(std::move(endpoints), DefaultFailoverPolicy());
+  }
+  static Result<std::unique_ptr<RemoteSource>> ConnectTcp(
+      std::vector<std::string> endpoints, const RetryPolicy& policy);
+
+  /// The default failover schedule: 6 attempts, 5 ms doubling to a 100 ms
+  /// cap — a killed replica costs milliseconds, not a failed query.
+  static RetryPolicy DefaultFailoverPolicy();
+
   const std::string& name() const override { return name_; }
   const Schema& schema() const override { return schema_; }
   const Capabilities& capabilities() const override { return capabilities_; }
@@ -51,6 +76,14 @@ class RemoteSource : public SourceWrapper {
                                 const ItemSet& items,
                                 CostLedger* ledger) override;
 
+  /// TCP mode observability (both 0 in transport mode): replica rotations
+  /// after a transport failure, and successful re-dials after the initial
+  /// connect.
+  size_t failovers() const;
+  size_t reconnects() const;
+  /// The replica currently (or last) connected ("" in transport mode).
+  std::string active_endpoint() const;
+
  private:
   explicit RemoteSource(ProtocolTransport transport)
       : transport_(std::move(transport)) {}
@@ -61,7 +94,20 @@ class RemoteSource : public SourceWrapper {
   /// (mutating the request in place — callers pass throwaway locals).
   Result<SourceResponse> RoundTrip(SourceRequest& request, CostLedger* ledger);
 
-  std::mutex transport_mu_;  // one request/response in flight at a time
+  /// Records the HELLO metadata (name, features, capabilities, schema).
+  Status AdoptHello(const SourceResponse& response);
+
+  /// One send/receive over the TCP connection, redialing across replicas
+  /// on transport failure. Requires transport_mu_ held.
+  Result<std::string> TcpExchangeLocked(const std::string& request_text);
+  /// Dials endpoints_[active_] and validates it via HELLO (same source
+  /// name as the first connect). Requires transport_mu_ held.
+  Status TcpDialActiveLocked();
+  /// Rotates active_ to the next replica (counts a failover when there is
+  /// more than one). Requires transport_mu_ held.
+  void TcpAdvanceReplicaLocked();
+
+  mutable std::mutex transport_mu_;  // one request/response in flight at a time
   ProtocolTransport transport_;
   std::string name_;
   Schema schema_;
@@ -69,6 +115,19 @@ class RemoteSource : public SourceWrapper {
   /// Whether the HELLO response advertised the `trace` feature; only then
   /// does RoundTrip attach trace lines (old servers never see them).
   bool peer_traces_ = false;
+
+  /// TCP failover state (all guarded by transport_mu_).
+  bool tcp_mode_ = false;
+  std::vector<std::string> endpoints_;
+  size_t active_ = 0;  // index into endpoints_: the sticky healthy replica
+  MessageSocket socket_;
+  RetryPolicy failover_;
+  /// The HELLO response of the most recent successful dial (metadata for
+  /// ConnectTcp; name re-validation on every re-dial).
+  SourceResponse last_hello_;
+  bool dialed_once_ = false;
+  size_t failovers_ = 0;
+  size_t reconnects_ = 0;
 };
 
 }  // namespace fusion

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -43,7 +44,10 @@ Result<sockaddr_in> ResolveV4(const std::string& host, int port) {
 }  // namespace
 
 MessageSocket::MessageSocket(MessageSocket&& other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    : fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      stall_deadline_seconds_(other.stall_deadline_seconds_),
+      receive_limit_(other.receive_limit_) {
   other.fd_ = -1;
 }
 
@@ -52,9 +56,26 @@ MessageSocket& MessageSocket::operator=(MessageSocket&& other) noexcept {
     Close();
     fd_ = other.fd_;
     buffer_ = std::move(other.buffer_);
+    stall_deadline_seconds_ = other.stall_deadline_seconds_;
+    receive_limit_ = other.receive_limit_;
     other.fd_ = -1;
   }
   return *this;
+}
+
+Status MessageSocket::SetStallDeadline(double seconds) {
+  if (!valid()) return Status::Internal("deadline on closed socket");
+  if (seconds < 0.0) {
+    return Status::InvalidArgument("stall deadline must be >= 0");
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  stall_deadline_seconds_ = seconds;
+  return Status::Ok();
 }
 
 void MessageSocket::Close() {
@@ -92,6 +113,15 @@ Result<std::string> MessageSocket::Receive() {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired. Idle between frames is fine — keep waiting.
+        // Silent *mid-frame* is a stalled (or torn-write) peer: give up so
+        // the serving thread is not pinned holding half a message forever.
+        if (buffer_.empty()) continue;
+        return Status::DeadlineExceeded(
+            "peer stalled mid-message (" +
+            std::to_string(buffer_.size()) + " bytes buffered)");
+      }
       return Errno("recv");
     }
     if (n == 0) {
@@ -101,6 +131,13 @@ Result<std::string> MessageSocket::Receive() {
       return Status::ParseError("connection closed mid-message");
     }
     buffer_.append(chunk, static_cast<size_t>(n));
+    if (receive_limit_ > 0 && buffer_.size() > receive_limit_ &&
+        FindMessageEnd(buffer_) == std::string::npos) {
+      return Status::ParseError(
+          "oversized message: " + std::to_string(buffer_.size()) +
+          " bytes without a terminator (limit " +
+          std::to_string(receive_limit_) + ")");
+    }
   }
 }
 
@@ -132,24 +169,29 @@ Result<MessageSocket> DialTcp(const std::string& endpoint) {
 }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept
-    : fd_(other.fd_), port_(other.port_) {
-  other.fd_ = -1;
-}
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
 
 TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   if (this != &other) {
     Close();
-    fd_ = other.fd_;
+    fd_.store(other.fd_.exchange(-1));
     port_ = other.port_;
-    other.fd_ = -1;
   }
   return *this;
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  // exchange() makes Close race-free against a concurrent Accept (which
+  // loads fd_ fresh per iteration) and idempotent against double closes.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // close(2) alone does not wake a thread already blocked in accept(2) on
+    // this fd (the fd lookup happened before the close); shutdown(2) on the
+    // listening socket does — accept returns EINVAL and the loop exits.
+    // Both calls are async-signal-safe, so the daemon signal path may still
+    // run this directly.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
@@ -187,7 +229,9 @@ Result<TcpListener> TcpListener::Bind(const std::string& host, int port) {
 
 Result<MessageSocket> TcpListener::Accept() {
   for (;;) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int listen_fd = fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return Status::Unavailable("listener closed");
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -1,6 +1,7 @@
 #ifndef FUSION_PROTOCOL_SOCKET_H_
 #define FUSION_PROTOCOL_SOCKET_H_
 
+#include <atomic>
 #include <string>
 
 #include "common/status.h"
@@ -30,12 +31,29 @@ class MessageSocket {
   bool valid() const { return fd_ >= 0; }
 
   /// Writes the whole message (which must already carry its `end` line).
+  /// SIGPIPE-safe: sends use MSG_NOSIGNAL, so a peer that hung up yields a
+  /// clean kInternal(EPIPE) status instead of killing the process.
   Status Send(const std::string& message);
 
   /// Reads one `end`-terminated message (terminator included). A clean
   /// peer close before any bytes of a message yields kUnavailable
-  /// ("connection closed").
+  /// ("connection closed"); mid-message, kParseError. With a stall deadline
+  /// set, a peer that goes silent *mid-frame* for longer than the deadline
+  /// yields kDeadlineExceeded — an idle peer between frames waits forever.
   Result<std::string> Receive();
+
+  /// Arms the stalled-peer guard: if a frame has started arriving and the
+  /// peer then sends nothing for `seconds`, Receive fails with
+  /// kDeadlineExceeded instead of pinning the calling thread forever. An
+  /// *idle* connection (no frame in progress) is never timed out — a quiet
+  /// client holding a connection open is normal. 0 disables (default).
+  Status SetStallDeadline(double seconds);
+
+  /// Bounds the bytes buffered while assembling one message: a peer
+  /// streaming more than `bytes` without an `end` terminator gets
+  /// kParseError ("oversized message") instead of growing the buffer
+  /// without limit. 0 = unbounded (default).
+  void SetReceiveLimit(size_t bytes) { receive_limit_ = bytes; }
 
   void Close();
 
@@ -46,6 +64,8 @@ class MessageSocket {
  private:
   int fd_ = -1;
   std::string buffer_;  // bytes received past the last returned message
+  double stall_deadline_seconds_ = 0.0;
+  size_t receive_limit_ = 0;
 };
 
 /// Connects to "host:port" (e.g. "127.0.0.1:4631"). Numeric IPv4 hosts and
@@ -67,7 +87,7 @@ class TcpListener {
 
   static Result<TcpListener> Bind(const std::string& host, int port);
 
-  bool valid() const { return fd_ >= 0; }
+  bool valid() const { return fd() >= 0; }
   int port() const { return port_; }
 
   /// Blocks for the next connection. Returns kUnavailable once the
@@ -79,10 +99,12 @@ class TcpListener {
 
   /// The listening fd, for shutdown paths that must close from a signal
   /// handler (close(2) is async-signal-safe).
-  int fd() const { return fd_; }
+  int fd() const { return fd_.load(std::memory_order_acquire); }
 
  private:
-  int fd_ = -1;
+  /// Atomic because Close() runs from the stopping thread (or a signal
+  /// handler) while the acceptor thread is blocked in Accept() reading it.
+  std::atomic<int> fd_{-1};
   int port_ = 0;
 };
 

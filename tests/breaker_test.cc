@@ -4,6 +4,7 @@
 // degrade soundly), and session-level breaker sharing across queries.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <thread>
@@ -12,8 +13,11 @@
 #include "exec/executor.h"
 #include "exec/source_health.h"
 #include "mediator/session.h"
+#include "protocol/remote_source.h"
+#include "protocol/source_server.h"
 #include "source/flaky_source.h"
 #include "source/simulated_source.h"
+#include "workload/dmv.h"
 
 namespace fusion {
 namespace {
@@ -117,6 +121,49 @@ TEST(BreakerTest, ResetForgetsAllState) {
   EXPECT_EQ(health.state(0), BreakerState::kClosed);
   EXPECT_EQ(health.fast_fails(0), 0u);
   EXPECT_TRUE(health.Admit(0).allowed);
+}
+
+TEST(BreakerTest, HalfOpenAdmitsExactlyOneProbeUnderContention) {
+  // The open → half-open transition is a check-then-act hazard: many threads
+  // absorb the tail of the cool-down and reach for the probe slot at once.
+  // Exactly one may win; everyone else must keep fast-failing until the
+  // probe resolves. TSan (via the concurrency label) checks the locking;
+  // this asserts the invariant itself, repeatedly, with all threads released
+  // onto the breaker together.
+  for (int round = 0; round < 25; ++round) {
+    SourceHealth::Options options;
+    options.failure_threshold = 1;
+    options.open_cooldown_rejections = 4;
+    SourceHealth health(options);
+    health.RecordFailure(0);
+    ASSERT_EQ(health.state(0), BreakerState::kOpen);
+
+    constexpr int kThreads = 8;
+    std::atomic<int> ready{0};
+    std::atomic<int> probes{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        ready.fetch_add(1);
+        while (ready.load() < kThreads) std::this_thread::yield();
+        for (int i = 0; i < 4; ++i) {
+          const SourceHealth::Admission admission = health.Admit(0);
+          if (admission.allowed) {
+            // Every admission granted while the breaker walks out of open
+            // must be flagged as the probe.
+            EXPECT_TRUE(admission.probe);
+            probes.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    // 32 admissions against a 4-rejection cool-down: the probe slot was
+    // certainly reached, and only one thread may have taken it. With the
+    // probe unresolved the breaker is still half-open.
+    EXPECT_EQ(probes.load(), 1) << "round " << round;
+    EXPECT_EQ(health.state(0), BreakerState::kHalfOpen);
+  }
 }
 
 TEST(BreakerTest, ConcurrentRecordingIsSafe) {
@@ -336,6 +383,136 @@ TEST(BreakerExecutorTest, HalfOpenProbeRecoversAfterOutage) {
   ASSERT_TRUE(run3.ok()) << run3.status().ToString();
   EXPECT_TRUE(run3->completeness.answer_complete);
   EXPECT_EQ(run3->answer.ToString(), "{'J55', 'T21'}");
+}
+
+// ---------------------------------------------------------------------------
+// Replica failover interplay
+// ---------------------------------------------------------------------------
+
+Relation ReplicaR1Relation() {
+  Relation r1(DmvSchema());
+  EXPECT_TRUE(
+      r1.Append({Value("J55"), Value("dui"), Value(int64_t{1993})}).ok());
+  EXPECT_TRUE(
+      r1.Append({Value("T21"), Value("sp"), Value(int64_t{1994})}).ok());
+  return r1;
+}
+
+/// Adds the reliable in-process R2 (same data as TwoSourceCatalog's) behind
+/// an already-added networked R1.
+void AddReliableR2(SourceCatalog& catalog) {
+  NetworkProfile net;
+  net.query_overhead = 10.0;
+  Relation r2(DmvSchema());
+  ASSERT_TRUE(
+      r2.Append({Value("J55"), Value("dui"), Value(int64_t{1995})}).ok());
+  ASSERT_TRUE(
+      r2.Append({Value("J55"), Value("sp"), Value(int64_t{1996})}).ok());
+  ASSERT_TRUE(
+      r2.Append({Value("T21"), Value("dui"), Value(int64_t{1997})}).ok());
+  ASSERT_TRUE(catalog
+                  .Add(std::make_unique<SimulatedSource>(
+                      "R2", std::move(r2), Capabilities{}, net))
+                  .ok());
+}
+
+TEST(BreakerReplicaTest, FailoverMasksReplicaDeathFromTheBreaker) {
+  // Source 0 is a RemoteSource over two TCP replicas of R1. Replica death
+  // is absorbed one layer *below* the breaker: the failover redial makes
+  // the source call succeed, so no failure is ever recorded and a breaker
+  // tuned to open on the very first failure stays closed.
+  NetworkProfile net;
+  net.query_overhead = 10.0;
+  std::vector<std::unique_ptr<TcpSourceServer>> replicas;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < 2; ++i) {
+    auto server = std::make_unique<TcpSourceServer>(
+        std::make_unique<SimulatedSource>("R1", ReplicaR1Relation(),
+                                          Capabilities{}, net),
+        TcpSourceServer::Options{});
+    ASSERT_TRUE(server->Start().ok());
+    endpoints.push_back("127.0.0.1:" + std::to_string(server->port()));
+    replicas.push_back(std::move(server));
+  }
+  auto connected = RemoteSource::ConnectTcp(endpoints);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  const RemoteSource* remote = connected->get();
+  SourceCatalog catalog;
+  ASSERT_TRUE(catalog.Add(std::move(connected).value()).ok());
+  AddReliableR2(catalog);
+
+  SourceHealth::Options health_options;
+  health_options.failure_threshold = 1;  // any recorded failure would open
+  SourceHealth health(health_options);
+  ExecOptions exec;
+  exec.health = &health;
+
+  const auto healthy =
+      ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->answer.ToString(), "{'J55', 'T21'}");
+  ASSERT_EQ(health.state(0), BreakerState::kClosed);
+
+  // Kill whichever replica the source is currently stuck to.
+  const std::string active = remote->active_endpoint();
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    if (endpoints[i] == active) replicas[i]->Stop();
+  }
+
+  const auto failed_over =
+      ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
+  ASSERT_TRUE(failed_over.ok()) << failed_over.status().ToString();
+  EXPECT_EQ(failed_over->answer.ToString(), "{'J55', 'T21'}");
+  EXPECT_TRUE(failed_over->completeness.answer_complete);
+  EXPECT_GE(remote->failovers(), 1u);
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  EXPECT_EQ(health.consecutive_failures(0), 0);
+}
+
+TEST(BreakerReplicaTest, ExhaustedReplicasOpenOnlyTheirSourcesBreaker) {
+  // With every replica of R1 dead, failover has nothing to rotate to: each
+  // R1 call surfaces kUnavailable, the failures land on R1's breaker until
+  // it opens — and on R1's breaker *only*. R2 keeps answering and degraded
+  // mode still produces its sound partial answer.
+  NetworkProfile net;
+  net.query_overhead = 10.0;
+  TcpSourceServer server(
+      std::make_unique<SimulatedSource>("R1", ReplicaR1Relation(),
+                                        Capabilities{}, net),
+      TcpSourceServer::Options{});
+  ASSERT_TRUE(server.Start().ok());
+  RetryPolicy fast_failover;  // a dead replica should cost ~nothing here
+  fast_failover.max_attempts = 2;
+  fast_failover.initial_backoff_seconds = 0.001;
+  fast_failover.max_backoff_seconds = 0.01;
+  auto connected = RemoteSource::ConnectTcp(
+      {"127.0.0.1:" + std::to_string(server.port())}, fast_failover);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  SourceCatalog catalog;
+  ASSERT_TRUE(catalog.Add(std::move(connected).value()).ok());
+  AddReliableR2(catalog);
+  server.Stop();
+
+  SourceHealth::Options health_options;
+  health_options.failure_threshold = 2;
+  health_options.open_cooldown_rejections = 1000000;  // no probes here
+  SourceHealth health(health_options);
+  ExecOptions exec;
+  exec.health = &health;
+  exec.on_source_failure = SourceFailurePolicy::kDegrade;
+
+  const auto report =
+      ExecutePlan(FilterPlanFor2x2(), catalog, DuiSpQuery(), exec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->answer.ToString(), "{'J55'}");
+  EXPECT_EQ(health.state(0), BreakerState::kOpen);
+  EXPECT_EQ(health.state(1), BreakerState::kClosed);
+  EXPECT_FALSE(report->completeness.answer_complete);
+  EXPECT_TRUE(report->completeness.sound);
+  // The failed attempts charged nothing: only R2's selections paid.
+  for (const Charge& c : report->ledger.charges()) {
+    EXPECT_EQ(c.source, "R2");
+  }
 }
 
 // ---------------------------------------------------------------------------

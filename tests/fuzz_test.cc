@@ -13,9 +13,12 @@
 #include "obs/exposition.h"
 #include "protocol/client_protocol.h"
 #include "protocol/message.h"
+#include "protocol/source_server.h"
 #include "query/parser.h"
 #include "relational/condition.h"
 #include "relational/relation.h"
+#include "source/simulated_source.h"
+#include "workload/dmv.h"
 #include "workload/synthetic.h"
 
 namespace fusion {
@@ -148,6 +151,100 @@ TEST(FuzzTest, ProtocolParsersNeverCrash) {
   SUCCEED();
 }
 
+SourceRequest ValidSemiJoin() {
+  SourceRequest request;
+  request.kind = SourceRequest::Kind::kSemiJoin;
+  request.merge_attribute = "L";
+  request.condition_text = "V = 'dui'";
+  request.bindings = {Value("J55"), Value("T21"), Value(int64_t{3})};
+  return request;
+}
+
+TEST(FuzzTest, SourceProtocolTruncatedFramesRejected) {
+  // The mediator dialect must behave exactly like the client dialect under
+  // torn writes: every strict prefix of a valid frame short of the closing
+  // "end" line is a clean parse error, for requests and responses alike.
+  // This is the parser-level guarantee the chaos layer's torn-write fault
+  // leans on.
+  const std::string request_wire = SerializeRequest(ValidSemiJoin());
+  for (size_t len = 0; len + 2 <= request_wire.size(); ++len) {
+    EXPECT_FALSE(ParseRequest(request_wire.substr(0, len)).ok())
+        << "accepted truncated request of " << len << " bytes";
+  }
+
+  SourceResponse ok;
+  ok.ok = true;
+  ok.items = {Value("J55"), Value(int64_t{7})};
+  ok.relation_lines = {"L:string,V:string", "J55,dui"};
+  ChargeSummary charge;
+  charge.kind = "semijoin";
+  charge.items_sent = 3;
+  charge.items_received = 2;
+  charge.cost = 12.5;
+  ok.charges = {charge};
+  const std::string response_wire = SerializeResponse(ok);
+  for (size_t len = 0; len + 2 <= response_wire.size(); ++len) {
+    EXPECT_FALSE(ParseResponse(response_wire.substr(0, len)).ok())
+        << "accepted truncated response of " << len << " bytes";
+  }
+
+  // Dropping whole lines from the tail loses the terminator too.
+  const std::vector<std::string> lines = StrSplit(response_wire, '\n');
+  std::string partial;
+  for (size_t i = 0; i + 2 < lines.size(); ++i) {
+    partial += lines[i] + "\n";
+    EXPECT_FALSE(ParseResponse(partial).ok());
+  }
+}
+
+TEST(FuzzTest, SourceProtocolOversizedLinesRejected) {
+  // Source servers read frames from whatever dials their port; an unbounded
+  // line is the same memory-amplification vector as on the client dialect.
+  SourceRequest huge = ValidSemiJoin();
+  huge.condition_text = std::string(kMaxSourceProtocolLineBytes + 1, 'a');
+  const auto request = ParseRequest(SerializeRequest(huge));
+  ASSERT_FALSE(request.ok());
+  EXPECT_NE(request.status().message().find("oversized"), std::string::npos)
+      << request.status().ToString();
+
+  SourceResponse wide;
+  wide.relation_lines = {std::string(kMaxSourceProtocolLineBytes + 1, 'x')};
+  const auto response = ParseResponse(SerializeResponse(wide));
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.status().message().find("oversized"), std::string::npos);
+
+  // At (not over) the cap the frame still parses.
+  SourceRequest fits = ValidSemiJoin();
+  fits.condition_text = std::string(kMaxSourceProtocolLineBytes - 16, 'a');
+  EXPECT_TRUE(ParseRequest(SerializeRequest(fits)).ok());
+}
+
+TEST(FuzzTest, SourceServerHandleNeverCrashes) {
+  // The wrapper-side dispatch surface: arbitrary bytes into
+  // SourceServer::Handle must always come back as one parseable FUSIONP/1
+  // response — an ERROR for garbage, never a crash or an unframed reply.
+  auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  SourceServer server(
+      std::make_unique<SimulatedSource>(*instance->simulated[0]));
+
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const auto response = ParseResponse(server.Handle(RandomBytes(rng, 200)));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->ok);  // random bytes are never a valid request
+  }
+  const std::string valid = SerializeRequest(ValidSemiJoin());
+  for (int i = 0; i < 300; ++i) {
+    // Mutants that happen to parse hit the real wrapper; either way the
+    // reply must be a well-formed frame.
+    const auto response =
+        ParseResponse(server.Handle(Mutate(rng, valid, 1 + i % 5)));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  SUCCEED();
+}
+
 TEST(FuzzTest, ConditionTextRoundTripProperty) {
   // Structured fuzz: random condition trees must round-trip exactly
   // through ToString + ParseCondition (structural equality after one
@@ -229,6 +326,28 @@ TEST(FuzzTest, ClientProtocolParsersNeverCrash) {
     }
   }
   SUCCEED();
+}
+
+TEST(FuzzTest, ClientProtocolRequestIdRoundTrips) {
+  // The idempotency key must survive the wire exactly — a corrupted or
+  // dropped request-id silently downgrades reconnect to at-most-once.
+  ClientRequest keyed = ValidSubmit();
+  keyed.request_id = 0xdeadbeefcafef00dULL;
+  const std::string wire = SerializeClientRequest(keyed);
+  EXPECT_NE(wire.find("request-id 16045690984503111693\n"), std::string::npos)
+      << wire;
+  const auto parsed = ParseClientRequest(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->request_id, keyed.request_id);
+
+  // request_id == 0 means "no key": the line must not be emitted at all, so
+  // pre-idempotency servers see byte-identical SUBMIT frames.
+  ClientRequest unkeyed = ValidSubmit();
+  const std::string plain = SerializeClientRequest(unkeyed);
+  EXPECT_EQ(plain.find("request-id"), std::string::npos) << plain;
+  const auto reparsed = ParseClientRequest(plain);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->request_id, 0u);
 }
 
 TEST(FuzzTest, ClientProtocolTruncatedFramesRejected) {

@@ -44,9 +44,11 @@ TRACKED = [
 GATED = {"QPS", "p99 latency ms"}
 
 # Schema history: v1 had no "tenants" section and no stats_samples; v2
-# (per-tenant SLO from the server's STATS exposition) added both. Old files
-# stay comparable — missing fields are skipped, with a drift note.
-KNOWN_SCHEMAS = {1, 2}
+# (per-tenant SLO from the server's STATS exposition) added both; v3 added
+# the "chaos" section (fault-injection profile, recovery counters, and the
+# divergence count under chaos). Old files stay comparable — missing fields
+# are skipped, with a drift note.
+KNOWN_SCHEMAS = {1, 2, 3}
 
 
 def lookup(metrics, path):
@@ -167,6 +169,23 @@ def main():
         print(f"  oracle divergences   {old_div} -> {new_div}")
         if new_div and new_div > 0:
             regressions.append("oracle divergences")
+
+    # Chaos gate (schema >= 3): a run served under fault injection must
+    # still be byte-identical to the serial oracle — correctness under
+    # chaos is absolute, not thresholded. The recovery counters are
+    # informational (they scale with the profile's rates, not with code
+    # quality).
+    chaos = new.get("chaos", {}) or {}
+    if chaos.get("enabled"):
+        chaos_div = lookup(chaos, ("divergences",))
+        print(f"  chaos profile '{chaos.get('profile')}': "
+              f"{lookup(chaos, ('drops',))} drops, "
+              f"{lookup(chaos, ('torn_writes',))} torn writes, "
+              f"{lookup(chaos, ('client_reconnects',))} reconnects, "
+              f"{lookup(chaos, ('service_replays',))} replays; "
+              f"divergences {chaos_div}")
+        if chaos_div is None or chaos_div > 0:
+            regressions.append("divergences under chaos")
 
     if regressions:
         print(f"bench_diff: FAILED — {', '.join(regressions)} beyond "

@@ -31,11 +31,13 @@
 
 #include "cli/catalog_config.h"
 #include "cli/client_flags.h"
+#include "common/rng.h"
 #include "mediator/client.h"
 #include "mediator/service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "protocol/chaos.h"
 #include "protocol/socket.h"
 
 namespace fusion {
@@ -58,6 +60,12 @@ struct Args {
   /// file merges with client-side exports (tools/trace_merge.py) into one
   /// stitched distributed trace.
   std::string trace_out;
+  /// Fault injection at the daemon's own edge (--chaos-* flags): every
+  /// accepted connection may be refused, reset, torn, delayed, or hung per
+  /// this seeded policy — the daemon abuses itself so operators can drill
+  /// client recovery against a real deployment.
+  ChaosPolicy chaos;
+  bool chaos_seed_set = false;
   bool smoke = false;
   bool help = false;
   ClientFlags client;
@@ -89,6 +97,18 @@ void PrintUsage() {
       "                   Spans keep the submitting client's trace ids, so\n"
       "                   tools/trace_merge.py can stitch this file with\n"
       "                   client-side exports into one distributed trace\n"
+      "  --chaos-drop-rate=P    probability a send/receive resets the\n"
+      "                         connection instead (default 0)\n"
+      "  --chaos-torn-rate=P    probability a send ships half the frame and\n"
+      "                         closes (default 0)\n"
+      "  --chaos-delay-rate=P   probability an operation is delayed\n"
+      "  --chaos-delay-ms=MS    the injected delay (default 2)\n"
+      "  --chaos-refuse-rate=P  probability an accepted connection is closed\n"
+      "                         before serving a byte (default 0)\n"
+      "  --chaos-hang-rate=P    probability an operation hangs hang-ms\n"
+      "  --chaos-hang-ms=MS     the injected hang (default 50)\n"
+      "  --chaos-seed=N         fault-schedule seed (default: FUSION_SEED,\n"
+      "                         else 1) — same seed, same fault schedule\n"
       "  --smoke          in-process self-test: serve on an ephemeral port,\n"
       "                   run two concurrent clients over real sockets\n"
       "                   (requires --sql), verify identical answers and a\n"
@@ -136,6 +156,46 @@ Result<Args> ParseArgs(int argc, char** argv) {
       }
       continue;
     }
+    bool chaos_rate = false;
+    double* rate = nullptr;
+    if (ParseFlagValue(a, "--chaos-drop-rate", &number)) {
+      rate = &args.chaos.drop_rate;
+      chaos_rate = true;
+    } else if (ParseFlagValue(a, "--chaos-torn-rate", &number)) {
+      rate = &args.chaos.torn_write_rate;
+      chaos_rate = true;
+    } else if (ParseFlagValue(a, "--chaos-delay-rate", &number)) {
+      rate = &args.chaos.delay_rate;
+      chaos_rate = true;
+    } else if (ParseFlagValue(a, "--chaos-refuse-rate", &number)) {
+      rate = &args.chaos.accept_refuse_rate;
+      chaos_rate = true;
+    } else if (ParseFlagValue(a, "--chaos-hang-rate", &number)) {
+      rate = &args.chaos.hang_rate;
+      chaos_rate = true;
+    }
+    if (chaos_rate) {
+      *rate = std::atof(number.c_str());
+      if (*rate < 0.0 || *rate > 1.0) {
+        return Status::InvalidArgument(
+            std::string("chaos rates must be in [0, 1]: ") + a);
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--chaos-delay-ms", &number)) {
+      args.chaos.delay_ms = std::atof(number.c_str());
+      continue;
+    }
+    if (ParseFlagValue(a, "--chaos-hang-ms", &number)) {
+      args.chaos.hang_ms = std::atof(number.c_str());
+      continue;
+    }
+    if (ParseFlagValue(a, "--chaos-seed", &number)) {
+      args.chaos.seed = static_cast<uint64_t>(
+          std::strtoull(number.c_str(), nullptr, 10));
+      args.chaos_seed_set = true;
+      continue;
+    }
     if (std::strcmp(a, "--smoke") == 0) {
       args.smoke = true;
       continue;
@@ -149,27 +209,25 @@ Result<Args> ParseArgs(int argc, char** argv) {
   return args;
 }
 
-/// The accepted connections, so shutdown can unblock their Receive()s
-/// (shutdown(2) wakes a blocked recv; close alone does not).
+/// The accepted connections' fds, so shutdown can unblock their Receive()s
+/// (shutdown(2) wakes a blocked recv; close alone does not). Registered at
+/// accept time — the fd number survives the socket being moved into its
+/// serve thread.
 class ConnectionRegistry {
  public:
-  std::shared_ptr<MessageSocket> Adopt(MessageSocket socket) {
-    auto shared = std::make_shared<MessageSocket>(std::move(socket));
+  void Register(int fd) {
     std::lock_guard<std::mutex> lock(mutex_);
-    connections_.push_back(shared);
-    return shared;
+    fds_.push_back(fd);
   }
 
   void ShutdownAll() {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& connection : connections_) {
-      if (connection->valid()) ::shutdown(connection->fd(), SHUT_RDWR);
-    }
+    for (const int fd : fds_) ::shutdown(fd, SHUT_RDWR);
   }
 
  private:
   std::mutex mutex_;
-  std::vector<std::shared_ptr<MessageSocket>> connections_;
+  std::vector<int> fds_;
 };
 
 // The listening fd, for the async-signal-safe shutdown path: SIGINT/SIGTERM
@@ -229,16 +287,38 @@ int Serve(const Args& args) {
     std::fclose(f);
   }
 
+  std::shared_ptr<ChaosDecider> chaos;
+  if (args.chaos.enabled()) {
+    ChaosPolicy policy = args.chaos;
+    // FUSION_SEED replays the whole daemon's fault schedule unless the
+    // operator pinned one explicitly.
+    if (!args.chaos_seed_set) policy.seed = GlobalSeed(policy.seed);
+    chaos = std::make_shared<ChaosDecider>(policy);
+    std::printf(
+        "%s: chaos enabled (drop=%.3g torn=%.3g delay=%.3g refuse=%.3g "
+        "hang=%.3g seed=%llu)\n",
+        args.name.c_str(), policy.drop_rate, policy.torn_write_rate,
+        policy.delay_rate, policy.accept_refuse_rate, policy.hang_rate,
+        static_cast<unsigned long long>(policy.seed));
+    std::fflush(stdout);
+  }
+
   ConnectionRegistry connections;
   std::vector<std::thread> threads;
   for (;;) {
     Result<MessageSocket> accepted = listener->Accept();
     if (!accepted.ok()) break;  // listener closed: shutdown
-    std::shared_ptr<MessageSocket> connection =
-        connections.Adopt(std::move(accepted).value());
-    threads.emplace_back([&service, connection] {
-      service.ServeConnection(std::move(*connection));
-    });
+    MessageSocket socket = std::move(accepted).value();
+    if (ChaosRefuseAccept(chaos.get())) {
+      socket.Close();
+      continue;
+    }
+    connections.Register(socket.fd());
+    threads.emplace_back(
+        [&service, chaos](MessageSocket s) {
+          service.ServeConnection(ChaosSocket(std::move(s), chaos));
+        },
+        std::move(socket));
   }
   // Signal path: reject new work, cancel in-flight queries, wake blocked
   // connection reads, then join everything.
