@@ -54,6 +54,7 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "protocol/chaos.h"
+#include "relational/columnar.h"
 #include "protocol/socket.h"
 
 namespace fusion {
@@ -68,7 +69,12 @@ namespace {
 // plus the recovery counters — client reconnects, idempotent SUBMIT replays
 // — and the oracle divergence count under that abuse, which
 // tools/bench_diff.py gates at zero.
-constexpr int kBenchSchemaVersion = 3;
+// v4: a "local_eval" section reports the columnar data plane's share of the
+// run — batch-kernel invocations, rows pushed through them, and emulated-
+// semijoin probes skipped by the merge-column Bloom pre-filter. The oracle
+// divergence gate is unchanged (and bench_diff.py requires it present and
+// zero from this schema on): vectorization may move time, never answers.
+constexpr int kBenchSchemaVersion = 4;
 
 struct Args {
   size_t tenants = 4;
@@ -805,6 +811,22 @@ int RunHarness(const Args& args) {
                 .counter(metrics::kSourceFailoversTotal)
                 .value()),
         divergences);
+    // Columnar data-plane counters, process-wide over the whole run (the
+    // service and its sources are in-process). batch_evals counts condition
+    // batch-kernel invocations; rows is their total input cardinality.
+    const ColumnarEvalStats local_eval = GetColumnarEvalStats();
+    json += StrFormat(
+        "  \"local_eval\": {\n"
+        "    \"batch_evals\": %llu,\n"
+        "    \"batch_rows_evaluated\": %llu,\n"
+        "    \"semijoin_probes_skipped\": %llu\n"
+        "  },\n",
+        static_cast<unsigned long long>(local_eval.batch_evals),
+        static_cast<unsigned long long>(local_eval.rows_evaluated),
+        static_cast<unsigned long long>(
+            MetricsRegistry::Global()
+                .counter(metrics::kSemijoinProbesSkipped)
+                .value()));
     // Per-tenant SLO rows from the server's own STATS exposition — what
     // tools/bench_diff.py gates per-tenant p99 on.
     json += "  \"tenants\": {";

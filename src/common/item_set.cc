@@ -4,6 +4,164 @@
 
 namespace fusion {
 
+namespace {
+
+/// True when every element of `v` has type `t` (the common case for item
+/// sets: one merge attribute, one type). Typed merge kernels below decode
+/// such sets to raw arrays so the merges run over contiguous scalars instead
+/// of dispatching through the Value variant per comparison.
+bool AllOfType(const std::vector<Value>& v, ValueType t) {
+  for (const Value& x : v) {
+    if (x.type() != t) return false;
+  }
+  return true;
+}
+
+/// The single uniform scalar type of two non-empty pools, or kNull when the
+/// pools mix types (then only the generic Value merge is order-correct:
+/// int64/double cross-compare numerically, everything else by type rank).
+ValueType CommonScalarType(const std::vector<Value>& a,
+                           const std::vector<Value>& b) {
+  const ValueType t = a[0].type();
+  if (t == ValueType::kNull) return ValueType::kNull;
+  if (b[0].type() != t) return ValueType::kNull;
+  if (!AllOfType(a, t) || !AllOfType(b, t)) return ValueType::kNull;
+  return t;
+}
+
+enum class SetOp { kUnion, kIntersect, kDifference };
+
+/// Sorted-run merge over decoded scalar arrays. For a pure-typed set the
+/// Value order restricts to the native scalar order (int64 via <, double via
+/// < with the same NaN behavior, string lexicographic), so merging decoded
+/// runs is exactly equivalent to merging the Value runs — just branch-lean
+/// and cache-friendly, with the result re-encoded at exact size.
+template <typename T>
+std::vector<T> MergeRuns(SetOp op, const std::vector<T>& a,
+                         const std::vector<T>& b) {
+  std::vector<T> out;
+  switch (op) {
+    case SetOp::kUnion:
+      out.reserve(a.size() + b.size());
+      std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                     std::back_inserter(out));
+      break;
+    case SetOp::kIntersect:
+      out.reserve(std::min(a.size(), b.size()));
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(out));
+      break;
+    case SetOp::kDifference:
+      out.reserve(a.size());
+      std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+      break;
+  }
+  return out;
+}
+
+std::vector<int64_t> DecodeInt64(const std::vector<Value>& v) {
+  std::vector<int64_t> out;
+  out.reserve(v.size());
+  for (const Value& x : v) out.push_back(x.int64());
+  return out;
+}
+
+std::vector<double> DecodeDouble(const std::vector<Value>& v) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (const Value& x : v) out.push_back(x.dbl());
+  return out;
+}
+
+/// Strings merge through a pointer run (no payload copies during the merge;
+/// only survivors are re-encoded).
+std::vector<const std::string*> DecodeString(const std::vector<Value>& v) {
+  std::vector<const std::string*> out;
+  out.reserve(v.size());
+  for (const Value& x : v) out.push_back(&x.str());
+  return out;
+}
+
+/// Dispatches one set operation to the typed kernel when both pools share a
+/// scalar type, else to the generic Value merge. Results are always
+/// right-sized: typed paths reserve the exact survivor count before
+/// re-encoding, the generic path shrinks after merging.
+std::vector<Value> ApplySetOp(SetOp op, const std::vector<Value>& a,
+                              const std::vector<Value>& b) {
+  switch (CommonScalarType(a, b)) {
+    case ValueType::kInt64: {
+      const std::vector<int64_t> merged =
+          MergeRuns(op, DecodeInt64(a), DecodeInt64(b));
+      std::vector<Value> out;
+      out.reserve(merged.size());
+      for (const int64_t x : merged) out.emplace_back(x);
+      return out;
+    }
+    case ValueType::kDouble: {
+      const std::vector<double> merged =
+          MergeRuns(op, DecodeDouble(a), DecodeDouble(b));
+      std::vector<Value> out;
+      out.reserve(merged.size());
+      for (const double x : merged) out.emplace_back(x);
+      return out;
+    }
+    case ValueType::kString: {
+      std::vector<const std::string*> out_ptrs;
+      const std::vector<const std::string*> da = DecodeString(a);
+      const std::vector<const std::string*> db = DecodeString(b);
+      const auto less = [](const std::string* x, const std::string* y) {
+        return *x < *y;
+      };
+      switch (op) {
+        case SetOp::kUnion:
+          out_ptrs.reserve(da.size() + db.size());
+          std::set_union(da.begin(), da.end(), db.begin(), db.end(),
+                         std::back_inserter(out_ptrs), less);
+          break;
+        case SetOp::kIntersect:
+          out_ptrs.reserve(std::min(da.size(), db.size()));
+          std::set_intersection(da.begin(), da.end(), db.begin(), db.end(),
+                                std::back_inserter(out_ptrs), less);
+          break;
+        case SetOp::kDifference:
+          out_ptrs.reserve(da.size());
+          std::set_difference(da.begin(), da.end(), db.begin(), db.end(),
+                              std::back_inserter(out_ptrs), less);
+          break;
+      }
+      std::vector<Value> out;
+      out.reserve(out_ptrs.size());
+      for (const std::string* s : out_ptrs) out.emplace_back(*s);
+      return out;
+    }
+    default: {
+      std::vector<Value> out;
+      switch (op) {
+        case SetOp::kUnion:
+          out.reserve(a.size() + b.size());
+          std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                         std::back_inserter(out));
+          break;
+        case SetOp::kIntersect:
+          out.reserve(std::min(a.size(), b.size()));
+          std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(out));
+          break;
+        case SetOp::kDifference:
+          out.reserve(a.size());
+          std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                              std::back_inserter(out));
+          break;
+      }
+      out.shrink_to_fit();
+      return out;
+    }
+  }
+}
+
+}  // namespace
+
 ItemSet::ItemSet(std::vector<Value> values) : values_(std::move(values)) {
   std::sort(values_.begin(), values_.end());
   values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
@@ -27,25 +185,20 @@ bool ItemSet::Insert(const Value& v) {
 }
 
 ItemSet ItemSet::Union(const ItemSet& a, const ItemSet& b) {
-  std::vector<Value> out;
-  out.reserve(a.size() + b.size());
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
-                 std::back_inserter(out));
-  return FromSortedUnique(std::move(out));
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return FromSortedUnique(ApplySetOp(SetOp::kUnion, a.values_, b.values_));
 }
 
 ItemSet ItemSet::Intersect(const ItemSet& a, const ItemSet& b) {
-  std::vector<Value> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return FromSortedUnique(std::move(out));
+  if (a.empty() || b.empty()) return ItemSet();
+  return FromSortedUnique(ApplySetOp(SetOp::kIntersect, a.values_, b.values_));
 }
 
 ItemSet ItemSet::Difference(const ItemSet& a, const ItemSet& b) {
-  std::vector<Value> out;
-  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                      std::back_inserter(out));
-  return FromSortedUnique(std::move(out));
+  if (a.empty()) return ItemSet();
+  if (b.empty()) return a;
+  return FromSortedUnique(ApplySetOp(SetOp::kDifference, a.values_, b.values_));
 }
 
 void ItemSet::UnionInPlace(const ItemSet& other) {
@@ -58,11 +211,66 @@ void ItemSet::UnionInPlace(const ItemSet& other) {
     values_.insert(values_.end(), other.begin(), other.end());
     return;
   }
-  const size_t mid = values_.size();
-  values_.insert(values_.end(), other.begin(), other.end());
-  std::inplace_merge(values_.begin(), values_.begin() + static_cast<long>(mid),
-                     values_.end());
-  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+  // General (interleaved) case: a single backward in-place merge touching
+  // only the suffix that can interact with `other`. Elements before
+  // `prefix` are strictly below other.front() and never move.
+  const size_t prefix = static_cast<size_t>(
+      std::lower_bound(values_.begin(), values_.end(), other.values_.front()) -
+      values_.begin());
+  // Two-pointer pass over the affected suffix: count elements of `other`
+  // not already present.
+  size_t fresh = 0;
+  {
+    size_t i = prefix, j = 0;
+    while (j < other.size()) {
+      if (i == values_.size()) {
+        fresh += other.size() - j;
+        break;
+      }
+      const Value& x = values_[i];
+      const Value& y = other.values_[j];
+      if (x < y) {
+        ++i;
+      } else if (y < x) {
+        ++fresh;
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+  }
+  if (fresh == 0) return;
+  const size_t old_size = values_.size();
+  values_.resize(old_size + fresh);
+  // Backward three-way merge. Invariant: w - i == fresh elements still to
+  // place. Once w == i every remaining slot already holds its final value
+  // (any leftover `other` elements are duplicates), so the loop stops there
+  // — this also rules out self-move assignments.
+  size_t i = old_size;
+  size_t j = other.size();
+  size_t w = values_.size();
+  while (w > i && j > 0 && i > prefix) {
+    const Value& x = values_[i - 1];
+    const Value& y = other.values_[j - 1];
+    if (x < y) {
+      values_[--w] = y;
+      --j;
+    } else if (y < x) {
+      values_[--w] = std::move(values_[i - 1]);
+      --i;
+    } else {
+      values_[--w] = std::move(values_[i - 1]);
+      --i;
+      --j;
+    }
+  }
+  // If i hit the prefix with fresh elements outstanding, everything left in
+  // `other` is fresh: it sorts at or above values_[prefix] and cannot equal
+  // a prefix element (those are strictly below other.front()).
+  while (w > i && j > 0) {
+    values_[--w] = other.values_[--j];
+  }
 }
 
 bool ItemSet::IsSubsetOf(const ItemSet& other) const {

@@ -169,7 +169,27 @@ Result<ItemSet> EmulateSemiJoin(SourceWrapper& source, const Condition& cond,
                                 const ExecOptions& options, CallContext ctx,
                                 CostLedger& ledger) {
   ItemSet result;
+  // Nothing to probe: return before acquiring any probe machinery (Bloom
+  // filter, probe conditions). sjq(c, R, ∅) = ∅ with zero source contact.
+  if (candidates.empty()) return result;
+  // Optional Bloom pre-filter: the source's merge-column filter has no
+  // false negatives, so a rejected binding cannot appear in any tuple and
+  // its probe is guaranteed to return ∅ — skipping it never changes the
+  // answer. It does change the metered ledger (skipped probes charge
+  // nothing), which is why the option defaults off: cost-fidelity tests pin
+  // the per-binding probe accounting.
+  std::shared_ptr<const BloomFilter> bloom;
+  if (options.bloom_probe_prefilter) {
+    bloom = source.MergeBloom(merge_attribute);
+  }
   for (const Value& item : candidates) {
+    if (bloom != nullptr && !bloom->MayContain(item)) {
+      static Counter& skipped = MetricsRegistry::Global().counter(
+          metrics::kSemijoinProbesSkipped);
+      skipped.Increment();
+      if (ctx.stats != nullptr) ++ctx.stats->semijoin_probes_skipped;
+      continue;
+    }
     const Condition probe =
         Condition::And(cond, Condition::Eq(merge_attribute, item));
     CostLedger local;

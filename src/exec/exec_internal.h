@@ -42,6 +42,9 @@ struct CallStats {
   /// miss (the exact key missed) but issues no source round trip.
   size_t cache_containment_hits = 0;
   size_t breaker_fast_fails = 0;
+  /// Emulated-semijoin probes skipped because the source's merge-column
+  /// Bloom filter ruled the binding out (options.bloom_probe_prefilter).
+  size_t semijoin_probes_skipped = 0;
 
   void MergeFrom(const CallStats& other) {
     retries += other.retries;
@@ -49,6 +52,7 @@ struct CallStats {
     cache_misses += other.cache_misses;
     cache_containment_hits += other.cache_containment_hits;
     breaker_fast_fails += other.breaker_fast_fails;
+    semijoin_probes_skipped += other.semijoin_probes_skipped;
   }
 };
 

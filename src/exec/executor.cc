@@ -189,6 +189,7 @@ class PlanInterpreter {
     report_.cache_misses = stats_.cache_misses;
     report_.cache_containment_hits = stats_.cache_containment_hits;
     report_.breaker_fast_fails = stats_.breaker_fast_fails;
+    report_.semijoin_probes_skipped = stats_.semijoin_probes_skipped;
     exec_internal::BuildCompletenessReport(plan_, reasons_,
                                            &report_.completeness);
   }

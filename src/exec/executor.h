@@ -90,6 +90,10 @@ struct ExecutionReport {
   /// Calls failed fast by an open circuit breaker (no round-trip issued, no
   /// ledger charge). 0 unless ExecOptions::health is attached.
   size_t breaker_fast_fails = 0;
+  /// Emulated-semijoin probes skipped because the source's merge-column
+  /// Bloom filter proved the binding absent (no probe issued, no charge).
+  /// 0 unless ExecOptions::bloom_probe_prefilter is on.
+  size_t semijoin_probes_skipped = 0;
   /// Which sources (if any) were excluded under degraded-mode execution,
   /// per condition — and the soundness contract of the partial answer.
   /// `completeness.answer_complete` is true for every non-degraded run.
@@ -231,6 +235,14 @@ struct ExecOptions {
   /// parallel execution's measured wall-clock makespan tracks the
   /// theoretical critical-path makespan. 0 (default) = no artificial delay.
   double simulated_seconds_per_cost = 0.0;
+  /// When true, emulated semijoins consult the source's merge-column Bloom
+  /// filter (SourceWrapper::MergeBloom) and skip probes for bindings the
+  /// filter rejects. A Bloom filter has no false negatives, so the answer is
+  /// byte-identical with the option on or off; only the metered probe
+  /// charges shrink (skipped probes never contact the source). Off by
+  /// default because the cost model — and the tests pinning it — meter one
+  /// probe per candidate.
+  bool bloom_probe_prefilter = false;
 };
 
 /// Rejects nonsensical options with kInvalidArgument before any source is

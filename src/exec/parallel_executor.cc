@@ -111,6 +111,7 @@ class ParallelPlanRun {
     report_.cache_misses = stats.cache_misses;
     report_.cache_containment_hits = stats.cache_containment_hits;
     report_.breaker_fast_fails = stats.breaker_fast_fails;
+    report_.semijoin_probes_skipped = stats.semijoin_probes_skipped;
     exec_internal::BuildCompletenessReport(plan_, op_reasons_,
                                            &report_.completeness);
     return Status::Ok();

@@ -292,6 +292,11 @@ void SourceCallCache::InsertLoad(size_t source, Relation relation) {
   if (entries_.find(key) != entries_.end()) return;  // first writer wins
   Entry entry;
   entry.relation = std::make_shared<const Relation>(std::move(relation));
+  // Cached relations are scanned repeatedly by containment derivation
+  // (DeriveSelect): build the columnar mirror up front so (a) those scans
+  // take the batch path from the first hit and (b) the byte budget accounts
+  // for the mirror's residency, not just the row store.
+  entry.relation->WarmColumnar();
   entry.bytes = entry.relation->ApproxBytes();
   InsertLocked(std::move(key), std::move(entry));
 }

@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "common/str_util.h"
+#include "relational/condition_internal.h"
 
 namespace fusion {
 
@@ -30,21 +31,6 @@ const char* CompareOpSymbol(CompareOp op) {
   }
   return "?";
 }
-
-struct Condition::Node {
-  enum class Kind { kTrue, kFalse, kCompare, kBetween, kIn, kAnd, kOr, kNot };
-
-  Kind kind = Kind::kTrue;
-  // kCompare / kBetween / kIn:
-  std::string attribute;
-  CompareOp op = CompareOp::kEq;
-  Value constant;          // kCompare
-  Value lo, hi;            // kBetween
-  std::vector<Value> set;  // kIn
-  // kAnd / kOr (two children) and kNot (one child):
-  std::shared_ptr<const Node> left;
-  std::shared_ptr<const Node> right;
-};
 
 Condition::Condition() {
   auto node = std::make_shared<Condition::Node>();

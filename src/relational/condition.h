@@ -11,6 +11,9 @@
 
 namespace fusion {
 
+class ColumnarTable;
+class SelectionBitmap;
+
 /// Comparison operators for condition atoms.
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
@@ -48,6 +51,13 @@ class Condition {
   /// not-satisfying any atom (SQL-ish three-valued logic collapsed to false).
   /// Errors if the condition references a column absent from `schema`.
   Result<bool> Evaluate(const Schema& schema, const Tuple& tuple) const;
+
+  /// Batch evaluation: resolves each atom's column index once, evaluates the
+  /// predicate over whole columns, and writes the satisfying rows into `out`
+  /// (resized to the table's row count). Bit i set ⇔ Evaluate(schema, row i)
+  /// returns true — the two evaluators are interchangeable by construction
+  /// (property-tested). Defined in columnar.cc.
+  Status EvaluateBatch(const ColumnarTable& table, SelectionBitmap* out) const;
 
   /// Checks all referenced attributes exist in `schema`.
   Status Validate(const Schema& schema) const;

@@ -7,14 +7,98 @@
 
 namespace fusion {
 
+Relation::Relation(const Relation& other)
+    : schema_(other.schema_), tuples_(other.tuples_) {
+  // Share the immutable columnar snapshot (cheap) rather than rebuilding.
+  std::lock_guard<std::mutex> lock(other.columnar_mu_);
+  columnar_ = other.columnar_;
+  columnar_failed_rows_ = other.columnar_failed_rows_;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : schema_(std::move(other.schema_)), tuples_(std::move(other.tuples_)) {
+  std::lock_guard<std::mutex> lock(other.columnar_mu_);
+  columnar_ = std::move(other.columnar_);
+  columnar_failed_rows_ = other.columnar_failed_rows_;
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  tuples_ = other.tuples_;
+  std::shared_ptr<const ColumnarTable> snapshot;
+  size_t failed_rows;
+  {
+    std::lock_guard<std::mutex> lock(other.columnar_mu_);
+    snapshot = other.columnar_;
+    failed_rows = other.columnar_failed_rows_;
+  }
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  columnar_ = std::move(snapshot);
+  columnar_failed_rows_ = failed_rows;
+  return *this;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  tuples_ = std::move(other.tuples_);
+  std::shared_ptr<const ColumnarTable> snapshot;
+  size_t failed_rows;
+  {
+    std::lock_guard<std::mutex> lock(other.columnar_mu_);
+    snapshot = std::move(other.columnar_);
+    failed_rows = other.columnar_failed_rows_;
+  }
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  columnar_ = std::move(snapshot);
+  columnar_failed_rows_ = failed_rows;
+  return *this;
+}
+
 Status Relation::Append(Tuple tuple) {
   FUSION_RETURN_IF_ERROR(ValidateTuple(schema_, tuple));
   tuples_.push_back(std::move(tuple));
   return Status::Ok();
 }
 
-Result<Relation> Relation::Select(const Condition& cond) const {
+std::shared_ptr<const ColumnarTable> Relation::GetOrBuildColumnar() const {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  if (columnar_ && columnar_->num_rows() == tuples_.size()) return columnar_;
+  if (columnar_failed_rows_ == tuples_.size()) return nullptr;
+  Result<ColumnarTable> built = ColumnarTable::FromRows(schema_, tuples_);
+  if (!built.ok()) {
+    columnar_failed_rows_ = tuples_.size();
+    columnar_.reset();
+    return nullptr;
+  }
+  columnar_ =
+      std::make_shared<const ColumnarTable>(std::move(built).value());
+  columnar_failed_rows_ = SIZE_MAX;
+  return columnar_;
+}
+
+void Relation::WarmColumnar() const { GetOrBuildColumnar(); }
+
+std::shared_ptr<const ColumnarTable> Relation::columnar() const {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  if (columnar_ && columnar_->num_rows() == tuples_.size()) return columnar_;
+  return nullptr;
+}
+
+Result<Relation> Relation::Select(const Condition& cond,
+                                  EvalPath path) const {
   FUSION_RETURN_IF_ERROR(cond.Validate(schema_));
+  if (UseColumnar(path)) {
+    if (std::shared_ptr<const ColumnarTable> table = GetOrBuildColumnar()) {
+      SelectionBitmap keep(table->num_rows());
+      FUSION_RETURN_IF_ERROR(cond.EvaluateBatch(*table, &keep));
+      Relation out(schema_);
+      out.tuples_.reserve(keep.CountSet());
+      keep.ForEachSet([&](size_t r) { out.tuples_.push_back(tuples_[r]); });
+      return out;
+    }
+  }
   Relation out(schema_);
   for (const Tuple& t : tuples_) {
     FUSION_ASSIGN_OR_RETURN(const bool keep, cond.Evaluate(schema_, t));
@@ -24,9 +108,22 @@ Result<Relation> Relation::Select(const Condition& cond) const {
 }
 
 Result<ItemSet> Relation::SelectItems(const Condition& cond,
-                                      const std::string& attribute) const {
+                                      const std::string& attribute,
+                                      EvalPath path) const {
   FUSION_RETURN_IF_ERROR(cond.Validate(schema_));
   FUSION_ASSIGN_OR_RETURN(const size_t idx, schema_.IndexOf(attribute));
+  if (UseColumnar(path)) {
+    if (std::shared_ptr<const ColumnarTable> table = GetOrBuildColumnar()) {
+      SelectionBitmap keep(table->num_rows());
+      FUSION_RETURN_IF_ERROR(cond.EvaluateBatch(*table, &keep));
+      const ColumnView col = table->column(idx);
+      if (col.has_nulls()) keep.AndWith(col.column().valid);
+      std::vector<Value> out;
+      out.reserve(keep.CountSet());
+      keep.ForEachSet([&](size_t r) { out.push_back(col.GetValue(r)); });
+      return ItemSet(std::move(out));
+    }
+  }
   std::vector<Value> out;
   for (const Tuple& t : tuples_) {
     if (t[idx].is_null()) continue;
@@ -38,9 +135,24 @@ Result<ItemSet> Relation::SelectItems(const Condition& cond,
 
 Result<ItemSet> Relation::SemiJoinItems(const Condition& cond,
                                         const std::string& attribute,
-                                        const ItemSet& candidates) const {
+                                        const ItemSet& candidates,
+                                        EvalPath path) const {
   FUSION_RETURN_IF_ERROR(cond.Validate(schema_));
   FUSION_ASSIGN_OR_RETURN(const size_t idx, schema_.IndexOf(attribute));
+  if (UseColumnar(path)) {
+    if (std::shared_ptr<const ColumnarTable> table = GetOrBuildColumnar()) {
+      SelectionBitmap keep(table->num_rows());
+      FUSION_RETURN_IF_ERROR(cond.EvaluateBatch(*table, &keep));
+      const ColumnView col = table->column(idx);
+      if (col.has_nulls()) keep.AndWith(col.column().valid);
+      std::vector<Value> out;
+      keep.ForEachSet([&](size_t r) {
+        Value v = col.GetValue(r);
+        if (candidates.Contains(v)) out.push_back(std::move(v));
+      });
+      return ItemSet(std::move(out));
+    }
+  }
   std::vector<Value> out;
   for (const Tuple& t : tuples_) {
     if (t[idx].is_null() || !candidates.Contains(t[idx])) continue;
@@ -50,8 +162,16 @@ Result<ItemSet> Relation::SemiJoinItems(const Condition& cond,
   return ItemSet(std::move(out));
 }
 
-Result<size_t> Relation::CountWhere(const Condition& cond) const {
+Result<size_t> Relation::CountWhere(const Condition& cond,
+                                    EvalPath path) const {
   FUSION_RETURN_IF_ERROR(cond.Validate(schema_));
+  if (UseColumnar(path)) {
+    if (std::shared_ptr<const ColumnarTable> table = GetOrBuildColumnar()) {
+      SelectionBitmap keep(table->num_rows());
+      FUSION_RETURN_IF_ERROR(cond.EvaluateBatch(*table, &keep));
+      return keep.CountSet();
+    }
+  }
   size_t count = 0;
   for (const Tuple& t : tuples_) {
     FUSION_ASSIGN_OR_RETURN(const bool keep, cond.Evaluate(schema_, t));
@@ -91,6 +211,11 @@ size_t Relation::ApproxBytes() const {
     for (const Value& v : tuple) {
       if (v.type() == ValueType::kString) bytes += v.str().capacity();
     }
+  }
+  // A built columnar mirror is resident memory too — byte-budgeted caches
+  // must account for it (WarmColumnar before sizing makes this deterministic).
+  if (std::shared_ptr<const ColumnarTable> table = columnar()) {
+    bytes += table->ApproxBytes();
   }
   return bytes;
 }

@@ -1,22 +1,45 @@
 #ifndef FUSION_RELATIONAL_RELATION_H_
 #define FUSION_RELATIONAL_RELATION_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/item_set.h"
 #include "common/status.h"
+#include "relational/columnar.h"
 #include "relational/condition.h"
 #include "relational/schema.h"
 
 namespace fusion {
 
+/// Which condition evaluator a read-side scan uses. kAuto picks the columnar
+/// batch path for relations large enough to amortize the (lazy, cached)
+/// column-store build, and the row interpreter otherwise. kRow / kColumnar
+/// force a path — tests use them to cross-check that both produce identical
+/// answers.
+enum class EvalPath { kAuto, kRow, kColumnar };
+
 /// An in-memory relation instance: a schema plus a bag of tuples. This is the
 /// storage behind each simulated autonomous source `R_j`.
+///
+/// The row store (`tuples_`) stays authoritative; a column-major mirror
+/// (ColumnarTable) is built lazily on the first large enough scan and cached.
+/// Appends do not invalidate eagerly — staleness is detected by row-count
+/// comparison at use time, keeping AppendUnchecked a plain push_back. If the
+/// build fails (hand-assembled ill-typed tuples), the failure is cached and
+/// the relation permanently uses the row path, preserving legacy semantics.
 class Relation {
  public:
   Relation() = default;
   explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  Relation(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(const Relation& other);
+  Relation& operator=(Relation&& other) noexcept;
 
   const Schema& schema() const { return schema_; }
   size_t size() const { return tuples_.size(); }
@@ -32,21 +55,34 @@ class Relation {
   void AppendUnchecked(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
 
   /// Returns the tuples satisfying `cond`.
-  Result<Relation> Select(const Condition& cond) const;
+  Result<Relation> Select(const Condition& cond,
+                          EvalPath path = EvalPath::kAuto) const;
 
   /// Distinct values of column `attribute` over tuples satisfying `cond`
   /// (NULLs excluded). This is the source-side work of sq(c_i, R_j).
   Result<ItemSet> SelectItems(const Condition& cond,
-                              const std::string& attribute) const;
+                              const std::string& attribute,
+                              EvalPath path = EvalPath::kAuto) const;
 
   /// Subset of `candidates` that appear (in column `attribute`) in some tuple
   /// satisfying `cond`. This is the source-side work of sjq(c_i, R_j, X).
   Result<ItemSet> SemiJoinItems(const Condition& cond,
                                 const std::string& attribute,
-                                const ItemSet& candidates) const;
+                                const ItemSet& candidates,
+                                EvalPath path = EvalPath::kAuto) const;
 
   /// Number of tuples satisfying `cond` (used by oracle statistics).
-  Result<size_t> CountWhere(const Condition& cond) const;
+  Result<size_t> CountWhere(const Condition& cond,
+                            EvalPath path = EvalPath::kAuto) const;
+
+  /// Builds (or refreshes) the columnar mirror now. Long-lived relations —
+  /// e.g. cache-resident loads — call this so later scans skip the lazy
+  /// build and ApproxBytes reflects the true resident footprint up front.
+  void WarmColumnar() const;
+
+  /// The cached columnar mirror if built and current, else nullptr. Never
+  /// triggers a build.
+  std::shared_ptr<const ColumnarTable> columnar() const;
 
   /// Bag union; requires identical schemas.
   static Result<Relation> Union(const Relation& a, const Relation& b);
@@ -62,8 +98,30 @@ class Relation {
   size_t ApproxBytes() const;
 
  private:
+  /// Returns the columnar mirror, building it under `columnar_mu_` if absent
+  /// or stale (row count moved since the build). Returns nullptr — and
+  /// remembers the failure so it is not retried until the relation grows —
+  /// when the rows cannot be columnarized (declared/runtime type mismatch).
+  std::shared_ptr<const ColumnarTable> GetOrBuildColumnar() const;
+
+  /// True when `path` resolves to the batch evaluator for this relation.
+  bool UseColumnar(EvalPath path) const {
+    return path == EvalPath::kColumnar ||
+           (path == EvalPath::kAuto && tuples_.size() >= kColumnarMinRows);
+  }
+
+  /// kAuto threshold: below this the build cost dominates any batch win.
+  static constexpr size_t kColumnarMinRows = 64;
+
   Schema schema_;
   std::vector<Tuple> tuples_;
+
+  // Lazy columnar cache. The mutex only guards the cache slots, never the
+  // row store; `columnar_failed_rows_` records the row count at which a
+  // build failed so failures are cached too.
+  mutable std::mutex columnar_mu_;
+  mutable std::shared_ptr<const ColumnarTable> columnar_;
+  mutable size_t columnar_failed_rows_ = SIZE_MAX;
 };
 
 /// Serializes a relation to CSV with a `name:type` header line.

@@ -1,0 +1,595 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/bloom.h"
+#include "common/item_set.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "relational/columnar.h"
+#include "relational/relation.h"
+#include "source/catalog.h"
+#include "source/simulated_source.h"
+
+namespace fusion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random-instance generators for the row-vs-columnar differential tests
+// ---------------------------------------------------------------------------
+
+Schema TestSchema() {
+  return Schema({{"M", ValueType::kString},
+                 {"i", ValueType::kInt64},
+                 {"d", ValueType::kDouble},
+                 {"s", ValueType::kString}});
+}
+
+Value RandomValueFor(Rng& rng, ValueType type, bool allow_null,
+                     bool allow_nan = true) {
+  if (allow_null && rng.Bernoulli(0.12)) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64:
+      return Value(rng.Uniform(-20, 20));
+    case ValueType::kDouble:
+      if (allow_nan && rng.Bernoulli(0.05)) {
+        return Value(std::numeric_limits<double>::quiet_NaN());
+      }
+      // Half-integral values so int64/double cross-equality actually fires.
+      return Value(static_cast<double>(rng.Uniform(-40, 40)) / 2.0);
+    case ValueType::kString:
+      return Value("v" + std::to_string(rng.Uniform(0, 30)));
+    case ValueType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+Relation RandomRelation(Rng& rng, size_t rows) {
+  const Schema schema = TestSchema();
+  Relation rel(schema);
+  for (size_t r = 0; r < rows; ++r) {
+    Tuple t;
+    t.reserve(schema.num_columns());
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      t.push_back(RandomValueFor(rng, schema.column(c).type, /*allow_null=*/true));
+    }
+    rel.AppendUnchecked(std::move(t));
+  }
+  return rel;
+}
+
+/// A random constant that may deliberately mismatch the attribute's type —
+/// exercising cross-type compare semantics (numeric promotion, type-rank
+/// verdicts, NULL constants).
+Value RandomConstant(Rng& rng, ValueType attr_type) {
+  const double roll = rng.NextDouble();
+  if (roll < 0.05) return Value::Null();
+  if (roll < 0.25) {
+    const ValueType other[] = {ValueType::kInt64, ValueType::kDouble,
+                               ValueType::kString};
+    return RandomValueFor(rng, other[rng.Uniform(0, 2)], /*allow_null=*/false);
+  }
+  return RandomValueFor(rng, attr_type, /*allow_null=*/false);
+}
+
+Condition RandomCondition(Rng& rng, const Schema& schema, int depth) {
+  if (depth > 0 && rng.Bernoulli(0.55)) {
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        return Condition::And(RandomCondition(rng, schema, depth - 1),
+                              RandomCondition(rng, schema, depth - 1));
+      case 1:
+        return Condition::Or(RandomCondition(rng, schema, depth - 1),
+                             RandomCondition(rng, schema, depth - 1));
+      default:
+        return Condition::Not(RandomCondition(rng, schema, depth - 1));
+    }
+  }
+  const size_t attr_idx =
+      static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(schema.num_columns()) - 1));
+  const std::string& attr = schema.column(attr_idx).name;
+  const ValueType attr_type = schema.column(attr_idx).type;
+  switch (rng.Uniform(0, 4)) {
+    case 0:
+    case 1: {
+      const CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                               CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+      return Condition::Compare(attr, ops[rng.Uniform(0, 5)],
+                                RandomConstant(rng, attr_type));
+    }
+    case 2:
+      return Condition::Between(attr, RandomConstant(rng, attr_type),
+                                RandomConstant(rng, attr_type));
+    case 3: {
+      std::vector<Value> set;
+      const int64_t n = rng.Uniform(0, 4);
+      for (int64_t i = 0; i < n; ++i) {
+        set.push_back(RandomConstant(rng, attr_type));
+      }
+      return Condition::In(attr, std::move(set));
+    }
+    default:
+      return rng.Bernoulli(0.5) ? Condition::True() : Condition::False();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole invariant: the batch evaluator is interchangeable with the row
+// interpreter — byte-identical answers on every operation, every tree shape
+// ---------------------------------------------------------------------------
+
+TEST(ColumnarTest, RandomConditionsMatchRowPathOnAllOperations) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Relation rel = RandomRelation(rng, 40 + trial * 9);
+    const Condition cond = RandomCondition(rng, rel.schema(), 3);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": " + cond.ToString());
+
+    const auto row_sel = rel.Select(cond, EvalPath::kRow);
+    const auto col_sel = rel.Select(cond, EvalPath::kColumnar);
+    ASSERT_TRUE(row_sel.ok());
+    ASSERT_TRUE(col_sel.ok());
+    EXPECT_EQ(row_sel->ToString(), col_sel->ToString());
+
+    const auto row_items = rel.SelectItems(cond, "M", EvalPath::kRow);
+    const auto col_items = rel.SelectItems(cond, "M", EvalPath::kColumnar);
+    ASSERT_TRUE(row_items.ok());
+    ASSERT_TRUE(col_items.ok());
+    EXPECT_EQ(row_items->ToString(), col_items->ToString());
+
+    const auto row_count = rel.CountWhere(cond, EvalPath::kRow);
+    const auto col_count = rel.CountWhere(cond, EvalPath::kColumnar);
+    ASSERT_TRUE(row_count.ok());
+    ASSERT_TRUE(col_count.ok());
+    EXPECT_EQ(row_count.value(), col_count.value());
+
+    // Semijoin with a candidate set drawn from the data (plus misses).
+    std::vector<Value> cand;
+    for (int i = 0; i < 12; ++i) {
+      cand.push_back(rng.Bernoulli(0.7)
+                         ? Value("v" + std::to_string(rng.Uniform(0, 30)))
+                         : Value("miss" + std::to_string(i)));
+    }
+    const ItemSet candidates(std::move(cand));
+    const auto row_sj = rel.SemiJoinItems(cond, "M", candidates, EvalPath::kRow);
+    const auto col_sj =
+        rel.SemiJoinItems(cond, "M", candidates, EvalPath::kColumnar);
+    ASSERT_TRUE(row_sj.ok());
+    ASSERT_TRUE(col_sj.ok());
+    EXPECT_EQ(row_sj->ToString(), col_sj->ToString());
+  }
+}
+
+TEST(ColumnarTest, NumericCrossTypeAndNaNEdgeCases) {
+  Schema schema({{"M", ValueType::kString}, {"x", ValueType::kDouble}});
+  Relation rel(schema);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  int id = 0;
+  for (const double v : {0.0, -0.0, 1.0, 2.5, -3.0, nan, inf, -inf, 1e308}) {
+    rel.AppendUnchecked({Value("m" + std::to_string(id++)), Value(v)});
+  }
+  rel.AppendUnchecked({Value("mnull"), Value::Null()});
+  const CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                           CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+  const Value consts[] = {Value(int64_t{1}),  Value(1.0),  Value(nan),
+                          Value(int64_t{-3}), Value(-0.0), Value::Null(),
+                          Value("1")};
+  for (const CompareOp op : ops) {
+    for (const Value& k : consts) {
+      const Condition cond = Condition::Compare("x", op, k);
+      SCOPED_TRACE(cond.ToString());
+      const auto row = rel.SelectItems(cond, "M", EvalPath::kRow);
+      const auto col = rel.SelectItems(cond, "M", EvalPath::kColumnar);
+      ASSERT_TRUE(row.ok());
+      ASSERT_TRUE(col.ok());
+      EXPECT_EQ(row->ToString(), col->ToString());
+      // NOT flips NULL rows to true in both evaluators.
+      const Condition negated = Condition::Not(cond);
+      const auto row_n = rel.SelectItems(negated, "M", EvalPath::kRow);
+      const auto col_n = rel.SelectItems(negated, "M", EvalPath::kColumnar);
+      ASSERT_TRUE(row_n.ok());
+      ASSERT_TRUE(col_n.ok());
+      EXPECT_EQ(row_n->ToString(), col_n->ToString());
+    }
+  }
+}
+
+TEST(ColumnarTest, StringDictionaryCompareAllOpsAbsentAndPresentConstants) {
+  Schema schema({{"M", ValueType::kString}, {"s", ValueType::kString}});
+  Relation rel(schema);
+  int id = 0;
+  for (const char* v : {"apple", "banana", "banana", "cherry", "date"}) {
+    rel.AppendUnchecked({Value("m" + std::to_string(id++)), Value(v)});
+  }
+  rel.AppendUnchecked({Value("mnull"), Value::Null()});
+  const CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                           CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+  // "" sorts before all, "az"/"bz" between dict entries, "zz" after all.
+  for (const char* k : {"", "apple", "az", "banana", "bz", "date", "zz"}) {
+    for (const CompareOp op : ops) {
+      const Condition cond = Condition::Compare("s", op, Value(k));
+      SCOPED_TRACE(cond.ToString());
+      const auto row = rel.SelectItems(cond, "M", EvalPath::kRow);
+      const auto col = rel.SelectItems(cond, "M", EvalPath::kColumnar);
+      ASSERT_TRUE(row.ok());
+      ASSERT_TRUE(col.ok());
+      EXPECT_EQ(row->ToString(), col->ToString());
+    }
+  }
+}
+
+TEST(ColumnarTest, IllTypedRelationFallsBackToRowSemantics) {
+  // AppendUnchecked lets a double sneak into a declared-int64 column; the
+  // columnar build must fail (cached) and kColumnar silently use the row
+  // path — same answers as kRow, no error.
+  Schema schema({{"M", ValueType::kString}, {"i", ValueType::kInt64}});
+  Relation rel(schema);
+  rel.AppendUnchecked({Value("a"), Value(int64_t{1})});
+  rel.AppendUnchecked({Value("b"), Value(2.5)});  // ill-typed
+  rel.AppendUnchecked({Value("c"), Value(int64_t{3})});
+  EXPECT_EQ(rel.columnar(), nullptr);
+  const Condition cond = Condition::Compare("i", CompareOp::kGt, Value(1.0));
+  const auto row = rel.SelectItems(cond, "M", EvalPath::kRow);
+  const auto col = rel.SelectItems(cond, "M", EvalPath::kColumnar);
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(row->ToString(), col->ToString());
+  EXPECT_EQ(col->ToString(), "{'b', 'c'}");
+  EXPECT_EQ(rel.columnar(), nullptr);  // build failure cached, not retried
+}
+
+TEST(ColumnarTest, UnknownAttributeErrorsMatchRowPath) {
+  Rng rng(7);
+  const Relation rel = RandomRelation(rng, 80);
+  const Condition cond = Condition::Eq("nope", Value(int64_t{1}));
+  const auto row = rel.Select(cond, EvalPath::kRow);
+  const auto col = rel.Select(cond, EvalPath::kColumnar);
+  ASSERT_FALSE(row.ok());
+  ASSERT_FALSE(col.ok());
+  EXPECT_EQ(row.status().code(), col.status().code());
+}
+
+TEST(ColumnarTest, StalenessDetectedAfterAppend) {
+  Rng rng(11);
+  Relation rel = RandomRelation(rng, 100);
+  const Condition cond = Condition::True();
+  ASSERT_TRUE(rel.CountWhere(cond, EvalPath::kColumnar).ok());
+  ASSERT_NE(rel.columnar(), nullptr);
+  rel.AppendUnchecked({Value("zz"), Value(int64_t{5}), Value(1.0), Value("x")});
+  EXPECT_EQ(rel.columnar(), nullptr);  // stale mirror not served
+  const auto count = rel.CountWhere(cond, EvalPath::kColumnar);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 101u);  // rebuilt over the new row count
+}
+
+TEST(ColumnarTest, ConcurrentLazyBuildIsRaceFree) {
+  // 8 threads race the first columnar scan of a shared relation; the build
+  // must happen exactly once (or harmlessly more) with every thread seeing
+  // the row-path answer. Run under the TSan matrix via the `concurrency`
+  // ctest label.
+  Rng rng(99);
+  const Relation rel = RandomRelation(rng, 500);
+  const Condition cond =
+      Condition::Compare("i", CompareOp::kGe, Value(int64_t{0}));
+  const auto expected = rel.SelectItems(cond, "M", EvalPath::kRow);
+  ASSERT_TRUE(expected.ok());
+  std::vector<std::thread> threads;
+  std::vector<std::string> got(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const auto items = rel.SelectItems(cond, "M", EvalPath::kColumnar);
+      got[t] = items.ok() ? items->ToString() : items.status().ToString();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& s : got) EXPECT_EQ(s, expected->ToString());
+}
+
+TEST(ColumnarTest, ApproxBytesGrowsWhenMirrorIsWarm) {
+  Rng rng(5);
+  const Relation rel = RandomRelation(rng, 200);
+  const size_t cold = rel.ApproxBytes();
+  rel.WarmColumnar();
+  EXPECT_GT(rel.ApproxBytes(), cold);
+}
+
+// ---------------------------------------------------------------------------
+// ItemSet: typed merge kernels vs std::set_* reference (satellite 5), plus
+// the right-sizing (satellite 1) and in-place merge (satellite 2) fixes
+// ---------------------------------------------------------------------------
+
+/// Item pools exclude NaN: NaN breaks Value's strict weak order, so an
+/// ItemSet built over it violates its own sorted-unique invariant (a
+/// pre-existing pathology shared with the legacy merges) — set-op inputs are
+/// contractually invariant-respecting.
+std::vector<Value> RandomPool(Rng& rng, ValueType type, size_t n) {
+  std::vector<Value> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(
+        RandomValueFor(rng, type, /*allow_null=*/false, /*allow_nan=*/false));
+  }
+  return out;
+}
+
+void CheckSetOpsAgainstReference(const ItemSet& a, const ItemSet& b) {
+  std::vector<Value> u, i, d;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(u));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(i));
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(d));
+  EXPECT_EQ(ItemSet::Union(a, b).ToString(),
+            ItemSet::FromSortedUnique(u).ToString());
+  EXPECT_EQ(ItemSet::Intersect(a, b).ToString(),
+            ItemSet::FromSortedUnique(i).ToString());
+  EXPECT_EQ(ItemSet::Difference(a, b).ToString(),
+            ItemSet::FromSortedUnique(d).ToString());
+  ItemSet acc = a;
+  acc.UnionInPlace(b);
+  EXPECT_EQ(acc.ToString(), ItemSet::FromSortedUnique(u).ToString());
+}
+
+TEST(ItemSetKernelTest, TypedAndMixedPoolsMatchReference) {
+  Rng rng(31337);
+  const ValueType types[] = {ValueType::kInt64, ValueType::kDouble,
+                             ValueType::kString};
+  for (int trial = 0; trial < 40; ++trial) {
+    // Same-typed pools hit the decoded kernels...
+    for (const ValueType t : types) {
+      const ItemSet a(RandomPool(rng, t, 1 + trial % 17));
+      const ItemSet b(RandomPool(rng, t, 1 + (trial * 7) % 23));
+      CheckSetOpsAgainstReference(a, b);
+    }
+    // ...mixed pools take the generic path (int64/double cross-order).
+    std::vector<Value> mixed_a = RandomPool(rng, ValueType::kInt64, 8);
+    std::vector<Value> mixed_b = RandomPool(rng, ValueType::kDouble, 8);
+    std::vector<Value> more = RandomPool(rng, ValueType::kDouble, 4);
+    mixed_a.insert(mixed_a.end(), more.begin(), more.end());
+    CheckSetOpsAgainstReference(ItemSet(std::move(mixed_a)),
+                                ItemSet(std::move(mixed_b)));
+  }
+}
+
+TEST(ItemSetKernelTest, EmptyOperandFastPaths) {
+  const ItemSet empty;
+  const ItemSet a(
+      {Value(int64_t{3}), Value(int64_t{1}), Value(int64_t{2})});
+  EXPECT_EQ(ItemSet::Union(empty, a).ToString(), a.ToString());
+  EXPECT_EQ(ItemSet::Union(a, empty).ToString(), a.ToString());
+  EXPECT_EQ(ItemSet::Intersect(empty, a).ToString(), "{}");
+  EXPECT_EQ(ItemSet::Difference(empty, a).ToString(), "{}");
+  EXPECT_EQ(ItemSet::Difference(a, empty).ToString(), a.ToString());
+}
+
+TEST(ItemSetKernelTest, UnionResultIsRightSized) {
+  // Satellite regression: Union used to reserve |a|+|b| and keep that
+  // capacity forever, so heavily-overlapping merges wasted ~2x memory and
+  // ApproxBytes (the cache's sizing input) over-reported. The merged set's
+  // ApproxBytes must now be within one Value of its exact payload.
+  std::vector<Value> av, bv;
+  for (int64_t i = 0; i < 1000; ++i) {
+    av.push_back(Value(i));
+    bv.push_back(Value(i + 1));  // 999 shared, 1 fresh
+  }
+  const ItemSet a(std::move(av)), b(std::move(bv));
+  const ItemSet u = ItemSet::Union(a, b);
+  ASSERT_EQ(u.size(), 1001u);
+  const size_t exact = sizeof(ItemSet) + u.size() * sizeof(Value);
+  EXPECT_LE(u.ApproxBytes(), exact + sizeof(Value));
+  // Intersect and Difference as well: no inherited over-capacity.
+  const ItemSet inter = ItemSet::Intersect(a, b);
+  EXPECT_LE(inter.ApproxBytes(),
+            sizeof(ItemSet) + (inter.size() + 1) * sizeof(Value));
+  const ItemSet diff = ItemSet::Difference(a, b);
+  EXPECT_LE(diff.ApproxBytes(),
+            sizeof(ItemSet) + (diff.size() + 1) * sizeof(Value));
+}
+
+TEST(ItemSetKernelTest, UnionInPlaceInterleavedAccumulation) {
+  // Satellite regression: interleaved UnionInPlace used to degrade to a
+  // full insert + inplace_merge + unique rebuild per call. Verify the
+  // backward-merge rewrite stays correct across an adversarial interleaved
+  // accumulation (odd/even stripes, duplicates, overlapping runs).
+  ItemSet acc;
+  std::set<int64_t> reference;
+  Rng rng(404);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Value> piece;
+    const int64_t start = rng.Uniform(0, 100);
+    const int64_t step = 1 + rng.Uniform(0, 3);
+    for (int64_t k = 0; k < 20; ++k) {
+      const int64_t v = start + k * step;
+      piece.push_back(Value(v));
+      reference.insert(v);
+    }
+    acc.UnionInPlace(ItemSet(std::move(piece)));
+    ASSERT_EQ(acc.size(), reference.size());
+  }
+  std::vector<Value> expected;
+  for (const int64_t v : reference) expected.push_back(Value(v));
+  EXPECT_EQ(acc.ToString(), ItemSet(std::move(expected)).ToString());
+}
+
+TEST(ItemSetKernelTest, UnionInPlaceAllDuplicateSuffixNoCorruption) {
+  // The backward merge must terminate cleanly when every remaining element
+  // of `other` is already present (w catches up to i — the self-move
+  // hazard).
+  ItemSet acc({Value(int64_t{1}), Value(int64_t{2}), Value(int64_t{5})});
+  acc.UnionInPlace(ItemSet({Value(int64_t{1}), Value(int64_t{4})}));
+  EXPECT_EQ(acc.ToString(), "{1, 2, 4, 5}");
+  ItemSet again = acc;
+  again.UnionInPlace(acc);  // pure duplicates: no fresh elements at all
+  EXPECT_EQ(again.ToString(), "{1, 2, 4, 5}");
+}
+
+// ---------------------------------------------------------------------------
+// Bloom filter
+// ---------------------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  Rng rng(8);
+  BloomFilter filter(500, 0.01);
+  std::vector<Value> inserted;
+  for (int i = 0; i < 500; ++i) {
+    Value v = RandomValueFor(
+        rng,
+        i % 3 == 0 ? ValueType::kInt64
+                   : (i % 3 == 1 ? ValueType::kDouble : ValueType::kString),
+        /*allow_null=*/false);
+    filter.Insert(v);
+    inserted.push_back(std::move(v));
+  }
+  for (const Value& v : inserted) EXPECT_TRUE(filter.MayContain(v));
+}
+
+TEST(BloomFilterTest, CrossTypeNumericEqualityIsBloomSafe) {
+  // int64 5 == double 5.0 under Value::Compare; Value::Hash makes them
+  // collide, so a filter fed int64s cannot false-negative the equal double.
+  BloomFilter filter(16, 0.01);
+  filter.Insert(Value(int64_t{5}));
+  EXPECT_TRUE(filter.MayContain(Value(5.0)));
+  filter.Insert(Value(7.0));
+  EXPECT_TRUE(filter.MayContain(Value(int64_t{7})));
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  const BloomFilter filter;
+  EXPECT_FALSE(filter.MayContain(Value(int64_t{1})));
+  EXPECT_FALSE(filter.MayContain(Value("x")));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateIsSane) {
+  BloomFilter filter(1000, 0.01);
+  for (int64_t i = 0; i < 1000; ++i) filter.Insert(Value(i));
+  size_t false_positives = 0;
+  const size_t probes = 10000;
+  for (size_t i = 0; i < probes; ++i) {
+    if (filter.MayContain(Value(static_cast<int64_t>(1000000 + i)))) {
+      ++false_positives;
+    }
+  }
+  // ~1% target; allow generous slack against hash unluckiness.
+  EXPECT_LT(false_positives, probes / 20);
+}
+
+// ---------------------------------------------------------------------------
+// Bloom probe pre-filter: answers identical, probes skipped, charges shrink
+// ---------------------------------------------------------------------------
+
+/// Source 0 holds M in {m0..m59}; source 1 (passed-bindings only) holds only
+/// {m0..m9}, so 50 of the 60 probe bindings are guaranteed misses.
+struct BloomInstance {
+  SourceCatalog catalog;
+  FusionQuery query;
+};
+
+BloomInstance MakeBloomInstance() {
+  Schema schema({{"M", ValueType::kString}, {"i", ValueType::kInt64}});
+  Relation wide(schema), narrow(schema);
+  for (int64_t k = 0; k < 60; ++k) {
+    EXPECT_TRUE(wide.Append({Value("m" + std::to_string(k)), Value(k)}).ok());
+  }
+  for (int64_t k = 0; k < 10; ++k) {
+    EXPECT_TRUE(narrow.Append({Value("m" + std::to_string(k)), Value(k)}).ok());
+  }
+  Capabilities native;
+  Capabilities passed_only;
+  passed_only.semijoin = SemijoinSupport::kPassedBindingsOnly;
+  BloomInstance out;
+  EXPECT_TRUE(out.catalog
+                  .Add(std::make_unique<SimulatedSource>(
+                      "wide", std::move(wide), native, NetworkProfile{}))
+                  .ok());
+  EXPECT_TRUE(out.catalog
+                  .Add(std::make_unique<SimulatedSource>(
+                      "narrow", std::move(narrow), passed_only,
+                      NetworkProfile{}))
+                  .ok());
+  out.query = FusionQuery(
+      "M", {Condition::Compare("i", CompareOp::kGe, Value(int64_t{0})),
+            Condition::Compare("i", CompareOp::kGe, Value(int64_t{0}))});
+  return out;
+}
+
+TEST(BloomPrefilterTest, SkipsGuaranteedMissProbesWithIdenticalAnswer) {
+  Plan plan;
+  const int x = plan.EmitSelect(0, 0);
+  const int s = plan.EmitSemiJoin(1, 1, x);
+  plan.SetResult(s);
+
+  const BloomInstance base = MakeBloomInstance();
+  ExecOptions off;
+  const auto report_off = ExecutePlan(plan, base.catalog, base.query, off);
+  ASSERT_TRUE(report_off.ok()) << report_off.status().ToString();
+  EXPECT_EQ(report_off->semijoin_probes_skipped, 0u);
+
+  const BloomInstance bloomed = MakeBloomInstance();
+  ExecOptions on;
+  on.bloom_probe_prefilter = true;
+  const auto report_on = ExecutePlan(plan, bloomed.catalog, bloomed.query, on);
+  ASSERT_TRUE(report_on.ok()) << report_on.status().ToString();
+
+  // Byte-identical answer; 50 of 60 probes skipped; skipped probes left no
+  // charges, so the metered total strictly shrinks.
+  EXPECT_EQ(report_on->answer.ToString(), report_off->answer.ToString());
+  EXPECT_EQ(report_on->semijoin_probes_skipped, 50u);
+  EXPECT_LT(report_on->ledger.total(), report_off->ledger.total());
+  size_t probes_on = 0, probes_off = 0;
+  for (const Charge& c : report_on->ledger.charges()) {
+    if (c.kind == ChargeKind::kEmulatedSemiJoinProbe) ++probes_on;
+  }
+  for (const Charge& c : report_off->ledger.charges()) {
+    if (c.kind == ChargeKind::kEmulatedSemiJoinProbe) ++probes_off;
+  }
+  EXPECT_EQ(probes_off, 60u);
+  EXPECT_EQ(probes_on, 10u);
+}
+
+TEST(BloomPrefilterTest, DefaultOffPreservesMeteredProbeAccounting) {
+  // The cost model (and its golden tests) meter one probe per candidate;
+  // the Bloom option must stay opt-in.
+  EXPECT_FALSE(ExecOptions{}.bloom_probe_prefilter);
+}
+
+// ---------------------------------------------------------------------------
+// Ledger fidelity: a columnar-warmed source meters exactly the same charges
+// as an identical cold (row-path) twin
+// ---------------------------------------------------------------------------
+
+TEST(ColumnarTest, WarmedSourceMetersIdenticalCharges) {
+  Rng rng(42);
+  Relation rel = RandomRelation(rng, 300);
+  SimulatedSource cold("s", rel, Capabilities{}, NetworkProfile{});
+  SimulatedSource warm("s", rel, Capabilities{}, NetworkProfile{});
+  warm.relation().WarmColumnar();
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const Condition cond = RandomCondition(rng, rel.schema(), 2);
+    SCOPED_TRACE(cond.ToString());
+    CostLedger cold_ledger, warm_ledger;
+    const auto cold_items = cold.Select(cond, "M", &cold_ledger);
+    const auto warm_items = warm.Select(cond, "M", &warm_ledger);
+    ASSERT_EQ(cold_items.ok(), warm_items.ok());
+    if (!cold_items.ok()) continue;
+    EXPECT_EQ(cold_items->ToString(), warm_items->ToString());
+    ASSERT_EQ(cold_ledger.charges().size(), warm_ledger.charges().size());
+    for (size_t i = 0; i < cold_ledger.charges().size(); ++i) {
+      const Charge& a = cold_ledger.charges()[i];
+      const Charge& b = warm_ledger.charges()[i];
+      EXPECT_EQ(a.items_received, b.items_received);
+      EXPECT_EQ(a.tuples_scanned, b.tuples_scanned);
+      EXPECT_EQ(a.cost, b.cost);
+      EXPECT_EQ(a.detail, b.detail);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fusion

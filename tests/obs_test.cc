@@ -107,6 +107,59 @@ TEST(MetricsTest, QuantileInterpolatesInsideLogBuckets) {
                    Histogram::BucketUpperBound(Histogram::kNumBuckets - 2));
 }
 
+// Golden values for the quantile endpoints and degenerate shapes. These pin
+// the exact interpolation arithmetic (rank = q*count walked against
+// cumulative bucket counts), so any future rebucketing or off-by-one in the
+// rank math shows up as a golden diff rather than a silent p99 shift.
+TEST(MetricsTest, QuantileEndpointAndSingleBucketGoldens) {
+  // Empty snapshot: every quantile is 0 by definition.
+  EXPECT_DOUBLE_EQ(Histogram().Snapshot().Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram().Snapshot().Quantile(1.0), 0.0);
+
+  // All mass in one interior bucket: three observations of 3 land in bucket
+  // 2 = (2, 4]. q=0 pins the bucket's lower bound, q=1 its upper bound, and
+  // q=0.5 the exact midpoint of the value range.
+  Histogram mid;
+  for (int i = 0; i < 3; ++i) mid.Observe(3.0);
+  const HistogramSnapshot single = mid.Snapshot();
+  EXPECT_DOUBLE_EQ(single.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(1.0), 4.0);
+
+  // count == 1 in the first bucket [0, 1]: endpoints span the whole bucket.
+  Histogram one;
+  one.Observe(0.5);
+  EXPECT_DOUBLE_EQ(one.Snapshot().Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(one.Snapshot().Quantile(1.0), 1.0);
+
+  // Single observation in the unbounded last bucket: every quantile reports
+  // the finite lower boundary 2^30 instead of extrapolating to infinity.
+  Histogram huge;
+  huge.Observe(1e12);
+  const HistogramSnapshot top = huge.Snapshot();
+  const double lower = Histogram::BucketUpperBound(Histogram::kNumBuckets - 2);
+  EXPECT_DOUBLE_EQ(top.Quantile(0.0), lower);
+  EXPECT_DOUBLE_EQ(top.Quantile(0.5), lower);
+  EXPECT_DOUBLE_EQ(top.Quantile(1.0), lower);
+
+  // Mass split across non-adjacent buckets (two in [0,1], two in (2,4]):
+  // the median lands exactly on the first bucket's upper bound, and q=1 on
+  // the occupied top bucket's upper bound — no bleed into the empty gap.
+  Histogram split;
+  split.Observe(0.5);
+  split.Observe(1.0);
+  split.Observe(3.0);
+  split.Observe(4.0);
+  const HistogramSnapshot gap = split.Snapshot();
+  EXPECT_DOUBLE_EQ(gap.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gap.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(gap.Quantile(1.0), 4.0);
+
+  // Out-of-range q clamps to the endpoints rather than misindexing.
+  EXPECT_DOUBLE_EQ(gap.Quantile(-0.5), gap.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(gap.Quantile(2.0), gap.Quantile(1.0));
+}
+
 TEST(MetricsTest, QuantileIsMonotoneInQ) {
   Histogram h;
   for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));

@@ -46,9 +46,12 @@ GATED = {"QPS", "p99 latency ms"}
 # Schema history: v1 had no "tenants" section and no stats_samples; v2
 # (per-tenant SLO from the server's STATS exposition) added both; v3 added
 # the "chaos" section (fault-injection profile, recovery counters, and the
-# divergence count under chaos). Old files stay comparable — missing fields
+# divergence count under chaos); v4 added the "local_eval" section (columnar
+# batch-kernel counters and Bloom-skipped semijoin probes) and makes the
+# oracle divergence gate mandatory — a v4 run must carry an "oracle" block
+# reporting zero divergences. Old files stay comparable — missing fields
 # are skipped, with a drift note.
-KNOWN_SCHEMAS = {1, 2, 3}
+KNOWN_SCHEMAS = {1, 2, 3, 4}
 
 
 def lookup(metrics, path):
@@ -163,12 +166,28 @@ def main():
         if regressed:
             regressions.append(label)
 
+    # Columnar data-plane counters (schema >= 4): informational — they show
+    # how much of the run rode the batch kernels and the Bloom pre-filter,
+    # and move with workload shape, not code quality.
+    local_eval = new.get("local_eval")
+    if isinstance(local_eval, dict):
+        print(f"  local_eval: {lookup(local_eval, ('batch_evals',))} batch "
+              f"evals over {lookup(local_eval, ('batch_rows_evaluated',))} "
+              f"rows; {lookup(local_eval, ('semijoin_probes_skipped',))} "
+              "semijoin probes bloom-skipped")
+
     old_div = lookup(old.get("oracle", {}), ("divergences",))
     new_div = lookup(new.get("oracle", {}), ("divergences",))
     if new_div is not None:
         print(f"  oracle divergences   {old_div} -> {new_div}")
         if new_div and new_div > 0:
             regressions.append("oracle divergences")
+    elif new.get("schema_version", 0) >= 4:
+        # From v4 on the answers-divergence gate is not optional: a run that
+        # vectorized the data plane but dropped its oracle evidence does not
+        # pass.
+        print("  oracle divergences   missing (required from schema 4 on)")
+        regressions.append("oracle divergences missing")
 
     # Chaos gate (schema >= 3): a run served under fault injection must
     # still be byte-identical to the serial oracle — correctness under
