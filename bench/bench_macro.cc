@@ -26,6 +26,7 @@
 //               [--universe=N] [--sources=N] [--conditions=N] [--pool=N]
 //               [--zipf=T] [--overlap=F] [--shared=F] [--churn-every=N]
 //               [--oracle-sample=F] [--workers=N] [--max-queue=N]
+//               [--shards=K] [--pace=SEC]
 //               [--chaos-profile=off|light|heavy] [--out=PATH]
 #include <sys/socket.h>
 
@@ -46,6 +47,8 @@
 
 #include "bench/workload.h"
 #include "cli/client_flags.h"
+#include "router/router.h"
+#include "router/shard_map.h"
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "mediator/client.h"
@@ -74,7 +77,13 @@ namespace {
 // semijoin probes skipped by the merge-column Bloom pre-filter. The oracle
 // divergence gate is unchanged (and bench_diff.py requires it present and
 // zero from this schema on): vectorization may move time, never answers.
-constexpr int kBenchSchemaVersion = 4;
+// v5: --shards=k serves the run through a fusionrd-equivalent router over
+// k replica services and adds a "shards" section — per-shard forward/QPS
+// split, the warm-hit locality the rendezvous hash delivers (gated >= 0.95
+// by bench_diff.py when present), failovers, INVALIDATE fan-outs, and the
+// bytes forwarded shard-ward. Single-shard runs keep the serving path of
+// v4; the oracle gate is unchanged either way.
+constexpr int kBenchSchemaVersion = 5;
 
 struct Args {
   size_t tenants = 4;
@@ -86,6 +95,13 @@ struct Args {
   double oracle_sample = 0.25;
   int workers = 8;
   int max_queue = 256;
+  /// Serving topology: 1 (default) drives one service directly; k > 1
+  /// stands up k replica shards behind a query router and drives that.
+  size_t shards = 1;
+  /// Wall-clock seconds simulated per metered cost unit (0 = off). Makes
+  /// the fleet capacity-bound the way real source latency would, so the
+  /// --shards scaling curve measures added capacity, not just added RAM.
+  double pace_seconds = 0.0;
   /// Named fault-injection profile at the serving edge ("off", "light",
   /// "heavy"); the resolved rates land in `chaos`.
   std::string chaos_profile = "off";
@@ -118,8 +134,13 @@ void PrintUsage() {
       "                     N completed requests; 0 = off (default 200)\n"
       "  --oracle-sample=F  fraction of answers re-checked on a fresh\n"
       "                     serial uncached mediator (default 0.25)\n"
-      "  --workers=N        service executor workers (default 8)\n"
+      "  --workers=N        service executor workers per shard (default 8)\n"
       "  --max-queue=N      service admission bound (default 256)\n"
+      "  --shards=K         serve through a query router over K replica\n"
+      "                     shards (default 1 = direct single service)\n"
+      "  --pace=SEC         sleep SEC wall-clock seconds per metered cost\n"
+      "                     unit, simulating source network latency so the\n"
+      "                     fleet is capacity-bound (default 0 = off)\n"
       "  --chaos-profile=P  seeded fault injection at the serving edge:\n"
       "                     off (default), light (2%% drops, 1%% torn\n"
       "                     writes), heavy (5%% drops, 3%% torn writes);\n"
@@ -226,6 +247,20 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.max_queue = std::atoi(v.c_str());
       if (args.max_queue < 1) {
         return Status::InvalidArgument("--max-queue must be >= 1");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--shards", &v)) {
+      if (!ParseSize(v, &args.shards) || args.shards == 0 ||
+          args.shards > 256) {
+        return Status::InvalidArgument("--shards must be in [1, 256]");
+      }
+      continue;
+    }
+    if (ParseFlagValue(a, "--pace", &v)) {
+      args.pace_seconds = std::atof(v.c_str());
+      if (args.pace_seconds < 0.0) {
+        return Status::InvalidArgument("--pace must be >= 0");
       }
       continue;
     }
@@ -363,23 +398,83 @@ int RunHarness(const Args& args) {
       args.workload.num_sources, args.workload.universe_size,
       workload.pool().size(), args.tenants, args.duration_seconds);
 
-  // The service: daemon defaults (shared cache, session-learned stats),
-  // the exact configuration fusionqd serves with.
+  // Source names in index order, for the sharded churn path (INVALIDATE is
+  // addressed by name over the wire). Captured before the catalog moves
+  // into shard 0's service.
+  const std::vector<std::string> source_names = workload.catalog().Names();
+
+  // The serving fleet: --shards=1 (default) is one service with daemon
+  // defaults (shared cache, session-learned stats) — the exact
+  // configuration fusionqd serves with. --shards=k stands up k replica
+  // services (shard 0 over the generated federation, the rest over
+  // MakeOracleCatalog() replicas, byte-identical data) behind one
+  // fusionrd-equivalent QueryRouter, and the tenants drive the router.
   QueryService::Options service_options;
   service_options.server_name = "bench-macro";
   service_options.workers = args.workers;
   service_options.max_queue = static_cast<size_t>(args.max_queue);
-  QueryService service(Mediator(std::move(workload.catalog())),
-                       service_options);
-
-  auto listener_or = TcpListener::Bind("127.0.0.1", 0);
-  if (!listener_or.ok()) {
-    std::fprintf(stderr, "bind: %s\n",
-                 listener_or.status().ToString().c_str());
-    return 1;
+  service_options.client.execution.simulated_seconds_per_cost =
+      args.pace_seconds;
+  std::vector<std::unique_ptr<QueryService>> services;
+  std::vector<TcpListener> shard_listeners;
+  std::vector<Shard> shard_specs;
+  for (size_t s = 0; s < args.shards; ++s) {
+    SourceCatalog catalog;
+    if (s == 0) {
+      catalog = std::move(workload.catalog());
+    } else {
+      auto replica = workload.MakeOracleCatalog();
+      if (!replica.ok()) {
+        std::fprintf(stderr, "shard %zu catalog: %s\n", s,
+                     replica.status().ToString().c_str());
+        return 1;
+      }
+      catalog = std::move(replica).value();
+    }
+    QueryService::Options shard_options = service_options;
+    if (args.shards > 1) {
+      shard_options.server_name = StrFormat("bench-macro-shard-%zu", s);
+    }
+    services.push_back(std::make_unique<QueryService>(
+        Mediator(std::move(catalog)), shard_options));
+    auto listener_or = TcpListener::Bind("127.0.0.1", 0);
+    if (!listener_or.ok()) {
+      std::fprintf(stderr, "bind: %s\n",
+                   listener_or.status().ToString().c_str());
+      return 1;
+    }
+    shard_listeners.push_back(std::move(listener_or).value());
+    Shard spec;
+    spec.name = StrFormat("shard-%zu", s);
+    spec.endpoint =
+        "127.0.0.1:" + std::to_string(shard_listeners.back().port());
+    shard_specs.push_back(spec);
   }
-  TcpListener listener = std::move(listener_or).value();
-  const std::string endpoint = "127.0.0.1:" + std::to_string(listener.port());
+
+  std::unique_ptr<QueryRouter> router;
+  std::unique_ptr<TcpListener> router_listener;
+  std::string endpoint = shard_specs[0].endpoint;
+  if (args.shards > 1) {
+    auto map = ShardMap::Make(shard_specs);
+    if (!map.ok()) {
+      std::fprintf(stderr, "shard map: %s\n", map.status().ToString().c_str());
+      return 1;
+    }
+    QueryRouter::Options router_options;
+    router_options.server_name = "bench-macro-router";
+    router = std::make_unique<QueryRouter>(std::move(map).value(),
+                                           router_options);
+    auto listener_or = TcpListener::Bind("127.0.0.1", 0);
+    if (!listener_or.ok()) {
+      std::fprintf(stderr, "router bind: %s\n",
+                   listener_or.status().ToString().c_str());
+      return 1;
+    }
+    router_listener =
+        std::make_unique<TcpListener>(std::move(listener_or).value());
+    endpoint = "127.0.0.1:" + std::to_string(router_listener->port());
+    std::printf("bench_macro: %zu shards behind one router\n", args.shards);
+  }
 
   // Chaos at the serving edge: every accepted connection shares one seeded
   // decision stream, exactly as fusionqd's --chaos-* flags wire it. The
@@ -397,23 +492,52 @@ int RunHarness(const Args& args) {
   }
   const ChaosCounts chaos_before = GlobalChaosCounts();
 
+  // Chaos applies at the *client-facing* edge only — the router when
+  // sharded, the lone service otherwise. Router-to-shard links stay clean,
+  // matching the deployment picture where fusionrd and its shards share a
+  // rack while clients arrive over the open internet.
   std::mutex connection_mutex;
   std::vector<std::thread> connection_threads;
-  std::thread acceptor([&] {
-    for (;;) {
-      Result<MessageSocket> accepted = listener.Accept();
-      if (!accepted.ok()) return;  // listener closed: harness shutdown
-      if (ChaosRefuseAccept(chaos.get())) {
-        accepted->Close();
-        continue;
+  std::vector<std::thread> acceptors;
+  for (size_t s = 0; s < args.shards; ++s) {
+    const bool client_edge = args.shards == 1;
+    acceptors.emplace_back([&, s, client_edge] {
+      for (;;) {
+        Result<MessageSocket> accepted = shard_listeners[s].Accept();
+        if (!accepted.ok()) return;  // listener closed: harness shutdown
+        if (client_edge && ChaosRefuseAccept(chaos.get())) {
+          accepted->Close();
+          continue;
+        }
+        std::shared_ptr<ChaosDecider> edge_chaos =
+            client_edge ? chaos : nullptr;
+        std::lock_guard<std::mutex> lock(connection_mutex);
+        connection_threads.emplace_back(
+            [&services, s, edge_chaos,
+             socket = std::move(accepted).value()]() mutable {
+              services[s]->ServeConnection(
+                  ChaosSocket(std::move(socket), edge_chaos));
+            });
       }
-      std::lock_guard<std::mutex> lock(connection_mutex);
-      connection_threads.emplace_back(
-          [&service, chaos, socket = std::move(accepted).value()]() mutable {
-            service.ServeConnection(ChaosSocket(std::move(socket), chaos));
-          });
-    }
-  });
+    });
+  }
+  if (router != nullptr) {
+    acceptors.emplace_back([&] {
+      for (;;) {
+        Result<MessageSocket> accepted = router_listener->Accept();
+        if (!accepted.ok()) return;
+        if (ChaosRefuseAccept(chaos.get())) {
+          accepted->Close();
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(connection_mutex);
+        connection_threads.emplace_back(
+            [&router, chaos, socket = std::move(accepted).value()]() mutable {
+              router->ServeConnection(ChaosSocket(std::move(socket), chaos));
+            });
+      }
+    });
+  }
 
   // Tenant threads: each drives its deterministic stream through its own
   // connected client until the deadline. The only cross-tenant state is the
@@ -429,10 +553,9 @@ int RunHarness(const Args& args) {
   // trajectory records — then takes one final sample after the deadline so
   // the JSON's per-tenant section reflects the whole run.
   std::atomic<size_t> stats_samples{0};
-  std::string final_stats_text;
   std::thread sampler([&] {
     auto client_or = Client::Builder()
-                         .Connect(endpoint)
+                         .To(Client::Target::Remote(endpoint))
                          .ClientId("bench-stats")
                          .Build();
     if (!client_or.ok()) return;
@@ -451,7 +574,8 @@ int RunHarness(const Args& args) {
     tenants.emplace_back([&, t] {
       TenantResult& result = results[t];
       Client::Builder builder;
-      builder.Connect(endpoint).ClientId(StrFormat("tenant-%zu", t));
+      builder.To(Client::Target::Remote(endpoint))
+          .ClientId(StrFormat("tenant-%zu", t));
       if (args.chaos.enabled()) {
         // Under injected faults the default redial ladder is too short for
         // unlucky streaks; errors here would read as serving bugs.
@@ -509,8 +633,21 @@ int RunHarness(const Args& args) {
           const size_t source =
               MixSeed(args.workload.seed, 0x3000 + done) %
               args.workload.num_sources;
-          service.session().InvalidateSource(source);
-          churn_invalidations.fetch_add(1, std::memory_order_relaxed);
+          if (router != nullptr) {
+            // Sharded coherence path: the INVALIDATE verb over this
+            // tenant's own connection; the router fans it out to every
+            // shard. `done` is unique per churn event, so the version
+            // stamps are monotonic and replays idempotent.
+            if (client
+                    .InvalidateSource(source_names[source],
+                                      static_cast<uint64_t>(done))
+                    .ok()) {
+              churn_invalidations.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            services[0]->session().InvalidateSource(source);
+            churn_invalidations.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
       result.reconnects = client.reconnects();
@@ -521,24 +658,40 @@ int RunHarness(const Args& args) {
                              std::chrono::steady_clock::now() - start)
                              .count();
   sampler.join();
-  // One more STATS after every tenant finished: the server-side SLO view of
-  // the complete run, recorded in the trajectory JSON next to the
-  // client-observed numbers.
-  {
-    auto stats_client = Client::Builder()
-                            .Connect(endpoint)
-                            .ClientId("bench-stats-final")
-                            .Build();
-    if (stats_client.ok()) {
-      const Result<std::string> text = stats_client->Stats();
-      if (text.ok()) final_stats_text = *text;
-    }
+  // One more STATS after every tenant finished: the server-side SLO view
+  // of the complete run, recorded in the trajectory JSON next to the
+  // client-observed numbers. Collected per shard over direct connections —
+  // with one shard this is exactly the old single-service sample; with k,
+  // the per-tenant counters are summed across the fleet below.
+  std::vector<StatsExposition> shard_stats;
+  for (size_t s = 0; s < args.shards; ++s) {
+    auto stats_client =
+        Client::Builder()
+            .To(Client::Target::Remote(shard_specs[s].endpoint))
+            .ClientId(StrFormat("bench-stats-final-%zu", s))
+            .Build();
+    if (!stats_client.ok()) continue;
+    const Result<std::string> text = stats_client->Stats();
+    if (!text.ok()) continue;
+    auto parsed = ParseStatsText(*text);
+    if (parsed.ok()) shard_stats.push_back(std::move(parsed).value());
   }
+  const QueryRouter::Counters router_counters =
+      router != nullptr ? router->counters() : QueryRouter::Counters{};
   // shutdown(2), not just close: closing an fd from another thread does not
   // wake a blocked accept() on Linux; shutting the listener down does.
-  ::shutdown(listener.fd(), SHUT_RDWR);
-  listener.Close();
-  acceptor.join();
+  // Client-facing edge first, then the router's pooled upstream links (so
+  // the shard serve loops see EOF), then the shard listeners.
+  if (router_listener != nullptr) {
+    ::shutdown(router_listener->fd(), SHUT_RDWR);
+    router_listener->Close();
+  }
+  for (TcpListener& listener : shard_listeners) {
+    ::shutdown(listener.fd(), SHUT_RDWR);
+    listener.Close();
+  }
+  for (std::thread& acceptor : acceptors) acceptor.join();
+  if (router != nullptr) router->Shutdown();
   {
     std::lock_guard<std::mutex> lock(connection_mutex);
     for (std::thread& connection : connection_threads) connection.join();
@@ -583,8 +736,18 @@ int RunHarness(const Args& args) {
   const double p95 = latency.Quantile(0.95);
   const double p99 = latency.Quantile(0.99);
   const double mean = latency.mean();
-  const SourceCallCache::Stats cache =
-      service.session().cache().StatsSnapshot();
+  // Cache counters summed over the fleet (one term when --shards=1).
+  SourceCallCache::Stats cache{};
+  size_t idempotent_replays = 0;
+  for (const auto& service : services) {
+    const SourceCallCache::Stats shard_cache =
+        service->session().cache().StatsSnapshot();
+    cache.hits += shard_cache.hits;
+    cache.containment_hits += shard_cache.containment_hits;
+    cache.misses += shard_cache.misses;
+    cache.invalidations += shard_cache.invalidations;
+    idempotent_replays += service->idempotent_replays();
+  }
   const double lookups =
       static_cast<double>(cache.hits + cache.containment_hits + cache.misses);
   const double hit_rate =
@@ -616,33 +779,64 @@ int RunHarness(const Args& args) {
         static_cast<unsigned long long>(chaos_drops),
         static_cast<unsigned long long>(chaos_torn),
         static_cast<unsigned long long>(chaos_refusals), total.reconnects,
-        service.idempotent_replays());
+        idempotent_replays);
+  }
+  if (router != nullptr) {
+    const double locality =
+        router_counters.warm_forwards > 0
+            ? static_cast<double>(router_counters.warm_hits) /
+                  static_cast<double>(router_counters.warm_forwards)
+            : 1.0;
+    std::printf("bench_macro: shards:");
+    for (size_t s = 0; s < args.shards; ++s) {
+      std::printf(" %s=%zu", shard_specs[s].name.c_str(),
+                  router_counters.per_shard_forwards[s]);
+    }
+    std::printf(
+        " forwards; warm locality %.3f (%zu/%zu), %zu failovers, "
+        "%zu invalidate fan-outs, %llu bytes forwarded\n",
+        locality, router_counters.warm_hits, router_counters.warm_forwards,
+        router_counters.failovers, router_counters.invalidate_fanouts,
+        static_cast<unsigned long long>(router_counters.forward_bytes));
   }
 
   // ---- Server-side SLO view ---------------------------------------------
-  // The final STATS exposition is the service's own account of the run.
-  // Its per-tenant metered cost must agree with what the clients summed —
-  // the two are independent paths to the same number, so a mismatch means
+  // The final STATS expositions are the fleet's own account of the run.
+  // Per-tenant counters sum exactly across shards (each request was served
+  // by exactly one); latency quantiles do not, so the fleet view takes the
+  // per-shard max — a conservative upper bound, and the exact value when
+  // --shards=1. The summed metered cost must agree with what the clients
+  // summed — two independent paths to the same number, so a mismatch means
   // the SLO accounting dropped or double-counted requests.
-  Result<StatsExposition> server_stats =
-      Status::NotFound("no STATS exposition sampled");
-  if (!final_stats_text.empty()) {
-    server_stats = ParseStatsText(final_stats_text);
-  }
+  const bool have_server_stats = shard_stats.size() == args.shards;
+  const auto sum_stat = [&shard_stats](const std::string& name,
+                                       const std::string& tenant) {
+    double total_value = 0.0;
+    for (const StatsExposition& stats : shard_stats) {
+      total_value += TenantStat(stats, name, tenant);
+    }
+    return total_value;
+  };
+  const auto max_quantile = [&shard_stats](const std::string& tenant,
+                                           const char* quantile) {
+    double max_value = 0.0;
+    for (const StatsExposition& stats : shard_stats) {
+      max_value = std::max(max_value, TenantQuantile(stats, tenant, quantile));
+    }
+    return max_value;
+  };
   double server_cost = 0.0;
-  if (server_stats.ok()) {
+  if (have_server_stats) {
     for (size_t t = 0; t < args.tenants; ++t) {
       const std::string tenant = StrFormat("tenant-%zu", t);
-      server_cost +=
-          TenantStat(*server_stats, "tenant_metered_cost_total", tenant);
+      server_cost += sum_stat("tenant_metered_cost_total", tenant);
       std::printf(
           "bench_macro: %s: %.0f req, %.0f shed, p99 %.2f ms, "
           "cost %.1f (server view)\n",
-          tenant.c_str(),
-          TenantStat(*server_stats, "tenant_requests_total", tenant),
-          TenantStat(*server_stats, "tenant_shed_total", tenant),
-          TenantQuantile(*server_stats, tenant, "0.99"),
-          TenantStat(*server_stats, "tenant_metered_cost_total", tenant));
+          tenant.c_str(), sum_stat("tenant_requests_total", tenant),
+          sum_stat("tenant_shed_total", tenant),
+          max_quantile(tenant, "0.99"),
+          sum_stat("tenant_metered_cost_total", tenant));
     }
     const double drift =
         total.cost > 0 ? (server_cost - total.cost) / total.cost : 0.0;
@@ -652,9 +846,8 @@ int RunHarness(const Args& args) {
         stats_samples.load(), server_cost, total.cost, 100.0 * drift);
   } else {
     std::printf("bench_macro: stats: %zu mid-run samples; final STATS "
-                "unavailable: %s\n",
-                stats_samples.load(),
-                server_stats.status().ToString().c_str());
+                "incomplete (%zu of %zu shards answered)\n",
+                stats_samples.load(), shard_stats.size(), args.shards);
   }
 
   // ---- Differential oracle ----------------------------------------------
@@ -744,6 +937,8 @@ int RunHarness(const Args& args) {
         "    \"oracle_sample\": %g,\n"
         "    \"workers\": %d,\n"
         "    \"max_queue\": %d,\n"
+        "    \"shards\": %zu,\n"
+        "    \"pace_seconds\": %g,\n"
         "    \"chaos_profile\": \"%s\"\n"
         "  },\n",
         kBenchSchemaVersion, stamp,
@@ -753,6 +948,7 @@ int RunHarness(const Args& args) {
         workload.pool().size(), args.workload.zipf_theta,
         args.workload.condition_overlap, args.workload.shared_fraction,
         args.churn_every, args.oracle_sample, args.workers, args.max_queue,
+        args.shards, args.pace_seconds,
         JsonEscape(args.chaos_profile).c_str());
     json += StrFormat(
         "  \"metrics\": {\n"
@@ -805,7 +1001,7 @@ int RunHarness(const Args& args) {
         static_cast<unsigned long long>(chaos_drops),
         static_cast<unsigned long long>(chaos_torn),
         static_cast<unsigned long long>(chaos_refusals), total.reconnects,
-        service.idempotent_replays(),
+        idempotent_replays,
         static_cast<unsigned long long>(
             MetricsRegistry::Global()
                 .counter(metrics::kSourceFailoversTotal)
@@ -827,27 +1023,69 @@ int RunHarness(const Args& args) {
             MetricsRegistry::Global()
                 .counter(metrics::kSemijoinProbesSkipped)
                 .value()));
-    // Per-tenant SLO rows from the server's own STATS exposition — what
-    // tools/bench_diff.py gates per-tenant p99 on.
+    // The sharded-fleet section: the router's own account of the run.
+    // warm_hit_locality is the property the rendezvous hash exists to
+    // deliver — of the forwards whose canonical key was seen before, the
+    // fraction served by the same shard as last time (so its plan memo and
+    // SourceCallCache were already hot). tools/bench_diff.py gates it.
+    if (router != nullptr) {
+      const double locality =
+          router_counters.warm_forwards > 0
+              ? static_cast<double>(router_counters.warm_hits) /
+                    static_cast<double>(router_counters.warm_forwards)
+              : 1.0;
+      json += StrFormat(
+          "  \"shards\": {\n"
+          "    \"count\": %zu,\n"
+          "    \"per_shard\": [",
+          args.shards);
+      for (size_t s = 0; s < args.shards; ++s) {
+        json += StrFormat(
+            "%s\n      {\"name\": \"%s\", \"forwards\": %zu, "
+            "\"qps\": %.3f}",
+            s == 0 ? "" : ",", JsonEscape(shard_specs[s].name).c_str(),
+            router_counters.per_shard_forwards[s],
+            static_cast<double>(router_counters.per_shard_forwards[s]) /
+                elapsed);
+      }
+      json += StrFormat(
+          "\n    ],\n"
+          "    \"forwards\": %zu,\n"
+          "    \"warm_forwards\": %zu,\n"
+          "    \"warm_hits\": %zu,\n"
+          "    \"warm_hit_locality\": %.4f,\n"
+          "    \"failovers\": %zu,\n"
+          "    \"invalidate_fanouts\": %zu,\n"
+          "    \"cross_shard_bytes\": %llu\n"
+          "  },\n",
+          router_counters.forwards, router_counters.warm_forwards,
+          router_counters.warm_hits, locality, router_counters.failovers,
+          router_counters.invalidate_fanouts,
+          static_cast<unsigned long long>(router_counters.forward_bytes));
+    }
+    // Per-tenant SLO rows from the fleet's own STATS expositions — what
+    // tools/bench_diff.py gates per-tenant p99 on. Counters sum across
+    // shards; quantiles take the per-shard max (exact when --shards=1);
+    // error_rate is recomputed from the summed counters, since rates do
+    // not add.
     json += "  \"tenants\": {";
-    if (server_stats.ok()) {
+    if (have_server_stats) {
       for (size_t t = 0; t < args.tenants; ++t) {
         const std::string tenant = StrFormat("tenant-%zu", t);
+        const double requests = sum_stat("tenant_requests_total", tenant);
+        const double tenant_errors = sum_stat("tenant_errors_total", tenant);
         json += StrFormat(
             "%s\n    \"%s\": {\"requests\": %.0f, \"errors\": %.0f, "
             "\"shed\": %.0f, \"degraded\": %.0f, \"error_rate\": %.4f, "
             "\"metered_cost\": %.3f, \"latency_ms\": "
             "{\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f}}",
-            t == 0 ? "" : ",", JsonEscape(tenant).c_str(),
-            TenantStat(*server_stats, "tenant_requests_total", tenant),
-            TenantStat(*server_stats, "tenant_errors_total", tenant),
-            TenantStat(*server_stats, "tenant_shed_total", tenant),
-            TenantStat(*server_stats, "tenant_degraded_total", tenant),
-            TenantStat(*server_stats, "tenant_error_rate", tenant),
-            TenantStat(*server_stats, "tenant_metered_cost_total", tenant),
-            TenantQuantile(*server_stats, tenant, "0.5"),
-            TenantQuantile(*server_stats, tenant, "0.95"),
-            TenantQuantile(*server_stats, tenant, "0.99"));
+            t == 0 ? "" : ",", JsonEscape(tenant).c_str(), requests,
+            tenant_errors, sum_stat("tenant_shed_total", tenant),
+            sum_stat("tenant_degraded_total", tenant),
+            requests > 0 ? tenant_errors / requests : 0.0,
+            sum_stat("tenant_metered_cost_total", tenant),
+            max_quantile(tenant, "0.5"), max_quantile(tenant, "0.95"),
+            max_quantile(tenant, "0.99"));
       }
       json += "\n  ";
     }

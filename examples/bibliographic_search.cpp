@@ -40,7 +40,7 @@ int main() {
   std::printf("\n\nsearch: %s\n\n", query.ToString().c_str());
 
   auto client = Client::Builder()
-                    .Catalog(std::move(instance->catalog))
+                    .To(Client::Target::Embedded(std::move(instance->catalog)))
                     .Statistics(StatisticsMode::kOracle)
                     .Strategy(OptimizerStrategy::kSjaPlus)
                     .Build();

@@ -52,7 +52,7 @@ int main() {
   // the strategy comparison below must meter every plan's full traffic, not
   // a warm-cache rerun of the first plan's.
   auto client = Client::Builder()
-                    .Catalog(std::move(instance->catalog))
+                    .To(Client::Target::Embedded(std::move(instance->catalog)))
                     .Statistics(StatisticsMode::kOracle)
                     .UseCache(false)
                     .Build();

@@ -60,7 +60,7 @@ int main() {
   options.calibration.num_range_probes = 5;
   options.calibration.range_fraction = 0.05;
   auto client = Client::Builder()
-                    .Catalog(std::move(instance->catalog))
+                    .To(Client::Target::Embedded(std::move(instance->catalog)))
                     .Options(options)
                     .Build();
   if (!client.ok()) return Fail(client.status());

@@ -56,7 +56,7 @@ int main() {
   // 3. Build the client (simulated sources: oracle statistics) and ask it,
   //    in the paper's SQL form.
   auto client = Client::Builder()
-                    .Catalog(std::move(catalog))
+                    .To(Client::Target::Embedded(std::move(catalog)))
                     .Statistics(StatisticsMode::kOracle)
                     .Build();
   if (!client.ok()) {

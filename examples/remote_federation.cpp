@@ -59,7 +59,7 @@ int main() {
   options.default_cardinality = 2000;
   options.default_universe = 3000;
   auto client = Client::Builder()
-                    .Catalog(std::move(remote_catalog))
+                    .To(Client::Target::Embedded(std::move(remote_catalog)))
                     .Options(options)
                     .Build();
   if (!client.ok()) return Fail(client.status());

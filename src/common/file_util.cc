@@ -36,4 +36,14 @@ Status WriteStringToFile(const std::string& path, const std::string& content) {
   return Status::Ok();
 }
 
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  FUSION_RETURN_IF_ERROR(WriteStringToFile(tmp, content));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace fusion

@@ -13,6 +13,13 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Writes (replaces) a file with the given contents.
 Status WriteStringToFile(const std::string& path, const std::string& content);
 
+/// Writes (replaces) a file atomically: the content lands in `path + ".tmp"`
+/// first and is rename(2)d into place, so a concurrent reader sees either
+/// the old file, no file, or the complete new content — never a partial
+/// write. This is the readiness-signal contract the daemons' --port-file
+/// needs: a fast supervisor polling the path must never read a torn port.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
 }  // namespace fusion
 
 #endif  // FUSION_COMMON_FILE_UTIL_H_

@@ -100,16 +100,10 @@ Result<HelloResult> DialAndHello(const std::string& endpoint,
 
 void Client::AdoptServerFeatures(Remote& remote,
                                  const ClientResponse& response) {
-  remote.server_traces = false;
-  remote.server_stats = false;
-  remote.server_explain = false;
-  remote.server_idempotency = false;
-  for (const std::string& feature : response.features) {
-    if (feature == kFeatureTrace) remote.server_traces = true;
-    if (feature == kFeatureStats) remote.server_stats = true;
-    if (feature == kFeatureExplain) remote.server_explain = true;
-    if (feature == kFeatureIdempotency) remote.server_idempotency = true;
-  }
+  // Rebuilt wholesale (not merged): a restarted daemon may speak fewer
+  // features than its predecessor, and stale capabilities must not survive
+  // a reconnect.
+  remote.server_features = FeatureSet::FromNames(response.features);
 }
 
 std::vector<std::string> RenderExplainLines(const QueryAnswer& answer,
@@ -145,36 +139,47 @@ std::vector<std::string> RenderExplainLines(const QueryAnswer& answer,
 }
 
 Result<Client> Client::Builder::Build() {
-  const int modes = (have_catalog_ ? 1 : 0) + (catalog_file_.empty() ? 0 : 1) +
-                    (endpoint_.empty() ? 0 : 1);
+  const int modes = (target_.have_catalog_ ? 1 : 0) +
+                    (target_.catalog_file_.empty() ? 0 : 1) +
+                    (target_.endpoints_.empty() ? 0 : 1);
   if (modes == 0) {
     return Status::InvalidArgument(
-        "Client::Builder needs a catalog (Catalog / CatalogFile) or a "
-        "service endpoint (Connect)");
+        "Client::Builder needs a target: To(Target::Embedded / "
+        "Target::EmbeddedFile / Target::Remote)");
   }
-  if (modes > 1) {
+  if (targets_set_ > 1) {
     return Status::InvalidArgument(
-        "Client::Builder: Catalog, CatalogFile, and Connect are mutually "
-        "exclusive");
+        "Client::Builder: exactly one target per Build (To / Catalog / "
+        "CatalogFile / Connect called " +
+        std::to_string(targets_set_) + " times)");
   }
   Client client;
-  if (!endpoint_.empty()) {
+  if (!target_.endpoints_.empty()) {
+    for (const std::string& endpoint : target_.endpoints_) {
+      if (endpoint.empty()) {
+        return Status::InvalidArgument(
+            "Client::Builder: Target::Remote endpoint is empty");
+      }
+    }
     auto remote = std::make_unique<Remote>();
-    remote->endpoint = endpoint_;
+    remote->endpoints = target_.endpoints_;
     remote->client_id = client_id_;
     remote->reconnect = reconnect_;
     // HELLO handshake: validates that the peer speaks FUSIONQ/1 before the
     // caller trusts the connection, and names the server for diagnostics.
-    // Dialing retries transient failures under the reconnect policy — a
-    // daemon mid-restart (or a chaos accept-refusal) costs backoff, not a
-    // build failure.
+    // Dialing retries transient failures under the reconnect policy,
+    // rotating across the target's endpoints — a daemon mid-restart (or a
+    // chaos accept-refusal) costs backoff, not a build failure, and a dead
+    // first endpoint costs one probe before the next is tried.
     const int attempts = std::max(1, reconnect_.max_attempts);
     Result<HelloResult> hello = Status::Unavailable("never dialed");
     for (int attempt = 1; attempt <= attempts; ++attempt) {
       if (attempt > 1) {
         SleepSeconds(reconnect_.BackoffSeconds(0, attempt - 1));
       }
-      hello = DialAndHello(endpoint_, client_id_);
+      remote->active =
+          static_cast<size_t>(attempt - 1) % remote->endpoints.size();
+      hello = DialAndHello(remote->endpoints[remote->active], client_id_);
       if (hello.ok() || !IsHelloRetryable(hello.status())) break;
     }
     FUSION_RETURN_IF_ERROR(hello.status());
@@ -186,9 +191,10 @@ Result<Client> Client::Builder::Build() {
     client.remote_ = std::move(remote);
     return client;
   }
-  SourceCatalog catalog = std::move(catalog_);
-  if (!catalog_file_.empty()) {
-    FUSION_ASSIGN_OR_RETURN(catalog, LoadCatalogFromFile(catalog_file_));
+  SourceCatalog catalog = std::move(target_.catalog_);
+  if (!target_.catalog_file_.empty()) {
+    FUSION_ASSIGN_OR_RETURN(catalog,
+                            LoadCatalogFromFile(target_.catalog_file_));
   }
   if (catalog.empty()) {
     return Status::InvalidArgument("Client::Builder: catalog has no sources");
@@ -217,17 +223,31 @@ size_t Client::reconnects() const {
 Status Client::RemoteReconnectLocked() {
   Remote& remote = *remote_;
   remote.socket.Close();
-  FUSION_ASSIGN_OR_RETURN(HelloResult hello,
-                          DialAndHello(remote.endpoint, remote.client_id));
-  remote.socket = std::move(hello.socket);
-  server_ = hello.response.server;
-  server_features_ = hello.response.features;
-  AdoptServerFeatures(remote, hello.response);
-  ++remote.reconnects;
-  static Counter& reconnects =
-      MetricsRegistry::Global().counter(metrics::kClientReconnectsTotal);
-  reconnects.Increment();
-  return Status::Ok();
+  // Sticky-rotate failover: start at the endpoint that last worked, and on
+  // a retryable failure probe the rest in order — one sweep per reconnect
+  // attempt (the caller's backoff schedule paces the sweeps).
+  Status last_error = Status::Unavailable("no endpoints configured");
+  for (size_t i = 0; i < remote.endpoints.size(); ++i) {
+    const size_t index = (remote.active + i) % remote.endpoints.size();
+    Result<HelloResult> hello =
+        DialAndHello(remote.endpoints[index], remote.client_id);
+    if (!hello.ok()) {
+      last_error = hello.status();
+      if (!IsHelloRetryable(last_error)) return last_error;
+      continue;
+    }
+    remote.active = index;
+    remote.socket = std::move(hello.value().socket);
+    server_ = hello.value().response.server;
+    server_features_ = hello.value().response.features;
+    AdoptServerFeatures(remote, hello.value().response);
+    ++remote.reconnects;
+    static Counter& reconnects =
+        MetricsRegistry::Global().counter(metrics::kClientReconnectsTotal);
+    reconnects.Increment();
+    return Status::Ok();
+  }
+  return last_error;
 }
 
 Result<ClientResponse> Client::RemoteExchangeLocked(
@@ -241,7 +261,8 @@ Result<ClientResponse> Client::RemoteExchangeLocked(
   // most, never send-again-after-send.
   const bool resend_safe =
       request.kind != ClientRequest::Kind::kSubmit ||
-      (remote.server_idempotency && request.request_id != 0);
+      (remote.server_features.Has(Feature::kIdempotency) &&
+       request.request_id != 0);
   const std::string wire = SerializeClientRequest(request);
   const int attempts = std::max(1, remote.reconnect.max_attempts);
   Status last_error = Status::Unavailable("connection lost");
@@ -280,7 +301,8 @@ Result<ClientResponse> Client::RemoteExchangeLocked(
     if (frame_sent && !resend_safe) break;
   }
   return Status(last_error.code(),
-                last_error.message() + " (endpoint " + remote.endpoint + ")");
+                last_error.message() + " (endpoint " +
+                    remote.endpoints[remote.active] + ")");
 }
 
 ClientAnswer SummarizeAnswer(QueryAnswer answer) {
@@ -338,12 +360,12 @@ Result<ClientAnswer> Client::RemoteQuery(const std::string& sql,
   request.sql = sql;
   request.wait = true;
   request.explain = explain;
-  if (remote_->server_traces) {
+  if (remote_->server_features.Has(Feature::kTrace)) {
     const TraceContext context = Tracer::CurrentContext();
     request.trace_id = context.valid() ? context.trace_id : Tracer::MintId();
     request.parent_span = context.span_id;
   }
-  if (remote_->server_idempotency) {
+  if (remote_->server_features.Has(Feature::kIdempotency)) {
     // The idempotency key that makes this SUBMIT replay-safe: if the
     // connection dies mid-exchange, RemoteExchangeLocked reconnects and
     // re-sends the same request-id, and the service's dedup table hands
@@ -374,7 +396,7 @@ Result<ClientAnswer> Client::QuerySqlExplained(const std::string& sql) {
   if (remote_ != nullptr) {
     {
       std::lock_guard<std::mutex> lock(remote_->mutex);
-      if (!remote_->server_explain) {
+      if (!remote_->server_features.Has(Feature::kExplain)) {
         return Status::Unsupported(
             "server '" + server_ + "' does not speak the explain feature");
       }
@@ -404,7 +426,7 @@ Result<std::string> Client::Stats() {
     return RenderStatsText(MetricsRegistry::Global().Snapshot(), {});
   }
   std::lock_guard<std::mutex> lock(remote_->mutex);
-  if (!remote_->server_stats) {
+  if (!remote_->server_features.Has(Feature::kStats)) {
     return Status::Unsupported(
         "server '" + server_ + "' does not speak the stats feature");
   }
@@ -422,6 +444,35 @@ Result<std::string> Client::Stats() {
     text += '\n';
   }
   return text;
+}
+
+Result<std::string> Client::InvalidateSource(const std::string& source,
+                                             uint64_t version) {
+  if (remote_ == nullptr) {
+    // Embedded: one session, no fleet, no fan-out — the version stamp has
+    // nothing to guard, so every invalidation applies.
+    FUSION_ASSIGN_OR_RETURN(
+        const size_t index,
+        session_->mediator().catalog().IndexOf(source));
+    session_->InvalidateSource(index);
+    return std::string("applied");
+  }
+  std::lock_guard<std::mutex> lock(remote_->mutex);
+  if (!remote_->server_features.Has(Feature::kSharding)) {
+    return Status::Unsupported(
+        "server '" + server_ + "' does not speak the sharding feature");
+  }
+  ClientRequest request;
+  request.kind = ClientRequest::Kind::kInvalidate;
+  request.client_id = remote_->client_id;
+  request.source = source;
+  request.version = version;
+  FUSION_ASSIGN_OR_RETURN(const ClientResponse response,
+                          RemoteExchangeLocked(request));
+  if (!response.ok) {
+    return Status(response.error_code, response.error_message);
+  }
+  return response.state;
 }
 
 }  // namespace fusion

@@ -78,11 +78,13 @@ std::vector<std::string> RenderExplainLines(const QueryAnswer& answer,
 ///    result cache, breakers, and learned statistics — with every other
 ///    connected client.
 ///
-/// Construction goes through the Builder:
+/// Construction goes through the Builder, aimed at a Target:
 ///
 ///   FUSION_ASSIGN_OR_RETURN(
 ///       Client client,
-///       Client::Builder().CatalogFile("dmv.ini").Build());
+///       Client::Builder()
+///           .To(Client::Target::EmbeddedFile("dmv.ini"))
+///           .Build());
 ///   FUSION_ASSIGN_OR_RETURN(ClientAnswer a, client.QuerySql(sql));
 ///
 /// A Client is move-only. An embedded client may be shared by concurrent
@@ -90,25 +92,71 @@ std::vector<std::string> RenderExplainLines(const QueryAnswer& answer,
 /// request/response exchanges internally.
 class Client {
  public:
-  class Builder {
+  /// Where a Client runs its queries — the one sum-type that replaced the
+  /// Builder's three mutually-exclusive Catalog/CatalogFile/Connect
+  /// setters. Embedded targets run the full mediator stack in-process;
+  /// Remote targets speak FUSIONQ/1 to one endpoint or to several (a
+  /// fusionrd router, or the shard list directly): the first reachable
+  /// endpoint is dialed, and a lost connection fails over sticky-rotate —
+  /// stay with the endpoint that last worked, rotate to the next on
+  /// transport failure.
+  class Target {
    public:
     /// Embedded mode over an already-built catalog.
-    Builder& Catalog(SourceCatalog catalog) {
-      catalog_ = std::move(catalog);
-      have_catalog_ = true;
-      return *this;
+    static Target Embedded(SourceCatalog catalog) {
+      Target target;
+      target.catalog_ = std::move(catalog);
+      target.have_catalog_ = true;
+      return target;
     }
     /// Embedded mode over an INI catalog config (see cli/catalog_config.h).
+    static Target EmbeddedFile(std::string path) {
+      Target target;
+      target.catalog_file_ = std::move(path);
+      return target;
+    }
+    /// Connected mode: one or more "host:port" endpoints, tried in order.
+    static Target Remote(std::vector<std::string> endpoints) {
+      Target target;
+      target.endpoints_ = std::move(endpoints);
+      return target;
+    }
+    static Target Remote(std::string endpoint) {
+      return Remote(std::vector<std::string>{std::move(endpoint)});
+    }
+
+   private:
+    friend class Client;
+    Target() = default;
+
+    SourceCatalog catalog_;
+    bool have_catalog_ = false;
+    std::string catalog_file_;
+    std::vector<std::string> endpoints_;
+  };
+
+  class Builder {
+   public:
+    /// Aims the client at `target` (exactly one target per Build).
+    Builder& To(Target target) {
+      target_ = std::move(target);
+      ++targets_set_;
+      return *this;
+    }
+
+    /// Deprecated shim for To(Target::Embedded(...)).
+    Builder& Catalog(SourceCatalog catalog) {
+      return To(Target::Embedded(std::move(catalog)));
+    }
+    /// Deprecated shim for To(Target::EmbeddedFile(...)).
     Builder& CatalogFile(const std::string& path) {
-      catalog_file_ = path;
-      return *this;
+      return To(Target::EmbeddedFile(path));
     }
-    /// Connected mode: speak FUSIONQ/1 to a fusionqd at "host:port".
-    /// Mutually exclusive with Catalog/CatalogFile.
+    /// Deprecated shim for To(Target::Remote(...)).
     Builder& Connect(const std::string& endpoint) {
-      endpoint_ = endpoint;
-      return *this;
+      return To(Target::Remote(endpoint));
     }
+
     /// Connected mode's fair-scheduling identity (defaults to "anon"; every
     /// distinct id gets its own round-robin turn at the service).
     Builder& ClientId(const std::string& id) {
@@ -149,14 +197,14 @@ class Client {
     }
 
     /// Validates the configuration and builds the client. Embedded mode
-    /// requires a catalog; connected mode performs the HELLO handshake.
+    /// requires a catalog; connected mode dials the target's endpoints in
+    /// order (rotating on retryable failure) and performs the HELLO
+    /// handshake on the first that answers.
     Result<Client> Build();
 
    private:
-    SourceCatalog catalog_;
-    bool have_catalog_ = false;
-    std::string catalog_file_;
-    std::string endpoint_;
+    Target target_;
+    int targets_set_ = 0;
     std::string client_id_ = "anon";
     ClientOptions options_;
     RetryPolicy reconnect_ = DefaultReconnectPolicy();
@@ -194,6 +242,16 @@ class Client {
   /// metrics directly (no tenant table — tenants are a serving concept).
   Result<std::string> Stats();
 
+  /// Drops every cached call result for the named source — the cache-
+  /// coherence entry point a feed uses when a source changed upstream.
+  /// Embedded mode invalidates the local session directly; connected mode
+  /// sends the FUSIONQ/1 INVALIDATE verb (kUnsupported against a server
+  /// that never advertised `sharding`), where a router fans it out to every
+  /// shard. `version` stamps make replays idempotent (see the protocol
+  /// docs); 0 = unconditional. Returns "applied" or "stale".
+  Result<std::string> InvalidateSource(const std::string& source,
+                                       uint64_t version = 0);
+
   /// True when this client speaks to a fusionqd instead of running locally.
   bool connected() const { return remote_ != nullptr; }
   /// Times this client re-dialed and re-handshook after losing its
@@ -217,18 +275,18 @@ class Client {
   struct Remote {
     std::mutex mutex;  // one request/response exchange at a time
     MessageSocket socket;
-    std::string endpoint;  // for redialing after a transport failure
+    /// The target's endpoints, in preference order, with the sticky-rotate
+    /// cursor: `active` stays wherever the last successful dial landed, and
+    /// a redial tries from there, rotating on failure — so a healthy
+    /// endpoint keeps its traffic and a dead one is skipped after one probe.
+    std::vector<std::string> endpoints;
+    size_t active = 0;
     std::string client_id;
     RetryPolicy reconnect;
-    /// Negotiated from the HELLO response: optional fields/verbs are only
-    /// sent to servers that advertised the matching feature token.
-    bool server_traces = false;
-    bool server_stats = false;
-    bool server_explain = false;
-    /// Server keeps a SUBMIT request-id dedup table: a re-SUBMIT after a
-    /// reconnect replays the original outcome instead of re-executing, so
-    /// transparent reconnect is safe for queries too (not just reads).
-    bool server_idempotency = false;
+    /// Negotiated from the HELLO response: optional fields (trace-id,
+    /// request-id) and verbs (STATS, INVALIDATE, explain) are only sent to
+    /// servers whose advertised set has the matching Feature.
+    FeatureSet server_features;
     size_t reconnects = 0;  // guarded by mutex
   };
 

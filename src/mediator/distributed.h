@@ -1,0 +1,70 @@
+#ifndef FUSION_MEDIATOR_DISTRIBUTED_H_
+#define FUSION_MEDIATOR_DISTRIBUTED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/item_set.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "exec/source_call_cache.h"
+#include "plan/plan.h"
+#include "plan/plan_split.h"
+#include "query/fusion_query.h"
+#include "source/catalog.h"
+#include "source/cost_ledger.h"
+
+namespace fusion {
+
+/// One shard of the mediator fleet, from the distributed planner's point of
+/// view: the catalog replica it answers from and the source-call memo it
+/// keeps warm. The catalogs must describe the *same* sources (the fleet is
+/// replicated, not partitioned by data); what differs per shard is network
+/// proximity and cache state.
+struct ShardExecutor {
+  const SourceCatalog* catalog = nullptr;
+  /// Optional per-shard memo. Fresh answers a shard computes are published
+  /// here, so re-running the split routes warm ops to warm shards.
+  SourceCallCache* cache = nullptr;
+};
+
+/// What the fleet did while executing one split plan.
+struct DistributedReport {
+  ItemSet answer;
+  /// Every shard's source charges merged in plan-op order — byte-comparable
+  /// with the serial interpreter's ledger (the differential tests' oracle).
+  CostLedger ledger;
+  /// Cut variables shipped between shards (one per unique
+  /// (var, consumer shard) crossing) and their total item count: the
+  /// fleet's inter-shard traffic, proportional to answer sizes by the
+  /// split invariant.
+  size_t cross_shard_vars = 0;
+  size_t cross_shard_items = 0;
+  /// Plan ops executed by each shard (index-aligned with the shard vector).
+  std::vector<size_t> per_shard_ops;
+  size_t emulated_semijoins = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_containment_hits = 0;
+  size_t retries_total = 0;
+};
+
+/// Runs `plan` across the shard fleet according to `split`: each op executes
+/// on its assigned shard (against that shard's catalog replica, charging
+/// that shard's calls to the merged ledger, memoizing into that shard's
+/// cache), and only the split's cut variables — merge-attribute item sets —
+/// conceptually travel between shards. Evaluation is eager and follows plan
+/// order, so the answer and the merged ledger are byte-identical to the
+/// serial `ExecutePlan(plan, catalog, query)` over any replica.
+///
+/// `options.cache` is ignored (each shard supplies its own);
+/// `options.parallelism`, `lazy_short_circuit`, and degraded-mode execution
+/// are rejected — the distributed runner keeps the strict eager semantics
+/// that make fleet answers comparable across shard counts.
+Result<DistributedReport> ExecutePlanDistributed(
+    const Plan& plan, const FusionQuery& query, const PlanSplit& split,
+    const std::vector<ShardExecutor>& shards, const ExecOptions& options);
+
+}  // namespace fusion
+
+#endif  // FUSION_MEDIATOR_DISTRIBUTED_H_

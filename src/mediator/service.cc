@@ -271,6 +271,48 @@ size_t QueryService::idempotent_replays() const {
   return idempotent_replays_;
 }
 
+Result<std::string> QueryService::Invalidate(const std::string& source_name,
+                                             uint64_t version) {
+  FUSION_ASSIGN_OR_RETURN(
+      const size_t index,
+      session_->mediator().catalog().IndexOf(source_name));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (version != 0) {
+      uint64_t& applied = invalidate_versions_[source_name];
+      if (version <= applied) {
+        // A fan-out replay (or reordered duplicate) of a version already
+        // applied: answering `stale` without touching the cache is what
+        // makes router retries and at-least-once delivery safe.
+        ++invalidates_stale_;
+        static Counter& stale = MetricsRegistry::Global().counter(
+            metrics::kInvalidatesStaleTotal);
+        stale.Increment();
+        return std::string("stale");
+      }
+      applied = version;
+    }
+    ++invalidates_applied_;
+    static Counter& applied_counter =
+        MetricsRegistry::Global().counter(metrics::kInvalidatesAppliedTotal);
+    applied_counter.Increment();
+  }
+  // Outside mutex_: the session's cache has its own locking, and dropping
+  // entries can contend with running executions.
+  session_->InvalidateSource(index);
+  return std::string("applied");
+}
+
+size_t QueryService::invalidates_applied() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invalidates_applied_;
+}
+
+size_t QueryService::invalidates_stale() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invalidates_stale_;
+}
+
 void QueryService::RecordSlo(const Request& request,
                              const Result<ClientAnswer>& outcome) {
   const double latency_ms =
@@ -383,6 +425,18 @@ ClientResponse QueryService::HandleParsed(const ClientRequest& request) {
       for (const std::string& line : StrSplit(StatsText(), '\n')) {
         if (!line.empty()) response.stats_lines.push_back(line);
       }
+      return response;
+    }
+    case ClientRequest::Kind::kInvalidate: {
+      if (request.source.empty()) {
+        return ClientErrorResponse(
+            Status::InvalidArgument("INVALIDATE requires a source line"));
+      }
+      const Result<std::string> state =
+          Invalidate(request.source, request.version);
+      if (!state.ok()) return ClientErrorResponse(state.status());
+      ClientResponse response;
+      response.state = *state;
       return response;
     }
   }

@@ -157,6 +157,19 @@ class QueryService {
   /// second metering) since construction.
   size_t idempotent_replays() const;
 
+  /// Drops every cached call result and witness for the named source —
+  /// the FUSIONQ/1 INVALIDATE verb, the fleet's cache-coherence path.
+  /// Version semantics make fan-out replays idempotent: version 0 applies
+  /// unconditionally; a version above the highest applied for that source
+  /// applies and is recorded; anything at or below it is a stale no-op.
+  /// Returns "applied" or "stale" (the response's `state`), kNotFound for
+  /// an unknown source name.
+  Result<std::string> Invalidate(const std::string& source_name,
+                                 uint64_t version);
+  /// INVALIDATEs applied / answered stale since construction.
+  size_t invalidates_applied() const;
+  size_t invalidates_stale() const;
+
   /// Per-tenant SLO accounting (keyed by the FUSIONQ/1 client id): latency
   /// histograms, metered cost, shed/deadline/cancel/degraded counts, and
   /// the rolling error rate. One registry per service, not process-global.
@@ -229,6 +242,11 @@ class QueryService {
   /// Options::max_dedup, evicted FIFO via dedup_order_.
   std::map<std::pair<std::string, uint64_t>, RequestPtr> dedup_;
   std::deque<std::pair<std::string, uint64_t>> dedup_order_;
+  /// Highest INVALIDATE version applied per source name (coherence stamps;
+  /// version-0 unconditional invalidations are not recorded here).
+  std::map<std::string, uint64_t> invalidate_versions_;
+  size_t invalidates_applied_ = 0;
+  size_t invalidates_stale_ = 0;
 
   /// Declared last so its destructor (drain + join) runs before the state
   /// it uses is torn down.

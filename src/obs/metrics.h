@@ -177,6 +177,22 @@ inline constexpr char kRpcServerRequests[] = "rpc_server_requests_total";
 inline constexpr char kClientReconnectsTotal[] = "client_reconnects_total";
 inline constexpr char kIdempotentReplaysTotal[] = "idempotent_replays_total";
 inline constexpr char kSourceFailoversTotal[] = "source_failovers_total";
+/// Fleet cache coherence: version-stamped INVALIDATE verbs applied, vs
+/// answered `stale` (an idempotent replay of an already-applied version).
+inline constexpr char kInvalidatesAppliedTotal[] = "invalidates_applied_total";
+inline constexpr char kInvalidatesStaleTotal[] = "invalidates_stale_total";
+/// The fusionrd router: SUBMITs forwarded shard-ward, forwards whose query
+/// key was seen before (warm), warm forwards that landed on the same shard
+/// as last time (memo/cache locality), transport failovers to the
+/// next-ranked shard, INVALIDATE fan-out deliveries, and request bytes
+/// forwarded to shards (the cross-shard traffic proxy).
+inline constexpr char kRouterForwardsTotal[] = "router_forwards_total";
+inline constexpr char kRouterWarmForwardsTotal[] = "router_warm_forwards_total";
+inline constexpr char kRouterWarmHitsTotal[] = "router_warm_hits_total";
+inline constexpr char kRouterFailoversTotal[] = "router_failovers_total";
+inline constexpr char kRouterInvalidateFanoutsTotal[] =
+    "router_invalidate_fanouts_total";
+inline constexpr char kRouterForwardBytes[] = "router_forward_bytes";
 /// Faults injected by the chaos layer (protocol/chaos.h), by kind.
 inline constexpr char kChaosDropsTotal[] = "chaos_drops_total";
 inline constexpr char kChaosTornWritesTotal[] = "chaos_torn_writes_total";

@@ -1,0 +1,128 @@
+#include "plan/plan_split.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace fusion {
+namespace {
+
+/// Every variable an op reads, in field order.
+std::vector<int> OpInputs(const PlanOp& op) {
+  std::vector<int> inputs;
+  if (op.input >= 0) inputs.push_back(op.input);
+  for (const int v : op.inputs) inputs.push_back(v);
+  return inputs;
+}
+
+}  // namespace
+
+Result<PlanSplit> SplitPlanBySource(const Plan& plan,
+                                    const std::vector<size_t>& source_shard,
+                                    size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("plan split needs at least one shard");
+  }
+  for (const size_t shard : source_shard) {
+    if (shard >= num_shards) {
+      return Status::InvalidArgument(
+          "source_shard assigns shard " + std::to_string(shard) +
+          " but there are only " + std::to_string(num_shards) + " shards");
+    }
+  }
+  const std::vector<PlanOp>& ops = plan.ops();
+  // defining_op[v]: the op whose target is v (SSA — exactly one).
+  std::vector<int> defining_op(plan.vars().size(), -1);
+  for (size_t k = 0; k < ops.size(); ++k) {
+    defining_op[static_cast<size_t>(ops[k].target)] = static_cast<int>(k);
+  }
+
+  PlanSplit split;
+  split.op_shard.resize(ops.size(), 0);
+  for (size_t k = 0; k < ops.size(); ++k) {
+    const PlanOp& op = ops[k];
+    switch (op.kind) {
+      case PlanOpKind::kSelect:
+      case PlanOpKind::kSemiJoin:
+      case PlanOpKind::kLoad: {
+        if (op.source < 0 ||
+            static_cast<size_t>(op.source) >= source_shard.size()) {
+          return Status::InvalidArgument(
+              "plan references source " + std::to_string(op.source) +
+              " outside the source_shard assignment");
+        }
+        split.op_shard[k] = source_shard[static_cast<size_t>(op.source)];
+        break;
+      }
+      case PlanOpKind::kLocalSelect: {
+        // Pinned to wherever the relation was loaded: relations must never
+        // cross shards (that would ship source-sized data).
+        const int def = defining_op[static_cast<size_t>(op.input)];
+        split.op_shard[k] = split.op_shard[static_cast<size_t>(def)];
+        break;
+      }
+      case PlanOpKind::kUnion:
+      case PlanOpKind::kIntersect:
+      case PlanOpKind::kDifference: {
+        // Majority-input placement (ties to the lowest shard): the set op
+        // runs where most of its operands already live, so the fewest
+        // item sets travel.
+        std::map<size_t, size_t> votes;
+        for (const int v : OpInputs(op)) {
+          const int def = defining_op[static_cast<size_t>(v)];
+          ++votes[split.op_shard[static_cast<size_t>(def)]];
+        }
+        size_t best_shard = 0;
+        size_t best_votes = 0;
+        for (const auto& [shard, count] : votes) {
+          if (count > best_votes) {  // map order makes ties pick the lowest
+            best_shard = shard;
+            best_votes = count;
+          }
+        }
+        split.op_shard[k] = best_shard;
+        break;
+      }
+    }
+  }
+
+  // Fragments: maximal runs of consecutive same-shard ops. Executing them
+  // in index order preserves SSA definition order trivially.
+  for (size_t k = 0; k < ops.size(); ++k) {
+    if (split.fragments.empty() ||
+        split.fragments.back().shard != split.op_shard[k]) {
+      PlanFragment fragment;
+      fragment.shard = split.op_shard[k];
+      split.fragments.push_back(std::move(fragment));
+    }
+    split.fragments.back().ops.push_back(k);
+  }
+
+  // Cut edges: each unique (var, consumer shard) pair whose producer sits
+  // on a different shard — plus the split invariant: only item sets cross.
+  std::set<std::pair<int, size_t>> seen;
+  for (size_t k = 0; k < ops.size(); ++k) {
+    for (const int v : OpInputs(ops[k])) {
+      const int def = defining_op[static_cast<size_t>(v)];
+      const size_t producer = split.op_shard[static_cast<size_t>(def)];
+      const size_t consumer = split.op_shard[k];
+      if (producer == consumer) continue;
+      if (!seen.insert({v, consumer}).second) continue;
+      if (plan.var(v).type != PlanVarType::kItems) {
+        return Status::Internal(
+            "plan split would ship relation variable '" + plan.var(v).name +
+            "' across shards — placement bug, the local select pin must "
+            "keep relations home");
+      }
+      PlanCutEdge edge;
+      edge.var = v;
+      edge.producer_shard = producer;
+      edge.consumer_shard = consumer;
+      split.cut_edges.push_back(edge);
+    }
+  }
+  return split;
+}
+
+}  // namespace fusion

@@ -1,0 +1,70 @@
+#ifndef FUSION_PLAN_PLAN_SPLIT_H_
+#define FUSION_PLAN_PLAN_SPLIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace fusion {
+
+/// One contiguous run of same-shard plan ops — the unit a shard executes.
+/// Fragments partition the plan's op sequence in SSA order, so executing
+/// fragments in index order (shipping cut variables between shards as they
+/// are defined) reproduces the serial interpreter's evaluation exactly.
+struct PlanFragment {
+  size_t shard = 0;
+  /// Op indices into the plan, consecutive and increasing.
+  std::vector<size_t> ops;
+};
+
+/// A variable crossing a shard boundary: produced by an op placed on
+/// `producer_shard`, consumed by at least one op on `consumer_shard`.
+/// The split invariant guarantees every cut variable holds a
+/// merge-attribute ItemSet (PlanVarType::kItems) — loaded relations never
+/// cross the wire; only semijoin/union-sized item sets do, which is what
+/// keeps the fleet's inter-shard traffic proportional to answer sizes,
+/// not source sizes.
+struct PlanCutEdge {
+  int var = -1;
+  size_t producer_shard = 0;
+  size_t consumer_shard = 0;
+};
+
+/// The distributed decomposition of one optimized plan.
+struct PlanSplit {
+  /// Per-op executing shard (index-aligned with plan.ops()).
+  std::vector<size_t> op_shard;
+  /// Maximal same-shard runs, in plan order.
+  std::vector<PlanFragment> fragments;
+  /// Unique (var, consumer_shard) crossings, in discovery order.
+  std::vector<PlanCutEdge> cut_edges;
+
+  /// Merge-attribute item-set variables shipped between shards (the
+  /// cross-shard traffic the fleet meters).
+  size_t num_cut_vars() const { return cut_edges.size(); }
+};
+
+/// Partitions `plan` into per-shard fragments given each catalog source's
+/// home shard (`source_shard[j]` = the shard nearest source j; every value
+/// must be < num_shards, and the vector must cover every source the plan
+/// references). Placement rules:
+///
+///  - source ops (sq / sjq / lq) run on their source's home shard — the
+///    whole point: the call happens near the data, and only its
+///    merge-attribute result travels;
+///  - a local selection runs where its relation was loaded (pinning it
+///    anywhere else would ship the relation — forbidden);
+///  - set ops (∪ / ∩ / −) run where the majority of their inputs were
+///    produced (ties to the lowest shard), minimizing shipped sets.
+///
+/// Validates the split invariant (every cut variable holds items, never a
+/// relation) and fails kInternal if placement ever breaks it.
+Result<PlanSplit> SplitPlanBySource(const Plan& plan,
+                                    const std::vector<size_t>& source_shard,
+                                    size_t num_shards);
+
+}  // namespace fusion
+
+#endif  // FUSION_PLAN_PLAN_SPLIT_H_

@@ -22,6 +22,8 @@ const char* RequestKindName(ClientRequest::Kind kind) {
       return "CANCEL";
     case ClientRequest::Kind::kStats:
       return "STATS";
+    case ClientRequest::Kind::kInvalidate:
+      return "INVALIDATE";
   }
   return "?";
 }
@@ -32,6 +34,7 @@ Result<ClientRequest::Kind> ParseRequestKind(const std::string& name) {
   if (name == "STATUS") return ClientRequest::Kind::kStatus;
   if (name == "CANCEL") return ClientRequest::Kind::kCancel;
   if (name == "STATS") return ClientRequest::Kind::kStats;
+  if (name == "INVALIDATE") return ClientRequest::Kind::kInvalidate;
   return Status::ParseError("unknown client request kind: " + name);
 }
 
@@ -93,7 +96,7 @@ Result<std::vector<std::string>> SplitBoundedLines(const std::string& text,
 }  // namespace
 
 std::vector<std::string> ClientProtocolFeatures() {
-  return {kFeatureTrace, kFeatureStats, kFeatureExplain, kFeatureIdempotency};
+  return FeatureSet::All().Names();
 }
 
 std::string SerializeClientRequest(const ClientRequest& request) {
@@ -127,6 +130,12 @@ std::string SerializeClientRequest(const ClientRequest& request) {
   }
   if (request.kind == ClientRequest::Kind::kSubmit && request.request_id != 0) {
     out += "request-id " + std::to_string(request.request_id) + "\n";
+  }
+  if (request.kind == ClientRequest::Kind::kInvalidate) {
+    out += "source " + EscapeWireText(request.source) + "\n";
+    if (request.version != 0) {
+      out += "version " + std::to_string(request.version) + "\n";
+    }
   }
   out += "end\n";
   return out;
@@ -168,6 +177,10 @@ Result<ClientRequest> ParseClientRequest(const std::string& text) {
       FUSION_ASSIGN_OR_RETURN(request.parent_span, ParseU64(key, value));
     } else if (key == "request-id") {
       FUSION_ASSIGN_OR_RETURN(request.request_id, ParseU64(key, value));
+    } else if (key == "source") {
+      FUSION_ASSIGN_OR_RETURN(request.source, UnescapeWireText(value));
+    } else if (key == "version") {
+      FUSION_ASSIGN_OR_RETURN(request.version, ParseU64(key, value));
     }
     // Unknown fields are ignored: a newer peer may send fields this build
     // does not know, and must be able to do so without negotiating first

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "protocol/features.h"
 
 namespace fusion {
 
@@ -20,11 +21,17 @@ namespace fusion {
 /// format.
 ///
 /// Request grammar (one field per line, terminated by `end`):
-///   FUSIONQ/1 <HELLO|SUBMIT|STATUS|CANCEL|STATS>
+///   FUSIONQ/1 <HELLO|SUBMIT|STATUS|CANCEL|STATS|INVALIDATE>
 ///   client <client id>           (optional; the fair-scheduling key and the
 ///                                 per-tenant SLO accounting key)
 ///   sql <escaped query text>     (SUBMIT)
 ///   ticket <id>                  (STATUS / CANCEL)
+///   source <escaped name>        (INVALIDATE: the source whose cached
+///                                 entries must be dropped)
+///   version <u64>                (INVALIDATE: monotonically increasing
+///                                 stamp; replays at or below the highest
+///                                 applied version are idempotent no-ops.
+///                                 0 = unconditional, always applied)
 ///   wait <yes|no>                (SUBMIT: block for the answer — the
 ///                                 default — or return a ticket immediately)
 ///   explain <yes|no>             (SUBMIT wait=yes: annotate the response
@@ -44,7 +51,7 @@ namespace fusion {
 /// older peer degrades gracefully instead of erroring. Capabilities a peer
 /// acts on are negotiated explicitly via HELLO `features`.
 struct ClientRequest {
-  enum class Kind { kHello, kSubmit, kStatus, kCancel, kStats };
+  enum class Kind { kHello, kSubmit, kStatus, kCancel, kStats, kInvalidate };
 
   Kind kind = Kind::kHello;
   std::string client_id;
@@ -67,6 +74,14 @@ struct ClientRequest {
   /// the first execution's answer — never a second execution, never double
   /// metering. Sent only to servers that advertised `idempotency`.
   uint64_t request_id = 0;
+  /// INVALIDATE: the source whose cached call results / witnesses must be
+  /// dropped (the source changed upstream).
+  std::string source;
+  /// INVALIDATE: version stamp making fan-out replays idempotent. The
+  /// service records the highest version applied per source; a replay at
+  /// or below it answers `state stale` without touching the cache again.
+  /// Version 0 is unconditional (always applied, never recorded).
+  uint64_t version = 0;
 };
 
 /// Response grammar:
@@ -75,6 +90,7 @@ struct ClientRequest {
 ///   server <name>                (HELLO)
 ///   ticket <id>                  (SUBMIT / STATUS / CANCEL)
 ///   state <queued|running|done|failed|cancelled>   (SUBMIT wait=no, STATUS)
+///                                (INVALIDATE reuses it: applied|stale)
 ///   item <value>                 (0+; the fused answer, in set order)
 ///   cost <metered total>         (RESULT)
 ///   source-queries <n>           (RESULT)
@@ -133,15 +149,11 @@ struct ClientResponse {
 inline constexpr size_t kMaxClientProtocolLineBytes = 64 * 1024;
 
 /// The feature tokens this build of the protocol speaks, advertised on
-/// HELLO in both directions. A peer only *sends* optional fields (trace-id,
-/// explain) or optional verbs (STATS) after the other side advertised the
-/// matching token — unknown-field tolerance is the safety net, negotiation
-/// is the contract.
-inline constexpr char kFeatureTrace[] = "trace";
-inline constexpr char kFeatureStats[] = "stats";
-inline constexpr char kFeatureExplain[] = "explain";
-/// SUBMIT `request-id` dedup: re-SUBMITs replay the original outcome.
-inline constexpr char kFeatureIdempotency[] = "idempotency";
+/// HELLO in both directions: FeatureSet::All().Names() from the registry
+/// in protocol/features.h. A peer only *sends* optional fields (trace-id,
+/// explain) or optional verbs (STATS, INVALIDATE) after the other side
+/// advertised the matching token — unknown-field tolerance is the safety
+/// net, negotiation is the contract.
 std::vector<std::string> ClientProtocolFeatures();
 
 std::string SerializeClientRequest(const ClientRequest& request);

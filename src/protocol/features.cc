@@ -1,0 +1,64 @@
+#include "protocol/features.h"
+
+namespace fusion {
+namespace {
+
+/// Registry order: also the order Names() emits, so HELLO lines are stable
+/// across builds and tests can match them verbatim.
+constexpr Feature kAllFeatures[] = {
+    Feature::kTrace,       Feature::kStats,    Feature::kExplain,
+    Feature::kIdempotency, Feature::kSharding,
+};
+
+}  // namespace
+
+const char* FeatureName(Feature feature) {
+  switch (feature) {
+    case Feature::kTrace:
+      return "trace";
+    case Feature::kStats:
+      return "stats";
+    case Feature::kExplain:
+      return "explain";
+    case Feature::kIdempotency:
+      return "idempotency";
+    case Feature::kSharding:
+      return "sharding";
+  }
+  return "?";
+}
+
+bool ParseFeatureName(const std::string& name, Feature* out) {
+  for (Feature f : kAllFeatures) {
+    if (name == FeatureName(f)) {
+      *out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+FeatureSet FeatureSet::All() {
+  FeatureSet set;
+  for (Feature f : kAllFeatures) set.Add(f);
+  return set;
+}
+
+FeatureSet FeatureSet::FromNames(const std::vector<std::string>& names) {
+  FeatureSet set;
+  for (const std::string& name : names) {
+    Feature f;
+    if (ParseFeatureName(name, &f)) set.Add(f);
+  }
+  return set;
+}
+
+std::vector<std::string> FeatureSet::Names() const {
+  std::vector<std::string> out;
+  for (Feature f : kAllFeatures) {
+    if (Has(f)) out.push_back(FeatureName(f));
+  }
+  return out;
+}
+
+}  // namespace fusion

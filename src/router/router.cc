@@ -1,0 +1,382 @@
+#include "router/router.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace fusion {
+namespace {
+
+/// Idle upstream connections kept per shard; extras are closed on release.
+constexpr size_t kMaxIdleLinksPerShard = 8;
+
+/// Warm-locality ledger bound: past this many distinct keys the ledger is
+/// cleared (stats restart cold; routing is stateless and unaffected).
+constexpr size_t kMaxWarmEntries = 64 * 1024;
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Transport-level failures a redial (or a failover to the next-ranked
+/// shard) can cure; protocol-level failures are final.
+bool IsTransportError(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kInternal;
+}
+
+bool IsHelloRetryable(const Status& status) {
+  return IsTransportError(status) ||
+         status.code() == StatusCode::kParseError;
+}
+
+/// Router-minted SUBMIT idempotency keys, for forwards whose client sent
+/// none: what makes the router's own redial-and-resend path replay-safe.
+/// Same construction as the client's minting (unique per process with
+/// overwhelming probability, deterministic under FUSION_SEED, never 0) but
+/// a distinct salt, so router- and client-minted ids cannot collide under
+/// one seed.
+uint64_t MintRouterRequestId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t seed =
+      GlobalSeed(0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(getpid()));
+  const uint64_t id = MixSeed(MixSeed(seed, 0x50d7u), n);
+  return id == 0 ? 1 : id;
+}
+
+}  // namespace
+
+RetryPolicy QueryRouter::DefaultReconnectPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_seconds = 0.01;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.25;
+  return policy;
+}
+
+QueryRouter::QueryRouter(ShardMap shards, const Options& options)
+    : shards_(std::move(shards)), options_(options) {
+  pools_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    pools_.push_back(std::make_unique<ShardPool>());
+  }
+  counters_.per_shard_forwards.assign(shards_.size(), 0);
+}
+
+QueryRouter::~QueryRouter() { Shutdown(); }
+
+void QueryRouter::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  for (const std::unique_ptr<ShardPool>& pool : pools_) {
+    std::lock_guard<std::mutex> lock(pool->mutex);
+    pool->idle.clear();  // MessageSocket destructors close the fds
+  }
+}
+
+Result<std::unique_ptr<QueryRouter::Link>> QueryRouter::AcquireLink(
+    size_t shard) {
+  {
+    ShardPool& pool = *pools_[shard];
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    if (!pool.idle.empty()) {
+      std::unique_ptr<Link> link = std::move(pool.idle.back());
+      pool.idle.pop_back();
+      return link;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return Status::Unavailable("router is shutting down");
+    }
+  }
+  auto link = std::make_unique<Link>();
+  FUSION_ASSIGN_OR_RETURN(link->socket,
+                          DialTcp(shards_.shard(shard).endpoint));
+  ClientRequest hello;
+  hello.kind = ClientRequest::Kind::kHello;
+  hello.client_id = options_.server_name;
+  hello.features = ClientProtocolFeatures();
+  FUSION_RETURN_IF_ERROR(link->socket.Send(SerializeClientRequest(hello)));
+  FUSION_ASSIGN_OR_RETURN(const std::string reply, link->socket.Receive());
+  FUSION_ASSIGN_OR_RETURN(const ClientResponse response,
+                          ParseClientResponse(reply));
+  if (!response.ok) {
+    return Status(response.error_code, "hello: " + response.error_message);
+  }
+  link->features = FeatureSet::FromNames(response.features);
+  return link;
+}
+
+void QueryRouter::ReleaseLink(size_t shard, std::unique_ptr<Link> link) {
+  ShardPool& pool = *pools_[shard];
+  std::lock_guard<std::mutex> lock(pool.mutex);
+  if (pool.idle.size() < kMaxIdleLinksPerShard) {
+    pool.idle.push_back(std::move(link));
+  }
+  // else: dropped — the destructor closes the connection.
+}
+
+Result<ClientResponse> QueryRouter::Exchange(size_t shard,
+                                             const ClientRequest& request) {
+  const std::string wire = SerializeClientRequest(request);
+  const int attempts = std::max(1, options_.reconnect.max_attempts);
+  Status last_error = Status::Unavailable("never dialed");
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      SleepSeconds(options_.reconnect.BackoffSeconds(0, attempt - 1));
+    }
+    Result<std::unique_ptr<Link>> link = AcquireLink(shard);
+    if (!link.ok()) {
+      last_error = link.status();
+      if (!IsHelloRetryable(last_error)) break;
+      continue;
+    }
+    // Resend safety mirrors the client's rule: a SUBMIT is only re-sent
+    // after its frame may have shipped when the shard's request-id dedup
+    // makes the replay free — which it always is for forwards, because
+    // the router mints a request-id when the client sent none.
+    const bool resend_safe =
+        request.kind != ClientRequest::Kind::kSubmit ||
+        (link.value()->features.Has(Feature::kIdempotency) &&
+         request.request_id != 0);
+    bool frame_sent = false;
+    const Status sent = link.value()->socket.Send(wire);
+    if (sent.ok()) {
+      frame_sent = true;
+      Result<std::string> reply = link.value()->socket.Receive();
+      if (reply.ok()) {
+        Result<ClientResponse> parsed = ParseClientResponse(reply.value());
+        if (!parsed.ok()) break;  // a whole-but-malformed frame is final
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          counters_.forward_bytes += wire.size();
+        }
+        static Counter& bytes = MetricsRegistry::Global().counter(
+            metrics::kRouterForwardBytes);
+        bytes.Increment(wire.size());
+        ReleaseLink(shard, std::move(link.value()));
+        return parsed;
+      }
+      // A failed Receive is a transport event (including the kParseError a
+      // torn frame produces) — the pooled connection may simply have gone
+      // stale since its last use; a fresh dial gets a whole frame.
+      last_error = reply.status();
+    } else {
+      last_error = sent;
+      if (!IsTransportError(sent)) break;
+    }
+    // Transport failure: this upstream connection is dead; do not pool it.
+    if (frame_sent && !resend_safe) break;
+  }
+  return Status(last_error.code(),
+                last_error.message() + " (shard " +
+                    shards_.shard(shard).name + " at " +
+                    shards_.shard(shard).endpoint + ")");
+}
+
+ClientResponse QueryRouter::ForwardSubmit(const ClientRequest& request) {
+  if (request.sql.empty()) {
+    return ClientErrorResponse(
+        Status::InvalidArgument("SUBMIT requires an sql line"));
+  }
+  const std::string key = CanonicalQueryKey(request.sql);
+  const std::vector<size_t> ranked = shards_.Ranked(key);
+  ClientRequest forward = request;
+  if (forward.request_id == 0) forward.request_id = MintRouterRequestId();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.forwards;
+  }
+  static Counter& forwards =
+      MetricsRegistry::Global().counter(metrics::kRouterForwardsTotal);
+  forwards.Increment();
+  Status last_error = Status::Unavailable("no shards");
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const size_t shard = ranked[i];
+    Result<ClientResponse> response = Exchange(shard, forward);
+    if (!response.ok()) {
+      last_error = response.status();
+      if (!IsTransportError(last_error)) {
+        return ClientErrorResponse(last_error);
+      }
+      if (i + 1 < ranked.size()) {
+        // Owner down: the next-ranked shard serves this key (cold cache at
+        // worst — queries are read-only, so never a wrong answer).
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++counters_.failovers;
+        }
+        static Counter& failovers = MetricsRegistry::Global().counter(
+            metrics::kRouterFailoversTotal);
+        failovers.Increment();
+      }
+      continue;
+    }
+    {
+      // Warm-locality ledger: a repeated key is a warm forward; a warm
+      // forward served by the same shard as last time is a warm hit — the
+      // property the rendezvous hash exists to deliver.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.per_shard_forwards[shard];
+      const auto seen = last_shard_.find(key);
+      if (seen != last_shard_.end()) {
+        ++counters_.warm_forwards;
+        static Counter& warm = MetricsRegistry::Global().counter(
+            metrics::kRouterWarmForwardsTotal);
+        warm.Increment();
+        if (seen->second == shard) {
+          ++counters_.warm_hits;
+          static Counter& hits = MetricsRegistry::Global().counter(
+              metrics::kRouterWarmHitsTotal);
+          hits.Increment();
+        }
+      }
+      if (last_shard_.size() >= kMaxWarmEntries) last_shard_.clear();
+      last_shard_[key] = shard;
+    }
+    // Re-ticket for the client: shard index in the low byte, so STATUS and
+    // CANCEL route straight back to the shard that owns the request.
+    if (response.value().ticket != 0) {
+      response.value().ticket =
+          (response.value().ticket << 8) | static_cast<uint64_t>(shard);
+    }
+    return std::move(response).value();
+  }
+  return ClientErrorResponse(last_error);
+}
+
+ClientResponse QueryRouter::ForwardTicketVerb(const ClientRequest& request) {
+  const size_t shard = static_cast<size_t>(request.ticket & 0xff);
+  const uint64_t upstream_ticket = request.ticket >> 8;
+  if (shard >= shards_.size() || upstream_ticket == 0) {
+    return ClientErrorResponse(Status::NotFound(
+        "unknown ticket " + std::to_string(request.ticket)));
+  }
+  ClientRequest forward = request;
+  forward.ticket = upstream_ticket;
+  Result<ClientResponse> response = Exchange(shard, forward);
+  if (!response.ok()) return ClientErrorResponse(response.status());
+  if (response.value().ticket != 0) {
+    response.value().ticket =
+        (response.value().ticket << 8) | static_cast<uint64_t>(shard);
+  }
+  return std::move(response).value();
+}
+
+ClientResponse QueryRouter::FanOutInvalidate(const ClientRequest& request) {
+  if (request.source.empty()) {
+    return ClientErrorResponse(
+        Status::InvalidArgument("INVALIDATE requires a source line"));
+  }
+  // Broadcast to every shard — coherence is fleet-wide. The version stamp
+  // makes delivery idempotent per shard, so a retry after a partial
+  // broadcast (one shard down) re-applies nowhere it already landed.
+  bool any_applied = false;
+  Status first_error = Status::Ok();
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    const Result<ClientResponse> response = Exchange(shard, request);
+    if (!response.ok()) {
+      if (first_error.ok()) first_error = response.status();
+      continue;
+    }
+    if (!response.value().ok) {
+      if (first_error.ok()) {
+        first_error = Status(response.value().error_code,
+                             response.value().error_message);
+      }
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.invalidate_fanouts;
+    }
+    static Counter& fanouts = MetricsRegistry::Global().counter(
+        metrics::kRouterInvalidateFanoutsTotal);
+    fanouts.Increment();
+    if (response.value().state == "applied") any_applied = true;
+  }
+  if (!first_error.ok()) return ClientErrorResponse(first_error);
+  ClientResponse response;
+  response.state = any_applied ? "applied" : "stale";
+  return response;
+}
+
+ClientResponse QueryRouter::HandleParsed(const ClientRequest& request) {
+  switch (request.kind) {
+    case ClientRequest::Kind::kHello: {
+      ClientResponse response;
+      response.server = options_.server_name;
+      response.features = ClientProtocolFeatures();
+      return response;
+    }
+    case ClientRequest::Kind::kSubmit:
+      return ForwardSubmit(request);
+    case ClientRequest::Kind::kStatus:
+    case ClientRequest::Kind::kCancel:
+      return ForwardTicketVerb(request);
+    case ClientRequest::Kind::kStats: {
+      ClientResponse response;
+      response.server = options_.server_name;
+      for (const std::string& line : StrSplit(StatsText(), '\n')) {
+        if (!line.empty()) response.stats_lines.push_back(line);
+      }
+      return response;
+    }
+    case ClientRequest::Kind::kInvalidate:
+      return FanOutInvalidate(request);
+  }
+  return ClientErrorResponse(Status::Internal("unknown request kind"));
+}
+
+std::string QueryRouter::Handle(const std::string& request_text) {
+  const Result<ClientRequest> request = ParseClientRequest(request_text);
+  if (!request.ok()) {
+    return SerializeClientResponse(ClientErrorResponse(request.status()));
+  }
+  return SerializeClientResponse(HandleParsed(request.value()));
+}
+
+void QueryRouter::ServeConnection(ChaosSocket socket) {
+  if (socket.valid()) {
+    socket.inner().SetReceiveLimit(8 * kMaxClientProtocolLineBytes);
+    if (options_.stall_deadline_seconds > 0.0) {
+      (void)socket.inner().SetStallDeadline(options_.stall_deadline_seconds);
+    }
+  }
+  for (;;) {
+    const Result<std::string> message = socket.Receive();
+    if (!message.ok()) return;
+    const std::string response = Handle(message.value());
+    if (!socket.Send(response).ok()) return;
+  }
+}
+
+QueryRouter::Counters QueryRouter::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::string QueryRouter::StatsText() const {
+  // The router has no tenant SLO table (it does not execute queries); its
+  // exposition is the process metrics — the router_* counters included.
+  return RenderStatsText(MetricsRegistry::Global().Snapshot(), {});
+}
+
+}  // namespace fusion

@@ -398,11 +398,8 @@ TEST(ServiceServeConnectionTest, ServesFramesAndAdvertisesIdempotency) {
   auto parsed = ParseClientResponse(reply.value());
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed->ok);
-  bool advertises_idempotency = false;
-  for (const std::string& feature : parsed->features) {
-    if (feature == kFeatureIdempotency) advertises_idempotency = true;
-  }
-  EXPECT_TRUE(advertises_idempotency);
+  EXPECT_TRUE(
+      FeatureSet::FromNames(parsed->features).Has(Feature::kIdempotency));
 
   ClientRequest submit;
   submit.kind = ClientRequest::Kind::kSubmit;
@@ -433,7 +430,7 @@ TEST(ClientReconnectTest, LostResponseReplaysInsteadOfReexecuting) {
   ASSERT_TRUE(daemon.Start().ok());
 
   auto client = Client::Builder()
-                    .Connect(Endpoint(daemon.port()))
+                    .To(Client::Target::Remote(Endpoint(daemon.port())))
                     .ClientId("replay")
                     .Reconnect(FastRetry(6))
                     .Build();
@@ -460,7 +457,7 @@ TEST(ClientReconnectTest, SurvivesSeededConnectionChaos) {
   ASSERT_TRUE(daemon.Start().ok());
 
   auto client = Client::Builder()
-                    .Connect(Endpoint(daemon.port()))
+                    .To(Client::Target::Remote(Endpoint(daemon.port())))
                     .ClientId("chaotic")
                     .Reconnect(FastRetry(20))
                     .Build();
@@ -593,7 +590,7 @@ TEST(ChaosSoakTest, ChaoticRunMatchesFaultFreeSerialRun) {
         baseline_catalog.Add(std::make_unique<SimulatedSource>(*sim)).ok());
   }
   auto baseline = Client::Builder()
-                      .Catalog(std::move(baseline_catalog))
+                      .To(Client::Target::Embedded(std::move(baseline_catalog)))
                       .Options(client_options)
                       .Build();
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
@@ -635,7 +632,7 @@ TEST(ChaosSoakTest, ChaoticRunMatchesFaultFreeSerialRun) {
   ASSERT_TRUE(daemon.Start().ok());
 
   auto chaotic = Client::Builder()
-                     .Connect(Endpoint(daemon.port()))
+                     .To(Client::Target::Remote(Endpoint(daemon.port())))
                      .ClientId("soak")
                      .Reconnect(FastRetry(10))
                      .Build();

@@ -138,5 +138,55 @@ TEST(FileUtilTest, RoundTrip) {
   EXPECT_FALSE(ReadFileToString(path + ".does-not-exist").ok());
 }
 
+TEST(FileUtilTest, AtomicWriteLeavesNoTornState) {
+  // The port-file readiness contract: a concurrent reader sees the whole
+  // content or no file at all — never an empty/partial file (the bug the
+  // rename(2)-based write fixed in fusionqd/fusionsd/fusionrd).
+  const std::string path = ::testing::TempDir() + "/fusion_port_file.txt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteFileAtomic(path, "4631\n").ok());
+  auto back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "4631\n");
+  // Overwrite is atomic too, and the temp staging file never lingers.
+  ASSERT_TRUE(WriteFileAtomic(path, "4632\n").ok());
+  back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "4632\n");
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  // An unwritable staging path surfaces as a Status, not a torn target.
+  EXPECT_FALSE(WriteFileAtomic("/nonexistent-dir/port", "1\n").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Remote-source endpoint specs
+// ---------------------------------------------------------------------------
+
+TEST(CatalogConfigTest, EndpointValuesAreTrimmedAndDeduplicated) {
+  const auto specs = ParseCatalogConfig(
+      "[source R1]\n"
+      "endpoint =   127.0.0.1:9001  \n"
+      "endpoint = 127.0.0.1:9002\n"
+      "endpoint = 127.0.0.1:9001\n");  // duplicate: kept-first, not doubled
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 1u);
+  const std::vector<std::string> expected = {"127.0.0.1:9001",
+                                             "127.0.0.1:9002"};
+  EXPECT_EQ((*specs)[0].endpoints, expected);
+}
+
+TEST(CatalogConfigTest, RejectsMalformedEndpoints) {
+  const auto with_endpoint = [](const std::string& endpoint) {
+    return ParseCatalogConfig("[source R1]\nendpoint = " + endpoint + "\n");
+  };
+  EXPECT_FALSE(with_endpoint("no-port-here").ok());
+  EXPECT_FALSE(with_endpoint(":9001").ok());         // empty host
+  EXPECT_FALSE(with_endpoint("host:").ok());         // empty port
+  EXPECT_FALSE(with_endpoint("host:http").ok());     // non-numeric port
+  EXPECT_FALSE(with_endpoint("host:0").ok());        // port out of range
+  EXPECT_FALSE(with_endpoint("host:65536").ok());    // port out of range
+  EXPECT_FALSE(with_endpoint("two hosts:9001").ok());  // inner whitespace
+}
+
 }  // namespace
 }  // namespace fusion

@@ -30,7 +30,7 @@ Result<Client> Figure1Client(ClientOptions options = {}) {
   auto instance = BuildDmvFigure1();
   EXPECT_TRUE(instance.ok());
   return Client::Builder()
-      .Catalog(std::move(instance->catalog))
+      .To(Client::Target::Embedded(std::move(instance->catalog)))
       .Options(options)
       .Statistics(StatisticsMode::kOracle)
       .Build();
@@ -46,7 +46,21 @@ TEST(ClientBuilderTest, RequiresACatalogOrAnEndpoint) {
   EXPECT_EQ(client.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(ClientBuilderTest, CatalogAndConnectAreMutuallyExclusive) {
+TEST(ClientBuilderTest, RejectsTwoTargets) {
+  auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  const auto client =
+      Client::Builder()
+          .To(Client::Target::Embedded(std::move(instance->catalog)))
+          .To(Client::Target::Remote("127.0.0.1:1"))
+          .Build();
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The deprecated Catalog/Connect shims forward to To(), so mixing them
+// still trips the one-target rule.
+TEST(ClientBuilderTest, DeprecatedShimsForwardToTargets) {
   auto instance = BuildDmvFigure1();
   ASSERT_TRUE(instance.ok());
   const auto client = Client::Builder()
@@ -57,9 +71,19 @@ TEST(ClientBuilderTest, CatalogAndConnectAreMutuallyExclusive) {
   EXPECT_EQ(client.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ClientBuilderTest, RejectsEmptyRemoteEndpointList) {
+  const auto client =
+      Client::Builder().To(Client::Target::Remote(std::vector<std::string>{}))
+          .Build();
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ClientBuilderTest, MissingCatalogFileFailsBuild) {
   const auto client =
-      Client::Builder().CatalogFile("/nonexistent/catalog.ini").Build();
+      Client::Builder()
+          .To(Client::Target::EmbeddedFile("/nonexistent/catalog.ini"))
+          .Build();
   EXPECT_FALSE(client.ok());
 }
 
@@ -178,21 +202,18 @@ TEST(ClientTest, RemoteClientNegotiatesObservabilityFeatures) {
     }
   });
   {
-    auto client =
-        Client::Builder().Connect(endpoint).ClientId("negotiator").Build();
+    auto client = Client::Builder()
+                      .To(Client::Target::Remote(endpoint))
+                      .ClientId("negotiator")
+                      .Build();
     ASSERT_TRUE(client.ok()) << client.status().ToString();
     EXPECT_TRUE(client->connected());
-    // HELLO negotiated all three observability features.
-    const auto& features = client->server_features();
-    EXPECT_NE(std::find(features.begin(), features.end(),
-                        std::string(kFeatureTrace)),
-              features.end());
-    EXPECT_NE(std::find(features.begin(), features.end(),
-                        std::string(kFeatureStats)),
-              features.end());
-    EXPECT_NE(std::find(features.begin(), features.end(),
-                        std::string(kFeatureExplain)),
-              features.end());
+    // HELLO negotiated the observability features (typed registry — no raw
+    // string literals at the negotiation site).
+    const FeatureSet features = FeatureSet::FromNames(client->server_features());
+    EXPECT_TRUE(features.Has(Feature::kTrace));
+    EXPECT_TRUE(features.Has(Feature::kStats));
+    EXPECT_TRUE(features.Has(Feature::kExplain));
     // EXPLAIN over the wire: annotated executed plan rides the response.
     const auto explained = client->QuerySqlExplained(kDuiAndSp);
     ASSERT_TRUE(explained.ok()) << explained.status().ToString();

@@ -415,13 +415,11 @@ TEST(QueryServiceTest, HelloAdvertisesObservabilityFeatures) {
       ParseClientResponse(service->Handle(SerializeClientRequest(hello)));
   ASSERT_TRUE(response.ok());
   ASSERT_TRUE(response->ok);
-  const auto& features = response->features;
-  EXPECT_NE(std::find(features.begin(), features.end(), kFeatureTrace),
-            features.end());
-  EXPECT_NE(std::find(features.begin(), features.end(), kFeatureStats),
-            features.end());
-  EXPECT_NE(std::find(features.begin(), features.end(), kFeatureExplain),
-            features.end());
+  const FeatureSet features = FeatureSet::FromNames(response->features);
+  EXPECT_TRUE(features.Has(Feature::kTrace));
+  EXPECT_TRUE(features.Has(Feature::kStats));
+  EXPECT_TRUE(features.Has(Feature::kExplain));
+  EXPECT_TRUE(features.Has(Feature::kSharding));
 }
 
 TEST(QueryServiceTest, StatsVerbServesParseableExposition) {

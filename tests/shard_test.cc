@@ -1,0 +1,669 @@
+// Sharded-fleet tests (the `shard` ctest label): the FUSIONQ/1 feature
+// registry, the rendezvous shard map, the INVALIDATE coherence verb, the
+// distributed plan split, the in-process distributed executor, and the
+// fusionrd QueryRouter end to end over real sockets — k shards behind one
+// router must answer byte-identically to a single serial mediator, keep
+// repeated queries warm regardless of which client connection asks, fail
+// over past a dead shard, and apply INVALIDATE broadcasts idempotently.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/source_call_cache.h"
+#include "mediator/client.h"
+#include "mediator/distributed.h"
+#include "mediator/service.h"
+#include "plan/plan_split.h"
+#include "protocol/client_protocol.h"
+#include "protocol/features.h"
+#include "protocol/socket.h"
+#include "router/router.h"
+#include "router/shard_map.h"
+#include "workload/dmv.h"
+
+namespace fusion {
+namespace {
+
+constexpr char kDuiAndSp[] =
+    "SELECT u1.L FROM U u1, U u2 "
+    "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'";
+constexpr char kSpAndDui[] =
+    "SELECT u1.L FROM U u1, U u2 "
+    "WHERE u1.V = 'sp' AND u2.V = 'dui' AND u1.L = u2.L";
+constexpr char kDuiOnly[] = "SELECT u1.L FROM U u1 WHERE u1.V = 'dui'";
+
+std::string Endpoint(int port) {
+  return "127.0.0.1:" + std::to_string(port);
+}
+
+// ---------------------------------------------------------------------------
+// Feature registry
+// ---------------------------------------------------------------------------
+
+TEST(FeatureRegistryTest, NamesRoundTrip) {
+  const FeatureSet all = FeatureSet::All();
+  for (const Feature f : {Feature::kTrace, Feature::kStats, Feature::kExplain,
+                          Feature::kIdempotency, Feature::kSharding}) {
+    EXPECT_TRUE(all.Has(f)) << FeatureName(f);
+    Feature parsed;
+    ASSERT_TRUE(ParseFeatureName(FeatureName(f), &parsed));
+    EXPECT_EQ(parsed, f);
+  }
+  EXPECT_EQ(FeatureSet::FromNames(all.Names()), all);
+}
+
+TEST(FeatureRegistryTest, FromNamesDropsUnknownNames) {
+  const FeatureSet set =
+      FeatureSet::FromNames({"sharding", "warp-drive", "trace"});
+  EXPECT_TRUE(set.Has(Feature::kSharding));
+  EXPECT_TRUE(set.Has(Feature::kTrace));
+  EXPECT_FALSE(set.Has(Feature::kStats));
+}
+
+TEST(FeatureRegistryTest, ClientProtocolFeaturesIsTheFullRegistry) {
+  EXPECT_EQ(ClientProtocolFeatures(), FeatureSet::All().Names());
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous shard map
+// ---------------------------------------------------------------------------
+
+std::vector<Shard> TestShards(size_t k) {
+  std::vector<Shard> shards;
+  for (size_t i = 0; i < k; ++i) {
+    Shard shard;
+    shard.name = "shard-" + std::to_string(i);
+    shard.endpoint = "127.0.0.1:" + std::to_string(10000 + i);
+    shards.push_back(shard);
+  }
+  return shards;
+}
+
+TEST(ShardMapTest, ValidatesItsShards) {
+  EXPECT_FALSE(ShardMap::Make({}).ok());
+  auto dup = TestShards(2);
+  dup[1].name = dup[0].name;
+  EXPECT_FALSE(ShardMap::Make(dup).ok());
+  auto blank = TestShards(2);
+  blank[1].endpoint.clear();
+  EXPECT_FALSE(ShardMap::Make(blank).ok());
+  EXPECT_TRUE(ShardMap::Make(TestShards(2)).ok());
+}
+
+TEST(ShardMapTest, OwnerIsDeterministicAcrossRebuilds) {
+  auto a = ShardMap::Make(TestShards(4));
+  auto b = ShardMap::Make(TestShards(4));
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "query-" + std::to_string(i);
+    EXPECT_EQ(a->Owner(key), b->Owner(key)) << key;
+  }
+}
+
+TEST(ShardMapTest, RankedCoversEveryShardAndSpreadsKeys) {
+  auto map = ShardMap::Make(TestShards(4));
+  ASSERT_TRUE(map.ok());
+  std::vector<size_t> owned(4, 0);
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = "query-" + std::to_string(i);
+    const std::vector<size_t> ranked = map->Ranked(key);
+    ASSERT_EQ(ranked.size(), 4u);
+    EXPECT_EQ(std::set<size_t>(ranked.begin(), ranked.end()).size(), 4u);
+    ++owned[ranked[0]];
+  }
+  // HRW spreads uniformly in expectation (100 per shard here); a shard
+  // getting under a quarter of its fair share would mean a broken hash.
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(owned[s], 25u) << "shard " << s << " starved";
+  }
+}
+
+TEST(ShardMapTest, GrowingTheFleetMovesOnlyAFractionOfKeys) {
+  auto four = ShardMap::Make(TestShards(4));
+  auto five = ShardMap::Make(TestShards(5));
+  ASSERT_TRUE(four.ok() && five.ok());
+  size_t moved = 0;
+  const size_t kKeys = 500;
+  for (size_t i = 0; i < kKeys; ++i) {
+    const std::string key = "query-" + std::to_string(i);
+    if (four->Owner(key) != five->Owner(key)) ++moved;
+  }
+  // Rendezvous hashing moves ~1/5 of keys when a fifth shard joins; a
+  // modulo hash would move ~4/5. The bound splits the difference.
+  EXPECT_LT(moved, kKeys / 2) << "not minimal-movement hashing";
+  EXPECT_GT(moved, 0u) << "new shard never wins";
+}
+
+TEST(ShardMapTest, CanonicalQueryKeyCommutesConditions) {
+  // The same fusion query spelled in two orders must land on one shard —
+  // that is what makes the warm-locality routing invariant real.
+  EXPECT_EQ(CanonicalQueryKey(kDuiAndSp), CanonicalQueryKey(kSpAndDui));
+  EXPECT_NE(CanonicalQueryKey(kDuiAndSp), CanonicalQueryKey(kDuiOnly));
+  // Unparseable text degrades to trimmed-verbatim keying.
+  EXPECT_EQ(CanonicalQueryKey("  not sql  "), CanonicalQueryKey("not sql"));
+}
+
+// ---------------------------------------------------------------------------
+// INVALIDATE: wire round-trip and service-side version idempotence
+// ---------------------------------------------------------------------------
+
+TEST(InvalidateProtocolTest, RequestRoundTripsWithVersion) {
+  ClientRequest request;
+  request.kind = ClientRequest::Kind::kInvalidate;
+  request.client_id = "router";
+  request.source = "DMV HQ";  // space exercises wire escaping
+  request.version = 41;
+  const auto parsed = ParseClientRequest(SerializeClientRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, ClientRequest::Kind::kInvalidate);
+  EXPECT_EQ(parsed->source, "DMV HQ");
+  EXPECT_EQ(parsed->version, 41u);
+}
+
+std::unique_ptr<QueryService> Figure1Service() {
+  auto instance = BuildDmvFigure1();
+  EXPECT_TRUE(instance.ok());
+  QueryService::Options options;
+  options.client.statistics = StatisticsMode::kOracle;
+  return std::make_unique<QueryService>(Mediator(std::move(instance->catalog)),
+                                        options);
+}
+
+TEST(ServiceInvalidateTest, VersionsAreIdempotent) {
+  auto service = Figure1Service();
+  const std::string source = service->session().mediator().catalog()
+                                 .source(0).name();
+  // Version 7 applies; replaying it (the router retrying a partial
+  // broadcast) is a stale no-op; a higher version applies again.
+  auto first = service->Invalidate(source, 7);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(*first, "applied");
+  auto replay = service->Invalidate(source, 7);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*replay, "stale");
+  auto older = service->Invalidate(source, 3);
+  ASSERT_TRUE(older.ok());
+  EXPECT_EQ(*older, "stale");
+  auto newer = service->Invalidate(source, 8);
+  ASSERT_TRUE(newer.ok());
+  EXPECT_EQ(*newer, "applied");
+  // Version 0 = unconditional (never recorded, never staled).
+  auto unconditional = service->Invalidate(source, 0);
+  ASSERT_TRUE(unconditional.ok());
+  EXPECT_EQ(*unconditional, "applied");
+  EXPECT_EQ(service->invalidates_applied(), 3u);
+  EXPECT_EQ(service->invalidates_stale(), 2u);
+  // Unknown sources are an error, not a silent no-op.
+  EXPECT_FALSE(service->Invalidate("no-such-source", 1).ok());
+}
+
+TEST(ServiceInvalidateTest, HandlesTheWireVerb) {
+  auto service = Figure1Service();
+  ClientRequest request;
+  request.kind = ClientRequest::Kind::kInvalidate;
+  request.client_id = "coherence";
+  request.source =
+      service->session().mediator().catalog().source(1).name();
+  request.version = 5;
+  auto response =
+      ParseClientResponse(service->Handle(SerializeClientRequest(request)));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->ok) << response->error_message;
+  EXPECT_EQ(response->state, "applied");
+  response =
+      ParseClientResponse(service->Handle(SerializeClientRequest(request)));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->ok);
+  EXPECT_EQ(response->state, "stale");
+}
+
+// ---------------------------------------------------------------------------
+// Plan split + distributed execution
+// ---------------------------------------------------------------------------
+
+/// The paper's semijoin plan over Figure 1: ∪_j sq(dui, R_j) feeding
+/// per-source semijoins for 'sp'. Three sources, so a 2-shard split puts
+/// sources {0, 1} on shard 0 and source {2} on shard 1.
+Plan SemiJoinPlan() {
+  Plan plan;
+  std::vector<int> dui;
+  for (int j = 0; j < 3; ++j) dui.push_back(plan.EmitSelect(0, j));
+  const int x1 = plan.EmitUnion(dui, "X1");
+  std::vector<int> sp;
+  for (int j = 0; j < 3; ++j) sp.push_back(plan.EmitSemiJoin(1, j, x1));
+  plan.SetResult(plan.EmitUnion(sp, "X2"));
+  return plan;
+}
+
+TEST(PlanSplitTest, PlacesSourceOpsOnTheirHomeShard) {
+  const Plan plan = SemiJoinPlan();
+  const std::vector<size_t> source_shard = {0, 0, 1};
+  auto split = SplitPlanBySource(plan, source_shard, 2);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_EQ(split->op_shard.size(), plan.ops().size());
+  for (size_t k = 0; k < plan.ops().size(); ++k) {
+    const PlanOp& op = plan.ops()[k];
+    if (op.source >= 0) {
+      EXPECT_EQ(split->op_shard[k],
+                source_shard[static_cast<size_t>(op.source)])
+          << "op " << k;
+    }
+  }
+  // Every cut variable is a merge-attribute item set — the invariant that
+  // keeps inter-shard traffic proportional to answers, not sources.
+  EXPECT_GT(split->num_cut_vars(), 0u);
+  for (const PlanCutEdge& edge : split->cut_edges) {
+    EXPECT_EQ(plan.var(edge.var).type, PlanVarType::kItems);
+    EXPECT_NE(edge.producer_shard, edge.consumer_shard);
+  }
+  // Fragments partition the ops in order.
+  size_t covered = 0;
+  for (const PlanFragment& fragment : split->fragments) {
+    for (const size_t k : fragment.ops) {
+      EXPECT_EQ(k, covered++);
+      EXPECT_EQ(split->op_shard[k], fragment.shard);
+    }
+  }
+  EXPECT_EQ(covered, plan.ops().size());
+}
+
+TEST(PlanSplitTest, PinsLocalSelectsToTheLoadShard) {
+  Plan plan;
+  const int rel = plan.EmitLoad(2, "R3");
+  const int local = plan.EmitLocalSelect(0, rel, "Y1");
+  const int remote = plan.EmitSelect(1, 0, "Y2");
+  plan.SetResult(plan.EmitIntersect({local, remote}, "X"));
+  auto split = SplitPlanBySource(plan, {0, 0, 1}, 2);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->op_shard[0], 1u);  // load runs at source 2's shard
+  EXPECT_EQ(split->op_shard[1], 1u);  // local select pinned to the load
+  // Only item sets cross: the loaded relation variable never appears as a
+  // cut edge.
+  for (const PlanCutEdge& edge : split->cut_edges) {
+    EXPECT_NE(edge.var, rel);
+  }
+}
+
+TEST(PlanSplitTest, SingleShardHasNoCutEdges) {
+  const Plan plan = SemiJoinPlan();
+  auto split = SplitPlanBySource(plan, {0, 0, 0}, 1);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->num_cut_vars(), 0u);
+  EXPECT_EQ(split->fragments.size(), 1u);
+}
+
+TEST(DistributedExecTest, MatchesTheSerialInterpreterByteForByte) {
+  // Serial oracle over one replica…
+  auto serial_instance = BuildDmvFigure1();
+  ASSERT_TRUE(serial_instance.ok());
+  const Plan plan = SemiJoinPlan();
+  const auto serial =
+      ExecutePlan(plan, serial_instance->catalog, serial_instance->query);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  // …vs the same plan split across two shards, each with its own replica
+  // and its own memo.
+  auto replica_a = BuildDmvFigure1();
+  auto replica_b = BuildDmvFigure1();
+  ASSERT_TRUE(replica_a.ok() && replica_b.ok());
+  SourceCallCache cache_a, cache_b;
+  const std::vector<ShardExecutor> shards = {
+      {&replica_a->catalog, &cache_a}, {&replica_b->catalog, &cache_b}};
+  auto split = SplitPlanBySource(plan, {0, 1, 0}, 2);
+  ASSERT_TRUE(split.ok());
+  const auto distributed = ExecutePlanDistributed(
+      plan, replica_a->query, *split, shards, ExecOptions{});
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+
+  EXPECT_EQ(distributed->answer.ToString(), serial->answer.ToString());
+  // The merged ledger is charge-for-charge identical: same sources, same
+  // conditions, same costs, same order.
+  EXPECT_EQ(distributed->ledger.Report(), serial->ledger.Report());
+  EXPECT_GT(distributed->cross_shard_vars, 0u);
+  EXPECT_GT(distributed->cross_shard_items, 0u);
+  // Both shards did real work.
+  ASSERT_EQ(distributed->per_shard_ops.size(), 2u);
+  EXPECT_GT(distributed->per_shard_ops[0], 0u);
+  EXPECT_GT(distributed->per_shard_ops[1], 0u);
+
+  // Re-running the same split is answered entirely from the shard memos:
+  // zero new charges.
+  const auto warm = ExecutePlanDistributed(plan, replica_a->query, *split,
+                                           shards, ExecOptions{});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->answer.ToString(), serial->answer.ToString());
+  EXPECT_EQ(warm->ledger.total(), 0.0);
+  EXPECT_GT(warm->cache_hits, 0u);
+}
+
+TEST(DistributedExecTest, RejectsUnsupportedModes) {
+  auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  const Plan plan = SemiJoinPlan();
+  auto split = SplitPlanBySource(plan, {0, 0, 0}, 1);
+  ASSERT_TRUE(split.ok());
+  const std::vector<ShardExecutor> shards = {{&instance->catalog, nullptr}};
+  ExecOptions lazy;
+  lazy.lazy_short_circuit = true;
+  EXPECT_FALSE(
+      ExecutePlanDistributed(plan, instance->query, *split, shards, lazy)
+          .ok());
+  ExecOptions parallel;
+  parallel.parallelism = 4;
+  EXPECT_FALSE(
+      ExecutePlanDistributed(plan, instance->query, *split, shards, parallel)
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// QueryRouter end to end over real sockets
+// ---------------------------------------------------------------------------
+
+/// Minimal serve loop for one QueryService (or QueryRouter) over TCP — the
+/// test-side twin of fusionqd/fusionrd.
+template <typename Server>
+class Daemon {
+ public:
+  explicit Daemon(Server* server) : server_(server) {}
+  ~Daemon() { Stop(); }
+
+  Status Start() {
+    FUSION_ASSIGN_OR_RETURN(listener_, TcpListener::Bind("127.0.0.1", 0));
+    acceptor_ = std::thread([this] { AcceptLoop(); });
+    return Status::Ok();
+  }
+
+  int port() const { return listener_.port(); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    listener_.Close();
+    if (acceptor_.joinable()) acceptor_.join();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread& thread : serving_) {
+      if (thread.joinable()) thread.join();
+    }
+    serving_.clear();
+  }
+
+ private:
+  void AcceptLoop() {
+    while (true) {
+      auto accepted = listener_.Accept();
+      if (!accepted.ok()) return;
+      MessageSocket socket = std::move(accepted).value();
+      const int fd = socket.fd();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        socket.Close();
+        return;
+      }
+      live_fds_.insert(fd);
+      serving_.emplace_back(
+          [this, fd](MessageSocket s) {
+            server_->ServeConnection(ChaosSocket(std::move(s)));
+            std::lock_guard<std::mutex> inner(mu_);
+            live_fds_.erase(fd);
+          },
+          std::move(socket));
+    }
+  }
+
+  Server* server_;
+  TcpListener listener_;
+  std::thread acceptor_;
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::set<int> live_fds_;
+  std::vector<std::thread> serving_;
+};
+
+/// A 2-shard fleet behind a router: each shard is a full QueryService over
+/// its own byte-identical replica of the Figure 1 federation.
+struct Fleet {
+  std::vector<std::unique_ptr<QueryService>> services;
+  std::vector<std::unique_ptr<Daemon<QueryService>>> shard_daemons;
+  std::unique_ptr<QueryRouter> router;
+  std::unique_ptr<Daemon<QueryRouter>> router_daemon;
+
+  std::string endpoint() const {
+    return Endpoint(router_daemon->port());
+  }
+};
+
+Fleet StartFleet(size_t k) {
+  Fleet fleet;
+  std::vector<Shard> shards;
+  for (size_t i = 0; i < k; ++i) {
+    fleet.services.push_back(Figure1Service());
+    fleet.shard_daemons.push_back(
+        std::make_unique<Daemon<QueryService>>(fleet.services.back().get()));
+    EXPECT_TRUE(fleet.shard_daemons.back()->Start().ok());
+    Shard shard;
+    shard.name = "shard-" + std::to_string(i);
+    shard.endpoint = Endpoint(fleet.shard_daemons.back()->port());
+    shards.push_back(shard);
+  }
+  auto map = ShardMap::Make(shards);
+  EXPECT_TRUE(map.ok());
+  fleet.router = std::make_unique<QueryRouter>(std::move(map).value(),
+                                               QueryRouter::Options{});
+  fleet.router_daemon =
+      std::make_unique<Daemon<QueryRouter>>(fleet.router.get());
+  EXPECT_TRUE(fleet.router_daemon->Start().ok());
+  return fleet;
+}
+
+TEST(RouterTest, HelloAdvertisesShardingAndNamesTheRouter) {
+  Fleet fleet = StartFleet(2);
+  auto client = Client::Builder()
+                    .To(Client::Target::Remote(fleet.endpoint()))
+                    .ClientId("hello")
+                    .Build();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_EQ(client->server(), "fusionrd");
+  EXPECT_TRUE(
+      FeatureSet::FromNames(client->server_features()).Has(Feature::kSharding));
+  fleet.router->Shutdown();
+}
+
+TEST(RouterTest, FleetAnswersMatchASerialMediatorWithChurn) {
+  Fleet fleet = StartFleet(2);
+  auto serial_instance = BuildDmvFigure1();
+  ASSERT_TRUE(serial_instance.ok());
+  auto serial = Client::Builder()
+                    .To(Client::Target::Embedded(
+                        std::move(serial_instance->catalog)))
+                    .Statistics(StatisticsMode::kOracle)
+                    .Build();
+  ASSERT_TRUE(serial.ok());
+
+  // Three concurrent tenants, each its own connection through the router;
+  // every answer must equal the serial mediator's, across source churn.
+  const std::vector<std::string> pool = {kDuiAndSp, kDuiOnly, kSpAndDui};
+  std::vector<std::string> expected;
+  for (const std::string& sql : pool) {
+    auto answer = serial->QuerySql(sql);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    expected.push_back(answer->items.ToString());
+  }
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  std::vector<std::thread> tenants;
+  for (int t = 0; t < 3; ++t) {
+    tenants.emplace_back([&, t] {
+      auto client = Client::Builder()
+                        .To(Client::Target::Remote(fleet.endpoint()))
+                        .ClientId("tenant-" + std::to_string(t))
+                        .Build();
+      if (!client.ok()) {
+        std::lock_guard<std::mutex> lock(failures_mu);
+        failures.push_back(client.status().ToString());
+        return;
+      }
+      uint64_t version = 0;
+      for (int round = 0; round < 8; ++round) {
+        const size_t index = static_cast<size_t>(t + round) % pool.size();
+        const auto answer = client->QuerySql(pool[index]);
+        if (!answer.ok() || answer->items.ToString() != expected[index]) {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures.push_back(
+              answer.ok() ? "diverged: " + answer->items.ToString()
+                          : answer.status().ToString());
+          return;
+        }
+        if (t == 0 && round % 3 == 2) {
+          // Source churn mid-run: a coherence broadcast through the router.
+          const auto state = client->InvalidateSource("R1", ++version);
+          if (!state.ok()) {
+            std::lock_guard<std::mutex> lock(failures_mu);
+            failures.push_back(state.status().ToString());
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& tenant : tenants) tenant.join();
+  EXPECT_TRUE(failures.empty()) << failures.front();
+  const auto counters = fleet.router->counters();
+  EXPECT_GT(counters.forwards, 0u);
+  EXPECT_GT(counters.invalidate_fanouts, 0u);
+  fleet.router->Shutdown();
+}
+
+TEST(RouterTest, WarmQueriesStayWarmAcrossClientConnections) {
+  Fleet fleet = StartFleet(2);
+  auto first = Client::Builder()
+                   .To(Client::Target::Remote(fleet.endpoint()))
+                   .ClientId("cold")
+                   .Build();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const auto cold = first->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_GT(cold->cost, 0.0) << "cold query must meter source calls";
+
+  // A different client connection, the same query — rendezvous routing
+  // lands it on the same shard, whose memo answers it for free. The
+  // commuted spelling must land warm too (canonical keying).
+  auto second = Client::Builder()
+                    .To(Client::Target::Remote(fleet.endpoint()))
+                    .ClientId("warm")
+                    .Build();
+  ASSERT_TRUE(second.ok());
+  for (const char* sql : {kDuiAndSp, kSpAndDui}) {
+    const auto warm = second->QuerySql(sql);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    EXPECT_EQ(warm->items.ToString(), cold->items.ToString());
+    EXPECT_EQ(warm->cost, 0.0) << sql;
+  }
+  const auto counters = fleet.router->counters();
+  EXPECT_GE(counters.warm_forwards, 2u);
+  EXPECT_EQ(counters.warm_hits, counters.warm_forwards)
+      << "a warm forward landed on a different shard";
+  fleet.router->Shutdown();
+}
+
+TEST(RouterTest, FailsOverPastADeadShard) {
+  Fleet fleet = StartFleet(2);
+  auto client = Client::Builder()
+                    .To(Client::Target::Remote(fleet.endpoint()))
+                    .ClientId("failover")
+                    .Build();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto before = client->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  // Kill shard 0 outright (service and daemon). Whichever shard owns each
+  // key, every query must still be answered — worst case the survivor
+  // serves it at cold-cache cost, never a wrong answer.
+  fleet.services[0]->Shutdown();
+  fleet.shard_daemons[0]->Stop();
+  const auto after = client->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->items.ToString(), before->items.ToString());
+  const auto other = client->QuerySql(kDuiOnly);
+  ASSERT_TRUE(other.ok()) << other.status().ToString();
+  fleet.router->Shutdown();
+}
+
+TEST(RouterTest, InvalidateFanOutIsIdempotentAcrossTheFleet) {
+  Fleet fleet = StartFleet(2);
+  auto client = Client::Builder()
+                    .To(Client::Target::Remote(fleet.endpoint()))
+                    .ClientId("coherence")
+                    .Build();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto state = client->InvalidateSource("R2", 9);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(*state, "applied");
+  // The broadcast reached every shard with the version recorded.
+  for (const auto& service : fleet.services) {
+    EXPECT_EQ(service->invalidates_applied(), 1u);
+  }
+  // Replaying the same version (a retry after a partial broadcast) is a
+  // fleet-wide stale no-op.
+  state = client->InvalidateSource("R2", 9);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, "stale");
+  for (const auto& service : fleet.services) {
+    EXPECT_EQ(service->invalidates_stale(), 1u);
+  }
+  fleet.router->Shutdown();
+}
+
+TEST(RouterTest, EmbeddedInvalidateWorksWithoutAFleet) {
+  auto instance = BuildDmvFigure1();
+  ASSERT_TRUE(instance.ok());
+  auto client = Client::Builder()
+                    .To(Client::Target::Embedded(std::move(instance->catalog)))
+                    .Statistics(StatisticsMode::kOracle)
+                    .Build();
+  ASSERT_TRUE(client.ok());
+  const auto state = client->InvalidateSource("R1");
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(*state, "applied");
+  EXPECT_FALSE(client->InvalidateSource("no-such-source").ok());
+}
+
+TEST(RouterTest, MultiEndpointTargetFailsOverToALiveShard) {
+  // Clients may also skip the router and aim Target::Remote at the shard
+  // list directly: the first endpoint is dead here, so Build must rotate
+  // to the live one.
+  Fleet fleet = StartFleet(1);
+  auto client =
+      Client::Builder()
+          .To(Client::Target::Remote(std::vector<std::string>{
+              "127.0.0.1:1", Endpoint(fleet.shard_daemons[0]->port())}))
+          .ClientId("rotate")
+          .Reconnect([] {
+            RetryPolicy policy;
+            policy.max_attempts = 4;
+            policy.initial_backoff_seconds = 0.001;
+            policy.max_backoff_seconds = 0.01;
+            return policy;
+          }())
+          .Build();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto answer = client->QuerySql(kDuiAndSp);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->items.ToString(), "{'J55', 'T21'}");
+}
+
+}  // namespace
+}  // namespace fusion

@@ -49,9 +49,16 @@ GATED = {"QPS", "p99 latency ms"}
 # divergence count under chaos); v4 added the "local_eval" section (columnar
 # batch-kernel counters and Bloom-skipped semijoin probes) and makes the
 # oracle divergence gate mandatory — a v4 run must carry an "oracle" block
-# reporting zero divergences. Old files stay comparable — missing fields
-# are skipped, with a drift note.
-KNOWN_SCHEMAS = {1, 2, 3, 4}
+# reporting zero divergences; v5 added the "shards" section (per-shard
+# forward/QPS split and the router's warm-hit locality, gated >= 0.95 when
+# present). Old files stay comparable — missing fields are skipped, with a
+# drift note.
+KNOWN_SCHEMAS = {1, 2, 3, 4, 5}
+
+# A warm repeated query must land on the shard that already holds it: the
+# rendezvous hash is deterministic, so anything below this is a routing
+# bug (or a fleet resize mid-run), not noise.
+MIN_WARM_HIT_LOCALITY = 0.95
 
 
 def lookup(metrics, path):
@@ -175,6 +182,27 @@ def main():
               f"evals over {lookup(local_eval, ('batch_rows_evaluated',))} "
               f"rows; {lookup(local_eval, ('semijoin_probes_skipped',))} "
               "semijoin probes bloom-skipped")
+
+    # Sharded-fleet gate (schema >= 5, runs with --shards > 1): print the
+    # per-shard split and hold the router's warm-hit locality to the floor.
+    shards = new.get("shards")
+    if isinstance(shards, dict):
+        per_shard = shards.get("per_shard") or []
+        split = ", ".join(
+            f"{entry.get('name')}={entry.get('forwards')}"
+            for entry in per_shard if isinstance(entry, dict))
+        print(f"  shards: {shards.get('count')} "
+              f"({split}); {shards.get('failovers')} failovers, "
+              f"{shards.get('invalidate_fanouts')} invalidate fan-outs, "
+              f"{shards.get('cross_shard_bytes')} bytes forwarded")
+        locality = lookup(shards, ("warm_hit_locality",))
+        warm_forwards = lookup(shards, ("warm_forwards",)) or 0
+        if locality is not None:
+            print(f"  warm hit locality    {locality:.4f} "
+                  f"(over {warm_forwards} warm forwards; "
+                  f"floor {MIN_WARM_HIT_LOCALITY})")
+            if warm_forwards > 0 and locality < MIN_WARM_HIT_LOCALITY:
+                regressions.append("warm hit locality")
 
     old_div = lookup(old.get("oracle", {}), ("divergences",))
     new_div = lookup(new.get("oracle", {}), ("divergences",))

@@ -227,14 +227,15 @@ int Run(int argc, char** argv) {
 
   Client::Builder builder;
   if (connected) {
-    builder.Connect(args->connect).ClientId(args->client_id);
+    builder.To(Client::Target::Remote(args->connect)).ClientId(args->client_id);
   } else {
     const auto options = args->client.ToClientOptions();
     if (!options.ok()) {
       std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
       return 2;
     }
-    builder.CatalogFile(args->catalog_path).Options(*options);
+    builder.To(Client::Target::EmbeddedFile(args->catalog_path))
+        .Options(*options);
   }
   auto client_or = builder.Build();
   if (!client_or.ok()) {

@@ -31,6 +31,7 @@
 
 #include "cli/catalog_config.h"
 #include "cli/client_flags.h"
+#include "common/file_util.h"
 #include "common/rng.h"
 #include "mediator/client.h"
 #include "mediator/service.h"
@@ -231,12 +232,17 @@ class ConnectionRegistry {
 };
 
 // The listening fd, for the async-signal-safe shutdown path: SIGINT/SIGTERM
-// close it, which makes the blocked accept() return and the main loop exit.
+// shut it down and close it, which makes the blocked accept() return and
+// the main loop exit. shutdown(2) first — close alone does not wake an
+// accept() blocked on another thread, and the signal may land on any.
 std::atomic<int> g_listener_fd{-1};
 
 void HandleSignal(int) {
   const int fd = g_listener_fd.exchange(-1);
-  if (fd >= 0) ::close(fd);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
 }
 
 Result<QueryService::Options> ServiceOptionsFromArgs(const Args& args) {
@@ -277,14 +283,16 @@ int Serve(const Args& args) {
               num_sources, args.workers, args.max_queue);
   std::fflush(stdout);
   if (!args.port_file.empty()) {
-    std::FILE* f = std::fopen(args.port_file.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "port-file: cannot write %s\n",
-                   args.port_file.c_str());
+    // Atomic write: the readiness file is a polled signal, and a fast
+    // reader must see the whole port or no file at all — never a torn
+    // prefix (the fopen-then-fprintf it replaced created an *empty* file
+    // before the port landed).
+    const Status wrote = WriteFileAtomic(
+        args.port_file, std::to_string(listener->port()) + "\n");
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "port-file: %s\n", wrote.message().c_str());
       return 1;
     }
-    std::fprintf(f, "%d\n", listener->port());
-    std::fclose(f);
   }
 
   std::shared_ptr<ChaosDecider> chaos;
@@ -381,8 +389,10 @@ int Smoke(const Args& args) {
     }
   });
 
-  auto first_or =
-      Client::Builder().Connect(endpoint).ClientId("smoke-0").Build();
+  auto first_or = Client::Builder()
+                      .To(Client::Target::Remote(endpoint))
+                      .ClientId("smoke-0")
+                      .Build();
   if (!first_or.ok()) {
     std::fprintf(stderr, "smoke: connect: %s\n",
                  first_or.status().ToString().c_str());
@@ -411,8 +421,10 @@ int Smoke(const Args& args) {
   Result<ClientAnswer> warm_other = Status::Unavailable("not run");
   std::thread same([&] { warm_same = first->QuerySql(args.sql); });
   std::thread other([&] {
-    auto second =
-        Client::Builder().Connect(endpoint).ClientId("smoke-1").Build();
+    auto second = Client::Builder()
+                      .To(Client::Target::Remote(endpoint))
+                      .ClientId("smoke-1")
+                      .Build();
     if (!second.ok()) {
       warm_other = second.status();
       return;

@@ -1,0 +1,215 @@
+// fusionrd — the fusion query router daemon: the front door of a sharded
+// mediator fleet.
+//
+// Speaks FUSIONQ/1 to clients exactly like fusionqd (same HELLO, same
+// verbs), but owns no catalog: every SUBMIT is rendezvous-hashed on its
+// canonical query key and forwarded to the owning fusionqd shard over a
+// pooled upstream connection, so a repeated query always lands on the shard
+// whose plan memo and source-call cache already hold it — warm at ~0
+// metered cost no matter which client connection asked. Dead shards fail
+// over to the next-ranked; INVALIDATE broadcasts to the whole fleet with
+// version-stamped idempotence.
+//
+// Usage:
+//   fusionrd --shard=host:port --shard=host:port ...
+//            [--host=127.0.0.1] [--port=4630] [--name=fusionrd]
+//            [--port-file=PATH]
+//
+// --port=0 binds an ephemeral port; the actual port is printed on the
+// "listening on" line and written to --port-file (atomically) when given.
+#include <sys/socket.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cli/client_flags.h"
+#include "common/file_util.h"
+#include "protocol/socket.h"
+#include "router/router.h"
+#include "router/shard_map.h"
+
+namespace fusion {
+namespace {
+
+struct Args {
+  std::vector<Shard> shards;
+  std::string host = "127.0.0.1";
+  int port = 4630;
+  std::string name = "fusionrd";
+  /// Readiness hook, same contract as fusionqd: the bound port is written
+  /// here (atomically — whole file or no file) once accepting.
+  std::string port_file;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "fusionrd — fusion query router daemon (FUSIONQ/1 over TCP)\n\n"
+      "usage: fusionrd --shard=HOST:PORT [--shard=HOST:PORT ...] [options]\n\n"
+      "  --shard=H:P      a fusionqd shard endpoint; repeat once per shard.\n"
+      "                   NAME=H:P names the shard (default shard-<i>);\n"
+      "                   names feed the rendezvous hash, so keep them\n"
+      "                   stable across restarts to keep caches warm\n"
+      "  --host=H         listen address (default 127.0.0.1)\n"
+      "  --port=P         listen port; 0 = ephemeral, printed on startup\n"
+      "                   (default 4630)\n"
+      "  --name=S         router name reported in the HELLO handshake\n"
+      "  --port-file=PATH write the bound port here once listening\n");
+}
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    std::string value;
+    if (ParseFlagValue(a, "--shard", &value)) {
+      Shard shard;
+      // NAME=HOST:PORT names the shard; bare HOST:PORT gets a default name
+      // in ShardMap::Make. The '=' test must dodge the ':' of the endpoint.
+      const size_t eq = value.find('=');
+      if (eq != std::string::npos && eq < value.find(':')) {
+        shard.name = value.substr(0, eq);
+        shard.endpoint = value.substr(eq + 1);
+      } else {
+        shard.endpoint = value;
+      }
+      args.shards.push_back(std::move(shard));
+      continue;
+    }
+    if (ParseFlagValue(a, "--host", &args.host)) continue;
+    if (ParseFlagValue(a, "--name", &args.name)) continue;
+    if (ParseFlagValue(a, "--port-file", &args.port_file)) continue;
+    std::string number;
+    if (ParseFlagValue(a, "--port", &number)) {
+      args.port = std::atoi(number.c_str());
+      if (args.port < 0 || args.port > 65535) {
+        return Status::InvalidArgument("--port must be in [0, 65535]");
+      }
+      continue;
+    }
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      args.help = true;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unknown argument: ") + a);
+  }
+  return args;
+}
+
+/// Accepted-connection fds so shutdown can unblock their Receive()s —
+/// shutdown(2) wakes a blocked recv; close alone does not.
+class ConnectionRegistry {
+ public:
+  void Register(int fd) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fds_.push_back(fd);
+  }
+
+  void ShutdownAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> fds_;
+};
+
+// Async-signal-safe shutdown: SIGINT/SIGTERM shut the listener down (then
+// close it), so the blocked accept() returns and the main loop exits.
+// shutdown(2) first — close alone does not wake an accept() blocked on
+// another thread, and the signal may be delivered to any of them.
+std::atomic<int> g_listener_fd{-1};
+
+void HandleSignal(int) {
+  const int fd = g_listener_fd.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+int Serve(const Args& args) {
+  auto shard_map = ShardMap::Make(args.shards);
+  if (!shard_map.ok()) {
+    std::fprintf(stderr, "shards: %s\n",
+                 shard_map.status().ToString().c_str());
+    return 2;
+  }
+  auto listener = TcpListener::Bind(args.host, args.port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "bind: %s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  QueryRouter::Options options;
+  options.server_name = args.name;
+  QueryRouter router(std::move(shard_map).value(), options);
+
+  g_listener_fd.store(listener->fd());
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("%s: listening on %s:%d (routing to %zu shards)\n",
+              args.name.c_str(), args.host.c_str(), listener->port(),
+              router.shards().size());
+  for (size_t i = 0; i < router.shards().size(); ++i) {
+    const Shard& shard = router.shards().shard(i);
+    std::printf("%s:   shard %s at %s\n", args.name.c_str(),
+                shard.name.c_str(), shard.endpoint.c_str());
+  }
+  std::fflush(stdout);
+  if (!args.port_file.empty()) {
+    const Status wrote = WriteFileAtomic(
+        args.port_file, std::to_string(listener->port()) + "\n");
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "port-file: %s\n", wrote.message().c_str());
+      return 1;
+    }
+  }
+
+  ConnectionRegistry connections;
+  std::vector<std::thread> threads;
+  for (;;) {
+    Result<MessageSocket> accepted = listener->Accept();
+    if (!accepted.ok()) break;  // listener closed: shutdown
+    MessageSocket socket = std::move(accepted).value();
+    connections.Register(socket.fd());
+    threads.emplace_back(
+        [&router](MessageSocket s) {
+          router.ServeConnection(ChaosSocket(std::move(s)));
+        },
+        std::move(socket));
+  }
+  std::printf("%s: shutting down\n", args.name.c_str());
+  router.Shutdown();
+  connections.ShutdownAll();
+  for (std::thread& t : threads) t.join();
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  const auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (args->help || args->shards.empty()) {
+    PrintUsage();
+    return args->help ? 0 : 2;
+  }
+  return Serve(*args);
+}
+
+}  // namespace
+}  // namespace fusion
+
+int main(int argc, char** argv) { return fusion::Run(argc, argv); }

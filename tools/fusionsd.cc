@@ -198,14 +198,16 @@ int Serve(const Args& args) {
               options.chaos.enabled() ? " (chaos enabled)" : "");
   std::fflush(stdout);
   if (!args.port_file.empty()) {
-    std::FILE* f = std::fopen(args.port_file.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "port-file: cannot write %s\n",
-                   args.port_file.c_str());
+    // Atomic write: the readiness file is a polled signal, and a fast
+    // reader must see the whole port or no file at all — never a torn
+    // prefix (the fopen-then-fprintf it replaced created an *empty* file
+    // before the port landed).
+    const Status wrote = WriteFileAtomic(
+        args.port_file, std::to_string(server.port()) + "\n");
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "port-file: %s\n", wrote.message().c_str());
       return 1;
     }
-    std::fprintf(f, "%d\n", server.port());
-    std::fclose(f);
   }
 
   while (!g_stop.load()) {

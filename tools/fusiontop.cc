@@ -245,10 +245,14 @@ int Smoke(const Args& args) {
 
   int exit_code = 1;
   {
-    auto querier =
-        Client::Builder().Connect(endpoint).ClientId("smoke-tenant").Build();
-    auto watcher =
-        Client::Builder().Connect(endpoint).ClientId(args.client_id).Build();
+    auto querier = Client::Builder()
+                       .To(Client::Target::Remote(endpoint))
+                       .ClientId("smoke-tenant")
+                       .Build();
+    auto watcher = Client::Builder()
+                       .To(Client::Target::Remote(endpoint))
+                       .ClientId(args.client_id)
+                       .Build();
     if (!querier.ok() || !watcher.ok()) {
       std::fprintf(stderr, "smoke: connect failed\n");
       return 1;
@@ -282,8 +286,10 @@ int Run(int argc, char** argv) {
     return args->help ? 0 : 2;
   }
   if (args->smoke) return Smoke(*args);
-  auto client_or =
-      Client::Builder().Connect(args->connect).ClientId(args->client_id).Build();
+  auto client_or = Client::Builder()
+                       .To(Client::Target::Remote(args->connect))
+                       .ClientId(args->client_id)
+                       .Build();
   if (!client_or.ok()) {
     std::fprintf(stderr, "connect: %s\n",
                  client_or.status().ToString().c_str());
